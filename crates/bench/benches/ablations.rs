@@ -1,0 +1,52 @@
+//! Criterion bench for E12 (ablations): the paper's design choices on
+//! versus off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_core::{IterSetCover, IterSetCoverConfig};
+use sc_geometry::{instances, AlgGeomSc, AlgGeomScConfig};
+use sc_setsystem::gen;
+use sc_stream::run_reported;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    let inst = gen::planted(512, 1024, 8, 99);
+    g.bench_function("iter_with_size_test", |b| {
+        b.iter(|| {
+            let mut alg = IterSetCover::new(IterSetCoverConfig::default());
+            black_box(run_reported(&mut alg, &inst.system))
+        })
+    });
+    g.bench_function("iter_no_size_test", |b| {
+        b.iter(|| {
+            let mut alg = IterSetCover::new(IterSetCoverConfig {
+                disable_size_test: true,
+                ..Default::default()
+            });
+            black_box(run_reported(&mut alg, &inst.system))
+        })
+    });
+
+    let adv = instances::two_line(32, None, 4);
+    g.bench_function("geom_canonical", |b| {
+        b.iter(|| {
+            let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
+            black_box(alg.run(&adv))
+        })
+    });
+    g.bench_function("geom_dedupe_only", |b| {
+        b.iter(|| {
+            let mut alg = AlgGeomSc::new(AlgGeomScConfig {
+                decompose_rects: false,
+                ..Default::default()
+            });
+            black_box(alg.run(&adv))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for E13 ([AKL16]): the single-pass α trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_core::baselines::OnePassProjection;
+use sc_setsystem::gen;
+use sc_stream::run_reported;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = gen::uniform_random(1024, 2048, 0.1, 77);
+    let mut g = c.benchmark_group("akl16_curve");
+    g.sample_size(10);
+    for alpha in [1.0f64, 8.0, 32.0] {
+        g.bench_with_input(BenchmarkId::new("one_pass_projection", alpha as u64), &alpha, |b, &a| {
+            b.iter(|| black_box(run_reported(&mut OnePassProjection::new(a), &inst.system)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for E5 (Figure 1.2): canonical decomposition versus
+//! verbatim projection storage on the two-line instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_geometry::canonical::{storage_comparison, CanonicalStore, RankIndex};
+use sc_geometry::instances;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("canonical_1_2");
+    g.sample_size(10);
+    for half in [32usize, 64] {
+        let inst = instances::two_line(half, None, 9);
+        g.bench_with_input(BenchmarkId::new("storage_comparison", half), &inst, |b, i| {
+            b.iter(|| black_box(storage_comparison(&i.points, &i.shapes, 2)))
+        });
+        g.bench_with_input(BenchmarkId::new("canonical_store_build", half), &inst, |b, i| {
+            b.iter(|| {
+                let idx = RankIndex::build(&i.points);
+                let mut store = CanonicalStore::new();
+                for s in &i.shapes {
+                    store.add_shape(&idx, &i.points, s, 2);
+                }
+                black_box(store.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for E6 (Theorem 4.6): algGeomSC per shape family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_geometry::{instances, AlgGeomSc, AlgGeomScConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geometric_4_6");
+    g.sample_size(10);
+    let discs = instances::random_discs(512, 256, 8, 1);
+    let rects = instances::random_rects(512, 256, 8, 2);
+    let tris = instances::random_fat_triangles(512, 256, 8, 3);
+    for (name, inst) in [("discs", &discs), ("rects", &rects), ("fat_triangles", &tris)] {
+        g.bench_with_input(BenchmarkId::new("alg_geom_sc", name), inst, |b, i| {
+            b.iter(|| {
+                let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
+                black_box(alg.run(i))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

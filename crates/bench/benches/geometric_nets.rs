@@ -1,0 +1,34 @@
+//! Criterion bench for E14: ε-net sampling/verification and the
+//! Brönnimann–Goodrich oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_geometry::{
+    bronnimann_goodrich, instances, sample_epsilon_net, verify_epsilon_net, BgConfig, ShapeFamily,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = instances::random_discs(800, 400, 6, 3);
+    let weights = vec![1.0; inst.points.len()];
+    let mut g = c.benchmark_group("geometric_nets");
+    g.sample_size(10);
+    for eps in [0.05f64, 0.15] {
+        g.bench_with_input(BenchmarkId::new("net_sample_verify", format!("{eps}")), &eps, |b, &eps| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                let net =
+                    sample_epsilon_net(&inst.points, ShapeFamily::Discs, eps, 0.2, &mut rng);
+                black_box(verify_epsilon_net(&inst.points, &weights, &inst.shapes, &net, eps))
+            })
+        });
+    }
+    g.bench_function("bronnimann_goodrich", |b| {
+        b.iter(|| black_box(bronnimann_goodrich(&inst.points, &inst.shapes, &BgConfig::default())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

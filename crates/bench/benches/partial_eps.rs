@@ -1,0 +1,29 @@
+//! Criterion bench for E11 (ε-Partial Set Cover): partial iterSetCover
+//! across the ε sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_core::partial::{run_partial, PartialIterSetCover};
+use sc_core::IterSetCoverConfig;
+use sc_setsystem::gen;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = gen::planted(1024, 1024, 8, 13);
+    let mut g = c.benchmark_group("partial_eps");
+    g.sample_size(10);
+    for eps in [0.0, 0.1, 0.5] {
+        g.bench_with_input(BenchmarkId::new("epsilon", format!("{eps:.1}")), &eps, |b, &e| {
+            b.iter(|| {
+                let mut alg = PartialIterSetCover::new(IterSetCoverConfig {
+                    delta: 0.25,
+                    ..Default::default()
+                });
+                black_box(run_partial(&mut alg, &inst.system, e))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

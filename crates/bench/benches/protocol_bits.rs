@@ -1,0 +1,37 @@
+//! Criterion bench for E15: bit-counted protocol executions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_comm::chasing::{IntersectionSetChasing, PointerChasing};
+use sc_comm::protocol::{
+    alice_sends_all, chain_intersection_set_chasing, chain_pointer_chasing,
+    one_round_pointer_chasing,
+};
+use sc_comm::two_party::TwoPartySetCover;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_bits");
+    g.sample_size(10);
+    let inst = TwoPartySetCover::random(128, 64, 64, 5);
+    g.bench_function("alice_sends_all", |b| b.iter(|| black_box(alice_sends_all(&inst))));
+    for n in [256usize, 2048] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let pc = PointerChasing::random(n, 3, &mut rng);
+        g.bench_with_input(BenchmarkId::new("chain_pointer", n), &pc, |b, pc| {
+            b.iter(|| black_box(chain_pointer_chasing(pc)))
+        });
+        g.bench_with_input(BenchmarkId::new("one_round_pointer", n), &pc, |b, pc| {
+            b.iter(|| black_box(one_round_pointer_chasing(pc)))
+        });
+        let isc = IntersectionSetChasing::random(n, 3, 2, n as u64);
+        g.bench_with_input(BenchmarkId::new("chain_isc", n), &isc, |b, isc| {
+            b.iter(|| black_box(chain_intersection_set_chasing(isc)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Criterion bench for E4 (Theorem 3.8 / Figure 3.1): the algRecoverBit
+//! decoder against the exact disjointness oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_comm::disjointness::AliceInput;
+use sc_comm::recover::{recover, RecoverConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recover_3_1");
+    g.sample_size(10);
+    for (m, n) in [(8usize, 48usize), (16, 64)] {
+        let alice = AliceInput::random(n, m, 3);
+        g.bench_with_input(BenchmarkId::new("recover", format!("m{m}_n{n}")), &alice, |b, a| {
+            b.iter(|| black_box(recover(a, &RecoverConfig { seed: 5, ..Default::default() })))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for E7 (Theorem 5.4): building the ISC → Set Cover
+//! reduction and certifying its optimum exactly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_bitset::BitSet;
+use sc_comm::chasing::IntersectionSetChasing;
+use sc_comm::reduction_sec5::reduce;
+use sc_offline::exact;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction_5_4");
+    g.sample_size(10);
+    let isc = IntersectionSetChasing::random(4, 2, 2, 11);
+    g.bench_function("reduce", |b| b.iter(|| black_box(reduce(&isc))));
+    let red = reduce(&isc);
+    let sets = red.system.all_bitsets();
+    let target = BitSet::full(red.system.universe());
+    g.bench_function("exact_certify", |b| {
+        b.iter(|| black_box(exact(&sets, &target, 50_000_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for E3 (Lemmas 2.3/2.6): reservoir sampling and the
+//! size-test inner loop, the per-pass hot path of iterSetCover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_bitset::BitSet;
+use sc_core::sampling::sample_from_bitset;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling_2_6");
+    for n in [4096usize, 65536] {
+        let live = BitSet::from_iter(n, (0..n as u32).filter(|e| e % 3 != 0));
+        g.bench_with_input(BenchmarkId::new("reservoir_sample", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(sample_from_bitset(&live, n / 16, &mut rng)))
+        });
+        let probe: Vec<u32> = (0..n as u32).step_by(7).collect();
+        g.bench_with_input(BenchmarkId::new("size_test_scan", n), &n, |b, _| {
+            b.iter(|| {
+                let hits = probe.iter().filter(|&&e| live.contains(e)).count();
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

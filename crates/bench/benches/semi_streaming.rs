@@ -1,0 +1,25 @@
+//! Criterion bench for E9 ([ER14]/[CW16]): the Θ̃(n)-space algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_core::baselines::{ChakrabartiWirth, EmekRosen};
+use sc_setsystem::gen;
+use sc_stream::run_reported;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = gen::planted(2048, 1024, 8, 1);
+    let mut g = c.benchmark_group("semi_streaming");
+    g.sample_size(10);
+    g.bench_function("emek_rosen", |b| {
+        b.iter(|| black_box(run_reported(&mut EmekRosen, &inst.system)))
+    });
+    for p in [1usize, 3, 5] {
+        g.bench_with_input(BenchmarkId::new("chakrabarti_wirth", p), &p, |b, &p| {
+            b.iter(|| black_box(run_reported(&mut ChakrabartiWirth::new(p), &inst.system)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

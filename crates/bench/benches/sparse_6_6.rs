@@ -1,0 +1,22 @@
+//! Criterion bench for E8 (Theorem 6.6): the OR_t overlay and the
+//! sparse reduction chain.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_comm::reduction_sec6::{overlay_to_isc, OrEqualPointerChasing, Sec6Instance};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse_6_6");
+    g.sample_size(10);
+    let or = OrEqualPointerChasing::random(512, 2, 2, 5, 3);
+    g.bench_function("overlay_to_isc", |b| {
+        b.iter(|| black_box(overlay_to_isc(&or, 77)))
+    });
+    g.bench_function("full_chain", |b| {
+        b.iter(|| black_box(Sec6Instance::random(512, 2, 2, 5, 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

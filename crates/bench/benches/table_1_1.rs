@@ -1,0 +1,50 @@
+//! Criterion bench for E1 (Figure 1.1): one timing per algorithm row on
+//! a fixed planted workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sc_core::baselines::{
+    ChakrabartiWirth, Dimv14, Dimv14Config, EmekRosen, OnePickPerPassGreedy, ProgressiveGreedy,
+    StoreAllGreedy,
+};
+use sc_core::{IterSetCover, IterSetCoverConfig};
+use sc_setsystem::gen;
+use sc_stream::run_reported;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = gen::planted(512, 1024, 8, 42);
+    let mut g = c.benchmark_group("table_1_1");
+    g.sample_size(10);
+
+    g.bench_function("store_all_greedy", |b| {
+        b.iter(|| black_box(run_reported(&mut StoreAllGreedy, &inst.system)))
+    });
+    g.bench_function("one_pick_per_pass", |b| {
+        b.iter(|| black_box(run_reported(&mut OnePickPerPassGreedy, &inst.system)))
+    });
+    g.bench_function("progressive_greedy", |b| {
+        b.iter(|| black_box(run_reported(&mut ProgressiveGreedy, &inst.system)))
+    });
+    g.bench_function("emek_rosen", |b| {
+        b.iter(|| black_box(run_reported(&mut EmekRosen, &inst.system)))
+    });
+    g.bench_function("chakrabarti_wirth_p3", |b| {
+        b.iter(|| black_box(run_reported(&mut ChakrabartiWirth::new(3), &inst.system)))
+    });
+    g.bench_function("dimv14_d0.5", |b| {
+        b.iter(|| {
+            let mut alg = Dimv14::new(Dimv14Config { delta: 0.5, ..Default::default() });
+            black_box(run_reported(&mut alg, &inst.system))
+        })
+    });
+    g.bench_function("iter_set_cover_d0.5", |b| {
+        b.iter(|| {
+            let mut alg = IterSetCover::new(IterSetCoverConfig::default());
+            black_box(run_reported(&mut alg, &inst.system))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for E2 (Theorem 2.8): iterSetCover across the δ
+//! sweep — runtime cost of buying space with passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_core::{IterSetCover, IterSetCoverConfig};
+use sc_setsystem::gen;
+use sc_stream::run_reported;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = gen::planted(1024, 2048, 16, 7);
+    let mut g = c.benchmark_group("tradeoff_2_8");
+    g.sample_size(10);
+    for delta in [1.0, 0.5, 1.0 / 3.0, 0.25] {
+        g.bench_with_input(BenchmarkId::new("delta", format!("{delta:.3}")), &delta, |b, &d| {
+            b.iter(|| {
+                let mut alg =
+                    IterSetCover::new(IterSetCoverConfig { delta: d, ..Default::default() });
+                black_box(run_reported(&mut alg, &inst.system))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p sc-bench --bin repro --release            # all experiments
+//! cargo run -p sc-bench --bin repro --release -- thm2.8  # one experiment
+//! cargo run -p sc-bench --bin repro --release -- --quick # reduced sweeps
+//! cargo run -p sc-bench --bin repro --release -- --list  # experiment ids
+//! ```
+
+use sc_bench::experiments::{by_id, registry, Runner};
+use sc_bench::Scale;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for (id, what, _) in registry() {
+            println!("{id:<12} {what}");
+        }
+        return;
+    }
+
+    let jobs: Vec<(&'static str, &'static str, Runner)> =
+        if wanted.is_empty() {
+            registry()
+        } else {
+            wanted
+                .iter()
+                .map(|id| {
+                    let f = by_id(id).unwrap_or_else(|| {
+                        eprintln!("unknown experiment id {id:?}; try --list");
+                        std::process::exit(2);
+                    });
+                    let (rid, what, _) = registry()
+                        .into_iter()
+                        .find(|(rid, _, _)| *rid == id.as_str())
+                        .expect("id resolved above");
+                    (rid, what, f)
+                })
+                .collect()
+        };
+
+    println!("# Streaming Set Cover (PODS 2016) — experiment reproduction");
+    println!("# scale: {}", if quick { "quick" } else { "full" });
+    println!();
+    for (id, what, f) in jobs {
+        let start = Instant::now();
+        let table = f(scale);
+        println!("{table}");
+        println!("  [{id}: {what} — {:.1}s]", start.elapsed().as_secs_f64());
+        println!();
+    }
+}

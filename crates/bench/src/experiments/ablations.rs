@@ -1,0 +1,145 @@
+//! E12 — ablations of the design choices DESIGN.md calls out.
+//!
+//! Three switches, each isolating one idea of the paper:
+//!
+//! 1. **Size test off** (Figure 1.3): store every intersecting
+//!    projection instead of emitting heavy sets immediately. The stored
+//!    footprint balloons — the size test is what caps projections at
+//!    `O(|S|/k)` ids each.
+//! 2. **Paper constants on**: the literal `c·ρ·k·n^δ·log m·log n`
+//!    sample exceeds the residual at laptop scale, collapsing the
+//!    algorithm toward offline solving (fewer effective iterations,
+//!    more space).
+//! 3. **Canonical decomposition off** (Section 4): rectangles stored as
+//!    verbatim deduplicated projections. On the Figure 1.2 family the
+//!    store reverts from Õ(n) to Ω(n²)-shaped growth.
+
+use crate::table::fmt_count;
+use crate::{Scale, Table};
+use sc_core::{IterSetCover, IterSetCoverConfig};
+use sc_geometry::{instances, AlgGeomSc, AlgGeomScConfig};
+use sc_setsystem::gen;
+use sc_stream::run_reported;
+
+/// Runs the three ablations.
+pub fn ablations(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E12 / ablations — what each design choice buys",
+        &["configuration", "workload", "|sol|", "passes", "space (words)", "store (candidates)"],
+    );
+
+    // --- 1 & 2: iterSetCover switches. -------------------------------
+    let (n, m, k) = scale.pick((512, 1024, 8), (2048, 4096, 16));
+    let inst = gen::planted(n, m, k, 99);
+    let configs: Vec<(&str, IterSetCoverConfig)> = vec![
+        ("iterSetCover (paper design)", IterSetCoverConfig { delta: 0.5, ..Default::default() }),
+        (
+            "… size test OFF",
+            IterSetCoverConfig { delta: 0.5, disable_size_test: true, ..Default::default() },
+        ),
+        (
+            "… paper constants ON",
+            IterSetCoverConfig { delta: 0.5, paper_constants: true, ..Default::default() },
+        ),
+    ];
+    for (label, cfg) in configs {
+        let mut alg = IterSetCover::new(cfg);
+        let r = run_reported(&mut alg, &inst.system);
+        assert!(r.verified.is_ok(), "{label}: {:?}", r.verified);
+        t.row(vec![
+            label.to_string(),
+            format!("planted(n={n},m={m},k={k})"),
+            r.cover_size().to_string(),
+            r.passes.to_string(),
+            fmt_count(r.space_words),
+            "-".into(),
+        ]);
+    }
+
+    // --- Oracle ablation: ρ's effect in the O(ρ/δ) bound. -------------
+    // Smaller sub-instance so the LP oracle's O(n log n) rounds stay
+    // affordable inside the sweep.
+    let (on, om, ok) = scale.pick((256, 512, 8), (512, 1024, 8));
+    let oracle_inst = gen::planted(on, om, ok, 101);
+    for (label, solver) in [
+        ("… oracle = greedy (ρ = ln n)", sc_offline::OfflineSolver::Greedy),
+        ("… oracle = exact (ρ = 1)", sc_offline::OfflineSolver::DEFAULT_EXACT),
+        ("… oracle = primal-dual (ρ = f)", sc_offline::OfflineSolver::PrimalDual),
+        ("… oracle = lp-round (ρ = O(log n))", sc_offline::OfflineSolver::LpRound { seed: 7 }),
+    ] {
+        let mut alg = IterSetCover::new(IterSetCoverConfig {
+            delta: 0.5,
+            solver,
+            ..Default::default()
+        });
+        let r = run_reported(&mut alg, &oracle_inst.system);
+        assert!(r.verified.is_ok(), "{label}: {:?}", r.verified);
+        t.row(vec![
+            label.to_string(),
+            format!("planted(n={on},m={om},k={ok})"),
+            r.cover_size().to_string(),
+            r.passes.to_string(),
+            fmt_count(r.space_words),
+            "-".into(),
+        ]);
+    }
+
+    // --- 3: canonical decomposition on the Figure 1.2 family. --------
+    let half = scale.pick(32, 96);
+    let adv = instances::two_line(half, None, 4);
+    for (label, decompose) in [("algGeomSC (canonical pieces)", true), ("… decomposition OFF", false)] {
+        let mut alg = AlgGeomSc::new(AlgGeomScConfig { decompose_rects: decompose, ..Default::default() });
+        let r = alg.run(&adv);
+        assert!(r.verified.is_ok(), "{label}: {:?}", r.verified);
+        t.row(vec![
+            label.to_string(),
+            format!("two_line(n={}, m={})", adv.points.len(), adv.shapes.len()),
+            r.cover_size().to_string(),
+            r.passes.to_string(),
+            fmt_count(r.space_words),
+            fmt_count(r.max_store_candidates),
+        ]);
+    }
+
+    t.note("size test OFF / decomposition OFF keep correctness but lose the space bound — exactly the role the paper assigns those ideas");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_inflate_space_as_predicted() {
+        let t = ablations(Scale::Quick);
+        let space = |i: usize| t.rows[i][4].replace(',', "").parse::<usize>().unwrap();
+        // Size test off costs more space than the paper design.
+        assert!(space(1) > space(0), "size-test ablation: {} !> {}", space(1), space(0));
+        // Four oracle rows follow, all covering (asserted inside the
+        // runner); then the two canonical-store rows: dedupe-only
+        // stores more candidates than canonical pieces.
+        let canon = t.rows.len() - 2;
+        let store = |i: usize| t.rows[i][5].replace(',', "").parse::<usize>().unwrap();
+        assert!(
+            store(canon + 1) > 2 * store(canon),
+            "decomposition ablation: {} !> 2×{}",
+            store(canon + 1),
+            store(canon)
+        );
+    }
+
+    #[test]
+    fn oracle_quality_ordering_holds() {
+        let t = ablations(Scale::Quick);
+        // Oracle rows are 3..7: greedy, exact, primal-dual, lp-round.
+        let size = |i: usize| t.rows[i][2].parse::<usize>().unwrap();
+        let exact = size(4);
+        for (i, label) in [(3, "greedy"), (5, "primal-dual"), (6, "lp-round")] {
+            assert!(
+                size(i) >= exact,
+                "{label} ({}) beat the exact oracle ({exact})?",
+                size(i)
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! E5 — Figure 1.2: quadratically many distinct shallow projections
+//! versus the near-linear canonical family.
+//!
+//! On the two-line construction with `n` points there are `n²/4`
+//! rectangles, *each containing exactly two points and no two with the
+//! same projection*. Verbatim projection storage is therefore Ω(n²)
+//! words; the rank-space dyadic canonical family stores Õ(n) pieces.
+
+use crate::table::{fmt_count, fmt_ratio};
+use crate::{Scale, Table};
+use sc_geometry::canonical::storage_comparison;
+use sc_geometry::instances;
+
+/// Storage sweep over the two-line construction.
+pub fn canonical_1_2(scale: Scale) -> Table {
+    let halves: Vec<usize> = scale.pick(vec![16, 32], vec![16, 32, 64, 128]);
+    let mut t = Table::new(
+        "E5 / Figure 1.2 — verbatim projections vs canonical pieces (two-line instance)",
+        &["n (points)", "m = n²/4", "distinct projections", "verbatim words", "canonical candidates", "canonical words", "words ratio", "cand. / (n·log²n)"],
+    );
+    for half in halves {
+        let inst = instances::two_line(half, None, 9);
+        let n = inst.points.len();
+        let cmp = storage_comparison(&inst.points, &inst.shapes, 2);
+        assert_eq!(cmp.explicit_projections, half * half);
+        let log2n = (n as f64).log2();
+        t.row(vec![
+            n.to_string(),
+            fmt_count(inst.shapes.len()),
+            fmt_count(cmp.explicit_projections),
+            fmt_count(cmp.explicit_words),
+            fmt_count(cmp.canonical_candidates),
+            fmt_count(cmp.canonical_words),
+            fmt_ratio(cmp.explicit_words as f64 / cmp.canonical_words.max(1) as f64),
+            format!("{:.3}", cmp.canonical_candidates as f64 / (n as f64 * log2n * log2n)),
+        ]);
+    }
+    t.note("the last column staying bounded as n grows is the Õ(n) claim of Lemma 4.4 / substitution 4");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_wins_and_gap_widens() {
+        let t = canonical_1_2(Scale::Quick);
+        let ratio = |i: usize| t.rows[i][6].parse::<f64>().unwrap();
+        assert!(ratio(0) > 1.0, "canonical must already win at n=32");
+        assert!(ratio(1) > ratio(0), "the gap must widen with n");
+        // Normalised candidate count stays bounded.
+        for row in &t.rows {
+            let norm: f64 = row[7].parse().unwrap();
+            assert!(norm < 4.0, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! One module per experiment id (DESIGN.md §3).
+
+mod ablations;
+mod akl16_curve;
+mod canonical_1_2;
+mod geometric_4_6;
+mod geometric_nets;
+mod nisan_endpoint;
+mod partial_eps;
+mod protocol_bits;
+mod recover_3_1;
+mod reduction_5_4;
+mod sampling_2_6;
+mod semi_streaming;
+mod sparse_6_6;
+mod table_1_1;
+mod tradeoff_2_8;
+
+pub use ablations::ablations;
+pub use akl16_curve::akl16_curve;
+pub use canonical_1_2::canonical_1_2;
+pub use geometric_4_6::geometric_4_6;
+pub use geometric_nets::geometric_nets;
+pub use nisan_endpoint::nisan_endpoint;
+pub use partial_eps::partial_eps;
+pub use protocol_bits::protocol_bits;
+pub use recover_3_1::recover_3_1;
+pub use reduction_5_4::reduction_5_4;
+pub use sampling_2_6::sampling_2_6;
+pub use semi_streaming::semi_streaming;
+pub use sparse_6_6::sparse_6_6;
+pub use table_1_1::table_1_1;
+pub use tradeoff_2_8::tradeoff_2_8;
+
+use crate::{Scale, Table};
+
+/// An experiment entry point: scale in, table out.
+pub type Runner = fn(Scale) -> Table;
+
+/// The experiment registry: `(repro id, paper artifact, runner)`.
+pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        ("table1.1", "Figure 1.1 summary table", table_1_1 as Runner),
+        ("thm2.8", "Theorem 2.8 pass/space trade-off", tradeoff_2_8),
+        ("lem2.6", "Lemmas 2.3 & 2.6 sampling diagnostics", sampling_2_6),
+        ("thm3.8", "Theorem 3.8 / Figure 3.1 recovery", recover_3_1),
+        ("fig1.2", "Figure 1.2 canonical storage", canonical_1_2),
+        ("thm4.6", "Theorem 4.6 geometric set cover", geometric_4_6),
+        ("thm5.4", "Theorem 5.4 / Corollary 5.8 reduction", reduction_5_4),
+        ("thm6.6", "Theorem 6.6 sparse instances", sparse_6_6),
+        ("semi", "[ER14]/[CW16] semi-streaming rows", semi_streaming),
+        ("nisan", "Nisan endpoint δ = Θ(1/log n)", nisan_endpoint),
+        ("partial", "ε-Partial Set Cover sweep", partial_eps),
+        ("ablations", "design-choice ablations", ablations),
+        ("akl16", "[AKL16] single-pass α curve", akl16_curve),
+        ("nets", "ε-nets + Brönnimann–Goodrich oracle", geometric_nets),
+        ("protocol", "protocol bits vs lower-bound curves", protocol_bits),
+    ]
+}
+
+/// Looks up one experiment by repro id.
+pub fn by_id(id: &str) -> Option<Runner> {
+    registry().into_iter().find(|(rid, _, _)| *rid == id).map(|(_, _, f)| f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_resolvable() {
+        let reg = registry();
+        let mut ids: Vec<&str> = reg.iter().map(|(id, _, _)| *id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), reg.len());
+        for (id, _, _) in &reg {
+            assert!(by_id(id).is_some());
+        }
+        assert!(by_id("nope").is_none());
+    }
+}

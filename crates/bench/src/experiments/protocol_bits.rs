@@ -1,0 +1,134 @@
+//! E15 — measured communication costs of the natural protocols against
+//! the paper's lower-bound curves (Sections 3 and 5).
+//!
+//! Three regimes, all in real encoded bits on the wire:
+//!
+//! * **one round, SetCover/Disjointness** — Alice-sends-all costs
+//!   exactly `m·n` bits; Theorems 3.1/3.2 say Ω(mn) is forced, so the
+//!   naive protocol is *optimal*: measured/bound ≈ 1.
+//! * **enough rounds, chasing problems** — the chain protocols cost
+//!   `O(p·log n)` (pointer) / `O(p·n)` (set / ISC) bits: exponentially
+//!   below the round-starved \[GO13\] bound `n^{1+1/(2p)}/polylog`,
+//!   which is what makes multi-pass streaming algorithms possible at
+//!   all (Theorem 5.4 hinges on exactly this separation).
+//! * **one round, pointer chasing** — the table dump costs
+//!   `Θ(p·n·log n)`: the collapse that round starvation forces.
+
+use crate::table::fmt_count;
+use crate::{Scale, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_comm::chasing::{IntersectionSetChasing, PointerChasing};
+use sc_comm::protocol::{
+    alice_sends_all, chain_intersection_set_chasing, chain_pointer_chasing,
+    one_round_pointer_chasing,
+};
+use sc_comm::two_party::TwoPartySetCover;
+
+/// Tabulates measured protocol bits against the matching bounds.
+pub fn protocol_bits(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "E15 / protocol executions vs lower-bound curves (Sections 3 & 5)",
+        &["protocol", "instance", "rounds", "bits (measured)", "reference curve", "measured/ref"],
+    );
+
+    // --- One round: two-party SetCover. ------------------------------
+    let (n2, m2) = scale.pick((32, 16), (128, 64));
+    let inst = TwoPartySetCover::random(n2, m2, m2, 5);
+    let run = alice_sends_all(&inst);
+    let bound = m2 * n2;
+    t.row(vec![
+        "alice-sends-all (1 round)".into(),
+        format!("two-party SetCover(n={n2}, m_A={m2})"),
+        run.rounds.to_string(),
+        fmt_count(run.bits),
+        format!("Ω(mn) = {} [Thm 3.1]", fmt_count(bound)),
+        format!("{:.2}", run.bits as f64 / bound as f64),
+    ]);
+
+    // --- Chains: pointer chasing and ISC across n and p. --------------
+    let ns: Vec<usize> = scale.pick(vec![64, 1024], vec![64, 256, 1024, 4096]);
+    for &p in &[2usize, 3] {
+        for &n in &ns {
+            let mut rng = StdRng::seed_from_u64((n * p) as u64);
+            let pc = PointerChasing::random(n, p, &mut rng);
+            let chain = chain_pointer_chasing(&pc);
+            assert_eq!(chain.output, pc.solve());
+            let dump = one_round_pointer_chasing(&pc);
+            assert_eq!(dump.output, pc.solve());
+            let log_n = (n as f64).log2().ceil() as usize;
+            t.row(vec![
+                format!("pointer-chase chain (p−1={} rounds)", p - 1),
+                format!("PC(n={n}, p={p})"),
+                chain.rounds.to_string(),
+                fmt_count(chain.bits),
+                format!("(p−1)·⌈log n⌉ = {}", fmt_count((p - 1) * log_n)),
+                format!("{:.2}", chain.bits as f64 / ((p - 1) * log_n) as f64),
+            ]);
+            t.row(vec![
+                "pointer-chase table dump (1 round)".into(),
+                format!("PC(n={n}, p={p})"),
+                dump.rounds.to_string(),
+                fmt_count(dump.bits),
+                format!("(p−1)·n·⌈log n⌉ = {}", fmt_count((p - 1) * n * log_n)),
+                format!("{:.2}", dump.bits as f64 / ((p - 1) * n * log_n) as f64),
+            ]);
+
+            let isc = IntersectionSetChasing::random(n, p, 2, (n * p) as u64 + 1);
+            let run = chain_intersection_set_chasing(&isc);
+            assert_eq!(run.output, isc.output());
+            // The GO13 bound for round-starved executions.
+            let go13 = (n as f64).powf(1.0 + 1.0 / (2.0 * p as f64));
+            t.row(vec![
+                format!("ISC chain ({} rounds)", run.rounds),
+                format!("ISC(n={n}, p={p})"),
+                run.rounds.to_string(),
+                fmt_count(run.bits),
+                format!("starved bound n^{{1+1/2p}} = {}", fmt_count(go13 as usize)),
+                format!("{:.2}", run.bits as f64 / go13),
+            ]);
+        }
+    }
+
+    t.note("the ISC-chain/bound ratio falls with n and crosses below 1 (at n ≈ 5^{2p}): enough rounds beat the round-starved Ω̃(n^{1+1/2p}) bound — the separation Theorem 5.4 converts into the streaming pass/space trade-off");
+    t.note("the bound weakens as p grows (the crossover moves out), matching the paper's regime δ ≥ log log n / log n in Theorem 5.4");
+    t.note("the one-round rows sit at ratio ≈ 1 against their Ω(mn) / Θ(p·n·log n) references: round starvation forces input-sized messages");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_beats_starved_bound_and_one_round_does_not() {
+        let t = protocol_bits(Scale::Quick);
+        // Row 0: alice-sends-all at ratio exactly 1.
+        assert_eq!(t.rows[0][5], "1.00");
+        // Largest-n ISC row at p=2: measured well under the starved
+        // bound (3n < n^{5/4} ⟺ n > 81, well inside the sweep).
+        let p2_rows: Vec<&Vec<String>> = t
+            .rows
+            .iter()
+            .filter(|r| r[0].starts_with("ISC chain") && r[1].ends_with("p=2)"))
+            .collect();
+        let last_ratio: f64 = p2_rows.last().unwrap()[5].parse().unwrap();
+        assert!(last_ratio < 1.0, "chain should beat the starved bound, ratio {last_ratio}");
+        // The ratio falls with n within the p=2 series.
+        let first_ratio: f64 = p2_rows.first().unwrap()[5].parse().unwrap();
+        assert!(last_ratio < first_ratio);
+        // Table dumps cost more than chains at every n.
+        let bits = |r: &Vec<String>| r[3].replace(',', "").parse::<usize>().unwrap();
+        let chains: Vec<usize> =
+            t.rows.iter().filter(|r| r[0].starts_with("pointer-chase chain")).map(bits).collect();
+        let dumps: Vec<usize> = t
+            .rows
+            .iter()
+            .filter(|r| r[0].starts_with("pointer-chase table"))
+            .map(bits)
+            .collect();
+        for (c, d) in chains.iter().zip(&dumps) {
+            assert!(d > c, "dump {d} must exceed chain {c}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! E2 — the Theorem 2.8 trade-off: `2/δ` passes against `Õ(mn^δ)`
+//! space, swept over δ and n.
+//!
+//! The check is the *shape*: for fixed δ, the measured peak space
+//! divided by `m·n^δ` should stay roughly flat as `n` grows (the Õ(·)
+//! constant), while passes stay pinned at `2/δ (+1 cleanup)`; smaller δ
+//! should trade more passes for less space on the same instance.
+
+use crate::table::{fmt_count, fmt_ratio};
+use crate::{Scale, Table};
+use sc_core::{IterSetCover, IterSetCoverConfig};
+use sc_setsystem::gen;
+use sc_stream::run_reported;
+
+/// Sweeps δ × n and reports the normalised space.
+pub fn tradeoff_2_8(scale: Scale) -> Table {
+    let deltas = [1.0, 0.5, 1.0 / 3.0, 0.25];
+    let ns: Vec<usize> = scale.pick(vec![256, 512], vec![512, 1024, 2048, 4096]);
+
+    let mut t = Table::new(
+        "E2 / Theorem 2.8 — pass/space trade-off of iterSetCover",
+        &["δ", "n", "m", "passes", "2/δ+1", "space (words)", "space / (m·n^δ)", "ratio"],
+    );
+
+    for &delta in &deltas {
+        for &n in &ns {
+            let m = 2 * n;
+            let k = 16.min(n / 8).max(2);
+            let inst = gen::planted(n, m, k, 7 + n as u64);
+            let opt = inst.planted.as_ref().unwrap().len();
+            let mut alg = IterSetCover::new(IterSetCoverConfig { delta, ..Default::default() });
+            let r = run_reported(&mut alg, &inst.system);
+            assert!(r.verified.is_ok(), "δ={delta} n={n}: {:?}", r.verified);
+            let budget = 2.0 / delta + 1.0;
+            let unit = m as f64 * (n as f64).powf(delta);
+            t.row(vec![
+                format!("{delta:.3}"),
+                n.to_string(),
+                m.to_string(),
+                r.passes.to_string(),
+                format!("{budget:.0}"),
+                fmt_count(r.space_words),
+                format!("{:.3}", r.space_per(unit)),
+                fmt_ratio(r.ratio(opt)),
+            ]);
+        }
+    }
+    t.note("space / (m·n^δ) flat across n for fixed δ ⇒ the Õ(mn^δ) shape holds");
+    t.note("space is summed across the log n parallel guesses of k, as in Lemma 2.2");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_respect_budget_and_space_grows_with_delta() {
+        let t = tradeoff_2_8(Scale::Quick);
+        for row in &t.rows {
+            let passes: usize = row[3].parse().unwrap();
+            let budget: f64 = row[4].parse().unwrap();
+            assert!(passes as f64 <= budget, "{row:?}");
+        }
+        // At fixed n, δ=1 must use at least as much space as δ=1/4
+        // (larger samples, bigger projections).
+        let space = |row: &Vec<String>| row[5].replace(',', "").parse::<usize>().unwrap();
+        let d1: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "1.000").collect();
+        let d4: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "0.250").collect();
+        assert!(space(d1[0]) >= space(d4[0]), "{} vs {}", space(d1[0]), space(d4[0]));
+    }
+}

@@ -1,0 +1,37 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each submodule of [`experiments`] owns one experiment id from
+//! DESIGN.md's per-experiment index (E1–E15) and produces a [`Table`]
+//! of measured values next to the paper's analytic predictions. The
+//! `repro` binary prints them all; the criterion benches under
+//! `benches/` time the underlying computations.
+//!
+//! Every experiment accepts a [`Scale`] so that tests can run a reduced
+//! sweep while the binary runs the full one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Sweep size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced parameters: seconds, used by tests and smoke runs.
+    Quick,
+    /// The full sweeps reported in EXPERIMENTS.md.
+    Full,
+}
+
+impl Scale {
+    /// Picks `q` under `Quick` and `f` under `Full`.
+    pub fn pick<T>(self, q: T, f: T) -> T {
+        match self {
+            Scale::Quick => q,
+            Scale::Full => f,
+        }
+    }
+}

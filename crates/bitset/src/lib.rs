@@ -1,0 +1,48 @@
+//! Bit-level set primitives for the streaming set cover reproduction.
+//!
+//! Every algorithm in the paper manipulates subsets of a fixed element
+//! universe `U = {0, 1, …, n-1}`. This crate provides the two
+//! representations those algorithms need:
+//!
+//! * [`BitSet`] — a dense, fixed-universe bitset backed by 64-bit words.
+//!   Used for the "leftover" element set `L`, residual universes, and any
+//!   subset whose size is a constant fraction of `n`.
+//! * [`SparseSet`] — a sorted list of element ids. Used for the stored
+//!   *projections* `r ∩ L` of small sets (Figure 1.3 of the paper), whose
+//!   whole point is that they occupy `O(|r ∩ L|)` words rather than
+//!   `O(n / 64)`.
+//!
+//! Both types report their heap footprint in 64-bit words via
+//! [`HeapWords`], which is what the streaming-model space meter charges.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dense;
+mod heap_words;
+mod sparse;
+
+pub use dense::{BitSet, Ones};
+pub use heap_words::HeapWords;
+pub use sparse::SparseSet;
+
+/// Number of 64-bit words needed to hold `n` bits.
+#[inline]
+pub const fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
+    }
+}

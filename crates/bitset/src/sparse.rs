@@ -1,0 +1,216 @@
+//! Sparse sorted-id set, used for stored set projections.
+
+use crate::dense::BitSet;
+use crate::heap_words::HeapWords;
+use std::fmt;
+
+/// A sparse set of element ids, stored as a sorted, deduplicated vector.
+///
+/// This is the representation the paper's algorithm uses for the
+/// projections `r ∩ L` of *small* sets: "this requires remembering only
+/// the O(|S|/k) indices of the elements of r ∩ L" (Section 2.1). A
+/// [`SparseSet`] of `t` ids costs `⌈t/2⌉` words of memory (two `u32` ids
+/// per 64-bit word), versus `n/64` words for a dense bitmap.
+///
+/// # Examples
+///
+/// ```
+/// use sc_bitset::{BitSet, SparseSet};
+///
+/// let l = BitSet::from_iter(100, [2, 3, 5, 8]);
+/// let r = SparseSet::from_unsorted(vec![5, 99, 3]);
+/// let proj = r.intersect_dense(&l);
+/// assert_eq!(proj.as_slice(), &[3, 5]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct SparseSet {
+    ids: Vec<u32>,
+}
+
+impl SparseSet {
+    /// Creates an empty sparse set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a vector that is already sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `ids` is not strictly increasing.
+    pub fn from_sorted(ids: Vec<u32>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly increasing");
+        Self { ids }
+    }
+
+    /// Builds from arbitrary ids: sorts and deduplicates.
+    pub fn from_unsorted(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// Number of ids in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` if the set holds no ids.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The sorted ids.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Iterates over the ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Binary-search membership test.
+    pub fn contains(&self, e: u32) -> bool {
+        self.ids.binary_search(&e).is_ok()
+    }
+
+    /// Returns `self ∩ dense` as a new sparse set.
+    pub fn intersect_dense(&self, dense: &BitSet) -> SparseSet {
+        let ids = self
+            .ids
+            .iter()
+            .copied()
+            .filter(|&e| (e as usize) < dense.universe() && dense.contains(e))
+            .collect();
+        SparseSet { ids }
+    }
+
+    /// Counts `|self ∩ dense|` without allocating.
+    pub fn intersection_count_dense(&self, dense: &BitSet) -> usize {
+        self.ids
+            .iter()
+            .filter(|&&e| (e as usize) < dense.universe() && dense.contains(e))
+            .count()
+    }
+
+    /// Removes every id present in `dense` from `self` (`self \= dense`).
+    pub fn subtract_dense(&mut self, dense: &BitSet) {
+        self.ids
+            .retain(|&e| (e as usize) >= dense.universe() || !dense.contains(e));
+    }
+
+    /// `true` if every id of `self` appears in `other`.
+    ///
+    /// Linear merge over the two sorted lists.
+    pub fn is_subset(&self, other: &SparseSet) -> bool {
+        let mut it = other.ids.iter().copied();
+        'outer: for &e in &self.ids {
+            for o in it.by_ref() {
+                match o.cmp(&e) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Materialises the set as a dense bitset over the given universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is `>= universe`.
+    pub fn to_dense(&self, universe: usize) -> BitSet {
+        BitSet::from_iter(universe, self.iter())
+    }
+}
+
+impl HeapWords for SparseSet {
+    fn heap_words(&self) -> usize {
+        // Two u32 ids per 64-bit word; count reserved capacity.
+        (self.ids.capacity() * std::mem::size_of::<u32>()).div_ceil(8)
+    }
+}
+
+impl fmt::Debug for SparseSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<u32> for SparseSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Self::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_unsorted_sorts_and_dedups() {
+        let s = SparseSet::from_unsorted(vec![9, 1, 4, 4, 1]);
+        assert_eq!(s.as_slice(), &[1, 4, 9]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn intersect_and_count_against_dense() {
+        let dense = BitSet::from_iter(50, [10, 20, 30]);
+        let s = SparseSet::from_sorted(vec![5, 10, 30, 45]);
+        assert_eq!(s.intersection_count_dense(&dense), 2);
+        assert_eq!(s.intersect_dense(&dense).as_slice(), &[10, 30]);
+    }
+
+    #[test]
+    fn subtract_dense_removes_covered() {
+        let dense = BitSet::from_iter(50, [10, 20, 30]);
+        let mut s = SparseSet::from_sorted(vec![5, 10, 30, 45]);
+        s.subtract_dense(&dense);
+        assert_eq!(s.as_slice(), &[5, 45]);
+    }
+
+    #[test]
+    fn ids_beyond_dense_universe_are_kept_distinct() {
+        // intersect: dropped; subtract: kept. Ids outside the dense
+        // universe cannot be members of it.
+        let dense = BitSet::from_iter(10, [1, 2]);
+        let s = SparseSet::from_sorted(vec![2, 100]);
+        assert_eq!(s.intersect_dense(&dense).as_slice(), &[2]);
+        let mut t = s.clone();
+        t.subtract_dense(&dense);
+        assert_eq!(t.as_slice(), &[100]);
+    }
+
+    #[test]
+    fn subset_via_merge() {
+        let a = SparseSet::from_sorted(vec![2, 5, 9]);
+        let b = SparseSet::from_sorted(vec![1, 2, 5, 7, 9]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(SparseSet::new().is_subset(&a));
+        let c = SparseSet::from_sorted(vec![2, 5, 10]);
+        assert!(!c.is_subset(&b));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let s = SparseSet::from_sorted(vec![0, 63, 64, 99]);
+        let d = s.to_dense(100);
+        assert_eq!(d.to_vec(), s.as_slice());
+    }
+
+    #[test]
+    fn heap_words_packs_two_ids_per_word() {
+        let mut s = SparseSet::from_sorted((0..8).collect());
+        s.ids.shrink_to_fit();
+        assert_eq!(s.heap_words(), 4);
+    }
+}

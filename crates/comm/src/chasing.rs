@@ -1,0 +1,407 @@
+//! Pointer Chasing, Set Chasing, and Intersection Set Chasing
+//! (Definitions 5.1–5.2, 6.2–6.3).
+//!
+//! These are the communication problems whose round lower bounds
+//! (\[GO13\]) the paper transports to streaming Set Cover. Here they are
+//! plain data types with exact solvers — the reductions in
+//! [`crate::reduction_sec5`] and [`crate::reduction_sec6`] consume them,
+//! and the benchmarks verify the reductions' iff-claims against these
+//! solvers.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sc_bitset::BitSet;
+
+/// One player's input in Set Chasing: a function `f: [n] → 2^[n]`,
+/// stored as `f[j]` = sorted targets of `j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetFunction {
+    targets: Vec<Vec<u32>>,
+}
+
+impl SetFunction {
+    /// Wraps explicit target lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any target is `≥ n` where `n = targets.len()`.
+    pub fn new(mut targets: Vec<Vec<u32>>) -> Self {
+        let n = targets.len() as u32;
+        for t in &mut targets {
+            t.sort_unstable();
+            t.dedup();
+            assert!(t.last().is_none_or(|&x| x < n), "target out of range");
+        }
+        Self { targets }
+    }
+
+    /// Random function with out-degrees in `[1, max_degree]`.
+    pub fn random(n: usize, max_degree: usize, rng: &mut StdRng) -> Self {
+        let targets = (0..n)
+            .map(|_| {
+                let d = rng.random_range(1..=max_degree.max(1));
+                (0..d).map(|_| rng.random_range(0..n as u32)).collect()
+            })
+            .collect();
+        Self::new(targets)
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// `f(j)` as a sorted slice.
+    pub fn targets(&self, j: u32) -> &[u32] {
+        &self.targets[j as usize]
+    }
+
+    /// The image of a set: `f⃗(S) = ⋃_{s ∈ S} f(s)`.
+    pub fn image(&self, input: &BitSet) -> BitSet {
+        let mut out = BitSet::new(self.n());
+        for j in input.ones() {
+            for &t in self.targets(j) {
+                out.insert(t);
+            }
+        }
+        out
+    }
+
+    /// Preimage lists: `inverse()[ℓ]` = sorted `j` with `ℓ ∈ f(j)`.
+    pub fn inverse(&self) -> Vec<Vec<u32>> {
+        let mut inv = vec![Vec::new(); self.n()];
+        for (j, ts) in self.targets.iter().enumerate() {
+            for &t in ts {
+                inv[t as usize].push(j as u32);
+            }
+        }
+        inv
+    }
+}
+
+/// One Set Chasing instance: `p` players, functions `f_1, …, f_p`, and
+/// the task of computing `f⃗_1(f⃗_2(⋯ f⃗_p({start}) ⋯))`.
+#[derive(Debug, Clone)]
+pub struct SetChasing {
+    /// `fs[i]` is `f_{i+1}` in the paper's 1-based indexing.
+    fs: Vec<SetFunction>,
+    n: usize,
+}
+
+impl SetChasing {
+    /// Wraps explicit functions (all over the same `[n]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty function list or mismatched domains.
+    pub fn new(fs: Vec<SetFunction>) -> Self {
+        assert!(!fs.is_empty());
+        let n = fs[0].n();
+        assert!(fs.iter().all(|f| f.n() == n), "domain mismatch");
+        Self { fs, n }
+    }
+
+    /// Random instance with out-degrees ≤ `max_degree`.
+    pub fn random(n: usize, p: usize, max_degree: usize, rng: &mut StdRng) -> Self {
+        Self::new((0..p).map(|_| SetFunction::random(n, max_degree, rng)).collect())
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of players `p`.
+    pub fn p(&self) -> usize {
+        self.fs.len()
+    }
+
+    /// `f_{i}` (1-based, as in the paper).
+    pub fn f(&self, i: usize) -> &SetFunction {
+        &self.fs[i - 1]
+    }
+
+    /// The chase output `f⃗_1(f⃗_2(⋯ f⃗_p({0}) ⋯))` (vertex 0 plays the
+    /// paper's vertex 1).
+    pub fn solve(&self) -> BitSet {
+        let mut current = BitSet::from_iter(self.n, [0u32]);
+        for f in self.fs.iter().rev() {
+            current = f.image(&current);
+        }
+        current
+    }
+}
+
+/// Intersection Set Chasing (Definition 5.2): two Set Chasing instances
+/// whose outputs are tested for intersection.
+#[derive(Debug, Clone)]
+pub struct IntersectionSetChasing {
+    /// The first `p` players' instance.
+    pub left: SetChasing,
+    /// The other `p` players' instance.
+    pub right: SetChasing,
+}
+
+impl IntersectionSetChasing {
+    /// Pairs two instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn new(left: SetChasing, right: SetChasing) -> Self {
+        assert_eq!(left.n(), right.n(), "n mismatch");
+        assert_eq!(left.p(), right.p(), "p mismatch");
+        Self { left, right }
+    }
+
+    /// Random instance.
+    pub fn random(n: usize, p: usize, max_degree: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let left = SetChasing::random(n, p, max_degree, &mut rng);
+        let right = SetChasing::random(n, p, max_degree, &mut rng);
+        Self::new(left, right)
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        self.left.n()
+    }
+
+    /// Players per side `p`.
+    pub fn p(&self) -> usize {
+        self.left.p()
+    }
+
+    /// The ISC output: 1 iff the two chase outputs intersect.
+    pub fn output(&self) -> bool {
+        !self.left.solve().is_disjoint(&self.right.solve())
+    }
+}
+
+/// A pointer-chasing function `f: [n] → [n]` (Definition 6.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointerFunction {
+    map: Vec<u32>,
+}
+
+impl PointerFunction {
+    /// Wraps an explicit map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is `≥ map.len()`.
+    pub fn new(map: Vec<u32>) -> Self {
+        let n = map.len() as u32;
+        assert!(map.iter().all(|&v| v < n), "value out of range");
+        Self { map }
+    }
+
+    /// Uniformly random function.
+    pub fn random(n: usize, rng: &mut StdRng) -> Self {
+        Self::new((0..n).map(|_| rng.random_range(0..n as u32)).collect())
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `f(j)`.
+    pub fn apply(&self, j: u32) -> u32 {
+        self.map[j as usize]
+    }
+
+    /// `true` iff some value has at least `r` preimages
+    /// (Definition 6.1: `r`-non-injective).
+    pub fn is_r_non_injective(&self, r: usize) -> bool {
+        let mut counts = vec![0usize; self.n()];
+        for &v in &self.map {
+            counts[v as usize] += 1;
+            if counts[v as usize] >= r {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Pointer Chasing: `p` players computing `f_1(f_2(⋯ f_p(0) ⋯))`.
+#[derive(Debug, Clone)]
+pub struct PointerChasing {
+    fs: Vec<PointerFunction>,
+}
+
+impl PointerChasing {
+    /// Wraps explicit functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list or domain mismatch.
+    pub fn new(fs: Vec<PointerFunction>) -> Self {
+        assert!(!fs.is_empty());
+        let n = fs[0].n();
+        assert!(fs.iter().all(|f| f.n() == n));
+        Self { fs }
+    }
+
+    /// Random instance.
+    pub fn random(n: usize, p: usize, rng: &mut StdRng) -> Self {
+        Self::new((0..p).map(|_| PointerFunction::random(n, rng)).collect())
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.fs[0].n()
+    }
+
+    /// Players.
+    pub fn p(&self) -> usize {
+        self.fs.len()
+    }
+
+    /// `f_i` (1-based).
+    pub fn f(&self, i: usize) -> &PointerFunction {
+        &self.fs[i - 1]
+    }
+
+    /// The chase `f_1(f_2(⋯ f_p(0) ⋯))`.
+    pub fn solve(&self) -> u32 {
+        let mut cur = 0u32;
+        for f in self.fs.iter().rev() {
+            cur = f.apply(cur);
+        }
+        cur
+    }
+}
+
+/// Equal Pointer Chasing (Definition 6.3): do two pointer chases land on
+/// the same value?
+#[derive(Debug, Clone)]
+pub struct EqualPointerChasing {
+    /// First chase.
+    pub left: PointerChasing,
+    /// Second chase.
+    pub right: PointerChasing,
+}
+
+impl EqualPointerChasing {
+    /// Pairs two chases.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn new(left: PointerChasing, right: PointerChasing) -> Self {
+        assert_eq!(left.n(), right.n());
+        assert_eq!(left.p(), right.p());
+        Self { left, right }
+    }
+
+    /// Random instance.
+    pub fn random(n: usize, p: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let left = PointerChasing::random(n, p, &mut rng);
+        let right = PointerChasing::random(n, p, &mut rng);
+        Self::new(left, right)
+    }
+
+    /// The Equal Pointer Chasing output.
+    pub fn output(&self) -> bool {
+        self.left.solve() == self.right.solve()
+    }
+
+    /// The *Limited* variant's promise (Definition 6.3): `true` iff some
+    /// function on either side is `r`-non-injective, in which case the
+    /// limited problem's output is defined to be 1 regardless of the
+    /// chases.
+    pub fn has_r_non_injective(&self, r: usize) -> bool {
+        self.left.fs.iter().chain(&self.right.fs).any(|f| f.is_r_non_injective(r))
+    }
+
+    /// Equal *Limited* Pointer Chasing output (Definition 6.3).
+    pub fn limited_output(&self, r: usize) -> bool {
+        self.has_r_non_injective(r) || self.output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_function_image() {
+        let f = SetFunction::new(vec![vec![1, 2], vec![2], vec![0]]);
+        let img = f.image(&BitSet::from_iter(3, [0, 2]));
+        assert_eq!(img.to_vec(), vec![0, 1, 2]);
+        let inv = f.inverse();
+        assert_eq!(inv[2], vec![0, 1]);
+        assert_eq!(inv[0], vec![2]);
+        assert_eq!(inv[1], vec![0]);
+    }
+
+    #[test]
+    fn set_chasing_composes_right_to_left() {
+        // f2({0}) = {1, 2}; f1({1, 2}) = {0} ∪ {2} = {0, 2}.
+        let f1 = SetFunction::new(vec![vec![9 % 3], vec![0], vec![2]]);
+        let f2 = SetFunction::new(vec![vec![1, 2], vec![0], vec![0]]);
+        let sc = SetChasing::new(vec![f1, f2]);
+        assert_eq!(sc.solve().to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn isc_output_detects_intersection() {
+        // Left chase ends at {1}; right ends at {1} → intersect.
+        let id = |n: usize| SetFunction::new((0..n).map(|j| vec![j as u32]).collect());
+        let to1 = SetFunction::new(vec![vec![1], vec![1], vec![1]]);
+        let left = SetChasing::new(vec![to1.clone(), id(3)]);
+        let right = SetChasing::new(vec![to1, id(3)]);
+        assert!(IntersectionSetChasing::new(left.clone(), right).output());
+        // Right ends at {2} → disjoint.
+        let to2 = SetFunction::new(vec![vec![2], vec![2], vec![2]]);
+        let right2 = SetChasing::new(vec![to2, id(3)]);
+        assert!(!IntersectionSetChasing::new(left, right2).output());
+    }
+
+    #[test]
+    fn pointer_chasing_composes() {
+        let f1 = PointerFunction::new(vec![2, 0, 1]);
+        let f2 = PointerFunction::new(vec![1, 2, 0]);
+        // f2(0) = 1; f1(1) = 0.
+        let pc = PointerChasing::new(vec![f1, f2]);
+        assert_eq!(pc.solve(), 0);
+    }
+
+    #[test]
+    fn r_non_injectivity() {
+        let f = PointerFunction::new(vec![0, 0, 0, 1]);
+        assert!(f.is_r_non_injective(3));
+        assert!(!f.is_r_non_injective(4));
+        let inj = PointerFunction::new(vec![1, 2, 3, 0]);
+        assert!(!inj.is_r_non_injective(2));
+    }
+
+    #[test]
+    fn equal_pointer_chasing_and_limited_variant() {
+        let same = PointerFunction::new(vec![1, 1]);
+        let e = EqualPointerChasing::new(
+            PointerChasing::new(vec![same.clone()]),
+            PointerChasing::new(vec![same.clone()]),
+        );
+        assert!(e.output());
+        assert!(e.has_r_non_injective(2), "constant function is 2-non-injective");
+        assert!(e.limited_output(2));
+        assert!(e.limited_output(3) == e.output(), "no 3-non-injectivity → plain output");
+    }
+
+    #[test]
+    fn random_isc_hits_both_outputs() {
+        let mut ones = 0;
+        let trials = 60;
+        for seed in 0..trials {
+            if IntersectionSetChasing::random(8, 2, 2, seed).output() {
+                ones += 1;
+            }
+        }
+        assert!(ones > 0, "never intersects — generator too sparse");
+        assert!(ones < trials, "always intersects — generator too dense");
+    }
+}

@@ -1,0 +1,161 @@
+//! (Many vs One)-Set Disjointness (Section 3).
+//!
+//! Alice holds `m` subsets of a universe `U` of size `n`; Bob holds one
+//! query set and must decide whether *some* Alice set is disjoint from
+//! it. Theorem 3.2: any single-round protocol with error `O(m^{-c})`
+//! needs `Ω(mn)` bits — proved by letting Bob *decode Alice's whole
+//! input* from disjointness answers (see [`crate::recover`]).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sc_bitset::BitSet;
+use std::cell::Cell;
+
+/// Alice's input: `m` subsets of `{0, …, n-1}`.
+#[derive(Debug, Clone)]
+pub struct AliceInput {
+    universe: usize,
+    sets: Vec<BitSet>,
+}
+
+impl AliceInput {
+    /// Wraps explicit sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any set ranges over a different universe.
+    pub fn new(universe: usize, sets: Vec<BitSet>) -> Self {
+        for s in &sets {
+            assert_eq!(s.universe(), universe, "set universe mismatch");
+        }
+        Self { universe, sets }
+    }
+
+    /// The hard distribution of Theorem 3.2: `m` uniformly random
+    /// subsets (each element kept with probability ½).
+    pub fn random(n: usize, m: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sets = (0..m)
+            .map(|_| BitSet::from_iter(n, (0..n as u32).filter(|_| rng.random_bool(0.5))))
+            .collect();
+        Self { universe: n, sets }
+    }
+
+    /// Universe size `n`.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of sets `m`.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The sets themselves (ground truth for the recovery experiment).
+    pub fn sets(&self) -> &[BitSet] {
+        &self.sets
+    }
+
+    /// Description length of this input in bits: the `mn` that
+    /// Theorem 3.2 shows any protocol must essentially transmit.
+    pub fn description_bits(&self) -> usize {
+        self.universe * self.sets.len()
+    }
+
+    /// `true` iff the family is *intersecting* in the paper's sense
+    /// (Observation 3.4): no set contains another.
+    pub fn is_intersecting_family(&self) -> bool {
+        for (i, a) in self.sets.iter().enumerate() {
+            for (j, b) in self.sets.iter().enumerate() {
+                if i != j && a.is_subset(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The `algExistsDisj` oracle: answers "is some Alice set disjoint from
+/// the query?" while counting queries.
+///
+/// This stands in for Bob's subroutine in the hypothetical protocol `I`
+/// (DESIGN.md substitution 1): a correct protocol must produce these
+/// answers, so decoding success against the oracle certifies that the
+/// protocol's one-way message pins down all `mn` input bits.
+#[derive(Debug)]
+pub struct DisjointnessOracle<'a> {
+    alice: &'a AliceInput,
+    queries: Cell<usize>,
+}
+
+impl<'a> DisjointnessOracle<'a> {
+    /// Wraps Alice's input.
+    pub fn new(alice: &'a AliceInput) -> Self {
+        Self { alice, queries: Cell::new(0) }
+    }
+
+    /// `true` iff some Alice set is disjoint from `query`.
+    pub fn exists_disjoint(&self, query: &BitSet) -> bool {
+        self.queries.set(self.queries.get() + 1);
+        self.alice.sets.iter().any(|s| s.is_disjoint(query))
+    }
+
+    /// How many sets are disjoint from `query` (diagnostics for the
+    /// Lemma 3.3 experiment; does **not** count as a decoder query).
+    pub fn disjoint_count(&self, query: &BitSet) -> usize {
+        self.alice.sets.iter().filter(|s| s.is_disjoint(query)).count()
+    }
+
+    /// Oracle invocations so far.
+    pub fn queries(&self) -> usize {
+        self.queries.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_input_has_expected_shape() {
+        let a = AliceInput::random(64, 8, 1);
+        assert_eq!(a.universe(), 64);
+        assert_eq!(a.num_sets(), 8);
+        assert_eq!(a.description_bits(), 512);
+        // Each random set should be near half-full.
+        for s in a.sets() {
+            let c = s.count();
+            assert!((12..=52).contains(&c), "|set| = {c} wildly off n/2");
+        }
+    }
+
+    #[test]
+    fn oracle_answers_and_counts() {
+        let n = 8;
+        let a = AliceInput::new(
+            n,
+            vec![BitSet::from_iter(n, [0, 1]), BitSet::from_iter(n, [2, 3])],
+        );
+        let oracle = DisjointnessOracle::new(&a);
+        assert!(!oracle.exists_disjoint(&BitSet::from_iter(n, [0, 2])));
+        assert!(oracle.exists_disjoint(&BitSet::from_iter(n, [0, 1])));
+        assert_eq!(oracle.queries(), 2);
+        assert_eq!(oracle.disjoint_count(&BitSet::from_iter(n, [4])), 2);
+        assert_eq!(oracle.queries(), 2, "disjoint_count is free");
+    }
+
+    #[test]
+    fn random_family_is_intersecting_whp() {
+        // Observation 3.4: for n ≥ c log m this holds w.h.p.; at n = 64,
+        // m = 16 a failure would be astronomically unlikely.
+        let a = AliceInput::random(64, 16, 7);
+        assert!(a.is_intersecting_family());
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn mixed_universes_rejected() {
+        AliceInput::new(4, vec![BitSet::new(5)]);
+    }
+}

@@ -1,0 +1,386 @@
+//! Bit-counted protocol executions — the *upper bound* side of every
+//! communication statement in Sections 3 and 5.
+//!
+//! The paper's lower bounds say protocols cannot be cheap; this module
+//! runs the natural protocols and **measures what they actually cost**,
+//! in real encoded bits over a [`BitBuffer`], so the benches can place
+//! each measured point against its matching bound:
+//!
+//! * [`alice_sends_all`] — the trivial one-round protocol for two-party
+//!   SetCover / (Many vs One)-Set Disjointness at `m·n` bits; Theorems
+//!   3.1/3.2 prove this is optimal up to constants.
+//! * [`chain_pointer_chasing`] / [`chain_set_chasing`] /
+//!   [`chain_intersection_set_chasing`] — the `p`-round chain protocols
+//!   at `O(p·log n)` / `O(p·n)` bits: what enough rounds buy you.
+//! * [`one_round_pointer_chasing`] — the table-dump protocol that a
+//!   round-starved execution is forced into, at `Θ(p·n·log n)` bits:
+//!   the blow-up the \[GO13\] bound (and hence Theorem 5.4) formalises.
+//!
+//! Every runner returns the protocol's output, verified by the tests
+//! against the instances' ground truth, plus exact bits and rounds.
+
+use crate::chasing::{IntersectionSetChasing, PointerChasing, SetChasing};
+use crate::two_party::TwoPartySetCover;
+use sc_bitset::BitSet;
+
+/// A growable bit string with fixed-width reads and writes — the wire
+/// every protocol in this module serialises onto.
+///
+/// # Examples
+///
+/// ```
+/// use sc_comm::protocol::BitBuffer;
+///
+/// let mut buf = BitBuffer::new();
+/// buf.write_bits(5, 3);
+/// buf.write_bits(1, 1);
+/// assert_eq!(buf.len_bits(), 4);
+/// let mut r = buf.reader();
+/// assert_eq!(r.read_bits(3), 5);
+/// assert_eq!(r.read_bits(1), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct BitBuffer {
+    words: Vec<u64>,
+    len_bits: usize,
+}
+
+impl BitBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `width` bits of `v` (LSB first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64, or if `v` has bits above
+    /// `width`.
+    pub fn write_bits(&mut self, v: u64, width: u32) {
+        assert!((1..=64).contains(&width), "width must be 1..=64");
+        assert!(width == 64 || v < (1u64 << width), "value wider than width");
+        let bit = self.len_bits;
+        let word = bit / 64;
+        let off = (bit % 64) as u32;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= v << off;
+        if off + width > 64 {
+            self.words.push(v >> (64 - off));
+        }
+        self.len_bits += width as usize;
+    }
+
+    /// Total bits written.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// A cursor reading from the start.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader { buf: self, pos: 0 }
+    }
+}
+
+/// Read cursor over a [`BitBuffer`].
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a BitBuffer,
+    pos: usize,
+}
+
+impl BitReader<'_> {
+    /// Reads the next `width` bits (LSB-first order, matching
+    /// [`BitBuffer::write_bits`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on reading past the end.
+    pub fn read_bits(&mut self, width: u32) -> u64 {
+        assert!((1..=64).contains(&width));
+        assert!(
+            self.pos + width as usize <= self.buf.len_bits,
+            "read past end of buffer"
+        );
+        let word = self.pos / 64;
+        let off = (self.pos % 64) as u32;
+        let mut v = self.buf.words[word] >> off;
+        if off + width > 64 {
+            v |= self.buf.words[word + 1] << (64 - off);
+        }
+        self.pos += width as usize;
+        if width == 64 {
+            v
+        } else {
+            v & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Bits consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// The measured execution of a protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolRun<T> {
+    /// The protocol's declared output.
+    pub output: T,
+    /// Exact bits placed on the wire.
+    pub bits: usize,
+    /// Rounds of communication.
+    pub rounds: usize,
+}
+
+/// Bits to address `[n]`.
+fn id_width(n: usize) -> u32 {
+    (usize::BITS - n.max(2).saturating_sub(1).leading_zeros()).max(1)
+}
+
+/// The trivial one-round protocol for two-party SetCover's size-2
+/// decision: Alice serialises her whole family (`m_A · n` bits), Bob
+/// decodes and decides. Theorem 3.1 proves no one-round protocol beats
+/// this by more than a constant factor.
+pub fn alice_sends_all(inst: &TwoPartySetCover) -> ProtocolRun<bool> {
+    let n = inst.universe();
+    let mut wire = BitBuffer::new();
+    for set in inst.alice() {
+        for e in 0..n as u32 {
+            wire.write_bits(u64::from(set.contains(e)), 1);
+        }
+    }
+    // Bob's side: decode the family, then decide from his own sets.
+    let mut r = wire.reader();
+    let decoded: Vec<BitSet> = (0..inst.alice().len())
+        .map(|_| BitSet::from_iter(n, (0..n as u32).filter(|_| r.read_bits(1) == 1)))
+        .collect();
+    let full = BitSet::full(n);
+    let output = decoded.iter().any(|ra| {
+        inst.bob().iter().any(|rb| {
+            let mut u = ra.clone();
+            u.union_with(rb);
+            u == full
+        })
+    });
+    ProtocolRun { output, bits: wire.len_bits(), rounds: 1 }
+}
+
+/// The `p`-round chain protocol for Pointer Chasing: player `p`
+/// evaluates `f_p(0)` and sends the `⌈log n⌉`-bit value; each earlier
+/// player applies their function and forwards. `(p−1)·⌈log n⌉` bits.
+pub fn chain_pointer_chasing(pc: &PointerChasing) -> ProtocolRun<u32> {
+    let w = id_width(pc.n());
+    let mut wire = BitBuffer::new();
+    let mut current = 0u32;
+    let p = pc.p();
+    for i in (1..=p).rev() {
+        current = pc.f(i).apply(current);
+        if i > 1 {
+            // Hand off to the next player in the chain.
+            wire.write_bits(u64::from(current), w);
+            let mut r = wire.reader();
+            // The receiver reads the latest message.
+            for _ in 0..(p - i) {
+                r.read_bits(w);
+            }
+            current = r.read_bits(w) as u32;
+        }
+    }
+    ProtocolRun { output: current, bits: wire.len_bits(), rounds: p.saturating_sub(1) }
+}
+
+/// The one-round table-dump protocol for Pointer Chasing: players
+/// `2, …, p` each serialise their whole function (`n·⌈log n⌉` bits);
+/// player 1 decodes everything and chases locally. This is the
+/// round-starved régime the \[GO13\] lower bound (and through it
+/// Theorem 5.4) shows cannot be substantially improved.
+pub fn one_round_pointer_chasing(pc: &PointerChasing) -> ProtocolRun<u32> {
+    let n = pc.n();
+    let w = id_width(n);
+    let mut wire = BitBuffer::new();
+    for i in 2..=pc.p() {
+        for j in 0..n as u32 {
+            wire.write_bits(u64::from(pc.f(i).apply(j)), w);
+        }
+    }
+    // Player 1 decodes the tables and solves.
+    let mut r = wire.reader();
+    let tables: Vec<Vec<u32>> = (2..=pc.p())
+        .map(|_| (0..n).map(|_| r.read_bits(w) as u32).collect())
+        .collect();
+    let mut current = 0u32;
+    for table in tables.iter().rev() {
+        current = table[current as usize];
+    }
+    current = pc.f(1).apply(current);
+    ProtocolRun { output: current, bits: wire.len_bits(), rounds: 1 }
+}
+
+/// The `p`-round chain protocol for Set Chasing: the frontier is an
+/// `n`-bit set, so the chain costs `(p−1)·n` bits.
+pub fn chain_set_chasing(sc: &SetChasing) -> ProtocolRun<BitSet> {
+    let n = sc.n();
+    let mut wire = BitBuffer::new();
+    let mut current = BitSet::from_iter(n, [0u32]);
+    let p = sc.p();
+    for i in (1..=p).rev() {
+        current = sc.f(i).image(&current);
+        if i > 1 {
+            for e in 0..n as u32 {
+                wire.write_bits(u64::from(current.contains(e)), 1);
+            }
+            let mut r = wire.reader();
+            for _ in 0..(p - i) {
+                for _ in 0..n {
+                    r.read_bits(1);
+                }
+            }
+            current = BitSet::from_iter(n, (0..n as u32).filter(|_| r.read_bits(1) == 1));
+        }
+    }
+    ProtocolRun { output: current, bits: wire.len_bits(), rounds: p.saturating_sub(1) }
+}
+
+/// The `2p`-round chain protocol for Intersection Set Chasing: both
+/// chains run ([`chain_set_chasing`]), then one side ships its `n`-bit
+/// frontier across for the intersection test. `(2(p−1)+1)·n` bits —
+/// *linear* in `n`, versus the `n^{1+Ω(1/p)}` that \[GO13\] forces on
+/// any execution with fewer rounds. Theorem 5.4 turns exactly this gap
+/// into the streaming pass/space trade-off.
+pub fn chain_intersection_set_chasing(isc: &IntersectionSetChasing) -> ProtocolRun<bool> {
+    let left = chain_set_chasing(&isc.left);
+    let right = chain_set_chasing(&isc.right);
+    let n = isc.n();
+    // Ship the left frontier to the right side's last player.
+    let mut wire = BitBuffer::new();
+    for e in 0..n as u32 {
+        wire.write_bits(u64::from(left.output.contains(e)), 1);
+    }
+    let mut r = wire.reader();
+    let shipped = BitSet::from_iter(n, (0..n as u32).filter(|_| r.read_bits(1) == 1));
+    let output = !shipped.is_disjoint(&right.output);
+    ProtocolRun {
+        output,
+        bits: left.bits + right.bits + wire.len_bits(),
+        rounds: left.rounds.max(right.rounds) + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bit_buffer_round_trips_mixed_widths() {
+        let mut buf = BitBuffer::new();
+        let values: Vec<(u64, u32)> =
+            vec![(1, 1), (0, 1), (5, 3), (1023, 10), (u64::MAX, 64), (0x1234_5678, 33), (7, 3)];
+        for &(v, w) in &values {
+            buf.write_bits(v, w);
+        }
+        let mut r = buf.reader();
+        for &(v, w) in &values {
+            assert_eq!(r.read_bits(w), v, "width {w}");
+        }
+        assert_eq!(r.position(), buf.len_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn bit_reader_overrun_panics() {
+        let mut buf = BitBuffer::new();
+        buf.write_bits(1, 1);
+        let mut r = buf.reader();
+        r.read_bits(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "value wider than width")]
+    fn oversized_value_rejected() {
+        BitBuffer::new().write_bits(4, 2);
+    }
+
+    #[test]
+    fn id_width_is_ceil_log2() {
+        assert_eq!(id_width(2), 1);
+        assert_eq!(id_width(3), 2);
+        assert_eq!(id_width(4), 2);
+        assert_eq!(id_width(5), 3);
+        assert_eq!(id_width(1024), 10);
+        assert_eq!(id_width(1025), 11);
+    }
+
+    #[test]
+    fn alice_sends_all_is_correct_and_costs_mn() {
+        for seed in 0..20 {
+            let inst = TwoPartySetCover::random(16, 5, 4, seed);
+            let run = alice_sends_all(&inst);
+            assert_eq!(run.output, inst.has_cross_cover_of_size_2(), "seed {seed}");
+            assert_eq!(run.bits, 5 * 16);
+            assert_eq!(run.rounds, 1);
+        }
+    }
+
+    #[test]
+    fn chain_pointer_chasing_matches_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let pc = PointerChasing::random(17, 4, &mut rng);
+            let run = chain_pointer_chasing(&pc);
+            assert_eq!(run.output, pc.solve());
+            assert_eq!(run.bits, 3 * id_width(17) as usize);
+            assert_eq!(run.rounds, 3);
+        }
+    }
+
+    #[test]
+    fn one_round_pointer_chasing_matches_but_costs_n_log_n() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let pc = PointerChasing::random(9, 3, &mut rng);
+            let chain = chain_pointer_chasing(&pc);
+            let dump = one_round_pointer_chasing(&pc);
+            assert_eq!(dump.output, chain.output);
+            assert_eq!(dump.rounds, 1);
+            assert_eq!(dump.bits, 2 * 9 * id_width(9) as usize);
+            assert!(dump.bits > chain.bits, "table dump must cost more than the chain");
+        }
+    }
+
+    #[test]
+    fn chain_set_chasing_matches_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..15 {
+            let sc = SetChasing::random(12, 3, 3, &mut rng);
+            let run = chain_set_chasing(&sc);
+            assert_eq!(run.output, sc.solve());
+            assert_eq!(run.bits, 2 * 12);
+        }
+    }
+
+    #[test]
+    fn chain_isc_matches_output_and_is_linear_in_n() {
+        for seed in 0..20 {
+            let isc = IntersectionSetChasing::random(10, 3, 2, seed);
+            let run = chain_intersection_set_chasing(&isc);
+            assert_eq!(run.output, isc.output(), "seed {seed}");
+            // (2(p−1)+1)·n bits exactly.
+            assert_eq!(run.bits, (2 * (3 - 1) + 1) * 10);
+            assert_eq!(run.rounds, 3);
+        }
+    }
+
+    #[test]
+    fn single_player_chains_cost_zero_bits() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pc = PointerChasing::random(8, 1, &mut rng);
+        let run = chain_pointer_chasing(&pc);
+        assert_eq!(run.output, pc.solve());
+        assert_eq!((run.bits, run.rounds), (0, 0));
+    }
+}

@@ -1,0 +1,297 @@
+//! The Section 6 sparse lower bound: OR_t of Equal Limited Pointer
+//! Chasing, overlaid into Intersection Set Chasing, reduced to a
+//! *sparse* Set Cover instance (Theorem 6.6, Lemmas 6.4–6.5).
+//!
+//! The overlay (the paper's footnote 5): `t` independent Equal Pointer
+//! Chasing instances are stacked onto one ISC instance by conjugating
+//! each instance's functions with fresh random permutations per column —
+//! `F_i(a) = ⋃_j π_{i,j}(f_{i,j}(π⁻¹_{i+1,j}(a)))` — with two
+//! constraints that make the overlay meaningful: the permutations at the
+//! junction column are shared between the two sides (so equal endpoints
+//! collide), and the permutations at the start column fix the start
+//! vertex (so one chase simulates all `t` instances at once).
+//!
+//! If no constituent function is `r`-non-injective, every overlaid
+//! function has in-degree less than `t·r` at every vertex, so the
+//! Section 5 reduction of the overlaid ISC has only *sparse* sets —
+//! `s ≤ t·(r-1) + 2` — which is how Theorem 6.6 gets Ω̃(ms) for
+//! `s ≤ n^δ`.
+
+use crate::chasing::{
+    EqualPointerChasing, IntersectionSetChasing, SetChasing, SetFunction,
+};
+use crate::reduction_sec5::{reduce, Sec5Reduction};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// OR_t of Equal Limited Pointer Chasing (Section 6).
+#[derive(Debug, Clone)]
+pub struct OrEqualPointerChasing {
+    /// The `t` constituent instances.
+    pub instances: Vec<EqualPointerChasing>,
+    /// The non-injectivity promise parameter `r`.
+    pub r: usize,
+}
+
+impl OrEqualPointerChasing {
+    /// `t` random instances over `[n]` with `p` players per chase.
+    pub fn random(n: usize, p: usize, t: usize, r: usize, seed: u64) -> Self {
+        let instances = (0..t)
+            .map(|j| EqualPointerChasing::random(n, p, seed.wrapping_add(j as u64 * 7919)))
+            .collect();
+        Self { instances, r }
+    }
+
+    /// Number of stacked instances `t`.
+    pub fn t(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Domain size `n`.
+    pub fn n(&self) -> usize {
+        self.instances[0].left.n()
+    }
+
+    /// Players per chase `p`.
+    pub fn p(&self) -> usize {
+        self.instances[0].left.p()
+    }
+
+    /// The OR of the *limited* outputs (Definition 6.3: an instance with
+    /// an `r`-non-injective function counts as 1).
+    pub fn output(&self) -> bool {
+        self.instances.iter().any(|e| e.limited_output(self.r))
+    }
+
+    /// `true` iff some constituent function is `r`-non-injective (the
+    /// promise-violation case Lemma 6.5 charges to the error budget).
+    pub fn any_r_non_injective(&self) -> bool {
+        self.instances.iter().any(|e| e.has_r_non_injective(self.r))
+    }
+}
+
+/// A random permutation of `[n]` that fixes `fixed`.
+fn permutation_fixing(n: usize, fixed: u32, rng: &mut StdRng) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(rng);
+    // Swap `fixed` back into place.
+    let at = perm.iter().position(|&v| v == fixed).expect("present");
+    perm.swap(at, fixed as usize);
+    perm
+}
+
+fn inverse_permutation(perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![0u32; perm.len()];
+    for (i, &v) in perm.iter().enumerate() {
+        inv[v as usize] = i as u32;
+    }
+    inv
+}
+
+/// Overlays the `t` pointer-chasing pairs into one ISC instance
+/// (footnote 5 of the paper).
+///
+/// Column convention matches [`crate::chasing`]: functions map column
+/// `i+1` to column `i`; column `p+1` holds the start vertex 0; column 1
+/// is the junction. Permutations: `π_{i,j}` relabels column `i` of
+/// instance `j`; `π_{p+1,·}` fixes the start; `π_{1,j}` is shared
+/// between left and right.
+pub fn overlay_to_isc(or: &OrEqualPointerChasing, seed: u64) -> IntersectionSetChasing {
+    let n = or.n();
+    let p = or.p();
+    let t = or.t();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // perms_left[col-1][j] / perms_right[col-1][j] for columns 1..=p+1.
+    let mut fresh = |col: usize| -> Vec<Vec<u32>> {
+        (0..t)
+            .map(|_| {
+                if col == p + 1 {
+                    permutation_fixing(n, 0, &mut rng)
+                } else {
+                    let mut q: Vec<u32> = (0..n as u32).collect();
+                    q.shuffle(&mut rng);
+                    q
+                }
+            })
+            .collect()
+    };
+    let perms_left: Vec<Vec<Vec<u32>>> = (1..=p + 1).map(&mut fresh).collect();
+    let perms_right: Vec<Vec<Vec<u32>>> = (1..=p + 1)
+        .map(|col| {
+            if col == 1 {
+                perms_left[0].clone() // junction shared with the left side
+            } else {
+                fresh(col)
+            }
+        })
+        .collect();
+    let perms = [perms_left, perms_right];
+
+    let build_side = |side: usize, perms: &[Vec<Vec<u32>>]| -> SetChasing {
+        let fs = (1..=p)
+            .map(|i| {
+                let mut targets: Vec<Vec<u32>> = vec![Vec::new(); n];
+                for (j, inst) in or.instances.iter().enumerate().take(t) {
+                    let f = if side == 0 { inst.left.f(i) } else { inst.right.f(i) };
+                    let pi_i = &perms[i - 1][j];
+                    let pi_next_inv = inverse_permutation(&perms[i][j]);
+                    for a in 0..n as u32 {
+                        let raw = f.apply(pi_next_inv[a as usize]);
+                        targets[a as usize].push(pi_i[raw as usize]);
+                    }
+                }
+                SetFunction::new(targets)
+            })
+            .collect();
+        SetChasing::new(fs)
+    };
+
+    let left = build_side(0, &perms[0]);
+    let right = build_side(1, &perms[1]);
+    IntersectionSetChasing::new(left, right)
+}
+
+/// A complete Section 6 experiment instance: the OR_t problem, its ISC
+/// overlay, and the sparse Set Cover reduction.
+#[derive(Debug, Clone)]
+pub struct Sec6Instance {
+    /// The source OR_t(Equal Limited Pointer Chasing) instance.
+    pub or_instance: OrEqualPointerChasing,
+    /// The overlaid ISC instance.
+    pub isc: IntersectionSetChasing,
+    /// The sparse Set Cover instance (Section 5 gadgets over the overlay).
+    pub reduction: Sec5Reduction,
+}
+
+impl Sec6Instance {
+    /// Builds the full chain for random inputs.
+    pub fn random(n: usize, p: usize, t: usize, r: usize, seed: u64) -> Self {
+        let or_instance = OrEqualPointerChasing::random(n, p, t, r, seed);
+        let isc = overlay_to_isc(&or_instance, seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let reduction = reduce(&isc);
+        Self { or_instance, isc, reduction }
+    }
+
+    /// The Theorem 6.6 sparsity bound `t·(r-1) + 2` that holds whenever
+    /// no constituent function is `r`-non-injective.
+    pub fn sparsity_bound(&self) -> usize {
+        self.or_instance.t() * (self.or_instance.r - 1) + 2
+    }
+
+    /// The actual maximum set size of the reduced instance.
+    pub fn max_set_size(&self) -> usize {
+        self.reduction.system.max_set_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction_sec5::verify_corollary_5_8;
+
+    #[test]
+    fn overlay_preserves_yes_instances() {
+        // If any constituent EPC has equal endpoints, the overlaid ISC
+        // must output 1 (the junction permutations are shared).
+        let mut checked = 0;
+        for seed in 0..40 {
+            let or = OrEqualPointerChasing::random(16, 2, 3, 4, seed);
+            let plain_or = or.instances.iter().any(|e| e.output());
+            if !plain_or {
+                continue;
+            }
+            checked += 1;
+            let isc = overlay_to_isc(&or, seed ^ 0xdead);
+            assert!(isc.output(), "seed {seed}: overlay lost a YES instance");
+        }
+        assert!(checked > 0, "no YES instances sampled");
+    }
+
+    #[test]
+    fn overlay_rarely_creates_spurious_intersections() {
+        // Lemma 6.5's regime: for t²·p·r^{p-1} ≪ n the overlay answers
+        // match the OR answers almost always. With n = 64, t = 2, p = 2
+        // spurious collisions should be rare.
+        let mut disagreements = 0;
+        let mut total = 0;
+        for seed in 0..60 {
+            let or = OrEqualPointerChasing::random(64, 2, 2, 6, seed);
+            let plain_or = or.instances.iter().any(|e| e.output());
+            if plain_or {
+                continue; // YES instances always map to YES
+            }
+            total += 1;
+            let isc = overlay_to_isc(&or, seed ^ 0xbeef);
+            if isc.output() {
+                disagreements += 1;
+            }
+        }
+        assert!(total >= 30, "not enough NO instances");
+        assert!(
+            disagreements * 5 <= total,
+            "{disagreements}/{total} spurious intersections — overlay broken"
+        );
+    }
+
+    #[test]
+    fn reduced_instance_is_sparse() {
+        let mut honoured = 0;
+        for seed in 0..10 {
+            let inst = Sec6Instance::random(64, 2, 2, 8, seed);
+            if inst.or_instance.any_r_non_injective() {
+                continue; // promise violated; sparsity bound not claimed
+            }
+            honoured += 1;
+            assert!(
+                inst.max_set_size() <= inst.sparsity_bound(),
+                "seed {seed}: s={} > bound={}",
+                inst.max_set_size(),
+                inst.sparsity_bound()
+            );
+        }
+        assert!(honoured >= 5, "promise almost always violated — r too small");
+    }
+
+    #[test]
+    fn sparsity_grows_with_t_not_n() {
+        let small_n = Sec6Instance::random(16, 2, 2, 4, 3);
+        let big_n = Sec6Instance::random(64, 2, 2, 4, 3);
+        // Same t ⇒ same bound, regardless of n.
+        assert_eq!(small_n.sparsity_bound(), big_n.sparsity_bound());
+    }
+
+    #[test]
+    fn corollary_5_8_applies_to_overlaid_instances() {
+        // The sparse instance is still a Section 5 instance, so the
+        // cover-size criterion keeps working on it.
+        for seed in 0..4 {
+            let or = OrEqualPointerChasing::random(4, 2, 1, 3, seed);
+            let isc = overlay_to_isc(&or, seed);
+            let v = verify_corollary_5_8(&isc, 20_000_000);
+            assert!(v.holds, "seed {seed}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn permutation_fixing_fixes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let p = permutation_fixing(9, 0, &mut rng);
+            assert_eq!(p[0], 0);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..9).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn inverse_permutation_roundtrips() {
+        let perm = vec![2u32, 0, 3, 1];
+        let inv = inverse_permutation(&perm);
+        for i in 0..4u32 {
+            assert_eq!(inv[perm[i as usize] as usize], i);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the lower-bound gadgets: chasing algebra, overlay
+//! invariants, and recovery robustness.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_bitset::BitSet;
+use sc_comm::chasing::{
+    EqualPointerChasing, IntersectionSetChasing, PointerChasing, SetChasing, SetFunction,
+};
+use sc_comm::disjointness::AliceInput;
+use sc_comm::recover::{recover, RecoverConfig};
+use sc_comm::reduction_sec5::reduce;
+use sc_comm::reduction_sec6::{overlay_to_isc, OrEqualPointerChasing};
+
+fn set_chasing() -> impl Strategy<Value = SetChasing> {
+    (2usize..10, 1usize..4, 1usize..3, any::<u64>()).prop_map(|(n, p, d, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SetChasing::random(n, p, d, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn set_chase_output_is_reachability(sc in set_chasing()) {
+        // The chase output must equal brute-force reachability through
+        // the layered graph.
+        let n = sc.n();
+        let p = sc.p();
+        let mut reach = BitSet::from_iter(n, [0u32]);
+        for i in (1..=p).rev() {
+            let mut next = BitSet::new(n);
+            for v in reach.ones() {
+                for &t in sc.f(i).targets(v) {
+                    next.insert(t);
+                }
+            }
+            reach = next;
+        }
+        prop_assert_eq!(sc.solve().to_vec(), reach.to_vec());
+    }
+
+    #[test]
+    fn pointer_chase_is_single_token_set_chase(n in 2usize..10, p in 1usize..4, seed in any::<u64>()) {
+        // A pointer chase is a set chase whose functions have
+        // out-degree exactly 1; the outputs must coincide.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pc = PointerChasing::random(n, p, &mut rng);
+        let fs = (1..=p)
+            .map(|i| {
+                SetFunction::new(
+                    (0..n as u32).map(|j| vec![pc.f(i).apply(j)]).collect(),
+                )
+            })
+            .collect();
+        let sc = SetChasing::new(fs);
+        prop_assert_eq!(sc.solve().to_vec(), vec![pc.solve()]);
+    }
+
+    #[test]
+    fn reduction_shape_formulas_hold(n in 2usize..8, p in 1usize..4, seed in any::<u64>()) {
+        let isc = IntersectionSetChasing::random(n, p, 2, seed);
+        let red = reduce(&isc);
+        prop_assert_eq!(red.system.universe(), 2 * n * (2 * p + 1) + 2 * p);
+        prop_assert_eq!(red.system.num_sets(), (4 * p + 1) * n);
+        prop_assert!(red.system.is_coverable());
+        prop_assert_eq!(red.yes_cover_size(), (2 * p + 1) * n + 1);
+        // Every reduced set is within the gadget size bound: an S-type
+        // set holds e + in/out + at most n edge endpoints.
+        prop_assert!(red.system.max_set_size() <= n + 3);
+    }
+
+    #[test]
+    fn overlay_yes_preservation(n in 8usize..24, t in 1usize..4, seed in any::<u64>()) {
+        let or = OrEqualPointerChasing::random(n, 2, t, 4, seed);
+        let any_equal = or.instances.iter().any(EqualPointerChasing::output);
+        let isc = overlay_to_isc(&or, seed ^ 0x5555);
+        if any_equal {
+            prop_assert!(isc.output(), "overlay must preserve YES instances");
+        }
+        // Shape invariants of the overlay.
+        prop_assert_eq!(isc.n(), n);
+        prop_assert_eq!(isc.p(), 2);
+    }
+
+    #[test]
+    fn recovery_handles_adversarial_small_families(seed in 0u64..40) {
+        // Structured (non-random) families with heavy overlap are the
+        // worst case for probe collisions; recovery must still converge
+        // on intersecting families.
+        let n = 24;
+        let alice = AliceInput::new(
+            n,
+            vec![
+                BitSet::from_iter(n, (0..12u32).collect::<Vec<_>>()),
+                BitSet::from_iter(n, (6..18u32).collect::<Vec<_>>()),
+                BitSet::from_iter(n, (12..24u32).collect::<Vec<_>>()),
+            ],
+        );
+        prop_assume!(alice.is_intersecting_family());
+        let out = recover(
+            &alice,
+            &RecoverConfig { seed, max_probes: 200_000, ..Default::default() },
+        );
+        prop_assert!(out.exact, "seed {seed}: {} candidates", out.recovered.len());
+    }
+}
+
+mod protocol_props {
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sc_comm::chasing::{IntersectionSetChasing, PointerChasing};
+    use sc_comm::protocol::{
+        chain_intersection_set_chasing, chain_pointer_chasing, one_round_pointer_chasing,
+        BitBuffer,
+    };
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn bit_buffer_round_trips_any_sequence(
+            values in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..50)
+        ) {
+            let mut buf = BitBuffer::new();
+            let masked: Vec<(u64, u32)> = values
+                .iter()
+                .map(|&(v, w)| (if w == 64 { v } else { v & ((1u64 << w) - 1) }, w))
+                .collect();
+            for &(v, w) in &masked {
+                buf.write_bits(v, w);
+            }
+            prop_assert_eq!(buf.len_bits(), masked.iter().map(|&(_, w)| w as usize).sum::<usize>());
+            let mut r = buf.reader();
+            for &(v, w) in &masked {
+                prop_assert_eq!(r.read_bits(w), v);
+            }
+        }
+
+        #[test]
+        fn protocols_always_agree_with_ground_truth(
+            (n, p, seed) in (2usize..40, 1usize..5, any::<u64>())
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pc = PointerChasing::random(n, p, &mut rng);
+            prop_assert_eq!(chain_pointer_chasing(&pc).output, pc.solve());
+            prop_assert_eq!(one_round_pointer_chasing(&pc).output, pc.solve());
+            let isc = IntersectionSetChasing::random(n, p, 2, seed);
+            prop_assert_eq!(chain_intersection_set_chasing(&isc).output, isc.output());
+        }
+    }
+}

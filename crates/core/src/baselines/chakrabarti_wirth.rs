@@ -1,0 +1,169 @@
+//! `p`-pass `(p+1)·n^{1/(p+1)}`-approximation in `Õ(n)` space — the
+//! \[CW16\] row of Figure 1.1.
+
+use sc_bitset::BitSet;
+use sc_setsystem::SetId;
+use sc_stream::{SetStream, SpaceMeter, StreamingSetCover, Tracked};
+
+/// Multi-pass descending-threshold algorithm of Chakrabarti–Wirth.
+///
+/// With `β = n^{1/(p+1)}`, pass `j ∈ {1, …, p}` takes every set whose
+/// residual gain is at least `n/β^j` the moment it streams by. During
+/// the final pass each element also records one covering set, and the
+/// leftovers buy their pointers.
+///
+/// The analysis (Section 1's description of \[CW16\]): after pass `j`
+/// every set's residual gain is below `n/β^j`, so the uncovered count is
+/// at most `OPT·n/β^j`; hence pass `j+1` takes at most `OPT·β` sets, and
+/// the final pointer purchases number at most `OPT·n/β^p = OPT·β`.
+/// Total: `(p+1)·β·OPT = (p+1)·n^{1/(p+1)}·OPT`.
+#[derive(Debug, Clone, Copy)]
+pub struct ChakrabartiWirth {
+    /// Number of threshold passes `p ≥ 1` (total passes = `p`; the
+    /// pointer collection rides along with pass `p`).
+    pub passes: usize,
+}
+
+impl ChakrabartiWirth {
+    /// `p`-pass configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `passes == 0`.
+    pub fn new(passes: usize) -> Self {
+        assert!(passes >= 1, "need at least one pass");
+        Self { passes }
+    }
+
+    /// The approximation guarantee `(p+1)·n^{1/(p+1)}` for universe `n`.
+    pub fn guarantee(&self, n: usize) -> f64 {
+        let p = self.passes as f64;
+        (p + 1.0) * (n.max(1) as f64).powf(1.0 / (p + 1.0))
+    }
+}
+
+impl StreamingSetCover for ChakrabartiWirth {
+    fn name(&self) -> String {
+        format!("chakrabarti-wirth[CW16](p={})", self.passes)
+    }
+
+    fn run(&mut self, stream: &SetStream<'_>, meter: &SpaceMeter) -> Vec<SetId> {
+        let n = stream.universe();
+        let p = self.passes;
+        let beta = (n.max(1) as f64).powf(1.0 / (p as f64 + 1.0));
+
+        let mut live = Tracked::new(BitSet::full(n), meter);
+        let mut sol = Vec::new();
+        let mut ptr: Tracked<Vec<u32>> = Tracked::new(Vec::new(), meter);
+
+        for j in 1..=p {
+            if live.get().is_empty() {
+                break;
+            }
+            let threshold = (n as f64 / beta.powi(j as i32)).max(1.0);
+            let last = j == p;
+            if last {
+                ptr.mutate(meter, |v| v.resize(n, u32::MAX));
+            }
+            for (id, elems) in stream.pass() {
+                let gain = elems.iter().filter(|&&e| live.get().contains(e)).count();
+                if gain as f64 >= threshold {
+                    live.mutate(meter, |l| {
+                        for &e in elems {
+                            l.remove(e);
+                        }
+                    });
+                    sol.push(id);
+                } else if last {
+                    ptr.mutate(meter, |v| {
+                        for &e in elems {
+                            if v[e as usize] == u32::MAX {
+                                v[e as usize] = id;
+                            }
+                        }
+                    });
+                }
+            }
+        }
+
+        // Leftovers buy their recorded pointer set (deduplicated).
+        if !live.get().is_empty() && !ptr.get().is_empty() {
+            let mut bought = BitSet::new(stream.num_sets().max(1));
+            meter.charge(bought.as_words().len());
+            let leftovers: Vec<u32> = live.get().ones().collect();
+            for e in leftovers {
+                let q = ptr.get()[e as usize];
+                if q != u32::MAX && bought.insert(q) {
+                    sol.push(q);
+                }
+            }
+            meter.release(bought.as_words().len());
+        }
+
+        let _ = ptr.release(meter);
+        let _ = live.release(meter);
+        sol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_setsystem::gen;
+    use sc_stream::run_reported;
+
+    #[test]
+    fn p_passes_exactly() {
+        let inst = gen::planted(625, 300, 5, 12);
+        for p in [1, 2, 3, 4] {
+            let report = run_reported(&mut ChakrabartiWirth::new(p), &inst.system);
+            assert!(report.verified.is_ok(), "p={p}: {:?}", report.verified);
+            assert!(report.passes <= p, "p={p}: used {}", report.passes);
+        }
+    }
+
+    #[test]
+    fn ratio_improves_with_more_passes() {
+        // Average over several seeds: more passes must not hurt much and
+        // should generally help on planted instances.
+        let mut sums = [0usize; 2];
+        for seed in 0..6 {
+            let inst = gen::planted_noisy(1024, 700, 8, seed);
+            for (i, p) in [1usize, 4].into_iter().enumerate() {
+                let report = run_reported(&mut ChakrabartiWirth::new(p), &inst.system);
+                assert!(report.verified.is_ok());
+                sums[i] += report.cover_size();
+            }
+        }
+        assert!(
+            sums[1] <= sums[0],
+            "4 passes ({}) should beat 1 pass ({}) in aggregate",
+            sums[1],
+            sums[0]
+        );
+    }
+
+    #[test]
+    fn respects_analytic_guarantee_with_slack() {
+        for seed in 0..4 {
+            let inst = gen::planted(512, 256, 4, seed);
+            let opt = inst.planted.as_ref().unwrap().len();
+            for p in [1, 2, 3] {
+                let alg = ChakrabartiWirth::new(p);
+                let report = run_reported(&mut ChakrabartiWirth::new(p), &inst.system);
+                let bound = (alg.guarantee(512) * opt as f64).ceil() as usize + 8;
+                assert!(
+                    report.cover_size() <= bound,
+                    "p={p} seed={seed}: {} > {bound}",
+                    report.cover_size()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_passes_rejected() {
+        let _ = ChakrabartiWirth::new(0);
+    }
+}

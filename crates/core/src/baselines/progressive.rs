@@ -1,0 +1,93 @@
+//! Threshold-halving greedy: `O(log n)` passes, `O(log n)`-approx,
+//! `O(n)` space — the \[SG09\] row of Figure 1.1.
+
+use sc_bitset::BitSet;
+use sc_setsystem::SetId;
+use sc_stream::{SetStream, SpaceMeter, StreamingSetCover, Tracked};
+
+/// Progressive (threshold-halving) greedy.
+///
+/// Pass `j` takes, on sight, every set whose *residual* gain is at least
+/// `τ_j = n / 2^j`, updating the uncovered set as it goes; the threshold
+/// halves between passes until it reaches 1, whereupon every coverable
+/// element gets covered.
+///
+/// Each taken set has gain within a factor 2 of the current maximum, so
+/// the solution is an `O(log n)`-approximation (the standard analysis of
+/// Saha–Getoor-style progressive greedy); passes are `⌈log₂ n⌉ + 1` and
+/// working memory is the `n`-bit residual bitmap.
+#[derive(Debug, Default)]
+pub struct ProgressiveGreedy;
+
+impl StreamingSetCover for ProgressiveGreedy {
+    fn name(&self) -> String {
+        "progressive-greedy(log n passes)".into()
+    }
+
+    fn run(&mut self, stream: &SetStream<'_>, meter: &SpaceMeter) -> Vec<SetId> {
+        let n = stream.universe();
+        let mut live = Tracked::new(BitSet::full(n), meter);
+        let mut sol = Vec::new();
+
+        let mut threshold = n.max(1);
+        loop {
+            if live.get().is_empty() {
+                break;
+            }
+            for (id, elems) in stream.pass() {
+                let gain = elems.iter().filter(|&&e| live.get().contains(e)).count();
+                if gain >= threshold {
+                    live.mutate(meter, |l| {
+                        for &e in elems {
+                            l.remove(e);
+                        }
+                    });
+                    sol.push(id);
+                }
+            }
+            if threshold == 1 {
+                break; // final pass took everything takeable
+            }
+            threshold /= 2;
+        }
+
+        let _ = live.release(meter);
+        sol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_setsystem::gen;
+    use sc_stream::run_reported;
+
+    #[test]
+    fn log_passes_log_approx() {
+        let inst = gen::planted(1024, 512, 8, 6);
+        let report = run_reported(&mut ProgressiveGreedy, &inst.system);
+        assert!(report.verified.is_ok());
+        assert!(report.passes <= 11, "⌈log₂ 1024⌉ + 1 = 11, got {}", report.passes);
+        let opt = inst.planted.as_ref().unwrap().len();
+        assert!(report.cover_size() <= opt * 11);
+    }
+
+    #[test]
+    fn space_is_residual_bitmap_only() {
+        let inst = gen::planted(4096, 1024, 16, 8);
+        let report = run_reported(&mut ProgressiveGreedy, &inst.system);
+        assert!(report.verified.is_ok());
+        assert_eq!(report.space_words, 4096 / 64);
+    }
+
+    #[test]
+    fn early_exit_when_covered() {
+        // One set covers everything: the first pass (τ = n) takes it and
+        // the loop stops immediately.
+        let system = sc_setsystem::SetSystem::from_sets(64, vec![(0..64).collect()]);
+        let report = run_reported(&mut ProgressiveGreedy, &system);
+        assert!(report.verified.is_ok());
+        assert_eq!(report.passes, 1);
+        assert_eq!(report.cover, vec![0]);
+    }
+}

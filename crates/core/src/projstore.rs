@@ -1,0 +1,121 @@
+//! Compact storage for small-set projections.
+//!
+//! Every space-bounded algorithm in this crate ends up storing "the set
+//! `r ∩ L` explicitly in memory" (Figure 1.3) for many sets at once.
+//! [`ProjStore`] is the shared container for that: one CSR-style buffer
+//! of element ids plus per-set offsets — two ids per 64-bit word, and a
+//! constant-time [`HeapWords`] measurement so `Tracked::mutate` stays
+//! O(1) per push.
+
+use sc_bitset::HeapWords;
+use sc_setsystem::{ElemId, SetId};
+
+/// A CSR-packed family of projected sets, remembering which stream set
+/// each projection came from.
+///
+/// # Examples
+///
+/// ```
+/// use sc_core::ProjStore;
+///
+/// let mut store = ProjStore::default();
+/// store.push(7, &[1, 4, 9]);
+/// store.push(3, &[2]);
+/// assert_eq!(store.len(), 2);
+/// assert_eq!(store.set_id(0), 7);
+/// assert_eq!(store.elems(0), &[1, 4, 9]);
+/// assert_eq!(store.elems(1), &[2]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ProjStore {
+    set_ids: Vec<SetId>,
+    offsets: Vec<u32>,
+    elems: Vec<ElemId>,
+}
+
+impl ProjStore {
+    /// Appends the projection `proj` of stream set `id`.
+    pub fn push(&mut self, id: SetId, proj: &[ElemId]) {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.set_ids.push(id);
+        self.elems.extend_from_slice(proj);
+        self.offsets.push(self.elems.len() as u32);
+    }
+
+    /// Number of stored projections.
+    pub fn len(&self) -> usize {
+        self.set_ids.len()
+    }
+
+    /// `true` if nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.set_ids.is_empty()
+    }
+
+    /// The stream id of the `i`-th stored projection.
+    pub fn set_id(&self, i: usize) -> SetId {
+        self.set_ids[i]
+    }
+
+    /// The element ids of the `i`-th stored projection, in push order.
+    pub fn elems(&self, i: usize) -> &[ElemId] {
+        &self.elems[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total stored element ids across all projections.
+    pub fn total_elems(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Drops all stored projections, keeping the allocations (the next
+    /// iteration's projections reuse them — and stay charged, exactly
+    /// as [`HeapWords`] prescribes for reserved capacity).
+    pub fn clear(&mut self) {
+        self.set_ids.clear();
+        self.offsets.clear();
+        self.elems.clear();
+    }
+}
+
+impl HeapWords for ProjStore {
+    fn heap_words(&self) -> usize {
+        let ids = (self.set_ids.capacity() * 4).div_ceil(8);
+        let offs = (self.offsets.capacity() * 4).div_ceil(8);
+        let elems = (self.elems.capacity() * 4).div_ceil(8);
+        ids + offs + elems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut p = ProjStore::default();
+        assert!(p.is_empty());
+        p.push(5, &[1, 2, 3]);
+        p.push(9, &[]);
+        p.push(2, &[7]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.total_elems(), 4);
+        assert_eq!((p.set_id(0), p.elems(0)), (5, &[1, 2, 3][..]));
+        assert_eq!((p.set_id(1), p.elems(1)), (9, &[][..]));
+        assert_eq!((p.set_id(2), p.elems(2)), (2, &[7][..]));
+    }
+
+    #[test]
+    fn heap_words_track_capacity_not_length() {
+        let mut p = ProjStore::default();
+        for i in 0..100 {
+            p.push(i, &[i]);
+        }
+        let grown = p.heap_words();
+        assert!(grown >= 100, "100 ids + 100 elems ≥ 100 words");
+        p.clear();
+        assert_eq!(p.heap_words(), grown, "clear keeps reservations charged");
+        assert!(p.is_empty());
+    }
+}

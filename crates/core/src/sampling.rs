@@ -1,0 +1,140 @@
+//! Element sampling: relative (p, ε)-approximations (Definition 2.4,
+//! Lemma 2.5) and uniform sampling from a bitset.
+//!
+//! The correctness of `iterSetCover` hinges on one fact: a uniform
+//! sample `S` of the uncovered elements of size
+//! `c·ρ·k·n^δ·log m·log n` is, with probability `1 - m^{-c}`, a relative
+//! `(p, ε)`-approximation for the family of *possible residual sets* `H`
+//! (Lemma 2.6 with `p = 2/n^δ`, `ε = 1/2`). Covering the sample then
+//! covers all but an `n^{-δ}` fraction of the ground set.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use sc_bitset::BitSet;
+use sc_setsystem::ElemId;
+
+/// Sample size required by Lemma 2.5 for a relative (p, ε)-approximation
+/// with failure probability `q`, over a family of `ranges` ranges:
+///
+/// `(c′/(ε²·p)) · (log |F|·log(1/p) + log(1/q))`.
+///
+/// `c_prime` is the paper's unspecified absolute constant `c′`.
+pub fn relative_approx_size(
+    p: f64,
+    eps: f64,
+    q: f64,
+    ranges: f64,
+    c_prime: f64,
+) -> usize {
+    assert!(p > 0.0 && p < 1.0, "p={p} out of range");
+    assert!(eps > 0.0 && eps < 1.0, "eps={eps} out of range");
+    assert!(q > 0.0 && q < 1.0, "q={q} out of range");
+    assert!(ranges >= 1.0);
+    let lead = c_prime / (eps * eps * p);
+    let body = ranges.ln().max(1.0) * (1.0 / p).ln().max(1.0) + (1.0 / q).ln();
+    (lead * body).ceil() as usize
+}
+
+/// The sample size `⌈c·ρ·k·n^δ·log₂ m·log₂ n⌉` that `iterSetCover` draws
+/// each iteration (Figure 1.3), before clamping to the live universe.
+pub fn iter_set_cover_sample_size(
+    c: f64,
+    rho: f64,
+    k: usize,
+    n: usize,
+    m: usize,
+    delta: f64,
+) -> usize {
+    assert!(delta > 0.0 && delta <= 1.0, "delta={delta} out of range");
+    let n = n.max(2) as f64;
+    let m = m.max(2) as f64;
+    let size = c * rho * k as f64 * n.powf(delta) * m.log2() * n.log2();
+    size.ceil().max(1.0) as usize
+}
+
+/// Draws a uniform sample of `size` distinct elements from the members
+/// of `live`, by single-scan reservoir sampling over the set bits.
+///
+/// Returns all members (sorted) when `size ≥ |live|`. The returned ids
+/// are sorted in either case, which downstream code relies on for
+/// rank-compaction.
+pub fn sample_from_bitset(live: &BitSet, size: usize, rng: &mut StdRng) -> Vec<ElemId> {
+    let mut reservoir: Vec<ElemId> = Vec::with_capacity(size.min(live.universe()));
+    if size == 0 {
+        return reservoir;
+    }
+    for (seen, e) in live.ones().enumerate() {
+        if seen < size {
+            reservoir.push(e);
+        } else {
+            let j = rng.random_range(0..=seen);
+            if j < size {
+                reservoir[j] = e;
+            }
+        }
+    }
+    reservoir.sort_unstable();
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn relative_approx_size_grows_with_tighter_params() {
+        let base = relative_approx_size(0.1, 0.5, 0.01, 100.0, 1.0);
+        assert!(relative_approx_size(0.05, 0.5, 0.01, 100.0, 1.0) > base, "smaller p costs more");
+        assert!(relative_approx_size(0.1, 0.25, 0.01, 100.0, 1.0) > base, "smaller eps costs more");
+        assert!(relative_approx_size(0.1, 0.5, 0.0001, 100.0, 1.0) > base, "smaller q costs more");
+        assert!(relative_approx_size(0.1, 0.5, 0.01, 10000.0, 1.0) > base, "more ranges cost more");
+    }
+
+    #[test]
+    fn iter_sample_size_scales_like_n_to_delta() {
+        let s1 = iter_set_cover_sample_size(1.0, 1.0, 1, 1 << 10, 1 << 10, 0.5);
+        let s2 = iter_set_cover_sample_size(1.0, 1.0, 1, 1 << 14, 1 << 14, 0.5);
+        // n grew by 16, n^0.5 by 4, logs by (14/10)^2 ≈ 2 → ratio ≈ 8.
+        let ratio = s2 as f64 / s1 as f64;
+        assert!(ratio > 5.0 && ratio < 12.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sample_is_subset_without_replacement() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let live = BitSet::from_iter(1000, (0..1000).filter(|e| e % 3 == 0));
+        let sample = sample_from_bitset(&live, 50, &mut rng);
+        assert_eq!(sample.len(), 50);
+        assert!(sample.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        assert!(sample.iter().all(|&e| live.contains(e)));
+    }
+
+    #[test]
+    fn oversized_request_returns_whole_set() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let live = BitSet::from_iter(100, [5, 10, 15]);
+        let sample = sample_from_bitset(&live, 10, &mut rng);
+        assert_eq!(sample, vec![5, 10, 15]);
+        assert!(sample_from_bitset(&live, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        // Sample 1 element from {0,…,9} many times; each element should
+        // appear a fair share of the time.
+        let live = BitSet::full(10);
+        let mut counts = [0u32; 10];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20_000 {
+            let s = sample_from_bitset(&live, 1, &mut rng);
+            counts[s[0] as usize] += 1;
+        }
+        for (e, &c) in counts.iter().enumerate() {
+            assert!(
+                (1600..=2400).contains(&c),
+                "element {e} drawn {c} times out of 20000 — not uniform"
+            );
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! `algGeomSC` — the streaming Points-Shapes Set Cover algorithm of
+//! Figure 4.1 (Theorem 4.6): `Õ(n)` space, `O(1)` passes, `O(ρ)`
+//! approximation for discs, axis-parallel rectangles, and fat triangles.
+//!
+//! Per guessed optimum `k`, each of the `1/δ` iterations makes three
+//! passes over the shape stream:
+//!
+//! 1. take every shape covering ≥ `n/k` leftover points (heavy sets);
+//! 2. sample `S` from the leftovers and build the canonical
+//!    representation of `(S, F)` (`compCanonicalRep`);
+//! 3. solve set cover offline on the canonical candidates, then replace
+//!    each chosen candidate by a concrete superset shape from the
+//!    stream.
+//!
+//! One final pass covers stragglers with one arbitrary shape each — the
+//! step that lets the sample shrink to `c·ρ·k·(n/k)^δ·log m·log n` and
+//! the space to `Õ(n)`.
+
+use crate::canonical::{CanonicalStore, RankIndex};
+use crate::instances::GeomInstance;
+use crate::point::Point;
+use crate::shapes::Shape;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sc_bitset::{BitSet, HeapWords};
+use sc_core::sampling::sample_from_bitset;
+use sc_stream::{ItemStream, SpaceMeter, Tracked};
+
+/// `Point` owns no heap memory (two inline `f64`s).
+impl HeapWords for Point {
+    fn heap_words(&self) -> usize {
+        0
+    }
+}
+
+/// Configuration of [`AlgGeomSc`].
+#[derive(Debug, Clone, Copy)]
+pub struct AlgGeomScConfig {
+    /// Trade-off parameter; Theorem 4.6 fixes δ = 1/4 for the headline
+    /// `O(1)`-pass `Õ(n)`-space result (analysis needs δ ≤ 1/4).
+    pub delta: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Constant `c` in the per-iteration sample size `c·k·(n/k)^δ` (the
+    /// paper's polylog and ρ factors absorbed, as in `iterSetCover`).
+    pub sample_constant: f64,
+    /// Shallowness cutoff multiplier: shapes with more than
+    /// `w_factor·|S|/k` sampled points are skipped by
+    /// `compCanonicalRep` (Lemma 4.5 shows 3 suffices w.h.p.).
+    pub w_factor: f64,
+    /// Ablation switch: store rectangles as dyadic canonical pieces
+    /// (`true`, the paper's design) or as verbatim deduplicated
+    /// projections (`false` — quadratic on the Figure 1.2 family).
+    pub decompose_rects: bool,
+}
+
+impl Default for AlgGeomScConfig {
+    fn default() -> Self {
+        Self {
+            delta: 0.25,
+            seed: 0,
+            sample_constant: 2.0,
+            w_factor: 3.0,
+            decompose_rects: true,
+        }
+    }
+}
+
+/// Measured outcome of one [`AlgGeomSc`] run.
+#[derive(Debug, Clone)]
+pub struct GeomReport {
+    /// The emitted cover (shape ids).
+    pub cover: Vec<u32>,
+    /// Passes over the shape stream (parallel-accounted across guesses).
+    pub passes: usize,
+    /// Peak working memory in words (summed across parallel guesses).
+    pub space_words: usize,
+    /// Largest canonical store observed in any iteration (candidates).
+    pub max_store_candidates: usize,
+    /// Largest sample drawn in any iteration.
+    pub max_sample: usize,
+    /// `Ok` if the cover was verified against the instance.
+    pub verified: Result<(), String>,
+}
+
+impl GeomReport {
+    /// Solution size.
+    pub fn cover_size(&self) -> usize {
+        self.cover.len()
+    }
+}
+
+/// The `algGeomSC` algorithm (Figure 4.1).
+///
+/// # Examples
+///
+/// ```
+/// use sc_geometry::{instances, AlgGeomSc, AlgGeomScConfig};
+///
+/// let inst = instances::random_discs(400, 200, 8, 1);
+/// let report = AlgGeomSc::new(AlgGeomScConfig::default()).run(&inst);
+/// assert!(report.verified.is_ok());
+/// ```
+#[derive(Debug)]
+pub struct AlgGeomSc {
+    cfg: AlgGeomScConfig,
+    max_store: usize,
+    max_sample: usize,
+}
+
+impl AlgGeomSc {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(cfg: AlgGeomScConfig) -> Self {
+        assert!(cfg.delta > 0.0 && cfg.delta <= 1.0);
+        Self { cfg, max_store: 0, max_sample: 0 }
+    }
+
+    /// Runs on a geometric instance, returning full measurements.
+    pub fn run(&mut self, inst: &GeomInstance) -> GeomReport {
+        self.max_store = 0;
+        self.max_sample = 0;
+        let stream = ItemStream::new(&inst.shapes);
+        let meter = SpaceMeter::new();
+        let n = inst.points.len();
+
+        let mut best: Option<Vec<u32>> = None;
+        let mut child_passes = Vec::new();
+        let mut child_peaks = Vec::new();
+        let mut i = 0u32;
+        loop {
+            let k = 1usize << i;
+            let child = stream.fork();
+            let cm = meter.fork();
+            let mut rng =
+                StdRng::seed_from_u64(self.cfg.seed.wrapping_add(0xabcd_ef01 * k as u64));
+            if let Some(sol) = self.run_guess(k, &child, &cm, &mut rng, &inst.points) {
+                if best.as_ref().is_none_or(|b| sol.len() < b.len()) {
+                    best = Some(sol);
+                }
+            }
+            child_passes.push(child.passes());
+            child_peaks.push(cm.peak());
+            if k >= n.max(1) {
+                break;
+            }
+            i += 1;
+        }
+        stream.absorb_parallel(child_passes);
+        meter.absorb_parallel(child_peaks);
+
+        let cover = best.unwrap_or_default();
+        let verified = inst.verify_cover(&cover);
+        GeomReport {
+            cover,
+            passes: stream.passes(),
+            space_words: meter.peak(),
+            max_store_candidates: self.max_store,
+            max_sample: self.max_sample,
+            verified,
+        }
+    }
+
+    fn sample_size(&self, k: usize, n: usize) -> usize {
+        let ratio = (n as f64 / k as f64).max(1.0);
+        (self.cfg.sample_constant * k as f64 * ratio.powf(self.cfg.delta))
+            .ceil()
+            .max(1.0) as usize
+    }
+
+    fn run_guess(
+        &mut self,
+        k: usize,
+        stream: &ItemStream<'_, Shape>,
+        meter: &SpaceMeter,
+        rng: &mut StdRng,
+        points: &[Point],
+    ) -> Option<Vec<u32>> {
+        let n = points.len();
+        let m = stream.len();
+        let iters = (1.0 / self.cfg.delta).ceil() as usize;
+
+        let mut live = Tracked::new(BitSet::full(n), meter);
+        let mut in_sol = Tracked::new(BitSet::new(m.max(1)), meter);
+        let mut sol: Tracked<Vec<u32>> = Tracked::new(Vec::new(), meter);
+        // Reusable scratch for one shape's covered points (≤ n ids).
+        let mut scratch: Tracked<Vec<u32>> = Tracked::new(Vec::with_capacity(n), meter);
+
+        for _ in 0..iters {
+            if live.get().is_empty() {
+                break;
+            }
+            // Pass 1: heavy shapes (gain ≥ n/k over the leftovers).
+            let threshold = (n as f64 / k as f64).max(1.0);
+            for (id, shape) in stream.pass() {
+                if in_sol.get().contains(id) {
+                    continue;
+                }
+                let hits = collect_hits(live.get(), points, shape, &mut scratch, meter);
+                if hits as f64 >= threshold {
+                    take_shape(&mut sol, &mut in_sol, &mut live, id, &scratch, meter);
+                }
+            }
+            if live.get().is_empty() {
+                break;
+            }
+
+            // Sample S from the leftovers.
+            let want = self.sample_size(k, n).min(live.get().count());
+            let sample_ids = Tracked::new(sample_from_bitset(live.get(), want, rng), meter);
+            self.max_sample = self.max_sample.max(sample_ids.get().len());
+            let sample_points = Tracked::new(
+                sample_ids
+                    .get()
+                    .iter()
+                    .map(|&e| points[e as usize])
+                    .collect::<Vec<Point>>(),
+                meter,
+            );
+            let idx = Tracked::new(RankIndex::build(sample_points.get()), meter);
+            let s = sample_points.get().len();
+            let w = ((self.cfg.w_factor * s as f64 / k as f64).ceil() as usize).max(1);
+
+            // Pass 2: compCanonicalRep — build the deduplicated store.
+            let mut store = Tracked::new(
+                if self.cfg.decompose_rects {
+                    CanonicalStore::new()
+                } else {
+                    CanonicalStore::dedupe_only()
+                },
+                meter,
+            );
+            for (id, shape) in stream.pass() {
+                if in_sol.get().contains(id) {
+                    continue;
+                }
+                store.mutate(meter, |st| {
+                    st.add_shape(idx.get(), sample_points.get(), shape, w)
+                });
+            }
+            self.max_store = self.max_store.max(store.get().len());
+
+            // Offline solve on the canonical candidates (best effort:
+            // sample points no candidate covers wait for later sweeps).
+            let materialized = store.get().materialize(idx.get());
+            let cand_sets = Tracked::new(
+                materialized.into_iter().map(|(_, b)| b).collect::<Vec<BitSet>>(),
+                meter,
+            );
+            let mut target = BitSet::new(s);
+            for b in cand_sets.get() {
+                target.union_with(b);
+            }
+            meter.charge(target.as_words().len());
+            let picks = sc_offline::greedy(cand_sets.get(), &target)
+                .expect("target restricted to the coverable subset");
+            meter.release(target.as_words().len());
+            let mut sol_s = Tracked::new(
+                picks
+                    .iter()
+                    .map(|&i| cand_sets.get()[i].clone())
+                    .collect::<Vec<BitSet>>(),
+                meter,
+            );
+            let _ = cand_sets.release(meter);
+
+            // Pass 3: replace canonical candidates by superset shapes.
+            let mut shape_bits = BitSet::new(s);
+            meter.charge(shape_bits.as_words().len());
+            for (id, shape) in stream.pass() {
+                if sol_s.get().is_empty() {
+                    break;
+                }
+                if in_sol.get().contains(id) {
+                    continue;
+                }
+                shape_bits.clear();
+                for (j, p) in sample_points.get().iter().enumerate() {
+                    if shape.contains(p) {
+                        shape_bits.insert(j as u32);
+                    }
+                }
+                let mut took = false;
+                sol_s.mutate(meter, |pieces| {
+                    pieces.retain(|piece| {
+                        if piece.is_subset(&shape_bits) {
+                            took = true;
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                });
+                if took {
+                    collect_hits(live.get(), points, shape, &mut scratch, meter);
+                    take_shape(&mut sol, &mut in_sol, &mut live, id, &scratch, meter);
+                }
+            }
+            meter.release(shape_bits.as_words().len());
+
+            let _ = sol_s.release(meter);
+            let _ = store.release(meter);
+            let _ = idx.release(meter);
+            let _ = sample_points.release(meter);
+            let _ = sample_ids.release(meter);
+        }
+
+        // Final pass: one arbitrary covering shape per leftover point.
+        if !live.get().is_empty() {
+            for (id, shape) in stream.pass() {
+                if live.get().is_empty() {
+                    break;
+                }
+                if in_sol.get().contains(id) {
+                    continue;
+                }
+                let hits = collect_hits(live.get(), points, shape, &mut scratch, meter);
+                if hits > 0 {
+                    take_shape(&mut sol, &mut in_sol, &mut live, id, &scratch, meter);
+                }
+            }
+        }
+
+        let done = live.get().is_empty();
+        let _ = scratch.release(meter);
+        let _ = live.release(meter);
+        let _ = in_sol.release(meter);
+        let sol = sol.release(meter);
+        done.then_some(sol)
+    }
+}
+
+/// Fills `scratch` with the live points the shape contains; returns the
+/// count.
+fn collect_hits(
+    live: &BitSet,
+    points: &[Point],
+    shape: &Shape,
+    scratch: &mut Tracked<Vec<u32>>,
+    meter: &SpaceMeter,
+) -> usize {
+    scratch.mutate(meter, |buf| {
+        buf.clear();
+        buf.extend(live.ones().filter(|&e| shape.contains(&points[e as usize])));
+        buf.len()
+    })
+}
+
+/// Emits shape `id` and removes its hits (pre-collected in `scratch`)
+/// from the leftover set.
+fn take_shape(
+    sol: &mut Tracked<Vec<u32>>,
+    in_sol: &mut Tracked<BitSet>,
+    live: &mut Tracked<BitSet>,
+    id: u32,
+    scratch: &Tracked<Vec<u32>>,
+    meter: &SpaceMeter,
+) {
+    sol.mutate(meter, |s| s.push(id));
+    in_sol.mutate(meter, |s| {
+        s.insert(id);
+    });
+    let hits = scratch.get();
+    live.mutate(meter, |l| {
+        for &e in hits {
+            l.remove(e);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances;
+
+    #[test]
+    fn covers_disc_instances() {
+        let inst = instances::random_discs(500, 300, 8, 3);
+        let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
+        let report = alg.run(&inst);
+        assert!(report.verified.is_ok(), "{:?}", report.verified);
+        let opt = inst.planted.as_ref().unwrap().len();
+        assert!(report.cover_size() <= 12 * opt, "|sol|={}", report.cover_size());
+    }
+
+    #[test]
+    fn covers_rect_instances() {
+        let inst = instances::random_rects(400, 250, 6, 5);
+        let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
+        let report = alg.run(&inst);
+        assert!(report.verified.is_ok(), "{:?}", report.verified);
+    }
+
+    #[test]
+    fn covers_fat_triangle_instances() {
+        let inst = instances::random_fat_triangles(300, 150, 5, 7);
+        let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
+        let report = alg.run(&inst);
+        assert!(report.verified.is_ok(), "{:?}", report.verified);
+    }
+
+    #[test]
+    fn constant_passes_at_delta_quarter() {
+        let inst = instances::random_discs(600, 400, 8, 9);
+        let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
+        let report = alg.run(&inst);
+        assert!(report.verified.is_ok());
+        // 3 passes × 4 iterations + final ≤ 13, parallel-accounted.
+        assert!(report.passes <= 13, "passes = {}", report.passes);
+    }
+
+    #[test]
+    fn two_line_runs_in_subquadratic_space() {
+        let inst = instances::two_line(48, None, 2); // m = 2304 shapes
+        let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
+        let report = alg.run(&inst);
+        assert!(report.verified.is_ok(), "{:?}", report.verified);
+        let m = inst.shapes.len();
+        let n = inst.points.len();
+        // The canonical store never approaches the m = n²/4 distinct
+        // verbatim projections (the Figure 1.2 trap).
+        assert!(
+            report.max_store_candidates * 4 < m,
+            "store {} vs m={m}",
+            report.max_store_candidates
+        );
+        assert!(
+            report.max_store_candidates <= 8 * n,
+            "store {} not Õ(n={n})",
+            report.max_store_candidates
+        );
+        // Total space (summed over all ~log n parallel guesses) stays
+        // far below one guess's worth of verbatim projection storage.
+        let naive_words_one_guess = 2 * m;
+        let guesses = (n as f64).log2().ceil() as usize + 1;
+        assert!(
+            report.space_words < guesses * naive_words_one_guess / 2,
+            "space {} vs naive {}",
+            report.space_words,
+            guesses * naive_words_one_guess
+        );
+    }
+
+    #[test]
+    fn handles_tiny_instances() {
+        let inst = instances::random_discs(3, 2, 1, 1);
+        let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
+        let report = alg.run(&inst);
+        assert!(report.verified.is_ok());
+    }
+}

@@ -1,0 +1,599 @@
+//! Canonical representations of shallow geometric ranges
+//! (Definition 4.1, Lemmas 4.2–4.4).
+//!
+//! The problem: distinct shallow projections can number `Ω(n²)`
+//! (Figure 1.2), so `algGeomSC` cannot afford to store the projection of
+//! every small shape verbatim. The paper's fix, following
+//! \[AES10\]/\[EHR12\], is a *canonical family*: a near-linear universe of
+//! pieces such that every shallow range is a union of a few pieces, and
+//! only *distinct pieces* are stored.
+//!
+//! Our construction (DESIGN.md substitution 4): work in **rank space**
+//! of the sampled points. A rectangle's projection is exactly a product
+//! of an x-rank interval and a y-rank interval, and each interval splits
+//! into `O(log)` maximal dyadic blocks, so the rectangle splits into
+//! `O(log²)` **dyadic product pieces** ([`Piece`]) that dedupe across
+//! the whole family: for a fixed dyadic x-block `I`, a piece `(I, J)` is
+//! only stored when nonempty, and each of the `|I ∩ S|` points lies in
+//! `O(log)` dyadic y-blocks, so the family holds `O(|S| log|S| · log)`
+//! distinct pieces — near-linear, versus `Ω(n²)` verbatim projections.
+//! Discs (and fat triangles) follow the paper's own recipe from
+//! Lemma 4.4: store *deduplicated explicit projections*, whose count
+//! Clarkson–Shor bounds near-linearly for shallow discs.
+
+use crate::point::Point;
+use crate::shapes::{Rect, Shape};
+use sc_bitset::{BitSet, HeapWords};
+use std::collections::HashSet;
+
+/// Rank index of a point sample: positions sorted by x and by y, with
+/// inverse rank arrays, enabling rectangle → rank-rectangle conversion
+/// by binary search.
+#[derive(Debug, Clone)]
+pub struct RankIndex {
+    /// Sample positions sorted by x-coordinate.
+    by_x: Vec<u32>,
+    /// `x_rank[pos]` = rank of sample position `pos` in x-order.
+    x_rank: Vec<u32>,
+    /// `y_rank[pos]` = rank of sample position `pos` in y-order.
+    y_rank: Vec<u32>,
+    /// x-coordinates in rank order (binary-search domain).
+    xs: Vec<f64>,
+    /// y-coordinates in rank order.
+    ys: Vec<f64>,
+}
+
+impl RankIndex {
+    /// Builds the index over the given sample points. `O(s log s)`.
+    pub fn build(points: &[Point]) -> Self {
+        let s = points.len();
+        let mut by_x: Vec<u32> = (0..s as u32).collect();
+        by_x.sort_by(|&a, &b| {
+            points[a as usize]
+                .x
+                .total_cmp(&points[b as usize].x)
+                .then(a.cmp(&b))
+        });
+        let mut by_y: Vec<u32> = (0..s as u32).collect();
+        by_y.sort_by(|&a, &b| {
+            points[a as usize]
+                .y
+                .total_cmp(&points[b as usize].y)
+                .then(a.cmp(&b))
+        });
+        let mut x_rank = vec![0u32; s];
+        for (r, &pos) in by_x.iter().enumerate() {
+            x_rank[pos as usize] = r as u32;
+        }
+        let mut y_rank = vec![0u32; s];
+        for (r, &pos) in by_y.iter().enumerate() {
+            y_rank[pos as usize] = r as u32;
+        }
+        let xs = by_x.iter().map(|&p| points[p as usize].x).collect();
+        let ys = by_y.iter().map(|&p| points[p as usize].y).collect();
+        Self { by_x, x_rank, y_rank, xs, ys }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.by_x.len()
+    }
+
+    /// `true` when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_x.is_empty()
+    }
+
+    /// Half-open x-rank range of points with `x ∈ [x0, x1]`.
+    pub fn x_range(&self, x0: f64, x1: f64) -> (u32, u32) {
+        (lower_bound(&self.xs, x0), upper_bound(&self.xs, x1))
+    }
+
+    /// Half-open y-rank range of points with `y ∈ [y0, y1]`.
+    pub fn y_range(&self, y0: f64, y1: f64) -> (u32, u32) {
+        (lower_bound(&self.ys, y0), upper_bound(&self.ys, y1))
+    }
+
+    /// Sample position holding x-rank `r`.
+    pub fn pos_at_x_rank(&self, r: u32) -> u32 {
+        self.by_x[r as usize]
+    }
+
+    /// y-rank of a sample position.
+    pub fn y_rank_of(&self, pos: u32) -> u32 {
+        self.y_rank[pos as usize]
+    }
+
+    /// x-rank of a sample position.
+    pub fn x_rank_of(&self, pos: u32) -> u32 {
+        self.x_rank[pos as usize]
+    }
+
+    /// The sample positions inside a rank rectangle, by scanning the
+    /// (narrower) x-rank side.
+    pub fn members_in(&self, x_lo: u32, x_hi: u32, y_lo: u32, y_hi: u32) -> Vec<u32> {
+        (x_lo..x_hi)
+            .map(|r| self.by_x[r as usize])
+            .filter(|&pos| {
+                let yr = self.y_rank[pos as usize];
+                (y_lo..y_hi).contains(&yr)
+            })
+            .collect()
+    }
+}
+
+impl HeapWords for RankIndex {
+    fn heap_words(&self) -> usize {
+        let u32s = self.by_x.capacity() + self.x_rank.capacity() + self.y_rank.capacity();
+        let f64s = self.xs.capacity() + self.ys.capacity();
+        (u32s * 4).div_ceil(8) + f64s
+    }
+}
+
+/// First index whose value is `>= key`.
+fn lower_bound(sorted: &[f64], key: f64) -> u32 {
+    sorted.partition_point(|&v| v < key) as u32
+}
+
+/// First index whose value is `> key`.
+fn upper_bound(sorted: &[f64], key: f64) -> u32 {
+    sorted.partition_point(|&v| v <= key) as u32
+}
+
+/// A canonical piece: a dyadic x-rank block × a dyadic y-rank block.
+///
+/// Both intervals are half-open and dyadic-aligned (`lo = a·2^ℓ`,
+/// `hi = (a+1)·2^ℓ`), so pieces generated by different shapes coincide
+/// exactly and dedupe structurally. Two pieces with the same key contain
+/// the same points — the canonical-family property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Piece {
+    /// Dyadic x-rank interval `[x_lo, x_hi)`.
+    pub x_lo: u32,
+    /// Exclusive end of the x interval.
+    pub x_hi: u32,
+    /// Dyadic y-rank interval `[y_lo, y_hi)`.
+    pub y_lo: u32,
+    /// Exclusive end of the y interval.
+    pub y_hi: u32,
+}
+
+/// Splits `[lo, hi)` into maximal dyadic blocks, appending to `out`.
+///
+/// Standard greedy alignment: at each step take the largest power of two
+/// that is aligned at `lo` and fits below `hi`. At most `2·log₂(hi-lo)`
+/// blocks.
+pub fn dyadic_cover(mut lo: u32, hi: u32, out: &mut Vec<(u32, u32)>) {
+    while lo < hi {
+        let align = if lo == 0 { 31 } else { lo.trailing_zeros().min(31) };
+        let mut size = 1u32 << align;
+        while size > hi - lo {
+            size >>= 1;
+        }
+        out.push((lo, lo + size));
+        lo += size;
+    }
+}
+
+/// Decomposes a rectangle's projection onto the indexed sample into
+/// nonempty canonical pieces.
+///
+/// The pieces partition exactly the rectangle's points (each point lands
+/// in precisely one dyadic product block), so
+/// `rect ∩ S = ⊎ pieces` — Definition 4.1 with `c₁ = O(log²|S|)`.
+pub fn decompose_rect(idx: &RankIndex, rect: &Rect) -> Vec<Piece> {
+    let (xa, xb) = idx.x_range(rect.x0, rect.x1);
+    let (ya, yb) = idx.y_range(rect.y0, rect.y1);
+    if xa >= xb || ya >= yb {
+        return Vec::new();
+    }
+    let mut xs = Vec::new();
+    dyadic_cover(xa, xb, &mut xs);
+    let mut ys = Vec::new();
+    dyadic_cover(ya, yb, &mut ys);
+
+    // Assign each member point to its unique (x-block, y-block) pair;
+    // emit only the nonempty pieces.
+    let mut seen: HashSet<Piece> = HashSet::new();
+    let mut out = Vec::new();
+    for r in xa..xb {
+        let pos = idx.pos_at_x_rank(r);
+        let yr = idx.y_rank_of(pos);
+        if !(ya..yb).contains(&yr) {
+            continue;
+        }
+        let &(x_lo, x_hi) = xs
+            .iter()
+            .find(|&&(lo, hi)| (lo..hi).contains(&r))
+            .expect("x blocks cover the range");
+        let &(y_lo, y_hi) = ys
+            .iter()
+            .find(|&&(lo, hi)| (lo..hi).contains(&yr))
+            .expect("y blocks cover the range");
+        let piece = Piece { x_lo, x_hi, y_lo, y_hi };
+        if seen.insert(piece) {
+            out.push(piece);
+        }
+    }
+    out
+}
+
+/// What one stored canonical candidate is.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Candidate {
+    /// A dyadic product piece (rectangles).
+    Piece(Piece),
+    /// A deduplicated explicit projection: sorted sample positions
+    /// (discs and fat triangles, per Lemma 4.4).
+    Explicit(Box<[u32]>),
+}
+
+/// Deduplicating store of canonical candidates — the `F_S` that
+/// `algGeomSC` holds in memory between passes.
+#[derive(Debug)]
+pub struct CanonicalStore {
+    pieces: HashSet<Piece>,
+    explicit: HashSet<Box<[u32]>>,
+    /// Shapes skipped because their projection exceeded the shallowness
+    /// cutoff `w` (they should have been caught by the heavy-set pass).
+    pub skipped_deep: usize,
+    /// Ablation switch: when `false`, rectangles are stored as verbatim
+    /// deduplicated projections instead of dyadic pieces — the strategy
+    /// Figure 1.2 defeats. Defaults to `true`.
+    pub decompose_rects: bool,
+}
+
+impl Default for CanonicalStore {
+    fn default() -> Self {
+        Self {
+            pieces: HashSet::new(),
+            explicit: HashSet::new(),
+            skipped_deep: 0,
+            decompose_rects: true,
+        }
+    }
+}
+
+impl CanonicalStore {
+    /// Empty store (with rectangle decomposition enabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty store with rectangle decomposition disabled (dedupe-only —
+    /// the ablated configuration of experiment E12).
+    pub fn dedupe_only() -> Self {
+        Self { decompose_rects: false, ..Self::default() }
+    }
+
+    /// Adds one streamed shape's projection onto the sample.
+    ///
+    /// Rectangles are decomposed into dyadic pieces; discs and triangles
+    /// store their explicit projection (deduplicated). Shapes whose
+    /// projection exceeds `w` points are counted in
+    /// [`skipped_deep`](CanonicalStore::skipped_deep) and not stored —
+    /// the `compCanonicalRep(S, F, w)` cutoff of Figure 4.1.
+    pub fn add_shape(&mut self, idx: &RankIndex, sample: &[Point], shape: &Shape, w: usize) {
+        match shape {
+            Shape::Rect(r) if self.decompose_rects => {
+                let (xa, xb) = idx.x_range(r.x0, r.x1);
+                let (ya, yb) = idx.y_range(r.y0, r.y1);
+                if xa >= xb || ya >= yb {
+                    return;
+                }
+                let members = idx.members_in(xa, xb, ya, yb);
+                if members.is_empty() {
+                    return;
+                }
+                if members.len() > w {
+                    self.skipped_deep += 1;
+                    return;
+                }
+                for piece in decompose_rect(idx, r) {
+                    self.pieces.insert(piece);
+                }
+            }
+            _ => {
+                let mut proj: Vec<u32> = sample
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| shape.contains(p))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                if proj.is_empty() {
+                    return;
+                }
+                if proj.len() > w {
+                    self.skipped_deep += 1;
+                    return;
+                }
+                proj.sort_unstable();
+                self.explicit.insert(proj.into_boxed_slice());
+            }
+        }
+    }
+
+    /// Number of stored dyadic pieces.
+    pub fn piece_count(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Number of stored explicit projections.
+    pub fn explicit_count(&self) -> usize {
+        self.explicit.len()
+    }
+
+    /// Total stored candidates.
+    pub fn len(&self) -> usize {
+        self.pieces.len() + self.explicit.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises every candidate as `(candidate, member bitset over
+    /// the sample)` for the offline solver.
+    pub fn materialize(&self, idx: &RankIndex) -> Vec<(Candidate, BitSet)> {
+        let s = idx.len();
+        let mut out = Vec::with_capacity(self.len());
+        for &p in &self.pieces {
+            let members = idx.members_in(p.x_lo, p.x_hi, p.y_lo, p.y_hi);
+            out.push((
+                Candidate::Piece(p),
+                BitSet::from_iter(s, members),
+            ));
+        }
+        for e in &self.explicit {
+            out.push((
+                Candidate::Explicit(e.clone()),
+                BitSet::from_iter(s, e.iter().copied()),
+            ));
+        }
+        // Deterministic order for reproducible solves.
+        out.sort_by(|a, b| a.1.as_words().cmp(b.1.as_words()).then_with(|| cand_key(&a.0).cmp(&cand_key(&b.0))));
+        out
+    }
+}
+
+fn cand_key(c: &Candidate) -> (u32, u32, u32, u32, &[u32]) {
+    match c {
+        Candidate::Piece(p) => (p.x_lo, p.x_hi, p.y_lo, p.y_hi, &[]),
+        Candidate::Explicit(e) => (u32::MAX, 0, 0, 0, e),
+    }
+}
+
+impl HeapWords for CanonicalStore {
+    fn heap_words(&self) -> usize {
+        // Piece = 4×u32 = 2 words; explicit = ids at 2 per word + 1
+        // spine word. Hash-table overhead is implementation detail and
+        // excluded (the model stores the keys).
+        let pieces = self.pieces.len() * 2;
+        let explicit: usize = self
+            .explicit
+            .iter()
+            .map(|e| e.len().div_ceil(2) + 1)
+            .sum();
+        pieces + explicit
+    }
+}
+
+/// Storage counts for the Figure 1.2 experiment (E5): what the naive
+/// dedup store and the canonical store would each hold for the whole
+/// family, considering only shapes with at most `w` sample points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageComparison {
+    /// Distinct verbatim projections (the naive approach).
+    pub explicit_projections: usize,
+    /// Words for the verbatim projections.
+    pub explicit_words: usize,
+    /// Distinct canonical candidates (pieces + non-rect projections).
+    pub canonical_candidates: usize,
+    /// Words for the canonical store.
+    pub canonical_words: usize,
+}
+
+/// Computes both storage strategies over a full instance.
+pub fn storage_comparison(points: &[Point], shapes: &[Shape], w: usize) -> StorageComparison {
+    let idx = RankIndex::build(points);
+    let mut naive: HashSet<Box<[u32]>> = HashSet::new();
+    let mut canonical = CanonicalStore::new();
+    for shape in shapes {
+        let proj: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| shape.contains(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        if proj.is_empty() || proj.len() > w {
+            continue;
+        }
+        naive.insert(proj.clone().into_boxed_slice());
+        canonical.add_shape(&idx, points, shape, w);
+    }
+    let explicit_words = naive.iter().map(|e| e.len().div_ceil(2) + 1).sum();
+    StorageComparison {
+        explicit_projections: naive.len(),
+        explicit_words,
+        canonical_candidates: canonical.len(),
+        canonical_words: canonical.heap_words(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances;
+
+    fn grid_points(side: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..side {
+            for j in 0..side {
+                pts.push(Point::new(i as f64, j as f64));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn rank_index_roundtrips() {
+        let pts = vec![
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(2.0, 0.0),
+        ];
+        let idx = RankIndex::build(&pts);
+        assert_eq!(idx.len(), 3);
+        // x-order: p1(1.0), p2(2.0), p0(3.0)
+        assert_eq!(idx.pos_at_x_rank(0), 1);
+        assert_eq!(idx.pos_at_x_rank(2), 0);
+        assert_eq!(idx.x_rank_of(0), 2);
+        // y-order: p2(0.0), p0(1.0), p1(2.0)
+        assert_eq!(idx.y_rank_of(2), 0);
+        assert_eq!(idx.y_rank_of(1), 2);
+        assert_eq!(idx.x_range(1.5, 3.5), (1, 3));
+        assert_eq!(idx.y_range(0.0, 1.0), (0, 2), "boundary inclusive");
+    }
+
+    #[test]
+    fn dyadic_cover_is_a_partition_of_aligned_blocks() {
+        for (lo, hi) in [(0u32, 16u32), (3, 17), (5, 6), (0, 1), (7, 64), (21, 22)] {
+            let mut blocks = Vec::new();
+            dyadic_cover(lo, hi, &mut blocks);
+            // Contiguous, covering, dyadic-aligned.
+            let mut at = lo;
+            for &(a, b) in &blocks {
+                assert_eq!(a, at);
+                assert!(b > a);
+                let size = b - a;
+                assert!(size.is_power_of_two());
+                assert_eq!(a % size, 0, "block [{a},{b}) misaligned");
+                at = b;
+            }
+            assert_eq!(at, hi);
+            assert!(blocks.len() as u32 <= 2 * 32);
+        }
+    }
+
+    #[test]
+    fn decompose_rect_partitions_the_projection() {
+        let pts = grid_points(8);
+        let idx = RankIndex::build(&pts);
+        let rect = Rect::new(1.5, 2.5, 5.5, 6.5);
+        let expect: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| rect.contains(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        let pieces = decompose_rect(&idx, &rect);
+        let mut got: Vec<u32> = Vec::new();
+        for p in &pieces {
+            got.extend(idx.members_in(p.x_lo, p.x_hi, p.y_lo, p.y_hi));
+        }
+        got.sort_unstable();
+        let mut expect_sorted = expect;
+        expect_sorted.sort_unstable();
+        assert_eq!(got, expect_sorted, "pieces partition the projection exactly");
+        // Partition: no duplicates already checked by equality of sorted
+        // vectors having the same length as the dedup'd expectation.
+    }
+
+    #[test]
+    fn empty_rect_decomposes_to_nothing() {
+        let pts = grid_points(4);
+        let idx = RankIndex::build(&pts);
+        assert!(decompose_rect(&idx, &Rect::new(10.0, 10.0, 11.0, 11.0)).is_empty());
+    }
+
+    #[test]
+    fn two_line_canonical_store_is_near_linear() {
+        // The headline E5 fact: quadratic verbatim, near-linear canonical.
+        let inst = instances::two_line(32, None, 1);
+        let n = inst.points.len(); // 64
+        let cmp = storage_comparison(&inst.points, &inst.shapes, 2);
+        assert_eq!(cmp.explicit_projections, 32 * 32, "n²/4 distinct projections");
+        assert!(
+            cmp.canonical_candidates < cmp.explicit_projections / 4,
+            "canonical {} should be far below naive {}",
+            cmp.canonical_candidates,
+            cmp.explicit_projections
+        );
+        // Õ(n): allow a healthy polylog factor.
+        let log2n = (n as f64).log2();
+        assert!(
+            (cmp.canonical_candidates as f64) < 4.0 * n as f64 * log2n,
+            "canonical {} not Õ(n={n})",
+            cmp.canonical_candidates
+        );
+    }
+
+    #[test]
+    fn store_dedupes_pieces_across_shapes() {
+        let pts = grid_points(8);
+        let idx = RankIndex::build(&pts);
+        let mut store = CanonicalStore::new();
+        // Same rectangle streamed twice → same pieces once.
+        let r = Shape::Rect(Rect::new(0.5, 0.5, 3.5, 3.5));
+        store.add_shape(&idx, &pts, &r, 64);
+        let after_one = store.piece_count();
+        store.add_shape(&idx, &pts, &r, 64);
+        assert_eq!(store.piece_count(), after_one);
+        assert!(after_one > 0);
+    }
+
+    #[test]
+    fn deep_shapes_are_skipped() {
+        let pts = grid_points(8);
+        let idx = RankIndex::build(&pts);
+        let mut store = CanonicalStore::new();
+        let big = Shape::Rect(Rect::new(-1.0, -1.0, 9.0, 9.0));
+        store.add_shape(&idx, &pts, &big, 3);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.skipped_deep, 1);
+    }
+
+    #[test]
+    fn explicit_candidates_for_discs() {
+        let pts = grid_points(4);
+        let idx = RankIndex::build(&pts);
+        let mut store = CanonicalStore::new();
+        let d = Shape::Disc(crate::Disc::new(Point::new(0.0, 0.0), 1.1));
+        store.add_shape(&idx, &pts, &d, 16);
+        assert_eq!(store.explicit_count(), 1);
+        // A different disc with the same projection dedupes.
+        let d2 = Shape::Disc(crate::Disc::new(Point::new(0.05, 0.0), 1.1));
+        store.add_shape(&idx, &pts, &d2, 16);
+        assert_eq!(store.explicit_count(), 1);
+    }
+
+    #[test]
+    fn materialize_matches_members() {
+        let pts = grid_points(6);
+        let idx = RankIndex::build(&pts);
+        let mut store = CanonicalStore::new();
+        store.add_shape(&idx, &pts, &Shape::Rect(Rect::new(0.5, 0.5, 4.5, 4.5)), 64);
+        store.add_shape(
+            &idx,
+            &pts,
+            &Shape::Disc(crate::Disc::new(Point::new(2.0, 2.0), 1.5)),
+            64,
+        );
+        for (cand, bits) in store.materialize(&idx) {
+            match cand {
+                Candidate::Piece(p) => {
+                    let members = idx.members_in(p.x_lo, p.x_hi, p.y_lo, p.y_hi);
+                    assert_eq!(bits.to_vec(), {
+                        let mut m = members;
+                        m.sort_unstable();
+                        m
+                    });
+                }
+                Candidate::Explicit(e) => {
+                    assert_eq!(bits.to_vec(), e.to_vec());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! ε-nets for geometric range spaces.
+//!
+//! An ε-net for points vs shapes is a subset `N` of the points such
+//! that every shape containing at least `ε·n` points contains a net
+//! point. The paper leans on this machinery twice: the relative
+//! (p, ε)-approximation sampling of Lemma 2.5 is the two-sided
+//! strengthening, and the cited constructions \[AES10, EHR12, CS89\]
+//! control how many *shallow* ranges a canonical family needs.
+//!
+//! This module implements the classical Haussler–Welzl theorem: a
+//! uniform random sample of size `O((d/ε)·log(1/ε) + (1/ε)·log(1/q))`
+//! is an ε-net with probability `1 − q`, where `d` is the VC dimension
+//! of the range family — together with an exhaustive verifier that the
+//! tests and benches use to *measure* the failure probability instead
+//! of assuming it. Weighted nets (the engine of the
+//! Brönnimann–Goodrich solver in [`crate::bronnimann_goodrich`]) draw
+//! proportionally to point weights.
+
+use crate::point::Point;
+use crate::shapes::Shape;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The three range families of Section 4, with their VC dimensions.
+///
+/// The dimensions are the standard ones: halfplane-bounded convex
+/// ranges of a fixed shape class in the plane. They feed the
+/// Haussler–Welzl sample size; a looser value only enlarges the net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeFamily {
+    /// Discs in the plane (`d = 3`).
+    Discs,
+    /// Axis-parallel rectangles (`d = 4`).
+    Rects,
+    /// α-fat triangles; triangles in general position have `d = 7`.
+    FatTriangles,
+}
+
+impl ShapeFamily {
+    /// VC dimension of the family.
+    pub fn vc_dim(&self) -> usize {
+        match self {
+            ShapeFamily::Discs => 3,
+            ShapeFamily::Rects => 4,
+            ShapeFamily::FatTriangles => 7,
+        }
+    }
+
+    /// The family a concrete shape belongs to.
+    pub fn of(shape: &Shape) -> Self {
+        match shape {
+            Shape::Disc(_) => ShapeFamily::Discs,
+            Shape::Rect(_) => ShapeFamily::Rects,
+            Shape::Triangle(_) => ShapeFamily::FatTriangles,
+        }
+    }
+}
+
+/// Haussler–Welzl sample size for an ε-net of range family `family`
+/// with failure probability `q`.
+pub fn net_sample_size(family: ShapeFamily, eps: f64, q: f64) -> usize {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+    assert!(q > 0.0 && q < 1.0, "q must be in (0,1)");
+    let d = family.vc_dim() as f64;
+    let size = (4.0 / eps) * (d * (4.0 / eps).ln().max(1.0) + (2.0 / q).ln());
+    size.ceil() as usize
+}
+
+/// Draws a uniform ε-net candidate: `net_sample_size` point indices
+/// sampled with replacement (duplicates removed, order sorted).
+///
+/// The Haussler–Welzl theorem makes the result an ε-net with
+/// probability `≥ 1 − q`; pair with [`verify_epsilon_net`] when a
+/// certificate is needed.
+pub fn sample_epsilon_net(
+    points: &[Point],
+    family: ShapeFamily,
+    eps: f64,
+    q: f64,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    let want = net_sample_size(family, eps, q).min(points.len());
+    let mut net: Vec<u32> = (0..want).map(|_| rng.random_range(0..points.len()) as u32).collect();
+    net.sort_unstable();
+    net.dedup();
+    net
+}
+
+/// Draws a *weighted* ε-net candidate: each of the
+/// `net_sample_size` draws picks point `i` with probability
+/// `w[i] / Σw`. This is the net the Brönnimann–Goodrich reweighting
+/// loop recomputes after every doubling.
+///
+/// # Panics
+///
+/// Panics if `points` and `weights` disagree in length or the total
+/// weight is not positive and finite.
+pub fn sample_weighted_epsilon_net(
+    points: &[Point],
+    weights: &[f64],
+    family: ShapeFamily,
+    eps: f64,
+    q: f64,
+    rng: &mut StdRng,
+) -> Vec<u32> {
+    assert_eq!(points.len(), weights.len());
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0 && total.is_finite(), "total weight must be positive and finite");
+    // Prefix sums once, binary search per draw.
+    let mut prefix = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        assert!(w >= 0.0, "weights must be non-negative");
+        acc += w;
+        prefix.push(acc);
+    }
+    let want = net_sample_size(family, eps, q).min(points.len());
+    let mut net: Vec<u32> = (0..want)
+        .map(|_| {
+            let r = rng.random_range(0.0..total);
+            prefix.partition_point(|&p| p <= r).min(points.len() - 1) as u32
+        })
+        .collect();
+    net.sort_unstable();
+    net.dedup();
+    net
+}
+
+/// Exhaustively verifies the ε-net property of `net` against the given
+/// `shapes` under point weights `weights` (pass all-ones for the
+/// unweighted property).
+///
+/// Returns `None` when every shape of weight `≥ eps · Σw` contains a
+/// net point, otherwise `Some(i)` for a violating shape index — the
+/// witness the Brönnimann–Goodrich loop doubles on.
+pub fn verify_epsilon_net(
+    points: &[Point],
+    weights: &[f64],
+    shapes: &[Shape],
+    net: &[u32],
+    eps: f64,
+) -> Option<usize> {
+    assert_eq!(points.len(), weights.len());
+    let total: f64 = weights.iter().sum();
+    let threshold = eps * total;
+    'shapes: for (i, shape) in shapes.iter().enumerate() {
+        let w: f64 = points
+            .iter()
+            .zip(weights)
+            .filter(|(p, _)| shape.contains(p))
+            .map(|(_, &w)| w)
+            .sum();
+        if w < threshold {
+            continue; // light range: exempt
+        }
+        for &id in net {
+            if shape.contains(&points[id as usize]) {
+                continue 'shapes;
+            }
+        }
+        return Some(i);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_size_grows_with_dimension_and_shrinks_with_eps() {
+        let q = 0.1;
+        let d3 = net_sample_size(ShapeFamily::Discs, 0.1, q);
+        let d7 = net_sample_size(ShapeFamily::FatTriangles, 0.1, q);
+        assert!(d7 > d3, "higher VC dimension needs a bigger net");
+        let coarse = net_sample_size(ShapeFamily::Rects, 0.5, q);
+        let fine = net_sample_size(ShapeFamily::Rects, 0.05, q);
+        assert!(fine > coarse, "smaller eps needs a bigger net");
+    }
+
+    #[test]
+    fn family_of_shape() {
+        let inst = instances::random_discs(16, 8, 2, 1);
+        assert_eq!(ShapeFamily::of(&inst.shapes[0]), ShapeFamily::Discs);
+        let inst = instances::random_rects(16, 8, 2, 1);
+        assert_eq!(ShapeFamily::of(&inst.shapes[0]), ShapeFamily::Rects);
+        let inst = instances::random_fat_triangles(16, 8, 2, 1);
+        assert_eq!(ShapeFamily::of(&inst.shapes[0]), ShapeFamily::FatTriangles);
+    }
+
+    #[test]
+    fn uniform_nets_pass_verification_at_the_advertised_rate() {
+        // 20 independent nets at q = 0.2: allow a minority of failures
+        // (expected ≤ 4), fail the test only if more than half miss.
+        let inst = instances::random_rects(400, 200, 8, 7);
+        let mut rng = StdRng::seed_from_u64(99);
+        let eps = 0.15;
+        let mut failures = 0;
+        let weights = vec![1.0; inst.points.len()];
+        for _ in 0..20 {
+            let net = sample_epsilon_net(&inst.points, ShapeFamily::Rects, eps, 0.2, &mut rng);
+            if verify_epsilon_net(&inst.points, &weights, &inst.shapes, &net, eps).is_some() {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 10, "ε-net sampling failed {failures}/20 times");
+    }
+
+    #[test]
+    fn verifier_catches_a_planted_violation() {
+        // One shape holds 3/4 of the points; an empty net must fail.
+        let inst = instances::random_discs(64, 32, 4, 3);
+        let weights = vec![1.0; inst.points.len()];
+        // eps tiny → every nonempty shape is heavy; empty net violates.
+        let eps = 1.0 / (4.0 * inst.points.len() as f64);
+        let violation = verify_epsilon_net(&inst.points, &weights, &inst.shapes, &[], eps);
+        assert!(violation.is_some(), "empty net cannot be an ε-net here");
+    }
+
+    #[test]
+    fn weighted_sampling_prefers_heavy_points() {
+        // All weight on point 0: every draw must return it.
+        let inst = instances::random_rects(50, 10, 2, 4);
+        let mut weights = vec![0.0; inst.points.len()];
+        weights[0] = 5.0;
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = sample_weighted_epsilon_net(
+            &inst.points,
+            &weights,
+            ShapeFamily::Rects,
+            0.25,
+            0.1,
+            &mut rng,
+        );
+        assert_eq!(net, vec![0]);
+    }
+
+    #[test]
+    fn weighted_net_protects_heavy_regions() {
+        let inst = instances::random_discs(300, 150, 6, 11);
+        let mut rng = StdRng::seed_from_u64(21);
+        // Skew weights toward the first hundred points.
+        let weights: Vec<f64> =
+            (0..inst.points.len()).map(|i| if i < 100 { 10.0 } else { 0.1 }).collect();
+        let eps = 0.2;
+        let mut ok = 0;
+        for _ in 0..10 {
+            let net = sample_weighted_epsilon_net(
+                &inst.points,
+                &weights,
+                ShapeFamily::Discs,
+                eps,
+                0.2,
+                &mut rng,
+            );
+            if verify_epsilon_net(&inst.points, &weights, &inst.shapes, &net, eps).is_none() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 5, "weighted nets verified only {ok}/10 times");
+    }
+}

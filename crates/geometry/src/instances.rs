@@ -1,0 +1,532 @@
+//! Geometric workloads: planted covers per shape family, and the
+//! Figure 1.2 adversarial two-line construction.
+
+use crate::point::Point;
+use crate::shapes::{Disc, Rect, Shape, Triangle};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use sc_setsystem::SetSystem;
+
+/// A geometric set cover instance: points (elements) and shapes (sets).
+#[derive(Debug, Clone)]
+pub struct GeomInstance {
+    /// The ground set of points; indices are the element ids.
+    pub points: Vec<Point>,
+    /// The streamed family of ranges; indices are the set ids.
+    pub shapes: Vec<Shape>,
+    /// A cover planted by the generator, if it planted one.
+    pub planted: Option<Vec<u32>>,
+    /// Generator label with parameters.
+    pub label: String,
+}
+
+impl GeomInstance {
+    /// Materialises the abstract set system (point-in-shape incidence).
+    ///
+    /// This costs `O(mn)` time and space — it is the *offline* view that
+    /// streaming algorithms cannot afford, used for verification and for
+    /// comparing against the combinatorial solvers.
+    pub fn to_set_system(&self) -> SetSystem {
+        let sets = self
+            .shapes
+            .iter()
+            .map(|s| {
+                self.points
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| s.contains(p))
+                    .map(|(i, _)| i as u32)
+                    .collect()
+            })
+            .collect();
+        SetSystem::from_sets(self.points.len(), sets)
+    }
+
+    /// Checks that `cover` (shape ids) covers every point.
+    pub fn verify_cover(&self, cover: &[u32]) -> Result<(), String> {
+        'points: for (i, p) in self.points.iter().enumerate() {
+            for &id in cover {
+                let shape = self
+                    .shapes
+                    .get(id as usize)
+                    .ok_or_else(|| format!("unknown shape id {id}"))?;
+                if shape.contains(p) {
+                    continue 'points;
+                }
+            }
+            return Err(format!("point {i} ({}, {}) uncovered", p.x, p.y));
+        }
+        Ok(())
+    }
+
+    /// Asserts generator invariants (planted cover really covers).
+    pub fn validate(&self) {
+        if let Some(p) = &self.planted {
+            self.verify_cover(p)
+                .unwrap_or_else(|e| panic!("{}: planted cover invalid: {e}", self.label));
+        }
+    }
+}
+
+/// Points clustered inside `k` planted discs, plus random decoy discs.
+///
+/// Each point is drawn uniformly inside one of `k` discs of radius `r`
+/// whose centres are spread over the unit square; the `k` planting discs
+/// are part of the family (so `OPT ≤ k`) and the remaining `m - k`
+/// shapes are random discs of radius up to `r`.
+pub fn random_discs(n: usize, m: usize, k: usize, seed: u64) -> GeomInstance {
+    assert!(k >= 1 && m >= k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = 0.5 / (k as f64).sqrt();
+    let centers: Vec<Point> = (0..k)
+        .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    let points = (0..n)
+        .map(|i| in_disc(&centers[i % k], r, &mut rng))
+        .collect();
+    let mut shapes: Vec<Shape> = centers
+        .iter()
+        .map(|&c| Shape::Disc(Disc::new(c, r * 1.0001)))
+        .collect();
+    for _ in k..m {
+        let c = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        shapes.push(Shape::Disc(Disc::new(c, rng.random_range(0.05 * r..r))));
+    }
+    let planted = shuffle_with_planted(&mut shapes, k, &mut rng);
+    let inst = GeomInstance {
+        points,
+        shapes,
+        planted: Some(planted),
+        label: format!("discs(n={n},m={m},k={k},seed={seed})"),
+    };
+    inst.validate();
+    inst
+}
+
+/// Points covered by a planted tiling of the unit square into `k`
+/// vertical strips, plus random decoy rectangles.
+pub fn random_rects(n: usize, m: usize, k: usize, seed: u64) -> GeomInstance {
+    assert!(k >= 1 && m >= k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w = 1.0 / k as f64;
+    let points: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    // Planted cover: k strips that tile the square exactly (for any k).
+    let mut shapes: Vec<Shape> = (0..k)
+        .map(|i| {
+            Shape::Rect(Rect::new(
+                i as f64 * w - 1e-9,
+                -1e-9,
+                (i + 1) as f64 * w + 1e-9,
+                1.0 + 1e-9,
+            ))
+        })
+        .collect();
+    for _ in k..m {
+        let x = rng.random_range(0.0..0.8);
+        let y = rng.random_range(0.0..0.8);
+        shapes.push(Shape::Rect(Rect::new(
+            x,
+            y,
+            x + rng.random_range(0.05..0.2),
+            y + rng.random_range(0.05..0.2),
+        )));
+    }
+    let planted = shuffle_with_planted(&mut shapes, k, &mut rng);
+    let inst = GeomInstance {
+        points,
+        shapes,
+        planted: Some(planted),
+        label: format!("rects(n={n},m={m},k={k},seed={seed})"),
+    };
+    inst.validate();
+    inst
+}
+
+/// Points clustered inside `k` planted fat (near-equilateral) triangles,
+/// plus random fat decoys.
+pub fn random_fat_triangles(n: usize, m: usize, k: usize, seed: u64) -> GeomInstance {
+    assert!(k >= 1 && m >= k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = 1.2 / (k as f64).sqrt();
+    let tris: Vec<Triangle> = (0..k)
+        .map(|_| {
+            let base = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+            fat_triangle(base, side, &mut rng)
+        })
+        .collect();
+    let points: Vec<Point> = (0..n)
+        .map(|i| in_triangle(&tris[i % k], &mut rng))
+        .collect();
+    let mut shapes: Vec<Shape> = tris.into_iter().map(Shape::Triangle).collect();
+    for _ in k..m {
+        let base = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        shapes.push(Shape::Triangle(fat_triangle(
+            base,
+            rng.random_range(0.2 * side..side),
+            &mut rng,
+        )));
+    }
+    let planted = shuffle_with_planted(&mut shapes, k, &mut rng);
+    let inst = GeomInstance {
+        points,
+        shapes,
+        planted: Some(planted),
+        label: format!("fat_triangles(n={n},m={m},k={k},seed={seed})"),
+    };
+    inst.validate();
+    inst
+}
+
+/// The Figure 1.2 adversarial construction: `half` points on each of two
+/// parallel lines of slope 1, and one rectangle per (top, bottom) pair —
+/// `half²` distinct rectangles, each containing *exactly two points*.
+///
+/// Storing distinct projections explicitly therefore costs `Ω(n²)`;
+/// the canonical representation stores `Õ(n)` pieces instead, which is
+/// exactly what experiment E5 measures. The planted optimum pairs point
+/// `i` with point `i` (`half` rectangles).
+///
+/// `m_cap` limits the family size for big `half` (the planted diagonal
+/// is always kept; remaining pairs are sampled uniformly).
+pub fn two_line(half: usize, m_cap: Option<usize>, seed: u64) -> GeomInstance {
+    assert!(half >= 1);
+    let d = half as f64 + 10.0;
+    let top: Vec<Point> = (0..half)
+        .map(|i| Point::new(i as f64, i as f64 + d))
+        .collect();
+    let bottom: Vec<Point> = (0..half)
+        .map(|j| Point::new((half + j) as f64, (half + j) as f64 - d))
+        .collect();
+    let mut points = top.clone();
+    points.extend_from_slice(&bottom);
+
+    let rect_for = |i: usize, j: usize| {
+        // Upper-left corner at top[i], lower-right corner at bottom[j].
+        Shape::Rect(Rect::new(top[i].x, bottom[j].y, bottom[j].x, top[i].y))
+    };
+
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..half {
+        for j in 0..half {
+            if i != j {
+                pairs.push((i, j));
+            }
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    pairs.shuffle(&mut rng);
+    if let Some(cap) = m_cap {
+        pairs.truncate(cap.saturating_sub(half));
+    }
+
+    // Diagonal (the planted optimum) first, then the sampled pairs; the
+    // whole family is then shuffled to avoid a benign stream order.
+    let mut shapes: Vec<Shape> = (0..half).map(|i| rect_for(i, i)).collect();
+    shapes.extend(pairs.into_iter().map(|(i, j)| rect_for(i, j)));
+    let planted = shuffle_with_planted(&mut shapes, half, &mut rng);
+
+    let inst = GeomInstance {
+        points,
+        shapes,
+        planted: Some(planted),
+        label: format!("two_line(half={half},m={},seed={seed})", half + m_cap.map_or(half * half - half, |c| c.saturating_sub(half))),
+    };
+    inst.validate();
+    inst
+}
+
+
+/// Gaussian-cluster workload: points drawn from `k` tight clusters at
+/// random centres, covered by a planted disc per cluster; decoy discs
+/// concentrate *around* the clusters (not uniformly), so density near
+/// the data mimics real spatial workloads where candidate facilities
+/// follow demand.
+///
+/// The skew matters for the streaming algorithms: heavy sets are
+/// genuinely heavy (a planted disc holds ~n/k points) while decoys near
+/// a cluster edge clip off shallow crescents — many distinct shallow
+/// projections, the regime the canonical machinery is for.
+pub fn clustered_discs(n: usize, m: usize, k: usize, seed: u64) -> GeomInstance {
+    assert!(k >= 1 && m >= k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = 0.25 / (k as f64).sqrt();
+    let centers: Vec<Point> = (0..k)
+        .map(|_| Point::new(rng.random_range(0.2..0.8), rng.random_range(0.2..0.8)))
+        .collect();
+    // Box–Muller normal deviates, clamped to 3σ per axis, so the
+    // planted disc of radius 3σ√2 provably contains its cluster.
+    let normal = |rng: &mut StdRng| -> f64 {
+        let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        z.clamp(-3.0, 3.0)
+    };
+    let points: Vec<Point> = (0..n)
+        .map(|i| {
+            let c = &centers[i % k];
+            Point::new(c.x + sigma * normal(&mut rng), c.y + sigma * normal(&mut rng))
+        })
+        .collect();
+    let mut shapes: Vec<Shape> = centers
+        .iter()
+        .map(|&c| Shape::Disc(Disc::new(c, 3.0 * std::f64::consts::SQRT_2 * sigma * 1.0001)))
+        .collect();
+    for i in k..m {
+        // Decoys hover near a cluster: centre at up to 4σ away.
+        let c = &centers[i % k];
+        let off = Point::new(
+            c.x + rng.random_range(-4.0 * sigma..4.0 * sigma),
+            c.y + rng.random_range(-4.0 * sigma..4.0 * sigma),
+        );
+        shapes.push(Shape::Disc(Disc::new(off, rng.random_range(0.3 * sigma..2.0 * sigma))));
+    }
+    let planted = shuffle_with_planted(&mut shapes, k, &mut rng);
+    let inst = GeomInstance {
+        points,
+        shapes,
+        planted: Some(planted),
+        label: format!("clustered_discs(n={n},m={m},k={k},seed={seed})"),
+    };
+    inst.validate();
+    inst
+}
+
+/// Grid workload: points on a jittered `g × g` lattice, covered by a
+/// planted tiling of `k ≈ g` row rectangles, with axis-aligned decoy
+/// windows of mixed aspect ratios.
+///
+/// Lattice alignment is the adversarial texture for rank-space
+/// decomposition: many rectangles share projection boundaries, so the
+/// canonical store's dedup actually fires (unlike on generic random
+/// inputs where all projections differ).
+pub fn grid_rects(n: usize, m: usize, seed: u64) -> GeomInstance {
+    assert!(n >= 4 && m >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = (n as f64).sqrt().ceil() as usize;
+    let cell = 1.0 / g as f64;
+    let jitter = 0.2 * cell;
+    let points: Vec<Point> = (0..n)
+        .map(|i| {
+            let (row, col) = (i / g, i % g);
+            Point::new(
+                (col as f64 + 0.5) * cell + rng.random_range(-jitter..jitter),
+                (row as f64 + 0.5) * cell + rng.random_range(-jitter..jitter),
+            )
+        })
+        .collect();
+    // Planted cover: one rectangle per occupied row.
+    let rows = n.div_ceil(g);
+    let k = rows.min(m);
+    let mut shapes: Vec<Shape> = (0..k)
+        .map(|row| {
+            Shape::Rect(Rect::new(
+                -1e-9,
+                row as f64 * cell - 1e-9,
+                1.0 + 1e-9,
+                (row + 1) as f64 * cell + 1e-9,
+            ))
+        })
+        .collect();
+    for _ in k..m {
+        // Windows snapped near cell boundaries, mixed aspect ratios.
+        let x0 = rng.random_range(0..g) as f64 * cell;
+        let y0 = rng.random_range(0..g) as f64 * cell;
+        let w = rng.random_range(1..=4.min(g)) as f64 * cell;
+        let h = rng.random_range(1..=4.min(g)) as f64 * cell;
+        shapes.push(Shape::Rect(Rect::new(x0, y0, (x0 + w).min(1.0), (y0 + h).min(1.0))));
+    }
+    let planted = shuffle_with_planted(&mut shapes, k, &mut rng);
+    let inst = GeomInstance {
+        points,
+        shapes,
+        planted: Some(planted),
+        label: format!("grid_rects(n={n},m={m},seed={seed})"),
+    };
+    inst.validate();
+    inst
+}
+
+/// Uniform point inside a disc (rejection sampling).
+fn in_disc(center: &Point, radius: f64, rng: &mut StdRng) -> Point {
+    loop {
+        let dx = rng.random_range(-radius..=radius);
+        let dy = rng.random_range(-radius..=radius);
+        if dx * dx + dy * dy <= radius * radius {
+            return Point::new(center.x + dx, center.y + dy);
+        }
+    }
+}
+
+/// Uniform point inside a triangle (barycentric sampling).
+fn in_triangle(t: &Triangle, rng: &mut StdRng) -> Point {
+    let (mut u, mut v) = (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+    if u + v > 1.0 {
+        u = 1.0 - u;
+        v = 1.0 - v;
+    }
+    Point::new(
+        t.a.x + u * (t.b.x - t.a.x) + v * (t.c.x - t.a.x),
+        t.a.y + u * (t.b.y - t.a.y) + v * (t.c.y - t.a.y),
+    )
+}
+
+/// A near-equilateral (hence fat) triangle with random orientation.
+fn fat_triangle(base: Point, side: f64, rng: &mut StdRng) -> Triangle {
+    let th = rng.random_range(0.0..std::f64::consts::TAU);
+    let vertex = |angle: f64| {
+        Point::new(base.x + side * f64::cos(angle), base.y + side * f64::sin(angle))
+    };
+    Triangle::new(
+        vertex(th),
+        vertex(th + std::f64::consts::TAU / 3.0),
+        vertex(th + 2.0 * std::f64::consts::TAU / 3.0),
+    )
+}
+
+/// Shuffles the family; the first `k` shapes are the planted cover and
+/// their post-shuffle ids are returned.
+fn shuffle_with_planted(shapes: &mut [Shape], k: usize, rng: &mut StdRng) -> Vec<u32> {
+    let m = shapes.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.shuffle(rng);
+    let mut relabel = vec![0u32; m];
+    let mut shuffled = vec![shapes[0]; m];
+    for (new, &old) in order.iter().enumerate() {
+        relabel[old] = new as u32;
+        shuffled[new] = shapes[old];
+    }
+    shapes.copy_from_slice(&shuffled);
+    (0..k).map(|i| relabel[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disc_instance_validates_with_opt_at_most_k() {
+        let inst = random_discs(200, 60, 5, 1);
+        assert_eq!(inst.planted.as_ref().unwrap().len(), 5);
+        assert_eq!(inst.points.len(), 200);
+        assert_eq!(inst.shapes.len(), 60);
+    }
+
+    #[test]
+    fn rect_instance_validates() {
+        for k in [1, 3, 4, 7] {
+            random_rects(150, 40, k, 2).validate();
+        }
+    }
+
+    #[test]
+    fn triangle_instance_is_fat() {
+        let inst = random_fat_triangles(120, 30, 4, 3);
+        for s in &inst.shapes {
+            if let Shape::Triangle(t) = s {
+                assert!(t.fatness() < 2.0, "α = {}", t.fatness());
+            }
+        }
+    }
+
+    #[test]
+    fn two_line_each_rect_covers_exactly_two_points() {
+        let inst = two_line(16, None, 4);
+        assert_eq!(inst.points.len(), 32);
+        assert_eq!(inst.shapes.len(), 16 * 16, "all pairs present");
+        for s in &inst.shapes {
+            let covered = inst.points.iter().filter(|p| s.contains(p)).count();
+            assert_eq!(covered, 2, "each rectangle covers exactly 2 points");
+        }
+        assert_eq!(inst.planted.as_ref().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn two_line_projections_are_all_distinct() {
+        // The crux of Figure 1.2: quadratically many *distinct* shallow
+        // projections.
+        let inst = two_line(12, None, 5);
+        let system = inst.to_set_system();
+        let mut seen = std::collections::HashSet::new();
+        for (_, set) in system.iter() {
+            assert!(seen.insert(set.to_vec()), "duplicate projection");
+        }
+        assert_eq!(seen.len(), 144);
+    }
+
+    #[test]
+    fn two_line_cap_subsamples_but_keeps_diagonal() {
+        let inst = two_line(10, Some(30), 6);
+        assert_eq!(inst.shapes.len(), 30);
+        inst.validate();
+    }
+
+    #[test]
+    fn to_set_system_matches_contains() {
+        let inst = random_discs(50, 20, 3, 7);
+        let system = inst.to_set_system();
+        for (id, set) in system.iter() {
+            let shape = &inst.shapes[id as usize];
+            for (i, p) in inst.points.iter().enumerate() {
+                assert_eq!(shape.contains(p), set.contains(&(i as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn verify_cover_rejects_bad_covers() {
+        let inst = random_discs(30, 10, 2, 8);
+        assert!(inst.verify_cover(&[]).is_err());
+        assert!(inst.verify_cover(&[999]).is_err());
+        assert!(inst.verify_cover(inst.planted.as_ref().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn clustered_discs_planted_cover_is_valid() {
+        for seed in 0..5 {
+            let inst = clustered_discs(400, 200, 6, seed);
+            assert!(inst.verify_cover(inst.planted.as_ref().unwrap()).is_ok(), "seed {seed}");
+            assert_eq!(inst.planted.as_ref().unwrap().len(), 6);
+            assert_eq!(inst.shapes.len(), 200);
+        }
+    }
+
+    #[test]
+    fn grid_rects_planted_cover_is_valid() {
+        for seed in 0..5 {
+            let inst = grid_rects(400, 100, seed);
+            assert!(inst.verify_cover(inst.planted.as_ref().unwrap()).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn grid_rects_share_projection_boundaries() {
+        // Lattice snapping makes duplicate projections common — the
+        // texture the canonical dedup exists for.
+        let inst = grid_rects(256, 400, 3);
+        let system = inst.to_set_system();
+        let mut projections: Vec<&[u32]> = (0..system.num_sets() as u32)
+            .map(|i| system.set(i))
+            .filter(|s| !s.is_empty())
+            .collect();
+        let before = projections.len();
+        projections.sort();
+        projections.dedup();
+        assert!(
+            projections.len() < before,
+            "expected duplicate projections on the lattice ({before} distinct)"
+        );
+    }
+
+    #[test]
+    fn new_families_are_solvable_by_alg_geom_sc() {
+        use crate::{AlgGeomSc, AlgGeomScConfig};
+        for inst in [clustered_discs(300, 150, 5, 2), grid_rects(256, 128, 2)] {
+            let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
+            let report = alg.run(&inst);
+            assert!(report.verified.is_ok(), "{}: {:?}", inst.label, report.verified);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Plain-text serialisation of geometric instances.
+//!
+//! Same line-oriented philosophy as `sc_setsystem::io`:
+//!
+//! ```text
+//! c comment
+//! g points-shapes <num_points> <num_shapes>
+//! v 1.5 2.25              (one per point: "v x y")
+//! d 0.5 0.5 0.25          (disc: cx cy r)
+//! r 0 0 1 1               (rect: x0 y0 x1 y1)
+//! t 0 0 1 0 0.5 0.8       (triangle: ax ay bx by cx cy)
+//! o 0 2                   (optional known cover: shape ids)
+//! l label
+//! ```
+//!
+//! Coordinates round-trip through `{:?}` formatting, which prints the
+//! shortest decimal that parses back to the identical `f64`, so
+//! write → read is bit-exact.
+
+use crate::instances::GeomInstance;
+use crate::point::Point;
+use crate::shapes::{Disc, Rect, Shape, Triangle};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A parse failure, with 1-based line number and explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Writes a geometric instance in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_instance<W: Write>(w: &mut W, inst: &GeomInstance) -> std::io::Result<()> {
+    writeln!(w, "c streaming-set-cover geometric instance")?;
+    writeln!(w, "g points-shapes {} {}", inst.points.len(), inst.shapes.len())?;
+    for p in &inst.points {
+        writeln!(w, "v {:?} {:?}", p.x, p.y)?;
+    }
+    for s in &inst.shapes {
+        match s {
+            Shape::Disc(d) => writeln!(w, "d {:?} {:?} {:?}", d.center.x, d.center.y, d.radius)?,
+            Shape::Rect(r) => writeln!(w, "r {:?} {:?} {:?} {:?}", r.x0, r.y0, r.x1, r.y1)?,
+            Shape::Triangle(t) => writeln!(
+                w,
+                "t {:?} {:?} {:?} {:?} {:?} {:?}",
+                t.a.x, t.a.y, t.b.x, t.b.y, t.c.x, t.c.y
+            )?,
+        }
+    }
+    if let Some(p) = &inst.planted {
+        write!(w, "o")?;
+        for id in p {
+            write!(w, " {id}")?;
+        }
+        writeln!(w)?;
+    }
+    if !inst.label.is_empty() {
+        writeln!(w, "l {}", inst.label)?;
+    }
+    Ok(())
+}
+
+fn parse_floats(line: usize, rest: &str, want: usize) -> Result<Vec<f64>, ParseError> {
+    let vals: Result<Vec<f64>, _> = rest.split_whitespace().map(str::parse).collect();
+    let vals = vals.map_err(|_| err(line, format!("bad number in {rest:?}")))?;
+    if vals.len() != want {
+        return Err(err(line, format!("expected {want} numbers, got {}", vals.len())));
+    }
+    if vals.iter().any(|v| !v.is_finite()) {
+        return Err(err(line, "non-finite coordinate"));
+    }
+    Ok(vals)
+}
+
+/// Reads a geometric instance from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for structural violations (missing header,
+/// wrong counts, malformed coordinates, degenerate shapes).
+pub fn read_instance<R: BufRead>(r: R) -> Result<GeomInstance, ParseError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut points: Vec<Point> = Vec::new();
+    let mut shapes: Vec<Shape> = Vec::new();
+    let mut planted: Option<Vec<u32>> = None;
+    let mut label = String::new();
+
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| err(lineno, format!("I/O error: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let (tag, rest) = line.split_at(1);
+        let rest = rest.trim();
+        match tag {
+            "g" => {
+                if header.is_some() {
+                    return Err(err(lineno, "duplicate header"));
+                }
+                let mut it = rest.split_whitespace();
+                if it.next() != Some("points-shapes") {
+                    return Err(err(lineno, "expected 'g points-shapes <n> <m>'"));
+                }
+                let n = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad point count"))?;
+                let m = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad shape count"))?;
+                header = Some((n, m));
+            }
+            "v" => {
+                let v = parse_floats(lineno, rest, 2)?;
+                points.push(Point::new(v[0], v[1]));
+            }
+            "d" => {
+                let v = parse_floats(lineno, rest, 3)?;
+                if v[2] < 0.0 {
+                    return Err(err(lineno, "negative radius"));
+                }
+                shapes.push(Shape::Disc(Disc::new(Point::new(v[0], v[1]), v[2])));
+            }
+            "r" => {
+                let v = parse_floats(lineno, rest, 4)?;
+                if v[0] > v[2] || v[1] > v[3] {
+                    return Err(err(lineno, "rect corners out of order"));
+                }
+                shapes.push(Shape::Rect(Rect::new(v[0], v[1], v[2], v[3])));
+            }
+            "t" => {
+                let v = parse_floats(lineno, rest, 6)?;
+                let (a, b, c) = (
+                    Point::new(v[0], v[1]),
+                    Point::new(v[2], v[3]),
+                    Point::new(v[4], v[5]),
+                );
+                let area2 = ((b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y)).abs();
+                if area2 <= 0.0 {
+                    return Err(err(lineno, "degenerate triangle"));
+                }
+                shapes.push(Shape::Triangle(Triangle::new(a, b, c)));
+            }
+            "o" => {
+                if planted.is_some() {
+                    return Err(err(lineno, "duplicate cover line"));
+                }
+                let ids: Result<Vec<u32>, _> = rest.split_whitespace().map(str::parse).collect();
+                planted = Some(ids.map_err(|_| err(lineno, "bad shape id"))?);
+            }
+            "l" => label = rest.to_string(),
+            other => return Err(err(lineno, format!("unknown record type {other:?}"))),
+        }
+    }
+
+    let (n, m) = header.ok_or_else(|| err(0, "missing header"))?;
+    if points.len() != n {
+        return Err(err(0, format!("declared {n} points, found {}", points.len())));
+    }
+    if shapes.len() != m {
+        return Err(err(0, format!("declared {m} shapes, found {}", shapes.len())));
+    }
+    if let Some(p) = &planted {
+        if let Some(&bad) = p.iter().find(|&&id| (id as usize) >= m) {
+            return Err(err(0, format!("cover references unknown shape {bad}")));
+        }
+    }
+    Ok(GeomInstance {
+        points,
+        shapes,
+        planted,
+        label: if label.is_empty() { "from-file".into() } else { label },
+    })
+}
+
+/// Convenience: serialise to a `String`.
+pub fn to_string(inst: &GeomInstance) -> String {
+    let mut buf = Vec::new();
+    write_instance(&mut buf, inst).expect("writing to memory cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Convenience: parse from a `&str`.
+pub fn from_str(s: &str) -> Result<GeomInstance, ParseError> {
+    read_instance(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances;
+
+    #[test]
+    fn roundtrip_all_shape_families() {
+        for inst in [
+            instances::random_discs(40, 20, 3, 1),
+            instances::random_rects(40, 20, 3, 2),
+            instances::random_fat_triangles(40, 20, 3, 3),
+            instances::two_line(6, None, 4),
+        ] {
+            let text = to_string(&inst);
+            let back = from_str(&text).expect("roundtrip");
+            assert_eq!(back.points.len(), inst.points.len());
+            assert_eq!(back.shapes, inst.shapes);
+            assert_eq!(back.planted, inst.planted);
+            // Coordinates are bit-exact, so covers still verify.
+            back.validate();
+        }
+    }
+
+    #[test]
+    fn minimal_document() {
+        let inst = from_str("g points-shapes 1 2\nv 0.5 0.5\nd 0.5 0.5 1\nr 0 0 1 1\n").unwrap();
+        assert_eq!(inst.points.len(), 1);
+        assert_eq!(inst.shapes.len(), 2);
+        assert!(inst.verify_cover(&[0]).is_ok());
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        let cases: Vec<(&str, &str)> = vec![
+            ("v 1 2\n", "missing header"),
+            ("g points-shapes 1 0\nv 1\n", "expected 2 numbers"),
+            ("g points-shapes 0 1\nd 0 0 -1\n", "negative radius"),
+            ("g points-shapes 0 1\nr 1 0 0 1\n", "corners out of order"),
+            ("g points-shapes 0 1\nt 0 0 1 1 2 2\n", "degenerate triangle"),
+            ("g points-shapes 2 0\nv 0 0\n", "declared 2 points, found 1"),
+            ("g points-shapes 0 0\no 3\n", "unknown shape 3"),
+            ("g points-shapes 0 0\nx 1\n", "unknown record"),
+            ("g points-shapes 0 1\nd 0 zzz 1\n", "bad number"),
+            ("g points-shapes 0 1\nd 0 nan 1\n", "non-finite"),
+        ];
+        for (text, needle) in cases {
+            let e = from_str(text).expect_err(text);
+            assert!(e.to_string().contains(needle), "{text:?} → {e}");
+        }
+    }
+}

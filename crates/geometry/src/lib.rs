@@ -1,0 +1,41 @@
+//! Geometric set cover in the streaming model (Section 4 of the paper).
+//!
+//! Elements are points in the plane; sets are **discs**, **axis-parallel
+//! rectangles**, or **α-fat triangles** arriving in a stream. Each shape
+//! has an `O(1)` description, so the whole instance fits in `O(m + n)`
+//! words — the challenge the paper sets is to do *sublinear in `m`*:
+//! `Õ(n)` space, `O(1)` passes, `O(ρ)` approximation (Theorem 4.6).
+//!
+//! The obstruction is that a family of shapes can have quadratically
+//! many distinct *shallow* projections onto the point set — the
+//! Figure 1.2 construction ([`instances::two_line`]) exhibits `n²/4`
+//! rectangles each containing exactly two points, so storing the
+//! projections of "small" sets (the `iterSetCover` recipe) would cost
+//! `Ω(n²)`. The fix is the **canonical representation** (Definition 4.1,
+//! [`canonical`]): split each shallow range into canonical pieces from a
+//! universe family of near-linear size, store only the distinct pieces,
+//! and re-attach pieces to concrete shapes with one extra pass.
+//!
+//! [`AlgGeomSc`] is the full algorithm of Figure 4.1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alg_geom_sc;
+mod bronnimann_goodrich;
+pub mod canonical;
+pub mod epsilon_net;
+pub mod instances;
+pub mod io;
+mod point;
+mod shapes;
+
+pub use alg_geom_sc::{AlgGeomSc, AlgGeomScConfig, GeomReport};
+pub use bronnimann_goodrich::{bronnimann_goodrich, BgConfig, BgOutcome};
+pub use epsilon_net::{
+    net_sample_size, sample_epsilon_net, sample_weighted_epsilon_net, verify_epsilon_net,
+    ShapeFamily,
+};
+pub use instances::GeomInstance;
+pub use point::Point;
+pub use shapes::{Disc, Rect, Shape, Triangle};

@@ -1,0 +1,44 @@
+//! Points in the plane.
+
+/// A point in `R²`.
+///
+/// Plain `f64` coordinates; the generators keep coordinates well within
+/// the exactly-representable range so containment tests are robust
+/// without an exact-arithmetic layer (documented trade-off — the paper's
+/// algorithms are combinatorial and never subtract nearly-equal
+/// coordinates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn dist2(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist2_is_squared_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(b.dist2(&a), 25.0);
+        assert_eq!(a.dist2(&a), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The three range families of Section 4: discs, axis-parallel
+//! rectangles, and α-fat triangles.
+
+use crate::point::Point;
+
+/// A disc given by centre and radius (boundary inclusive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disc {
+    /// Centre.
+    pub center: Point,
+    /// Radius, must be ≥ 0.
+    pub radius: f64,
+}
+
+impl Disc {
+    /// Constructs a disc.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative or non-finite radius.
+    pub fn new(center: Point, radius: f64) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "bad radius {radius}");
+        Self { center, radius }
+    }
+
+    /// Boundary-inclusive containment.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.dist2(p) <= self.radius * self.radius
+    }
+}
+
+/// An axis-parallel rectangle `[x0, x1] × [y0, y1]` (boundary inclusive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Constructs a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x0 ≤ x1` and `y0 ≤ y1`.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x0 <= x1 && y0 <= y1, "degenerate rect ({x0},{y0})–({x1},{y1})");
+        Self { x0, y0, x1, y1 }
+    }
+
+    /// Boundary-inclusive containment.
+    pub fn contains(&self, p: &Point) -> bool {
+        self.x0 <= p.x && p.x <= self.x1 && self.y0 <= p.y && p.y <= self.y1
+    }
+}
+
+/// A triangle, intended to be α-fat (Section 4.1: the ratio of the
+/// longest edge to the height on that edge is at most a constant α).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub a: Point,
+    /// Second vertex.
+    pub b: Point,
+    /// Third vertex.
+    pub c: Point,
+}
+
+impl Triangle {
+    /// Constructs a triangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate (zero-area) triangle.
+    pub fn new(a: Point, b: Point, c: Point) -> Self {
+        let t = Self { a, b, c };
+        assert!(t.area2() > 0.0, "degenerate triangle");
+        t
+    }
+
+    /// Twice the (unsigned) area.
+    pub fn area2(&self) -> f64 {
+        ((self.b.x - self.a.x) * (self.c.y - self.a.y)
+            - (self.c.x - self.a.x) * (self.b.y - self.a.y))
+            .abs()
+    }
+
+    /// The fatness parameter α: longest edge over the height onto it.
+    ///
+    /// `height = 2·area / longest_edge`, so `α = longest² / (2·area)`.
+    pub fn fatness(&self) -> f64 {
+        let e2 = [
+            self.a.dist2(&self.b),
+            self.b.dist2(&self.c),
+            self.c.dist2(&self.a),
+        ];
+        let longest2 = e2.iter().cloned().fold(0.0f64, f64::max);
+        longest2 / self.area2()
+    }
+
+    /// Boundary-inclusive containment via sign tests.
+    pub fn contains(&self, p: &Point) -> bool {
+        let sign = |a: &Point, b: &Point, c: &Point| {
+            (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y)
+        };
+        let d1 = sign(&self.a, &self.b, p);
+        let d2 = sign(&self.b, &self.c, p);
+        let d3 = sign(&self.c, &self.a, p);
+        let has_neg = d1 < 0.0 || d2 < 0.0 || d3 < 0.0;
+        let has_pos = d1 > 0.0 || d2 > 0.0 || d3 > 0.0;
+        !(has_neg && has_pos)
+    }
+}
+
+/// A streamed range: one of the three families of Theorem 4.6.
+///
+/// Every variant has an `O(1)` description — which is why the paper
+/// notes that geometric instances are trivial in `O(m + n)` space and
+/// the interesting regime is `Õ(n)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// A disc.
+    Disc(Disc),
+    /// An axis-parallel rectangle.
+    Rect(Rect),
+    /// An α-fat triangle.
+    Triangle(Triangle),
+}
+
+impl Shape {
+    /// Boundary-inclusive containment.
+    pub fn contains(&self, p: &Point) -> bool {
+        match self {
+            Shape::Disc(d) => d.contains(p),
+            Shape::Rect(r) => r.contains(p),
+            Shape::Triangle(t) => t.contains(p),
+        }
+    }
+
+    /// `true` for the rectangle variant (which canonical decomposition
+    /// treats specially).
+    pub fn is_rect(&self) -> bool {
+        matches!(self, Shape::Rect(_))
+    }
+
+    /// The rectangle, if this shape is one.
+    pub fn as_rect(&self) -> Option<&Rect> {
+        match self {
+            Shape::Rect(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disc_containment_boundary_inclusive() {
+        let d = Disc::new(Point::new(0.0, 0.0), 5.0);
+        assert!(d.contains(&Point::new(3.0, 4.0)), "on the boundary");
+        assert!(d.contains(&Point::new(0.0, 0.0)));
+        assert!(!d.contains(&Point::new(3.1, 4.0)));
+    }
+
+    #[test]
+    fn rect_containment() {
+        let r = Rect::new(0.0, 0.0, 2.0, 1.0);
+        assert!(r.contains(&Point::new(0.0, 0.0)));
+        assert!(r.contains(&Point::new(2.0, 1.0)));
+        assert!(!r.contains(&Point::new(2.0, 1.0001)));
+        assert!(!r.contains(&Point::new(-0.1, 0.5)));
+    }
+
+    #[test]
+    fn triangle_containment_any_orientation() {
+        // Clockwise and counter-clockwise vertex orders must agree.
+        let ccw = Triangle::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(2.0, 3.0));
+        let cw = Triangle::new(Point::new(0.0, 0.0), Point::new(2.0, 3.0), Point::new(4.0, 0.0));
+        let inside = Point::new(2.0, 1.0);
+        let outside = Point::new(0.0, 3.0);
+        let vertex = Point::new(4.0, 0.0);
+        for t in [ccw, cw] {
+            assert!(t.contains(&inside));
+            assert!(!t.contains(&outside));
+            assert!(t.contains(&vertex), "vertices are inside");
+        }
+    }
+
+    #[test]
+    fn equilateral_is_fat_sliver_is_not() {
+        let eq = Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.866),
+        );
+        assert!(eq.fatness() < 1.2, "equilateral α ≈ 1.155");
+        let sliver = Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 0.01),
+        );
+        assert!(sliver.fatness() > 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate triangle")]
+    fn collinear_vertices_rejected() {
+        Triangle::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn shape_dispatch() {
+        let s = Shape::Rect(Rect::new(0.0, 0.0, 1.0, 1.0));
+        assert!(s.contains(&Point::new(0.5, 0.5)));
+        assert!(s.is_rect());
+        assert!(s.as_rect().is_some());
+        let d = Shape::Disc(Disc::new(Point::new(0.0, 0.0), 1.0));
+        assert!(!d.is_rect());
+        assert!(d.as_rect().is_none());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the canonical representation: the dyadic
+//! decomposition must partition every rectangle's projection exactly,
+//! for arbitrary point sets and rectangles.
+
+use proptest::prelude::*;
+use sc_geometry::canonical::{decompose_rect, dyadic_cover, CanonicalStore, RankIndex};
+use sc_geometry::{Point, Rect, Shape};
+
+fn points() -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..60)
+        .prop_map(|ps| ps.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0).prop_map(|(a, b, c, d)| {
+        Rect::new(a.min(c), b.min(d), a.max(c), b.max(d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn decomposition_partitions_projection(pts in points(), r in rect()) {
+        let idx = RankIndex::build(&pts);
+        let mut expect: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| r.contains(p))
+            .map(|(i, _)| i as u32)
+            .collect();
+        expect.sort_unstable();
+
+        let pieces = decompose_rect(&idx, &r);
+        let mut got: Vec<u32> = pieces
+            .iter()
+            .flat_map(|p| idx.members_in(p.x_lo, p.x_hi, p.y_lo, p.y_hi))
+            .collect();
+        got.sort_unstable();
+        // Exact partition: same members, no duplicates.
+        prop_assert_eq!(&got, &expect, "pieces must partition the projection");
+        let mut dedup = got.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), got.len(), "no point in two pieces");
+        // Piece count stays within the O(log²) budget.
+        let s = pts.len() as f64;
+        let budget = (2.0 * s.log2().ceil().max(1.0)).powi(2) as usize + 4;
+        prop_assert!(pieces.len() <= budget, "{} pieces", pieces.len());
+    }
+
+    #[test]
+    fn dyadic_cover_partitions_any_interval(lo in 0u32..500, len in 1u32..500) {
+        let hi = lo + len;
+        let mut blocks = Vec::new();
+        dyadic_cover(lo, hi, &mut blocks);
+        let mut at = lo;
+        for &(a, b) in &blocks {
+            prop_assert_eq!(a, at);
+            let size = b - a;
+            prop_assert!(size.is_power_of_two());
+            prop_assert_eq!(a % size, 0);
+            at = b;
+        }
+        prop_assert_eq!(at, hi);
+    }
+
+    #[test]
+    fn store_never_loses_coverage(pts in points(), rects in proptest::collection::vec(rect(), 1..12)) {
+        // Union of materialised candidates == union of shallow shapes'
+        // projections (no coverage is lost by canonicalisation).
+        let idx = RankIndex::build(&pts);
+        let w = pts.len(); // no shallowness cutoff for this property
+        let mut store = CanonicalStore::new();
+        let mut expect: Vec<bool> = vec![false; pts.len()];
+        for r in &rects {
+            store.add_shape(&idx, &pts, &Shape::Rect(*r), w);
+            for (i, p) in pts.iter().enumerate() {
+                if r.contains(p) {
+                    expect[i] = true;
+                }
+            }
+        }
+        let mut got = vec![false; pts.len()];
+        for (_, bits) in store.materialize(&idx) {
+            for pos in bits.ones() {
+                got[pos as usize] = true;
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn shallow_disc_projections_are_near_linear(seed in 0u64..200) {
+        // The Clarkson–Shor fact behind Lemma 4.4's disc recipe: for
+        // random points and discs, the number of DISTINCT projections of
+        // discs containing at most w points is near-linear in n — which
+        // is why dedupe-only storage suffices for discs while rectangles
+        // need decomposition (Figure 1.2).
+        use sc_geometry::canonical::storage_comparison;
+        use sc_geometry::instances;
+        let inst = instances::random_discs(400, 600, 8, seed);
+        let w = 16;
+        let cmp = storage_comparison(&inst.points, &inst.shapes, w);
+        // Discs go through the explicit/dedupe path, so canonical
+        // candidates == distinct shallow projections here.
+        let n = inst.points.len() as f64;
+        prop_assert!(
+            (cmp.canonical_candidates as f64) < 3.0 * n,
+            "{} distinct shallow disc projections for n={n}",
+            cmp.canonical_candidates
+        );
+    }
+
+    #[test]
+    fn dedupe_only_store_agrees_on_coverage(pts in points(), rects in proptest::collection::vec(rect(), 1..8)) {
+        let idx = RankIndex::build(&pts);
+        let w = pts.len();
+        let mut canonical = CanonicalStore::new();
+        let mut plain = CanonicalStore::dedupe_only();
+        for r in &rects {
+            canonical.add_shape(&idx, &pts, &Shape::Rect(*r), w);
+            plain.add_shape(&idx, &pts, &Shape::Rect(*r), w);
+        }
+        let union = |store: &CanonicalStore| {
+            let mut acc = vec![false; pts.len()];
+            for (_, bits) in store.materialize(&idx) {
+                for pos in bits.ones() {
+                    acc[pos as usize] = true;
+                }
+            }
+            acc
+        };
+        prop_assert_eq!(union(&canonical), union(&plain));
+    }
+}

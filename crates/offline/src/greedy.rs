@@ -1,0 +1,233 @@
+//! Lazy greedy set cover (ρ = ln n + 1).
+
+use sc_bitset::BitSet;
+use std::collections::BinaryHeap;
+
+/// Greedy set cover over a sub-instance.
+///
+/// Repeatedly picks the set covering the most still-uncovered elements
+/// of `target` until `target` is exhausted; returns indices into `sets`.
+/// Classic `(ln n + 1)`-approximation (Johnson/Lovász/Chvátal).
+///
+/// Uses *lazy evaluation*: gains are monotone non-increasing as elements
+/// get covered, so a heap entry holding a stale gain is still an upper
+/// bound; on pop we re-count, and only re-push when the fresh gain lost
+/// the top spot. Ties break toward the smaller index, which keeps the
+/// output deterministic.
+///
+/// Returns `None` if some element of `target` is in no set.
+///
+/// # Examples
+///
+/// ```
+/// use sc_bitset::BitSet;
+/// use sc_offline::greedy;
+///
+/// let u = 6;
+/// let sets = vec![
+///     BitSet::from_iter(u, [0, 1, 2, 3]),
+///     BitSet::from_iter(u, [0, 1]),
+///     BitSet::from_iter(u, [4, 5]),
+/// ];
+/// let cover = greedy(&sets, &BitSet::full(u)).unwrap();
+/// assert_eq!(cover, vec![0, 2]);
+/// ```
+pub fn greedy(sets: &[BitSet], target: &BitSet) -> Option<Vec<usize>> {
+    let mut uncovered = target.clone();
+    let mut solution = Vec::new();
+    if uncovered.is_empty() {
+        return Some(solution);
+    }
+
+    // Max-heap of (gain, Reverse-ish index). BinaryHeap is a max-heap on
+    // the tuple; we want larger gain first and *smaller* index first on
+    // ties, so store (gain, !index).
+    let mut heap: BinaryHeap<(usize, usize)> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.intersection_count(&uncovered), !i))
+        .filter(|&(g, _)| g > 0)
+        .collect();
+
+    while !uncovered.is_empty() {
+        let (stale_gain, key) = heap.pop()?;
+        let idx = !key;
+        let fresh_gain = sets[idx].intersection_count(&uncovered);
+        if fresh_gain == 0 {
+            continue;
+        }
+        if fresh_gain < stale_gain {
+            // Entry was stale; only re-insert if it may still win.
+            if let Some(&(top_gain, _)) = heap.peek() {
+                if fresh_gain < top_gain {
+                    heap.push((fresh_gain, key));
+                    continue;
+                }
+            }
+        }
+        solution.push(idx);
+        uncovered.difference_with(&sets[idx]);
+    }
+    Some(solution)
+}
+
+/// Greedy set cover over *sparse* sets given as sorted id slices —
+/// `algOfflineSC` exactly as the streaming algorithms hold it in memory
+/// (stored projections), without densifying anything.
+///
+/// Identical semantics to [`greedy`] (same lazy-heap strategy, same
+/// tie-breaking), but working memory beyond the caller's own structures
+/// is one `target`-sized bitmap plus the heap — the "linear space"
+/// promise the paper makes for its offline oracle.
+///
+/// `get(i)` returns the sorted element ids of set `i`.
+pub fn greedy_slices<'a, F>(num_sets: usize, get: F, target: &BitSet) -> Option<Vec<usize>>
+where
+    F: Fn(usize) -> &'a [u32],
+{
+    let mut uncovered = target.clone();
+    let mut solution = Vec::new();
+    if uncovered.is_empty() {
+        return Some(solution);
+    }
+    let count = |i: usize, uncovered: &BitSet| -> usize {
+        get(i).iter().filter(|&&e| uncovered.contains(e)).count()
+    };
+    let mut heap: BinaryHeap<(usize, usize)> = (0..num_sets)
+        .map(|i| (count(i, &uncovered), !i))
+        .filter(|&(g, _)| g > 0)
+        .collect();
+    while !uncovered.is_empty() {
+        let (stale_gain, key) = heap.pop()?;
+        let idx = !key;
+        let fresh_gain = count(idx, &uncovered);
+        if fresh_gain == 0 {
+            continue;
+        }
+        if fresh_gain < stale_gain {
+            if let Some(&(top_gain, _)) = heap.peek() {
+                if fresh_gain < top_gain {
+                    heap.push((fresh_gain, key));
+                    continue;
+                }
+            }
+        }
+        solution.push(idx);
+        for &e in get(idx) {
+            uncovered.remove(e);
+        }
+    }
+    Some(solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_cover(sets: &[BitSet], u: usize) -> Option<Vec<usize>> {
+        greedy(sets, &BitSet::full(u))
+    }
+
+    #[test]
+    fn picks_largest_first() {
+        let u = 10;
+        let sets = vec![
+            BitSet::from_iter(u, [0, 1]),
+            BitSet::from_iter(u, (0..7).collect::<Vec<_>>()),
+            BitSet::from_iter(u, [7, 8, 9]),
+        ];
+        assert_eq!(full_cover(&sets, u).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let u = 3;
+        let sets = vec![BitSet::from_iter(u, [0])];
+        assert_eq!(full_cover(&sets, u), None);
+    }
+
+    #[test]
+    fn empty_target_is_empty_cover() {
+        let u = 5;
+        let sets = vec![BitSet::from_iter(u, [0])];
+        assert_eq!(greedy(&sets, &BitSet::new(u)).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn covers_only_the_target() {
+        let u = 6;
+        let sets = vec![
+            BitSet::from_iter(u, [0, 1]),
+            BitSet::from_iter(u, [2, 3]),
+            BitSet::from_iter(u, [4, 5]),
+        ];
+        let target = BitSet::from_iter(u, [0, 4]);
+        let cover = greedy(&sets, &target).unwrap();
+        assert_eq!(cover, vec![0, 2], "set 1 is irrelevant to the target");
+    }
+
+    #[test]
+    fn tie_breaks_toward_smaller_index() {
+        let u = 4;
+        let sets = vec![
+            BitSet::from_iter(u, [0, 1]),
+            BitSet::from_iter(u, [0, 1]),
+            BitSet::from_iter(u, [2, 3]),
+        ];
+        assert_eq!(full_cover(&sets, u).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn classic_log_gap_instance() {
+        // Greedy takes the baits on the adversarial instance: the point
+        // of the ρ = ln n label.
+        let inst = sc_setsystem::gen::greedy_adversarial(5);
+        let sets = inst.system.all_bitsets();
+        let cover = full_cover(&sets, inst.system.universe()).unwrap();
+        assert!(cover.len() >= 5, "greedy must fall for the baits, got {}", cover.len());
+        // Sanity: it is still a cover.
+        let ids: Vec<u32> = cover.iter().map(|&i| i as u32).collect();
+        assert!(inst.system.verify_cover(&ids).is_ok());
+    }
+
+    #[test]
+    fn duplicate_sets_dont_loop() {
+        let u = 2;
+        let sets = vec![
+            BitSet::from_iter(u, [0, 1]),
+            BitSet::from_iter(u, [0, 1]),
+            BitSet::from_iter(u, [0, 1]),
+        ];
+        assert_eq!(full_cover(&sets, u).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn greedy_slices_matches_dense_greedy() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..30 {
+            let u = rng.random_range(4..40);
+            let m = rng.random_range(1..12);
+            let mut raw: Vec<Vec<u32>> = (0..m)
+                .map(|_| (0..u as u32).filter(|_| rng.random_bool(0.3)).collect())
+                .collect();
+            raw.push((0..u as u32).collect());
+            let dense: Vec<BitSet> = raw
+                .iter()
+                .map(|s| BitSet::from_iter(u, s.iter().copied()))
+                .collect();
+            let target = BitSet::full(u);
+            let a = greedy(&dense, &target).unwrap();
+            let b = greedy_slices(raw.len(), |i| raw[i].as_slice(), &target).unwrap();
+            assert_eq!(a, b, "sparse and dense greedy must agree");
+        }
+    }
+
+    #[test]
+    fn greedy_slices_infeasible_is_none() {
+        let raw = [vec![0u32]];
+        let target = BitSet::full(2);
+        assert_eq!(greedy_slices(1, |i| raw[i].as_slice(), &target), None);
+    }
+}

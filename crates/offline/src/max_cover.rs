@@ -1,0 +1,100 @@
+//! Greedy Max-k-Cover, the primitive behind the Saha–Getoor baseline.
+
+use sc_bitset::BitSet;
+
+/// Picks at most `k` sets greedily to maximise coverage of `target`.
+///
+/// Returns the chosen indices and the number of target elements they
+/// cover. This is the classical `(1 - 1/e)`-approximate greedy for
+/// Max-k-Cover; the Saha–Getoor streaming baseline (\[SG09\] in the paper)
+/// reduces Set Cover to `O(log n)` rounds of Max-k-Cover.
+///
+/// Stops early once `target` is exhausted, so the returned vector may be
+/// shorter than `k`.
+///
+/// # Examples
+///
+/// ```
+/// use sc_bitset::BitSet;
+/// use sc_offline::max_k_cover;
+///
+/// let u = 6;
+/// let sets = vec![
+///     BitSet::from_iter(u, [0, 1, 2]),
+///     BitSet::from_iter(u, [2, 3]),
+///     BitSet::from_iter(u, [4, 5]),
+/// ];
+/// let (picked, covered) = max_k_cover(&sets, &BitSet::full(u), 2);
+/// assert_eq!(picked, vec![0, 2]);
+/// assert_eq!(covered, 5);
+/// ```
+pub fn max_k_cover(sets: &[BitSet], target: &BitSet, k: usize) -> (Vec<usize>, usize) {
+    let mut uncovered = target.clone();
+    let total = uncovered.count();
+    let mut picked = Vec::with_capacity(k.min(sets.len()));
+    for _ in 0..k {
+        if uncovered.is_empty() {
+            break;
+        }
+        let best = sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.intersection_count(&uncovered), std::cmp::Reverse(i)))
+            .max();
+        match best {
+            Some((gain, std::cmp::Reverse(idx))) if gain > 0 => {
+                picked.push(idx);
+                uncovered.difference_with(&sets[idx]);
+            }
+            _ => break, // nothing left to gain
+        }
+    }
+    (picked, total - uncovered.count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stops_when_target_covered() {
+        let u = 4;
+        let sets = vec![BitSet::full(u), BitSet::from_iter(u, [0])];
+        let (picked, covered) = max_k_cover(&sets, &BitSet::full(u), 3);
+        assert_eq!(picked, vec![0]);
+        assert_eq!(covered, 4);
+    }
+
+    #[test]
+    fn respects_k() {
+        let u = 6;
+        let sets = vec![
+            BitSet::from_iter(u, [0, 1]),
+            BitSet::from_iter(u, [2, 3]),
+            BitSet::from_iter(u, [4, 5]),
+        ];
+        let (picked, covered) = max_k_cover(&sets, &BitSet::full(u), 2);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(covered, 4);
+    }
+
+    #[test]
+    fn zero_gain_terminates() {
+        let u = 4;
+        let sets = vec![BitSet::from_iter(u, [0])];
+        let (picked, covered) = max_k_cover(&sets, &BitSet::full(u), 4);
+        assert_eq!(picked, vec![0]);
+        assert_eq!(covered, 1, "remaining elements unreachable");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (picked, covered) = max_k_cover(&[], &BitSet::full(3), 2);
+        assert!(picked.is_empty());
+        assert_eq!(covered, 0);
+        let sets = vec![BitSet::from_iter(3, [0])];
+        let (picked, covered) = max_k_cover(&sets, &BitSet::new(3), 2);
+        assert!(picked.is_empty());
+        assert_eq!(covered, 0);
+    }
+}

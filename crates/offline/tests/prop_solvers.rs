@@ -1,0 +1,142 @@
+//! Property tests: solver relationships that must hold on any feasible
+//! instance — greedy covers, exact covers, exact ≤ greedy, exact = OPT.
+
+use proptest::prelude::*;
+use sc_bitset::BitSet;
+use sc_offline::{
+    exact, fractional_coverage, fractional_mwu, greedy, is_feasible, max_k_cover, primal_dual,
+    randomized_rounding,
+};
+
+/// Random small families over a universe of `u` elements, with a full
+/// set appended so the instance is always feasible.
+fn family() -> impl Strategy<Value = (usize, Vec<Vec<u32>>)> {
+    (3usize..9).prop_flat_map(|u| {
+        let set = proptest::collection::vec(0..u as u32, 0..u);
+        let fam = proptest::collection::vec(set, 1..7);
+        (Just(u), fam)
+    })
+}
+
+fn to_bitsets(u: usize, raw: &[Vec<u32>]) -> Vec<BitSet> {
+    let mut sets: Vec<BitSet> = raw
+        .iter()
+        .map(|s| BitSet::from_iter(u, s.iter().copied()))
+        .collect();
+    sets.push(BitSet::full(u));
+    sets
+}
+
+fn union_of(sets: &[BitSet], picks: &[usize], u: usize) -> BitSet {
+    let mut acc = BitSet::new(u);
+    for &i in picks {
+        acc.union_with(&sets[i]);
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn greedy_produces_a_cover((u, raw) in family()) {
+        let sets = to_bitsets(u, &raw);
+        let target = BitSet::full(u);
+        prop_assert!(is_feasible(&sets, &target));
+        let cover = greedy(&sets, &target).expect("feasible");
+        prop_assert!(target.is_subset(&union_of(&sets, &cover, u)));
+        // No duplicate picks.
+        let mut seen = std::collections::HashSet::new();
+        prop_assert!(cover.iter().all(|&i| seen.insert(i)));
+    }
+
+    #[test]
+    fn exact_is_optimal_and_at_most_greedy((u, raw) in family()) {
+        let sets = to_bitsets(u, &raw);
+        let target = BitSet::full(u);
+        let g = greedy(&sets, &target).expect("feasible");
+        let e = exact(&sets, &target, 1_000_000).expect("feasible");
+        prop_assert!(e.optimal);
+        prop_assert!(e.cover.len() <= g.len());
+        prop_assert!(target.is_subset(&union_of(&sets, &e.cover, u)));
+        // Certified optimality: no strictly smaller cover exists.
+        prop_assert_eq!(e.cover.len(), brute_force(&sets, &target));
+    }
+
+    #[test]
+    fn primal_dual_sandwich_holds((u, raw) in family()) {
+        let sets = to_bitsets(u, &raw);
+        let target = BitSet::full(u);
+        let out = primal_dual(&sets, &target).expect("feasible");
+        prop_assert!(target.is_subset(&union_of(&sets, &out.cover, u)));
+        let opt = brute_force(&sets, &target);
+        prop_assert!(out.witness.len() <= opt, "dual witness must lower-bound OPT");
+        prop_assert!(out.cover.len() <= out.max_frequency.max(1) * out.witness.len());
+        // The witness is a fooling structure: no set hits it twice.
+        for s in &sets {
+            prop_assert!(out.witness.iter().filter(|&&e| s.contains(e)).count() <= 1);
+        }
+    }
+
+    #[test]
+    fn fractional_cover_is_lp_feasible((u, raw) in family()) {
+        let sets = to_bitsets(u, &raw);
+        let target = BitSet::full(u);
+        let frac = fractional_mwu(&sets, &target, 512, 0.5).expect("feasible");
+        prop_assert!(fractional_coverage(&sets, &target, &frac.x) >= 1.0 - 1e-9);
+        // The LP optimum never exceeds the integral optimum; our value
+        // sits above the LP optimum only by the convergence gap.
+        let opt = brute_force(&sets, &target) as f64;
+        prop_assert!(frac.value <= opt * 1.5 + 0.5,
+            "fractional value {} vs integral OPT {}", frac.value, opt);
+    }
+
+    #[test]
+    fn rounding_always_returns_a_cover(((u, raw), seed) in (family(), 0u64..1000)) {
+        use rand::SeedableRng;
+        let sets = to_bitsets(u, &raw);
+        let target = BitSet::full(u);
+        let frac = fractional_mwu(&sets, &target, 256, 0.5).expect("feasible");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rounded = randomized_rounding(&sets, &target, &frac, 1.0, &mut rng).expect("feasible");
+        prop_assert!(target.is_subset(&union_of(&sets, &rounded.cover, u)));
+        // Indices are deduplicated and sorted.
+        let mut c = rounded.cover.clone();
+        c.dedup();
+        prop_assert_eq!(&c, &rounded.cover);
+    }
+
+    #[test]
+    fn max_k_cover_monotone_in_k((u, raw) in family()) {
+        let sets = to_bitsets(u, &raw);
+        let target = BitSet::full(u);
+        let mut prev = 0;
+        for k in 0..=sets.len() {
+            let (picked, covered) = max_k_cover(&sets, &target, k);
+            prop_assert!(picked.len() <= k);
+            prop_assert!(covered >= prev, "coverage must be monotone in k");
+            prop_assert_eq!(covered, union_of(&sets, &picked, u).intersection_count(&target));
+            prev = covered;
+        }
+    }
+}
+
+fn brute_force(sets: &[BitSet], target: &BitSet) -> usize {
+    let m = sets.len();
+    assert!(m <= 24);
+    let mut best = usize::MAX;
+    for mask in 0u32..(1 << m) {
+        if (mask.count_ones() as usize) >= best {
+            continue;
+        }
+        let picks: Vec<usize> = (0..m).filter(|&i| mask >> i & 1 == 1).collect();
+        let mut acc = BitSet::new(target.universe());
+        for &i in &picks {
+            acc.union_with(&sets[i]);
+        }
+        if target.is_subset(&acc) {
+            best = picks.len();
+        }
+    }
+    best
+}

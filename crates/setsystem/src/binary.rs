@@ -1,0 +1,598 @@
+//! Compact binary serialisation of set systems, with a streaming
+//! reader.
+//!
+//! The text format ([`crate::io`]) is diff-friendly but costs ~7 bytes
+//! per element id; at the `mn`-word scales the paper's lower bounds talk
+//! about, repository files get large. This module defines `SCB1`, a
+//! delta-varint binary format that stores a sorted set in roughly one
+//! byte per id, and a [`BinaryReader`] that scans a repository **one
+//! record at a time in O(max |r|) memory** — the on-disk analogue of the
+//! model's sequential pass, used by `sctool` to inspect and convert
+//! workloads far larger than RAM would allow.
+//!
+//! ## Layout
+//!
+//! ```text
+//! magic   "SCB1\n"
+//! header  varint universe, varint num_sets, u32 fnv(header)
+//! records num_sets × [ 'S' | varint len | delta-varint ids | u32 fnv ]
+//! footer  optional 'O' varint count, varint set ids     (planted cover)
+//!         optional 'L' varint len, utf-8 bytes          (label)
+//!         'E', u32 fnv(footer sections)                 (end marker)
+//! ```
+//!
+//! All varints are LEB128. Element ids within a record are strictly
+//! increasing (the [`SetSystem`] invariant) and stored as gaps:
+//! `id₀, id₁−id₀, id₂−id₁, …`. The header, every record, and the footer
+//! each carry an FNV-1a checksum of their payload bytes, so *any*
+//! flipped bit fails loudly at the damaged region instead of silently
+//! perturbing an experiment; the end marker catches truncation.
+
+use crate::{ElemId, Instance, SetId, SetSystem};
+use std::fmt;
+use std::io::{BufRead, Read, Write};
+
+const MAGIC: &[u8; 5] = b"SCB1\n";
+
+/// A failure while reading the binary format.
+#[derive(Debug)]
+pub enum BinError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// The stream does not start with the `SCB1` magic.
+    BadMagic,
+    /// Structural damage, with byte-offset context where known.
+    Corrupt {
+        /// Which record was being read (`None` for header/footer).
+        record: Option<usize>,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::Io(e) => write!(f, "I/O error: {e}"),
+            BinError::BadMagic => write!(f, "not an SCB1 file (bad magic)"),
+            BinError::Corrupt { record: Some(r), message } => {
+                write!(f, "corrupt record {r}: {message}")
+            }
+            BinError::Corrupt { record: None, message } => write!(f, "corrupt file: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BinError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BinError {
+    fn from(e: std::io::Error) -> Self {
+        BinError::Io(e)
+    }
+}
+
+fn corrupt(record: Option<usize>, message: impl Into<String>) -> BinError {
+    BinError::Corrupt { record, message: message.into() }
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> std::io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R, record: Option<usize>) -> Result<u64, BinError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                corrupt(record, "truncated varint")
+            } else {
+                BinError::Io(e)
+            }
+        })?;
+        if shift >= 63 && byte[0] > 1 {
+            return Err(corrupt(record, "varint overflows u64"));
+        }
+        v |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Writes an instance in the `SCB1` binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_instance_binary<W: Write>(w: &mut W, inst: &Instance) -> std::io::Result<()> {
+    let system = &inst.system;
+    w.write_all(MAGIC)?;
+    let mut header: Vec<u8> = Vec::new();
+    write_varint(&mut header, system.universe() as u64)?;
+    write_varint(&mut header, system.num_sets() as u64)?;
+    w.write_all(&header)?;
+    w.write_all(&fnv1a(&header).to_le_bytes())?;
+    let mut payload: Vec<u8> = Vec::new();
+    for (_, elems) in system.iter() {
+        payload.clear();
+        write_varint(&mut payload, elems.len() as u64)?;
+        let mut prev = 0u64;
+        for (i, &e) in elems.iter().enumerate() {
+            let v = u64::from(e);
+            let gap = if i == 0 { v } else { v - prev };
+            write_varint(&mut payload, gap)?;
+            prev = v;
+        }
+        w.write_all(b"S")?;
+        w.write_all(&payload)?;
+        w.write_all(&fnv1a(&payload).to_le_bytes())?;
+    }
+    let mut footer: Vec<u8> = Vec::new();
+    if let Some(p) = &inst.planted {
+        footer.write_all(b"O")?;
+        write_varint(&mut footer, p.len() as u64)?;
+        for &id in p {
+            write_varint(&mut footer, u64::from(id))?;
+        }
+    }
+    if !inst.label.is_empty() {
+        footer.write_all(b"L")?;
+        write_varint(&mut footer, inst.label.len() as u64)?;
+        footer.write_all(inst.label.as_bytes())?;
+    }
+    w.write_all(&footer)?;
+    w.write_all(b"E")?;
+    w.write_all(&fnv1a(&footer).to_le_bytes())
+}
+
+/// A bounded-memory scanner over an `SCB1` stream: the on-disk analogue
+/// of one sequential pass.
+///
+/// Construction reads the header; [`next_set`](BinaryReader::next_set)
+/// then yields one record at a time into a caller-supplied buffer —
+/// peak memory is `O(max |r|)` regardless of the repository size. After
+/// the last record, [`finish`](BinaryReader::finish) parses the footer
+/// and returns the planted cover and label.
+///
+/// # Examples
+///
+/// ```
+/// use sc_setsystem::{binary, gen};
+///
+/// let inst = gen::planted(64, 32, 4, 7);
+/// let mut bytes = Vec::new();
+/// binary::write_instance_binary(&mut bytes, &inst).unwrap();
+///
+/// let mut reader = binary::BinaryReader::new(&bytes[..]).unwrap();
+/// assert_eq!(reader.universe(), 64);
+/// let mut buf = Vec::new();
+/// let mut total = 0usize;
+/// while reader.next_set(&mut buf).unwrap().is_some() {
+///     total += buf.len();
+/// }
+/// assert_eq!(total, inst.system.total_size());
+/// ```
+#[derive(Debug)]
+pub struct BinaryReader<R: BufRead> {
+    inner: R,
+    universe: usize,
+    num_sets: usize,
+    next_record: usize,
+}
+
+impl<R: BufRead> BinaryReader<R> {
+    /// Opens the stream and validates the magic and header.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::BadMagic`] if the stream is not `SCB1`;
+    /// [`BinError::Corrupt`] for a damaged header.
+    pub fn new(mut inner: R) -> Result<Self, BinError> {
+        let mut magic = [0u8; 5];
+        inner.read_exact(&mut magic).map_err(|_| BinError::BadMagic)?;
+        if &magic != MAGIC {
+            return Err(BinError::BadMagic);
+        }
+        let mut header: Vec<u8> = Vec::new();
+        let universe = {
+            let mut tee = Tee { inner: &mut inner, copy: &mut header };
+            read_varint(&mut tee, None)? as usize
+        };
+        let num_sets = {
+            let mut tee = Tee { inner: &mut inner, copy: &mut header };
+            read_varint(&mut tee, None)? as usize
+        };
+        let mut crc = [0u8; 4];
+        inner.read_exact(&mut crc).map_err(|_| corrupt(None, "truncated header checksum"))?;
+        if u32::from_le_bytes(crc) != fnv1a(&header) {
+            return Err(corrupt(None, "header checksum mismatch"));
+        }
+        Ok(Self { inner, universe, num_sets, next_record: 0 })
+    }
+
+    /// Ground set size from the header.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Declared number of sets from the header.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Reads the next set record into `buf` (cleared first), returning
+    /// its id, or `None` once all declared records have been read.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::Corrupt`] on a bad tag, checksum mismatch,
+    /// non-monotone ids, out-of-range ids, or truncation.
+    pub fn next_set(&mut self, buf: &mut Vec<ElemId>) -> Result<Option<SetId>, BinError> {
+        if self.next_record >= self.num_sets {
+            return Ok(None);
+        }
+        let record = self.next_record;
+        let mut tag = [0u8; 1];
+        self.inner
+            .read_exact(&mut tag)
+            .map_err(|_| corrupt(Some(record), "truncated before record tag"))?;
+        if tag[0] != b'S' {
+            return Err(corrupt(Some(record), format!("expected 'S' tag, found {:#04x}", tag[0])));
+        }
+        // Re-serialise the payload while decoding so the checksum can be
+        // verified without a second buffer pass.
+        let mut payload: Vec<u8> = Vec::new();
+        let len = {
+            let mut tee = Tee { inner: &mut self.inner, copy: &mut payload };
+            read_varint(&mut tee, Some(record))? as usize
+        };
+        if len > self.universe {
+            return Err(corrupt(
+                Some(record),
+                format!("set of {len} ids exceeds universe {}", self.universe),
+            ));
+        }
+        buf.clear();
+        let mut prev: u64 = 0;
+        for i in 0..len {
+            let gap = {
+                let mut tee = Tee { inner: &mut self.inner, copy: &mut payload };
+                read_varint(&mut tee, Some(record))?
+            };
+            if i > 0 && gap == 0 {
+                return Err(corrupt(Some(record), "non-increasing element ids"));
+            }
+            let v = if i == 0 { gap } else { prev + gap };
+            if v >= self.universe as u64 {
+                return Err(corrupt(
+                    Some(record),
+                    format!("element {v} outside universe {}", self.universe),
+                ));
+            }
+            buf.push(v as ElemId);
+            prev = v;
+        }
+        let mut crc = [0u8; 4];
+        self.inner
+            .read_exact(&mut crc)
+            .map_err(|_| corrupt(Some(record), "truncated checksum"))?;
+        if u32::from_le_bytes(crc) != fnv1a(&payload) {
+            return Err(corrupt(Some(record), "checksum mismatch"));
+        }
+        self.next_record += 1;
+        Ok(Some(record as SetId))
+    }
+
+    /// Parses the footer after the last record: `(planted, label)`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::Corrupt`] if records remain unread, the end marker is
+    /// missing, or a footer section is damaged.
+    pub fn finish(mut self) -> Result<(Option<Vec<SetId>>, String), BinError> {
+        if self.next_record != self.num_sets {
+            return Err(corrupt(
+                Some(self.next_record),
+                format!("finish() called with {} of {} records read", self.next_record, self.num_sets),
+            ));
+        }
+        let mut planted = None;
+        let mut label = String::new();
+        // Everything before the end marker feeds the footer checksum.
+        let mut footer: Vec<u8> = Vec::new();
+        loop {
+            let mut tag = [0u8; 1];
+            self.inner
+                .read_exact(&mut tag)
+                .map_err(|_| corrupt(None, "truncated footer (missing end marker)"))?;
+            match tag[0] {
+                b'E' => {
+                    let mut crc = [0u8; 4];
+                    self.inner
+                        .read_exact(&mut crc)
+                        .map_err(|_| corrupt(None, "truncated footer checksum"))?;
+                    if u32::from_le_bytes(crc) != fnv1a(&footer) {
+                        return Err(corrupt(None, "footer checksum mismatch"));
+                    }
+                    return Ok((planted, label));
+                }
+                b'O' => {
+                    footer.push(b'O');
+                    let count = {
+                        let mut tee = Tee { inner: &mut self.inner, copy: &mut footer };
+                        read_varint(&mut tee, None)? as usize
+                    };
+                    if count > self.num_sets {
+                        return Err(corrupt(None, "planted cover larger than the family"));
+                    }
+                    let mut ids = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let id = {
+                            let mut tee = Tee { inner: &mut self.inner, copy: &mut footer };
+                            read_varint(&mut tee, None)?
+                        };
+                        if id >= self.num_sets as u64 {
+                            return Err(corrupt(None, format!("planted id {id} out of range")));
+                        }
+                        ids.push(id as SetId);
+                    }
+                    planted = Some(ids);
+                }
+                b'L' => {
+                    footer.push(b'L');
+                    let len = {
+                        let mut tee = Tee { inner: &mut self.inner, copy: &mut footer };
+                        read_varint(&mut tee, None)? as usize
+                    };
+                    let mut bytes = vec![0u8; len];
+                    self.inner
+                        .read_exact(&mut bytes)
+                        .map_err(|_| corrupt(None, "truncated label"))?;
+                    footer.extend_from_slice(&bytes);
+                    label = String::from_utf8(bytes)
+                        .map_err(|_| corrupt(None, "label is not UTF-8"))?;
+                }
+                t => return Err(corrupt(None, format!("unknown footer tag {t:#04x}"))),
+            }
+        }
+    }
+}
+
+/// Copies every byte read from `inner` into `copy` — lets the record
+/// decoder checksum exactly the bytes it consumed.
+struct Tee<'a, R: Read> {
+    inner: &'a mut R,
+    copy: &'a mut Vec<u8>,
+}
+
+impl<R: Read> Read for Tee<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.copy.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+}
+
+/// Reads a whole instance from the `SCB1` binary format.
+///
+/// # Errors
+///
+/// Any [`BinError`] surfaced by the streaming reader.
+pub fn read_instance_binary<R: BufRead>(r: R) -> Result<Instance, BinError> {
+    let mut reader = BinaryReader::new(r)?;
+    let universe = reader.universe();
+    let mut sets = Vec::with_capacity(reader.num_sets());
+    let mut buf = Vec::new();
+    while reader.next_set(&mut buf)?.is_some() {
+        sets.push(buf.clone());
+    }
+    let (planted, label) = reader.finish()?;
+    Ok(Instance { system: SetSystem::from_sets(universe, sets), planted, label })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn round_trip(inst: &Instance) -> Instance {
+        let mut bytes = Vec::new();
+        write_instance_binary(&mut bytes, inst).unwrap();
+        read_instance_binary(&bytes[..]).unwrap()
+    }
+
+    #[test]
+    fn round_trips_generated_instances() {
+        for inst in [
+            gen::planted(100, 50, 5, 1),
+            gen::uniform_random(64, 32, 0.2, 2),
+            gen::sparse(128, 64, 4, 3),
+            gen::zipf(80, 40, 1.1, 20, 4),
+        ] {
+            let back = round_trip(&inst);
+            assert_eq!(back.system.universe(), inst.system.universe());
+            assert_eq!(back.system.num_sets(), inst.system.num_sets());
+            for (id, elems) in inst.system.iter() {
+                assert_eq!(back.system.set(id), elems);
+            }
+            assert_eq!(back.planted, inst.planted);
+            assert_eq!(back.label, inst.label);
+        }
+    }
+
+    #[test]
+    fn round_trips_edge_cases() {
+        // Empty sets, no planted, empty label, universe of one.
+        let inst = Instance {
+            system: SetSystem::from_sets(1, vec![vec![], vec![0], vec![]]),
+            planted: None,
+            label: String::new(),
+        };
+        let back = round_trip(&inst);
+        assert_eq!(back.system.set(0), &[] as &[u32]);
+        assert_eq!(back.system.set(1), &[0]);
+        assert_eq!(back.planted, None);
+        assert_eq!(back.label, "");
+    }
+
+    #[test]
+    fn matches_text_format_round_trip() {
+        let inst = gen::planted(200, 100, 8, 9);
+        let mut text = Vec::new();
+        crate::io::write_instance(&mut text, &inst).unwrap();
+        let via_text = crate::io::read_instance(&text[..]).unwrap();
+        let via_bin = round_trip(&inst);
+        for (id, elems) in via_text.system.iter() {
+            assert_eq!(via_bin.system.set(id), elems);
+        }
+        assert_eq!(via_bin.planted, via_text.planted);
+    }
+
+    #[test]
+    fn binary_is_denser_than_text() {
+        let inst = gen::planted(2048, 1024, 16, 5);
+        let mut text = Vec::new();
+        crate::io::write_instance(&mut text, &inst).unwrap();
+        let mut bin = Vec::new();
+        write_instance_binary(&mut bin, &inst).unwrap();
+        assert!(
+            bin.len() * 2 < text.len(),
+            "binary ({}) should be at most half the text ({})",
+            bin.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_instance_binary(&b"NOTSCB1.."[..]).unwrap_err();
+        assert!(matches!(err, BinError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let inst = gen::planted(64, 32, 4, 8);
+        let mut bytes = Vec::new();
+        write_instance_binary(&mut bytes, &inst).unwrap();
+        // Chop the file at a spread of prefixes: every one must error,
+        // never panic, never return Ok.
+        for cut in [5usize, 6, 10, bytes.len() / 2, bytes.len() - 1] {
+            let err = read_instance_binary(&bytes[..cut]).expect_err("truncated file accepted");
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_in_a_record_is_caught() {
+        let inst = gen::planted(64, 8, 2, 3);
+        let mut bytes = Vec::new();
+        write_instance_binary(&mut bytes, &inst).unwrap();
+        // Find the first record: magic(5) + header varints + u32 crc.
+        let header_len = {
+            let mut r = &bytes[5..];
+            let before = r.len();
+            let _ = read_varint(&mut r, None).unwrap();
+            let _ = read_varint(&mut r, None).unwrap();
+            5 + (before - r.len()) + 4
+        };
+        // Flip each bit of the first record's payload+checksum region.
+        let mut caught = 0usize;
+        let mut missed = Vec::new();
+        let record_end = (header_len + 24).min(bytes.len());
+        for pos in header_len..record_end {
+            for bit in 0..8 {
+                let mut dam = bytes.clone();
+                dam[pos] ^= 1 << bit;
+                match read_instance_binary(&dam[..]) {
+                    Err(_) => caught += 1,
+                    Ok(back) => {
+                        // A flip that survives *must* decode to different
+                        // content being impossible — verify it changed
+                        // nothing observable (e.g. flipping a bit inside
+                        // the checksum of an empty region can't happen
+                        // here, so this branch records a miss).
+                        let same = (0..inst.system.num_sets() as u32)
+                            .all(|id| back.system.set(id) == inst.system.set(id));
+                        if !same {
+                            missed.push((pos, bit));
+                        }
+                    }
+                }
+            }
+        }
+        assert!(missed.is_empty(), "undetected corruption at {missed:?}");
+        assert!(caught > 0);
+    }
+
+    #[test]
+    fn streaming_reader_is_incremental_and_ordered() {
+        let inst = gen::uniform_random(128, 64, 0.1, 6);
+        let mut bytes = Vec::new();
+        write_instance_binary(&mut bytes, &inst).unwrap();
+        let mut reader = BinaryReader::new(&bytes[..]).unwrap();
+        let mut buf = Vec::new();
+        let mut id = 0u32;
+        while let Some(got) = reader.next_set(&mut buf).unwrap() {
+            assert_eq!(got, id);
+            assert_eq!(buf.as_slice(), inst.system.set(id));
+            id += 1;
+        }
+        assert_eq!(id as usize, inst.system.num_sets());
+        let (planted, label) = reader.finish().unwrap();
+        assert_eq!(planted, inst.planted);
+        assert_eq!(label, inst.label);
+    }
+
+    #[test]
+    fn finish_before_all_records_is_an_error() {
+        let inst = gen::planted(32, 16, 2, 1);
+        let mut bytes = Vec::new();
+        write_instance_binary(&mut bytes, &inst).unwrap();
+        let reader = BinaryReader::new(&bytes[..]).unwrap();
+        assert!(reader.finish().is_err());
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            let got = read_varint(&mut &buf[..], None).unwrap();
+            assert_eq!(got, v);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_corrupt_not_panic() {
+        // 11 bytes of 0xff can encode more than 64 bits.
+        let bytes = [0xffu8; 11];
+        assert!(read_varint(&mut &bytes[..], None).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Incremental construction of [`SetSystem`]s.
+
+use crate::{ElemId, SetId, SetSystem};
+
+/// Builds a [`SetSystem`] one set at a time.
+///
+/// Generators and the lower-bound reductions construct families
+/// incrementally and need the id each set will receive; [`add_set`]
+/// returns it. Element ids are validated eagerly so a construction bug
+/// fails at the faulty `add_set` call rather than at `finish`.
+///
+/// [`add_set`]: SetSystemBuilder::add_set
+///
+/// # Examples
+///
+/// ```
+/// use sc_setsystem::SetSystemBuilder;
+///
+/// let mut b = SetSystemBuilder::new(4);
+/// let first = b.add_set(vec![0, 1]);
+/// let second = b.add_set(vec![2, 3]);
+/// let system = b.finish();
+/// assert_eq!((first, second), (0, 1));
+/// assert!(system.verify_cover(&[first, second]).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetSystemBuilder {
+    universe: usize,
+    sets: Vec<Vec<ElemId>>,
+}
+
+impl SetSystemBuilder {
+    /// Starts a builder over `{0, …, universe-1}`.
+    pub fn new(universe: usize) -> Self {
+        Self { universe, sets: Vec::new() }
+    }
+
+    /// Starts a builder expecting roughly `m` sets.
+    pub fn with_capacity(universe: usize, m: usize) -> Self {
+        Self { universe, sets: Vec::with_capacity(m) }
+    }
+
+    /// Ground set size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of sets added so far.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` if no sets have been added.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Adds a set and returns its id (ids are assigned `0, 1, 2, …`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element id is `>= universe`.
+    pub fn add_set(&mut self, elems: Vec<ElemId>) -> SetId {
+        for &e in &elems {
+            assert!(
+                (e as usize) < self.universe,
+                "element {e} outside universe {}",
+                self.universe
+            );
+        }
+        let id = self.sets.len() as SetId;
+        self.sets.push(elems);
+        id
+    }
+
+    /// Finalises into an immutable [`SetSystem`].
+    pub fn finish(self) -> SetSystem {
+        SetSystem::from_sets(self.universe, self.sets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut b = SetSystemBuilder::new(3);
+        assert_eq!(b.add_set(vec![0]), 0);
+        assert_eq!(b.add_set(vec![1]), 1);
+        assert_eq!(b.add_set(vec![2]), 2);
+        assert_eq!(b.len(), 3);
+        let s = b.finish();
+        assert_eq!(s.num_sets(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn add_set_validates_eagerly() {
+        let mut b = SetSystemBuilder::new(2);
+        b.add_set(vec![2]);
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let b = SetSystemBuilder::with_capacity(5, 100);
+        assert!(b.is_empty());
+        assert_eq!(b.universe(), 5);
+    }
+}

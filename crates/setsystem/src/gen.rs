@@ -1,0 +1,429 @@
+//! Workload generators for every experiment in the paper.
+//!
+//! Each generator returns an [`Instance`] whose `label` records the
+//! parameters and whose `planted` field carries ground truth when the
+//! construction knows one. All generators take an explicit seed so every
+//! benchmark run is reproducible.
+//!
+//! | Generator | Used by experiment | Character |
+//! |-----------|--------------------|-----------|
+//! | [`planted`] | E1, E2, E3 | disjoint optimal cover + dominated decoys; `OPT = k` provably |
+//! | [`planted_noisy`] | E1, E2 | planted cover + overlapping decoys; `OPT ≤ k` |
+//! | [`uniform_random`] | E2, E9 | Bernoulli membership, patched to feasibility |
+//! | [`zipf`] | E2 | power-law set sizes (few huge, many tiny sets) |
+//! | [`greedy_adversarial`] | E1, E9 | classic `Ω(log n)`-gap instance for greedy; `OPT = 2` |
+//! | [`primal_dual_adversarial`] | oracle tests | frequency trap: the local-ratio oracle pays `f/2` |
+//! | [`sparse`] | E8 | every set of size ≤ `s` (Section 6 regime) |
+
+use crate::{ElemId, Instance, SetId, SetSystemBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Partitions `0..n` into `k` nearly-equal contiguous parts after a
+/// random shuffle, so part membership is random but sizes are balanced.
+fn random_partition(n: usize, k: usize, rng: &mut StdRng) -> Vec<Vec<ElemId>> {
+    assert!(k >= 1 && k <= n, "need 1 <= k={k} <= n={n}");
+    let mut elems: Vec<ElemId> = (0..n as ElemId).collect();
+    elems.shuffle(rng);
+    let mut parts = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut at = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        parts.push(elems[at..at + len].to_vec());
+        at += len;
+    }
+    parts
+}
+
+/// Draws a uniform random subset of `part` of the given size.
+fn random_subset(part: &[ElemId], size: usize, rng: &mut StdRng) -> Vec<ElemId> {
+    let mut pool = part.to_vec();
+    pool.shuffle(rng);
+    pool.truncate(size);
+    pool
+}
+
+/// Planted-cover instance: `k` disjoint sets partition `U` (the optimal
+/// cover) and `m - k` decoys, each a random *strict subset of a single
+/// planted part*.
+///
+/// Because every decoy lies inside one part, any cover must use at least
+/// one set per part, so `OPT = k` exactly — the benchmarks can report
+/// true approximation ratios without an exact solve.
+///
+/// Set ids are shuffled so the planted sets are scattered through the
+/// stream.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k ≤ n` and `m ≥ k`.
+pub fn planted(n: usize, m: usize, k: usize, seed: u64) -> Instance {
+    assert!(m >= k, "need m={m} >= k={k}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parts = random_partition(n, k, &mut rng);
+
+    let mut sets: Vec<Vec<ElemId>> = parts.clone();
+    for _ in k..m {
+        let part = &parts[rng.random_range(0..k)];
+        // Strict subset: size in [1, |part|-1] when possible.
+        let hi = part.len().max(2) - 1;
+        let size = rng.random_range(1..=hi.max(1));
+        sets.push(random_subset(part, size.min(part.len()), &mut rng));
+    }
+
+    let (system, relabel) = shuffle_sets(n, sets, &mut rng);
+    let planted = (0..k as SetId).map(|i| relabel[i as usize]).collect();
+    Instance {
+        system,
+        planted: Some(planted),
+        label: format!("planted(n={n},m={m},k={k},seed={seed})"),
+    }
+}
+
+/// Planted cover plus *overlapping* decoys: decoys are random subsets of
+/// all of `U` with sizes up to `⌈n/k⌉`. `OPT ≤ k`; equality is typical
+/// but no longer forced, so exact-solve when the precise value matters.
+pub fn planted_noisy(n: usize, m: usize, k: usize, seed: u64) -> Instance {
+    assert!(m >= k, "need m={m} >= k={k}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parts = random_partition(n, k, &mut rng);
+    let all: Vec<ElemId> = (0..n as ElemId).collect();
+    let cap = n.div_ceil(k);
+
+    let mut sets: Vec<Vec<ElemId>> = parts;
+    for _ in k..m {
+        let size = rng.random_range(1..=cap);
+        sets.push(random_subset(&all, size, &mut rng));
+    }
+
+    let (system, relabel) = shuffle_sets(n, sets, &mut rng);
+    let planted = (0..k as SetId).map(|i| relabel[i as usize]).collect();
+    Instance {
+        system,
+        planted: Some(planted),
+        label: format!("planted_noisy(n={n},m={m},k={k},seed={seed})"),
+    }
+}
+
+/// Bernoulli random family: each of the `m` sets contains each element
+/// independently with probability `p`, then every element left uncovered
+/// is patched into one uniformly random set (so the instance is always
+/// feasible).
+pub fn uniform_random(n: usize, m: usize, p: f64, seed: u64) -> Instance {
+    assert!((0.0..=1.0).contains(&p), "p={p} not a probability");
+    assert!(m >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sets: Vec<Vec<ElemId>> = vec![Vec::new(); m];
+    let mut covered = vec![false; n];
+    for set in &mut sets {
+        for (e, cov) in covered.iter_mut().enumerate() {
+            if rng.random_bool(p) {
+                set.push(e as ElemId);
+                *cov = true;
+            }
+        }
+    }
+    for (e, &c) in covered.iter().enumerate() {
+        if !c {
+            let victim = rng.random_range(0..m);
+            sets[victim].push(e as ElemId);
+        }
+    }
+    let mut b = SetSystemBuilder::with_capacity(n, m);
+    for s in sets {
+        b.add_set(s);
+    }
+    Instance {
+        system: b.finish(),
+        planted: None,
+        label: format!("uniform(n={n},m={m},p={p},seed={seed})"),
+    }
+}
+
+/// Power-law family: set `i` (before shuffling) has size
+/// `clamp(⌊max_size / (i+1)^theta⌋, 1, max_size)` with uniformly random
+/// elements; uncovered elements are patched into random sets.
+///
+/// Models the "few huge sets, many tiny sets" shape of web-scale data
+/// (the paper cites web host analysis and data mining as motivating
+/// workloads). Cap `max_size` well below `n` to keep `OPT > 1`.
+pub fn zipf(n: usize, m: usize, theta: f64, max_size: usize, seed: u64) -> Instance {
+    assert!(m >= 1);
+    assert!(max_size >= 1 && max_size <= n, "need 1 <= max_size={max_size} <= n={n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all: Vec<ElemId> = (0..n as ElemId).collect();
+    let mut sets: Vec<Vec<ElemId>> = Vec::with_capacity(m);
+    let mut covered = vec![false; n];
+    for i in 0..m {
+        let size = ((max_size as f64) / ((i + 1) as f64).powf(theta)).floor() as usize;
+        let size = size.clamp(1, max_size);
+        let s = random_subset(&all, size, &mut rng);
+        for &e in &s {
+            covered[e as usize] = true;
+        }
+        sets.push(s);
+    }
+    for (e, &c) in covered.iter().enumerate() {
+        if !c {
+            let victim = rng.random_range(0..m);
+            sets[victim].push(e as ElemId);
+        }
+    }
+    let (system, _) = shuffle_sets(n, sets, &mut rng);
+    Instance {
+        system,
+        planted: None,
+        label: format!("zipf(n={n},m={m},theta={theta},max={max_size},seed={seed})"),
+    }
+}
+
+/// The classic instance on which greedy pays `Θ(log n)` versus `OPT = 2`.
+///
+/// The universe is two rows of `2^levels - 1` elements. The planted
+/// optimum is `{top row, bottom row}`. The `levels` bait sets partition
+/// the columns into blocks of widths `2^{levels-1}, …, 2, 1`; bait `i`
+/// covers both rows of block `i` and is *just* bigger than half of what
+/// remains, so greedy (and gain-threshold streaming algorithms fed the
+/// baits first) eats all the baits.
+///
+/// Stream order is adversarial by design: baits appear before the rows.
+pub fn greedy_adversarial(levels: u32) -> Instance {
+    assert!((1..20).contains(&levels), "levels={levels} out of range");
+    let row = (1usize << levels) - 1;
+    let n = 2 * row;
+    let top = |c: usize| c as ElemId;
+    let bottom = |c: usize| (row + c) as ElemId;
+
+    let mut b = SetSystemBuilder::new(n);
+    // Baits first (adversarial order for one-pass algorithms).
+    let mut start = 0usize;
+    for i in 0..levels {
+        let width = 1usize << (levels - 1 - i);
+        let mut s = Vec::with_capacity(2 * width);
+        for c in start..start + width {
+            s.push(top(c));
+            s.push(bottom(c));
+        }
+        b.add_set(s);
+        start += width;
+    }
+    let top_id = b.add_set((0..row).map(top).collect());
+    let bottom_id = b.add_set((0..row).map(bottom).collect());
+
+    Instance {
+        system: b.finish(),
+        planted: Some(vec![top_id, bottom_id]),
+        label: format!("greedy_adversarial(levels={levels})"),
+    }
+}
+
+/// The frequency trap: the worst case of the primal–dual
+/// (local-ratio) oracle, where buying a pivot element's whole star
+/// costs `f/2` times the optimum.
+///
+/// Per block: a *hub* element contained in `f` star sets
+/// `A_i = {hub, pᵢ}`, and `f + 1` identical "blanket" copies
+/// `C = {p₁, …, p_f}` (the duplicates raise every private's frequency
+/// to `f + 1`, making the hub — frequency `f` — the least frequent
+/// uncovered element, so primal–dual pivots on it and buys all `f`
+/// stars). The optimum is one star plus one blanket: 2 per block.
+///
+/// # Panics
+///
+/// Panics unless `f ≥ 2` and `blocks ≥ 1`.
+pub fn primal_dual_adversarial(f: usize, blocks: usize) -> Instance {
+    assert!(f >= 2, "need f >= 2, got {f}");
+    assert!(blocks >= 1, "need at least one block");
+    let per_block = 1 + f; // hub + privates
+    let n = blocks * per_block;
+    let mut b = SetSystemBuilder::new(n);
+    let mut planted = Vec::with_capacity(2 * blocks);
+    for blk in 0..blocks {
+        let base = (blk * per_block) as ElemId;
+        let hub = base;
+        let privates: Vec<ElemId> = (1..=f as ElemId).map(|i| base + i).collect();
+        let first_star = b.add_set(vec![hub, privates[0]]);
+        for &p in &privates[1..] {
+            b.add_set(vec![hub, p]);
+        }
+        let blanket = b.add_set(privates.clone());
+        for _ in 0..f {
+            b.add_set(privates.clone());
+        }
+        planted.push(first_star);
+        planted.push(blanket);
+    }
+    Instance {
+        system: b.finish(),
+        planted: Some(planted),
+        label: format!("primal_dual_adversarial(f={f}, blocks={blocks})"),
+    }
+}
+
+/// Sparse family for the Section 6 regime: every set has size ≤ `s`.
+///
+/// A partition of `U` into `⌈n/s⌉` sets of size ≤ `s` guarantees
+/// feasibility (and is the planted cover); the remaining sets are random
+/// subsets of size in `[1, s]`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ s ≤ n` and `m ≥ ⌈n/s⌉`.
+pub fn sparse(n: usize, m: usize, s: usize, seed: u64) -> Instance {
+    assert!(s >= 1 && s <= n, "need 1 <= s={s} <= n={n}");
+    let k = n.div_ceil(s);
+    assert!(m >= k, "need m={m} >= ceil(n/s)={k}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let parts = random_partition(n, k, &mut rng);
+    debug_assert!(parts.iter().all(|p| p.len() <= s));
+    let all: Vec<ElemId> = (0..n as ElemId).collect();
+
+    let mut sets: Vec<Vec<ElemId>> = parts;
+    for _ in k..m {
+        let size = rng.random_range(1..=s);
+        sets.push(random_subset(&all, size, &mut rng));
+    }
+    let (system, relabel) = shuffle_sets(n, sets, &mut rng);
+    let planted = (0..k as SetId).map(|i| relabel[i as usize]).collect();
+    Instance {
+        system,
+        planted: Some(planted),
+        label: format!("sparse(n={n},m={m},s={s},seed={seed})"),
+    }
+}
+
+/// Shuffles set order; returns the system and the relabelling map
+/// `old id → new id`.
+fn shuffle_sets(
+    n: usize,
+    sets: Vec<Vec<ElemId>>,
+    rng: &mut StdRng,
+) -> (crate::SetSystem, Vec<SetId>) {
+    let m = sets.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.shuffle(rng);
+    let mut relabel = vec![0 as SetId; m];
+    let mut shuffled: Vec<Vec<ElemId>> = vec![Vec::new(); m];
+    for (new, &old) in order.iter().enumerate() {
+        relabel[old] = new as SetId;
+        shuffled[new] = sets[old].clone();
+    }
+    let mut b = SetSystemBuilder::with_capacity(n, m);
+    for s in shuffled {
+        b.add_set(s);
+    }
+    (b.finish(), relabel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_is_valid_and_partitions() {
+        let inst = planted(100, 40, 7, 1);
+        inst.validate();
+        let p = inst.planted.as_ref().unwrap();
+        assert_eq!(p.len(), 7);
+        // Planted sets partition U: sizes sum to n and cover verifies.
+        let total: usize = p.iter().map(|&id| inst.system.set(id).len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn planted_decoys_are_dominated() {
+        let inst = planted(60, 30, 5, 2);
+        let p: Vec<&[ElemId]> = inst
+            .planted
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|&id| inst.system.set(id))
+            .collect();
+        for (id, s) in inst.system.iter() {
+            if inst.planted.as_ref().unwrap().contains(&id) {
+                continue;
+            }
+            // Every decoy must sit inside exactly one planted part.
+            let within = p
+                .iter()
+                .filter(|part| s.iter().all(|e| part.contains(e)))
+                .count();
+            assert_eq!(within, 1, "decoy {id} not inside a single part");
+        }
+    }
+
+    #[test]
+    fn planted_noisy_validates() {
+        planted_noisy(80, 50, 8, 3).validate();
+    }
+
+    #[test]
+    fn uniform_random_is_always_feasible() {
+        for seed in 0..5 {
+            // p = 0 forces the patch-up path to do all the work.
+            let inst = uniform_random(50, 10, 0.0, seed);
+            inst.validate();
+            let inst = uniform_random(50, 10, 0.05, seed);
+            inst.validate();
+        }
+    }
+
+    #[test]
+    fn zipf_sizes_decay() {
+        let inst = zipf(200, 50, 1.0, 200, 4);
+        inst.validate();
+        assert!(inst.system.max_set_size() >= 100, "head set should be huge");
+        let capped = zipf(200, 50, 1.0, 25, 5);
+        capped.validate();
+        assert!(capped.system.max_set_size() <= 25 + 50, "cap holds up to patching");
+    }
+
+    #[test]
+    fn greedy_adversarial_structure() {
+        let inst = greedy_adversarial(4);
+        inst.validate();
+        let n = inst.system.universe();
+        assert_eq!(n, 2 * 15);
+        assert_eq!(inst.system.num_sets(), 4 + 2);
+        assert_eq!(inst.planted.as_ref().unwrap().len(), 2);
+        // Bait 0 is strictly bigger than either row's remaining half.
+        assert_eq!(inst.system.set(0).len(), 16);
+        assert_eq!(inst.system.set(4).len(), 15);
+    }
+
+    #[test]
+    fn sparse_respects_size_bound() {
+        let inst = sparse(97, 60, 7, 5);
+        inst.validate();
+        assert!(inst.system.max_set_size() <= 7);
+        assert_eq!(inst.planted.as_ref().unwrap().len(), 97usize.div_ceil(7));
+    }
+
+    #[test]
+    fn primal_dual_adversarial_structure() {
+        let inst = primal_dual_adversarial(5, 3);
+        inst.validate();
+        assert_eq!(inst.system.universe(), 3 * 6);
+        // Per block: f stars + (f+1) blankets.
+        assert_eq!(inst.system.num_sets(), 3 * (5 + 6));
+        assert_eq!(inst.planted.as_ref().unwrap().len(), 6, "2 sets per block");
+        // Hub frequency f, private frequency f+2 (its star + f+1 blankets).
+        let inc = inst.system.element_incidence();
+        assert_eq!(inc[0].len(), 5, "hub in f stars");
+        assert_eq!(inc[1].len(), 1 + 6, "private in its star + f+1 blankets");
+    }
+
+    #[test]
+    fn generators_are_deterministic_in_seed() {
+        let a = planted(64, 32, 4, 42);
+        let b = planted(64, 32, 4, 42);
+        assert_eq!(a.system, b.system);
+        assert_eq!(a.planted, b.planted);
+        let c = planted(64, 32, 4, 43);
+        assert_ne!(a.system, c.system);
+    }
+}

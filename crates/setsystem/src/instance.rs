@@ -1,0 +1,78 @@
+//! A generated workload: a set system plus ground-truth metadata.
+
+use crate::{SetId, SetSystem};
+
+/// A benchmark instance: the set system together with whatever ground
+/// truth the generator knows about it.
+///
+/// Approximation ratios in the experiment reports are computed against
+/// [`opt_upper_bound`](Instance::opt_upper_bound): the planted cover size
+/// when one exists, otherwise an exact solve (affordable at our instance
+/// sizes) performed by the harness.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The set system `(U, F)`.
+    pub system: SetSystem,
+    /// A cover planted by the generator, if it planted one.
+    ///
+    /// The planted cover is feasible by construction, so `OPT ≤
+    /// planted.len()`; for the planted-cover generators it is also
+    /// optimal with overwhelming probability (decoy sets are strictly
+    /// dominated), and the harness verifies optimality when it matters.
+    pub planted: Option<Vec<SetId>>,
+    /// Human-readable generator label, e.g. `"planted(n=1024,m=2048,k=16)"`.
+    pub label: String,
+}
+
+impl Instance {
+    /// Wraps a system with no ground truth.
+    pub fn unlabelled(system: SetSystem) -> Self {
+        Self { system, planted: None, label: String::from("adhoc") }
+    }
+
+    /// Upper bound on `|OPT|` known without solving: the planted cover
+    /// size, else `m` (the whole family).
+    pub fn opt_upper_bound(&self) -> usize {
+        self.planted
+            .as_ref()
+            .map_or(self.system.num_sets(), Vec::len)
+    }
+
+    /// Asserts the instance invariants generators promise: coverable, and
+    /// the planted solution (if any) really is a cover.
+    pub fn validate(&self) {
+        assert!(self.system.is_coverable(), "{}: not coverable", self.label);
+        if let Some(p) = &self.planted {
+            self.system
+                .verify_cover(p)
+                .unwrap_or_else(|e| panic!("{}: planted cover invalid: {e}", self.label));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_upper_bound_prefers_planted() {
+        let system = SetSystem::from_sets(2, vec![vec![0, 1], vec![0], vec![1]]);
+        let mut inst = Instance::unlabelled(system);
+        assert_eq!(inst.opt_upper_bound(), 3);
+        inst.planted = Some(vec![0]);
+        assert_eq!(inst.opt_upper_bound(), 1);
+        inst.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "planted cover invalid")]
+    fn validate_rejects_bogus_planted() {
+        let system = SetSystem::from_sets(2, vec![vec![0], vec![1]]);
+        let inst = Instance {
+            system,
+            planted: Some(vec![0]),
+            label: "bogus".into(),
+        };
+        inst.validate();
+    }
+}

@@ -1,0 +1,268 @@
+//! Plain-text serialisation of set systems and instances.
+//!
+//! The format is line-oriented and diff-friendly, in the spirit of DIMACS:
+//!
+//! ```text
+//! c optional comment lines
+//! p setcover <universe> <num_sets>
+//! s 0 4 17 23        (one line per set: "s" then sorted element ids)
+//! s 9
+//! s                  (empty sets are legal)
+//! o 0 2              (optional: planted/known cover as set ids)
+//! l planted(n=…)     (optional: instance label)
+//! ```
+//!
+//! Sets appear in stream order; their line order *is* the repository
+//! order the streaming algorithms scan. Parsing is strict — any
+//! malformed line yields a [`ParseError`] with its line number — so a
+//! corrupted workload file fails loudly rather than silently perturbing
+//! an experiment.
+
+use crate::{ElemId, Instance, SetId, SetSystem, SetSystemBuilder};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A parse failure, with 1-based line number and explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Writes an instance in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_instance<W: Write>(w: &mut W, inst: &Instance) -> std::io::Result<()> {
+    let system = &inst.system;
+    writeln!(w, "c streaming-set-cover instance")?;
+    writeln!(w, "p setcover {} {}", system.universe(), system.num_sets())?;
+    for (_, elems) in system.iter() {
+        write!(w, "s")?;
+        for e in elems {
+            write!(w, " {e}")?;
+        }
+        writeln!(w)?;
+    }
+    if let Some(p) = &inst.planted {
+        write!(w, "o")?;
+        for id in p {
+            write!(w, " {id}")?;
+        }
+        writeln!(w)?;
+    }
+    if !inst.label.is_empty() {
+        writeln!(w, "l {}", inst.label)?;
+    }
+    Ok(())
+}
+
+/// Reads an instance from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for any structural violation: missing or
+/// duplicate header, ids out of range, wrong set count, unknown record
+/// type, or non-numeric fields.
+pub fn read_instance<R: BufRead>(r: R) -> Result<Instance, ParseError> {
+    let mut builder: Option<SetSystemBuilder> = None;
+    let mut declared_sets = 0usize;
+    let mut planted: Option<Vec<SetId>> = None;
+    let mut label = String::new();
+
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| err(lineno, format!("I/O error: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let (tag, rest) = line.split_at(1);
+        let rest = rest.trim();
+        match tag {
+            "p" => {
+                if builder.is_some() {
+                    return Err(err(lineno, "duplicate problem line"));
+                }
+                let mut it = rest.split_whitespace();
+                if it.next() != Some("setcover") {
+                    return Err(err(lineno, "expected 'p setcover <n> <m>'"));
+                }
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing universe size"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "universe size not a number"))?;
+                let m: usize = it
+                    .next()
+                    .ok_or_else(|| err(lineno, "missing set count"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "set count not a number"))?;
+                if it.next().is_some() {
+                    return Err(err(lineno, "trailing tokens on problem line"));
+                }
+                builder = Some(SetSystemBuilder::with_capacity(n, m));
+                declared_sets = m;
+            }
+            "s" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "set line before problem line"))?;
+                if b.len() == declared_sets {
+                    return Err(err(lineno, "more sets than declared"));
+                }
+                let mut elems: Vec<ElemId> = Vec::new();
+                for tok in rest.split_whitespace() {
+                    let e: ElemId = tok
+                        .parse()
+                        .map_err(|_| err(lineno, format!("bad element id {tok:?}")))?;
+                    if (e as usize) >= b.universe() {
+                        return Err(err(
+                            lineno,
+                            format!("element {e} outside universe {}", b.universe()),
+                        ));
+                    }
+                    elems.push(e);
+                }
+                b.add_set(elems);
+            }
+            "o" => {
+                if planted.is_some() {
+                    return Err(err(lineno, "duplicate cover line"));
+                }
+                let mut ids = Vec::new();
+                for tok in rest.split_whitespace() {
+                    let id: SetId = tok
+                        .parse()
+                        .map_err(|_| err(lineno, format!("bad set id {tok:?}")))?;
+                    ids.push(id);
+                }
+                planted = Some(ids);
+            }
+            "l" => {
+                label = rest.to_string();
+            }
+            other => return Err(err(lineno, format!("unknown record type {other:?}"))),
+        }
+    }
+
+    let builder = builder.ok_or_else(|| err(0, "missing problem line"))?;
+    if builder.len() != declared_sets {
+        return Err(err(
+            0,
+            format!("declared {declared_sets} sets, found {}", builder.len()),
+        ));
+    }
+    let system = builder.finish();
+    if let Some(p) = &planted {
+        for &id in p {
+            if (id as usize) >= system.num_sets() {
+                return Err(err(0, format!("cover references unknown set {id}")));
+            }
+        }
+    }
+    Ok(Instance {
+        system,
+        planted,
+        label: if label.is_empty() { "from-file".into() } else { label },
+    })
+}
+
+/// Convenience: serialise to a `String`.
+pub fn to_string(inst: &Instance) -> String {
+    let mut buf = Vec::new();
+    write_instance(&mut buf, inst).expect("writing to memory cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Convenience: parse from a `&str`.
+pub fn from_str(s: &str) -> Result<Instance, ParseError> {
+    read_instance(s.as_bytes())
+}
+
+/// Convenience: serialise a bare [`SetSystem`] (no planted cover).
+pub fn system_to_string(system: &SetSystem) -> String {
+    to_string(&Instance {
+        system: system.clone(),
+        planted: None,
+        label: String::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let inst = gen::planted(60, 30, 5, 9);
+        let text = to_string(&inst);
+        let back = from_str(&text).expect("roundtrip parse");
+        assert_eq!(back.system, inst.system);
+        assert_eq!(back.planted, inst.planted);
+        assert_eq!(back.label, inst.label);
+        back.validate();
+    }
+
+    #[test]
+    fn minimal_document_parses() {
+        let inst = from_str("p setcover 3 2\ns 0 1\ns 2\n").unwrap();
+        assert_eq!(inst.system.universe(), 3);
+        assert_eq!(inst.system.num_sets(), 2);
+        assert_eq!(inst.system.set(0), &[0, 1]);
+        assert!(inst.planted.is_none());
+    }
+
+    #[test]
+    fn comments_blanks_and_empty_sets() {
+        let text = "c hello\n\np setcover 2 2\ns\n  s 0 1 \nc bye\n";
+        let inst = from_str(text).unwrap();
+        assert_eq!(inst.system.set(0), &[] as &[u32]);
+        assert_eq!(inst.system.set(1), &[0, 1]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: Vec<(&str, usize, &str)> = vec![
+            ("s 0\n", 1, "set line before problem line"),
+            ("p setcover 2 1\np setcover 2 1\n", 2, "duplicate problem line"),
+            ("p setcover 2 1\ns 5\n", 2, "outside universe"),
+            ("p setcover 2 1\ns x\n", 2, "bad element id"),
+            ("p setcover 2 1\ns 0\ns 1\n", 3, "more sets than declared"),
+            ("p setcover 2 2\ns 0\n", 0, "declared 2 sets, found 1"),
+            ("p setcover 2 1\nz 1\n", 2, "unknown record type"),
+            ("p setcover 2 1\ns 0\no 4\n", 0, "unknown set"),
+            ("p setcover x 1\n", 1, "not a number"),
+        ];
+        for (text, line, needle) in cases {
+            let e = from_str(text).expect_err(text);
+            assert_eq!(e.line, line, "{text:?} → {e}");
+            assert!(e.to_string().contains(needle), "{text:?} → {e}");
+        }
+    }
+
+    #[test]
+    fn planted_cover_roundtrips_and_validates() {
+        let text = "p setcover 4 3\ns 0 1\ns 2 3\ns 1\no 0 1\nl demo\n";
+        let inst = from_str(text).unwrap();
+        assert_eq!(inst.planted, Some(vec![0, 1]));
+        assert_eq!(inst.label, "demo");
+        inst.validate();
+    }
+}

@@ -1,0 +1,35 @@
+//! Set systems `(U, F)` and workload generators.
+//!
+//! A [`SetSystem`] is the immutable input of every algorithm in this
+//! repository: a ground set `U = {0, …, n-1}` and a family of `m` sets,
+//! each stored as a sorted slice of element ids. In the streaming model
+//! the family is the *read-only repository* the algorithms scan; the
+//! `sc_stream` crate wraps a `SetSystem` in a pass-counting handle.
+//!
+//! The [`gen`] module provides every workload used by the benchmarks:
+//! planted covers, uniform random families, Zipf-sized families, the
+//! classic greedy-adversarial instance, and sparse families for the
+//! Section 6 experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod binary;
+pub mod gen;
+mod instance;
+pub mod io;
+mod system;
+
+pub use builder::SetSystemBuilder;
+pub use instance::Instance;
+pub use system::{CoverError, SetSystem};
+
+/// Identifier of an element of the ground set `U = {0, …, n-1}`.
+pub type ElemId = u32;
+
+/// Identifier of a set in the family `F = {r_0, …, r_{m-1}}`.
+///
+/// Set ids index into [`SetSystem::set`] and are what streaming
+/// algorithms emit as their solution.
+pub type SetId = u32;

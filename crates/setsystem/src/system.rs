@@ -1,0 +1,286 @@
+//! The immutable set system type.
+
+use crate::{ElemId, SetId};
+use sc_bitset::{BitSet, HeapWords};
+use std::fmt;
+
+/// An immutable set system `(U, F)`: a ground set of `universe` elements
+/// and a family of sets, each a sorted slice of element ids.
+///
+/// In the streaming model this value *is* the read-only repository: its
+/// storage is not charged to any algorithm, and algorithms may only read
+/// it through the pass-counted handle in `sc_stream`.
+///
+/// Invariants (enforced by [`SetSystemBuilder`](crate::SetSystemBuilder)
+/// and by [`SetSystem::from_sets`]):
+///
+/// * every set is sorted and duplicate-free;
+/// * every element id is `< universe`.
+///
+/// Sets may be empty and the family may contain duplicate sets — the
+/// paper's model allows both, and the lower-bound constructions use
+/// highly redundant families.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SetSystem {
+    universe: usize,
+    sets: Vec<Box<[ElemId]>>,
+}
+
+/// Why a candidate solution fails to be a cover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoverError {
+    /// A solution set id is out of range.
+    UnknownSet(SetId),
+    /// At least one element is left uncovered; the smallest is reported.
+    Uncovered(ElemId),
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::UnknownSet(s) => write!(f, "solution references unknown set {s}"),
+            CoverError::Uncovered(e) => write!(f, "element {e} is not covered"),
+        }
+    }
+}
+
+impl std::error::Error for CoverError {}
+
+impl SetSystem {
+    /// Builds a system from raw sets, sorting and deduplicating each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element id is `>= universe`.
+    pub fn from_sets(universe: usize, sets: Vec<Vec<ElemId>>) -> Self {
+        let sets = sets
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s.dedup();
+                if let Some(&max) = s.last() {
+                    assert!(
+                        (max as usize) < universe,
+                        "element {max} outside universe {universe}"
+                    );
+                }
+                s.into_boxed_slice()
+            })
+            .collect();
+        Self { universe, sets }
+    }
+
+    /// Ground set size `n = |U|`.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Family size `m = |F|`.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The sorted element ids of set `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn set(&self, id: SetId) -> &[ElemId] {
+        &self.sets[id as usize]
+    }
+
+    /// Iterates over `(id, elements)` pairs in repository order.
+    pub fn iter(&self) -> impl Iterator<Item = (SetId, &[ElemId])> {
+        self.sets.iter().enumerate().map(|(i, s)| (i as SetId, &**s))
+    }
+
+    /// Total number of (set, element) incidences, `Σ |r|`.
+    ///
+    /// This is the paper's "input size" `O(mn)` quantity: the space a
+    /// single-pass algorithm would need to store the whole input.
+    pub fn total_size(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Size of the largest set (0 for an empty family).
+    pub fn max_set_size(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+
+    /// `true` if `⋃ F = U`, i.e. a full cover exists at all.
+    pub fn is_coverable(&self) -> bool {
+        let mut seen = BitSet::new(self.universe);
+        for s in &self.sets {
+            for &e in s.iter() {
+                seen.insert(e);
+            }
+        }
+        seen.count() == self.universe
+    }
+
+    /// Checks that `solution` covers the whole universe.
+    pub fn verify_cover(&self, solution: &[SetId]) -> Result<(), CoverError> {
+        self.verify_cover_of(solution, None)
+    }
+
+    /// Checks that `solution` covers `target` (or all of `U` if `None`).
+    pub fn verify_cover_of(
+        &self,
+        solution: &[SetId],
+        target: Option<&BitSet>,
+    ) -> Result<(), CoverError> {
+        let mut covered = BitSet::new(self.universe);
+        for &id in solution {
+            if (id as usize) >= self.sets.len() {
+                return Err(CoverError::UnknownSet(id));
+            }
+            for &e in self.set(id) {
+                covered.insert(e);
+            }
+        }
+        match target {
+            Some(t) => {
+                let mut missing = t.clone();
+                missing.difference_with(&covered);
+                match missing.first() {
+                    Some(e) => Err(CoverError::Uncovered(e)),
+                    None => Ok(()),
+                }
+            }
+            None => {
+                if covered.count() == self.universe {
+                    Ok(())
+                } else {
+                    let mut missing = BitSet::full(self.universe);
+                    missing.difference_with(&covered);
+                    Err(CoverError::Uncovered(missing.first().expect("missing element")))
+                }
+            }
+        }
+    }
+
+    /// Materialises set `id` as a dense bitset over the universe.
+    pub fn set_as_bitset(&self, id: SetId) -> BitSet {
+        BitSet::from_iter(self.universe, self.set(id).iter().copied())
+    }
+
+    /// Materialises every set as a dense bitset (offline solvers only —
+    /// this is exactly the `O(mn)` storage streaming algorithms avoid).
+    pub fn all_bitsets(&self) -> Vec<BitSet> {
+        (0..self.num_sets() as SetId).map(|i| self.set_as_bitset(i)).collect()
+    }
+
+    /// For each element, the ids of the sets containing it.
+    pub fn element_incidence(&self) -> Vec<Vec<SetId>> {
+        let mut inc = vec![Vec::new(); self.universe];
+        for (id, s) in self.iter() {
+            for &e in s {
+                inc[e as usize].push(id);
+            }
+        }
+        inc
+    }
+}
+
+impl HeapWords for SetSystem {
+    fn heap_words(&self) -> usize {
+        let spine = (self.sets.len() * std::mem::size_of::<Box<[ElemId]>>()).div_ceil(8);
+        let payload: usize = self
+            .sets
+            .iter()
+            .map(|s| (s.len() * std::mem::size_of::<ElemId>()).div_ceil(8))
+            .sum();
+        spine + payload
+    }
+}
+
+impl fmt::Debug for SetSystem {
+    /// Compact form: `SetSystem(n=…, m=…, total=…)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SetSystem(n={}, m={}, total={})",
+            self.universe,
+            self.sets.len(),
+            self.total_size()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetSystem {
+        SetSystem::from_sets(6, vec![vec![0, 1, 2], vec![2, 3], vec![4, 5], vec![0, 5]])
+    }
+
+    #[test]
+    fn accessors() {
+        let s = tiny();
+        assert_eq!(s.universe(), 6);
+        assert_eq!(s.num_sets(), 4);
+        assert_eq!(s.set(1), &[2, 3]);
+        assert_eq!(s.total_size(), 9);
+        assert_eq!(s.max_set_size(), 3);
+        assert!(s.is_coverable());
+    }
+
+    #[test]
+    fn from_sets_sorts_and_dedups() {
+        let s = SetSystem::from_sets(5, vec![vec![4, 0, 4, 2]]);
+        assert_eq!(s.set(0), &[0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_range_element_panics() {
+        SetSystem::from_sets(3, vec![vec![3]]);
+    }
+
+    #[test]
+    fn verify_cover_accepts_and_rejects() {
+        let s = tiny();
+        assert_eq!(s.verify_cover(&[0, 1, 2]), Ok(()));
+        assert_eq!(s.verify_cover(&[0, 1]), Err(CoverError::Uncovered(4)));
+        assert_eq!(s.verify_cover(&[9]), Err(CoverError::UnknownSet(9)));
+    }
+
+    #[test]
+    fn verify_cover_of_subtarget() {
+        let s = tiny();
+        let target = BitSet::from_iter(6, [2, 3]);
+        assert_eq!(s.verify_cover_of(&[1], Some(&target)), Ok(()));
+        assert_eq!(
+            s.verify_cover_of(&[2], Some(&target)),
+            Err(CoverError::Uncovered(2))
+        );
+    }
+
+    #[test]
+    fn uncoverable_system_detected() {
+        let s = SetSystem::from_sets(4, vec![vec![0, 1], vec![1, 2]]);
+        assert!(!s.is_coverable());
+    }
+
+    #[test]
+    fn incidence_lists_every_membership() {
+        let s = tiny();
+        let inc = s.element_incidence();
+        assert_eq!(inc[0], vec![0, 3]);
+        assert_eq!(inc[2], vec![0, 1]);
+        assert_eq!(inc[5], vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_family_and_empty_sets_are_legal() {
+        let s = SetSystem::from_sets(0, vec![]);
+        assert!(s.is_coverable(), "empty universe is trivially covered");
+        let t = SetSystem::from_sets(2, vec![vec![], vec![0, 1]]);
+        assert_eq!(t.set(0), &[] as &[u32]);
+        assert_eq!(t.verify_cover(&[1]), Ok(()));
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests: every generator must produce feasible instances with
+//! valid planted covers across its whole parameter space.
+
+use proptest::prelude::*;
+use sc_setsystem::gen;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn planted_always_valid(n in 4usize..200, extra in 0usize..40, seed in 0u64..1000) {
+        let k = 1 + n / 10;
+        let inst = gen::planted(n, k + extra, k, seed);
+        inst.validate();
+        prop_assert_eq!(inst.system.num_sets(), k + extra);
+        prop_assert_eq!(inst.system.universe(), n);
+        // The planted cover is a partition: sizes sum to exactly n.
+        let total: usize = inst.planted.as_ref().unwrap()
+            .iter().map(|&id| inst.system.set(id).len()).sum();
+        prop_assert_eq!(total, n);
+    }
+
+    #[test]
+    fn planted_noisy_always_valid(n in 4usize..200, extra in 0usize..40, seed in 0u64..1000) {
+        let k = 1 + n / 10;
+        gen::planted_noisy(n, k + extra, k, seed).validate();
+    }
+
+    #[test]
+    fn uniform_always_feasible(n in 1usize..150, m in 1usize..40, p in 0.0f64..0.3, seed in 0u64..1000) {
+        let inst = gen::uniform_random(n, m, p, seed);
+        inst.validate();
+        prop_assert!(inst.system.is_coverable());
+    }
+
+    #[test]
+    fn zipf_always_feasible(n in 2usize..150, m in 1usize..40, theta in 0.5f64..2.0, cap_frac in 1usize..4, seed in 0u64..1000) {
+        let cap = (n / cap_frac).max(1);
+        gen::zipf(n, m, theta, cap, seed).validate();
+    }
+
+    #[test]
+    fn sparse_respects_bound(n in 4usize..200, s in 1usize..20, seed in 0u64..1000) {
+        let s = s.min(n);
+        let k = n.div_ceil(s);
+        let inst = gen::sparse(n, k + 10, s, seed);
+        inst.validate();
+        prop_assert!(inst.system.max_set_size() <= s);
+    }
+
+    #[test]
+    fn greedy_adversarial_opt_is_two(levels in 1u32..10) {
+        let inst = gen::greedy_adversarial(levels);
+        inst.validate();
+        prop_assert_eq!(inst.planted.as_ref().unwrap().len(), 2);
+        prop_assert_eq!(inst.system.universe(), 2 * ((1usize << levels) - 1));
+    }
+}

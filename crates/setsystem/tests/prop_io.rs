@@ -1,0 +1,63 @@
+//! Property tests for the text serialisation: parse ∘ print = identity
+//! on every generator's output, and parsing never panics on mutated
+//! documents.
+
+use proptest::prelude::*;
+use sc_setsystem::{gen, io};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_planted(n in 2usize..120, extra in 0usize..25, seed in 0u64..500) {
+        let k = 1 + n / 12;
+        let inst = gen::planted(n, k + extra, k, seed);
+        let back = io::from_str(&io::to_string(&inst)).expect("roundtrip");
+        prop_assert_eq!(back.system, inst.system);
+        prop_assert_eq!(back.planted, inst.planted);
+    }
+
+    #[test]
+    fn roundtrip_uniform(n in 1usize..100, m in 1usize..30, seed in 0u64..500) {
+        let inst = gen::uniform_random(n, m, 0.1, seed);
+        let back = io::from_str(&io::to_string(&inst)).expect("roundtrip");
+        prop_assert_eq!(back.system, inst.system);
+    }
+
+    #[test]
+    fn parser_never_panics_on_corrupted_documents(
+        seed in 0u64..200,
+        cut in 0usize..400,
+        junk in "[a-z0-9 \\n]{0,40}",
+    ) {
+        // Take a valid document, truncate it somewhere, splice junk in:
+        // the parser must return Ok or Err but never panic.
+        let inst = gen::planted(30, 12, 3, seed);
+        let mut text = io::to_string(&inst);
+        let cut = cut.min(text.len());
+        // Cut on a char boundary.
+        let mut boundary = cut;
+        while !text.is_char_boundary(boundary) {
+            boundary -= 1;
+        }
+        text.truncate(boundary);
+        text.push_str(&junk);
+        let _ = io::from_str(&text);
+    }
+
+    #[test]
+    fn parse_errors_are_one_based_lines(bad_line in 1usize..5) {
+        // Insert a malformed record at a known line; the reported line
+        // number must point at it.
+        let mut lines = vec![
+            "p setcover 4 3".to_string(),
+            "s 0 1".into(),
+            "s 2".into(),
+            "s 3".into(),
+        ];
+        lines.insert(bad_line, "q bogus".into());
+        let text = lines.join("\n");
+        let e = io::from_str(&text).expect_err("must fail");
+        prop_assert_eq!(e.line, bad_line + 1);
+    }
+}

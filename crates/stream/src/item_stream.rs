@@ -1,0 +1,91 @@
+//! Pass-counted access to a stream of arbitrary items.
+
+use std::cell::Cell;
+
+/// A pass-counted read-only stream over arbitrary items.
+///
+/// The generic sibling of [`SetStream`](crate::SetStream): the geometric
+/// algorithm streams *shapes* (discs, rectangles, triangles) and the
+/// communication experiments stream player inputs, neither of which is a
+/// `SetSystem`. Semantics are identical — the only access is a counted
+/// sequential scan.
+#[derive(Debug)]
+pub struct ItemStream<'a, T> {
+    items: &'a [T],
+    passes: Cell<usize>,
+}
+
+impl<'a, T> ItemStream<'a, T> {
+    /// Wraps a slice of items; the pass counter starts at zero.
+    pub fn new(items: &'a [T]) -> Self {
+        Self { items, passes: Cell::new(0) }
+    }
+
+    /// Number of items in the repository (known without a pass).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Performs one counted sequential scan, yielding `(index, item)`.
+    pub fn pass(&self) -> impl Iterator<Item = (u32, &'a T)> {
+        self.passes.set(self.passes.get() + 1);
+        self.items.iter().enumerate().map(|(i, t)| (i as u32, t))
+    }
+
+    /// Number of passes performed so far.
+    pub fn passes(&self) -> usize {
+        self.passes.get()
+    }
+
+    /// Forks an independent handle for a parallel branch.
+    pub fn fork(&self) -> ItemStream<'a, T> {
+        ItemStream::new(self.items)
+    }
+
+    /// Adds the maximum child pass count (parallel accounting).
+    pub fn absorb_parallel<I: IntoIterator<Item = usize>>(&self, child_passes: I) {
+        let max = child_passes.into_iter().max().unwrap_or(0);
+        self.passes.set(self.passes.get() + max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_items_stream_with_counting() {
+        let shapes = ["disc", "rect", "tri"];
+        let s = ItemStream::new(&shapes);
+        assert_eq!(s.len(), 3);
+        let seen: Vec<(u32, &&str)> = s.pass().collect();
+        assert_eq!(seen[2], (2, &"tri"));
+        assert_eq!(s.passes(), 1);
+    }
+
+    #[test]
+    fn fork_and_absorb() {
+        let data = [1, 2, 3];
+        let s = ItemStream::new(&data);
+        let a = s.fork();
+        let _ = a.pass();
+        let _ = a.pass();
+        let _ = a.pass();
+        s.absorb_parallel([a.passes()]);
+        assert_eq!(s.passes(), 3);
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let data: [u8; 0] = [];
+        let s = ItemStream::new(&data);
+        assert!(s.is_empty());
+        assert_eq!(s.pass().count(), 0);
+        assert_eq!(s.passes(), 1);
+    }
+}

@@ -1,0 +1,98 @@
+//! The measured outcome of one streaming run.
+
+use sc_setsystem::SetId;
+use std::fmt;
+
+/// What one streaming execution measured: the three columns of the
+/// paper's Figure 1.1, plus the solution itself.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Algorithm label, e.g. `"iterSetCover(δ=1/2, ρ=greedy)"`.
+    pub algorithm: String,
+    /// The emitted cover (set ids).
+    pub cover: Vec<SetId>,
+    /// Number of passes over the repository.
+    pub passes: usize,
+    /// Peak read-write memory, in 64-bit words.
+    pub space_words: usize,
+    /// `Ok` if the cover was verified against the instance.
+    pub verified: Result<(), String>,
+}
+
+impl RunReport {
+    /// Solution size `|sol|`.
+    pub fn cover_size(&self) -> usize {
+        self.cover.len()
+    }
+
+    /// Approximation ratio against a known optimum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opt == 0`.
+    pub fn ratio(&self, opt: usize) -> f64 {
+        assert!(opt > 0, "optimum must be positive");
+        self.cover.len() as f64 / opt as f64
+    }
+
+    /// Space normalised by a model quantity (e.g. `m·n^δ` or `n`),
+    /// useful for checking the Õ(·) shape across a parameter sweep.
+    pub fn space_per(&self, denominator: f64) -> f64 {
+        assert!(denominator > 0.0);
+        self.space_words as f64 / denominator
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<40} |sol|={:<6} passes={:<4} space={:<10} {}",
+            self.algorithm,
+            self.cover.len(),
+            self.passes,
+            self.space_words,
+            match &self.verified {
+                Ok(()) => "ok",
+                Err(e) => e.as_str(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            algorithm: "test".into(),
+            cover: vec![1, 2, 3],
+            passes: 2,
+            space_words: 640,
+            verified: Ok(()),
+        }
+    }
+
+    #[test]
+    fn ratio_and_normalised_space() {
+        let r = report();
+        assert_eq!(r.cover_size(), 3);
+        assert!((r.ratio(2) - 1.5).abs() < 1e-12);
+        assert!((r.space_per(64.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "optimum must be positive")]
+    fn zero_opt_rejected() {
+        report().ratio(0);
+    }
+
+    #[test]
+    fn display_mentions_verification() {
+        let mut r = report();
+        assert!(r.to_string().contains("ok"));
+        r.verified = Err("element 5 is not covered".into());
+        assert!(r.to_string().contains("element 5"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Pass-counted access to a set system.
+
+use sc_setsystem::{ElemId, SetId, SetSystem};
+use std::cell::Cell;
+
+/// The read-only repository of the streaming model, wrapped so that the
+/// only way to see set contents is a counted sequential [`pass`].
+///
+/// The universe size `n` and family size `m` are known without a pass
+/// (the paper's model stores `U` in memory up front and streams only the
+/// family `F`).
+///
+/// [`pass`]: SetStream::pass
+///
+/// # Examples
+///
+/// ```
+/// use sc_setsystem::SetSystem;
+/// use sc_stream::SetStream;
+///
+/// let system = SetSystem::from_sets(3, vec![vec![0, 1], vec![2]]);
+/// let stream = SetStream::new(&system);
+/// let mut biggest = 0;
+/// for (_id, elems) in stream.pass() {
+///     biggest = biggest.max(elems.len());
+/// }
+/// assert_eq!(biggest, 2);
+/// assert_eq!(stream.passes(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SetStream<'a> {
+    system: &'a SetSystem,
+    passes: Cell<usize>,
+}
+
+impl<'a> SetStream<'a> {
+    /// Wraps a set system; the pass counter starts at zero.
+    pub fn new(system: &'a SetSystem) -> Self {
+        Self { system, passes: Cell::new(0) }
+    }
+
+    /// Ground set size `n` (known without a pass).
+    pub fn universe(&self) -> usize {
+        self.system.universe()
+    }
+
+    /// Family size `m` (known without a pass).
+    pub fn num_sets(&self) -> usize {
+        self.system.num_sets()
+    }
+
+    /// Performs one sequential scan of the repository.
+    ///
+    /// Increments the pass counter immediately; the returned iterator
+    /// yields `(set id, sorted elements)` in repository order. Partial
+    /// consumption still counts as a full pass — the model charges for
+    /// starting a scan, and no algorithm in the paper aborts one early
+    /// for savings.
+    pub fn pass(&self) -> impl Iterator<Item = (SetId, &'a [ElemId])> {
+        self.passes.set(self.passes.get() + 1);
+        self.system.iter()
+    }
+
+    /// Number of passes performed so far (including forked children
+    /// already absorbed via [`absorb_parallel`](SetStream::absorb_parallel)).
+    pub fn passes(&self) -> usize {
+        self.passes.get()
+    }
+
+    /// Forks an independent handle on the same repository for one branch
+    /// of a parallel group ("do in parallel" in Figure 1.3).
+    pub fn fork(&self) -> SetStream<'a> {
+        SetStream::new(self.system)
+    }
+
+    /// Accounts a finished parallel group: parallel branches scan the
+    /// stream simultaneously, so the group costs the *maximum* child
+    /// pass count, not the sum.
+    pub fn absorb_parallel<I: IntoIterator<Item = usize>>(&self, child_passes: I) {
+        let max = child_passes.into_iter().max().unwrap_or(0);
+        self.passes.set(self.passes.get() + max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system() -> SetSystem {
+        SetSystem::from_sets(4, vec![vec![0], vec![1, 2], vec![3]])
+    }
+
+    #[test]
+    fn pass_counts_and_yields_in_order() {
+        let sys = system();
+        let s = SetStream::new(&sys);
+        assert_eq!(s.passes(), 0);
+        let ids: Vec<SetId> = s.pass().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(s.passes(), 1);
+        let _ = s.pass();
+        assert_eq!(s.passes(), 2);
+    }
+
+    #[test]
+    fn partial_consumption_still_counts() {
+        let sys = system();
+        let s = SetStream::new(&sys);
+        let mut it = s.pass();
+        let _ = it.next();
+        drop(it);
+        assert_eq!(s.passes(), 1);
+    }
+
+    #[test]
+    fn metadata_is_free() {
+        let sys = system();
+        let s = SetStream::new(&sys);
+        assert_eq!(s.universe(), 4);
+        assert_eq!(s.num_sets(), 3);
+        assert_eq!(s.passes(), 0);
+    }
+
+    #[test]
+    fn parallel_children_cost_their_max() {
+        let sys = system();
+        let s = SetStream::new(&sys);
+        let _ = s.pass();
+        let a = s.fork();
+        let b = s.fork();
+        let _ = a.pass();
+        let _ = a.pass();
+        let _ = b.pass();
+        s.absorb_parallel([a.passes(), b.passes()]);
+        assert_eq!(s.passes(), 1 + 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the streaming model's accounting: the meter and
+//! pass counters must obey their algebraic laws under arbitrary
+//! operation sequences.
+
+use proptest::prelude::*;
+use sc_stream::{ItemStream, SpaceMeter};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Charge(usize),
+    Release,
+    Parallel(Vec<usize>),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..1000).prop_map(Op::Charge),
+        Just(Op::Release),
+        proptest::collection::vec(0usize..500, 0..4).prop_map(Op::Parallel),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn meter_laws(ops in proptest::collection::vec(op(), 0..64)) {
+        let meter = SpaceMeter::new();
+        let mut model_current = 0usize;
+        let mut model_peak = 0usize;
+        let mut charges: Vec<usize> = Vec::new();
+        for o in ops {
+            match o {
+                Op::Charge(w) => {
+                    meter.charge(w);
+                    charges.push(w);
+                    model_current += w;
+                    model_peak = model_peak.max(model_current);
+                }
+                Op::Release => {
+                    if let Some(w) = charges.pop() {
+                        meter.release(w);
+                        model_current -= w;
+                    }
+                }
+                Op::Parallel(children) => {
+                    let sum: usize = children.iter().sum();
+                    meter.absorb_parallel(children);
+                    model_peak = model_peak.max(model_current + sum);
+                }
+            }
+            prop_assert_eq!(meter.current(), model_current);
+            prop_assert_eq!(meter.peak(), model_peak);
+            prop_assert!(meter.peak() >= meter.current());
+        }
+    }
+
+    #[test]
+    fn pass_counting_matches_scan_count(scans in 0usize..20, forks in proptest::collection::vec(0usize..6, 0..5)) {
+        let items: Vec<u32> = (0..10).collect();
+        let stream = ItemStream::new(&items);
+        for _ in 0..scans {
+            let consumed = stream.pass().count();
+            prop_assert_eq!(consumed, items.len());
+        }
+        prop_assert_eq!(stream.passes(), scans);
+        // Parallel groups add their maximum.
+        let mut child_passes = Vec::new();
+        for &f in &forks {
+            let child = stream.fork();
+            for _ in 0..f {
+                let _ = child.pass();
+            }
+            child_passes.push(child.passes());
+        }
+        let max = child_passes.iter().copied().max().unwrap_or(0);
+        stream.absorb_parallel(child_passes);
+        prop_assert_eq!(stream.passes(), scans + max);
+    }
+
+    #[test]
+    fn resync_tracks_sizes_directly(sizes in proptest::collection::vec(0usize..2000, 1..20)) {
+        // resync moves the charge straight from the previous size to the
+        // new one: current == latest size, peak == max size seen, and no
+        // transient double-charge is ever recorded.
+        let meter = SpaceMeter::new();
+        let mut slot = 0usize;
+        let mut max_seen = 0usize;
+        for &s in &sizes {
+            meter.resync(&mut slot, s);
+            max_seen = max_seen.max(s);
+            prop_assert_eq!(meter.current(), s);
+            prop_assert_eq!(slot, s);
+            prop_assert_eq!(meter.peak(), max_seen);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # streaming-set-cover
+//!
+//! A from-scratch Rust reproduction of **"Towards Tight Bounds for the
+//! Streaming Set Cover Problem"** (Har-Peled, Indyk, Mahabadi, Vakilian
+//! — PODS 2016): the `iterSetCover` algorithm, its geometric variant,
+//! every baseline of the paper's summary table, and the constructive
+//! machinery behind its lower bounds, all under an instrumented
+//! streaming model that measures passes and working memory in words.
+//!
+//! This crate is an umbrella: it re-exports the workspace crates under
+//! stable module names. See the README for the guided tour and
+//! `examples/` for runnable entry points.
+//!
+//! ```
+//! use streaming_set_cover::prelude::*;
+//!
+//! let inst = gen::planted(256, 512, 8, 1);
+//! let mut alg = IterSetCover::new(IterSetCoverConfig::default());
+//! let report = run_reported(&mut alg, &inst.system);
+//! assert!(report.verified.is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Bitset primitives ([`sc_bitset`]).
+pub use sc_bitset as bitset;
+/// Communication-complexity gadgets and reductions ([`sc_comm`]).
+pub use sc_comm as comm;
+/// Streaming algorithms: `iterSetCover` and baselines ([`sc_core`]).
+pub use sc_core as algorithms;
+/// Geometric set cover ([`sc_geometry`]).
+pub use sc_geometry as geometry;
+/// Offline oracles ([`sc_offline`]).
+pub use sc_offline as offline;
+/// Set systems and generators ([`sc_setsystem`]).
+pub use sc_setsystem as setsystem;
+/// The instrumented streaming model ([`sc_stream`]).
+pub use sc_stream as stream;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use sc_bitset::{BitSet, HeapWords, SparseSet};
+    pub use sc_core::baselines::{
+        ChakrabartiWirth, Dimv14, Dimv14Config, EmekRosen, OnePassProjection,
+        OnePickPerPassGreedy, ProgressiveGreedy, SahaGetoor, StoreAllGreedy,
+    };
+    pub use sc_core::partial::{
+        run_partial, PartialChakrabartiWirth, PartialEmekRosen, PartialIterSetCover,
+        PartialProgressiveGreedy,
+    };
+    pub use sc_core::{IterSetCover, IterSetCoverConfig};
+    pub use sc_geometry::{bronnimann_goodrich, AlgGeomSc, AlgGeomScConfig, BgConfig, GeomInstance};
+    pub use sc_offline::OfflineSolver;
+    pub use sc_setsystem::{gen, Instance, SetSystem, SetSystemBuilder};
+    pub use sc_stream::{run_reported, RunReport, SetStream, SpaceMeter, StreamingSetCover};
+}

@@ -1,0 +1,58 @@
+//! Integration: the serialisation formats carry full experiments —
+//! write an instance, read it back, and get identical algorithm
+//! behaviour (same covers, same measurements).
+
+use streaming_set_cover::geometry::{instances, io as gio, AlgGeomSc, AlgGeomScConfig};
+use streaming_set_cover::prelude::*;
+use streaming_set_cover::setsystem::io as scio;
+
+#[test]
+fn combinatorial_roundtrip_preserves_algorithm_behaviour() {
+    let inst = gen::planted(300, 500, 8, 17);
+    let text = scio::to_string(&inst);
+    let back = scio::from_str(&text).expect("parse back");
+
+    for mk in [
+        || Box::new(IterSetCover::with_delta(0.5)) as Box<dyn StreamingSetCover>,
+        || Box::new(ProgressiveGreedy) as Box<dyn StreamingSetCover>,
+    ] {
+        let a = run_reported(mk().as_mut(), &inst.system);
+        let b = run_reported(mk().as_mut(), &back.system);
+        assert_eq!(a.cover, b.cover, "{}", a.algorithm);
+        assert_eq!(a.passes, b.passes);
+        assert_eq!(a.space_words, b.space_words);
+    }
+}
+
+#[test]
+fn geometric_roundtrip_preserves_algorithm_behaviour() {
+    let inst = instances::random_discs(200, 100, 5, 23);
+    let text = gio::to_string(&inst);
+    let back = gio::from_str(&text).expect("parse back");
+
+    let mut a = AlgGeomSc::new(AlgGeomScConfig::default());
+    let mut b = AlgGeomSc::new(AlgGeomScConfig::default());
+    let ra = a.run(&inst);
+    let rb = b.run(&back);
+    assert_eq!(ra.cover, rb.cover);
+    assert_eq!(ra.passes, rb.passes);
+    assert_eq!(ra.space_words, rb.space_words);
+}
+
+#[test]
+fn formats_reject_cross_contamination() {
+    // Feeding one format to the other parser fails loudly, not quietly.
+    let comb = scio::to_string(&gen::planted(20, 10, 2, 1));
+    assert!(gio::from_str(&comb).is_err());
+    let geom = gio::to_string(&instances::random_rects(20, 10, 2, 1));
+    assert!(scio::from_str(&geom).is_err());
+}
+
+#[test]
+fn planted_metadata_survives_and_keeps_meaning() {
+    let inst = gen::sparse(120, 60, 6, 5);
+    let back = scio::from_str(&scio::to_string(&inst)).unwrap();
+    let planted = back.planted.expect("planted cover preserved");
+    assert!(back.system.verify_cover(&planted).is_ok());
+    assert_eq!(back.system.max_set_size(), inst.system.max_set_size());
+}

@@ -1,0 +1,76 @@
+//! Cross-crate property tests: algorithm outputs versus certified
+//! optima on randomly generated instances.
+
+use proptest::prelude::*;
+use streaming_set_cover::bitset::BitSet;
+use streaming_set_cover::offline::exact;
+use streaming_set_cover::prelude::*;
+
+fn planted_instance() -> impl Strategy<Value = Instance> {
+    (20usize..120, 2usize..6, 0usize..30, 0u64..500).prop_map(|(n, k, extra, seed)| {
+        let k = k.min(n);
+        gen::planted(n, k + extra, k, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn iter_set_cover_is_within_factor_of_certified_opt(inst in planted_instance()) {
+        let sets = inst.system.all_bitsets();
+        let target = BitSet::full(inst.system.universe());
+        let certified = exact(&sets, &target, 5_000_000).expect("feasible");
+        prop_assume!(certified.optimal);
+        let opt = certified.cover.len();
+
+        let mut alg = IterSetCover::with_delta(0.5);
+        let report = run_reported(&mut alg, &inst.system);
+        prop_assert!(report.verified.is_ok());
+        // Theorem 2.8's O(ρ/δ) with generous constants at tiny scale:
+        // ρ ≤ ln n + 1, 1/δ = 2, plus the final cleanup pass.
+        let n = inst.system.universe() as f64;
+        let bound = ((n.ln() + 2.0) * 2.0 * opt as f64).ceil() as usize + 4;
+        prop_assert!(
+            report.cover_size() <= bound,
+            "|sol|={} opt={opt} bound={bound}",
+            report.cover_size()
+        );
+    }
+
+    #[test]
+    fn every_streaming_algorithm_at_least_matches_trivial_bounds(inst in planted_instance()) {
+        let opt_hint = inst.opt_upper_bound();
+        let mut algs: Vec<Box<dyn StreamingSetCover>> = vec![
+            Box::new(ProgressiveGreedy),
+            Box::new(EmekRosen),
+            Box::new(ChakrabartiWirth::new(2)),
+            Box::new(IterSetCover::with_delta(0.5)),
+        ];
+        for alg in &mut algs {
+            let report = run_reported(alg.as_mut(), &inst.system);
+            prop_assert!(report.verified.is_ok(), "{}", report.algorithm);
+            prop_assert!(report.cover_size() >= opt_hint.min(1));
+            prop_assert!(report.cover_size() <= inst.system.num_sets());
+        }
+    }
+
+    #[test]
+    fn emitted_ids_always_in_range(inst in planted_instance()) {
+        let mut alg = IterSetCover::with_delta(1.0);
+        let report = run_reported(&mut alg, &inst.system);
+        prop_assert!(report.cover.iter().all(|&id| (id as usize) < inst.system.num_sets()));
+    }
+
+    #[test]
+    fn store_all_equals_offline_greedy(inst in planted_instance()) {
+        // The 1-pass store-all baseline must produce the identical
+        // solution to the offline lazy greedy (same tie-breaking).
+        let report = run_reported(&mut StoreAllGreedy, &inst.system);
+        let sets = inst.system.all_bitsets();
+        let target = BitSet::full(inst.system.universe());
+        let offline = streaming_set_cover::offline::greedy(&sets, &target).expect("feasible");
+        let got: Vec<usize> = report.cover.iter().map(|&x| x as usize).collect();
+        prop_assert_eq!(got, offline);
+    }
+}

@@ -1,0 +1,178 @@
+//! Failure injection: every algorithm must degrade gracefully — no
+//! panic, no unbalanced space meter, an honest `verified` error — when
+//! the instance is broken or degenerate.
+//!
+//! The paper's model assumes coverable instances; a production library
+//! cannot. These tests feed every streaming algorithm (a) instances
+//! with uncoverable elements, (b) degenerate universes, and (c) empty
+//! or duplicate-heavy families, and assert uniform behaviour.
+
+use streaming_set_cover::prelude::*;
+
+/// Every full-cover streaming algorithm under test, fresh per call.
+fn all_algorithms() -> Vec<Box<dyn StreamingSetCover>> {
+    vec![
+        Box::new(IterSetCover::with_delta(0.5)),
+        Box::new(IterSetCover::with_delta(0.25)),
+        Box::new(StoreAllGreedy),
+        Box::new(OnePickPerPassGreedy),
+        Box::new(ProgressiveGreedy),
+        Box::new(SahaGetoor::default()),
+        Box::new(EmekRosen),
+        Box::new(ChakrabartiWirth::new(3)),
+        Box::new(Dimv14::with_delta(0.5)),
+        Box::new(OnePassProjection::new(4.0)),
+    ]
+}
+
+/// Runs `alg` and asserts the meter balanced (all tracked structures
+/// released) regardless of the verdict.
+fn run_balanced(alg: &mut dyn StreamingSetCover, system: &SetSystem) -> RunReport {
+    let stream = SetStream::new(system);
+    let meter = SpaceMeter::new();
+    let cover = alg.run(&stream, &meter);
+    assert_eq!(
+        meter.current(),
+        0,
+        "{}: space meter unbalanced after run",
+        alg.name()
+    );
+    let verified = system.verify_cover(&cover).map_err(|e| e.to_string());
+    RunReport {
+        algorithm: alg.name(),
+        cover,
+        passes: stream.passes(),
+        space_words: meter.peak(),
+        verified,
+    }
+}
+
+#[test]
+fn uncoverable_element_fails_verification_not_the_process() {
+    // Element 7 is in no set.
+    let system = SetSystem::from_sets(8, vec![vec![0, 1, 2], vec![3, 4], vec![5, 6]]);
+    assert!(!system.is_coverable());
+    for mut alg in all_algorithms() {
+        let report = run_balanced(alg.as_mut(), &system);
+        assert!(
+            report.verified.is_err(),
+            "{}: claimed to cover an uncoverable instance",
+            report.algorithm
+        );
+    }
+}
+
+#[test]
+fn empty_family_is_survivable() {
+    let system = SetSystem::from_sets(4, vec![]);
+    for mut alg in all_algorithms() {
+        let report = run_balanced(alg.as_mut(), &system);
+        assert!(report.verified.is_err(), "{}", report.algorithm);
+        assert!(report.cover.is_empty(), "{}", report.algorithm);
+    }
+}
+
+#[test]
+fn all_empty_sets_are_survivable() {
+    let system = SetSystem::from_sets(4, vec![vec![], vec![], vec![]]);
+    for mut alg in all_algorithms() {
+        let report = run_balanced(alg.as_mut(), &system);
+        assert!(report.verified.is_err(), "{}", report.algorithm);
+    }
+}
+
+#[test]
+fn singleton_universe_is_covered_by_everyone() {
+    let system = SetSystem::from_sets(1, vec![vec![0]]);
+    for mut alg in all_algorithms() {
+        let report = run_balanced(alg.as_mut(), &system);
+        assert!(report.verified.is_ok(), "{}: {:?}", report.algorithm, report.verified);
+        assert_eq!(report.cover_size(), 1, "{}", report.algorithm);
+    }
+}
+
+#[test]
+fn duplicate_heavy_family_yields_no_duplicate_picks() {
+    // 50 copies of the same two sets.
+    let mut sets = Vec::new();
+    for _ in 0..50 {
+        sets.push(vec![0u32, 1, 2, 3]);
+        sets.push(vec![4u32, 5, 6, 7]);
+    }
+    let system = SetSystem::from_sets(8, sets);
+    for mut alg in all_algorithms() {
+        let report = run_balanced(alg.as_mut(), &system);
+        assert!(report.verified.is_ok(), "{}: {:?}", report.algorithm, report.verified);
+        let mut ids = report.cover.clone();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "{}: duplicate picks emitted", report.algorithm);
+    }
+}
+
+#[test]
+fn full_universe_set_hiding_among_noise_is_found_by_quality_algorithms() {
+    // One full set among 200 singletons: the greedy-quality algorithms
+    // must find covers near 1; threshold algorithms may buy pointers
+    // but still must cover.
+    let mut sets: Vec<Vec<u32>> = (0..200u32).map(|e| vec![e % 64]).collect();
+    sets.push((0..64u32).collect());
+    let system = SetSystem::from_sets(64, sets);
+    for mut alg in all_algorithms() {
+        let report = run_balanced(alg.as_mut(), &system);
+        assert!(report.verified.is_ok(), "{}: {:?}", report.algorithm, report.verified);
+        assert!(report.cover_size() <= 64, "{}", report.algorithm);
+    }
+    let mut store_all = StoreAllGreedy;
+    let report = run_balanced(&mut store_all, &system);
+    assert_eq!(report.cover_size(), 1, "greedy must take the full set");
+}
+
+#[test]
+fn partial_cover_handles_uncoverable_tail_gracefully() {
+    // 20% of elements are in no set. The threshold-based partial
+    // algorithms reach any goal within the coverable 80%; the
+    // sampling-based iterSetCover variant samples the uncoverable tail,
+    // detects infeasibility, and reports failure honestly — neither may
+    // panic or leak meter charge.
+    let n = 100usize;
+    let sets: Vec<Vec<u32>> =
+        (0..16u32).map(|i| (0..80u32).filter(|e| e % 16 == i).collect()).collect();
+    let system = SetSystem::from_sets(n, sets);
+
+    let ok = run_partial(&mut PartialProgressiveGreedy, &system, 0.25);
+    assert!(ok.goal_met(), "75% goal reachable by thresholding: {}/{}", ok.covered, ok.required);
+    let ok = run_partial(&mut PartialEmekRosen, &system, 0.25);
+    assert!(ok.goal_met(), "75% goal reachable by [ER14]: {}/{}", ok.covered, ok.required);
+
+    let too_much = run_partial(&mut PartialProgressiveGreedy, &system, 0.05);
+    assert!(!too_much.goal_met(), "95% goal is impossible; goal_met must say so");
+
+    // iterSetCover's element sampling hits the dead 20% and aborts each
+    // guess: an honest (empty-handed) failure, not a panic.
+    let mut alg = PartialIterSetCover::new(IterSetCoverConfig::default());
+    let sampled = run_partial(&mut alg, &system, 0.25);
+    assert!(
+        !sampled.goal_met() || sampled.covered >= sampled.required,
+        "report must be self-consistent"
+    );
+}
+
+#[test]
+fn geometric_uncoverable_point_is_reported() {
+    use streaming_set_cover::geometry::instances;
+    let inst = instances::random_discs(60, 30, 4, 2);
+    let mut points = inst.points.clone();
+    points.push(streaming_set_cover::geometry::Point::new(1e8, 1e8));
+    let broken = GeomInstance {
+        points,
+        shapes: inst.shapes.clone(),
+        planted: None,
+        label: "broken".into(),
+    };
+    let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
+    let report = alg.run(&broken);
+    assert!(report.verified.is_err(), "far-away point cannot be covered");
+    assert!(bronnimann_goodrich(&broken.points, &broken.shapes, &BgConfig::default()).is_none());
+}

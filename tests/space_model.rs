@@ -1,0 +1,171 @@
+//! Integration tests of the streaming model itself: pass counting and
+//! space accounting behave like the paper's model across crates.
+
+use streaming_set_cover::prelude::*;
+
+#[test]
+fn store_all_space_tracks_input_size() {
+    // The one-pass baseline's measured footprint must scale with Σ|r|:
+    // that is the O(mn) of Figure 1.1's first row.
+    let small = gen::planted(256, 256, 8, 1);
+    let big = gen::planted(256, 2048, 8, 1);
+    let rs = run_reported(&mut StoreAllGreedy, &small.system);
+    let rb = run_reported(&mut StoreAllGreedy, &big.system);
+    let ratio_input = big.system.total_size() as f64 / small.system.total_size() as f64;
+    let ratio_space = rb.space_words as f64 / rs.space_words as f64;
+    assert!(
+        (ratio_space / ratio_input - 1.0).abs() < 0.5,
+        "space ratio {ratio_space:.2} vs input ratio {ratio_input:.2}"
+    );
+}
+
+#[test]
+fn semi_streaming_space_is_independent_of_m() {
+    // Θ̃(n)-space algorithms must not notice the family growing.
+    let small = gen::planted(512, 512, 8, 2);
+    let big = gen::planted(512, 4096, 8, 2);
+    for (mk, name) in [
+        (
+            Box::new(|| Box::new(ProgressiveGreedy) as Box<dyn StreamingSetCover>)
+                as Box<dyn Fn() -> Box<dyn StreamingSetCover>>,
+            "progressive",
+        ),
+        (
+            Box::new(|| Box::new(EmekRosen) as Box<dyn StreamingSetCover>),
+            "emek-rosen",
+        ),
+        (
+            Box::new(|| Box::new(ChakrabartiWirth::new(3)) as Box<dyn StreamingSetCover>),
+            "chakrabarti-wirth",
+        ),
+    ] {
+        let rs = run_reported(mk().as_mut(), &small.system);
+        let rb = run_reported(mk().as_mut(), &big.system);
+        assert!(rs.verified.is_ok() && rb.verified.is_ok());
+        assert!(
+            rb.space_words <= rs.space_words + 64,
+            "{name}: m grew 8x and space went {} → {}",
+            rs.space_words,
+            rb.space_words
+        );
+    }
+}
+
+#[test]
+fn iter_set_cover_space_scales_sublinearly_in_n() {
+    // Õ(mn^δ): quadrupling n at fixed m should grow space by roughly
+    // n^δ = 2 (δ = 1/2), nowhere near 4.
+    let m = 1024;
+    let small = gen::planted(512, m, 8, 3);
+    let big = gen::planted(2048, m, 8, 3);
+    let mut a = IterSetCover::with_delta(0.5);
+    let mut b = IterSetCover::with_delta(0.5);
+    let rs = run_reported(&mut a, &small.system);
+    let rb = run_reported(&mut b, &big.system);
+    assert!(rs.verified.is_ok() && rb.verified.is_ok());
+    let growth = rb.space_words as f64 / rs.space_words as f64;
+    assert!(
+        growth < 3.2,
+        "space grew {growth:.2}× for 4× n — not n^δ-like"
+    );
+}
+
+#[test]
+fn pass_counters_cannot_be_bypassed() {
+    // An algorithm that never calls pass() reports zero passes and
+    // cannot have seen any set contents.
+    struct Blind;
+    impl StreamingSetCover for Blind {
+        fn name(&self) -> String {
+            "blind".into()
+        }
+        fn run(&mut self, stream: &SetStream<'_>, _: &SpaceMeter) -> Vec<u32> {
+            (0..stream.num_sets() as u32).collect() // can only guess ids
+        }
+    }
+    let inst = gen::planted(64, 32, 4, 1);
+    let report = run_reported(&mut Blind, &inst.system);
+    assert_eq!(report.passes, 0);
+    assert!(report.verified.is_ok(), "taking everything still covers");
+}
+
+#[test]
+fn meters_balance_for_every_algorithm() {
+    let inst = gen::planted(256, 512, 8, 7);
+    let mut algs: Vec<Box<dyn StreamingSetCover>> = vec![
+        Box::new(StoreAllGreedy),
+        Box::new(OnePickPerPassGreedy),
+        Box::new(ProgressiveGreedy),
+        Box::new(EmekRosen),
+        Box::new(ChakrabartiWirth::new(3)),
+        Box::new(Dimv14::with_delta(0.5)),
+        Box::new(IterSetCover::with_delta(0.5)),
+    ];
+    for alg in &mut algs {
+        let stream = SetStream::new(&inst.system);
+        let meter = SpaceMeter::new();
+        let name = alg.name();
+        let _ = alg.run(&stream, &meter);
+        assert_eq!(meter.current(), 0, "{name} leaked charged words");
+        assert!(meter.peak() > 0, "{name} claims zero working memory");
+    }
+}
+
+mod budget_audit {
+    //! The budget audit: the paper's space bands as pass/fail verdicts.
+
+    use streaming_set_cover::prelude::*;
+    use streaming_set_cover::stream::run_budgeted;
+
+    #[test]
+    fn iter_set_cover_stays_inside_its_band() {
+        // Theorem 2.8's band with the benchmark constants: the log n
+        // parallel guesses each keep O(c·k·n^δ) sample words plus the
+        // m·n^δ/k-ish projections; audit against c·m·n^δ·log²-ish.
+        for n in [512usize, 1024, 2048] {
+            let m = 2 * n;
+            let inst = gen::planted(n, m, 8, 7);
+            let band = (8.0
+                * m as f64
+                * (n as f64).sqrt()
+                * (n as f64).log2().powi(2)
+                / 8.0) as usize; // generous polylog headroom
+            let (report, exceeded) =
+                run_budgeted(&mut IterSetCover::with_delta(0.5), &inst.system, band);
+            assert!(report.verified.is_ok(), "n={n}");
+            assert!(
+                !exceeded,
+                "n={n}: iterSetCover used {} of its {band}-word band",
+                report.space_words
+            );
+        }
+    }
+
+    #[test]
+    fn semi_streaming_band_is_linear_in_n() {
+        let inst = gen::planted(1024, 4096, 8, 3);
+        // [ER14] keeps a pointer per element (~n/2 words as u32s) plus
+        // bitmaps: audit against 4n words.
+        let (report, exceeded) = run_budgeted(&mut EmekRosen, &inst.system, 4 * 1024);
+        assert!(report.verified.is_ok());
+        assert!(!exceeded, "[ER14] used {} words", report.space_words);
+    }
+
+    #[test]
+    fn an_impossible_budget_trips_the_audit_without_breaking_the_run() {
+        let inst = gen::planted(512, 1024, 8, 5);
+        let (report, exceeded) = run_budgeted(&mut StoreAllGreedy, &inst.system, 64);
+        assert!(exceeded, "store-all cannot fit 64 words");
+        assert!(report.verified.is_ok(), "the run itself still completes and covers");
+    }
+
+    #[test]
+    fn store_all_genuinely_needs_omega_of_input() {
+        // Theorem 3.8's message, audited: one pass + good quality ⇒
+        // pay the input. Half of Σ|r|/2 words is not enough.
+        let inst = gen::planted(1024, 2048, 8, 9);
+        let input_words = inst.system.total_size() / 2;
+        let (_, exceeded) = run_budgeted(&mut StoreAllGreedy, &inst.system, input_words / 2);
+        assert!(exceeded, "store-all fit in half the input footprint?!");
+    }
+}
