@@ -11,9 +11,13 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("akl16_curve");
     g.sample_size(10);
     for alpha in [1.0f64, 8.0, 32.0] {
-        g.bench_with_input(BenchmarkId::new("one_pass_projection", alpha as u64), &alpha, |b, &a| {
-            b.iter(|| black_box(run_reported(&mut OnePassProjection::new(a), &inst.system)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("one_pass_projection", alpha as u64),
+            &alpha,
+            |b, &a| {
+                b.iter(|| black_box(run_reported(&mut OnePassProjection::new(a), &inst.system)))
+            },
+        );
     }
     g.finish();
 }

@@ -11,19 +11,25 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for half in [32usize, 64] {
         let inst = instances::two_line(half, None, 9);
-        g.bench_with_input(BenchmarkId::new("storage_comparison", half), &inst, |b, i| {
-            b.iter(|| black_box(storage_comparison(&i.points, &i.shapes, 2)))
-        });
-        g.bench_with_input(BenchmarkId::new("canonical_store_build", half), &inst, |b, i| {
-            b.iter(|| {
-                let idx = RankIndex::build(&i.points);
-                let mut store = CanonicalStore::new();
-                for s in &i.shapes {
-                    store.add_shape(&idx, &i.points, s, 2);
-                }
-                black_box(store.len())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("storage_comparison", half),
+            &inst,
+            |b, i| b.iter(|| black_box(storage_comparison(&i.points, &i.shapes, 2))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("canonical_store_build", half),
+            &inst,
+            |b, i| {
+                b.iter(|| {
+                    let idx = RankIndex::build(&i.points);
+                    let mut store = CanonicalStore::new();
+                    for s in &i.shapes {
+                        store.add_shape(&idx, &i.points, s, 2);
+                    }
+                    black_box(store.len())
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -10,7 +10,11 @@ fn bench(c: &mut Criterion) {
     let discs = instances::random_discs(512, 256, 8, 1);
     let rects = instances::random_rects(512, 256, 8, 2);
     let tris = instances::random_fat_triangles(512, 256, 8, 3);
-    for (name, inst) in [("discs", &discs), ("rects", &rects), ("fat_triangles", &tris)] {
+    for (name, inst) in [
+        ("discs", &discs),
+        ("rects", &rects),
+        ("fat_triangles", &tris),
+    ] {
         g.bench_with_input(BenchmarkId::new("alg_geom_sc", name), inst, |b, i| {
             b.iter(|| {
                 let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());

@@ -15,17 +15,33 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("geometric_nets");
     g.sample_size(10);
     for eps in [0.05f64, 0.15] {
-        g.bench_with_input(BenchmarkId::new("net_sample_verify", format!("{eps}")), &eps, |b, &eps| {
-            let mut rng = StdRng::seed_from_u64(9);
-            b.iter(|| {
-                let net =
-                    sample_epsilon_net(&inst.points, ShapeFamily::Discs, eps, 0.2, &mut rng);
-                black_box(verify_epsilon_net(&inst.points, &weights, &inst.shapes, &net, eps))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("net_sample_verify", format!("{eps}")),
+            &eps,
+            |b, &eps| {
+                let mut rng = StdRng::seed_from_u64(9);
+                b.iter(|| {
+                    let net =
+                        sample_epsilon_net(&inst.points, ShapeFamily::Discs, eps, 0.2, &mut rng);
+                    black_box(verify_epsilon_net(
+                        &inst.points,
+                        &weights,
+                        &inst.shapes,
+                        &net,
+                        eps,
+                    ))
+                })
+            },
+        );
     }
     g.bench_function("bronnimann_goodrich", |b| {
-        b.iter(|| black_box(bronnimann_goodrich(&inst.points, &inst.shapes, &BgConfig::default())))
+        b.iter(|| {
+            black_box(bronnimann_goodrich(
+                &inst.points,
+                &inst.shapes,
+                &BgConfig::default(),
+            ))
+        })
     });
     g.finish();
 }

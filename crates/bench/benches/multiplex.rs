@@ -1,0 +1,40 @@
+//! Criterion bench for E16: the pass-multiplexed executor against the
+//! sequential reference on the acceptance-scale planted instance
+//! (n = 2¹⁴, m = 2¹³).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_core::{GuessExecutor, IterSetCover, IterSetCoverConfig};
+use sc_setsystem::gen;
+use sc_stream::run_reported;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = gen::planted(1 << 14, 1 << 13, 32, 42);
+    let mut g = c.benchmark_group("multiplex");
+    g.sample_size(10);
+    for delta in [0.5, 0.25] {
+        for (label, executor) in [
+            ("sequential", GuessExecutor::Sequential),
+            ("multiplexed", GuessExecutor::Multiplexed),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, delta),
+                &(delta, executor),
+                |b, &(delta, executor)| {
+                    b.iter(|| {
+                        let mut alg = IterSetCover::new(IterSetCoverConfig {
+                            delta,
+                            executor,
+                            ..Default::default()
+                        });
+                        black_box(run_reported(&mut alg, &inst.system))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

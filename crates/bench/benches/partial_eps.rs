@@ -12,15 +12,19 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("partial_eps");
     g.sample_size(10);
     for eps in [0.0, 0.1, 0.5] {
-        g.bench_with_input(BenchmarkId::new("epsilon", format!("{eps:.1}")), &eps, |b, &e| {
-            b.iter(|| {
-                let mut alg = PartialIterSetCover::new(IterSetCoverConfig {
-                    delta: 0.25,
-                    ..Default::default()
-                });
-                black_box(run_partial(&mut alg, &inst.system, e))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("epsilon", format!("{eps:.1}")),
+            &eps,
+            |b, &e| {
+                b.iter(|| {
+                    let mut alg = PartialIterSetCover::new(IterSetCoverConfig {
+                        delta: 0.25,
+                        ..Default::default()
+                    });
+                    black_box(run_partial(&mut alg, &inst.system, e))
+                })
+            },
+        );
     }
     g.finish();
 }

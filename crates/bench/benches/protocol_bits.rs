@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("protocol_bits");
     g.sample_size(10);
     let inst = TwoPartySetCover::random(128, 64, 64, 5);
-    g.bench_function("alice_sends_all", |b| b.iter(|| black_box(alice_sends_all(&inst))));
+    g.bench_function("alice_sends_all", |b| {
+        b.iter(|| black_box(alice_sends_all(&inst)))
+    });
     for n in [256usize, 2048] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let pc = PointerChasing::random(n, 3, &mut rng);

@@ -11,9 +11,21 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for (m, n) in [(8usize, 48usize), (16, 64)] {
         let alice = AliceInput::random(n, m, 3);
-        g.bench_with_input(BenchmarkId::new("recover", format!("m{m}_n{n}")), &alice, |b, a| {
-            b.iter(|| black_box(recover(a, &RecoverConfig { seed: 5, ..Default::default() })))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("recover", format!("m{m}_n{n}")),
+            &alice,
+            |b, a| {
+                b.iter(|| {
+                    black_box(recover(
+                        a,
+                        &RecoverConfig {
+                            seed: 5,
+                            ..Default::default()
+                        },
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }

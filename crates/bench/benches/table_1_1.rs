@@ -33,7 +33,10 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("dimv14_d0.5", |b| {
         b.iter(|| {
-            let mut alg = Dimv14::new(Dimv14Config { delta: 0.5, ..Default::default() });
+            let mut alg = Dimv14::new(Dimv14Config {
+                delta: 0.5,
+                ..Default::default()
+            });
             black_box(run_reported(&mut alg, &inst.system))
         })
     });

@@ -12,13 +12,19 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("tradeoff_2_8");
     g.sample_size(10);
     for delta in [1.0, 0.5, 1.0 / 3.0, 0.25] {
-        g.bench_with_input(BenchmarkId::new("delta", format!("{delta:.3}")), &delta, |b, &d| {
-            b.iter(|| {
-                let mut alg =
-                    IterSetCover::new(IterSetCoverConfig { delta: d, ..Default::default() });
-                black_box(run_reported(&mut alg, &inst.system))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("delta", format!("{delta:.3}")),
+            &delta,
+            |b, &d| {
+                b.iter(|| {
+                    let mut alg = IterSetCover::new(IterSetCoverConfig {
+                        delta: d,
+                        ..Default::default()
+                    });
+                    black_box(run_reported(&mut alg, &inst.system))
+                })
+            },
+        );
     }
     g.finish();
 }

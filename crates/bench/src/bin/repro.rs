@@ -5,17 +5,73 @@
 //! cargo run -p sc-bench --bin repro --release -- thm2.8  # one experiment
 //! cargo run -p sc-bench --bin repro --release -- --quick # reduced sweeps
 //! cargo run -p sc-bench --bin repro --release -- --list  # experiment ids
+//! cargo run -p sc-bench --bin repro --release -- --json BENCH_repro.json
 //! ```
+//!
+//! `--json PATH` additionally writes every table plus per-experiment
+//! wall-clock seconds as a JSON document, the format the repository's
+//! `BENCH_*.json` perf-trajectory files use.
 
 use sc_bench::experiments::{by_id, registry, Runner};
-use sc_bench::Scale;
+use sc_bench::{Scale, Table};
 use std::time::Instant;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let cells: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", cells.join(","))
+}
+
+fn table_json(table: &Table) -> String {
+    let rows: Vec<String> = table.rows.iter().map(|r| json_str_array(r)).collect();
+    format!(
+        "{{\"title\":{},\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+        json_str(&table.title),
+        json_str_array(&table.headers),
+        rows.join(","),
+        json_str_array(&table.notes),
+    )
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let json_flag = args.iter().position(|a| a == "--json");
+    let json_path: Option<String> = json_flag
+        .map(|i| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--json needs a file path");
+                std::process::exit(2);
+            })
+        })
+        .cloned();
+    let wanted: Vec<&String> = args
+        .iter()
+        .enumerate()
+        // The --json *value* is skipped by position, not by content, so
+        // an experiment id that happens to equal the path survives.
+        .filter(|(i, a)| !a.starts_with("--") && json_flag != Some(i.wrapping_sub(1)))
+        .map(|(_, a)| a)
+        .collect();
 
     if args.iter().any(|a| a == "--list") {
         for (id, what, _) in registry() {
@@ -24,34 +80,55 @@ fn main() {
         return;
     }
 
-    let jobs: Vec<(&'static str, &'static str, Runner)> =
-        if wanted.is_empty() {
-            registry()
-        } else {
-            wanted
-                .iter()
-                .map(|id| {
-                    let f = by_id(id).unwrap_or_else(|| {
-                        eprintln!("unknown experiment id {id:?}; try --list");
-                        std::process::exit(2);
-                    });
-                    let (rid, what, _) = registry()
-                        .into_iter()
-                        .find(|(rid, _, _)| *rid == id.as_str())
-                        .expect("id resolved above");
-                    (rid, what, f)
-                })
-                .collect()
-        };
+    let jobs: Vec<(&'static str, &'static str, Runner)> = if wanted.is_empty() {
+        registry()
+    } else {
+        wanted
+            .iter()
+            .map(|id| {
+                let f = by_id(id).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id {id:?}; try --list");
+                    std::process::exit(2);
+                });
+                let (rid, what, _) = registry()
+                    .into_iter()
+                    .find(|(rid, _, _)| *rid == id.as_str())
+                    .expect("id resolved above");
+                (rid, what, f)
+            })
+            .collect()
+    };
 
     println!("# Streaming Set Cover (PODS 2016) — experiment reproduction");
     println!("# scale: {}", if quick { "quick" } else { "full" });
     println!();
+    let mut json_entries: Vec<String> = Vec::new();
     for (id, what, f) in jobs {
         let start = Instant::now();
         let table = f(scale);
+        let seconds = start.elapsed().as_secs_f64();
         println!("{table}");
-        println!("  [{id}: {what} — {:.1}s]", start.elapsed().as_secs_f64());
+        println!("  [{id}: {what} — {seconds:.1}s]");
         println!();
+        if json_path.is_some() {
+            json_entries.push(format!(
+                "{{\"id\":{},\"what\":{},\"seconds\":{seconds:.3},\"table\":{}}}",
+                json_str(id),
+                json_str(what),
+                table_json(&table),
+            ));
+        }
+    }
+    if let Some(path) = json_path {
+        let doc = format!(
+            "{{\"schema\":\"sc-bench/repro/v1\",\"scale\":{},\"experiments\":[{}]}}\n",
+            json_str(if quick { "quick" } else { "full" }),
+            json_entries.join(","),
+        );
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("# wrote {path}");
     }
 }

@@ -25,21 +25,42 @@ use sc_stream::run_reported;
 pub fn ablations(scale: Scale) -> Table {
     let mut t = Table::new(
         "E12 / ablations — what each design choice buys",
-        &["configuration", "workload", "|sol|", "passes", "space (words)", "store (candidates)"],
+        &[
+            "configuration",
+            "workload",
+            "|sol|",
+            "passes",
+            "space (words)",
+            "store (candidates)",
+        ],
     );
 
     // --- 1 & 2: iterSetCover switches. -------------------------------
     let (n, m, k) = scale.pick((512, 1024, 8), (2048, 4096, 16));
     let inst = gen::planted(n, m, k, 99);
     let configs: Vec<(&str, IterSetCoverConfig)> = vec![
-        ("iterSetCover (paper design)", IterSetCoverConfig { delta: 0.5, ..Default::default() }),
+        (
+            "iterSetCover (paper design)",
+            IterSetCoverConfig {
+                delta: 0.5,
+                ..Default::default()
+            },
+        ),
         (
             "… size test OFF",
-            IterSetCoverConfig { delta: 0.5, disable_size_test: true, ..Default::default() },
+            IterSetCoverConfig {
+                delta: 0.5,
+                disable_size_test: true,
+                ..Default::default()
+            },
         ),
         (
             "… paper constants ON",
-            IterSetCoverConfig { delta: 0.5, paper_constants: true, ..Default::default() },
+            IterSetCoverConfig {
+                delta: 0.5,
+                paper_constants: true,
+                ..Default::default()
+            },
         ),
     ];
     for (label, cfg) in configs {
@@ -62,10 +83,22 @@ pub fn ablations(scale: Scale) -> Table {
     let (on, om, ok) = scale.pick((256, 512, 8), (512, 1024, 8));
     let oracle_inst = gen::planted(on, om, ok, 101);
     for (label, solver) in [
-        ("… oracle = greedy (ρ = ln n)", sc_offline::OfflineSolver::Greedy),
-        ("… oracle = exact (ρ = 1)", sc_offline::OfflineSolver::DEFAULT_EXACT),
-        ("… oracle = primal-dual (ρ = f)", sc_offline::OfflineSolver::PrimalDual),
-        ("… oracle = lp-round (ρ = O(log n))", sc_offline::OfflineSolver::LpRound { seed: 7 }),
+        (
+            "… oracle = greedy (ρ = ln n)",
+            sc_offline::OfflineSolver::Greedy,
+        ),
+        (
+            "… oracle = exact (ρ = 1)",
+            sc_offline::OfflineSolver::DEFAULT_EXACT,
+        ),
+        (
+            "… oracle = primal-dual (ρ = f)",
+            sc_offline::OfflineSolver::PrimalDual,
+        ),
+        (
+            "… oracle = lp-round (ρ = O(log n))",
+            sc_offline::OfflineSolver::LpRound { seed: 7 },
+        ),
     ] {
         let mut alg = IterSetCover::new(IterSetCoverConfig {
             delta: 0.5,
@@ -87,8 +120,14 @@ pub fn ablations(scale: Scale) -> Table {
     // --- 3: canonical decomposition on the Figure 1.2 family. --------
     let half = scale.pick(32, 96);
     let adv = instances::two_line(half, None, 4);
-    for (label, decompose) in [("algGeomSC (canonical pieces)", true), ("… decomposition OFF", false)] {
-        let mut alg = AlgGeomSc::new(AlgGeomScConfig { decompose_rects: decompose, ..Default::default() });
+    for (label, decompose) in [
+        ("algGeomSC (canonical pieces)", true),
+        ("… decomposition OFF", false),
+    ] {
+        let mut alg = AlgGeomSc::new(AlgGeomScConfig {
+            decompose_rects: decompose,
+            ..Default::default()
+        });
         let r = alg.run(&adv);
         assert!(r.verified.is_ok(), "{label}: {:?}", r.verified);
         t.row(vec![
@@ -114,7 +153,12 @@ mod tests {
         let t = ablations(Scale::Quick);
         let space = |i: usize| t.rows[i][4].replace(',', "").parse::<usize>().unwrap();
         // Size test off costs more space than the paper design.
-        assert!(space(1) > space(0), "size-test ablation: {} !> {}", space(1), space(0));
+        assert!(
+            space(1) > space(0),
+            "size-test ablation: {} !> {}",
+            space(1),
+            space(0)
+        );
         // Four oracle rows follow, all covering (asserted inside the
         // runner); then the two canonical-store rows: dedupe-only
         // stores more candidates than canonical pieces.

@@ -20,9 +20,12 @@ pub fn akl16_curve(scale: Scale) -> Table {
     let inst = gen::uniform_random(n, m, 0.1, 77);
     let sets = inst.system.all_bitsets();
     let target = sc_bitset::BitSet::full(n);
-    let opt_lb = sc_offline::dual_lower_bound(&sets, &target).unwrap_or(1).max(1);
-    let greedy_size =
-        sc_offline::greedy(&sets, &target).map(|c| c.len()).unwrap_or(usize::MAX);
+    let opt_lb = sc_offline::dual_lower_bound(&sets, &target)
+        .unwrap_or(1)
+        .max(1);
+    let greedy_size = sc_offline::greedy(&sets, &target)
+        .map(|c| c.len())
+        .unwrap_or(usize::MAX);
 
     let mut t = Table::new(
         format!(
@@ -64,7 +67,10 @@ mod tests {
         let space = |i: usize| t.rows[i][2].replace(',', "").parse::<usize>().unwrap();
         let first = space(0);
         let last = space(t.rows.len() - 1);
-        assert!(last < first, "α sweep should shrink space: {first} -> {last}");
+        assert!(
+            last < first,
+            "α sweep should shrink space: {first} -> {last}"
+        );
         // One pass always.
         for row in &t.rows {
             assert_eq!(row[1], "1");

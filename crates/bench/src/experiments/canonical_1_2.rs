@@ -16,7 +16,16 @@ pub fn canonical_1_2(scale: Scale) -> Table {
     let halves: Vec<usize> = scale.pick(vec![16, 32], vec![16, 32, 64, 128]);
     let mut t = Table::new(
         "E5 / Figure 1.2 — verbatim projections vs canonical pieces (two-line instance)",
-        &["n (points)", "m = n²/4", "distinct projections", "verbatim words", "canonical candidates", "canonical words", "words ratio", "cand. / (n·log²n)"],
+        &[
+            "n (points)",
+            "m = n²/4",
+            "distinct projections",
+            "verbatim words",
+            "canonical candidates",
+            "canonical words",
+            "words ratio",
+            "cand. / (n·log²n)",
+        ],
     );
     for half in halves {
         let inst = instances::two_line(half, None, 9);
@@ -32,7 +41,10 @@ pub fn canonical_1_2(scale: Scale) -> Table {
             fmt_count(cmp.canonical_candidates),
             fmt_count(cmp.canonical_words),
             fmt_ratio(cmp.explicit_words as f64 / cmp.canonical_words.max(1) as f64),
-            format!("{:.3}", cmp.canonical_candidates as f64 / (n as f64 * log2n * log2n)),
+            format!(
+                "{:.3}",
+                cmp.canonical_candidates as f64 / (n as f64 * log2n * log2n)
+            ),
         ]);
     }
     t.note("the last column staying bounded as n grows is the Õ(n) claim of Lemma 4.4 / substitution 4");

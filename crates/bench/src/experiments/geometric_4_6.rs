@@ -10,7 +10,17 @@ pub fn geometric_4_6(scale: Scale) -> Table {
     let ns: Vec<usize> = scale.pick(vec![256], vec![256, 512, 1024, 2048]);
     let mut t = Table::new(
         "E6 / Theorem 4.6 — algGeomSC on discs / rectangles / fat triangles (δ = 1/4)",
-        &["family", "n", "m", "|sol|", "ratio", "passes", "space (words)", "space / n", "max store"],
+        &[
+            "family",
+            "n",
+            "m",
+            "|sol|",
+            "ratio",
+            "passes",
+            "space (words)",
+            "space / n",
+            "max store",
+        ],
     );
 
     type Maker = fn(usize, usize, usize, u64) -> GeomInstance;
@@ -46,7 +56,10 @@ pub fn geometric_4_6(scale: Scale) -> Table {
     for &n in &ns {
         let m = n / 2;
         for (name, inst) in [
-            ("clustered-discs", instances::clustered_discs(n, m, 8, 23 + n as u64)),
+            (
+                "clustered-discs",
+                instances::clustered_discs(n, m, 8, 23 + n as u64),
+            ),
             ("grid-rects", instances::grid_rects(n, m, 23 + n as u64)),
         ] {
             let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());

@@ -29,9 +29,21 @@ pub fn geometric_nets(scale: Scale) -> Table {
     );
 
     let families = [
-        ("discs", ShapeFamily::Discs, instances::random_discs(n, m, k, 31)),
-        ("rects", ShapeFamily::Rects, instances::random_rects(n, m, k, 32)),
-        ("fat-triangles", ShapeFamily::FatTriangles, instances::random_fat_triangles(n, m, k, 33)),
+        (
+            "discs",
+            ShapeFamily::Discs,
+            instances::random_discs(n, m, k, 31),
+        ),
+        (
+            "rects",
+            ShapeFamily::Rects,
+            instances::random_rects(n, m, k, 32),
+        ),
+        (
+            "fat-triangles",
+            ShapeFamily::FatTriangles,
+            instances::random_fat_triangles(n, m, k, 33),
+        ),
     ];
 
     // 1. ε-net failure rate at q = 0.2.
@@ -53,7 +65,10 @@ pub fn geometric_nets(scale: Scale) -> Table {
             label.to_string(),
             "ε-net failure rate".into(),
             format!("ε={eps}, q={q}, d={}", family.vc_dim()),
-            format!("{:.2} ({failures}/{trials})", failures as f64 / trials as f64),
+            format!(
+                "{:.2} ({failures}/{trials})",
+                failures as f64 / trials as f64
+            ),
             format!("≤ {q} (Haussler–Welzl)"),
         ]);
         t.row(vec![
@@ -61,7 +76,10 @@ pub fn geometric_nets(scale: Scale) -> Table {
             "mean net size".into(),
             format!("ε={eps}"),
             fmt_count(net_sizes / trials),
-            format!("O((d/ε)·log(1/ε)) = {}", fmt_count(sc_geometry::net_sample_size(*family, eps, q))),
+            format!(
+                "O((d/ε)·log(1/ε)) = {}",
+                fmt_count(sc_geometry::net_sample_size(*family, eps, q))
+            ),
         ]);
     }
 
@@ -85,7 +103,10 @@ pub fn geometric_nets(scale: Scale) -> Table {
             "BG work".into(),
             "doublings / net draws".into(),
             format!("{} / {}", out.doublings, out.net_draws),
-            format!("O(k·log(m/k)) = {}", fmt_count((k as f64 * (m as f64 / k as f64).log2()).ceil() as usize)),
+            format!(
+                "O(k·log(m/k)) = {}",
+                fmt_count((k as f64 * (m as f64 / k as f64).log2()).ceil() as usize)
+            ),
         ]);
     }
 
@@ -103,7 +124,10 @@ mod tests {
         // Rows 0,2,4 are failure rates: parse "x.xx (f/t)".
         for i in [0usize, 2, 4] {
             let rate: f64 = t.rows[i][3].split(' ').next().unwrap().parse().unwrap();
-            assert!(rate <= 0.6, "row {i}: measured failure rate {rate} wildly above budget");
+            assert!(
+                rate <= 0.6,
+                "row {i}: measured failure rate {rate} wildly above budget"
+            );
         }
         // BG rows exist for all three families.
         assert_eq!(t.rows.len(), 12);

@@ -5,6 +5,7 @@ mod akl16_curve;
 mod canonical_1_2;
 mod geometric_4_6;
 mod geometric_nets;
+mod multiplex;
 mod nisan_endpoint;
 mod partial_eps;
 mod protocol_bits;
@@ -21,6 +22,7 @@ pub use akl16_curve::akl16_curve;
 pub use canonical_1_2::canonical_1_2;
 pub use geometric_4_6::geometric_4_6;
 pub use geometric_nets::geometric_nets;
+pub use multiplex::multiplex;
 pub use nisan_endpoint::nisan_endpoint;
 pub use partial_eps::partial_eps;
 pub use protocol_bits::protocol_bits;
@@ -42,25 +44,49 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
     vec![
         ("table1.1", "Figure 1.1 summary table", table_1_1 as Runner),
         ("thm2.8", "Theorem 2.8 pass/space trade-off", tradeoff_2_8),
-        ("lem2.6", "Lemmas 2.3 & 2.6 sampling diagnostics", sampling_2_6),
+        (
+            "lem2.6",
+            "Lemmas 2.3 & 2.6 sampling diagnostics",
+            sampling_2_6,
+        ),
         ("thm3.8", "Theorem 3.8 / Figure 3.1 recovery", recover_3_1),
         ("fig1.2", "Figure 1.2 canonical storage", canonical_1_2),
         ("thm4.6", "Theorem 4.6 geometric set cover", geometric_4_6),
-        ("thm5.4", "Theorem 5.4 / Corollary 5.8 reduction", reduction_5_4),
+        (
+            "thm5.4",
+            "Theorem 5.4 / Corollary 5.8 reduction",
+            reduction_5_4,
+        ),
         ("thm6.6", "Theorem 6.6 sparse instances", sparse_6_6),
         ("semi", "[ER14]/[CW16] semi-streaming rows", semi_streaming),
         ("nisan", "Nisan endpoint δ = Θ(1/log n)", nisan_endpoint),
         ("partial", "ε-Partial Set Cover sweep", partial_eps),
         ("ablations", "design-choice ablations", ablations),
         ("akl16", "[AKL16] single-pass α curve", akl16_curve),
-        ("nets", "ε-nets + Brönnimann–Goodrich oracle", geometric_nets),
-        ("protocol", "protocol bits vs lower-bound curves", protocol_bits),
+        (
+            "nets",
+            "ε-nets + Brönnimann–Goodrich oracle",
+            geometric_nets,
+        ),
+        (
+            "protocol",
+            "protocol bits vs lower-bound curves",
+            protocol_bits,
+        ),
+        (
+            "multiplex",
+            "E16 pass-multiplexed executor wall-clock",
+            multiplex,
+        ),
     ]
 }
 
 /// Looks up one experiment by repro id.
 pub fn by_id(id: &str) -> Option<Runner> {
-    registry().into_iter().find(|(rid, _, _)| *rid == id).map(|(_, _, f)| f)
+    registry()
+        .into_iter()
+        .find(|(rid, _, _)| *rid == id)
+        .map(|(_, _, f)| f)
 }
 
 #[cfg(test)]

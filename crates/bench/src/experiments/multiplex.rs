@@ -1,0 +1,70 @@
+//! E16 — wall-clock of the pass-multiplexed guess executor.
+//!
+//! Not a paper artifact: this experiment tracks the implementation's
+//! own perf trajectory. Both executors are observationally identical
+//! (same covers, passes, space — pinned by `multiplex_equivalence` in
+//! `sc-core`), so the only interesting column is wall-clock, reported
+//! via [`RunReport::elapsed`](sc_stream::RunReport). The acceptance bar
+//! recorded in EXPERIMENTS.md is a ≥ 2× speedup on a planted instance
+//! with n ≥ 2¹⁴, m ≥ 2¹³.
+
+use crate::{Scale, Table};
+use sc_core::{GuessExecutor, IterSetCover, IterSetCoverConfig};
+use sc_setsystem::gen;
+use sc_stream::run_reported;
+
+/// Times both executors over a small grid of planted instances.
+pub fn multiplex(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E16 — sequential vs pass-multiplexed guess executor",
+        &["n", "m", "δ", "seq ms", "mux ms", "speedup", "identical"],
+    );
+    let grid: Vec<(usize, usize, usize, f64)> = match scale {
+        Scale::Quick => vec![(1 << 10, 1 << 9, 8, 0.5), (1 << 10, 1 << 9, 8, 0.25)],
+        Scale::Full => vec![
+            (1 << 14, 1 << 13, 32, 0.5),
+            (1 << 14, 1 << 13, 32, 0.25),
+            (1 << 15, 1 << 14, 32, 0.5),
+            (1 << 15, 1 << 14, 32, 0.25),
+        ],
+    };
+    let repeats = scale.pick(1, 3);
+    for (n, m, k, delta) in grid {
+        let inst = gen::planted(n, m, k, 42);
+        let mut best = [f64::MAX; 2];
+        let mut reports = Vec::new();
+        for (which, executor) in [GuessExecutor::Sequential, GuessExecutor::Multiplexed]
+            .into_iter()
+            .enumerate()
+        {
+            for _ in 0..repeats {
+                let mut alg = IterSetCover::new(IterSetCoverConfig {
+                    delta,
+                    executor,
+                    ..Default::default()
+                });
+                let report = run_reported(&mut alg, &inst.system);
+                assert!(report.verified.is_ok(), "{}: not a cover", report.algorithm);
+                best[which] = best[which].min(report.elapsed.as_secs_f64());
+                reports.push(report);
+            }
+        }
+        let seq = &reports[0];
+        let mux = &reports[repeats];
+        let identical = seq.cover == mux.cover
+            && seq.passes == mux.passes
+            && seq.space_words == mux.space_words;
+        table.row(vec![
+            n.to_string(),
+            m.to_string(),
+            format!("{delta}"),
+            format!("{:.1}", best[0] * 1e3),
+            format!("{:.1}", best[1] * 1e3),
+            format!("{:.2}x", best[0] / best[1]),
+            identical.to_string(),
+        ]);
+    }
+    table.note("best of repeated runs; `identical` = same cover, pass count, and space peak");
+    table.note("the multiplexed executor is the default; Sequential is the reference replay");
+    table
+}

@@ -18,7 +18,16 @@ pub fn nisan_endpoint(scale: Scale) -> Table {
     let ns: Vec<usize> = scale.pick(vec![256, 512], vec![256, 512, 1024, 2048]);
     let mut t = Table::new(
         "E10 / Nisan endpoint — iterSetCover at δ = 1/log₂ n with ρ = 1",
-        &["n", "m", "δ", "passes", "ratio", "log₂ n", "space (words)", "space / m"],
+        &[
+            "n",
+            "m",
+            "δ",
+            "passes",
+            "ratio",
+            "log₂ n",
+            "space (words)",
+            "space / m",
+        ],
     );
     for &n in &ns {
         let m = 2 * n;

@@ -22,7 +22,16 @@ pub fn partial_eps(scale: Scale) -> Table {
     let opt = inst.planted.as_ref().unwrap().len();
     let mut t = Table::new(
         format!("E11 / ε-Partial Set Cover on planted(n={n}, m={m}, OPT={k})"),
-        &["algorithm", "ε", "required", "covered", "|sol|", "ratio vs full OPT", "passes", "space (words)"],
+        &[
+            "algorithm",
+            "ε",
+            "required",
+            "covered",
+            "|sol|",
+            "ratio vs full OPT",
+            "passes",
+            "space (words)",
+        ],
     );
 
     for eps in [0.0, 0.05, 0.1, 0.25, 0.5] {
@@ -79,18 +88,12 @@ mod tests {
     fn goal_always_met_and_costs_monotone_in_eps() {
         let t = partial_eps(Scale::Quick);
         // iterSetCover rows are the first five; sizes non-increasing.
-        let sizes: Vec<usize> = t.rows[..5]
-            .iter()
-            .map(|r| r[4].parse().unwrap())
-            .collect();
+        let sizes: Vec<usize> = t.rows[..5].iter().map(|r| r[4].parse().unwrap()).collect();
         assert!(
             sizes.windows(2).all(|w| w[1] <= w[0] + 1),
             "sizes not monotone-ish: {sizes:?}"
         );
-        let passes: Vec<usize> = t.rows[..5]
-            .iter()
-            .map(|r| r[6].parse().unwrap())
-            .collect();
+        let passes: Vec<usize> = t.rows[..5].iter().map(|r| r[6].parse().unwrap()).collect();
         assert!(
             passes.last().unwrap() <= passes.first().unwrap(),
             "ε=0.5 should need no more passes than ε=0: {passes:?}"

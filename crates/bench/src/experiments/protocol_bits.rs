@@ -29,7 +29,14 @@ use sc_comm::two_party::TwoPartySetCover;
 pub fn protocol_bits(scale: Scale) -> Table {
     let mut t = Table::new(
         "E15 / protocol executions vs lower-bound curves (Sections 3 & 5)",
-        &["protocol", "instance", "rounds", "bits (measured)", "reference curve", "measured/ref"],
+        &[
+            "protocol",
+            "instance",
+            "rounds",
+            "bits (measured)",
+            "reference curve",
+            "measured/ref",
+        ],
     );
 
     // --- One round: two-party SetCover. ------------------------------
@@ -113,14 +120,21 @@ mod tests {
             .filter(|r| r[0].starts_with("ISC chain") && r[1].ends_with("p=2)"))
             .collect();
         let last_ratio: f64 = p2_rows.last().unwrap()[5].parse().unwrap();
-        assert!(last_ratio < 1.0, "chain should beat the starved bound, ratio {last_ratio}");
+        assert!(
+            last_ratio < 1.0,
+            "chain should beat the starved bound, ratio {last_ratio}"
+        );
         // The ratio falls with n within the p=2 series.
         let first_ratio: f64 = p2_rows.first().unwrap()[5].parse().unwrap();
         assert!(last_ratio < first_ratio);
         // Table dumps cost more than chains at every n.
         let bits = |r: &Vec<String>| r[3].replace(',', "").parse::<usize>().unwrap();
-        let chains: Vec<usize> =
-            t.rows.iter().filter(|r| r[0].starts_with("pointer-chase chain")).map(bits).collect();
+        let chains: Vec<usize> = t
+            .rows
+            .iter()
+            .filter(|r| r[0].starts_with("pointer-chase chain"))
+            .map(bits)
+            .collect();
         let dumps: Vec<usize> = t
             .rows
             .iter()

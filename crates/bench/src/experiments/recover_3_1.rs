@@ -15,7 +15,17 @@ use sc_comm::recover::{probe_statistics, recover, RecoverConfig};
 pub fn recover_3_1(scale: Scale) -> Table {
     let mut t = Table::new(
         "E4 / Theorem 3.8 & Figure 3.1 — decoding Alice's sets from disjointness answers",
-        &["m", "n", "mn bits", "recovered", "probes", "oracle queries", "collision probes", "P(=1 disjoint) meas.", "P(≥2) meas."],
+        &[
+            "m",
+            "n",
+            "mn bits",
+            "recovered",
+            "probes",
+            "oracle queries",
+            "collision probes",
+            "P(=1 disjoint) meas.",
+            "P(≥2) meas.",
+        ],
     );
 
     let configs: Vec<(usize, usize)> = scale.pick(
@@ -25,13 +35,23 @@ pub fn recover_3_1(scale: Scale) -> Table {
     for (m, n) in configs {
         let alice = AliceInput::random(n, m, 1000 + m as u64);
         assert!(alice.is_intersecting_family(), "Observation 3.4 violated");
-        let out = recover(&alice, &RecoverConfig { seed: m as u64, ..Default::default() });
+        let out = recover(
+            &alice,
+            &RecoverConfig {
+                seed: m as u64,
+                ..Default::default()
+            },
+        );
         let stats = probe_statistics(&alice, 2.0, scale.pick(800, 10000), 77);
         t.row(vec![
             m.to_string(),
             n.to_string(),
             fmt_count(alice.description_bits()),
-            if out.exact { "exact".into() } else { "FAILED".to_string() },
+            if out.exact {
+                "exact".into()
+            } else {
+                "FAILED".to_string()
+            },
             fmt_count(out.probes),
             fmt_count(out.oracle_queries),
             out.collision_probes.to_string(),

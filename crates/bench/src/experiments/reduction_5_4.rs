@@ -17,7 +17,17 @@ use sc_comm::reduction_sec5::{
 pub fn reduction_5_4(scale: Scale) -> Table {
     let mut t = Table::new(
         "E7 / Theorem 5.4 & Corollary 5.8 — ISC → Set Cover reduction, exact verification",
-        &["n", "p", "|U|", "|F|", "instances", "YES (opt = (2p+1)n+1)", "NO (opt = +2)", "iff holds", "witness ok"],
+        &[
+            "n",
+            "p",
+            "|U|",
+            "|F|",
+            "instances",
+            "YES (opt = (2p+1)n+1)",
+            "NO (opt = +2)",
+            "iff holds",
+            "witness ok",
+        ],
     );
 
     let configs: Vec<(usize, usize, usize)> = scale.pick(

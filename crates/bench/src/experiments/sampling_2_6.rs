@@ -44,7 +44,10 @@ pub fn sampling_2_6(scale: Scale) -> Table {
     let mut false_heavy = 0usize;
     for _ in 0..trials {
         let sample = sample_from_bitset(&live, sample_size, &mut rng);
-        let hit = sample.iter().filter(|&&e| (e as usize) < small_size).count();
+        let hit = sample
+            .iter()
+            .filter(|&&e| (e as usize) < small_size)
+            .count();
         if hit as f64 >= threshold {
             false_heavy += 1;
         }
@@ -61,7 +64,10 @@ pub fn sampling_2_6(scale: Scale) -> Table {
     let (n2, m2, k2) = scale.pick((512, 512, 4), (4096, 4096, 8));
     let delta = 0.25;
     let inst = gen::planted(n2, m2, k2, 3);
-    let mut alg = IterSetCover::new(IterSetCoverConfig { delta, ..Default::default() });
+    let mut alg = IterSetCover::new(IterSetCoverConfig {
+        delta,
+        ..Default::default()
+    });
     let r = run_reported(&mut alg, &inst.system);
     assert!(r.verified.is_ok());
     // Traces of the correct guess band: k2 ≤ k < 2·k2.
@@ -79,7 +85,12 @@ pub fn sampling_2_6(scale: Scale) -> Table {
                 "k={}, |S|={}, heavy={}, stored={}, offline={}",
                 tr.k, tr.sample_size, tr.heavy_picked, tr.small_stored, tr.offline_picked
             ),
-            format!("{} → {} (×{})", tr.uncovered_before, tr.uncovered_after, fmt_ratio(shrink)),
+            format!(
+                "{} → {} (×{})",
+                tr.uncovered_before,
+                tr.uncovered_after,
+                fmt_ratio(shrink)
+            ),
             format!("×n^δ = {:.1} per iteration (Lemma 2.6)", shrink_target),
         ]);
     }

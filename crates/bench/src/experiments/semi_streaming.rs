@@ -22,7 +22,14 @@ pub fn semi_streaming(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("E9 / [ER14] & [CW16] — Θ̃(n)-space algorithms on planted(n={n}, m={m}, k={k})"),
-        &["algorithm", "p", "analytic approx bound", "mean ratio", "max passes", "max space (words)"],
+        &[
+            "algorithm",
+            "p",
+            "analytic approx bound",
+            "mean ratio",
+            "max passes",
+            "max space (words)",
+        ],
     );
 
     // ER14 row.
@@ -89,7 +96,12 @@ mod tests {
         assert_eq!(t.rows.len(), 6);
         let ratio = |i: usize| t.rows[i][3].parse::<f64>().unwrap();
         // CW16 at p=5 should be at least as good as p=1 on average.
-        assert!(ratio(5) <= ratio(1) + 0.25, "p=5 {} vs p=1 {}", ratio(5), ratio(1));
+        assert!(
+            ratio(5) <= ratio(1) + 0.25,
+            "p=5 {} vs p=1 {}",
+            ratio(5),
+            ratio(1)
+        );
         // All algorithms stay within the analytic band by a wide margin.
         for i in 0..t.rows.len() {
             assert!(ratio(i) < 40.0);

@@ -13,7 +13,18 @@ use sc_comm::reduction_sec6::{overlay_to_isc, OrEqualPointerChasing, Sec6Instanc
 pub fn sparse_6_6(scale: Scale) -> Table {
     let mut t = Table::new(
         "E8 / Theorem 6.6 — sparse instances via OR_t(Equal Limited Pointer Chasing)",
-        &["n", "p", "t", "r", "bound s ≤ t(r-1)+2", "measured s", "|U|", "|F|", "overlay agrees", "promise ok"],
+        &[
+            "n",
+            "p",
+            "t",
+            "r",
+            "bound s ≤ t(r-1)+2",
+            "measured s",
+            "|U|",
+            "|F|",
+            "overlay agrees",
+            "promise ok",
+        ],
     );
 
     // Lemma 6.5 needs t²·p·r^{p-1} < n/10, so n grows with t; and the
@@ -52,7 +63,10 @@ pub fn sparse_6_6(scale: Scale) -> Table {
             // Overlay fidelity: compare ISC output with the plain OR.
             let or = OrEqualPointerChasing::random(n, p, tt, r, seed * 31 + 1);
             let plain = or.instances.iter().any(|e| e.output());
-            let isc = overlay_to_isc(&or, (seed * 31 + 1).wrapping_mul(0x9e37_79b9).wrapping_add(1));
+            let isc = overlay_to_isc(
+                &or,
+                (seed * 31 + 1).wrapping_mul(0x9e37_79b9).wrapping_add(1),
+            );
             if isc.output() == plain || plain {
                 // YES always maps to YES; NO may rarely flip (Lemma 6.5
                 // error budget) — count exact agreement.
@@ -91,9 +105,11 @@ mod tests {
             let measured: usize = row[5].parse().unwrap();
             assert!(measured <= bound, "{row:?}");
             assert!(measured > 0, "promise never held — r too small: {row:?}");
-            let agree: Vec<usize> =
-                row[8].split('/').map(|x| x.parse().unwrap()).collect();
-            assert!(agree[0] * 10 >= agree[1] * 7, "overlay fidelity too low: {row:?}");
+            let agree: Vec<usize> = row[8].split('/').map(|x| x.parse().unwrap()).collect();
+            assert!(
+                agree[0] * 10 >= agree[1] * 7,
+                "overlay fidelity too low: {row:?}"
+            );
         }
     }
 }

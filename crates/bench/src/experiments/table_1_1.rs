@@ -23,8 +23,18 @@ pub fn table_1_1(scale: Scale) -> Table {
     let opt = inst.planted.as_ref().expect("planted").len();
 
     let mut t = Table::new(
-        format!("E1 / Figure 1.1 — summary table on {} (OPT = {opt})", inst.label),
-        &["algorithm", "paper bound (approx, passes, space)", "|sol|", "ratio", "passes", "space (words)"],
+        format!(
+            "E1 / Figure 1.1 — summary table on {} (OPT = {opt})",
+            inst.label
+        ),
+        &[
+            "algorithm",
+            "paper bound (approx, passes, space)",
+            "|sol|",
+            "ratio",
+            "passes",
+            "space (words)",
+        ],
     );
 
     let mut push = |alg: &mut dyn StreamingSetCover, bound: &str| {
@@ -43,16 +53,25 @@ pub fn table_1_1(scale: Scale) -> Table {
     push(&mut StoreAllGreedy, "ln n, 1, O(mn)");
     push(&mut OnePickPerPassGreedy, "ln n, ≤n, O(n)");
     push(&mut ProgressiveGreedy, "O(log n), O(log n), O(n)");
-    push(&mut SahaGetoor::default(), "O(log n), O(log n), O(n² ln n) [SG09]");
+    push(
+        &mut SahaGetoor::default(),
+        "O(log n), O(log n), O(n² ln n) [SG09]",
+    );
     push(&mut EmekRosen, "O(√n), 1, Θ̃(n) [ER14]");
     push(&mut ChakrabartiWirth::new(2), "O(n^⅓), 2, Θ̃(n) [CW16]");
     push(&mut ChakrabartiWirth::new(4), "O(n^⅕), 4, Θ̃(n) [CW16]");
     push(
-        &mut Dimv14::new(Dimv14Config { delta: 0.5, ..Default::default() }),
+        &mut Dimv14::new(Dimv14Config {
+            delta: 0.5,
+            ..Default::default()
+        }),
         "O(4^{1/δ}ρ), O(4^{1/δ}), Õ(mn^δ) [DIMV14]",
     );
     push(
-        &mut IterSetCover::new(IterSetCoverConfig { delta: 0.5, ..Default::default() }),
+        &mut IterSetCover::new(IterSetCoverConfig {
+            delta: 0.5,
+            ..Default::default()
+        }),
         "O(ρ/δ), 2/δ, Õ(mn^δ) [Thm 2.8]",
     );
     push(
@@ -64,7 +83,10 @@ pub fn table_1_1(scale: Scale) -> Table {
         "O(1/δ), 2/δ, Õ(mn^δ) [Thm 2.8, ρ=1]",
     );
     push(
-        &mut IterSetCover::new(IterSetCoverConfig { delta: 0.25, ..Default::default() }),
+        &mut IterSetCover::new(IterSetCoverConfig {
+            delta: 0.25,
+            ..Default::default()
+        }),
         "O(ρ/δ), 2/δ, Õ(mn^δ) [Thm 2.8, δ=¼]",
     );
 

@@ -19,7 +19,16 @@ pub fn tradeoff_2_8(scale: Scale) -> Table {
 
     let mut t = Table::new(
         "E2 / Theorem 2.8 — pass/space trade-off of iterSetCover",
-        &["δ", "n", "m", "passes", "2/δ+1", "space (words)", "space / (m·n^δ)", "ratio"],
+        &[
+            "δ",
+            "n",
+            "m",
+            "passes",
+            "2/δ+1",
+            "space (words)",
+            "space / (m·n^δ)",
+            "ratio",
+        ],
     );
 
     for &delta in &deltas {
@@ -28,7 +37,10 @@ pub fn tradeoff_2_8(scale: Scale) -> Table {
             let k = 16.min(n / 8).max(2);
             let inst = gen::planted(n, m, k, 7 + n as u64);
             let opt = inst.planted.as_ref().unwrap().len();
-            let mut alg = IterSetCover::new(IterSetCoverConfig { delta, ..Default::default() });
+            let mut alg = IterSetCover::new(IterSetCoverConfig {
+                delta,
+                ..Default::default()
+            });
             let r = run_reported(&mut alg, &inst.system);
             assert!(r.verified.is_ok(), "δ={delta} n={n}: {:?}", r.verified);
             let budget = 2.0 / delta + 1.0;
@@ -67,6 +79,11 @@ mod tests {
         let space = |row: &Vec<String>| row[5].replace(',', "").parse::<usize>().unwrap();
         let d1: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "1.000").collect();
         let d4: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "0.250").collect();
-        assert!(space(d1[0]) >= space(d4[0]), "{} vs {}", space(d1[0]), space(d4[0]));
+        assert!(
+            space(d1[0]) >= space(d4[0]),
+            "{} vs {}",
+            space(d1[0]),
+            space(d4[0])
+        );
     }
 }

@@ -39,7 +39,10 @@ impl SparseSet {
     ///
     /// Panics (in debug builds) if `ids` is not strictly increasing.
     pub fn from_sorted(ids: Vec<u32>) -> Self {
-        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly increasing");
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be strictly increasing"
+        );
         Self { ids }
     }
 

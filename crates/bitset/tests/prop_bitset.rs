@@ -2,7 +2,7 @@
 //! model built on `std::collections::BTreeSet`.
 
 use proptest::prelude::*;
-use sc_bitset::{BitSet, SparseSet};
+use sc_bitset::{BitSet, HeapWords, SparseSet};
 use std::collections::BTreeSet;
 
 const UNIVERSE: usize = 300;
@@ -91,6 +91,53 @@ proptest! {
         let x = SparseSet::from_unsorted(a.clone());
         let y = SparseSet::from_unsorted(b.clone());
         prop_assert_eq!(x.is_subset(&y), model(&a).is_subset(&model(&b)));
+    }
+
+    #[test]
+    fn intersection_count_slice_matches_per_element_loop(a in elem_vec(), b in elem_vec()) {
+        let s = BitSet::from_iter(UNIVERSE, a.iter().copied());
+        let mut sorted = b.clone();
+        sorted.sort_unstable();
+        let want = sorted.iter().filter(|&&e| s.contains(e)).count();
+        prop_assert_eq!(s.intersection_count_slice(&sorted), want);
+    }
+
+    #[test]
+    fn remove_sorted_slice_matches_per_element_loop(a in elem_vec(), b in elem_vec()) {
+        let mut batch = BitSet::from_iter(UNIVERSE, a.iter().copied());
+        let mut loop_removed = batch.clone();
+        let mut sorted = b.clone();
+        sorted.sort_unstable();
+        batch.remove_sorted_slice(&sorted);
+        for &e in &sorted {
+            loop_removed.remove(e);
+        }
+        prop_assert_eq!(batch.to_vec(), loop_removed.to_vec());
+    }
+
+    #[test]
+    fn clear_and_set_from_sorted_matches_from_iter(a in elem_vec(), b in elem_vec()) {
+        let mut reused = BitSet::from_iter(UNIVERSE, a.iter().copied());
+        let mut sorted = b.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        reused.clear_and_set_from_sorted(&sorted);
+        let fresh = BitSet::from_iter(UNIVERSE, sorted.iter().copied());
+        prop_assert_eq!(&reused, &fresh);
+        prop_assert_eq!(reused.heap_words(), fresh.heap_words(), "reuse must not grow the footprint");
+    }
+
+    #[test]
+    fn intersect_sorted_into_matches_filter_loop(a in elem_vec(), b in elem_vec(), stale in elem_vec()) {
+        let s = BitSet::from_iter(UNIVERSE, a.iter().copied());
+        let mut sorted = b.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        // The output buffer starts with stale junk that must vanish.
+        let mut out = stale.clone();
+        s.intersect_sorted_into(&sorted, &mut out);
+        let want: Vec<u32> = sorted.iter().copied().filter(|&e| s.contains(e)).collect();
+        prop_assert_eq!(out, want);
     }
 
     #[test]

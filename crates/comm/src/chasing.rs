@@ -103,7 +103,11 @@ impl SetChasing {
 
     /// Random instance with out-degrees ≤ `max_degree`.
     pub fn random(n: usize, p: usize, max_degree: usize, rng: &mut StdRng) -> Self {
-        Self::new((0..p).map(|_| SetFunction::random(n, max_degree, rng)).collect())
+        Self::new(
+            (0..p)
+                .map(|_| SetFunction::random(n, max_degree, rng))
+                .collect(),
+        )
     }
 
     /// Domain size `n`.
@@ -314,7 +318,11 @@ impl EqualPointerChasing {
     /// limited problem's output is defined to be 1 regardless of the
     /// chases.
     pub fn has_r_non_injective(&self, r: usize) -> bool {
-        self.left.fs.iter().chain(&self.right.fs).any(|f| f.is_r_non_injective(r))
+        self.left
+            .fs
+            .iter()
+            .chain(&self.right.fs)
+            .any(|f| f.is_r_non_injective(r))
     }
 
     /// Equal *Limited* Pointer Chasing output (Definition 6.3).
@@ -387,9 +395,15 @@ mod tests {
             PointerChasing::new(vec![same.clone()]),
         );
         assert!(e.output());
-        assert!(e.has_r_non_injective(2), "constant function is 2-non-injective");
+        assert!(
+            e.has_r_non_injective(2),
+            "constant function is 2-non-injective"
+        );
         assert!(e.limited_output(2));
-        assert!(e.limited_output(3) == e.output(), "no 3-non-injectivity → plain output");
+        assert!(
+            e.limited_output(3) == e.output(),
+            "no 3-non-injectivity → plain output"
+        );
     }
 
     #[test]

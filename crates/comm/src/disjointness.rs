@@ -92,7 +92,10 @@ pub struct DisjointnessOracle<'a> {
 impl<'a> DisjointnessOracle<'a> {
     /// Wraps Alice's input.
     pub fn new(alice: &'a AliceInput) -> Self {
-        Self { alice, queries: Cell::new(0) }
+        Self {
+            alice,
+            queries: Cell::new(0),
+        }
     }
 
     /// `true` iff some Alice set is disjoint from `query`.
@@ -104,7 +107,11 @@ impl<'a> DisjointnessOracle<'a> {
     /// How many sets are disjoint from `query` (diagnostics for the
     /// Lemma 3.3 experiment; does **not** count as a decoder query).
     pub fn disjoint_count(&self, query: &BitSet) -> usize {
-        self.alice.sets.iter().filter(|s| s.is_disjoint(query)).count()
+        self.alice
+            .sets
+            .iter()
+            .filter(|s| s.is_disjoint(query))
+            .count()
     }
 
     /// Oracle invocations so far.

@@ -165,7 +165,11 @@ pub fn alice_sends_all(inst: &TwoPartySetCover) -> ProtocolRun<bool> {
             u == full
         })
     });
-    ProtocolRun { output, bits: wire.len_bits(), rounds: 1 }
+    ProtocolRun {
+        output,
+        bits: wire.len_bits(),
+        rounds: 1,
+    }
 }
 
 /// The `p`-round chain protocol for Pointer Chasing: player `p`
@@ -189,7 +193,11 @@ pub fn chain_pointer_chasing(pc: &PointerChasing) -> ProtocolRun<u32> {
             current = r.read_bits(w) as u32;
         }
     }
-    ProtocolRun { output: current, bits: wire.len_bits(), rounds: p.saturating_sub(1) }
+    ProtocolRun {
+        output: current,
+        bits: wire.len_bits(),
+        rounds: p.saturating_sub(1),
+    }
 }
 
 /// The one-round table-dump protocol for Pointer Chasing: players
@@ -216,7 +224,11 @@ pub fn one_round_pointer_chasing(pc: &PointerChasing) -> ProtocolRun<u32> {
         current = table[current as usize];
     }
     current = pc.f(1).apply(current);
-    ProtocolRun { output: current, bits: wire.len_bits(), rounds: 1 }
+    ProtocolRun {
+        output: current,
+        bits: wire.len_bits(),
+        rounds: 1,
+    }
 }
 
 /// The `p`-round chain protocol for Set Chasing: the frontier is an
@@ -241,7 +253,11 @@ pub fn chain_set_chasing(sc: &SetChasing) -> ProtocolRun<BitSet> {
             current = BitSet::from_iter(n, (0..n as u32).filter(|_| r.read_bits(1) == 1));
         }
     }
-    ProtocolRun { output: current, bits: wire.len_bits(), rounds: p.saturating_sub(1) }
+    ProtocolRun {
+        output: current,
+        bits: wire.len_bits(),
+        rounds: p.saturating_sub(1),
+    }
 }
 
 /// The `2p`-round chain protocol for Intersection Set Chasing: both
@@ -278,8 +294,15 @@ mod tests {
     #[test]
     fn bit_buffer_round_trips_mixed_widths() {
         let mut buf = BitBuffer::new();
-        let values: Vec<(u64, u32)> =
-            vec![(1, 1), (0, 1), (5, 3), (1023, 10), (u64::MAX, 64), (0x1234_5678, 33), (7, 3)];
+        let values: Vec<(u64, u32)> = vec![
+            (1, 1),
+            (0, 1),
+            (5, 3),
+            (1023, 10),
+            (u64::MAX, 64),
+            (0x1234_5678, 33),
+            (7, 3),
+        ];
         for &(v, w) in &values {
             buf.write_bits(v, w);
         }
@@ -348,7 +371,10 @@ mod tests {
             assert_eq!(dump.output, chain.output);
             assert_eq!(dump.rounds, 1);
             assert_eq!(dump.bits, 2 * 9 * id_width(9) as usize);
-            assert!(dump.bits > chain.bits, "table dump must cost more than the chain");
+            assert!(
+                dump.bits > chain.bits,
+                "table dump must cost more than the chain"
+            );
         }
     }
 

@@ -39,7 +39,11 @@ pub struct RecoverConfig {
 
 impl Default for RecoverConfig {
     fn default() -> Self {
-        Self { c1: 1.0, max_probes: 1_000_000, seed: 0 }
+        Self {
+            c1: 1.0,
+            max_probes: 1_000_000,
+            seed: 0,
+        }
     }
 }
 
@@ -156,12 +160,7 @@ fn family_matches(candidates: &[BitSet], alice: &AliceInput) -> bool {
 /// The Lemma 3.3 quantity, measured: over `trials` random queries of
 /// size `⌈c₁·log₂ m⌉`, how often is the query disjoint from exactly one
 /// Alice set / from two or more?
-pub fn probe_statistics(
-    alice: &AliceInput,
-    c1: f64,
-    trials: usize,
-    seed: u64,
-) -> ProbeStats {
+pub fn probe_statistics(alice: &AliceInput, c1: f64, trials: usize, seed: u64) -> ProbeStats {
     let n = alice.universe();
     let m = alice.num_sets();
     let oracle = DisjointnessOracle::new(alice);
@@ -180,7 +179,12 @@ pub fn probe_statistics(
             _ => two_or_more += 1,
         }
     }
-    ProbeStats { trials, exactly_one, two_or_more, query_size }
+    ProbeStats {
+        trials,
+        exactly_one,
+        two_or_more,
+        query_size,
+    }
 }
 
 /// Outcome of [`probe_statistics`].
@@ -204,7 +208,13 @@ mod tests {
     fn recovers_random_family_exactly() {
         for seed in 0..5 {
             let alice = AliceInput::random(48, 8, seed);
-            let out = recover(&alice, &RecoverConfig { seed, ..Default::default() });
+            let out = recover(
+                &alice,
+                &RecoverConfig {
+                    seed,
+                    ..Default::default()
+                },
+            );
             assert!(out.exact, "seed {seed}: {} candidates", out.recovered.len());
             assert_eq!(out.decoded_bits(&alice), 48 * 8);
             assert!(out.oracle_queries > 0);
@@ -216,7 +226,10 @@ mod tests {
         let alice = AliceInput::random(48, 8, 3);
         let out = recover(
             &alice,
-            &RecoverConfig { max_probes: 2, ..Default::default() },
+            &RecoverConfig {
+                max_probes: 2,
+                ..Default::default()
+            },
         );
         assert_eq!(out.probes, 2);
         assert!(!out.exact, "2 probes cannot recover 8 sets");
@@ -255,8 +268,20 @@ mod tests {
     #[test]
     fn recovery_is_deterministic_in_seed() {
         let alice = AliceInput::random(32, 6, 2);
-        let a = recover(&alice, &RecoverConfig { seed: 9, ..Default::default() });
-        let b = recover(&alice, &RecoverConfig { seed: 9, ..Default::default() });
+        let a = recover(
+            &alice,
+            &RecoverConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        let b = recover(
+            &alice,
+            &RecoverConfig {
+                seed: 9,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.probes, b.probes);
         assert_eq!(a.oracle_queries, b.oracle_queries);
     }

@@ -214,7 +214,12 @@ pub fn reduce(isc: &IntersectionSetChasing) -> Sec5Reduction {
         }
     }
 
-    Sec5Reduction { system: b.finish(), kinds, n, p }
+    Sec5Reduction {
+        system: b.finish(),
+        kinds,
+        n,
+        p,
+    }
 }
 
 /// Outcome of verifying Corollary 5.8 on one instance.
@@ -242,12 +247,24 @@ pub fn verify_corollary_5_8(isc: &IntersectionSetChasing, node_budget: u64) -> C
     let sets = red.system.all_bitsets();
     let target = BitSet::full(red.system.universe());
     let outcome = exact(&sets, &target, node_budget).expect("reduced instance is coverable");
-    assert!(outcome.optimal, "exact solver budget too small for certification");
+    assert!(
+        outcome.optimal,
+        "exact solver budget too small for certification"
+    );
     let yes_size = red.yes_cover_size();
     let isc_output = isc.output();
     let opt = outcome.cover.len();
-    let holds = if isc_output { opt == yes_size } else { opt == yes_size + 1 };
-    Cor58Verdict { isc_output, opt, yes_size, holds }
+    let holds = if isc_output {
+        opt == yes_size
+    } else {
+        opt == yes_size + 1
+    };
+    Cor58Verdict {
+        isc_output,
+        opt,
+        yes_size,
+        holds,
+    }
 }
 
 /// Observation 5.9 as arithmetic: an `ℓ`-pass, `s`-word streaming
@@ -299,7 +316,10 @@ pub fn lemma_5_6_witness(isc: &IntersectionSetChasing) -> Option<Vec<SetId>> {
     // plus R^j_i for j ≠ j_i.
     for i in 2..=p {
         let ji = left_path[i - 1]; // path[c-1] = vertex at column c
-        picks.push(kind_id(SetKind::LeftS { player: i - 1, j: ji }));
+        picks.push(kind_id(SetKind::LeftS {
+            player: i - 1,
+            j: ji,
+        }));
         for j in 0..n as u32 {
             if j != ji {
                 picks.push(kind_id(SetKind::LeftR { col: i, j }));
@@ -437,7 +457,10 @@ mod tests {
         let red = reduce(&isc);
         let witness = lemma_5_6_witness(&isc).expect("YES instance");
         assert_eq!(witness.len(), red.yes_cover_size());
-        assert!(red.system.verify_cover(&witness).is_ok(), "witness must be feasible");
+        assert!(
+            red.system.verify_cover(&witness).is_ok(),
+            "witness must be feasible"
+        );
     }
 
     #[test]

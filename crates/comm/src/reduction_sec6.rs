@@ -17,9 +17,7 @@
 //! `s ≤ t·(r-1) + 2` — which is how Theorem 6.6 gets Ω̃(ms) for
 //! `s ≤ n^δ`.
 
-use crate::chasing::{
-    EqualPointerChasing, IntersectionSetChasing, SetChasing, SetFunction,
-};
+use crate::chasing::{EqualPointerChasing, IntersectionSetChasing, SetChasing, SetFunction};
 use crate::reduction_sec5::{reduce, Sec5Reduction};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -134,7 +132,11 @@ pub fn overlay_to_isc(or: &OrEqualPointerChasing, seed: u64) -> IntersectionSetC
             .map(|i| {
                 let mut targets: Vec<Vec<u32>> = vec![Vec::new(); n];
                 for (j, inst) in or.instances.iter().enumerate().take(t) {
-                    let f = if side == 0 { inst.left.f(i) } else { inst.right.f(i) };
+                    let f = if side == 0 {
+                        inst.left.f(i)
+                    } else {
+                        inst.right.f(i)
+                    };
                     let pi_i = &perms[i - 1][j];
                     let pi_next_inv = inverse_permutation(&perms[i][j]);
                     for a in 0..n as u32 {
@@ -171,7 +173,11 @@ impl Sec6Instance {
         let or_instance = OrEqualPointerChasing::random(n, p, t, r, seed);
         let isc = overlay_to_isc(&or_instance, seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
         let reduction = reduce(&isc);
-        Self { or_instance, isc, reduction }
+        Self {
+            or_instance,
+            isc,
+            reduction,
+        }
     }
 
     /// The Theorem 6.6 sparsity bound `t·(r-1) + 2` that holds whenever
@@ -251,7 +257,10 @@ mod tests {
                 inst.sparsity_bound()
             );
         }
-        assert!(honoured >= 5, "promise almost always violated — r too small");
+        assert!(
+            honoured >= 5,
+            "promise almost always violated — r too small"
+        );
     }
 
     #[test]

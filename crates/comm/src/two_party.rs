@@ -37,7 +37,11 @@ impl TwoPartySetCover {
         for s in alice.iter().chain(&bob) {
             assert_eq!(s.universe(), universe, "universe mismatch");
         }
-        Self { universe, alice, bob }
+        Self {
+            universe,
+            alice,
+            bob,
+        }
     }
 
     /// The hard distribution behind Theorem 3.1: Alice's sets uniformly
@@ -52,7 +56,11 @@ impl TwoPartySetCover {
         let bob = (0..m_bob)
             .map(|_| BitSet::from_iter(n, (0..n as u32).filter(|_| rng.random_bool(0.75))))
             .collect();
-        Self { universe: n, alice, bob }
+        Self {
+            universe: n,
+            alice,
+            bob,
+        }
     }
 
     /// Universe size.
@@ -100,7 +108,8 @@ impl TwoPartySetCover {
     /// (Alice's sets first), so the streaming algorithms can run on the
     /// very instances the communication bound reasons about.
     pub fn to_set_system(&self) -> SetSystem {
-        let mut b = SetSystemBuilder::with_capacity(self.universe, self.alice.len() + self.bob.len());
+        let mut b =
+            SetSystemBuilder::with_capacity(self.universe, self.alice.len() + self.bob.len());
         for s in self.alice.iter().chain(&self.bob) {
             b.add_set(s.to_vec());
         }

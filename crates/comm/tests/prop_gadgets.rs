@@ -114,8 +114,7 @@ mod protocol_props {
     use rand::SeedableRng;
     use sc_comm::chasing::{IntersectionSetChasing, PointerChasing};
     use sc_comm::protocol::{
-        chain_intersection_set_chasing, chain_pointer_chasing, one_round_pointer_chasing,
-        BitBuffer,
+        chain_intersection_set_chasing, chain_pointer_chasing, one_round_pointer_chasing, BitBuffer,
     };
 
     proptest! {

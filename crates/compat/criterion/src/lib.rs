@@ -1,0 +1,208 @@
+//! Offline drop-in for the subset of `criterion` this workspace uses.
+//!
+//! The container building this repository has no crates.io access, so
+//! this crate provides just enough to keep the `benches/` targets
+//! compiling and producing useful wall-clock numbers: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, [`Bencher::iter`], [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing is honest but simple: each benchmark runs a short warm-up,
+//! then `sample_size` timed batches, and prints the per-iteration
+//! median, minimum, and maximum. There are no plots, no statistical
+//! regression, and no baseline comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            batch: 1,
+        };
+        // Warm-up pass: also calibrates the batch size so fast bodies
+        // are timed in batches long enough for the clock to resolve.
+        f(&mut b);
+        b.calibrate();
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Times one benchmark that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark body; call [`iter`](Bencher::iter) with the
+/// code to time.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    batch: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per call (batched so that
+    /// sub-microsecond routines still measure above clock resolution).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed() / self.batch);
+    }
+
+    /// Grows the batch size until one batch takes ≥ ~1 ms.
+    fn calibrate(&mut self) {
+        if let Some(&warm) = self.samples.last() {
+            let per_iter = warm.as_nanos().max(1);
+            self.batch = (1_000_000 / per_iter).clamp(1, 10_000) as u32;
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("{group}/{id:<40} (no samples — did the body call iter()?)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{group}/{id:<40} median {:>12?}  (min {:?}, max {:?}, {} samples)",
+            median,
+            min,
+            max,
+            sorted.len()
+        );
+    }
+}
+
+/// Names a benchmark as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds the id `{function}/{parameter}`.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Groups benchmark functions under one entry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run_bodies() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(runs >= 3, "bench body must actually run");
+    }
+}

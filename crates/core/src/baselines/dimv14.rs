@@ -71,7 +71,10 @@ impl Dimv14 {
 
     /// Default configuration with the given δ.
     pub fn with_delta(delta: f64) -> Self {
-        Self::new(Dimv14Config { delta, ..Default::default() })
+        Self::new(Dimv14Config {
+            delta,
+            ..Default::default()
+        })
     }
 
     /// Covers `target` completely, appending picks to `sol`/`in_sol`.
@@ -136,9 +139,8 @@ impl Dimv14 {
                     let scratch_words = t.get().as_words().len() + proj.get().len();
                     meter.charge(scratch_words);
                     let store = proj.get();
-                    let picks =
-                        sc_offline::greedy_slices(store.len(), |i| store.elems(i), t.get())
-                            .ok_or(sc_offline::Infeasible);
+                    let picks = sc_offline::greedy_slices(store.len(), |i| store.elems(i), t.get())
+                        .ok_or(sc_offline::Infeasible);
                     meter.release(scratch_words);
                     picks
                 }
@@ -146,8 +148,7 @@ impl Dimv14 {
                 // bitsets.
                 _ => {
                     let store = proj.get();
-                    let kept =
-                        sc_offline::dominance_filter_slices(store.len(), |i| store.elems(i));
+                    let kept = sc_offline::dominance_filter_slices(store.len(), |i| store.elems(i));
                     let remaining: Vec<ElemId> = t.get().to_vec();
                     let sub_universe = remaining.len();
                     let sub_sets = Tracked::new(
@@ -199,7 +200,11 @@ impl Dimv14 {
 
 impl StreamingSetCover for Dimv14 {
     fn name(&self) -> String {
-        format!("dimv14(δ={}, ρ={})", self.cfg.delta, self.cfg.solver.label())
+        format!(
+            "dimv14(δ={}, ρ={})",
+            self.cfg.delta,
+            self.cfg.solver.label()
+        )
     }
 
     fn run(&mut self, stream: &SetStream<'_>, meter: &SpaceMeter) -> Vec<SetId> {

@@ -110,12 +110,13 @@ mod tests {
     #[test]
     fn pointer_fallback_covers_sparse_tail() {
         // No set reaches the √n=4 threshold except via pointers.
-        let system = sc_setsystem::SetSystem::from_sets(
-            16,
-            (0..16).map(|e| vec![e]).collect(),
-        );
+        let system = sc_setsystem::SetSystem::from_sets(16, (0..16).map(|e| vec![e]).collect());
         let report = run_reported(&mut EmekRosen, &system);
         assert!(report.verified.is_ok());
-        assert_eq!(report.cover_size(), 16, "all singletons bought via pointers");
+        assert_eq!(
+            report.cover_size(),
+            16,
+            "all singletons bought via pointers"
+        );
     }
 }

@@ -50,13 +50,20 @@ impl OnePassProjection {
     /// Creates the algorithm with the given `α` and the greedy oracle.
     pub fn new(alpha: f64) -> Self {
         assert!(alpha >= 1.0, "alpha must be ≥ 1");
-        Self { alpha, solver: OfflineSolver::Greedy }
+        Self {
+            alpha,
+            solver: OfflineSolver::Greedy,
+        }
     }
 }
 
 impl StreamingSetCover for OnePassProjection {
     fn name(&self) -> String {
-        format!("one-pass-projection[AKL16](α={}, ρ={})", self.alpha, self.solver.label())
+        format!(
+            "one-pass-projection[AKL16](α={}, ρ={})",
+            self.alpha,
+            self.solver.label()
+        )
     }
 
     fn run(&mut self, stream: &SetStream<'_>, meter: &SpaceMeter) -> Vec<SetId> {

@@ -91,7 +91,11 @@ mod tests {
     fn agrees_with_offline_greedy_on_adversarial_instance() {
         let inst = gen::greedy_adversarial(4);
         let report = run_reported(&mut OnePickPerPassGreedy, &inst.system);
-        assert_eq!(report.cover, vec![0, 1, 2, 3], "same picks as offline greedy");
+        assert_eq!(
+            report.cover,
+            vec![0, 1, 2, 3],
+            "same picks as offline greedy"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ mod tests {
         let inst = gen::planted(1024, 512, 8, 6);
         let report = run_reported(&mut ProgressiveGreedy, &inst.system);
         assert!(report.verified.is_ok());
-        assert!(report.passes <= 11, "⌈log₂ 1024⌉ + 1 = 11, got {}", report.passes);
+        assert!(
+            report.passes <= 11,
+            "⌈log₂ 1024⌉ + 1 = 11, got {}",
+            report.passes
+        );
         let opt = inst.planted.as_ref().unwrap().len();
         assert!(report.cover_size() <= opt * 11);
     }

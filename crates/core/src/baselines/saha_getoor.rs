@@ -82,10 +82,9 @@ impl SahaGetoor {
                         .iter()
                         .filter(|&&e| {
                             target.contains(e)
-                                && !ks
-                                    .iter()
-                                    .enumerate()
-                                    .any(|(j, (_, other))| j != i && other.binary_search(&e).is_ok())
+                                && !ks.iter().enumerate().any(|(j, (_, other))| {
+                                    j != i && other.binary_search(&e).is_ok()
+                                })
                         })
                         .count();
                     if unique < worst.1 {

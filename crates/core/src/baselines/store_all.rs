@@ -95,7 +95,11 @@ mod tests {
         let inst = gen::greedy_adversarial(5);
         let report = run_reported(&mut StoreAllGreedy, &inst.system);
         assert!(report.verified.is_ok());
-        assert_eq!(report.cover_size(), 5, "takes the baits like offline greedy");
+        assert_eq!(
+            report.cover_size(),
+            5,
+            "takes the baits like offline greedy"
+        );
     }
 
     #[test]

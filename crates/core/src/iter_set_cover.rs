@@ -21,7 +21,12 @@
 //!
 //! The guess `k` is unknown, so all `log n` powers of two run "in
 //! parallel"; the harness accounts passes as the maximum and space as
-//! the sum across guesses, exactly as the paper does.
+//! the sum across guesses, exactly as the paper does. By default the
+//! guesses are also *executed* in parallel — the multiplexed driver in
+//! [`crate::multiplex`] advances every guess's state machine through
+//! one shared physical scan per logical pass, so wall-clock matches the
+//! model instead of paying the `log₂ n` sequential-replay factor; set
+//! [`GuessExecutor::Sequential`] to run the reference executor.
 
 use crate::projstore::ProjStore;
 use crate::sampling::{iter_set_cover_sample_size, sample_from_bitset};
@@ -31,6 +36,26 @@ use sc_bitset::{BitSet, HeapWords};
 use sc_offline::OfflineSolver;
 use sc_setsystem::{ElemId, SetId};
 use sc_stream::{SetStream, SpaceMeter, StreamingSetCover, Tracked};
+
+/// How the `log₂ n` parallel guesses are physically executed.
+///
+/// Both executors are observationally identical — same covers, same
+/// logical pass counts, same per-guess space peaks (pinned by the
+/// `multiplex_equivalence` integration test) — they differ only in
+/// wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuessExecutor {
+    /// Reference executor: each guess forks the stream and performs its
+    /// own `2/δ + 1` physical scans, one guess after another — a factor
+    /// `log₂ n` more physical scans than the model charges.
+    Sequential,
+    /// One shared physical scan per logical pass advances every live
+    /// guess's state machine at once ([`SetStream::shared_pass`]), the
+    /// way the paper's "do in parallel" actually executes. Hot paths
+    /// run on the word-batched `sc_bitset` slice kernels.
+    #[default]
+    Multiplexed,
+}
 
 /// Configuration of [`IterSetCover`].
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +88,9 @@ pub struct IterSetCoverConfig {
     /// sets are stored whole and the footprint balloons — experiment
     /// E12 measures by how much.
     pub disable_size_test: bool,
+    /// Physical execution strategy for the parallel guesses; the
+    /// default multiplexed executor shares one scan per logical pass.
+    pub executor: GuessExecutor,
 }
 
 impl Default for IterSetCoverConfig {
@@ -75,13 +103,14 @@ impl Default for IterSetCoverConfig {
             paper_constants: false,
             final_cleanup_pass: true,
             disable_size_test: false,
+            executor: GuessExecutor::default(),
         }
     }
 }
 
 /// Measurements from one iteration of one guess, for the Lemma 2.3/2.6
 /// diagnostics (experiment E3).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IterationTrace {
     /// The guess of `|OPT|` this execution branch is running with.
     pub k: usize,
@@ -129,14 +158,23 @@ pub struct IterSetCover {
 impl IterSetCover {
     /// Creates the algorithm with the given configuration.
     pub fn new(cfg: IterSetCoverConfig) -> Self {
-        assert!(cfg.delta > 0.0 && cfg.delta <= 1.0, "delta must be in (0,1]");
+        assert!(
+            cfg.delta > 0.0 && cfg.delta <= 1.0,
+            "delta must be in (0,1]"
+        );
         assert!(cfg.sample_constant > 0.0);
-        Self { cfg, traces: Vec::new() }
+        Self {
+            cfg,
+            traces: Vec::new(),
+        }
     }
 
     /// Convenience constructor: default config with the given δ.
     pub fn with_delta(delta: f64) -> Self {
-        Self::new(IterSetCoverConfig { delta, ..Default::default() })
+        Self::new(IterSetCoverConfig {
+            delta,
+            ..Default::default()
+        })
     }
 
     /// Number of iterations per guess, `⌈1/δ⌉`.
@@ -144,7 +182,12 @@ impl IterSetCover {
         (1.0 / self.cfg.delta).ceil() as usize
     }
 
-    fn sample_size(&self, k: usize, n: usize, m: usize) -> usize {
+    /// The active configuration.
+    pub fn cfg(&self) -> &IterSetCoverConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn sample_size(&self, k: usize, n: usize, m: usize) -> usize {
         if self.cfg.paper_constants {
             let rho = self.cfg.solver.rho(n);
             iter_set_cover_sample_size(self.cfg.sample_constant, rho, k, n, m, self.cfg.delta)
@@ -180,16 +223,11 @@ impl IterSetCover {
             }
             let uncovered_before = live.get().count();
             let want = self.sample_size(k, n, m).min(uncovered_before);
-            let sample = Tracked::new(
-                sample_from_bitset(live.get(), want, rng),
-                meter,
-            );
+            let sample = Tracked::new(sample_from_bitset(live.get(), want, rng), meter);
             let sample_len = sample.get().len();
             // L ← S, as a dense bitmap for O(1) membership tests.
-            let mut l_sample = Tracked::new(
-                BitSet::from_iter(n, sample.get().iter().copied()),
-                meter,
-            );
+            let mut l_sample =
+                Tracked::new(BitSet::from_iter(n, sample.get().iter().copied()), meter);
             let threshold = sample_len as f64 / k as f64;
 
             // Pass 1: size test. Heavy sets are emitted immediately;
@@ -199,7 +237,12 @@ impl IterSetCover {
             let mut scratch: Vec<ElemId> = Vec::new();
             for (id, elems) in stream.pass() {
                 scratch.clear();
-                scratch.extend(elems.iter().copied().filter(|&e| l_sample.get().contains(e)));
+                scratch.extend(
+                    elems
+                        .iter()
+                        .copied()
+                        .filter(|&e| l_sample.get().contains(e)),
+                );
                 if scratch.is_empty() {
                     continue;
                 }
@@ -222,66 +265,8 @@ impl IterSetCover {
             let projection_words = projections.get().heap_words();
             let small_stored = projections.get().len();
 
-            // Offline solve on the residual sample. The greedy oracle
-            // runs straight on the stored sparse projections ("linear
-            // space"); the exact oracle densifies in rank-compacted
-            // coordinates first. Elements later covered by heavy sets
-            // are skipped in either case (the target is the live
-            // sample bitmap).
             let offline_picked;
-            let picks: Option<Vec<usize>> = if l_sample.get().is_empty() {
-                Some(Vec::new())
-            } else {
-                match self.cfg.solver {
-                    OfflineSolver::Greedy => {
-                        // Scratch for the oracle: one target-sized
-                        // bitmap plus a heap entry per stored set.
-                        let scratch_words = l_sample.get().as_words().len()
-                            + projections.get().len();
-                        meter.charge(scratch_words);
-                        let proj = projections.get();
-                        let picks =
-                            sc_offline::greedy_slices(proj.len(), |i| proj.elems(i), l_sample.get());
-                        meter.release(scratch_words);
-                        picks
-                    }
-                    // Every other oracle (exact, primal–dual, LP
-                    // rounding) works on dense rank-compacted bitsets.
-                    _ => {
-                        // Dominance-filter the sparse projections before
-                        // densifying: only maximal projections can be
-                        // needed, and only they are charged.
-                        let proj = projections.get();
-                        let kept = sc_offline::dominance_filter_slices(proj.len(), |i| {
-                            proj.elems(i)
-                        });
-                        let remaining: Vec<ElemId> = l_sample.get().to_vec();
-                        let sub_universe = remaining.len();
-                        let sub_sets = Tracked::new(
-                            kept.iter()
-                                .map(|&i| {
-                                    BitSet::from_iter(
-                                        sub_universe,
-                                        proj.elems(i).iter().filter_map(|e| {
-                                            remaining.binary_search(e).ok().map(|r| r as u32)
-                                        }),
-                                    )
-                                })
-                                .collect::<Vec<BitSet>>(),
-                            meter,
-                        );
-                        let target = BitSet::full(sub_universe);
-                        let picks = self
-                            .cfg
-                            .solver
-                            .solve(sub_sets.get(), &target)
-                            .ok()
-                            .map(|picks| picks.into_iter().map(|i| kept[i]).collect::<Vec<_>>());
-                        let _ = sub_sets.release(meter);
-                        picks
-                    }
-                }
-            };
+            let picks = offline_solve(self.cfg.solver, &projections, &l_sample, meter);
             match picks {
                 Some(picks) => {
                     offline_picked = picks.len();
@@ -365,15 +350,89 @@ impl IterSetCover {
     }
 }
 
+/// `algOfflineSC` on the residual sample — shared by both executors.
+///
+/// The greedy oracle runs straight on the stored sparse projections
+/// ("linear space"); every other oracle (exact, primal–dual, LP
+/// rounding) densifies in rank-compacted coordinates first. Elements
+/// already covered by heavy sets are skipped in either case (the target
+/// is the live sample bitmap). Returns `None` when some sampled element
+/// is in no stored set at all — the instance is not coverable under
+/// this guess.
+pub(crate) fn offline_solve(
+    solver: OfflineSolver,
+    projections: &Tracked<ProjStore>,
+    l_sample: &Tracked<BitSet>,
+    meter: &SpaceMeter,
+) -> Option<Vec<usize>> {
+    if l_sample.get().is_empty() {
+        return Some(Vec::new());
+    }
+    match solver {
+        OfflineSolver::Greedy => {
+            // Scratch for the oracle: one target-sized bitmap plus a
+            // heap entry per stored set.
+            let scratch_words = l_sample.get().as_words().len() + projections.get().len();
+            meter.charge(scratch_words);
+            let proj = projections.get();
+            let picks = sc_offline::greedy_slices(proj.len(), |i| proj.elems(i), l_sample.get());
+            meter.release(scratch_words);
+            picks
+        }
+        _ => {
+            // Dominance-filter the sparse projections before
+            // densifying: only maximal projections can be needed, and
+            // only they are charged.
+            let proj = projections.get();
+            let kept = sc_offline::dominance_filter_slices(proj.len(), |i| proj.elems(i));
+            let remaining: Vec<ElemId> = l_sample.get().to_vec();
+            let sub_universe = remaining.len();
+            let sub_sets = Tracked::new(
+                kept.iter()
+                    .map(|&i| {
+                        BitSet::from_iter(
+                            sub_universe,
+                            proj.elems(i)
+                                .iter()
+                                .filter_map(|e| remaining.binary_search(e).ok().map(|r| r as u32)),
+                        )
+                    })
+                    .collect::<Vec<BitSet>>(),
+                meter,
+            );
+            let target = BitSet::full(sub_universe);
+            let picks = solver
+                .solve(sub_sets.get(), &target)
+                .ok()
+                .map(|picks| picks.into_iter().map(|i| kept[i]).collect::<Vec<_>>());
+            let _ = sub_sets.release(meter);
+            picks
+        }
+    }
+}
+
 impl StreamingSetCover for IterSetCover {
     fn name(&self) -> String {
         format!(
-            "iterSetCover(δ={}, ρ={}, c={}{}{})",
+            "iterSetCover(δ={}, ρ={}, c={}{}{}{})",
             self.cfg.delta,
             self.cfg.solver.label(),
             self.cfg.sample_constant,
-            if self.cfg.paper_constants { ", paper-constants" } else { "" },
-            if self.cfg.disable_size_test { ", no-size-test" } else { "" },
+            if self.cfg.paper_constants {
+                ", paper-constants"
+            } else {
+                ""
+            },
+            if self.cfg.disable_size_test {
+                ", no-size-test"
+            } else {
+                ""
+            },
+            if self.cfg.executor == GuessExecutor::Sequential {
+                ", seq-guesses"
+            } else {
+                ""
+            },
         )
     }
 
@@ -383,7 +442,18 @@ impl StreamingSetCover for IterSetCover {
         if n == 0 {
             return Vec::new();
         }
+        match self.cfg.executor {
+            GuessExecutor::Multiplexed => crate::multiplex::run_multiplexed(self, stream, meter),
+            GuessExecutor::Sequential => self.run_sequential(stream, meter),
+        }
+    }
+}
 
+impl IterSetCover {
+    /// The reference executor: one guess after another, each doing its
+    /// own physical scans.
+    fn run_sequential(&mut self, stream: &SetStream<'_>, meter: &SpaceMeter) -> Vec<SetId> {
+        let n = stream.universe();
         // All guesses k = 2^i, 0 ≤ i ≤ log n, "in parallel" (Fig 1.3).
         let mut best: Option<Vec<SetId>> = None;
         let mut child_passes = Vec::new();
@@ -393,7 +463,7 @@ impl StreamingSetCover for IterSetCover {
             let k = 1usize << i;
             let child_stream = stream.fork();
             let child_meter = meter.fork();
-            let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(0x9e37_79b9 * k as u64));
+            let mut rng = StdRng::seed_from_u64(guess_rng_seed(self.cfg.seed, k));
             if let Some(sol) = self.run_guess(k, &child_stream, &child_meter, &mut rng) {
                 if best.as_ref().is_none_or(|b| sol.len() < b.len()) {
                     best = Some(sol);
@@ -410,6 +480,12 @@ impl StreamingSetCover for IterSetCover {
         meter.absorb_parallel(child_peaks);
         best.unwrap_or_default()
     }
+}
+
+/// Per-guess RNG seed — one fixed formula so both executors draw
+/// identical sample streams for the same guess.
+pub(crate) fn guess_rng_seed(seed: u64, k: usize) -> u64 {
+    seed.wrapping_add(0x9e37_79b9 * k as u64)
 }
 
 #[cfg(test)]
@@ -460,7 +536,10 @@ mod tests {
         // For each guess, residuals are non-increasing across iterations.
         for pair in alg.traces.windows(2) {
             if pair[0].k == pair[1].k {
-                assert!(pair[1].uncovered_before <= pair[0].uncovered_after.max(pair[0].uncovered_before));
+                assert!(
+                    pair[1].uncovered_before
+                        <= pair[0].uncovered_after.max(pair[0].uncovered_before)
+                );
             }
         }
         assert!(!alg.traces.is_empty());
@@ -469,8 +548,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let inst = gen::planted_noisy(300, 600, 10, 9);
-        let mut a = IterSetCover::new(IterSetCoverConfig { seed: 42, ..Default::default() });
-        let mut b = IterSetCover::new(IterSetCoverConfig { seed: 42, ..Default::default() });
+        let mut a = IterSetCover::new(IterSetCoverConfig {
+            seed: 42,
+            ..Default::default()
+        });
+        let mut b = IterSetCover::new(IterSetCoverConfig {
+            seed: 42,
+            ..Default::default()
+        });
         let ra = run_reported(&mut a, &inst.system);
         let rb = run_reported(&mut b, &inst.system);
         assert_eq!(ra.cover, rb.cover);
@@ -521,5 +606,4 @@ mod tests {
         let report = run_reported(&mut alg, &inst.system);
         assert!(report.verified.is_ok());
     }
-
 }

@@ -26,11 +26,12 @@
 
 pub mod baselines;
 mod iter_set_cover;
+mod multiplex;
 pub mod partial;
 mod projstore;
 pub mod sampling;
 
-pub use iter_set_cover::{IterSetCover, IterSetCoverConfig, IterationTrace};
+pub use iter_set_cover::{GuessExecutor, IterSetCover, IterSetCoverConfig, IterationTrace};
 pub use partial::{
     run_partial, PartialChakrabartiWirth, PartialEmekRosen, PartialIterSetCover,
     PartialProgressiveGreedy, PartialReport, PartialStreamingSetCover,

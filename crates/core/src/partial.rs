@@ -155,7 +155,12 @@ impl PartialIterSetCover {
             let mut scratch: Vec<ElemId> = Vec::new();
             for (id, elems) in stream.pass() {
                 scratch.clear();
-                scratch.extend(elems.iter().copied().filter(|&e| l_sample.get().contains(e)));
+                scratch.extend(
+                    elems
+                        .iter()
+                        .copied()
+                        .filter(|&e| l_sample.get().contains(e)),
+                );
                 if scratch.is_empty() {
                     continue;
                 }
@@ -250,7 +255,11 @@ impl PartialIterSetCover {
 
 impl PartialStreamingSetCover for PartialIterSetCover {
     fn name(&self) -> String {
-        format!("partial-iterSetCover(δ={}, ρ={})", self.cfg.delta, self.cfg.solver.label())
+        format!(
+            "partial-iterSetCover(δ={}, ρ={})",
+            self.cfg.delta,
+            self.cfg.solver.label()
+        )
     }
 
     fn run(&mut self, stream: &SetStream<'_>, meter: &SpaceMeter, required: usize) -> Vec<SetId> {
@@ -266,8 +275,7 @@ impl PartialStreamingSetCover for PartialIterSetCover {
             let k = 1usize << i;
             let cs = stream.fork();
             let cm = meter.fork();
-            let mut rng =
-                StdRng::seed_from_u64(self.cfg.seed.wrapping_add(0x5bd1_e995 * k as u64));
+            let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(0x5bd1_e995 * k as u64));
             if let Some(sol) = self.run_guess(k, &cs, &cm, &mut rng, required) {
                 if best.as_ref().is_none_or(|b| sol.len() < b.len()) {
                     best = Some(sol);
@@ -505,7 +513,12 @@ mod tests {
             ..Default::default()
         });
         let report = run_partial(&mut partial, &inst.system, 0.2);
-        assert!(report.goal_met(), "covered {}/{}", report.covered, report.required);
+        assert!(
+            report.goal_met(),
+            "covered {}/{}",
+            report.covered,
+            report.required
+        );
         assert!(
             report.passes <= full_report.passes,
             "partial {} vs full {}",
@@ -559,7 +572,12 @@ mod tests {
         for eps in [0.0, 0.1, 0.4] {
             let mut alg = PartialEmekRosen;
             let report = run_partial(&mut alg, &inst.system, eps);
-            assert!(report.goal_met(), "ε={eps}: {}/{}", report.covered, report.required);
+            assert!(
+                report.goal_met(),
+                "ε={eps}: {}/{}",
+                report.covered,
+                report.required
+            );
             assert_eq!(report.passes, 1, "ε={eps}");
         }
         // Larger ε buys a (weakly) smaller cover.
@@ -571,9 +589,17 @@ mod tests {
     #[test]
     fn partial_cw_skips_passes_at_large_epsilon() {
         let inst = gen::planted(1024, 600, 8, 6);
-        let full = run_partial(&mut PartialChakrabartiWirth { passes: 4 }, &inst.system, 0.0);
+        let full = run_partial(
+            &mut PartialChakrabartiWirth { passes: 4 },
+            &inst.system,
+            0.0,
+        );
         assert!(full.goal_met());
-        let loose = run_partial(&mut PartialChakrabartiWirth { passes: 4 }, &inst.system, 0.6);
+        let loose = run_partial(
+            &mut PartialChakrabartiWirth { passes: 4 },
+            &inst.system,
+            0.6,
+        );
         assert!(loose.goal_met());
         assert!(
             loose.passes <= full.passes,
@@ -594,9 +620,19 @@ mod tests {
         let mut iter = PartialIterSetCover::new(IterSetCoverConfig::default());
         let a = run_partial(&mut iter, &inst.system, eps);
         let b = run_partial(&mut PartialEmekRosen, &inst.system, eps);
-        let c = run_partial(&mut PartialChakrabartiWirth { passes: 3 }, &inst.system, eps);
+        let c = run_partial(
+            &mut PartialChakrabartiWirth { passes: 3 },
+            &inst.system,
+            eps,
+        );
         for r in [&a, &b, &c] {
-            assert!(r.goal_met(), "{}: {}/{}", r.algorithm, r.covered, r.required);
+            assert!(
+                r.goal_met(),
+                "{}: {}/{}",
+                r.algorithm,
+                r.covered,
+                r.required
+            );
         }
         assert!(a.cover_size() <= 3 * b.cover_size().max(c.cover_size()).max(1));
     }

@@ -19,13 +19,7 @@ use sc_setsystem::ElemId;
 /// `(c′/(ε²·p)) · (log |F|·log(1/p) + log(1/q))`.
 ///
 /// `c_prime` is the paper's unspecified absolute constant `c′`.
-pub fn relative_approx_size(
-    p: f64,
-    eps: f64,
-    q: f64,
-    ranges: f64,
-    c_prime: f64,
-) -> usize {
+pub fn relative_approx_size(p: f64, eps: f64, q: f64, ranges: f64, c_prime: f64) -> usize {
     assert!(p > 0.0 && p < 1.0, "p={p} out of range");
     assert!(eps > 0.0 && eps < 1.0, "eps={eps} out of range");
     assert!(q > 0.0 && q < 1.0, "q={q} out of range");
@@ -59,9 +53,28 @@ pub fn iter_set_cover_sample_size(
 /// are sorted in either case, which downstream code relies on for
 /// rank-compaction.
 pub fn sample_from_bitset(live: &BitSet, size: usize, rng: &mut StdRng) -> Vec<ElemId> {
-    let mut reservoir: Vec<ElemId> = Vec::with_capacity(size.min(live.universe()));
+    let mut reservoir = Vec::new();
+    sample_from_bitset_into(live, size, rng, &mut reservoir);
+    reservoir
+}
+
+/// [`sample_from_bitset`] into a caller-owned buffer, so per-iteration
+/// samples can reuse one allocation. The buffer is cleared and its
+/// capacity pinned to exactly `size.min(live.universe())` — the same
+/// capacity a fresh draw would allocate, which keeps word-level space
+/// accounting identical whether or not the buffer is reused.
+pub fn sample_from_bitset_into(
+    live: &BitSet,
+    size: usize,
+    rng: &mut StdRng,
+    reservoir: &mut Vec<ElemId>,
+) {
+    let cap = size.min(live.universe());
+    reservoir.clear();
+    reservoir.shrink_to(cap);
+    reservoir.reserve_exact(cap);
     if size == 0 {
-        return reservoir;
+        return;
     }
     for (seen, e) in live.ones().enumerate() {
         if seen < size {
@@ -74,7 +87,6 @@ pub fn sample_from_bitset(live: &BitSet, size: usize, rng: &mut StdRng) -> Vec<E
         }
     }
     reservoir.sort_unstable();
-    reservoir
 }
 
 #[cfg(test)]
@@ -85,10 +97,22 @@ mod tests {
     #[test]
     fn relative_approx_size_grows_with_tighter_params() {
         let base = relative_approx_size(0.1, 0.5, 0.01, 100.0, 1.0);
-        assert!(relative_approx_size(0.05, 0.5, 0.01, 100.0, 1.0) > base, "smaller p costs more");
-        assert!(relative_approx_size(0.1, 0.25, 0.01, 100.0, 1.0) > base, "smaller eps costs more");
-        assert!(relative_approx_size(0.1, 0.5, 0.0001, 100.0, 1.0) > base, "smaller q costs more");
-        assert!(relative_approx_size(0.1, 0.5, 0.01, 10000.0, 1.0) > base, "more ranges cost more");
+        assert!(
+            relative_approx_size(0.05, 0.5, 0.01, 100.0, 1.0) > base,
+            "smaller p costs more"
+        );
+        assert!(
+            relative_approx_size(0.1, 0.25, 0.01, 100.0, 1.0) > base,
+            "smaller eps costs more"
+        );
+        assert!(
+            relative_approx_size(0.1, 0.5, 0.0001, 100.0, 1.0) > base,
+            "smaller q costs more"
+        );
+        assert!(
+            relative_approx_size(0.1, 0.5, 0.01, 10000.0, 1.0) > base,
+            "more ranges cost more"
+        );
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! The multiplexed guess executor must be observationally identical to
+//! the sequential reference executor: same cover (bit for bit), same
+//! pass count, same space peak, same per-iteration traces. Only
+//! wall-clock may differ.
+
+use sc_core::{GuessExecutor, IterSetCover, IterSetCoverConfig, IterationTrace};
+use sc_offline::OfflineSolver;
+use sc_setsystem::gen;
+use sc_setsystem::SetSystem;
+use sc_stream::run_reported;
+
+/// Runs one config under both executors and asserts every observable
+/// matches.
+fn assert_equivalent(system: &SetSystem, cfg: IterSetCoverConfig, label: &str) {
+    let mut sequential = IterSetCover::new(IterSetCoverConfig {
+        executor: GuessExecutor::Sequential,
+        ..cfg
+    });
+    let mut multiplexed = IterSetCover::new(IterSetCoverConfig {
+        executor: GuessExecutor::Multiplexed,
+        ..cfg
+    });
+    let seq = run_reported(&mut sequential, system);
+    let mux = run_reported(&mut multiplexed, system);
+    assert_eq!(mux.cover, seq.cover, "{label}: covers differ");
+    assert_eq!(mux.passes, seq.passes, "{label}: pass counts differ");
+    assert_eq!(
+        mux.space_words, seq.space_words,
+        "{label}: space peaks differ"
+    );
+    assert_eq!(
+        mux.verified.is_ok(),
+        seq.verified.is_ok(),
+        "{label}: verification verdicts differ"
+    );
+    let seq_traces: Vec<IterationTrace> = sequential.traces.clone();
+    let mux_traces: Vec<IterationTrace> = multiplexed.traces.clone();
+    assert_eq!(mux_traces, seq_traces, "{label}: iteration traces differ");
+}
+
+#[test]
+fn delta_sweep_on_planted_instances() {
+    let inst = gen::planted(512, 1024, 16, 11);
+    for delta in [1.0, 0.5, 0.25] {
+        assert_equivalent(
+            &inst.system,
+            IterSetCoverConfig {
+                delta,
+                seed: 7,
+                ..Default::default()
+            },
+            &format!("planted δ={delta}"),
+        );
+    }
+}
+
+#[test]
+fn delta_sweep_on_noisy_instances() {
+    let inst = gen::planted_noisy(300, 600, 10, 9);
+    for delta in [1.0, 0.5, 0.25] {
+        assert_equivalent(
+            &inst.system,
+            IterSetCoverConfig {
+                delta,
+                seed: 42,
+                ..Default::default()
+            },
+            &format!("noisy δ={delta}"),
+        );
+    }
+}
+
+#[test]
+fn seeds_vary_but_equivalence_holds() {
+    let inst = gen::planted(256, 512, 8, 3);
+    for seed in [0, 1, 0xdead_beef, u64::MAX] {
+        assert_equivalent(
+            &inst.system,
+            IterSetCoverConfig {
+                seed,
+                ..Default::default()
+            },
+            &format!("seed={seed}"),
+        );
+    }
+}
+
+#[test]
+fn exact_oracle_path() {
+    let inst = gen::planted(128, 200, 4, 17);
+    assert_equivalent(
+        &inst.system,
+        IterSetCoverConfig {
+            solver: OfflineSolver::DEFAULT_EXACT,
+            seed: 5,
+            ..Default::default()
+        },
+        "exact oracle",
+    );
+}
+
+#[test]
+fn ablation_flags() {
+    let inst = gen::planted(128, 256, 4, 23);
+    assert_equivalent(
+        &inst.system,
+        IterSetCoverConfig {
+            disable_size_test: true,
+            ..Default::default()
+        },
+        "no size test",
+    );
+    assert_equivalent(
+        &inst.system,
+        IterSetCoverConfig {
+            final_cleanup_pass: false,
+            ..Default::default()
+        },
+        "no cleanup pass",
+    );
+    assert_equivalent(
+        &inst.system,
+        IterSetCoverConfig {
+            paper_constants: true,
+            ..Default::default()
+        },
+        "paper constants",
+    );
+}
+
+#[test]
+fn uncoverable_instance_fails_identically() {
+    let system = SetSystem::from_sets(4, vec![vec![0, 1], vec![1, 2]]);
+    assert_equivalent(&system, IterSetCoverConfig::default(), "uncoverable");
+}
+
+#[test]
+fn single_set_and_tiny_universes() {
+    for n in [1usize, 2, 3] {
+        let system = SetSystem::from_sets(n, vec![(0..n as u32).collect()]);
+        assert_equivalent(
+            &system,
+            IterSetCoverConfig::default(),
+            &format!("full single set, n={n}"),
+        );
+    }
+}

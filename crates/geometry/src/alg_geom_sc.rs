@@ -112,7 +112,11 @@ impl AlgGeomSc {
     /// Creates the algorithm with the given configuration.
     pub fn new(cfg: AlgGeomScConfig) -> Self {
         assert!(cfg.delta > 0.0 && cfg.delta <= 1.0);
-        Self { cfg, max_store: 0, max_sample: 0 }
+        Self {
+            cfg,
+            max_store: 0,
+            max_sample: 0,
+        }
     }
 
     /// Runs on a geometric instance, returning full measurements.
@@ -131,8 +135,7 @@ impl AlgGeomSc {
             let k = 1usize << i;
             let child = stream.fork();
             let cm = meter.fork();
-            let mut rng =
-                StdRng::seed_from_u64(self.cfg.seed.wrapping_add(0xabcd_ef01 * k as u64));
+            let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(0xabcd_ef01 * k as u64));
             if let Some(sol) = self.run_guess(k, &child, &cm, &mut rng, &inst.points) {
                 if best.as_ref().is_none_or(|b| sol.len() < b.len()) {
                     best = Some(sol);
@@ -243,7 +246,10 @@ impl AlgGeomSc {
             // sample points no candidate covers wait for later sweeps).
             let materialized = store.get().materialize(idx.get());
             let cand_sets = Tracked::new(
-                materialized.into_iter().map(|(_, b)| b).collect::<Vec<BitSet>>(),
+                materialized
+                    .into_iter()
+                    .map(|(_, b)| b)
+                    .collect::<Vec<BitSet>>(),
                 meter,
             );
             let mut target = BitSet::new(s);
@@ -379,7 +385,11 @@ mod tests {
         let report = alg.run(&inst);
         assert!(report.verified.is_ok(), "{:?}", report.verified);
         let opt = inst.planted.as_ref().unwrap().len();
-        assert!(report.cover_size() <= 12 * opt, "|sol|={}", report.cover_size());
+        assert!(
+            report.cover_size() <= 12 * opt,
+            "|sol|={}",
+            report.cover_size()
+        );
     }
 
     #[test]

@@ -45,7 +45,12 @@ pub struct BgConfig {
 
 impl Default for BgConfig {
     fn default() -> Self {
-        Self { seed: 0, net_failure: 0.1, budget_factor: 8.0, prune: true }
+        Self {
+            seed: 0,
+            net_failure: 0.1,
+            budget_factor: 8.0,
+            prune: true,
+        }
     }
 }
 
@@ -82,7 +87,12 @@ pub fn bronnimann_goodrich(
     cfg: &BgConfig,
 ) -> Option<BgOutcome> {
     if points.is_empty() {
-        return Some(BgOutcome { cover: Vec::new(), guessed_k: 0, doublings: 0, net_draws: 0 });
+        return Some(BgOutcome {
+            cover: Vec::new(),
+            guessed_k: 0,
+            doublings: 0,
+            net_draws: 0,
+        });
     }
     // Feasibility: every point must lie in some shape.
     if points.iter().any(|p| !shapes.iter().any(|s| s.contains(p))) {
@@ -105,7 +115,11 @@ pub fn bronnimann_goodrich(
             net_draws_total += 1;
             match uncovered_point(points, shapes, &net) {
                 None => {
-                    let cover = if cfg.prune { reverse_delete(points, shapes, net) } else { net };
+                    let cover = if cfg.prune {
+                        reverse_delete(points, shapes, net)
+                    } else {
+                        net
+                    };
                     return Some(BgOutcome {
                         cover,
                         guessed_k: k,
@@ -136,7 +150,11 @@ pub fn bronnimann_goodrich(
             // The guess exhausted the whole family: fall back to every
             // shape once (always a cover — feasibility checked above).
             let all: Vec<u32> = (0..m as u32).collect();
-            let cover = if cfg.prune { reverse_delete(points, shapes, all) } else { all };
+            let cover = if cfg.prune {
+                reverse_delete(points, shapes, all)
+            } else {
+                all
+            };
             return Some(BgOutcome {
                 cover,
                 guessed_k: m,
@@ -254,7 +272,11 @@ mod tests {
             "cover {} above the O(k log k) band {bound}",
             out.cover.len()
         );
-        assert!(out.guessed_k <= 4 * k, "guessed k={} far above OPT≈{k}", out.guessed_k);
+        assert!(
+            out.guessed_k <= 4 * k,
+            "guessed k={} far above OPT≈{k}",
+            out.guessed_k
+        );
     }
 
     #[test]
@@ -275,12 +297,14 @@ mod tests {
     #[test]
     fn pruning_shrinks_covers_without_breaking_them() {
         let inst = instances::random_discs(300, 150, 5, 21);
-        let pruned =
-            bronnimann_goodrich(&inst.points, &inst.shapes, &BgConfig::default()).unwrap();
+        let pruned = bronnimann_goodrich(&inst.points, &inst.shapes, &BgConfig::default()).unwrap();
         let raw = bronnimann_goodrich(
             &inst.points,
             &inst.shapes,
-            &BgConfig { prune: false, ..Default::default() },
+            &BgConfig {
+                prune: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(inst.verify_cover(&pruned.cover).is_ok());

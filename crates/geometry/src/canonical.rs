@@ -71,7 +71,13 @@ impl RankIndex {
         }
         let xs = by_x.iter().map(|&p| points[p as usize].x).collect();
         let ys = by_y.iter().map(|&p| points[p as usize].y).collect();
-        Self { by_x, x_rank, y_rank, xs, ys }
+        Self {
+            by_x,
+            x_rank,
+            y_rank,
+            xs,
+            ys,
+        }
     }
 
     /// Number of indexed points.
@@ -165,7 +171,11 @@ pub struct Piece {
 /// blocks.
 pub fn dyadic_cover(mut lo: u32, hi: u32, out: &mut Vec<(u32, u32)>) {
     while lo < hi {
-        let align = if lo == 0 { 31 } else { lo.trailing_zeros().min(31) };
+        let align = if lo == 0 {
+            31
+        } else {
+            lo.trailing_zeros().min(31)
+        };
         let mut size = 1u32 << align;
         while size > hi - lo {
             size >>= 1;
@@ -210,7 +220,12 @@ pub fn decompose_rect(idx: &RankIndex, rect: &Rect) -> Vec<Piece> {
             .iter()
             .find(|&&(lo, hi)| (lo..hi).contains(&yr))
             .expect("y blocks cover the range");
-        let piece = Piece { x_lo, x_hi, y_lo, y_hi };
+        let piece = Piece {
+            x_lo,
+            x_hi,
+            y_lo,
+            y_hi,
+        };
         if seen.insert(piece) {
             out.push(piece);
         }
@@ -263,7 +278,10 @@ impl CanonicalStore {
     /// Empty store with rectangle decomposition disabled (dedupe-only —
     /// the ablated configuration of experiment E12).
     pub fn dedupe_only() -> Self {
-        Self { decompose_rects: false, ..Self::default() }
+        Self {
+            decompose_rects: false,
+            ..Self::default()
+        }
     }
 
     /// Adds one streamed shape's projection onto the sample.
@@ -340,10 +358,7 @@ impl CanonicalStore {
         let mut out = Vec::with_capacity(self.len());
         for &p in &self.pieces {
             let members = idx.members_in(p.x_lo, p.x_hi, p.y_lo, p.y_hi);
-            out.push((
-                Candidate::Piece(p),
-                BitSet::from_iter(s, members),
-            ));
+            out.push((Candidate::Piece(p), BitSet::from_iter(s, members)));
         }
         for e in &self.explicit {
             out.push((
@@ -352,7 +367,11 @@ impl CanonicalStore {
             ));
         }
         // Deterministic order for reproducible solves.
-        out.sort_by(|a, b| a.1.as_words().cmp(b.1.as_words()).then_with(|| cand_key(&a.0).cmp(&cand_key(&b.0))));
+        out.sort_by(|a, b| {
+            a.1.as_words()
+                .cmp(b.1.as_words())
+                .then_with(|| cand_key(&a.0).cmp(&cand_key(&b.0)))
+        });
         out
     }
 }
@@ -370,11 +389,7 @@ impl HeapWords for CanonicalStore {
         // spine word. Hash-table overhead is implementation detail and
         // excluded (the model stores the keys).
         let pieces = self.pieces.len() * 2;
-        let explicit: usize = self
-            .explicit
-            .iter()
-            .map(|e| e.len().div_ceil(2) + 1)
-            .sum();
+        let explicit: usize = self.explicit.iter().map(|e| e.len().div_ceil(2) + 1).sum();
         pieces + explicit
     }
 }
@@ -495,7 +510,10 @@ mod tests {
         got.sort_unstable();
         let mut expect_sorted = expect;
         expect_sorted.sort_unstable();
-        assert_eq!(got, expect_sorted, "pieces partition the projection exactly");
+        assert_eq!(
+            got, expect_sorted,
+            "pieces partition the projection exactly"
+        );
         // Partition: no duplicates already checked by equality of sorted
         // vectors having the same length as the dedup'd expectation.
     }
@@ -513,7 +531,11 @@ mod tests {
         let inst = instances::two_line(32, None, 1);
         let n = inst.points.len(); // 64
         let cmp = storage_comparison(&inst.points, &inst.shapes, 2);
-        assert_eq!(cmp.explicit_projections, 32 * 32, "n²/4 distinct projections");
+        assert_eq!(
+            cmp.explicit_projections,
+            32 * 32,
+            "n²/4 distinct projections"
+        );
         assert!(
             cmp.canonical_candidates < cmp.explicit_projections / 4,
             "canonical {} should be far below naive {}",

@@ -80,7 +80,9 @@ pub fn sample_epsilon_net(
     rng: &mut StdRng,
 ) -> Vec<u32> {
     let want = net_sample_size(family, eps, q).min(points.len());
-    let mut net: Vec<u32> = (0..want).map(|_| rng.random_range(0..points.len()) as u32).collect();
+    let mut net: Vec<u32> = (0..want)
+        .map(|_| rng.random_range(0..points.len()) as u32)
+        .collect();
     net.sort_unstable();
     net.dedup();
     net
@@ -105,7 +107,10 @@ pub fn sample_weighted_epsilon_net(
 ) -> Vec<u32> {
     assert_eq!(points.len(), weights.len());
     let total: f64 = weights.iter().sum();
-    assert!(total > 0.0 && total.is_finite(), "total weight must be positive and finite");
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "total weight must be positive and finite"
+    );
     // Prefix sums once, binary search per draw.
     let mut prefix = Vec::with_capacity(weights.len());
     let mut acc = 0.0;
@@ -242,8 +247,9 @@ mod tests {
         let inst = instances::random_discs(300, 150, 6, 11);
         let mut rng = StdRng::seed_from_u64(21);
         // Skew weights toward the first hundred points.
-        let weights: Vec<f64> =
-            (0..inst.points.len()).map(|i| if i < 100 { 10.0 } else { 0.1 }).collect();
+        let weights: Vec<f64> = (0..inst.points.len())
+            .map(|i| if i < 100 { 10.0 } else { 0.1 })
+            .collect();
         let eps = 0.2;
         let mut ok = 0;
         for _ in 0..10 {

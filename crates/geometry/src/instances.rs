@@ -232,12 +232,14 @@ pub fn two_line(half: usize, m_cap: Option<usize>, seed: u64) -> GeomInstance {
         points,
         shapes,
         planted: Some(planted),
-        label: format!("two_line(half={half},m={},seed={seed})", half + m_cap.map_or(half * half - half, |c| c.saturating_sub(half))),
+        label: format!(
+            "two_line(half={half},m={},seed={seed})",
+            half + m_cap.map_or(half * half - half, |c| c.saturating_sub(half))
+        ),
     };
     inst.validate();
     inst
 }
-
 
 /// Gaussian-cluster workload: points drawn from `k` tight clusters at
 /// random centres, covered by a planted disc per cluster; decoy discs
@@ -267,12 +269,20 @@ pub fn clustered_discs(n: usize, m: usize, k: usize, seed: u64) -> GeomInstance 
     let points: Vec<Point> = (0..n)
         .map(|i| {
             let c = &centers[i % k];
-            Point::new(c.x + sigma * normal(&mut rng), c.y + sigma * normal(&mut rng))
+            Point::new(
+                c.x + sigma * normal(&mut rng),
+                c.y + sigma * normal(&mut rng),
+            )
         })
         .collect();
     let mut shapes: Vec<Shape> = centers
         .iter()
-        .map(|&c| Shape::Disc(Disc::new(c, 3.0 * std::f64::consts::SQRT_2 * sigma * 1.0001)))
+        .map(|&c| {
+            Shape::Disc(Disc::new(
+                c,
+                3.0 * std::f64::consts::SQRT_2 * sigma * 1.0001,
+            ))
+        })
         .collect();
     for i in k..m {
         // Decoys hover near a cluster: centre at up to 4σ away.
@@ -281,7 +291,10 @@ pub fn clustered_discs(n: usize, m: usize, k: usize, seed: u64) -> GeomInstance 
             c.x + rng.random_range(-4.0 * sigma..4.0 * sigma),
             c.y + rng.random_range(-4.0 * sigma..4.0 * sigma),
         );
-        shapes.push(Shape::Disc(Disc::new(off, rng.random_range(0.3 * sigma..2.0 * sigma))));
+        shapes.push(Shape::Disc(Disc::new(
+            off,
+            rng.random_range(0.3 * sigma..2.0 * sigma),
+        )));
     }
     let planted = shuffle_with_planted(&mut shapes, k, &mut rng);
     let inst = GeomInstance {
@@ -336,7 +349,12 @@ pub fn grid_rects(n: usize, m: usize, seed: u64) -> GeomInstance {
         let y0 = rng.random_range(0..g) as f64 * cell;
         let w = rng.random_range(1..=4.min(g)) as f64 * cell;
         let h = rng.random_range(1..=4.min(g)) as f64 * cell;
-        shapes.push(Shape::Rect(Rect::new(x0, y0, (x0 + w).min(1.0), (y0 + h).min(1.0))));
+        shapes.push(Shape::Rect(Rect::new(
+            x0,
+            y0,
+            (x0 + w).min(1.0),
+            (y0 + h).min(1.0),
+        )));
     }
     let planted = shuffle_with_planted(&mut shapes, k, &mut rng);
     let inst = GeomInstance {
@@ -377,7 +395,10 @@ fn in_triangle(t: &Triangle, rng: &mut StdRng) -> Point {
 fn fat_triangle(base: Point, side: f64, rng: &mut StdRng) -> Triangle {
     let th = rng.random_range(0.0..std::f64::consts::TAU);
     let vertex = |angle: f64| {
-        Point::new(base.x + side * f64::cos(angle), base.y + side * f64::sin(angle))
+        Point::new(
+            base.x + side * f64::cos(angle),
+            base.y + side * f64::sin(angle),
+        )
     };
     Triangle::new(
         vertex(th),
@@ -487,7 +508,10 @@ mod tests {
     fn clustered_discs_planted_cover_is_valid() {
         for seed in 0..5 {
             let inst = clustered_discs(400, 200, 6, seed);
-            assert!(inst.verify_cover(inst.planted.as_ref().unwrap()).is_ok(), "seed {seed}");
+            assert!(
+                inst.verify_cover(inst.planted.as_ref().unwrap()).is_ok(),
+                "seed {seed}"
+            );
             assert_eq!(inst.planted.as_ref().unwrap().len(), 6);
             assert_eq!(inst.shapes.len(), 200);
         }
@@ -497,7 +521,10 @@ mod tests {
     fn grid_rects_planted_cover_is_valid() {
         for seed in 0..5 {
             let inst = grid_rects(400, 100, seed);
-            assert!(inst.verify_cover(inst.planted.as_ref().unwrap()).is_ok(), "seed {seed}");
+            assert!(
+                inst.verify_cover(inst.planted.as_ref().unwrap()).is_ok(),
+                "seed {seed}"
+            );
         }
     }
 
@@ -526,7 +553,12 @@ mod tests {
         for inst in [clustered_discs(300, 150, 5, 2), grid_rects(256, 128, 2)] {
             let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
             let report = alg.run(&inst);
-            assert!(report.verified.is_ok(), "{}: {:?}", inst.label, report.verified);
+            assert!(
+                report.verified.is_ok(),
+                "{}: {:?}",
+                inst.label,
+                report.verified
+            );
         }
     }
 }

@@ -41,7 +41,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Writes a geometric instance in the text format.
@@ -51,7 +54,12 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 /// Propagates I/O errors from the writer.
 pub fn write_instance<W: Write>(w: &mut W, inst: &GeomInstance) -> std::io::Result<()> {
     writeln!(w, "c streaming-set-cover geometric instance")?;
-    writeln!(w, "g points-shapes {} {}", inst.points.len(), inst.shapes.len())?;
+    writeln!(
+        w,
+        "g points-shapes {} {}",
+        inst.points.len(),
+        inst.shapes.len()
+    )?;
     for p in &inst.points {
         writeln!(w, "v {:?} {:?}", p.x, p.y)?;
     }
@@ -83,7 +91,10 @@ fn parse_floats(line: usize, rest: &str, want: usize) -> Result<Vec<f64>, ParseE
     let vals: Result<Vec<f64>, _> = rest.split_whitespace().map(str::parse).collect();
     let vals = vals.map_err(|_| err(line, format!("bad number in {rest:?}")))?;
     if vals.len() != want {
-        return Err(err(line, format!("expected {want} numbers, got {}", vals.len())));
+        return Err(err(
+            line,
+            format!("expected {want} numbers, got {}", vals.len()),
+        ));
     }
     if vals.iter().any(|v| !v.is_finite()) {
         return Err(err(line, "non-finite coordinate"));
@@ -177,10 +188,16 @@ pub fn read_instance<R: BufRead>(r: R) -> Result<GeomInstance, ParseError> {
 
     let (n, m) = header.ok_or_else(|| err(0, "missing header"))?;
     if points.len() != n {
-        return Err(err(0, format!("declared {n} points, found {}", points.len())));
+        return Err(err(
+            0,
+            format!("declared {n} points, found {}", points.len()),
+        ));
     }
     if shapes.len() != m {
-        return Err(err(0, format!("declared {m} shapes, found {}", shapes.len())));
+        return Err(err(
+            0,
+            format!("declared {m} shapes, found {}", shapes.len()),
+        ));
     }
     if let Some(p) = &planted {
         if let Some(&bad) = p.iter().find(|&&id| (id as usize) >= m) {
@@ -191,7 +208,11 @@ pub fn read_instance<R: BufRead>(r: R) -> Result<GeomInstance, ParseError> {
         points,
         shapes,
         planted,
-        label: if label.is_empty() { "from-file".into() } else { label },
+        label: if label.is_empty() {
+            "from-file".into()
+        } else {
+            label
+        },
     })
 }
 
@@ -245,7 +266,10 @@ mod tests {
             ("g points-shapes 1 0\nv 1\n", "expected 2 numbers"),
             ("g points-shapes 0 1\nd 0 0 -1\n", "negative radius"),
             ("g points-shapes 0 1\nr 1 0 0 1\n", "corners out of order"),
-            ("g points-shapes 0 1\nt 0 0 1 1 2 2\n", "degenerate triangle"),
+            (
+                "g points-shapes 0 1\nt 0 0 1 1 2 2\n",
+                "degenerate triangle",
+            ),
             ("g points-shapes 2 0\nv 0 0\n", "declared 2 points, found 1"),
             ("g points-shapes 0 0\no 3\n", "unknown shape 3"),
             ("g points-shapes 0 0\nx 1\n", "unknown record"),

@@ -49,7 +49,10 @@ impl Rect {
     ///
     /// Panics unless `x0 ≤ x1` and `y0 ≤ y1`.
     pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
-        assert!(x0 <= x1 && y0 <= y1, "degenerate rect ({x0},{y0})–({x1},{y1})");
+        assert!(
+            x0 <= x1 && y0 <= y1,
+            "degenerate rect ({x0},{y0})–({x1},{y1})"
+        );
         Self { x0, y0, x1, y1 }
     }
 
@@ -105,9 +108,8 @@ impl Triangle {
 
     /// Boundary-inclusive containment via sign tests.
     pub fn contains(&self, p: &Point) -> bool {
-        let sign = |a: &Point, b: &Point, c: &Point| {
-            (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y)
-        };
+        let sign =
+            |a: &Point, b: &Point, c: &Point| (b.x - a.x) * (c.y - a.y) - (c.x - a.x) * (b.y - a.y);
         let d1 = sign(&self.a, &self.b, p);
         let d2 = sign(&self.b, &self.c, p);
         let d3 = sign(&self.c, &self.a, p);
@@ -181,8 +183,16 @@ mod tests {
     #[test]
     fn triangle_containment_any_orientation() {
         // Clockwise and counter-clockwise vertex orders must agree.
-        let ccw = Triangle::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0), Point::new(2.0, 3.0));
-        let cw = Triangle::new(Point::new(0.0, 0.0), Point::new(2.0, 3.0), Point::new(4.0, 0.0));
+        let ccw = Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(2.0, 3.0),
+        );
+        let cw = Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 3.0),
+            Point::new(4.0, 0.0),
+        );
         let inside = Point::new(2.0, 1.0);
         let outside = Point::new(0.0, 3.0);
         let vertex = Point::new(4.0, 0.0);
@@ -212,7 +222,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate triangle")]
     fn collinear_vertices_rejected() {
-        Triangle::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0));
+        Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        );
     }
 
     #[test]

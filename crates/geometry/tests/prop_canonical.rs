@@ -12,9 +12,8 @@ fn points() -> impl Strategy<Value = Vec<Point>> {
 }
 
 fn rect() -> impl Strategy<Value = Rect> {
-    (0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0).prop_map(|(a, b, c, d)| {
-        Rect::new(a.min(c), b.min(d), a.max(c), b.max(d))
-    })
+    (0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0, 0.0f64..100.0)
+        .prop_map(|(a, b, c, d)| Rect::new(a.min(c), b.min(d), a.max(c), b.max(d)))
 }
 
 proptest! {

@@ -214,12 +214,7 @@ mod tests {
             let u = rng.random_range(4..10);
             let m = rng.random_range(3..9);
             let mut sets: Vec<BitSet> = (0..m)
-                .map(|_| {
-                    BitSet::from_iter(
-                        u,
-                        (0..u as u32).filter(|_| rng.random_bool(0.4)),
-                    )
-                })
+                .map(|_| BitSet::from_iter(u, (0..u as u32).filter(|_| rng.random_bool(0.4))))
                 .collect();
             // Force feasibility.
             sets.push(BitSet::full(u));
@@ -264,16 +259,17 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_degrades_gracefully() {
-        // A planted instance large enough that 2 nodes cannot finish.
-        let inst = sc_setsystem::gen::planted_noisy(40, 30, 5, 3);
+        // A planted instance large enough that 2 nodes cannot finish
+        // (the full search on this instance expands dozens of nodes).
+        let inst = sc_setsystem::gen::planted_noisy(80, 120, 8, 3);
         let sets = inst.system.all_bitsets();
-        let out = exact(&sets, &BitSet::full(40), 2).unwrap();
+        let out = exact(&sets, &BitSet::full(80), 2).unwrap();
         assert!(!out.optimal);
         // Still a valid cover (the greedy warm start at worst).
-        let mut covered = BitSet::new(40);
+        let mut covered = BitSet::new(80);
         for &i in &out.cover {
             covered.union_with(&sets[i]);
         }
-        assert_eq!(covered.count(), 40);
+        assert_eq!(covered.count(), 80);
     }
 }

@@ -90,9 +90,9 @@ where
     if uncovered.is_empty() {
         return Some(solution);
     }
-    let count = |i: usize, uncovered: &BitSet| -> usize {
-        get(i).iter().filter(|&&e| uncovered.contains(e)).count()
-    };
+    // Word-batched kernel: the stored projections are sorted id slices.
+    let count =
+        |i: usize, uncovered: &BitSet| -> usize { uncovered.intersection_count_slice(get(i)) };
     let mut heap: BinaryHeap<(usize, usize)> = (0..num_sets)
         .map(|i| (count(i, &uncovered), !i))
         .filter(|&(g, _)| g > 0)
@@ -113,9 +113,7 @@ where
             }
         }
         solution.push(idx);
-        for &e in get(idx) {
-            uncovered.remove(e);
-        }
+        uncovered.remove_sorted_slice(get(idx));
     }
     Some(solution)
 }
@@ -184,7 +182,11 @@ mod tests {
         let inst = sc_setsystem::gen::greedy_adversarial(5);
         let sets = inst.system.all_bitsets();
         let cover = full_cover(&sets, inst.system.universe()).unwrap();
-        assert!(cover.len() >= 5, "greedy must fall for the baits, got {}", cover.len());
+        assert!(
+            cover.len() >= 5,
+            "greedy must fall for the baits, got {}",
+            cover.len()
+        );
         // Sanity: it is still a cover.
         let ids: Vec<u32> = cover.iter().map(|&i| i as u32).collect();
         assert!(inst.system.verify_cover(&ids).is_ok());

@@ -31,7 +31,9 @@ mod solver;
 
 pub use exact::{exact, ExactOutcome};
 pub use greedy::{greedy, greedy_slices};
-pub use lp::{fractional_coverage, fractional_mwu, randomized_rounding, FractionalCover, RoundedCover};
+pub use lp::{
+    fractional_coverage, fractional_mwu, randomized_rounding, FractionalCover, RoundedCover,
+};
 pub use max_cover::max_k_cover;
 pub use primal_dual::{dual_lower_bound, max_frequency, primal_dual, PrimalDualOutcome};
 pub use solver::{Infeasible, OfflineSolver};
@@ -104,7 +106,10 @@ mod tests {
         let sets = vec![BitSet::from_iter(u, [0, 1]), BitSet::from_iter(u, [2])];
         assert!(is_feasible(&sets, &BitSet::from_iter(u, [0, 2])));
         assert!(!is_feasible(&sets, &BitSet::from_iter(u, [3])));
-        assert!(is_feasible(&sets, &BitSet::new(u)), "empty target always feasible");
+        assert!(
+            is_feasible(&sets, &BitSet::new(u)),
+            "empty target always feasible"
+        );
     }
 
     #[test]
@@ -130,15 +135,13 @@ mod tests {
             let m = rng.random_range(1..20);
             let sets: Vec<Vec<u32>> = (0..m)
                 .map(|_| {
-                    let mut v: Vec<u32> =
-                        (0..20u32).filter(|_| rng.random_bool(0.3)).collect();
+                    let mut v: Vec<u32> = (0..20u32).filter(|_| rng.random_bool(0.3)).collect();
                     v.sort_unstable();
                     v
                 })
                 .collect();
             let kept = dominance_filter_slices(sets.len(), |i| sets[i].as_slice());
-            let full: std::collections::BTreeSet<u32> =
-                sets.iter().flatten().copied().collect();
+            let full: std::collections::BTreeSet<u32> = sets.iter().flatten().copied().collect();
             let reduced: std::collections::BTreeSet<u32> =
                 kept.iter().flat_map(|&i| sets[i].iter().copied()).collect();
             assert_eq!(full, reduced, "filter lost coverage");

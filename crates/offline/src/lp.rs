@@ -17,9 +17,9 @@
 //! holds against the **LP optimum**, a strictly stronger baseline than
 //! greedy's `ln n · OPT`.
 
-use sc_bitset::BitSet;
 use rand::rngs::StdRng;
 use rand::RngExt;
+use sc_bitset::BitSet;
 
 /// A feasible fractional cover produced by [`fractional_mwu`].
 #[derive(Debug, Clone)]
@@ -69,7 +69,12 @@ pub fn fractional_mwu(
     assert!(rounds > 0, "need at least one round");
     let n = target.universe();
     if target.is_empty() {
-        return Some(FractionalCover { x: vec![0.0; sets.len()], value: 0.0, rounds: 0, patched: 0 });
+        return Some(FractionalCover {
+            x: vec![0.0; sets.len()],
+            value: 0.0,
+            rounds: 0,
+            patched: 0,
+        });
     }
 
     // Sparse target-projected sets; also the feasibility check.
@@ -111,7 +116,10 @@ pub fn fractional_mwu(
             covered_rounds[e as usize] += 1;
         }
         // Renormalise before underflow eats the signal.
-        let max_w = target.ones().map(|e| weight[e as usize]).fold(0.0f64, f64::max);
+        let max_w = target
+            .ones()
+            .map(|e| weight[e as usize])
+            .fold(0.0f64, f64::max);
         if max_w > 0.0 && max_w < 1e-100 {
             for e in target.ones() {
                 weight[e as usize] /= max_w;
@@ -120,7 +128,11 @@ pub fn fractional_mwu(
     }
 
     let played: u32 = plays.iter().sum();
-    let min_cov = target.ones().map(|e| covered_rounds[e as usize]).min().unwrap_or(0);
+    let min_cov = target
+        .ones()
+        .map(|e| covered_rounds[e as usize])
+        .min()
+        .unwrap_or(0);
     let mut x = vec![0.0f64; sets.len()];
     let mut patched = 0usize;
     if min_cov > 0 {
@@ -157,7 +169,12 @@ pub fn fractional_mwu(
         }
     }
     let value = x.iter().sum();
-    Some(FractionalCover { x, value, rounds: played as usize, patched })
+    Some(FractionalCover {
+        x,
+        value,
+        rounds: played as usize,
+        patched,
+    })
 }
 
 /// The worst per-element fractional coverage `min_e Σ_{S∋e} x_S` of a
@@ -173,7 +190,10 @@ pub fn fractional_coverage(sets: &[BitSet], target: &BitSet, x: &[f64]) -> f64 {
             }
         }
     }
-    target.ones().map(|e| cov[e as usize]).fold(f64::INFINITY, f64::min)
+    target
+        .ones()
+        .map(|e| cov[e as usize])
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// An integral cover obtained from a fractional one.
@@ -316,8 +336,7 @@ mod tests {
             let rounded = randomized_rounding(&sets, &target, &frac, 1.0, &mut rng).unwrap();
             assert!(feasible(&sets, &target, &rounded.cover), "trial {trial}");
             assert!(
-                rounded.cover.len() as f64
-                    <= frac.value * 3.0 * (u.max(2) as f64).ln() + 3.0,
+                rounded.cover.len() as f64 <= frac.value * 3.0 * (u.max(2) as f64).ln() + 3.0,
                 "trial {trial}: rounded cover {} far above O(value·log n)",
                 rounded.cover.len()
             );
@@ -328,7 +347,12 @@ mod tests {
     fn rounding_no_duplicate_indices() {
         let u = 6;
         let sets = vec![BitSet::full(u), BitSet::from_iter(u, [0, 1])];
-        let frac = FractionalCover { x: vec![1.0, 1.0], value: 2.0, rounds: 1, patched: 0 };
+        let frac = FractionalCover {
+            x: vec![1.0, 1.0],
+            value: 2.0,
+            rounds: 1,
+            patched: 0,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let rounded = randomized_rounding(&sets, &BitSet::full(u), &frac, 5.0, &mut rng).unwrap();
         let mut sorted = rounded.cover.clone();

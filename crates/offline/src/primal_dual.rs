@@ -64,7 +64,11 @@ pub fn primal_dual(sets: &[BitSet], target: &BitSet) -> Option<PrimalDualOutcome
     let mut cover = Vec::new();
     let mut witness = Vec::new();
     if uncovered.is_empty() {
-        return Some(PrimalDualOutcome { cover, witness, max_frequency: 0 });
+        return Some(PrimalDualOutcome {
+            cover,
+            witness,
+            max_frequency: 0,
+        });
     }
 
     // Static incidence: frequencies never change, only coverage does.
@@ -101,7 +105,11 @@ pub fn primal_dual(sets: &[BitSet], target: &BitSet) -> Option<PrimalDualOutcome
             }
         }
     }
-    Some(PrimalDualOutcome { cover, witness, max_frequency })
+    Some(PrimalDualOutcome {
+        cover,
+        witness,
+        max_frequency,
+    })
 }
 
 /// A certified lower bound on the optimal cover size of `target`:
@@ -201,7 +209,10 @@ mod tests {
                 "trial {trial}: witness {} exceeds OPT {opt}",
                 out.witness.len()
             );
-            assert!(opt <= out.cover.len(), "trial {trial}: cover smaller than OPT?!");
+            assert!(
+                opt <= out.cover.len(),
+                "trial {trial}: cover smaller than OPT?!"
+            );
             assert!(
                 out.cover.len() <= out.max_frequency.max(1) * out.witness.len(),
                 "trial {trial}: f-approximation violated"
@@ -256,15 +267,24 @@ mod tests {
         let target = BitSet::full(inst.system.universe());
         let out = primal_dual(&sets, &target).unwrap();
         let opt = inst.planted.as_ref().unwrap().len(); // 2 per block
-        assert!(inst.system.verify_cover(
-            &out.cover.iter().map(|&i| i as u32).collect::<Vec<_>>()
-        ).is_ok());
+        assert!(inst
+            .system
+            .verify_cover(&out.cover.iter().map(|&i| i as u32).collect::<Vec<_>>())
+            .is_ok());
         assert_eq!(out.cover.len(), f * 4, "one star per block, f sets each");
-        assert_eq!(out.cover.len(), (f / 2) * opt, "the advertised f/2 ratio, exactly");
+        assert_eq!(
+            out.cover.len(),
+            (f / 2) * opt,
+            "the advertised f/2 ratio, exactly"
+        );
         // Greedy dodges this trap entirely (the blanket is the biggest
         // set), which is why both oracles earn their keep.
         let g = crate::greedy::greedy(&sets, &target).unwrap();
-        assert!(g.len() <= opt + 4, "greedy shouldn't fall for the stars: {}", g.len());
+        assert!(
+            g.len() <= opt + 4,
+            "greedy shouldn't fall for the stars: {}",
+            g.len()
+        );
     }
 
     #[test]

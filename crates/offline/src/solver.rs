@@ -54,7 +54,9 @@ impl OfflineSolver {
     /// its greedy warm start rather than stalling. Callers needing
     /// certified optimality (the Section 5 experiments) pass their own,
     /// larger budget and assert `optimal`.
-    pub const DEFAULT_EXACT: OfflineSolver = OfflineSolver::Exact { node_budget: 300_000 };
+    pub const DEFAULT_EXACT: OfflineSolver = OfflineSolver::Exact {
+        node_budget: 300_000,
+    };
 
     /// Solves the sub-instance, returning indices into `sets`.
     pub fn solve(&self, sets: &[BitSet], target: &BitSet) -> Result<Vec<usize>, Infeasible> {
@@ -134,7 +136,10 @@ mod tests {
         let sets = vec![BitSet::from_iter(2, [0])];
         let target = BitSet::full(2);
         assert_eq!(OfflineSolver::Greedy.solve(&sets, &target), Err(Infeasible));
-        assert_eq!(OfflineSolver::DEFAULT_EXACT.solve(&sets, &target), Err(Infeasible));
+        assert_eq!(
+            OfflineSolver::DEFAULT_EXACT.solve(&sets, &target),
+            Err(Infeasible)
+        );
     }
 
     #[test]
@@ -175,8 +180,14 @@ mod tests {
     fn new_oracles_report_infeasible() {
         let sets = vec![BitSet::from_iter(2, [0])];
         let target = BitSet::full(2);
-        assert_eq!(OfflineSolver::PrimalDual.solve(&sets, &target), Err(Infeasible));
-        assert_eq!(OfflineSolver::LpRound { seed: 7 }.solve(&sets, &target), Err(Infeasible));
+        assert_eq!(
+            OfflineSolver::PrimalDual.solve(&sets, &target),
+            Err(Infeasible)
+        );
+        assert_eq!(
+            OfflineSolver::LpRound { seed: 7 }.solve(&sets, &target),
+            Err(Infeasible)
+        );
     }
 
     #[test]

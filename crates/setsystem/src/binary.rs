@@ -55,10 +55,16 @@ impl fmt::Display for BinError {
         match self {
             BinError::Io(e) => write!(f, "I/O error: {e}"),
             BinError::BadMagic => write!(f, "not an SCB1 file (bad magic)"),
-            BinError::Corrupt { record: Some(r), message } => {
+            BinError::Corrupt {
+                record: Some(r),
+                message,
+            } => {
                 write!(f, "corrupt record {r}: {message}")
             }
-            BinError::Corrupt { record: None, message } => write!(f, "corrupt file: {message}"),
+            BinError::Corrupt {
+                record: None,
+                message,
+            } => write!(f, "corrupt file: {message}"),
         }
     }
 }
@@ -79,7 +85,10 @@ impl From<std::io::Error> for BinError {
 }
 
 fn corrupt(record: Option<usize>, message: impl Into<String>) -> BinError {
-    BinError::Corrupt { record, message: message.into() }
+    BinError::Corrupt {
+        record,
+        message: message.into(),
+    }
 }
 
 fn write_varint<W: Write>(w: &mut W, mut v: u64) -> std::io::Result<()> {
@@ -215,25 +224,40 @@ impl<R: BufRead> BinaryReader<R> {
     /// [`BinError::Corrupt`] for a damaged header.
     pub fn new(mut inner: R) -> Result<Self, BinError> {
         let mut magic = [0u8; 5];
-        inner.read_exact(&mut magic).map_err(|_| BinError::BadMagic)?;
+        inner
+            .read_exact(&mut magic)
+            .map_err(|_| BinError::BadMagic)?;
         if &magic != MAGIC {
             return Err(BinError::BadMagic);
         }
         let mut header: Vec<u8> = Vec::new();
         let universe = {
-            let mut tee = Tee { inner: &mut inner, copy: &mut header };
+            let mut tee = Tee {
+                inner: &mut inner,
+                copy: &mut header,
+            };
             read_varint(&mut tee, None)? as usize
         };
         let num_sets = {
-            let mut tee = Tee { inner: &mut inner, copy: &mut header };
+            let mut tee = Tee {
+                inner: &mut inner,
+                copy: &mut header,
+            };
             read_varint(&mut tee, None)? as usize
         };
         let mut crc = [0u8; 4];
-        inner.read_exact(&mut crc).map_err(|_| corrupt(None, "truncated header checksum"))?;
+        inner
+            .read_exact(&mut crc)
+            .map_err(|_| corrupt(None, "truncated header checksum"))?;
         if u32::from_le_bytes(crc) != fnv1a(&header) {
             return Err(corrupt(None, "header checksum mismatch"));
         }
-        Ok(Self { inner, universe, num_sets, next_record: 0 })
+        Ok(Self {
+            inner,
+            universe,
+            num_sets,
+            next_record: 0,
+        })
     }
 
     /// Ground set size from the header.
@@ -263,13 +287,19 @@ impl<R: BufRead> BinaryReader<R> {
             .read_exact(&mut tag)
             .map_err(|_| corrupt(Some(record), "truncated before record tag"))?;
         if tag[0] != b'S' {
-            return Err(corrupt(Some(record), format!("expected 'S' tag, found {:#04x}", tag[0])));
+            return Err(corrupt(
+                Some(record),
+                format!("expected 'S' tag, found {:#04x}", tag[0]),
+            ));
         }
         // Re-serialise the payload while decoding so the checksum can be
         // verified without a second buffer pass.
         let mut payload: Vec<u8> = Vec::new();
         let len = {
-            let mut tee = Tee { inner: &mut self.inner, copy: &mut payload };
+            let mut tee = Tee {
+                inner: &mut self.inner,
+                copy: &mut payload,
+            };
             read_varint(&mut tee, Some(record))? as usize
         };
         if len > self.universe {
@@ -282,7 +312,10 @@ impl<R: BufRead> BinaryReader<R> {
         let mut prev: u64 = 0;
         for i in 0..len {
             let gap = {
-                let mut tee = Tee { inner: &mut self.inner, copy: &mut payload };
+                let mut tee = Tee {
+                    inner: &mut self.inner,
+                    copy: &mut payload,
+                };
                 read_varint(&mut tee, Some(record))?
             };
             if i > 0 && gap == 0 {
@@ -319,7 +352,10 @@ impl<R: BufRead> BinaryReader<R> {
         if self.next_record != self.num_sets {
             return Err(corrupt(
                 Some(self.next_record),
-                format!("finish() called with {} of {} records read", self.next_record, self.num_sets),
+                format!(
+                    "finish() called with {} of {} records read",
+                    self.next_record, self.num_sets
+                ),
             ));
         }
         let mut planted = None;
@@ -345,7 +381,10 @@ impl<R: BufRead> BinaryReader<R> {
                 b'O' => {
                     footer.push(b'O');
                     let count = {
-                        let mut tee = Tee { inner: &mut self.inner, copy: &mut footer };
+                        let mut tee = Tee {
+                            inner: &mut self.inner,
+                            copy: &mut footer,
+                        };
                         read_varint(&mut tee, None)? as usize
                     };
                     if count > self.num_sets {
@@ -354,7 +393,10 @@ impl<R: BufRead> BinaryReader<R> {
                     let mut ids = Vec::with_capacity(count);
                     for _ in 0..count {
                         let id = {
-                            let mut tee = Tee { inner: &mut self.inner, copy: &mut footer };
+                            let mut tee = Tee {
+                                inner: &mut self.inner,
+                                copy: &mut footer,
+                            };
                             read_varint(&mut tee, None)?
                         };
                         if id >= self.num_sets as u64 {
@@ -367,7 +409,10 @@ impl<R: BufRead> BinaryReader<R> {
                 b'L' => {
                     footer.push(b'L');
                     let len = {
-                        let mut tee = Tee { inner: &mut self.inner, copy: &mut footer };
+                        let mut tee = Tee {
+                            inner: &mut self.inner,
+                            copy: &mut footer,
+                        };
                         read_varint(&mut tee, None)? as usize
                     };
                     let mut bytes = vec![0u8; len];
@@ -413,7 +458,11 @@ pub fn read_instance_binary<R: BufRead>(r: R) -> Result<Instance, BinError> {
         sets.push(buf.clone());
     }
     let (planted, label) = reader.finish()?;
-    Ok(Instance { system: SetSystem::from_sets(universe, sets), planted, label })
+    Ok(Instance {
+        system: SetSystem::from_sets(universe, sets),
+        planted,
+        label,
+    })
 }
 
 #[cfg(test)]

@@ -32,12 +32,18 @@ pub struct SetSystemBuilder {
 impl SetSystemBuilder {
     /// Starts a builder over `{0, …, universe-1}`.
     pub fn new(universe: usize) -> Self {
-        Self { universe, sets: Vec::new() }
+        Self {
+            universe,
+            sets: Vec::new(),
+        }
     }
 
     /// Starts a builder expecting roughly `m` sets.
     pub fn with_capacity(universe: usize, m: usize) -> Self {
-        Self { universe, sets: Vec::with_capacity(m) }
+        Self {
+            universe,
+            sets: Vec::with_capacity(m),
+        }
     }
 
     /// Ground set size.

@@ -152,7 +152,10 @@ pub fn uniform_random(n: usize, m: usize, p: f64, seed: u64) -> Instance {
 /// workloads). Cap `max_size` well below `n` to keep `OPT > 1`.
 pub fn zipf(n: usize, m: usize, theta: f64, max_size: usize, seed: u64) -> Instance {
     assert!(m >= 1);
-    assert!(max_size >= 1 && max_size <= n, "need 1 <= max_size={max_size} <= n={n}");
+    assert!(
+        max_size >= 1 && max_size <= n,
+        "need 1 <= max_size={max_size} <= n={n}"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let all: Vec<ElemId> = (0..n as ElemId).collect();
     let mut sets: Vec<Vec<ElemId>> = Vec::with_capacity(m);
@@ -379,7 +382,10 @@ mod tests {
         assert!(inst.system.max_set_size() >= 100, "head set should be huge");
         let capped = zipf(200, 50, 1.0, 25, 5);
         capped.validate();
-        assert!(capped.system.max_set_size() <= 25 + 50, "cap holds up to patching");
+        assert!(
+            capped.system.max_set_size() <= 25 + 50,
+            "cap holds up to patching"
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ pub struct Instance {
 impl Instance {
     /// Wraps a system with no ground truth.
     pub fn unlabelled(system: SetSystem) -> Self {
-        Self { system, planted: None, label: String::from("adhoc") }
+        Self {
+            system,
+            planted: None,
+            label: String::from("adhoc"),
+        }
     }
 
     /// Upper bound on `|OPT|` known without solving: the planted cover

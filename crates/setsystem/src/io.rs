@@ -40,7 +40,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Writes an instance in the text format.
@@ -179,7 +182,11 @@ pub fn read_instance<R: BufRead>(r: R) -> Result<Instance, ParseError> {
     Ok(Instance {
         system,
         planted,
-        label: if label.is_empty() { "from-file".into() } else { label },
+        label: if label.is_empty() {
+            "from-file".into()
+        } else {
+            label
+        },
     })
 }
 
@@ -241,7 +248,11 @@ mod tests {
     fn errors_carry_line_numbers() {
         let cases: Vec<(&str, usize, &str)> = vec![
             ("s 0\n", 1, "set line before problem line"),
-            ("p setcover 2 1\np setcover 2 1\n", 2, "duplicate problem line"),
+            (
+                "p setcover 2 1\np setcover 2 1\n",
+                2,
+                "duplicate problem line",
+            ),
             ("p setcover 2 1\ns 5\n", 2, "outside universe"),
             ("p setcover 2 1\ns x\n", 2, "bad element id"),
             ("p setcover 2 1\ns 0\ns 1\n", 3, "more sets than declared"),

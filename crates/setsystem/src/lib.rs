@@ -14,8 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod builder;
 pub mod binary;
+mod builder;
 pub mod gen;
 mod instance;
 pub mod io;

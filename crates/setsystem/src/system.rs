@@ -94,7 +94,10 @@ impl SetSystem {
 
     /// Iterates over `(id, elements)` pairs in repository order.
     pub fn iter(&self) -> impl Iterator<Item = (SetId, &[ElemId])> {
-        self.sets.iter().enumerate().map(|(i, s)| (i as SetId, &**s))
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as SetId, &**s))
     }
 
     /// Total number of (set, element) incidences, `Σ |r|`.
@@ -156,7 +159,9 @@ impl SetSystem {
                 } else {
                     let mut missing = BitSet::full(self.universe);
                     missing.difference_with(&covered);
-                    Err(CoverError::Uncovered(missing.first().expect("missing element")))
+                    Err(CoverError::Uncovered(
+                        missing.first().expect("missing element"),
+                    ))
                 }
             }
         }
@@ -170,7 +175,9 @@ impl SetSystem {
     /// Materialises every set as a dense bitset (offline solvers only —
     /// this is exactly the `O(mn)` storage streaming algorithms avoid).
     pub fn all_bitsets(&self) -> Vec<BitSet> {
-        (0..self.num_sets() as SetId).map(|i| self.set_as_bitset(i)).collect()
+        (0..self.num_sets() as SetId)
+            .map(|i| self.set_as_bitset(i))
+            .collect()
     }
 
     /// For each element, the ids of the sets containing it.

@@ -14,7 +14,11 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
                 let m = sets.len();
                 let system = SetSystem::from_sets(universe, sets);
                 let planted = (plant && m > 0).then(|| (0..m as u32 / 2).collect());
-                Instance { system, planted, label }
+                Instance {
+                    system,
+                    planted,
+                    label,
+                }
             },
         )
     })

@@ -31,13 +31,16 @@ pub trait StreamingSetCover {
 pub fn run_reported(alg: &mut dyn StreamingSetCover, system: &SetSystem) -> RunReport {
     let stream = SetStream::new(system);
     let meter = SpaceMeter::new();
+    let start = std::time::Instant::now();
     let cover = alg.run(&stream, &meter);
+    let elapsed = start.elapsed();
     let verified = system.verify_cover(&cover).map_err(|e| e.to_string());
     RunReport {
         algorithm: alg.name(),
         cover,
         passes: stream.passes(),
         space_words: meter.peak(),
+        elapsed,
         verified,
     }
 }
@@ -55,13 +58,16 @@ pub fn run_budgeted(
 ) -> (RunReport, bool) {
     let stream = SetStream::new(system);
     let meter = SpaceMeter::with_budget(budget_words);
+    let start = std::time::Instant::now();
     let cover = alg.run(&stream, &meter);
+    let elapsed = start.elapsed();
     let verified = system.verify_cover(&cover).map_err(|e| e.to_string());
     let report = RunReport {
         algorithm: alg.name(),
         cover,
         passes: stream.passes(),
         space_words: meter.peak(),
+        elapsed,
         verified,
     };
     (report, meter.exceeded())

@@ -18,7 +18,10 @@ pub struct ItemStream<'a, T> {
 impl<'a, T> ItemStream<'a, T> {
     /// Wraps a slice of items; the pass counter starts at zero.
     pub fn new(items: &'a [T]) -> Self {
-        Self { items, passes: Cell::new(0) }
+        Self {
+            items,
+            passes: Cell::new(0),
+        }
     }
 
     /// Number of items in the repository (known without a pass).

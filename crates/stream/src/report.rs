@@ -2,9 +2,11 @@
 
 use sc_setsystem::SetId;
 use std::fmt;
+use std::time::Duration;
 
 /// What one streaming execution measured: the three columns of the
-/// paper's Figure 1.1, plus the solution itself.
+/// paper's Figure 1.1, plus the solution itself and the wall-clock
+/// cost of producing it.
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Algorithm label, e.g. `"iterSetCover(δ=1/2, ρ=greedy)"`.
@@ -15,6 +17,11 @@ pub struct RunReport {
     pub passes: usize,
     /// Peak read-write memory, in 64-bit words.
     pub space_words: usize,
+    /// Wall-clock time of the algorithm's `run` (excluding cover
+    /// verification) — the perf trajectory the `BENCH_*.json` files
+    /// track. Not part of the paper's model; purely an implementation
+    /// measurement.
+    pub elapsed: Duration,
     /// `Ok` if the cover was verified against the instance.
     pub verified: Result<(), String>,
 }
@@ -70,6 +77,7 @@ mod tests {
             cover: vec![1, 2, 3],
             passes: 2,
             space_words: 640,
+            elapsed: std::time::Duration::from_millis(5),
             verified: Ok(()),
         }
     }

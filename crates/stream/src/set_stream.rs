@@ -36,7 +36,10 @@ pub struct SetStream<'a> {
 impl<'a> SetStream<'a> {
     /// Wraps a set system; the pass counter starts at zero.
     pub fn new(system: &'a SetSystem) -> Self {
-        Self { system, passes: Cell::new(0) }
+        Self {
+            system,
+            passes: Cell::new(0),
+        }
     }
 
     /// Ground set size `n` (known without a pass).
@@ -80,6 +83,44 @@ impl<'a> SetStream<'a> {
         let max = child_passes.into_iter().max().unwrap_or(0);
         self.passes.set(self.passes.get() + max);
     }
+
+    /// One physical scan executed on behalf of several parallel
+    /// branches at once — the driver-facing half of "do in parallel".
+    ///
+    /// Each participant logs one logical pass (its counter increments
+    /// exactly as if it had called [`pass`](SetStream::pass) itself);
+    /// the caller — the parallel group's parent — performs the single
+    /// underlying scan and multiplexes the items to its branches. The
+    /// parent's own counter is *not* touched: as with sequentially
+    /// simulated branches, the group's cost reaches the parent through
+    /// [`absorb_parallel`](SetStream::absorb_parallel), which takes the
+    /// maximum of the participants' logical counters. Because every
+    /// branch that still needs a pass joins every shared scan, the
+    /// number of physical scans equals that maximum, so the accounting
+    /// is exact rather than an upper bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is empty (a scan must be on behalf of
+    /// at least one counted logical pass) or if any participant is not
+    /// a fork of the same repository.
+    pub fn shared_pass(
+        &self,
+        participants: &[&SetStream<'a>],
+    ) -> impl Iterator<Item = (SetId, &'a [ElemId])> {
+        assert!(
+            !participants.is_empty(),
+            "a shared pass needs at least one participating branch"
+        );
+        for p in participants {
+            assert!(
+                std::ptr::eq(self.system, p.system),
+                "shared pass participants must fork the same repository"
+            );
+            p.passes.set(p.passes.get() + 1);
+        }
+        self.system.iter()
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +160,51 @@ mod tests {
         assert_eq!(s.universe(), 4);
         assert_eq!(s.num_sets(), 3);
         assert_eq!(s.passes(), 0);
+    }
+
+    #[test]
+    fn shared_pass_counts_each_participant_once() {
+        let sys = system();
+        let s = SetStream::new(&sys);
+        let a = s.fork();
+        let b = s.fork();
+        let items: Vec<SetId> = s.shared_pass(&[&a, &b]).map(|(id, _)| id).collect();
+        assert_eq!(
+            items,
+            vec![0, 1, 2],
+            "one physical scan yields the repository"
+        );
+        assert_eq!(
+            (a.passes(), b.passes()),
+            (1, 1),
+            "each branch logs one pass"
+        );
+        assert_eq!(
+            s.passes(),
+            0,
+            "the parent is charged via absorb_parallel only"
+        );
+        let _ = s.shared_pass(&[&b]);
+        s.absorb_parallel([a.passes(), b.passes()]);
+        assert_eq!(s.passes(), 2, "group cost is the max logical count");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participating branch")]
+    fn shared_pass_rejects_empty_groups() {
+        let sys = system();
+        let s = SetStream::new(&sys);
+        let _ = s.shared_pass(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same repository")]
+    fn shared_pass_rejects_foreign_branches() {
+        let sys = system();
+        let other = system();
+        let s = SetStream::new(&sys);
+        let foreign = SetStream::new(&other);
+        let _ = s.shared_pass(&[&foreign]);
     }
 
     #[test]

@@ -49,8 +49,14 @@ impl SpaceMeter {
 
     /// Fresh meter that audits against a budget of `words` (> 0).
     pub fn with_budget(words: usize) -> Self {
-        assert!(words > 0, "budget must be positive; use new() for unlimited");
-        Self { budget: words, ..Self::default() }
+        assert!(
+            words > 0,
+            "budget must be positive; use new() for unlimited"
+        );
+        Self {
+            budget: words,
+            ..Self::default()
+        }
     }
 
     /// The audit budget, if one was set.

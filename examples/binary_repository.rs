@@ -16,7 +16,11 @@ use streaming_set_cover::setsystem::{binary, io as scio};
 
 fn main() {
     let inst = gen::planted(4096, 8192, 16, 3);
-    println!("instance: {} (Σ|r| = {} incidences)\n", inst.label, inst.system.total_size());
+    println!(
+        "instance: {} (Σ|r| = {} incidences)\n",
+        inst.label,
+        inst.system.total_size()
+    );
 
     // --- Write both formats. ------------------------------------------
     let text = scio::to_string(&inst).into_bytes();
@@ -43,9 +47,15 @@ fn main() {
         }
     }
     let (planted, label) = reader.finish().expect("clean footer");
-    println!("scanned {} sets in O(max |r|) = O({largest}) memory", inst.system.num_sets());
+    println!(
+        "scanned {} sets in O(max |r|) = O({largest}) memory",
+        inst.system.num_sets()
+    );
     println!("sets with ≥ n/16 elements: {heavy}");
-    println!("footer: planted cover of {:?} sets, label {label:?}\n", planted.map(|p| p.len()));
+    println!(
+        "footer: planted cover of {:?} sets, label {label:?}\n",
+        planted.map(|p| p.len())
+    );
 
     // --- Corruption is caught, loudly and locatedly. --------------------
     let mut damaged = bin.clone();

@@ -51,8 +51,8 @@ fn main() {
     }
 
     // --- Brönnimann–Goodrich: cover via reweighting. -------------------
-    let out = bronnimann_goodrich(&inst.points, &inst.shapes, &BgConfig::default())
-        .expect("coverable");
+    let out =
+        bronnimann_goodrich(&inst.points, &inst.shapes, &BgConfig::default()).expect("coverable");
     inst.verify_cover(&out.cover).expect("verified");
     println!(
         "\nbronnimann-goodrich: |cover| = {} at guessed k = {} ({} doublings, {} nets)",
@@ -72,5 +72,7 @@ fn main() {
         report.passes,
         report.space_words
     );
-    println!("\nboth stay in the O(ρ_g·k) band; the streaming run never stored more than Õ(n) words");
+    println!(
+        "\nboth stay in the O(ρ_g·k) band; the streaming run never stored more than Õ(n) words"
+    );
 }

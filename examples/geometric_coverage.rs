@@ -14,26 +14,41 @@ fn main() {
     // (the 12 planted ones hidden among random proposals).
     let inst = instances::random_discs(2000, 1000, 12, 3);
     let opt = inst.planted.as_ref().unwrap().len();
-    println!("clients = {}, candidate discs = {}, OPT ≤ {opt}\n", inst.points.len(), inst.shapes.len());
+    println!(
+        "clients = {}, candidate discs = {}, OPT ≤ {opt}\n",
+        inst.points.len(),
+        inst.shapes.len()
+    );
 
     // algGeomSC: Õ(n) memory, constant passes (Theorem 4.6).
     let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
     let r = alg.run(&inst);
     r.verified.as_ref().expect("cover verified");
-    println!("algGeomSC      : {} stations, {} passes, {} words, store ≤ {} candidates",
-        r.cover_size(), r.passes, r.space_words, r.max_store_candidates);
+    println!(
+        "algGeomSC      : {} stations, {} passes, {} words, store ≤ {} candidates",
+        r.cover_size(),
+        r.passes,
+        r.space_words,
+        r.max_store_candidates
+    );
 
     // The offline view (materialise the whole point-in-disc incidence —
     // exactly what the streaming algorithm avoids) for comparison.
     let system = inst.to_set_system();
     let mut offline = StoreAllGreedy;
     let off = run_reported(&mut offline, &system);
-    println!("offline greedy : {} stations, space {} words (stores the incidence)",
-        off.cover_size(), off.space_words);
+    println!(
+        "offline greedy : {} stations, space {} words (stores the incidence)",
+        off.cover_size(),
+        off.space_words
+    );
 
     // Skewed spatial textures: Gaussian demand clusters and a jittered
     // lattice — the workloads where shallow projections pile up.
-    for inst in [instances::clustered_discs(2000, 1000, 12, 4), instances::grid_rects(2025, 1000, 4)] {
+    for inst in [
+        instances::clustered_discs(2000, 1000, 12, 4),
+        instances::grid_rects(2025, 1000, 4),
+    ] {
         let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
         let r = alg.run(&inst);
         r.verified.as_ref().expect("cover verified");
@@ -52,6 +67,15 @@ fn main() {
     let mut alg = AlgGeomSc::new(AlgGeomScConfig::default());
     let r = alg.run(&adv);
     r.verified.as_ref().expect("adversarial cover verified");
-    println!("\ntwo-line adversarial family: m = {} rectangles over n = {} points", adv.shapes.len(), adv.points.len());
-    println!("algGeomSC      : {} rects, {} passes, {} words (≪ m)", r.cover_size(), r.passes, r.space_words);
+    println!(
+        "\ntwo-line adversarial family: m = {} rectangles over n = {} points",
+        adv.shapes.len(),
+        adv.points.len()
+    );
+    println!(
+        "algGeomSC      : {} rects, {} passes, {} words (≪ m)",
+        r.cover_size(),
+        r.passes,
+        r.space_words
+    );
 }

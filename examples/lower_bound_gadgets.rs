@@ -16,16 +16,26 @@ fn main() {
     // --- Section 3: the Ω(mn) one-pass bound's engine. ---------------
     let (m, n) = (16, 64);
     let alice = AliceInput::random(n, m, 5);
-    println!("Alice holds {m} random subsets of a {n}-element universe: {} bits", alice.description_bits());
+    println!(
+        "Alice holds {m} random subsets of a {n}-element universe: {} bits",
+        alice.description_bits()
+    );
     let out = recover(&alice, &RecoverConfig::default());
     println!(
         "algRecoverBit: {} — {} probes, {} oracle queries, {} collision probes",
-        if out.exact { "recovered every set exactly" } else { "FAILED" },
+        if out.exact {
+            "recovered every set exactly"
+        } else {
+            "FAILED"
+        },
         out.probes,
         out.oracle_queries,
         out.collision_probes,
     );
-    println!("⇒ any one-round protocol answering those queries carries all {} bits (Theorem 3.2),", alice.description_bits());
+    println!(
+        "⇒ any one-round protocol answering those queries carries all {} bits (Theorem 3.2),",
+        alice.description_bits()
+    );
     println!("  so a one-pass streaming algorithm distinguishing covers of size 2 vs 3 needs Ω(mn) memory (Theorem 3.8).\n");
 
     // --- Section 5: the multi-pass bound's reduction. -----------------

@@ -31,7 +31,10 @@ fn main() {
         .expect("coverable");
     println!("certificates (near-linear time):");
     println!("  dual witness      : OPT ≥ {}", pd.witness.len());
-    println!("  LP fractional     : OPT ≥ ⌈{:.2}⌉ (value of the relaxation)", frac.value);
+    println!(
+        "  LP fractional     : OPT ≥ ⌈{:.2}⌉ (value of the relaxation)",
+        frac.value
+    );
     println!("  max frequency f   : {}", pd.max_frequency);
 
     // --- The four oracles. --------------------------------------------
@@ -54,7 +57,10 @@ fn main() {
     // --- And the effect inside iterSetCover (Theorem 2.8's O(ρ/δ)). ---
     println!("\niterSetCover(δ=1/2) with each oracle:");
     for solver in [OfflineSolver::Greedy, OfflineSolver::DEFAULT_EXACT] {
-        let mut alg = IterSetCover::new(IterSetCoverConfig { solver, ..Default::default() });
+        let mut alg = IterSetCover::new(IterSetCoverConfig {
+            solver,
+            ..Default::default()
+        });
         let report = run_reported(&mut alg, &inst.system);
         report.verified.as_ref().expect("verified");
         println!(

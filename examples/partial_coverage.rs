@@ -26,7 +26,12 @@ fn main() {
         assert!(r.goal_met(), "SLA missed at ε={eps}");
         println!(
             "{:<42} {:>5.2} {:>9} {:>8} {:>7} {:>12}",
-            r.algorithm, eps, r.covered, r.cover_size(), r.passes, r.space_words
+            r.algorithm,
+            eps,
+            r.covered,
+            r.cover_size(),
+            r.passes,
+            r.space_words
         );
     }
     println!();
@@ -35,7 +40,12 @@ fn main() {
         let r = run_partial(&mut alg, &inst.system, eps);
         println!(
             "{:<42} {:>5.2} {:>9} {:>8} {:>7} {:>12}",
-            r.algorithm, eps, r.covered, r.cover_size(), r.passes, r.space_words
+            r.algorithm,
+            eps,
+            r.covered,
+            r.cover_size(),
+            r.passes,
+            r.space_words
         );
     }
 

@@ -12,8 +12,16 @@ fn main() {
     // among 4,096 decoys. `OPT = 4` by construction.
     let inst = gen::planted(2048, 4096, 4, 7);
     let opt = inst.planted.as_ref().expect("planted cover").len();
-    println!("instance: {}  (n = {}, m = {}, OPT = {opt})", inst.label, inst.system.universe(), inst.system.num_sets());
-    println!("input size Σ|r| = {} incidences\n", inst.system.total_size());
+    println!(
+        "instance: {}  (n = {}, m = {}, OPT = {opt})",
+        inst.label,
+        inst.system.universe(),
+        inst.system.num_sets()
+    );
+    println!(
+        "input size Σ|r| = {} incidences\n",
+        inst.system.total_size()
+    );
 
     // The paper's algorithm at δ = 1/2: 2/δ = 4 passes, Õ(m·√n) space.
     let mut alg = IterSetCover::new(IterSetCoverConfig::default());
@@ -21,8 +29,15 @@ fn main() {
 
     println!("{report}");
     println!();
-    println!("cover size     : {} sets (ratio {:.2}× OPT)", report.cover_size(), report.ratio(opt));
-    println!("passes         : {} (budget 2/δ = 4, +1 cleanup)", report.passes);
+    println!(
+        "cover size     : {} sets (ratio {:.2}× OPT)",
+        report.cover_size(),
+        report.ratio(opt)
+    );
+    println!(
+        "passes         : {} (budget 2/δ = 4, +1 cleanup)",
+        report.passes
+    );
     println!(
         "working memory : {} words — versus {} words for this input (Σ|r|/2) and {} for a worst-case m×n input",
         report.space_words,
@@ -32,7 +47,13 @@ fn main() {
     report.verified.as_ref().expect("verified cover");
 
     // Tighter space at the cost of more passes: δ = 1/4.
-    let mut alg = IterSetCover::new(IterSetCoverConfig { delta: 0.25, ..Default::default() });
+    let mut alg = IterSetCover::new(IterSetCoverConfig {
+        delta: 0.25,
+        ..Default::default()
+    });
     let report = run_reported(&mut alg, &inst.system);
-    println!("\nδ = 1/4 → passes = {}, space = {} words", report.passes, report.space_words);
+    println!(
+        "\nδ = 1/4 → passes = {}, space = {} words",
+        report.passes, report.space_words
+    );
 }

@@ -16,7 +16,11 @@ fn main() {
     let inst = gen::zipf(4096, 2048, 1.1, 512, 21);
     let n = inst.system.universe();
     let m = inst.system.num_sets();
-    println!("workload: {} (n = {n}, m = {m}, Σ|r| = {})\n", inst.label, inst.system.total_size());
+    println!(
+        "workload: {} (n = {n}, m = {m}, Σ|r| = {})\n",
+        inst.label,
+        inst.system.total_size()
+    );
 
     // Reference optimum (greedy offline bound is enough for a ratio
     // denominator here; the planted field is None for zipf).
@@ -26,11 +30,20 @@ fn main() {
         sc_offline::greedy(&sets, &target).expect("coverable").len()
     };
     println!("offline greedy reference: {offline} hosts\n");
-    println!("{:<44} {:>6} {:>7} {:>12}", "algorithm", "|sol|", "passes", "space(words)");
+    println!(
+        "{:<44} {:>6} {:>7} {:>12}",
+        "algorithm", "|sol|", "passes", "space(words)"
+    );
 
     let report = |r: RunReport| {
         assert!(r.verified.is_ok(), "{:?}", r.verified);
-        println!("{:<44} {:>6} {:>7} {:>12}", r.algorithm, r.cover_size(), r.passes, r.space_words);
+        println!(
+            "{:<44} {:>6} {:>7} {:>12}",
+            r.algorithm,
+            r.cover_size(),
+            r.passes,
+            r.space_words
+        );
     };
 
     // One pass only? The √n-approximation is what one pass buys
@@ -45,7 +58,10 @@ fn main() {
 
     // The paper's trade-off: log-quality with sublinear memory.
     for delta in [0.5, 0.25] {
-        let mut alg = IterSetCover::new(IterSetCoverConfig { delta, ..Default::default() });
+        let mut alg = IterSetCover::new(IterSetCoverConfig {
+            delta,
+            ..Default::default()
+        });
         report(run_reported(&mut alg, &inst.system));
     }
 

@@ -77,7 +77,9 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn flag_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
     match flag(args, name) {
-        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for {name}: {v:?}")),
         None => Ok(default),
     }
 }
@@ -154,10 +156,14 @@ fn info_cmd(args: &[String]) -> Result<(), String> {
     println!("max |r|    : {}", s.max_set_size());
     println!("coverable  : {}", s.is_coverable());
     match &inst.planted {
-        Some(p) => println!("known cover: {} sets ({})", p.len(), match s.verify_cover(p) {
-            Ok(()) => "valid",
-            Err(_) => "INVALID",
-        }),
+        Some(p) => println!(
+            "known cover: {} sets ({})",
+            p.len(),
+            match s.verify_cover(p) {
+                Ok(()) => "valid",
+                Err(_) => "INVALID",
+            }
+        ),
         None => println!("known cover: none"),
     }
     Ok(())
@@ -185,20 +191,37 @@ fn solve_cmd(args: &[String]) -> Result<(), String> {
                 solver,
                 ..Default::default()
             })),
-            "dimv" => Box::new(Dimv14::new(Dimv14Config { delta, solver, ..Default::default() })),
+            "dimv" => Box::new(Dimv14::new(Dimv14Config {
+                delta,
+                solver,
+                ..Default::default()
+            })),
             "store" => Box::new(StoreAllGreedy),
             "onepick" => Box::new(OnePickPerPassGreedy),
             "progressive" => Box::new(ProgressiveGreedy),
             "sg" => Box::new(SahaGetoor::default()),
             "er" => Box::new(EmekRosen),
             "cw" => Box::new(ChakrabartiWirth::new(passes.max(1))),
-            "akl" => Box::new(OnePassProjection { alpha: alpha.max(1.0), solver }),
+            "akl" => Box::new(OnePassProjection {
+                alpha: alpha.max(1.0),
+                solver,
+            }),
             other => return Err(format!("solve: unknown algorithm {other:?}")),
         });
         Ok(())
     };
     if which == "all" {
-        for name in ["store", "onepick", "progressive", "sg", "er", "cw", "akl", "dimv", "iter"] {
+        for name in [
+            "store",
+            "onepick",
+            "progressive",
+            "sg",
+            "er",
+            "cw",
+            "akl",
+            "dimv",
+            "iter",
+        ] {
             add(name)?;
         }
     } else {
@@ -299,14 +322,42 @@ fn certify_cmd(args: &[String]) -> Result<(), String> {
     let pd = offline::primal_dual(&sets, &target).ok_or("instance is not coverable")?;
     let greedy = offline::greedy(&sets, &target).ok_or("instance is not coverable")?;
     let n = inst.system.universe();
-    let frac = offline::fractional_mwu(&sets, &target, offline::lp::default_rounds(n.min(2048)), 0.5)
-        .ok_or("instance is not coverable")?;
-    println!("dual lower bound : {} (primal–dual witness, certified)", pd.witness.len());
-    println!("LP fractional    : {:.2} (MWU, {} rounds{})", frac.value, frac.rounds,
-        if frac.patched > 0 { ", UNCONVERGED" } else { "" });
-    println!("primal–dual cover: {} (f = {})", pd.cover.len(), pd.max_frequency);
-    println!("greedy cover     : {} (ρ = ln n + 1 ≈ {:.1})", greedy.len(), (n.max(2) as f64).ln() + 1.0);
-    println!("⇒ OPT ∈ [{}, {}]", pd.witness.len().max(frac.value.floor() as usize).max(1), greedy.len().min(pd.cover.len()));
+    let frac = offline::fractional_mwu(
+        &sets,
+        &target,
+        offline::lp::default_rounds(n.min(2048)),
+        0.5,
+    )
+    .ok_or("instance is not coverable")?;
+    println!(
+        "dual lower bound : {} (primal–dual witness, certified)",
+        pd.witness.len()
+    );
+    println!(
+        "LP fractional    : {:.2} (MWU, {} rounds{})",
+        frac.value,
+        frac.rounds,
+        if frac.patched > 0 {
+            ", UNCONVERGED"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "primal–dual cover: {} (f = {})",
+        pd.cover.len(),
+        pd.max_frequency
+    );
+    println!(
+        "greedy cover     : {} (ρ = ln n + 1 ≈ {:.1})",
+        greedy.len(),
+        (n.max(2) as f64).ln() + 1.0
+    );
+    println!(
+        "⇒ OPT ∈ [{}, {}]",
+        pd.witness.len().max(frac.value.floor() as usize).max(1),
+        greedy.len().min(pd.cover.len())
+    );
     Ok(())
 }
 
@@ -329,7 +380,11 @@ fn convert_cmd(args: &[String]) -> Result<(), String> {
         output,
         inst.system.num_sets(),
         inst.system.total_size(),
-        if output.ends_with(".scb") { "SCB1 binary" } else { "text" }
+        if output.ends_with(".scb") {
+            "SCB1 binary"
+        } else {
+            "text"
+        }
     );
     Ok(())
 }
@@ -343,10 +398,18 @@ fn exact_cmd(args: &[String]) -> Result<(), String> {
         Some(outcome) => {
             println!(
                 "optimum {}: {} sets after {} nodes{}",
-                if outcome.optimal { "(certified)" } else { "(budget-limited upper bound)" },
+                if outcome.optimal {
+                    "(certified)"
+                } else {
+                    "(budget-limited upper bound)"
+                },
                 outcome.cover.len(),
                 outcome.nodes,
-                if outcome.optimal { "" } else { " — raise --budget to certify" },
+                if outcome.optimal {
+                    ""
+                } else {
+                    " — raise --budget to certify"
+                },
             );
             let ids: Vec<String> = outcome.cover.iter().map(|i| i.to_string()).collect();
             println!("cover: {}", ids.join(" "));

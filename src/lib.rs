@@ -42,15 +42,17 @@ pub use sc_stream as stream;
 pub mod prelude {
     pub use sc_bitset::{BitSet, HeapWords, SparseSet};
     pub use sc_core::baselines::{
-        ChakrabartiWirth, Dimv14, Dimv14Config, EmekRosen, OnePassProjection,
-        OnePickPerPassGreedy, ProgressiveGreedy, SahaGetoor, StoreAllGreedy,
+        ChakrabartiWirth, Dimv14, Dimv14Config, EmekRosen, OnePassProjection, OnePickPerPassGreedy,
+        ProgressiveGreedy, SahaGetoor, StoreAllGreedy,
     };
     pub use sc_core::partial::{
         run_partial, PartialChakrabartiWirth, PartialEmekRosen, PartialIterSetCover,
         PartialProgressiveGreedy,
     };
     pub use sc_core::{IterSetCover, IterSetCoverConfig};
-    pub use sc_geometry::{bronnimann_goodrich, AlgGeomSc, AlgGeomScConfig, BgConfig, GeomInstance};
+    pub use sc_geometry::{
+        bronnimann_goodrich, AlgGeomSc, AlgGeomScConfig, BgConfig, GeomInstance,
+    };
     pub use sc_offline::OfflineSolver;
     pub use sc_setsystem::{gen, Instance, SetSystem, SetSystemBuilder};
     pub use sc_stream::{run_reported, RunReport, SetStream, SpaceMeter, StreamingSetCover};

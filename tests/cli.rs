@@ -10,12 +10,18 @@ fn sctool() -> PathBuf {
     path.pop(); // deps/
     path.pop(); // debug/ (or release/)
     path.push("sctool");
-    assert!(path.exists(), "sctool not built at {path:?} — cargo builds bins for test runs");
+    assert!(
+        path.exists(),
+        "sctool not built at {path:?} — cargo builds bins for test runs"
+    );
     path
 }
 
 fn run(args: &[&str]) -> Output {
-    Command::new(sctool()).args(args).output().expect("spawn sctool")
+    Command::new(sctool())
+        .args(args)
+        .output()
+        .expect("spawn sctool")
 }
 
 fn run_with_stdin(args: &[&str], stdin: &[u8]) -> Output {
@@ -49,7 +55,9 @@ fn gen_info_solve_certify_round_trip() {
     let scb = dir.join("inst.scb");
 
     // gen → file
-    let generated = stdout(&run(&["gen", "planted", "--n", "128", "--m", "256", "--k", "4", "--seed", "9"]));
+    let generated = stdout(&run(&[
+        "gen", "planted", "--n", "128", "--m", "256", "--k", "4", "--seed", "9",
+    ]));
     std::fs::write(&sc, &generated).unwrap();
 
     // info on text
@@ -59,16 +67,29 @@ fn gen_info_solve_certify_round_trip() {
     assert!(info.contains("known cover: 4 sets (valid)"), "{info}");
 
     // convert text → binary; binary must be smaller and info-identical
-    let msg = stdout(&run(&["convert", sc.to_str().unwrap(), scb.to_str().unwrap()]));
+    let msg = stdout(&run(&[
+        "convert",
+        sc.to_str().unwrap(),
+        scb.to_str().unwrap(),
+    ]));
     assert!(msg.contains("SCB1 binary"), "{msg}");
     let info_bin = stdout(&run(&["info", scb.to_str().unwrap()]));
     assert_eq!(info, info_bin, "binary info must match text info");
     let text_len = std::fs::metadata(&sc).unwrap().len();
     let bin_len = std::fs::metadata(&scb).unwrap().len();
-    assert!(bin_len < text_len, "binary {bin_len} not smaller than text {text_len}");
+    assert!(
+        bin_len < text_len,
+        "binary {bin_len} not smaller than text {text_len}"
+    );
 
     // solve on the binary file
-    let solve = stdout(&run(&["solve", "iter", scb.to_str().unwrap(), "--delta", "0.5"]));
+    let solve = stdout(&run(&[
+        "solve",
+        "iter",
+        scb.to_str().unwrap(),
+        "--delta",
+        "0.5",
+    ]));
     assert!(solve.contains("iterSetCover"), "{solve}");
     assert!(solve.contains("ok"), "{solve}");
 
@@ -82,7 +103,11 @@ fn gen_info_solve_certify_round_trip() {
 
     // convert back to text and compare instance content via info
     let sc2 = dir.join("roundtrip.sc");
-    stdout(&run(&["convert", scb.to_str().unwrap(), sc2.to_str().unwrap()]));
+    stdout(&run(&[
+        "convert",
+        scb.to_str().unwrap(),
+        sc2.to_str().unwrap(),
+    ]));
     let info_rt = stdout(&run(&["info", sc2.to_str().unwrap()]));
     assert_eq!(info, info_rt);
 
@@ -91,7 +116,9 @@ fn gen_info_solve_certify_round_trip() {
 
 #[test]
 fn stdin_dash_reads_text() {
-    let generated = stdout(&run(&["gen", "uniform", "--n", "64", "--m", "32", "--p", "0.2", "--seed", "1"]));
+    let generated = stdout(&run(&[
+        "gen", "uniform", "--n", "64", "--m", "32", "--p", "0.2", "--seed", "1",
+    ]));
     let info = run_with_stdin(&["info", "-"], generated.as_bytes());
     let text = stdout(&info);
     assert!(text.contains("universe   : 64"), "{text}");
@@ -99,17 +126,28 @@ fn stdin_dash_reads_text() {
 
 #[test]
 fn gen_binary_flag_emits_scb1() {
-    let out = run(&["gen", "planted", "--n", "32", "--m", "16", "--k", "2", "--binary"]);
+    let out = run(&[
+        "gen", "planted", "--n", "32", "--m", "16", "--k", "2", "--binary",
+    ]);
     assert!(out.status.success());
     assert!(out.stdout.starts_with(b"SCB1\n"), "missing magic");
 }
 
 #[test]
 fn solve_all_runs_every_algorithm() {
-    let generated = stdout(&run(&["gen", "planted", "--n", "64", "--m", "128", "--k", "4", "--seed", "2"]));
+    let generated = stdout(&run(&[
+        "gen", "planted", "--n", "64", "--m", "128", "--k", "4", "--seed", "2",
+    ]));
     let out = run_with_stdin(&["solve", "all", "-"], generated.as_bytes());
     let text = stdout(&out);
-    for label in ["greedy/store-all", "emek-rosen", "chakrabarti-wirth", "one-pass-projection", "dimv14", "iterSetCover"] {
+    for label in [
+        "greedy/store-all",
+        "emek-rosen",
+        "chakrabarti-wirth",
+        "one-pass-projection",
+        "dimv14",
+        "iterSetCover",
+    ] {
         assert!(text.contains(label), "missing {label} in:\n{text}");
     }
 }
@@ -135,7 +173,9 @@ fn corrupt_binary_is_reported_with_location() {
     let dir = std::env::temp_dir().join(format!("sctool-corrupt-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let scb = dir.join("bad.scb");
-    let out = run(&["gen", "planted", "--n", "64", "--m", "32", "--k", "2", "--binary"]);
+    let out = run(&[
+        "gen", "planted", "--n", "64", "--m", "32", "--k", "2", "--binary",
+    ]);
     let mut bytes = out.stdout.clone();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;

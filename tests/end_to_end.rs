@@ -100,7 +100,11 @@ fn pass_space_tradeoffs_are_ordered() {
         if r.algorithm.contains("saha-getoor") {
             continue;
         }
-        assert!(store.space_words >= r.space_words, "{} out-spaces store-all", r.algorithm);
+        assert!(
+            store.space_words >= r.space_words,
+            "{} out-spaces store-all",
+            r.algorithm
+        );
     }
     // The Θ̃(n)-space algorithms use far less than store-all.
     for needle in ["emek-rosen", "progressive"] {
@@ -141,7 +145,12 @@ fn solution_sets_exist_and_are_unique() {
         let before = ids.len();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(before, ids.len(), "{} emitted duplicate ids", report.algorithm);
+        assert_eq!(
+            before,
+            ids.len(),
+            "{} emitted duplicate ids",
+            report.algorithm
+        );
         assert!(ids.iter().all(|&id| (id as usize) < inst.system.num_sets()));
     }
 }

@@ -7,10 +7,10 @@
 //! answer.
 
 use streaming_set_cover::comm::chasing::IntersectionSetChasing;
+use streaming_set_cover::comm::disjointness::AliceInput;
 use streaming_set_cover::comm::recover::{recover, RecoverConfig};
 use streaming_set_cover::comm::reduction_sec5::{reduce, verify_corollary_5_8};
 use streaming_set_cover::comm::reduction_sec6::Sec6Instance;
-use streaming_set_cover::comm::disjointness::AliceInput;
 use streaming_set_cover::prelude::*;
 
 #[test]
@@ -44,7 +44,9 @@ fn exact_oracle_iter_set_cover_recovers_the_certified_optimum_band() {
     let v = verify_corollary_5_8(&isc, 50_000_000);
     let mut alg = IterSetCover::new(IterSetCoverConfig {
         delta: 1.0,
-        solver: OfflineSolver::Exact { node_budget: 50_000_000 },
+        solver: OfflineSolver::Exact {
+            node_budget: 50_000_000,
+        },
         ..Default::default()
     });
     let report = run_reported(&mut alg, &red.system);

@@ -30,7 +30,9 @@ fn all_algorithms() -> Vec<Box<dyn StreamingSetCover>> {
 fn run_balanced(alg: &mut dyn StreamingSetCover, system: &SetSystem) -> RunReport {
     let stream = SetStream::new(system);
     let meter = SpaceMeter::new();
+    let start = std::time::Instant::now();
     let cover = alg.run(&stream, &meter);
+    let elapsed = start.elapsed();
     assert_eq!(
         meter.current(),
         0,
@@ -43,6 +45,7 @@ fn run_balanced(alg: &mut dyn StreamingSetCover, system: &SetSystem) -> RunRepor
         cover,
         passes: stream.passes(),
         space_words: meter.peak(),
+        elapsed,
         verified,
     }
 }
@@ -86,7 +89,12 @@ fn singleton_universe_is_covered_by_everyone() {
     let system = SetSystem::from_sets(1, vec![vec![0]]);
     for mut alg in all_algorithms() {
         let report = run_balanced(alg.as_mut(), &system);
-        assert!(report.verified.is_ok(), "{}: {:?}", report.algorithm, report.verified);
+        assert!(
+            report.verified.is_ok(),
+            "{}: {:?}",
+            report.algorithm,
+            report.verified
+        );
         assert_eq!(report.cover_size(), 1, "{}", report.algorithm);
     }
 }
@@ -102,12 +110,22 @@ fn duplicate_heavy_family_yields_no_duplicate_picks() {
     let system = SetSystem::from_sets(8, sets);
     for mut alg in all_algorithms() {
         let report = run_balanced(alg.as_mut(), &system);
-        assert!(report.verified.is_ok(), "{}: {:?}", report.algorithm, report.verified);
+        assert!(
+            report.verified.is_ok(),
+            "{}: {:?}",
+            report.algorithm,
+            report.verified
+        );
         let mut ids = report.cover.clone();
         ids.sort_unstable();
         let before = ids.len();
         ids.dedup();
-        assert_eq!(ids.len(), before, "{}: duplicate picks emitted", report.algorithm);
+        assert_eq!(
+            ids.len(),
+            before,
+            "{}: duplicate picks emitted",
+            report.algorithm
+        );
     }
 }
 
@@ -121,7 +139,12 @@ fn full_universe_set_hiding_among_noise_is_found_by_quality_algorithms() {
     let system = SetSystem::from_sets(64, sets);
     for mut alg in all_algorithms() {
         let report = run_balanced(alg.as_mut(), &system);
-        assert!(report.verified.is_ok(), "{}: {:?}", report.algorithm, report.verified);
+        assert!(
+            report.verified.is_ok(),
+            "{}: {:?}",
+            report.algorithm,
+            report.verified
+        );
         assert!(report.cover_size() <= 64, "{}", report.algorithm);
     }
     let mut store_all = StoreAllGreedy;
@@ -137,17 +160,31 @@ fn partial_cover_handles_uncoverable_tail_gracefully() {
     // detects infeasibility, and reports failure honestly — neither may
     // panic or leak meter charge.
     let n = 100usize;
-    let sets: Vec<Vec<u32>> =
-        (0..16u32).map(|i| (0..80u32).filter(|e| e % 16 == i).collect()).collect();
+    let sets: Vec<Vec<u32>> = (0..16u32)
+        .map(|i| (0..80u32).filter(|e| e % 16 == i).collect())
+        .collect();
     let system = SetSystem::from_sets(n, sets);
 
     let ok = run_partial(&mut PartialProgressiveGreedy, &system, 0.25);
-    assert!(ok.goal_met(), "75% goal reachable by thresholding: {}/{}", ok.covered, ok.required);
+    assert!(
+        ok.goal_met(),
+        "75% goal reachable by thresholding: {}/{}",
+        ok.covered,
+        ok.required
+    );
     let ok = run_partial(&mut PartialEmekRosen, &system, 0.25);
-    assert!(ok.goal_met(), "75% goal reachable by [ER14]: {}/{}", ok.covered, ok.required);
+    assert!(
+        ok.goal_met(),
+        "75% goal reachable by [ER14]: {}/{}",
+        ok.covered,
+        ok.required
+    );
 
     let too_much = run_partial(&mut PartialProgressiveGreedy, &system, 0.05);
-    assert!(!too_much.goal_met(), "95% goal is impossible; goal_met must say so");
+    assert!(
+        !too_much.goal_met(),
+        "95% goal is impossible; goal_met must say so"
+    );
 
     // iterSetCover's element sampling hits the dead 20% and aborts each
     // guess: an honest (empty-handed) failure, not a panic.

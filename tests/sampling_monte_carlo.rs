@@ -116,7 +116,10 @@ fn heavier_ranges_get_multiplicative_accuracy() {
     let mut sets = Vec::new();
     // Heavy ranges: densities 0.1 … 0.5.
     for d in 1..=5 {
-        sets.push(BitSet::from_iter(n, (0..(n * d / 10) as u32).collect::<Vec<_>>()));
+        sets.push(BitSet::from_iter(
+            n,
+            (0..(n * d / 10) as u32).collect::<Vec<_>>(),
+        ));
     }
     // Light ranges: a handful of elements each.
     for i in 0..5u32 {
@@ -135,7 +138,10 @@ fn heavier_ranges_get_multiplicative_accuracy() {
             ok += 1;
         }
     }
-    assert!(ok >= (trials - 3) as usize, "only {ok}/{trials} samples satisfied both bands");
+    assert!(
+        ok >= (trials - 3) as usize,
+        "only {ok}/{trials} samples satisfied both bands"
+    );
 
     // Light ranges of two elements essentially never survive the
     // multiplicative test (their estimate is 0 or huge): demonstrate
@@ -195,5 +201,8 @@ fn lemma_2_6_family_of_residuals_is_protected() {
             failures += 1;
         }
     }
-    assert!(failures <= 4, "residual family violated {failures}/{trials} times");
+    assert!(
+        failures <= 4,
+        "residual family violated {failures}/{trials} times"
+    );
 }

@@ -125,11 +125,8 @@ mod budget_audit {
         for n in [512usize, 1024, 2048] {
             let m = 2 * n;
             let inst = gen::planted(n, m, 8, 7);
-            let band = (8.0
-                * m as f64
-                * (n as f64).sqrt()
-                * (n as f64).log2().powi(2)
-                / 8.0) as usize; // generous polylog headroom
+            let band =
+                (8.0 * m as f64 * (n as f64).sqrt() * (n as f64).log2().powi(2) / 8.0) as usize; // generous polylog headroom
             let (report, exceeded) =
                 run_budgeted(&mut IterSetCover::with_delta(0.5), &inst.system, band);
             assert!(report.verified.is_ok(), "n={n}");
@@ -156,7 +153,10 @@ mod budget_audit {
         let inst = gen::planted(512, 1024, 8, 5);
         let (report, exceeded) = run_budgeted(&mut StoreAllGreedy, &inst.system, 64);
         assert!(exceeded, "store-all cannot fit 64 words");
-        assert!(report.verified.is_ok(), "the run itself still completes and covers");
+        assert!(
+            report.verified.is_ok(),
+            "the run itself still completes and covers"
+        );
     }
 
     #[test]
