@@ -1,0 +1,51 @@
+//! Criterion bench for E17: batches of identical cover queries through
+//! the `sc_service` scan scheduler at concurrency 1 / 4 / 16, against
+//! the naive replay (each query run solo, scans unshared).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_core::{IterSetCover, IterSetCoverConfig};
+use sc_service::{QuerySpec, Service, ServiceConfig};
+use sc_setsystem::gen;
+use sc_stream::run_reported;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let inst = gen::planted(1 << 12, 1 << 11, 16, 42);
+    let service = Service::new(inst.system.clone(), ServiceConfig::default());
+    let spec = QuerySpec::IterCover {
+        delta: 0.5,
+        seed: 7,
+    };
+    let mut g = c.benchmark_group("service");
+    g.sample_size(10);
+    for clients in [1usize, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("batched", clients),
+            &clients,
+            |b, &clients| {
+                let specs = vec![spec; clients];
+                b.iter(|| black_box(service.run_batch(&specs)))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("naive-solo", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    for _ in 0..clients {
+                        let mut alg = IterSetCover::new(IterSetCoverConfig {
+                            delta: 0.5,
+                            seed: 7,
+                            ..Default::default()
+                        });
+                        black_box(run_reported(&mut alg, &inst.system));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,6 +13,7 @@ mod recover_3_1;
 mod reduction_5_4;
 mod sampling_2_6;
 mod semi_streaming;
+mod service;
 mod sparse_6_6;
 mod table_1_1;
 mod tradeoff_2_8;
@@ -30,6 +31,7 @@ pub use recover_3_1::recover_3_1;
 pub use reduction_5_4::reduction_5_4;
 pub use sampling_2_6::sampling_2_6;
 pub use semi_streaming::semi_streaming;
+pub use service::service;
 pub use sparse_6_6::sparse_6_6;
 pub use table_1_1::table_1_1;
 pub use tradeoff_2_8::tradeoff_2_8;
@@ -77,6 +79,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "multiplex",
             "E16 pass-multiplexed executor wall-clock",
             multiplex,
+        ),
+        (
+            "service",
+            "E17 cover-query service scan sharing & throughput",
+            service,
         ),
     ]
 }

@@ -32,4 +32,4 @@ pub use one_pass_projection::OnePassProjection;
 pub use one_pick::OnePickPerPassGreedy;
 pub use progressive::ProgressiveGreedy;
 pub use saha_getoor::SahaGetoor;
-pub use store_all::StoreAllGreedy;
+pub use store_all::{greedy_over_stored, StoreAllGreedy};

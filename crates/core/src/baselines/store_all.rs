@@ -33,45 +33,57 @@ impl StreamingSetCover for StoreAllGreedy {
                 offsets.push(flat.len() as u32);
             });
         }
-        // Drop the growth slack: the model charges what is kept, and
-        // what is kept is exactly Σ|r| ids plus the offsets.
-        store.mutate(meter, |(offsets, flat)| {
-            offsets.shrink_to_fit();
-            flat.shrink_to_fit();
-        });
-
-        // Offline greedy directly on the stored CSR (no per-set bitsets:
-        // that would square the footprint for sparse families).
-        let mut live = Tracked::new(BitSet::full(n), meter);
-        let mut sol = Vec::new();
-        loop {
-            if live.get().is_empty() {
-                break;
-            }
-            let (offsets, flat) = store.get();
-            let mut best: Option<(usize, usize)> = None; // (gain, set)
-            for i in 0..offsets.len() - 1 {
-                let elems = &flat[offsets[i] as usize..offsets[i + 1] as usize];
-                let gain = elems.iter().filter(|&&e| live.get().contains(e)).count();
-                if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
-                    best = Some((gain, i));
-                }
-            }
-            let Some((_, i)) = best else { break };
-            let range = offsets[i] as usize..offsets[i + 1] as usize;
-            let elems: Vec<ElemId> = flat[range].to_vec();
-            live.mutate(meter, |l| {
-                for &e in &elems {
-                    l.remove(e);
-                }
-            });
-            sol.push(i as SetId);
-        }
-
-        let _ = live.release(meter);
-        let _ = store.release(meter);
-        sol
+        greedy_over_stored(store, n, meter)
     }
+}
+
+/// The post-pass half of [`StoreAllGreedy`]: offline greedy over the
+/// CSR copy of the repository, releasing the store when done. Shared
+/// with `sc_service`'s baseline job so both stay operation-identical
+/// (same tie-break, same meter charges).
+pub fn greedy_over_stored(
+    mut store: Tracked<(Vec<u32>, Vec<ElemId>)>,
+    universe: usize,
+    meter: &SpaceMeter,
+) -> Vec<SetId> {
+    // Drop the growth slack: the model charges what is kept, and
+    // what is kept is exactly Σ|r| ids plus the offsets.
+    store.mutate(meter, |(offsets, flat)| {
+        offsets.shrink_to_fit();
+        flat.shrink_to_fit();
+    });
+
+    // Offline greedy directly on the stored CSR (no per-set bitsets:
+    // that would square the footprint for sparse families).
+    let mut live = Tracked::new(BitSet::full(universe), meter);
+    let mut sol = Vec::new();
+    loop {
+        if live.get().is_empty() {
+            break;
+        }
+        let (offsets, flat) = store.get();
+        let mut best: Option<(usize, usize)> = None; // (gain, set)
+        for i in 0..offsets.len() - 1 {
+            let elems = &flat[offsets[i] as usize..offsets[i + 1] as usize];
+            let gain = elems.iter().filter(|&&e| live.get().contains(e)).count();
+            if gain > 0 && best.is_none_or(|(g, _)| gain > g) {
+                best = Some((gain, i));
+            }
+        }
+        let Some((_, i)) = best else { break };
+        let range = offsets[i] as usize..offsets[i + 1] as usize;
+        let elems: Vec<ElemId> = flat[range].to_vec();
+        live.mutate(meter, |l| {
+            for &e in &elems {
+                l.remove(e);
+            }
+        });
+        sol.push(i as SetId);
+    }
+
+    let _ = live.release(meter);
+    let _ = store.release(meter);
+    sol
 }
 
 #[cfg(test)]

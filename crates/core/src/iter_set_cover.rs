@@ -179,7 +179,7 @@ impl IterSetCover {
 
     /// Number of iterations per guess, `⌈1/δ⌉`.
     pub fn iterations(&self) -> usize {
-        (1.0 / self.cfg.delta).ceil() as usize
+        iterations_for(&self.cfg)
     }
 
     /// The active configuration.
@@ -188,13 +188,7 @@ impl IterSetCover {
     }
 
     pub(crate) fn sample_size(&self, k: usize, n: usize, m: usize) -> usize {
-        if self.cfg.paper_constants {
-            let rho = self.cfg.solver.rho(n);
-            iter_set_cover_sample_size(self.cfg.sample_constant, rho, k, n, m, self.cfg.delta)
-        } else {
-            let size = self.cfg.sample_constant * k as f64 * (n.max(2) as f64).powf(self.cfg.delta);
-            size.ceil().max(1.0) as usize
-        }
+        sample_size_for(&self.cfg, k, n, m)
     }
 
     /// Runs the branch for one guess `k`. Returns the emitted cover, or
@@ -486,6 +480,26 @@ impl IterSetCover {
 /// identical sample streams for the same guess.
 pub(crate) fn guess_rng_seed(seed: u64, k: usize) -> u64 {
     seed.wrapping_add(0x9e37_79b9 * k as u64)
+}
+
+/// `⌈1/δ⌉` iterations, derivable from the configuration alone so the
+/// standalone driver ([`crate::multiplex::IterCoverDriver`]) does not
+/// need an [`IterSetCover`] instance.
+pub(crate) fn iterations_for(cfg: &IterSetCoverConfig) -> usize {
+    (1.0 / cfg.delta).ceil() as usize
+}
+
+/// The per-iteration sample size for guess `k` under `cfg` — the same
+/// formula [`IterSetCover::run`] uses, factored out for external
+/// drivers.
+pub(crate) fn sample_size_for(cfg: &IterSetCoverConfig, k: usize, n: usize, m: usize) -> usize {
+    if cfg.paper_constants {
+        let rho = cfg.solver.rho(n);
+        iter_set_cover_sample_size(cfg.sample_constant, rho, k, n, m, cfg.delta)
+    } else {
+        let size = cfg.sample_constant * k as f64 * (n.max(2) as f64).powf(cfg.delta);
+        size.ceil().max(1.0) as usize
+    }
 }
 
 #[cfg(test)]

@@ -26,14 +26,17 @@
 
 pub mod baselines;
 mod iter_set_cover;
-mod multiplex;
+pub mod multiplex;
 pub mod partial;
+pub mod partial_machine;
 mod projstore;
 pub mod sampling;
 
 pub use iter_set_cover::{GuessExecutor, IterSetCover, IterSetCoverConfig, IterationTrace};
+pub use multiplex::IterCoverDriver;
 pub use partial::{
-    run_partial, PartialChakrabartiWirth, PartialEmekRosen, PartialIterSetCover,
+    coverage_goal, run_partial, PartialChakrabartiWirth, PartialEmekRosen, PartialIterSetCover,
     PartialProgressiveGreedy, PartialReport, PartialStreamingSetCover,
 };
+pub use partial_machine::PartialCoverDriver;
 pub use projstore::ProjStore;

@@ -16,7 +16,7 @@
 //!        └──> Cleanup ──> Finished(Done | Failed)
 //! ```
 //!
-//! The driver ([`run_multiplexed`]) repeatedly asks which guesses still
+//! The driver ([`IterCoverDriver`]) repeatedly asks which guesses still
 //! want a scan, performs **one** shared physical pass via
 //! [`SetStream::shared_pass`], and hands every item to every
 //! participating guess. Between scans each guess does its non-streaming
@@ -31,12 +31,22 @@
 //! within a scan), and the per-item hot paths run on the word-batched
 //! `sc_bitset` slice kernels instead of per-element loops.
 //!
+//! The driver is public so that a scheduler serving *many* queries can
+//! apply the same trick one level up: `sc_service` admits several
+//! [`IterCoverDriver`]s (and its other query machines) into shared
+//! *scan epochs*, concatenating their [`participants`]
+//! lists into one [`SetStream::shared_pass`] per epoch — physical scans
+//! per epoch group = the maximum logical pass count over all admitted
+//! queries, not the sum.
+//!
+//! [`participants`]: IterCoverDriver::participants
+//!
 //! [`SetStream::absorb_parallel`]: sc_stream::SetStream::absorb_parallel
 //! [`SetStream::shared_pass`]: sc_stream::SetStream::shared_pass
 //! [`SetStream`]: sc_stream::SetStream
 //! [`SpaceMeter`]: sc_stream::SpaceMeter
 
-use crate::iter_set_cover::{guess_rng_seed, offline_solve};
+use crate::iter_set_cover::{guess_rng_seed, iterations_for, offline_solve, sample_size_for};
 use crate::projstore::ProjStore;
 use crate::sampling::sample_from_bitset_into;
 use crate::{IterSetCover, IterSetCoverConfig, IterationTrace};
@@ -107,12 +117,12 @@ struct GuessRun<'a> {
 }
 
 impl<'a> GuessRun<'a> {
-    fn new(alg: &IterSetCover, k: usize, stream: &SetStream<'a>, meter: &SpaceMeter) -> Self {
+    fn new(cfg: &IterSetCoverConfig, k: usize, stream: &SetStream<'a>, meter: &SpaceMeter) -> Self {
         let n = stream.universe();
         let m = stream.num_sets();
         let child_stream = stream.fork();
         let child_meter = meter.fork();
-        let rng = StdRng::seed_from_u64(guess_rng_seed(alg.cfg().seed, k));
+        let rng = StdRng::seed_from_u64(guess_rng_seed(cfg.seed, k));
         // Same charges, same order as the sequential executor: the
         // residual bitmap U, the membership mask of emitted sets, and
         // the emitted ids (read back during pass 2, so they stay
@@ -122,10 +132,10 @@ impl<'a> GuessRun<'a> {
         let sol = Tracked::new(Vec::new(), &child_meter);
         let mut run = Self {
             k,
-            cfg: *alg.cfg(),
+            cfg: *cfg,
             universe: n,
-            max_iterations: alg.iterations(),
-            sample_want: alg.sample_size(k, n, m),
+            max_iterations: iterations_for(cfg),
+            sample_want: sample_size_for(cfg, k, n, m),
             stream: child_stream,
             meter: child_meter,
             rng,
@@ -430,6 +440,255 @@ impl<'a> GuessRun<'a> {
     }
 }
 
+/// The multi-guess pass machine behind [`GuessExecutor::Multiplexed`](crate::GuessExecutor),
+/// exposed so drivers other than [`IterSetCover::run`] — notably the
+/// `sc_service` scan scheduler — can advance an `iterSetCover` query
+/// one shared physical scan at a time while interleaving it with other
+/// queries on the same repository.
+///
+/// The driver owns one [`GuessRun`] state machine per guess `k = 2^i`
+/// (each with its own forked stream counter, forked space meter, and
+/// seeded RNG) and performs exactly the operations of the sequential
+/// executor in exactly the same order, so covers, logical pass counts,
+/// space peaks, and iteration traces are bit-identical to a solo run —
+/// the `multiplex_equivalence` test pins this.
+///
+/// # Scan protocol
+///
+/// ```text
+/// while driver.wants_scan() {
+///     driver.begin_scan();                      // build lane masks
+///     let items = stream.shared_pass(&driver.participants());
+///     for (id, elems) in items { driver.absorb(id, elems); }
+///     driver.end_scan();                        // between-scan work
+/// }
+/// let (cover, traces) = driver.finish_into(&stream, &meter);
+/// ```
+///
+/// The physical scan itself is the caller's: pass
+/// [`participants`](Self::participants) to
+/// [`SetStream::shared_pass`] (or [`sc_stream::ScanLedger::scan`]) so
+/// every live guess logs its logical pass, then feed each item to
+/// [`absorb`](Self::absorb). A scheduler serving many queries simply
+/// concatenates the participant lists of all of its drivers before one
+/// shared scan.
+pub struct IterCoverDriver<'a> {
+    guesses: Vec<GuessRun<'a>>,
+    /// Transposed leftover bitmaps: `sample_mask[e]` has bit `s` set iff
+    /// element `e` is in lane `s`'s residual. See [`Self::begin_scan`].
+    sample_mask: Vec<u64>,
+    lane_hits: Vec<Vec<ElemId>>,
+    /// Guesses joining the current scan (indices into `guesses`),
+    /// rebuilt by [`Self::begin_scan`].
+    scanning: Vec<usize>,
+    /// Guesses sharing the element traversal this scan.
+    lanes: Vec<(usize, Phase)>,
+    /// Guesses walking items through their per-guess kernels instead.
+    solo: Vec<usize>,
+    share_traversal: bool,
+}
+
+impl<'a> IterCoverDriver<'a> {
+    /// Spawns all `log₂ n` guess machines, forking per-guess streams
+    /// and meters from `stream` / `meter` (the query's parent handles,
+    /// absorbed back by [`finish_into`](Self::finish_into)).
+    pub fn new(cfg: &IterSetCoverConfig, stream: &SetStream<'a>, meter: &SpaceMeter) -> Self {
+        let n = stream.universe();
+        // All guesses k = 2^i, 0 ≤ i ≤ log n, "in parallel" (Fig 1.3).
+        let mut guesses = Vec::new();
+        let mut i = 0u32;
+        loop {
+            let k = 1usize << i;
+            guesses.push(GuessRun::new(cfg, k, stream, meter));
+            if k >= n {
+                break;
+            }
+            i += 1;
+        }
+        Self {
+            guesses,
+            sample_mask: vec![0; n],
+            lane_hits: Vec::new(),
+            scanning: Vec::new(),
+            lanes: Vec::new(),
+            solo: Vec::new(),
+            share_traversal: false,
+        }
+    }
+
+    /// `true` while at least one guess still needs a physical scan.
+    /// Every scan the driver joins must include every guess that wants
+    /// one, so physical scans = max logical passes.
+    pub fn wants_scan(&self) -> bool {
+        self.guesses.iter().any(GuessRun::wants_scan)
+    }
+
+    /// Prepares the next scan: collects the participating guesses and
+    /// builds the transposed residual masks for traversal sharing.
+    ///
+    /// Lanes: guesses sharing the element traversal this round — a
+    /// pass-1 lane's residual is its leftover sample `L` (equal to
+    /// the fresh sample at scan start), a cleanup lane's residual is
+    /// its straggler set `live`. One shared walk of the repository
+    /// feeds every lane (the repository is memory-bound, so walking
+    /// it once beats walking it per guess even for dense residuals);
+    /// a lone lane goes solo through the gather kernel instead,
+    /// skipping the mask rebuild. `u64` lanes always suffice: there
+    /// are at most log2(usize::MAX) + 1 = 64 guesses.
+    ///
+    /// The mask holds exactly the same bits as the guesses' own
+    /// (already-charged) `L` bitmaps in transposed order, so it adds
+    /// nothing to the model's space accounting: it is the simulation's
+    /// layout of the parallel branches' state, not a new algorithmic
+    /// store.
+    pub fn begin_scan(&mut self) {
+        self.scanning.clear();
+        self.scanning
+            .extend((0..self.guesses.len()).filter(|&g| self.guesses[g].wants_scan()));
+        debug_assert!(!self.scanning.is_empty(), "begin_scan on a finished driver");
+        self.lanes.clear();
+        self.solo.clear();
+        for &g in &self.scanning {
+            match self.guesses[g].phase {
+                Phase::Pass1 | Phase::Cleanup => self.lanes.push((g, self.guesses[g].phase)),
+                _ => self.solo.push(g),
+            }
+        }
+        if self.lanes.len() < 2 {
+            let lone = self.lanes.drain(..).map(|(g, _)| g);
+            self.solo.extend(lone);
+        }
+        self.share_traversal = !self.lanes.is_empty();
+        if self.share_traversal {
+            assert!(
+                self.lanes.len() <= 64,
+                "more than 64 parallel guesses cannot occur"
+            );
+            self.sample_mask.fill(0);
+            self.lane_hits.resize_with(self.lanes.len(), Vec::new);
+            for (s, &(g, phase)) in self.lanes.iter().enumerate() {
+                match phase {
+                    Phase::Pass1 => {
+                        // At scan start L equals the freshly drawn sample.
+                        let sample = self.guesses[g].sample.as_ref().expect("pass-1 state");
+                        for &e in sample.get().iter() {
+                            self.sample_mask[e as usize] |= 1 << s;
+                        }
+                    }
+                    Phase::Cleanup => {
+                        let live = self.guesses[g].live.as_ref().expect("live until finish");
+                        for e in live.get().ones() {
+                            self.sample_mask[e as usize] |= 1 << s;
+                        }
+                    }
+                    _ => unreachable!("only pass-1 and cleanup guesses become lanes"),
+                }
+            }
+        }
+    }
+
+    /// The forked streams of the guesses joining the current scan, in
+    /// guess order — hand these to [`SetStream::shared_pass`] so each
+    /// logs its logical pass. Valid after [`begin_scan`](Self::begin_scan).
+    pub fn participants(&self) -> Vec<&SetStream<'a>> {
+        self.scanning
+            .iter()
+            .map(|&g| &self.guesses[g].stream)
+            .collect()
+    }
+
+    /// Feeds one stream item to every participating guess.
+    pub fn absorb(&mut self, id: SetId, elems: &[ElemId]) {
+        if self.share_traversal {
+            // One walk over the set's elements feeds every lane:
+            // each mask load yields all lanes containing that
+            // element, and per-lane work is proportional to the
+            // lane's actual hits, not to the set size.
+            for &e in elems {
+                let mut m = self.sample_mask[e as usize];
+                while m != 0 {
+                    self.lane_hits[m.trailing_zeros() as usize].push(e);
+                    m &= m - 1;
+                }
+            }
+            for (s, &(g, phase)) in self.lanes.iter().enumerate() {
+                if self.lane_hits[s].is_empty() {
+                    continue;
+                }
+                let shrank = match phase {
+                    Phase::Pass1 => {
+                        if self.guesses[g].is_heavy(self.lane_hits[s].len()) {
+                            // Removing the hits (= elems ∩ L) is
+                            // what the heavy pick does to L.
+                            self.guesses[g].pass1_emit_heavy(id, &self.lane_hits[s]);
+                            true
+                        } else {
+                            self.guesses[g].pass1_store(id, &self.lane_hits[s]);
+                            false
+                        }
+                    }
+                    Phase::Cleanup => self.guesses[g].cleanup_hit(id, elems),
+                    _ => unreachable!("only pass-1 and cleanup guesses become lanes"),
+                };
+                if shrank {
+                    // The hit elements left this lane's residual,
+                    // so they leave its mask lane too.
+                    for &e in &self.lane_hits[s] {
+                        self.sample_mask[e as usize] &= !(1 << s);
+                    }
+                }
+                self.lane_hits[s].clear();
+            }
+        }
+        for &g in &self.solo {
+            self.guesses[g].absorb(id, elems);
+        }
+    }
+
+    /// Runs every participating guess's between-scan transition
+    /// (offline solves, iteration bookkeeping, phase changes) after the
+    /// caller exhausted the scan's items.
+    pub fn end_scan(&mut self) {
+        for &g in &self.scanning {
+            self.guesses[g].end_scan();
+        }
+    }
+
+    /// Merges the finished guesses exactly as the sequential executor
+    /// does and absorbs their pass counts (max) and space peaks (sum)
+    /// into the parent stream and meter the driver was created from.
+    /// Returns the best cover and the concatenated iteration traces.
+    ///
+    /// Merge order is guess order (k ascending), matching the
+    /// sequential path: traces concatenate to the identical sequence,
+    /// ties in the best-cover comparison resolve identically, and the
+    /// parent absorbs the same per-child pass counts and space peaks.
+    pub fn finish_into(
+        self,
+        stream: &SetStream<'a>,
+        meter: &SpaceMeter,
+    ) -> (Vec<SetId>, Vec<IterationTrace>) {
+        let mut best: Option<Vec<SetId>> = None;
+        let mut traces = Vec::new();
+        let mut child_passes = Vec::with_capacity(self.guesses.len());
+        let mut child_peaks = Vec::with_capacity(self.guesses.len());
+        for guess in self.guesses {
+            debug_assert_eq!(guess.phase, Phase::Finished);
+            traces.extend(guess.traces);
+            if let Some(sol) = guess.result {
+                if best.as_ref().is_none_or(|b| sol.len() < b.len()) {
+                    best = Some(sol);
+                }
+            }
+            child_passes.push(guess.stream.passes());
+            child_peaks.push(guess.meter.peak());
+        }
+        stream.absorb_parallel(child_passes);
+        meter.absorb_parallel(child_peaks);
+        (best.unwrap_or_default(), traces)
+    }
+}
+
 /// Advances all guesses through shared physical scans and merges their
 /// results exactly as the sequential executor does.
 pub(crate) fn run_multiplexed(
@@ -437,163 +696,18 @@ pub(crate) fn run_multiplexed(
     stream: &SetStream<'_>,
     meter: &SpaceMeter,
 ) -> Vec<SetId> {
-    let n = stream.universe();
-    // All guesses k = 2^i, 0 ≤ i ≤ log n, "in parallel" (Fig 1.3).
-    let mut guesses = Vec::new();
-    let mut i = 0u32;
-    loop {
-        let k = 1usize << i;
-        guesses.push(GuessRun::new(alg, k, stream, meter));
-        if k >= n {
-            break;
-        }
-        i += 1;
-    }
-
+    let mut driver = IterCoverDriver::new(alg.cfg(), stream, meter);
     // One shared physical scan per round; every guess that still needs
     // a pass participates, so physical scans = max logical passes.
-    //
-    // Pass-1 guesses additionally share the *element traversal*: the
-    // driver keeps a transposed view of their leftover bitmaps —
-    // `sample_mask[e]` has bit `s` set iff element `e` is in lane `s`'s
-    // leftover sample `L` — so each set's elements are walked once for
-    // all guesses instead of once per guess, and per-lane projections
-    // fall out of the mask lookups. The mask holds exactly the same
-    // bits as the guesses' own (already-charged) `L` bitmaps in
-    // transposed order, so it adds nothing to the model's space
-    // accounting: it is the simulation's layout of the parallel
-    // branches' state, not a new algorithmic store.
-    let mut sample_mask: Vec<u64> = vec![0; n];
-    let mut lane_hits: Vec<Vec<ElemId>> = Vec::new();
-    loop {
-        let scanning: Vec<usize> = (0..guesses.len())
-            .filter(|&g| guesses[g].wants_scan())
-            .collect();
-        if scanning.is_empty() {
-            break;
-        }
-        // Lanes: guesses sharing the element traversal this round — a
-        // pass-1 lane's residual is its leftover sample `L` (equal to
-        // the fresh sample at scan start), a cleanup lane's residual is
-        // its straggler set `live`. One shared walk of the repository
-        // feeds every lane (the repository is memory-bound, so walking
-        // it once beats walking it per guess even for dense residuals);
-        // a lone lane goes solo through the gather kernel instead,
-        // skipping the mask rebuild. `u64` lanes always suffice: there
-        // are at most log2(usize::MAX) + 1 = 64 guesses.
-        let mut lanes: Vec<(usize, Phase)> = Vec::new();
-        let mut solo: Vec<usize> = Vec::new();
-        for &g in &scanning {
-            match guesses[g].phase {
-                Phase::Pass1 | Phase::Cleanup => lanes.push((g, guesses[g].phase)),
-                _ => solo.push(g),
-            }
-        }
-        if lanes.len() < 2 {
-            solo.extend(lanes.drain(..).map(|(g, _)| g));
-        }
-        let share_traversal = !lanes.is_empty();
-        if share_traversal {
-            assert!(
-                lanes.len() <= 64,
-                "more than 64 parallel guesses cannot occur"
-            );
-            sample_mask.fill(0);
-            lane_hits.resize_with(lanes.len(), Vec::new);
-            for (s, &(g, phase)) in lanes.iter().enumerate() {
-                match phase {
-                    Phase::Pass1 => {
-                        // At scan start L equals the freshly drawn sample.
-                        let sample = guesses[g].sample.as_ref().expect("pass-1 state");
-                        for &e in sample.get().iter() {
-                            sample_mask[e as usize] |= 1 << s;
-                        }
-                    }
-                    Phase::Cleanup => {
-                        let live = guesses[g].live.as_ref().expect("live until finish");
-                        for e in live.get().ones() {
-                            sample_mask[e as usize] |= 1 << s;
-                        }
-                    }
-                    _ => unreachable!("only pass-1 and cleanup guesses become lanes"),
-                }
-            }
-        }
-        let items = {
-            let participants: Vec<&SetStream<'_>> =
-                scanning.iter().map(|&g| &guesses[g].stream).collect();
-            stream.shared_pass(&participants)
-        };
+    while driver.wants_scan() {
+        driver.begin_scan();
+        let items = stream.shared_pass(&driver.participants());
         for (id, elems) in items {
-            if share_traversal {
-                // One walk over the set's elements feeds every lane:
-                // each mask load yields all lanes containing that
-                // element, and per-lane work is proportional to the
-                // lane's actual hits, not to the set size.
-                for &e in elems {
-                    let mut m = sample_mask[e as usize];
-                    while m != 0 {
-                        lane_hits[m.trailing_zeros() as usize].push(e);
-                        m &= m - 1;
-                    }
-                }
-                for (s, &(g, phase)) in lanes.iter().enumerate() {
-                    if lane_hits[s].is_empty() {
-                        continue;
-                    }
-                    let shrank = match phase {
-                        Phase::Pass1 => {
-                            if guesses[g].is_heavy(lane_hits[s].len()) {
-                                // Removing the hits (= elems ∩ L) is
-                                // what the heavy pick does to L.
-                                guesses[g].pass1_emit_heavy(id, &lane_hits[s]);
-                                true
-                            } else {
-                                guesses[g].pass1_store(id, &lane_hits[s]);
-                                false
-                            }
-                        }
-                        Phase::Cleanup => guesses[g].cleanup_hit(id, elems),
-                        _ => unreachable!("only pass-1 and cleanup guesses become lanes"),
-                    };
-                    if shrank {
-                        // The hit elements left this lane's residual,
-                        // so they leave its mask lane too.
-                        for &e in &lane_hits[s] {
-                            sample_mask[e as usize] &= !(1 << s);
-                        }
-                    }
-                    lane_hits[s].clear();
-                }
-            }
-            for &g in &solo {
-                guesses[g].absorb(id, elems);
-            }
+            driver.absorb(id, elems);
         }
-        for &g in &scanning {
-            guesses[g].end_scan();
-        }
+        driver.end_scan();
     }
-
-    // Merge in guess order (k ascending), matching the sequential path:
-    // traces concatenate to the identical sequence, ties in the best-
-    // cover comparison resolve identically, and the parent absorbs the
-    // same per-child pass counts and space peaks.
-    let mut best: Option<Vec<SetId>> = None;
-    let mut child_passes = Vec::with_capacity(guesses.len());
-    let mut child_peaks = Vec::with_capacity(guesses.len());
-    for guess in guesses {
-        debug_assert_eq!(guess.phase, Phase::Finished);
-        alg.traces.extend(guess.traces);
-        if let Some(sol) = guess.result {
-            if best.as_ref().is_none_or(|b| sol.len() < b.len()) {
-                best = Some(sol);
-            }
-        }
-        child_passes.push(guess.stream.passes());
-        child_peaks.push(guess.meter.peak());
-    }
-    stream.absorb_parallel(child_passes);
-    meter.absorb_parallel(child_peaks);
-    best.unwrap_or_default()
+    let (cover, traces) = driver.finish_into(stream, meter);
+    alg.traces.extend(traces);
+    cover
 }

@@ -62,15 +62,31 @@ pub trait PartialStreamingSetCover {
     fn run(&mut self, stream: &SetStream<'_>, meter: &SpaceMeter, required: usize) -> Vec<SetId>;
 }
 
+/// The coverage goal `⌈(1-ε)·n⌉` for a universe of `n` elements.
+///
+/// # Panics
+///
+/// Panics unless `ε ∈ [0, 1)`.
+pub fn coverage_goal(n: usize, epsilon: f64) -> usize {
+    assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0,1)");
+    ((1.0 - epsilon) * n as f64).ceil() as usize
+}
+
+/// Per-guess RNG seed of the ε-partial `iterSetCover` — one fixed
+/// formula so the sequential path and the state-machine driver
+/// ([`crate::PartialCoverDriver`]) draw identical sample streams.
+pub(crate) fn partial_guess_seed(seed: u64, k: usize) -> u64 {
+    seed.wrapping_add(0x5bd1_e995 * k as u64)
+}
+
 /// Runs a partial-cover algorithm and measures coverage, passes, space.
 pub fn run_partial(
     alg: &mut dyn PartialStreamingSetCover,
     system: &SetSystem,
     epsilon: f64,
 ) -> PartialReport {
-    assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0,1)");
     let n = system.universe();
-    let required = ((1.0 - epsilon) * n as f64).ceil() as usize;
+    let required = coverage_goal(n, epsilon);
     let stream = SetStream::new(system);
     let meter = SpaceMeter::new();
     let cover = alg.run(&stream, &meter, required);
@@ -106,20 +122,7 @@ impl PartialIterSetCover {
     }
 
     fn sample_size(&self, k: usize, n: usize, m: usize) -> usize {
-        if self.cfg.paper_constants {
-            crate::sampling::iter_set_cover_sample_size(
-                self.cfg.sample_constant,
-                self.cfg.solver.rho(n),
-                k,
-                n,
-                m,
-                self.cfg.delta,
-            )
-        } else {
-            (self.cfg.sample_constant * k as f64 * (n.max(2) as f64).powf(self.cfg.delta))
-                .ceil()
-                .max(1.0) as usize
-        }
+        crate::iter_set_cover::sample_size_for(&self.cfg, k, n, m)
     }
 
     fn run_guess(
@@ -275,7 +278,7 @@ impl PartialStreamingSetCover for PartialIterSetCover {
             let k = 1usize << i;
             let cs = stream.fork();
             let cm = meter.fork();
-            let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(0x5bd1_e995 * k as u64));
+            let mut rng = StdRng::seed_from_u64(partial_guess_seed(self.cfg.seed, k));
             if let Some(sol) = self.run_guess(k, &cs, &cm, &mut rng, required) {
                 if best.as_ref().is_none_or(|b| sol.len() < b.len()) {
                     best = Some(sol);

@@ -1,0 +1,115 @@
+//! The ε-partial state-machine driver must be observationally
+//! identical to the sequential `PartialIterSetCover`: same cover (bit
+//! for bit), same logical pass count, same space peak. Only wall-clock
+//! and physical scan count may differ.
+
+use sc_core::partial::{coverage_goal, run_partial, PartialIterSetCover, PartialReport};
+use sc_core::{IterSetCoverConfig, PartialCoverDriver};
+use sc_setsystem::{gen, SetSystem};
+use sc_stream::{SetStream, SpaceMeter};
+
+/// Runs the driver form of the ε-partial algorithm the way a scheduler
+/// would: one shared physical scan per round.
+fn run_via_driver(cfg: IterSetCoverConfig, system: &SetSystem, epsilon: f64) -> PartialReport {
+    let n = system.universe();
+    let required = coverage_goal(n, epsilon);
+    let stream = SetStream::new(system);
+    let meter = SpaceMeter::new();
+    let mut driver = PartialCoverDriver::new(&cfg, required, &stream, &meter);
+    while driver.wants_scan() {
+        driver.begin_scan();
+        let items = stream.shared_pass(&driver.participants());
+        for (id, elems) in items {
+            driver.absorb(id, elems);
+        }
+        driver.end_scan();
+    }
+    let cover = driver.finish_into(&stream, &meter);
+
+    let mut covered = sc_bitset::BitSet::new(n);
+    for &id in &cover {
+        for &e in system.set(id) {
+            covered.insert(e);
+        }
+    }
+    assert_eq!(meter.current(), 0, "all charges must be released");
+    PartialReport {
+        algorithm: "driver".into(),
+        cover,
+        covered: covered.count(),
+        required,
+        passes: stream.passes(),
+        space_words: meter.peak(),
+    }
+}
+
+fn assert_equivalent(system: &SetSystem, cfg: IterSetCoverConfig, epsilon: f64, label: &str) {
+    let solo = run_partial(&mut PartialIterSetCover::new(cfg), system, epsilon);
+    let driven = run_via_driver(cfg, system, epsilon);
+    assert_eq!(driven.cover, solo.cover, "{label}: covers differ");
+    assert_eq!(driven.passes, solo.passes, "{label}: pass counts differ");
+    assert_eq!(
+        driven.space_words, solo.space_words,
+        "{label}: space peaks differ"
+    );
+    assert_eq!(driven.covered, solo.covered, "{label}: coverage differs");
+}
+
+#[test]
+fn epsilon_and_delta_sweep_on_planted_instances() {
+    let inst = gen::planted(512, 1024, 16, 11);
+    for delta in [1.0, 0.5, 0.25] {
+        for epsilon in [0.0, 0.1, 0.4] {
+            assert_equivalent(
+                &inst.system,
+                IterSetCoverConfig {
+                    delta,
+                    seed: 7,
+                    ..Default::default()
+                },
+                epsilon,
+                &format!("planted δ={delta} ε={epsilon}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn noisy_instances_and_seeds() {
+    let inst = gen::planted_noisy(300, 600, 10, 9);
+    for seed in [0, 1, 0xdead_beef] {
+        assert_equivalent(
+            &inst.system,
+            IterSetCoverConfig {
+                seed,
+                ..Default::default()
+            },
+            0.2,
+            &format!("noisy seed={seed}"),
+        );
+    }
+}
+
+#[test]
+fn uncoverable_instance_fails_identically() {
+    let system = SetSystem::from_sets(4, vec![vec![0, 1], vec![1, 2]]);
+    assert_equivalent(&system, IterSetCoverConfig::default(), 0.0, "uncoverable");
+    // With a loose enough goal the partial cover succeeds anyway.
+    assert_equivalent(&system, IterSetCoverConfig::default(), 0.3, "loose goal");
+}
+
+#[test]
+fn tiny_universes_and_required_zero() {
+    for n in [1usize, 2, 3] {
+        let system = SetSystem::from_sets(n, vec![(0..n as u32).collect()]);
+        assert_equivalent(
+            &system,
+            IterSetCoverConfig::default(),
+            0.0,
+            &format!("full single set, n={n}"),
+        );
+    }
+    // ε close to 1: required becomes tiny but non-zero (ceil).
+    let inst = gen::planted(64, 32, 4, 3);
+    assert_equivalent(&inst.system, IterSetCoverConfig::default(), 0.9, "ε=0.9");
+}

@@ -1,0 +1,263 @@
+//! Per-query pass machines the scheduler can interleave.
+//!
+//! Every admitted query becomes a [`CoverJob`]: a state machine that
+//! registers the streams needing the next logical pass
+//! ([`participants`](CoverJob::participants)), absorbs the items of one
+//! shared physical scan, and runs its between-scan work in
+//! [`end_scan`](CoverJob::end_scan). Each job owns a forked
+//! [`SetStream`] (its logical pass meter) and a private [`SpaceMeter`],
+//! so its measured passes and space are *identical* to the same query
+//! run solo — the `service_equivalence` integration test pins this for
+//! all three query kinds.
+
+use crate::query::QuerySpec;
+use sc_core::baselines::greedy_over_stored;
+use sc_core::partial::coverage_goal;
+use sc_core::{IterCoverDriver, IterSetCoverConfig, PartialCoverDriver};
+use sc_setsystem::{ElemId, SetId};
+use sc_stream::{SetStream, SpaceMeter, Tracked};
+
+/// What a finished job measured.
+#[derive(Debug)]
+pub(crate) struct JobResult {
+    /// The emitted cover.
+    pub cover: Vec<SetId>,
+    /// Logical passes charged to the query (max over branches).
+    pub logical_passes: usize,
+    /// Peak working memory in words.
+    pub space_words: usize,
+    /// The coverage goal this query had to meet.
+    pub required: usize,
+}
+
+/// A cover query advanced one shared physical scan at a time.
+///
+/// Scan protocol (driven by the scheduler): while
+/// [`wants_scan`](CoverJob::wants_scan), call
+/// [`begin_scan`](CoverJob::begin_scan), include
+/// [`participants`](CoverJob::participants) in the shared pass, feed
+/// every item to [`absorb`](CoverJob::absorb), then
+/// [`end_scan`](CoverJob::end_scan). Finally, [`finish`](CoverJob::finish).
+pub(crate) trait CoverJob<'a>: Send {
+    /// `true` while the job needs to join the next physical scan.
+    fn wants_scan(&self) -> bool;
+    /// Prepares the job for the scan it is about to join.
+    fn begin_scan(&mut self);
+    /// The forked streams that must log a logical pass for this scan.
+    fn participants(&self) -> Vec<&SetStream<'a>>;
+    /// Feeds one stream item.
+    fn absorb(&mut self, id: SetId, elems: &[ElemId]);
+    /// Runs the between-scan transition after the scan's items end.
+    fn end_scan(&mut self);
+    /// Releases the job and reports its measurements.
+    fn finish(self: Box<Self>) -> JobResult;
+}
+
+/// Builds the machine for one query spec, forking the query's pass
+/// meter off `root`.
+pub(crate) fn make_job<'a>(spec: &QuerySpec, root: &SetStream<'a>) -> Box<dyn CoverJob<'a> + 'a> {
+    match *spec {
+        QuerySpec::IterCover { delta, seed } => Box::new(IterJob::new(
+            IterSetCoverConfig {
+                delta,
+                seed,
+                ..Default::default()
+            },
+            root,
+        )),
+        QuerySpec::PartialCover {
+            epsilon,
+            delta,
+            seed,
+        } => Box::new(PartialJob::new(
+            IterSetCoverConfig {
+                delta,
+                seed,
+                ..Default::default()
+            },
+            epsilon,
+            root,
+        )),
+        QuerySpec::GreedyBaseline => Box::new(GreedyJob::new(root)),
+    }
+}
+
+/// Full-cover `iterSetCover` query: a thin ownership wrapper around
+/// [`IterCoverDriver`] holding the query's parent stream and meter.
+struct IterJob<'a> {
+    parent: SetStream<'a>,
+    meter: SpaceMeter,
+    /// `None` on the empty universe, where the solo path returns an
+    /// empty cover without forking any guess.
+    driver: Option<IterCoverDriver<'a>>,
+}
+
+impl<'a> IterJob<'a> {
+    fn new(cfg: IterSetCoverConfig, root: &SetStream<'a>) -> Self {
+        let parent = root.fork();
+        let meter = SpaceMeter::new();
+        let driver = (parent.universe() > 0).then(|| IterCoverDriver::new(&cfg, &parent, &meter));
+        Self {
+            parent,
+            meter,
+            driver,
+        }
+    }
+}
+
+impl<'a> CoverJob<'a> for IterJob<'a> {
+    fn wants_scan(&self) -> bool {
+        self.driver
+            .as_ref()
+            .is_some_and(IterCoverDriver::wants_scan)
+    }
+
+    fn begin_scan(&mut self) {
+        self.driver.as_mut().expect("active job").begin_scan();
+    }
+
+    fn participants(&self) -> Vec<&SetStream<'a>> {
+        self.driver.as_ref().expect("active job").participants()
+    }
+
+    fn absorb(&mut self, id: SetId, elems: &[ElemId]) {
+        self.driver.as_mut().expect("active job").absorb(id, elems);
+    }
+
+    fn end_scan(&mut self) {
+        self.driver.as_mut().expect("active job").end_scan();
+    }
+
+    fn finish(self: Box<Self>) -> JobResult {
+        let cover = match self.driver {
+            Some(driver) => driver.finish_into(&self.parent, &self.meter).0,
+            None => Vec::new(),
+        };
+        JobResult {
+            cover,
+            logical_passes: self.parent.passes(),
+            space_words: self.meter.peak(),
+            required: self.parent.universe(),
+        }
+    }
+}
+
+/// ε-partial `iterSetCover` query wrapping [`PartialCoverDriver`].
+struct PartialJob<'a> {
+    parent: SetStream<'a>,
+    meter: SpaceMeter,
+    driver: PartialCoverDriver<'a>,
+    required: usize,
+}
+
+impl<'a> PartialJob<'a> {
+    fn new(cfg: IterSetCoverConfig, epsilon: f64, root: &SetStream<'a>) -> Self {
+        let parent = root.fork();
+        let meter = SpaceMeter::new();
+        let required = coverage_goal(parent.universe(), epsilon);
+        let driver = PartialCoverDriver::new(&cfg, required, &parent, &meter);
+        Self {
+            parent,
+            meter,
+            driver,
+            required,
+        }
+    }
+}
+
+impl<'a> CoverJob<'a> for PartialJob<'a> {
+    fn wants_scan(&self) -> bool {
+        self.driver.wants_scan()
+    }
+
+    fn begin_scan(&mut self) {
+        self.driver.begin_scan();
+    }
+
+    fn participants(&self) -> Vec<&SetStream<'a>> {
+        self.driver.participants()
+    }
+
+    fn absorb(&mut self, id: SetId, elems: &[ElemId]) {
+        self.driver.absorb(id, elems);
+    }
+
+    fn end_scan(&mut self) {
+        self.driver.end_scan();
+    }
+
+    fn finish(self: Box<Self>) -> JobResult {
+        let cover = self.driver.finish_into(&self.parent, &self.meter);
+        JobResult {
+            cover,
+            logical_passes: self.parent.passes(),
+            space_words: self.meter.peak(),
+            required: self.required,
+        }
+    }
+}
+
+/// The store-all greedy baseline as a one-scan machine: the scan copies
+/// the repository (CSR layout), `end_scan` runs the shared
+/// [`greedy_over_stored`] half of `StoreAllGreedy` on the copy — so
+/// passes (one) and the space peak (`Θ(Σ|r|)` plus the residual bitmap)
+/// match the solo run by construction.
+struct GreedyJob<'a> {
+    parent: SetStream<'a>,
+    meter: SpaceMeter,
+    store: Option<Tracked<(Vec<u32>, Vec<ElemId>)>>,
+    result: Option<Vec<SetId>>,
+}
+
+impl<'a> GreedyJob<'a> {
+    fn new(root: &SetStream<'a>) -> Self {
+        Self {
+            parent: root.fork(),
+            meter: SpaceMeter::new(),
+            store: None,
+            result: None,
+        }
+    }
+}
+
+impl<'a> CoverJob<'a> for GreedyJob<'a> {
+    fn wants_scan(&self) -> bool {
+        self.result.is_none()
+    }
+
+    fn begin_scan(&mut self) {
+        self.store = Some(Tracked::new((vec![0u32], Vec::new()), &self.meter));
+    }
+
+    fn participants(&self) -> Vec<&SetStream<'a>> {
+        vec![&self.parent]
+    }
+
+    fn absorb(&mut self, _id: SetId, elems: &[ElemId]) {
+        self.store
+            .as_mut()
+            .expect("scan in progress")
+            .mutate(&self.meter, |(offsets, flat)| {
+                flat.extend_from_slice(elems);
+                offsets.push(flat.len() as u32);
+            });
+    }
+
+    fn end_scan(&mut self) {
+        let store = self.store.take().expect("scan in progress");
+        self.result = Some(greedy_over_stored(
+            store,
+            self.parent.universe(),
+            &self.meter,
+        ));
+    }
+
+    fn finish(self: Box<Self>) -> JobResult {
+        JobResult {
+            cover: self.result.unwrap_or_default(),
+            logical_passes: self.parent.passes(),
+            space_words: self.meter.peak(),
+            required: self.parent.universe(),
+        }
+    }
+}

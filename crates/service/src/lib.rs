@@ -1,0 +1,49 @@
+//! `sc_service` — a concurrent cover-query service that batches many
+//! queries through shared physical scans.
+//!
+//! The streaming model charges for *passes*, not CPU: the repository is
+//! read-only and every algorithm interacts with it only through
+//! sequential scans. PR 1 exploited that inside a single `iterSetCover`
+//! run (all `log₂ n` guesses ride one physical scan per logical pass —
+//! [`sc_core::multiplex`]); this crate applies the same idea one level
+//! up. A [`Service`] owns one hot [`SetSystem`](sc_setsystem::SetSystem)
+//! repository and accepts a stream of cover queries
+//! ([`QuerySpec::IterCover`], [`QuerySpec::PartialCover`],
+//! [`QuerySpec::GreedyBaseline`]) from many clients concurrently; a
+//! scan scheduler admits pending queries into **scan epochs**, each
+//! query's state machine registers the logical pass it needs next, and
+//! one [`SetStream::shared_pass`](sc_stream::SetStream::shared_pass)
+//! per epoch advances all of them — with worker threads
+//! (`std::thread::scope`) fanning the per-query state updates out
+//! across the jobs, which own disjoint state.
+//!
+//! Two guarantees, both pinned by integration tests:
+//!
+//! * **Equivalence** — a query solved through the service returns the
+//!   bit-identical cover, logical pass count, and space peak as the
+//!   same query run solo (`service_equivalence`): each job keeps its
+//!   own forked stream counter and space meter and performs exactly
+//!   the sequential operations in the same order.
+//! * **Scan sharing is real** — for `N` concurrent identical queries
+//!   the service performs `max` (not `N ×`) physical scans, recorded
+//!   by [`sc_stream::ScanLedger`] and reported in
+//!   [`ServiceMetrics::physical_scans`] (`service_scan_sharing`).
+//!
+//! Entry points: [`Service::run_batch`] for a fixed workload (all
+//! queries admitted before the first scan — what experiment E17
+//! measures) and [`Service::serve`] for concurrent clients submitting
+//! through a [`ServiceHandle`] with bounded-queue backpressure. The
+//! line protocol spoken by `sctool serve` lives in [`QuerySpec::parse`]
+//! / [`QueryOutcome::protocol_line`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod query;
+mod service;
+
+pub use query::{QueryOutcome, QuerySpec};
+pub use service::{
+    QueryTicket, Service, ServiceClosed, ServiceConfig, ServiceHandle, ServiceMetrics,
+};

@@ -1,0 +1,419 @@
+//! The scan-epoch scheduler: admission, shared scans, worker fan-out.
+
+use crate::job::{make_job, CoverJob};
+use crate::query::{QueryOutcome, QuerySpec};
+use sc_bitset::BitSet;
+use sc_setsystem::{ElemId, SetId, SetSystem};
+use sc_stream::{ScanLedger, SetStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of the service.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Queries admitted into concurrent scan epochs at once; admission
+    /// beyond this waits for a slot (the scheduler's half of
+    /// backpressure).
+    pub max_inflight: usize,
+    /// Worker threads fanning out per-query state updates within one
+    /// scan (`std::thread::scope`; the queries are disjoint state, so
+    /// the fan-out never touches accounting). `1` disables threading.
+    pub workers: usize,
+    /// Bound of the submission queue; [`ServiceHandle::submit`] blocks
+    /// once this many queries wait unadmitted (the client's half of
+    /// backpressure).
+    pub queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_inflight: 64,
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(8),
+            queue_depth: 256,
+        }
+    }
+}
+
+/// Aggregate counters of one service run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceMetrics {
+    /// Physical scans of the repository the service actually performed
+    /// — the number scan sharing is measured against (compare with the
+    /// sum of per-query `logical_passes`).
+    pub physical_scans: usize,
+    /// Queries completed.
+    pub queries_completed: usize,
+    /// Largest number of queries concurrently inside scan epochs.
+    pub max_inflight_seen: usize,
+    /// Wall-clock from first admission to last retirement.
+    pub elapsed: Duration,
+}
+
+/// Error returned when the service has shut down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceClosed;
+
+impl std::fmt::Display for ServiceClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "service closed")
+    }
+}
+
+impl std::error::Error for ServiceClosed {}
+
+/// A pending reply for one submitted query.
+#[derive(Debug)]
+pub struct QueryTicket {
+    /// The service-assigned query id.
+    pub id: u64,
+    rx: Receiver<QueryOutcome>,
+}
+
+impl QueryTicket {
+    /// Blocks until the query completes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceClosed`] if the scheduler exited before serving it.
+    pub fn wait(self) -> Result<QueryOutcome, ServiceClosed> {
+        self.rx.recv().map_err(|_| ServiceClosed)
+    }
+}
+
+/// Clonable submission endpoint handed to client code by
+/// [`Service::serve`]. Dropping every clone closes the queue; the
+/// scheduler then drains what is inflight and exits.
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    tx: SyncSender<Submission>,
+    counter: Arc<AtomicU64>,
+}
+
+impl ServiceHandle {
+    /// Enqueues a query; blocks when the submission queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceClosed`] if the scheduler already exited.
+    pub fn submit(&self, spec: QuerySpec) -> Result<QueryTicket, ServiceClosed> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        let id = self.counter.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .send(Submission {
+                id,
+                spec,
+                submitted: Instant::now(),
+                reply,
+            })
+            .map_err(|_| ServiceClosed)?;
+        Ok(QueryTicket { id, rx })
+    }
+}
+
+struct Submission {
+    id: u64,
+    spec: QuerySpec,
+    submitted: Instant,
+    reply: SyncSender<QueryOutcome>,
+}
+
+/// One admitted query inside the epoch loop.
+struct Inflight<'a> {
+    id: u64,
+    spec: QuerySpec,
+    job: Box<dyn CoverJob<'a> + 'a>,
+    submitted: Instant,
+    admitted: Instant,
+    epochs_joined: usize,
+    /// `None` in batch mode (outcomes are returned positionally).
+    reply: Option<SyncSender<QueryOutcome>>,
+}
+
+/// A multi-tenant, in-process cover-query engine over one repository.
+///
+/// The service holds the [`SetSystem`] and serves streams of cover
+/// queries by batching them through shared physical scans: pending
+/// queries are admitted into *scan epochs*, every admitted query
+/// registers the logical pass it needs next, and one
+/// [`SetStream::shared_pass`] per epoch advances all of them — so the
+/// physical scan count of a group of concurrent queries is the *max*
+/// of their logical pass counts, not the sum, exactly the accounting
+/// the streaming model charges for parallel branches.
+///
+/// # Examples
+///
+/// ```
+/// use sc_service::{QuerySpec, Service, ServiceConfig};
+/// use sc_setsystem::gen;
+///
+/// let inst = gen::planted(256, 512, 8, 7);
+/// let service = Service::new(inst.system, ServiceConfig::default());
+/// let specs = vec![QuerySpec::IterCover { delta: 0.5, seed: 1 }; 8];
+/// let (outcomes, metrics) = service.run_batch(&specs);
+/// assert!(outcomes.iter().all(|o| o.goal_met()));
+/// // Eight identical queries rode the same physical scans.
+/// assert_eq!(metrics.physical_scans, outcomes[0].logical_passes);
+/// ```
+#[derive(Debug)]
+pub struct Service {
+    system: SetSystem,
+    cfg: ServiceConfig,
+}
+
+impl Service {
+    /// Wraps a repository with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_inflight`, `workers`, or `queue_depth` is zero.
+    pub fn new(system: SetSystem, cfg: ServiceConfig) -> Self {
+        assert!(cfg.max_inflight > 0, "max_inflight must be positive");
+        assert!(cfg.workers > 0, "workers must be positive");
+        assert!(cfg.queue_depth > 0, "queue_depth must be positive");
+        Self { system, cfg }
+    }
+
+    /// The repository being served.
+    pub fn system(&self) -> &SetSystem {
+        &self.system
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Solves a batch of queries through shared scan epochs, all
+    /// admitted before the first scan (up to `max_inflight` at a time).
+    /// Outcomes come back in submission order.
+    pub fn run_batch(&self, specs: &[QuerySpec]) -> (Vec<QueryOutcome>, ServiceMetrics) {
+        let start = Instant::now();
+        let root = SetStream::new(&self.system);
+        let ledger = ScanLedger::new();
+        let mut outcomes: Vec<Option<QueryOutcome>> = (0..specs.len()).map(|_| None).collect();
+        let mut metrics = ServiceMetrics::default();
+        let mut next = 0usize;
+        let mut inflight: Vec<(usize, Inflight<'_>)> = Vec::new();
+        loop {
+            while next < specs.len() && inflight.len() < self.cfg.max_inflight {
+                // The whole batch is "submitted" when run_batch starts,
+                // so queries that wait epochs for a `max_inflight` slot
+                // report that wait in `queue_wait` / `latency`.
+                let fl = Inflight {
+                    id: next as u64,
+                    spec: specs[next],
+                    job: make_job(&specs[next], &root),
+                    submitted: start,
+                    admitted: Instant::now(),
+                    epochs_joined: 0,
+                    reply: None,
+                };
+                inflight.push((next, fl));
+                next += 1;
+            }
+            metrics.max_inflight_seen = metrics.max_inflight_seen.max(inflight.len());
+            self.retire(&mut inflight, |slot, outcome| {
+                outcomes[slot] = Some(outcome);
+            });
+            if inflight.is_empty() {
+                if next >= specs.len() {
+                    break;
+                }
+                continue;
+            }
+            self.epoch(&root, &ledger, &mut inflight);
+        }
+        metrics.physical_scans = ledger.physical_scans();
+        metrics.queries_completed = specs.len();
+        metrics.elapsed = start.elapsed();
+        (
+            outcomes
+                .into_iter()
+                .map(|o| o.expect("all served"))
+                .collect(),
+            metrics,
+        )
+    }
+
+    /// Serves queries submitted concurrently through a
+    /// [`ServiceHandle`]: `clients` runs on the calling thread while
+    /// the scheduler runs beside it; when `clients` returns (and every
+    /// handle clone it made is dropped), the scheduler drains the
+    /// remaining queries and the call returns.
+    ///
+    /// Admission happens at epoch boundaries: new queries wait until
+    /// the current scan completes, then join the next epoch (subject to
+    /// `max_inflight`).
+    pub fn serve<R, F>(&self, clients: F) -> (R, ServiceMetrics)
+    where
+        F: FnOnce(ServiceHandle) -> R,
+    {
+        let (tx, rx) = mpsc::sync_channel(self.cfg.queue_depth);
+        let handle = ServiceHandle {
+            tx,
+            counter: Arc::new(AtomicU64::new(0)),
+        };
+        std::thread::scope(|s| {
+            let scheduler = s.spawn(|| self.scheduler(rx));
+            let r = clients(handle);
+            let metrics = scheduler.join().expect("scheduler panicked");
+            (r, metrics)
+        })
+    }
+
+    /// The serve-mode scheduler: admission from the queue, one shared
+    /// scan per epoch, replies on completion.
+    fn scheduler(&self, rx: Receiver<Submission>) -> ServiceMetrics {
+        let start = Instant::now();
+        let root = SetStream::new(&self.system);
+        let ledger = ScanLedger::new();
+        let mut inflight: Vec<(usize, Inflight<'_>)> = Vec::new();
+        let mut metrics = ServiceMetrics::default();
+        let mut open = true;
+        loop {
+            // Admission at the epoch boundary. Block only when idle.
+            while open && inflight.len() < self.cfg.max_inflight {
+                let sub = if inflight.is_empty() {
+                    rx.recv().map_err(|_| TryRecvError::Disconnected)
+                } else {
+                    rx.try_recv()
+                };
+                match sub {
+                    Ok(sub) => {
+                        let admitted = Instant::now();
+                        // The slot mirrors the submission id: serve
+                        // mode routes outcomes by reply channel, but
+                        // the slot stays meaningful either way.
+                        inflight.push((
+                            sub.id as usize,
+                            Inflight {
+                                id: sub.id,
+                                spec: sub.spec,
+                                job: make_job(&sub.spec, &root),
+                                submitted: sub.submitted,
+                                admitted,
+                                epochs_joined: 0,
+                                reply: Some(sub.reply),
+                            },
+                        ));
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        open = false;
+                        break;
+                    }
+                }
+            }
+            metrics.max_inflight_seen = metrics.max_inflight_seen.max(inflight.len());
+            let mut completed = 0usize;
+            self.retire(&mut inflight, |_slot, _outcome| completed += 1);
+            metrics.queries_completed += completed;
+            if inflight.is_empty() {
+                if !open {
+                    break;
+                }
+                continue;
+            }
+            self.epoch(&root, &ledger, &mut inflight);
+        }
+        metrics.physical_scans = ledger.physical_scans();
+        metrics.elapsed = start.elapsed();
+        metrics
+    }
+
+    /// Runs one scan epoch: every inflight job joins one shared
+    /// physical pass, with worker threads fanning the per-query state
+    /// updates out across the jobs.
+    fn epoch<'a>(
+        &'a self,
+        root: &SetStream<'a>,
+        ledger: &ScanLedger,
+        inflight: &mut [(usize, Inflight<'a>)],
+    ) {
+        for (_, fl) in inflight.iter_mut() {
+            fl.job.begin_scan();
+            fl.epochs_joined += 1;
+        }
+        let items: Vec<(SetId, &[ElemId])> = {
+            let participants: Vec<&SetStream<'a>> = inflight
+                .iter()
+                .flat_map(|(_, fl)| fl.job.participants())
+                .collect();
+            ledger.scan(root, &participants).collect()
+        };
+        let workers = self.cfg.workers.min(inflight.len());
+        if workers > 1 {
+            let chunk = inflight.len().div_ceil(workers);
+            let items = &items;
+            std::thread::scope(|s| {
+                for slice in inflight.chunks_mut(chunk) {
+                    s.spawn(move || {
+                        for (_, fl) in slice {
+                            for &(id, elems) in items {
+                                fl.job.absorb(id, elems);
+                            }
+                        }
+                    });
+                }
+            });
+        } else {
+            for (_, fl) in inflight.iter_mut() {
+                for &(id, elems) in &items {
+                    fl.job.absorb(id, elems);
+                }
+            }
+        }
+        for (_, fl) in inflight.iter_mut() {
+            fl.job.end_scan();
+        }
+    }
+
+    /// Retires every job that no longer wants a scan, building its
+    /// outcome and delivering it (reply channel in serve mode, `sink`
+    /// callback in batch mode). Retirement order is admission order so
+    /// batch outcomes are deterministic.
+    fn retire<'a>(
+        &self,
+        inflight: &mut Vec<(usize, Inflight<'a>)>,
+        mut sink: impl FnMut(usize, QueryOutcome),
+    ) {
+        let mut i = 0;
+        while i < inflight.len() {
+            if inflight[i].1.job.wants_scan() {
+                i += 1;
+                continue;
+            }
+            let (slot, fl) = inflight.remove(i);
+            let result = fl.job.finish();
+            let mut covered = BitSet::new(self.system.universe());
+            for &id in &result.cover {
+                for &e in self.system.set(id) {
+                    covered.insert(e);
+                }
+            }
+            let outcome = QueryOutcome {
+                id: fl.id,
+                spec: fl.spec,
+                cover: result.cover,
+                covered: covered.count(),
+                required: result.required,
+                logical_passes: result.logical_passes,
+                space_words: result.space_words,
+                epochs_joined: fl.epochs_joined,
+                queue_wait: fl.admitted.duration_since(fl.submitted),
+                latency: fl.submitted.elapsed(),
+            };
+            if let Some(reply) = fl.reply {
+                // The client may have dropped its ticket; that is fine.
+                let _ = reply.send(outcome.clone());
+            }
+            sink(slot, outcome);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Scan sharing must be real and measured: N concurrent queries cost
+//! the *maximum* of their logical pass counts in physical scans, not
+//! the sum — plus the concurrent serve path must drain cleanly under
+//! backpressure.
+
+use sc_core::{IterSetCover, IterSetCoverConfig};
+use sc_service::{QuerySpec, Service, ServiceConfig};
+use sc_setsystem::gen;
+use sc_stream::run_reported;
+
+#[test]
+fn eight_identical_queries_ride_one_query_worth_of_scans() {
+    let inst = gen::planted(512, 1024, 16, 11);
+    let spec = QuerySpec::IterCover {
+        delta: 0.5,
+        seed: 7,
+    };
+    let mut solo_alg = IterSetCover::new(IterSetCoverConfig {
+        delta: 0.5,
+        seed: 7,
+        ..Default::default()
+    });
+    let solo = run_reported(&mut solo_alg, &inst.system);
+
+    let service = Service::new(inst.system.clone(), ServiceConfig::default());
+    let n = 8;
+    let (outcomes, metrics) = service.run_batch(&vec![spec; n]);
+    for outcome in &outcomes {
+        assert_eq!(outcome.cover, solo.cover, "identical queries, same cover");
+        assert_eq!(outcome.logical_passes, solo.passes);
+        assert_eq!(outcome.space_words, solo.space_words);
+    }
+    // The acceptance bound is solo + O(1) epoch overhead; with batch
+    // admission the sharing is in fact perfect.
+    assert_eq!(
+        metrics.physical_scans, solo.passes,
+        "N identical queries must share every physical scan"
+    );
+    assert!(metrics.physical_scans + 1 < n * solo.passes);
+}
+
+#[test]
+fn admission_beyond_max_inflight_waves_through() {
+    let inst = gen::planted(256, 512, 8, 5);
+    let spec = QuerySpec::IterCover {
+        delta: 0.5,
+        seed: 1,
+    };
+    let service = Service::new(
+        inst.system.clone(),
+        ServiceConfig {
+            max_inflight: 4,
+            ..Default::default()
+        },
+    );
+    let (outcomes, metrics) = service.run_batch(&vec![spec; 12]);
+    assert!(outcomes.iter().all(|o| o.goal_met()));
+    assert!(metrics.max_inflight_seen <= 4);
+    // Three admission waves of 4 identical queries each: each wave
+    // shares its scans, so physical scans ≈ 3 × solo, well under 12 ×.
+    let solo_passes = outcomes[0].logical_passes;
+    assert!(metrics.physical_scans <= 3 * solo_passes);
+    assert!(metrics.physical_scans < 12 * solo_passes);
+}
+
+#[test]
+fn concurrent_clients_drain_cleanly() {
+    let inst = gen::planted(256, 512, 8, 3);
+    let service = Service::new(
+        inst.system.clone(),
+        ServiceConfig {
+            max_inflight: 16,
+            workers: 4,
+            queue_depth: 4, // force submit-side backpressure
+        },
+    );
+    let clients: u64 = 4;
+    let per_client: u64 = 6;
+    let ((), metrics) = service.serve(|handle| {
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let handle = handle.clone();
+                s.spawn(move || {
+                    let tickets: Vec<_> = (0..per_client)
+                        .map(|q| {
+                            let spec = match q % 3 {
+                                0 => QuerySpec::IterCover {
+                                    delta: 0.5,
+                                    seed: c * 100 + q,
+                                },
+                                1 => QuerySpec::PartialCover {
+                                    epsilon: 0.2,
+                                    delta: 0.5,
+                                    seed: c * 100 + q,
+                                },
+                                _ => QuerySpec::GreedyBaseline,
+                            };
+                            handle.submit(spec).expect("service open")
+                        })
+                        .collect();
+                    for t in tickets {
+                        let outcome = t.wait().expect("query served");
+                        assert!(outcome.goal_met(), "{}", outcome.protocol_line());
+                    }
+                });
+            }
+        });
+    });
+    assert_eq!(
+        metrics.queries_completed,
+        (clients * per_client) as usize,
+        "every submitted query must complete before serve returns"
+    );
+    assert!(metrics.physical_scans > 0);
+    assert!(metrics.max_inflight_seen >= 2, "epochs actually batched");
+}
+
+#[test]
+fn dropped_tickets_do_not_wedge_the_scheduler() {
+    let inst = gen::planted(64, 128, 4, 1);
+    let service = Service::new(inst.system, ServiceConfig::default());
+    let ((), metrics) = service.serve(|handle| {
+        // Submit and walk away: the scheduler must still serve the
+        // query (the reply just lands nowhere) and exit cleanly.
+        let _ = handle.submit(QuerySpec::GreedyBaseline).expect("open");
+        let ticket = handle.submit(QuerySpec::GreedyBaseline).expect("open");
+        drop(ticket);
+    });
+    assert_eq!(metrics.queries_completed, 2);
+}

@@ -24,6 +24,29 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
     })
 }
 
+/// Instances biased toward the format's edge cases: empty sets,
+/// singleton universes, and sets holding the maximal element id
+/// `universe - 1` (the largest delta-varint gap the encoder emits).
+fn arb_edge_instance() -> impl Strategy<Value = Instance> {
+    (1usize..64).prop_flat_map(|universe| {
+        let max_id = universe as u32 - 1;
+        let set = prop_oneof![
+            Just(Vec::new()),   // empty set
+            Just(vec![max_id]), // maximal id alone
+            proptest::collection::vec(0..universe as u32, 0..16).prop_map(move |mut v| {
+                v.push(max_id); // force the max id in (from_sets dedups)
+                v
+            }),
+        ];
+        let sets = proptest::collection::vec(set, 0..12);
+        (Just(universe), sets).prop_map(|(universe, sets)| Instance {
+            system: SetSystem::from_sets(universe, sets),
+            planted: None,
+            label: "edge".into(),
+        })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -39,6 +62,37 @@ proptest! {
         }
         prop_assert_eq!(back.planted, inst.planted);
         prop_assert_eq!(back.label, inst.label);
+    }
+
+    #[test]
+    fn text_binary_text_chain_is_lossless(inst in arb_instance()) {
+        // text → binary → text: the full conversion pipeline `sctool
+        // convert` exercises must be the identity on the text form.
+        // One initial text round-trip normalises the label (the reader
+        // trims whitespace and names label-less instances "from-file").
+        let via_text = sc_setsystem::io::from_str(&sc_setsystem::io::to_string(&inst)).unwrap();
+        let text1 = sc_setsystem::io::to_string(&via_text);
+        let mut bytes = Vec::new();
+        binary::write_instance_binary(&mut bytes, &via_text).unwrap();
+        let via_binary = binary::read_instance_binary(&bytes[..]).unwrap();
+        let text2 = sc_setsystem::io::to_string(&via_binary);
+        prop_assert_eq!(text1, text2);
+    }
+
+    #[test]
+    fn edge_instances_survive_the_conversion_chain(inst in arb_edge_instance()) {
+        // Empty sets, singleton universes, and maximal element ids are
+        // exactly where length prefixes and delta gaps degenerate.
+        let text1 = sc_setsystem::io::to_string(&inst);
+        let mut bytes = Vec::new();
+        binary::write_instance_binary(&mut bytes, &inst).unwrap();
+        let back = binary::read_instance_binary(&bytes[..]).unwrap();
+        prop_assert_eq!(back.system.universe(), inst.system.universe());
+        for (id, elems) in inst.system.iter() {
+            prop_assert_eq!(back.system.set(id), elems);
+        }
+        let text2 = sc_setsystem::io::to_string(&back);
+        prop_assert_eq!(text1, text2);
     }
 
     #[test]

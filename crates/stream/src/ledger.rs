@@ -1,0 +1,124 @@
+//! Multi-owner shared-scan accounting for a driver that serves many
+//! independent streaming computations over one repository.
+
+use crate::SetStream;
+use std::cell::Cell;
+
+/// Counts the *physical* scans a multiplexing driver performs on behalf
+/// of many logically independent pass owners.
+///
+/// [`SetStream::shared_pass`] already lets one parent execute a single
+/// scan for several of its own parallel branches; a serving layer goes
+/// one level up — branches of *different* queries, each with its own
+/// pass meter, join the same physical walk of the repository. The
+/// ledger is the driver-side record of that sharing: every call to
+/// [`scan`](ScanLedger::scan) performs exactly one physical pass
+/// (whoever joined it), so `physical_scans()` is the number the
+/// hardware paid for, while each participant's own
+/// [`passes`](SetStream::passes) counter keeps charging the logical
+/// passes its query's analysis is billed for.
+///
+/// The ledger deliberately does *not* touch any [`SetStream`] counter
+/// itself: logical accounting stays with the per-query forks (absorbed
+/// into their parents via [`SetStream::absorb_parallel`] as usual), and
+/// the physical count lives here, so "how much scan sharing happened"
+/// is always `max logical / physical` per epoch group rather than an
+/// estimate.
+///
+/// # Examples
+///
+/// ```
+/// use sc_setsystem::SetSystem;
+/// use sc_stream::{ScanLedger, SetStream};
+///
+/// let system = SetSystem::from_sets(3, vec![vec![0, 1], vec![2]]);
+/// let root = SetStream::new(&system);
+/// let (a, b) = (root.fork(), root.fork());
+/// let ledger = ScanLedger::new();
+/// // Two queries' passes ride one physical scan.
+/// for (_id, _elems) in ledger.scan(&root, &[&a, &b]) {}
+/// assert_eq!(ledger.physical_scans(), 1);
+/// assert_eq!((a.passes(), b.passes()), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct ScanLedger {
+    physical: Cell<usize>,
+}
+
+impl ScanLedger {
+    /// Fresh ledger with zero physical scans.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of physical scans performed through this ledger.
+    pub fn physical_scans(&self) -> usize {
+        self.physical.get()
+    }
+
+    /// Performs one physical scan of `stream`'s repository on behalf of
+    /// `participants`, each of which logs one logical pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is empty or if any participant is not a
+    /// fork of `stream`'s repository (see [`SetStream::shared_pass`]).
+    pub fn scan<'a>(
+        &self,
+        stream: &SetStream<'a>,
+        participants: &[&SetStream<'a>],
+    ) -> impl Iterator<Item = (sc_setsystem::SetId, &'a [sc_setsystem::ElemId])> {
+        self.physical.set(self.physical.get() + 1);
+        stream.shared_pass(participants)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_setsystem::SetSystem;
+
+    fn system() -> SetSystem {
+        SetSystem::from_sets(4, vec![vec![0], vec![1, 2], vec![3]])
+    }
+
+    #[test]
+    fn physical_count_is_per_scan_not_per_participant() {
+        let sys = system();
+        let root = SetStream::new(&sys);
+        let queries: Vec<SetStream> = (0..8).map(|_| root.fork()).collect();
+        let ledger = ScanLedger::new();
+        let participants: Vec<&SetStream> = queries.iter().collect();
+        for _ in 0..3 {
+            let items: Vec<_> = ledger.scan(&root, &participants).collect();
+            assert_eq!(items.len(), 3);
+        }
+        assert_eq!(ledger.physical_scans(), 3);
+        for q in &queries {
+            assert_eq!(q.passes(), 3, "each owner logged one pass per scan");
+        }
+        assert_eq!(root.passes(), 0, "the root is never charged directly");
+    }
+
+    #[test]
+    fn late_joiners_log_only_their_scans() {
+        let sys = system();
+        let root = SetStream::new(&sys);
+        let early = root.fork();
+        let late = root.fork();
+        let ledger = ScanLedger::new();
+        for (_id, _e) in ledger.scan(&root, &[&early]) {}
+        for (_id, _e) in ledger.scan(&root, &[&early, &late]) {}
+        assert_eq!(ledger.physical_scans(), 2);
+        assert_eq!((early.passes(), late.passes()), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participating branch")]
+    fn empty_scan_groups_are_rejected() {
+        let sys = system();
+        let root = SetStream::new(&sys);
+        let ledger = ScanLedger::new();
+        let _ = ledger.scan(&root, &[]);
+    }
+}

@@ -28,12 +28,19 @@
 //! simulation, then [`SetStream::absorb_parallel`] adds the *maximum*
 //! child pass count and [`SpaceMeter::absorb_parallel`] charges the *sum*
 //! of child peaks (parallel executions hold their memory simultaneously).
+//!
+//! One level above a single algorithm, a serving layer can batch the
+//! logical passes of *many independent queries* onto shared physical
+//! scans; [`ScanLedger`] is the driver-side account of that sharing —
+//! physical scans counted once per walk, logical passes still charged
+//! per owner.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod harness;
 mod item_stream;
+mod ledger;
 mod report;
 mod set_stream;
 mod space;
@@ -41,6 +48,7 @@ mod tracked;
 
 pub use harness::{run_budgeted, run_reported, StreamingSetCover};
 pub use item_stream::ItemStream;
+pub use ledger::ScanLedger;
 pub use report::RunReport;
 pub use set_stream::SetStream;
 pub use space::SpaceMeter;

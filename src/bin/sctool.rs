@@ -4,17 +4,23 @@
 //! ```text
 //! sctool gen planted --n 2048 --m 4096 --k 16 --seed 7 > inst.sc
 //! sctool info inst.sc
-//! sctool solve iter inst.sc --delta 0.5
+//! sctool gen planted --binary | sctool solve iter -
 //! sctool solve all inst.sc
 //! sctool exact inst.sc
 //! sctool certify inst.sc
 //! sctool convert inst.sc inst.scb      # text -> SCB1 binary
 //! sctool convert inst.scb roundtrip.sc # binary -> text
+//! printf 'iter\npartial eps=0.2\ngreedy\n' | sctool serve inst.sc
+//! sctool serve inst.sc --listen 127.0.0.1:7431 &
+//! sctool client --connect 127.0.0.1:7431 --queries 16 --concurrency 4
 //! ```
 //!
 //! Instance files are text (`sc_setsystem::io`) or `SCB1` binary
 //! (`sc_setsystem::binary`); readers sniff the magic, so either format
-//! works wherever a file is accepted.
+//! works wherever a file is accepted — including `-` for stdin.
+//! `serve` runs the `sc_service` scan scheduler over a line protocol
+//! (one query per line — see `sc_service::QuerySpec::parse`) on stdin
+//! or a TCP listener; `client` is the matching load generator.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -46,10 +52,13 @@ const USAGE: &str = "usage:
   sctool exact <file> [--budget NODES]
   sctool certify <file>
   sctool convert <in> <out>              (format chosen by .scb extension)
+  sctool serve <file> [--listen HOST:PORT] [--inflight N] [--workers N]
+  sctool client --connect HOST:PORT [--queries N] [--concurrency C] [--spec QUERY] [--shutdown]
   sctool geomgen <discs|rects|triangles|clustered|grid|twoline> [--n N] [--m M] [--k K] [--half H] [--seed SEED]
   sctool geomsolve <file> [--delta D] [--no-canonical] [--bg]
 
-files: text format everywhere; SCB1 binary is sniffed by magic, use - for stdin (text only)";
+files: text format everywhere; SCB1 binary is sniffed by magic; use - for stdin (either format)
+serve protocol: one query per line — 'iter [delta=D] [seed=S]', 'partial [eps=E] [delta=D] [seed=S]', 'greedy'; also ping/quit/shutdown (responses come back in request order)";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -60,6 +69,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("exact") => exact_cmd(&args[1..]),
         Some("certify") => certify_cmd(&args[1..]),
         Some("convert") => convert_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("client") => client_cmd(&args[1..]),
         Some("geomgen") => geomgen_cmd(&args[1..]),
         Some("geomsolve") => geomsolve_cmd(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
@@ -121,29 +132,36 @@ fn gen_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads an instance from a text or SCB1 file, `-` meaning stdin
+/// (either format; the SCB1 magic is sniffed). Parse errors carry the
+/// file name: `name:line: message` for text, `name: …` for binary
+/// (whose errors locate the damaged record instead of a line).
 fn load(path: &str) -> Result<Instance, String> {
+    if path == "-" {
+        let mut bytes = Vec::new();
+        std::io::stdin()
+            .read_to_end(&mut bytes)
+            .map_err(|e| format!("<stdin>: {e}"))?;
+        return read_sniffed("<stdin>", &bytes[..]);
+    }
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut reader = BufReader::new(file);
-    // Sniff the SCB1 magic without consuming the stream.
-    let head = reader.fill_buf().map_err(|e| format!("{path}: {e}"))?;
+    read_sniffed(path, BufReader::new(file))
+}
+
+/// Sniffs the SCB1 magic without consuming the stream, then dispatches
+/// to the matching reader, prefixing any parse error with `name`.
+fn read_sniffed<R: BufRead>(name: &str, mut reader: R) -> Result<Instance, String> {
+    let head = reader.fill_buf().map_err(|e| format!("{name}: {e}"))?;
     if head.starts_with(b"SCB1\n") {
-        scbin::read_instance_binary(reader).map_err(|e| format!("{path}: {e}"))
+        scbin::read_instance_binary(reader).map_err(|e| format!("{name}: {e}"))
     } else {
-        scio::read_instance(reader).map_err(|e| format!("{path}: {e}"))
+        scio::read_instance(reader).map_err(|e| format!("{name}:{}: {}", e.line, e.message))
     }
 }
 
 fn load_from_arg(args: &[String], at: usize) -> Result<Instance, String> {
     let path = args.get(at).ok_or("missing instance file")?;
-    if path == "-" {
-        let mut text = String::new();
-        std::io::stdin()
-            .read_to_string(&mut text)
-            .map_err(|e| format!("stdin: {e}"))?;
-        scio::from_str(&text).map_err(|e| format!("stdin: {e}"))
-    } else {
-        load(path)
-    }
+    load(path)
 }
 
 fn info_cmd(args: &[String]) -> Result<(), String> {
@@ -386,6 +404,274 @@ fn convert_cmd(args: &[String]) -> Result<(), String> {
             "text"
         }
     );
+    Ok(())
+}
+
+/// `sctool serve`: the `sc_service` scan scheduler behind a line
+/// protocol. Without `--listen`, requests arrive on stdin and responses
+/// leave on stdout (EOF shuts down); with `--listen HOST:PORT`, every
+/// TCP connection speaks the same protocol concurrently, and the
+/// `shutdown` command stops the listener once inflight work drains.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    use streaming_set_cover::service::{Service, ServiceConfig};
+    if args.first().is_some_and(|p| p == "-") && flag(args, "--listen").is_none() {
+        return Err(
+            "serve: reading the instance from stdin needs --listen (without it, stdin carries the query protocol)"
+                .into(),
+        );
+    }
+    let inst = load_from_arg(args, 0)?;
+    let defaults = ServiceConfig::default();
+    let cfg = ServiceConfig {
+        max_inflight: flag_or(args, "--inflight", defaults.max_inflight)?.max(1),
+        workers: flag_or(args, "--workers", defaults.workers)?.max(1),
+        queue_depth: defaults.queue_depth,
+    };
+    let service = Service::new(inst.system, cfg);
+    let metrics = match flag(args, "--listen") {
+        Some(addr) => serve_tcp(&service, &addr)?,
+        None => {
+            let (res, metrics) = service.serve(|handle| {
+                // `StdinLock` is not `Send`, and the reader half moves
+                // into the pump's reader thread — wrap `Stdin` itself.
+                let stdin = BufReader::new(std::io::stdin());
+                let stdout = std::io::stdout();
+                pump_queries(stdin, &mut stdout.lock(), &handle)
+            });
+            res.map_err(|e| format!("serve: {e}"))?;
+            metrics
+        }
+    };
+    eprintln!(
+        "sctool serve: {} queries, {} physical scans, peak {} inflight, {:.1} ms",
+        metrics.queries_completed,
+        metrics.physical_scans,
+        metrics.max_inflight_seen,
+        metrics.elapsed.as_secs_f64() * 1e3,
+    );
+    Ok(())
+}
+
+/// TCP front-end of `sctool serve`.
+fn serve_tcp(
+    service: &streaming_set_cover::service::Service,
+    addr: &str,
+) -> Result<streaming_set_cover::service::ServiceMetrics, String> {
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let listener = TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| format!("{addr}: {e}"))?;
+    eprintln!("sctool serve: listening on {local}");
+    let stop = AtomicBool::new(false);
+    // Read halves of the *live* connections, keyed by connection id:
+    // shutdown (or an accept failure) closes them to unblock pump
+    // readers idling on open sockets — their write halves stay intact
+    // for replies still in flight — and each pump thread removes its
+    // own entry when its connection ends, so the registry (and its
+    // file descriptors) never outgrow the live connection count.
+    let open_reads: std::sync::Mutex<Vec<(u64, TcpStream)>> = std::sync::Mutex::new(Vec::new());
+    let (res, metrics) = service.serve(|handle| -> Result<(), String> {
+        std::thread::scope(|s| {
+            let mut next_conn = 0u64;
+            let result = loop {
+                let (conn, _peer) = match listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(e) => break Err(format!("accept: {e}")),
+                };
+                if stop.load(Ordering::SeqCst) {
+                    break Ok(());
+                }
+                let reader = match conn.try_clone() {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                let conn_id = next_conn;
+                next_conn += 1;
+                // Registration is mandatory: a reader shutdown cannot
+                // unblock would make this connection wedge the server
+                // on shutdown, so refuse it instead of serving it.
+                let Ok(half) = reader.try_clone() else {
+                    continue;
+                };
+                open_reads.lock().expect("poisoned").push((conn_id, half));
+                let handle = handle.clone();
+                let (stop, open_reads) = (&stop, &open_reads);
+                s.spawn(move || {
+                    let reader = std::io::BufReader::new(reader);
+                    let mut writer = &conn;
+                    match pump_queries(reader, &mut writer, &handle) {
+                        Ok(true) => {
+                            // Shutdown requested: stop accepting, and
+                            // poke the listener awake with a dummy
+                            // connection so the accept loop observes it.
+                            stop.store(true, Ordering::SeqCst);
+                            let _ = TcpStream::connect(local);
+                        }
+                        Ok(false) => {}
+                        Err(_) => {} // client went away mid-reply
+                    }
+                    open_reads
+                        .lock()
+                        .expect("poisoned")
+                        .retain(|(id, _)| *id != conn_id);
+                });
+            };
+            // On every exit path — clean shutdown or accept failure —
+            // close the read halves of the connections still open, so
+            // pump readers see EOF, drain their pending replies, and
+            // the scope can finish instead of wedging on blocked reads.
+            for (_, half) in open_reads.lock().expect("poisoned").iter() {
+                let _ = half.shutdown(std::net::Shutdown::Read);
+            }
+            result
+        })
+    });
+    res?;
+    Ok(metrics)
+}
+
+/// Request/response pump shared by the stdin and TCP front-ends: a
+/// reader thread submits queries as lines arrive while the calling
+/// thread answers tickets in submission order — so responses stream
+/// back as queries complete, and every pending line is already riding
+/// shared scan epochs. All responses — `pong` and `err` included — are
+/// emitted in request order, so a `ping` pipelined behind a slow query
+/// answers after that query completes; it probes the connection's
+/// round-trip, not the scheduler's idle latency. Returns `Ok(true)` if
+/// the peer asked for server shutdown.
+fn pump_queries<R, W>(
+    input: R,
+    output: &mut W,
+    handle: &streaming_set_cover::service::ServiceHandle,
+) -> std::io::Result<bool>
+where
+    R: BufRead + Send,
+    W: Write,
+{
+    use streaming_set_cover::service::{QuerySpec, QueryTicket};
+    enum Pumped {
+        Ticket(QueryTicket),
+        Error(String),
+        Pong,
+    }
+    let (tx, rx) = std::sync::mpsc::channel::<Pumped>();
+    std::thread::scope(|s| {
+        let reader = s.spawn(move || -> std::io::Result<bool> {
+            for line in input.lines() {
+                let line = line?;
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                match line {
+                    "quit" => break,
+                    "shutdown" => return Ok(true),
+                    "ping" => {
+                        let _ = tx.send(Pumped::Pong);
+                        continue;
+                    }
+                    _ => {}
+                }
+                let msg = match QuerySpec::parse(line) {
+                    Ok(spec) => match handle.submit(spec) {
+                        Ok(ticket) => Pumped::Ticket(ticket),
+                        Err(e) => Pumped::Error(e.to_string()),
+                    },
+                    Err(msg) => Pumped::Error(msg),
+                };
+                let _ = tx.send(msg);
+            }
+            Ok(false)
+        });
+        // The sender side lives in the reader thread (`tx` moved in),
+        // so this loop ends exactly when the reader is done.
+        for msg in rx {
+            match msg {
+                Pumped::Ticket(ticket) => match ticket.wait() {
+                    Ok(outcome) => writeln!(output, "{}", outcome.protocol_line())?,
+                    Err(e) => writeln!(output, "err msg={e}")?,
+                },
+                Pumped::Error(msg) => writeln!(output, "err msg={msg}")?,
+                Pumped::Pong => writeln!(output, "pong")?,
+            }
+            output.flush()?;
+        }
+        reader.join().expect("reader thread panicked")
+    })
+}
+
+/// `sctool client`: load generator for a `sctool serve --listen`
+/// endpoint. Each connection pipelines its share of the queries (send
+/// all lines, then read all responses) so the server can batch them
+/// into shared scan epochs.
+fn client_cmd(args: &[String]) -> Result<(), String> {
+    use std::net::TcpStream;
+    let addr = flag(args, "--connect").ok_or("client: missing --connect")?;
+    let queries: usize = flag_or(args, "--queries", 8)?;
+    let concurrency: usize = flag_or(args, "--concurrency", 1)?;
+    let concurrency = concurrency.clamp(1, queries.max(1));
+    let spec = flag(args, "--spec").unwrap_or_else(|| "iter delta=0.5".to_string());
+    streaming_set_cover::service::QuerySpec::parse(&spec).map_err(|e| format!("--spec: {e}"))?;
+
+    let start = std::time::Instant::now();
+    let ok_total = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| -> Result<(), String> {
+        let mut workers = Vec::new();
+        for c in 0..concurrency {
+            // Spread the remainder over the first connections.
+            let share = queries / concurrency + usize::from(c < queries % concurrency);
+            if share == 0 {
+                continue;
+            }
+            let (addr, spec, ok_total) = (&addr, &spec, &ok_total);
+            workers.push(s.spawn(move || -> Result<(), String> {
+                let conn = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+                let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
+                let mut writer = &conn;
+                for _ in 0..share {
+                    writeln!(writer, "{spec}").map_err(|e| e.to_string())?;
+                }
+                writer.flush().map_err(|e| e.to_string())?;
+                let mut line = String::new();
+                for _ in 0..share {
+                    line.clear();
+                    let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+                    if n == 0 {
+                        return Err("server closed the connection early".into());
+                    }
+                    if line.starts_with("ok") {
+                        ok_total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    } else {
+                        eprintln!("sctool client: {}", line.trim_end());
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for w in workers {
+            w.join().expect("client thread panicked")?;
+        }
+        Ok(())
+    })?;
+    let elapsed = start.elapsed();
+    let ok = ok_total.load(std::sync::atomic::Ordering::Relaxed);
+    println!(
+        "{queries} queries ({ok} ok) over {concurrency} connection(s) in {:.1} ms → {:.1} queries/s",
+        elapsed.as_secs_f64() * 1e3,
+        queries as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    if args.iter().any(|a| a == "--shutdown") {
+        let conn = TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+        let mut writer = &conn;
+        writeln!(writer, "shutdown").map_err(|e| e.to_string())?;
+    }
+    if ok != queries {
+        return Err(format!(
+            "{} of {queries} queries did not return ok",
+            queries - ok
+        ));
+    }
     Ok(())
 }
 

@@ -33,6 +33,8 @@ pub use sc_core as algorithms;
 pub use sc_geometry as geometry;
 /// Offline oracles ([`sc_offline`]).
 pub use sc_offline as offline;
+/// The concurrent cover-query service ([`sc_service`]).
+pub use sc_service as service;
 /// Set systems and generators ([`sc_setsystem`]).
 pub use sc_setsystem as setsystem;
 /// The instrumented streaming model ([`sc_stream`]).
@@ -54,6 +56,9 @@ pub mod prelude {
         bronnimann_goodrich, AlgGeomSc, AlgGeomScConfig, BgConfig, GeomInstance,
     };
     pub use sc_offline::OfflineSolver;
+    pub use sc_service::{QueryOutcome, QuerySpec, Service, ServiceConfig, ServiceHandle};
     pub use sc_setsystem::{gen, Instance, SetSystem, SetSystemBuilder};
-    pub use sc_stream::{run_reported, RunReport, SetStream, SpaceMeter, StreamingSetCover};
+    pub use sc_stream::{
+        run_reported, RunReport, ScanLedger, SetStream, SpaceMeter, StreamingSetCover,
+    };
 }

@@ -153,6 +153,123 @@ fn solve_all_runs_every_algorithm() {
 }
 
 #[test]
+fn stdin_dash_reads_scb1_binary() {
+    let out = run(&[
+        "gen", "planted", "--n", "64", "--m", "32", "--k", "2", "--seed", "5", "--binary",
+    ]);
+    assert!(out.status.success());
+    assert!(out.stdout.starts_with(b"SCB1\n"));
+    // Pipe the binary straight into the solver: the stdin reader sniffs
+    // the magic, so generators can feed either format.
+    let solve = run_with_stdin(&["solve", "iter", "-"], &out.stdout);
+    let text = stdout(&solve);
+    assert!(text.contains("iterSetCover"), "{text}");
+    assert!(text.contains("ok"), "{text}");
+    let info = run_with_stdin(&["info", "-"], &out.stdout);
+    assert!(stdout(&info).contains("universe   : 64"));
+}
+
+#[test]
+fn text_parse_errors_name_the_file_and_line() {
+    let dir = std::env::temp_dir().join(format!("sctool-parse-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.sc");
+    std::fs::write(&bad, "p setcover 4 1\ns 9\n").unwrap();
+    let out = run(&["info", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains(&format!("{}:2:", bad.display())),
+        "error must carry file name and line: {err}"
+    );
+    assert!(err.contains("outside universe"), "{err}");
+    // The stdin pseudo-file is named too.
+    let out = run_with_stdin(&["info", "-"], b"p setcover 4 1\ns x\n");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("<stdin>:2:"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_stdin_round_trips_three_concurrent_queries() {
+    let generated = stdout(&run(&[
+        "gen", "planted", "--n", "128", "--m", "256", "--k", "4", "--seed", "3",
+    ]));
+    let dir = std::env::temp_dir().join(format!("sctool-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sc = dir.join("inst.sc");
+    std::fs::write(&sc, &generated).unwrap();
+    let out = run_with_stdin(
+        &["serve", sc.to_str().unwrap()],
+        b"iter delta=0.5 seed=1\npartial eps=0.2\ngreedy\n",
+    );
+    let text = stdout(&out);
+    let ok_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("ok ")).collect();
+    assert_eq!(ok_lines.len(), 3, "{text}");
+    for (kind, id) in [("iter", "id=0"), ("partial", "id=1"), ("greedy", "id=2")] {
+        assert!(
+            ok_lines
+                .iter()
+                .any(|l| l.contains(&format!("kind={kind}")) && l.contains(id)),
+            "missing {kind} response in:\n{text}"
+        );
+    }
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("3 queries"), "summary on stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_tcp_round_trip_with_client_and_clean_shutdown() {
+    use std::io::BufRead;
+    use std::process::Stdio;
+    let generated = stdout(&run(&[
+        "gen", "planted", "--n", "128", "--m", "256", "--k", "4", "--seed", "4",
+    ]));
+    let dir = std::env::temp_dir().join(format!("sctool-tcp-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sc = dir.join("inst.sc");
+    std::fs::write(&sc, &generated).unwrap();
+    // Port 0: the OS picks a free port, the server announces it.
+    let mut server = Command::new(sctool())
+        .args(["serve", sc.to_str().unwrap(), "--listen", "127.0.0.1:0"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn server");
+    let mut stderr_lines = std::io::BufReader::new(server.stderr.take().unwrap()).lines();
+    let addr = loop {
+        let line = stderr_lines
+            .next()
+            .expect("server exited before announcing its address")
+            .expect("read server stderr");
+        if let Some(addr) = line.strip_prefix("sctool serve: listening on ") {
+            break addr.to_string();
+        }
+    };
+    // An idle connection that never sends anything: shutdown must not
+    // wait for it (the server closes its read half to unblock).
+    let idle = std::net::TcpStream::connect(&addr).expect("idle connect");
+    let client = run(&[
+        "client",
+        "--connect",
+        &addr,
+        "--queries",
+        "3",
+        "--concurrency",
+        "3",
+        "--shutdown",
+    ]);
+    let client_out = stdout(&client);
+    assert!(client_out.contains("3 queries (3 ok)"), "{client_out}");
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "server must shut down cleanly: {status}");
+    drop(idle);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_command_exits_2_with_usage() {
     let out = run(&["frobnicate"]);
     assert_eq!(out.status.code(), Some(2));
