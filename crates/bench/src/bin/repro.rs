@@ -6,12 +6,21 @@
 //! cargo run -p sc-bench --bin repro --release -- --quick # reduced sweeps
 //! cargo run -p sc-bench --bin repro --release -- --list  # experiment ids
 //! cargo run -p sc-bench --bin repro --release -- --json BENCH_repro.json
+//! cargo run -p sc-bench --bin repro --release -- --check BENCH_service.json
 //! ```
 //!
 //! `--json PATH` additionally writes every table plus per-experiment
 //! wall-clock seconds as a JSON document, the format the repository's
 //! `BENCH_*.json` perf-trajectory files use.
+//!
+//! `--check PATH` (repeatable) switches to the CI perf-regression
+//! gate: every experiment recorded in the committed baseline re-runs
+//! at the baseline's scale and its deterministic fields (passes, space
+//! peaks, cover sizes, scan counts, cache hits, sharing ratios — not
+//! wall-clock) are compared cell by cell; any drift fails the run.
+//! `--tolerance PCT` allows numeric cells that much relative slack.
 
+use sc_bench::check::{compare_tables, load_baseline};
 use sc_bench::experiments::{by_id, registry, Runner};
 use sc_bench::{Scale, Table};
 use std::time::Instant;
@@ -51,25 +60,130 @@ fn table_json(table: &Table) -> String {
     )
 }
 
+/// Flags whose following argument is a value, not an experiment id.
+const VALUE_FLAGS: &[&str] = &["--json", "--check", "--tolerance"];
+
+/// Runs the perf-regression gate for one committed baseline file.
+/// Returns `true` when every deterministic field matched.
+fn check_baseline(path: &str, tolerance_pct: f64) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("check {path}: {e}");
+            return false;
+        }
+    };
+    let baseline = match load_baseline(&text) {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!("check {path}: {e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    for exp in &baseline.experiments {
+        let Some(runner) = by_id(&exp.id) else {
+            eprintln!(
+                "check {path}: unknown experiment id {:?} in baseline",
+                exp.id
+            );
+            ok = false;
+            continue;
+        };
+        let start = Instant::now();
+        let fresh = runner(baseline.scale);
+        let drift = compare_tables(&exp.table, &fresh, tolerance_pct);
+        if drift.is_empty() {
+            println!(
+                "check {path} [{}]: ok ({:.1}s, tolerance {tolerance_pct}%)",
+                exp.id,
+                start.elapsed().as_secs_f64()
+            );
+        } else {
+            ok = false;
+            println!("check {path} [{}]: DRIFT", exp.id);
+            for line in &drift {
+                println!("  {line}");
+            }
+        }
+    }
+    ok
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let json_flag = args.iter().position(|a| a == "--json");
-    let json_path: Option<String> = json_flag
-        .map(|i| {
-            args.get(i + 1).unwrap_or_else(|| {
-                eprintln!("--json needs a file path");
+    let value_of = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+    };
+    let json_path: Option<String> = value_of("--json");
+    let checks: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--check")
+        .map(|(i, _)| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--check needs a baseline file path");
                 std::process::exit(2);
             })
         })
-        .cloned();
+        .collect();
+    if !checks.is_empty() {
+        // The gate replays the baseline's own experiment list at the
+        // baseline's recorded scale: a --json path, a --quick flag, or
+        // a positional experiment id would be silently ignored, so
+        // reject the combination.
+        let stray = args
+            .iter()
+            .enumerate()
+            .find(|(i, a)| {
+                let flag_value = *i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str());
+                (*a == "--json") || (*a == "--quick") || (!a.starts_with("--") && !flag_value)
+            })
+            .map(|(_, a)| a.clone());
+        if let Some(stray) = stray {
+            eprintln!(
+                "--check runs the regression gate alone (experiments and scale come from the \
+                 baseline file); remove {stray:?}"
+            );
+            std::process::exit(2);
+        }
+        let tolerance: f64 = value_of("--tolerance")
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --tolerance value {v:?}");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(0.0);
+        // Run every requested check (no short-circuit) before judging.
+        let results: Vec<bool> = checks
+            .iter()
+            .map(|path| check_baseline(path, tolerance))
+            .collect();
+        std::process::exit(i32::from(!results.iter().all(|&ok| ok)));
+    }
+    if args.iter().any(|a| a == "--tolerance") {
+        eprintln!("--tolerance only applies to the --check regression gate");
+        std::process::exit(2);
+    }
     let wanted: Vec<&String> = args
         .iter()
         .enumerate()
-        // The --json *value* is skipped by position, not by content, so
-        // an experiment id that happens to equal the path survives.
-        .filter(|(i, a)| !a.starts_with("--") && json_flag != Some(i.wrapping_sub(1)))
+        // Flag *values* are skipped by position, not by content, so an
+        // experiment id that happens to equal a file path survives.
+        .filter(|(i, a)| {
+            let flag_value = *i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str());
+            !a.starts_with("--") && !flag_value
+        })
         .map(|(_, a)| a)
         .collect();
 

@@ -1,0 +1,548 @@
+//! The CI perf-regression gate: compare a fresh experiment run against
+//! a committed `BENCH_*.json` baseline.
+//!
+//! `repro --check BENCH.json [--tolerance PCT]` re-runs every
+//! experiment recorded in the baseline **at the baseline's scale** and
+//! compares the *deterministic* fields — passes, space peaks, cover
+//! sizes, scan counts, cache hits, sharing ratios — cell by cell.
+//! Timing-dependent columns (wall-clock milliseconds, queries/second,
+//! speedups, mid-stream join counts) are skipped by header name, so
+//! the gate is immune to runner speed while still catching a
+//! regression in anything the streaming model actually charges for.
+//!
+//! The `BENCH_*.json` files are written by `repro --json` without any
+//! external serializer, so the reader here is a matching minimal JSON
+//! parser (objects, arrays, strings, numbers, booleans, null) — enough
+//! for the `sc-bench/repro/v1` schema and nothing more.
+
+use crate::{Scale, Table};
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (just enough for the repro schema).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, kept as `f64`.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is irrelevant to the schema.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json: {msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true", Json::Bool(true)),
+            Some(b'f') => self.eat_lit("false", Json::Bool(false)),
+            Some(b'n') => self.eat_lit("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("open escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-utf8 \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // The writer only escapes control chars, so
+                            // surrogate pairs never occur in our files.
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.err("bad codepoint"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 sequence byte-for-byte.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf8"))?;
+                    out.push_str(chunk);
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf8 in number"))?;
+        text.parse()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed).
+///
+/// # Errors
+///
+/// A message with the byte offset of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// One experiment recorded in a baseline file.
+#[derive(Debug, Clone)]
+pub struct BaselineExperiment {
+    /// The registry id (`multiplex`, `service`, `load`, …).
+    pub id: String,
+    /// The recorded table.
+    pub table: Table,
+}
+
+/// A parsed `BENCH_*.json` baseline.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// The scale the baseline was recorded at (re-used for the fresh
+    /// run so rows are comparable).
+    pub scale: Scale,
+    /// Every experiment in file order.
+    pub experiments: Vec<BaselineExperiment>,
+}
+
+fn str_array(value: &Json, what: &str) -> Result<Vec<String>, String> {
+    value
+        .as_arr()
+        .ok_or_else(|| format!("baseline: {what} is not an array"))?
+        .iter()
+        .map(|cell| {
+            cell.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("baseline: {what} holds a non-string"))
+        })
+        .collect()
+}
+
+/// Decodes a `sc-bench/repro/v1` document into its tables.
+///
+/// # Errors
+///
+/// A message naming the missing or mistyped field.
+pub fn load_baseline(text: &str) -> Result<Baseline, String> {
+    let doc = parse_json(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("baseline: missing schema")?;
+    if schema != "sc-bench/repro/v1" {
+        return Err(format!("baseline: unsupported schema {schema:?}"));
+    }
+    let scale = match doc.get("scale").and_then(Json::as_str) {
+        Some("quick") => Scale::Quick,
+        Some("full") => Scale::Full,
+        other => return Err(format!("baseline: bad scale {other:?}")),
+    };
+    let mut experiments = Vec::new();
+    for exp in doc
+        .get("experiments")
+        .and_then(Json::as_arr)
+        .ok_or("baseline: missing experiments array")?
+    {
+        let id = exp
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("baseline: experiment without id")?
+            .to_string();
+        let table = exp
+            .get("table")
+            .ok_or_else(|| format!("baseline: experiment {id} without table"))?;
+        let title = table
+            .get("title")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("baseline: table of {id} without title"))?
+            .to_string();
+        let headers = str_array(table.get("headers").unwrap_or(&Json::Null), "headers")?;
+        let mut rows = Vec::new();
+        for (r, row) in table
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("baseline: table of {id} without rows"))?
+            .iter()
+            .enumerate()
+        {
+            let row = str_array(row, "row")?;
+            // Ragged rows would make the per-column comparison index
+            // out of bounds; a truncated baseline is a parse error,
+            // not a drift report.
+            if row.len() != headers.len() {
+                return Err(format!(
+                    "baseline: table of {id}, row {r}: {} cells for {} headers",
+                    row.len(),
+                    headers.len()
+                ));
+            }
+            rows.push(row);
+        }
+        let notes = str_array(table.get("notes").unwrap_or(&Json::Null), "notes")?;
+        experiments.push(BaselineExperiment {
+            id,
+            table: Table {
+                title,
+                headers,
+                rows,
+                notes,
+            },
+        });
+    }
+    Ok(Baseline { scale, experiments })
+}
+
+/// Markers of load- or wall-clock-dependent columns, matched against
+/// lowercased headers: such columns vary run to run and are exempt from
+/// the regression gate.
+const NONDETERMINISTIC_MARKERS: &[&str] = &["ms", "qps", "seconds", "speedup", "joins"];
+
+/// `true` when a column holds deterministic model observables (passes,
+/// space, cover sizes, scan counts, hits, ratios) that the gate
+/// compares; `false` for timing-dependent columns (any header with a
+/// `ms` / `qps` / `seconds` / `speedup` / `joins` word, or a queue-wait
+/// column).
+pub fn deterministic_column(header: &str) -> bool {
+    let h = header.to_ascii_lowercase();
+    !h.starts_with("wait")
+        && !h
+            .split_whitespace()
+            .any(|word| NONDETERMINISTIC_MARKERS.contains(&word))
+}
+
+/// Numeric comparison helper: strips a trailing `x` (sharing ratios)
+/// or `%` so `"16.0x"` compares as `16.0`.
+fn as_number(cell: &str) -> Option<f64> {
+    cell.trim().trim_end_matches(['x', '%']).parse::<f64>().ok()
+}
+
+fn cells_match(expected: &str, actual: &str, tolerance_pct: f64) -> bool {
+    if expected == actual {
+        return true;
+    }
+    match (as_number(expected), as_number(actual)) {
+        (Some(e), Some(a)) => {
+            let scale = e.abs().max(1e-12);
+            ((a - e).abs() / scale) * 100.0 <= tolerance_pct
+        }
+        _ => false,
+    }
+}
+
+/// Compares a fresh table against the baseline's, returning one
+/// human-readable drift message per mismatch (empty = gate passes).
+/// Only deterministic columns participate; numeric cells may drift up
+/// to `tolerance_pct` percent relative, non-numeric cells must match
+/// exactly. Structural drift (changed headers, added or removed rows)
+/// is reported as drift too — a baseline refresh is a deliberate act.
+pub fn compare_tables(baseline: &Table, fresh: &Table, tolerance_pct: f64) -> Vec<String> {
+    let mut drift = Vec::new();
+    if baseline.headers != fresh.headers {
+        drift.push(format!(
+            "headers changed: baseline {:?} vs fresh {:?} (refresh the committed BENCH file)",
+            baseline.headers, fresh.headers
+        ));
+        return drift;
+    }
+    if baseline.rows.len() != fresh.rows.len() {
+        drift.push(format!(
+            "row count changed: baseline {} vs fresh {} (refresh the committed BENCH file)",
+            baseline.rows.len(),
+            fresh.rows.len()
+        ));
+        return drift;
+    }
+    for (r, (brow, frow)) in baseline.rows.iter().zip(&fresh.rows).enumerate() {
+        for (c, header) in baseline.headers.iter().enumerate() {
+            if !deterministic_column(header) {
+                continue;
+            }
+            let (expected, actual) = (&brow[c], &frow[c]);
+            if !cells_match(expected, actual, tolerance_pct) {
+                drift.push(format!(
+                    "row {r} ({}), column {header:?}: baseline {expected:?} vs fresh {actual:?}",
+                    brow.first().map_or("?", String::as_str),
+                ));
+            }
+        }
+    }
+    drift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_repro_schema() {
+        let doc = r#"{"schema":"sc-bench/repro/v1","scale":"full","experiments":[
+            {"id":"service","what":"E17","seconds":3.2,
+             "table":{"title":"T","headers":["workload","scans","ms"],
+                      "rows":[["identical ä","5","94.9"]],"notes":["n=1"]}}]}"#;
+        let baseline = load_baseline(doc).expect("parses");
+        assert_eq!(baseline.scale, Scale::Full);
+        assert_eq!(baseline.experiments.len(), 1);
+        let t = &baseline.experiments[0].table;
+        assert_eq!(t.headers, vec!["workload", "scans", "ms"]);
+        assert_eq!(t.rows[0][0], "identical ä");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,2",
+            "{\"schema\":\"nope\",\"scale\":\"full\",\"experiments\":[]}",
+            "{\"schema\":\"sc-bench/repro/v1\",\"scale\":\"warp\",\"experiments\":[]}",
+            "{\"schema\":\"sc-bench/repro/v1\",\"scale\":\"full\"} trailing",
+        ] {
+            assert!(load_baseline(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn ragged_baseline_rows_are_a_parse_error_not_a_panic() {
+        let doc = r#"{"schema":"sc-bench/repro/v1","scale":"full","experiments":[
+            {"id":"service","table":{"title":"T","headers":["a","b"],
+             "rows":[["only-one-cell"]],"notes":[]}}]}"#;
+        let err = load_baseline(doc).unwrap_err();
+        assert!(err.contains("row 0"), "{err}");
+        assert!(err.contains("1 cells for 2 headers"), "{err}");
+    }
+
+    #[test]
+    fn deterministic_columns_exclude_timing() {
+        for h in [
+            "physical scans",
+            "naive scans",
+            "sharing",
+            "n",
+            "identical",
+            "hits",
+            "sol",
+        ] {
+            assert!(deterministic_column(h), "{h} should be checked");
+        }
+        for h in [
+            "ms",
+            "seq ms",
+            "qps",
+            "speedup",
+            "p50 ms",
+            "wait p90 ms",
+            "joins",
+            "seconds",
+        ] {
+            assert!(!deterministic_column(h), "{h} should be skipped");
+        }
+    }
+
+    fn table(rows: Vec<Vec<&str>>) -> Table {
+        let mut t = Table::new("t", &["alg", "scans", "ms"]);
+        for row in rows {
+            t.row(row.into_iter().map(str::to_string).collect());
+        }
+        t
+    }
+
+    #[test]
+    fn flags_deterministic_drift_only() {
+        let baseline = table(vec![vec!["iter", "5", "94.9"]]);
+        let same = table(vec![vec!["iter", "5", "188.1"]]);
+        assert!(compare_tables(&baseline, &same, 0.0).is_empty());
+        let drifted = table(vec![vec!["iter", "6", "94.9"]]);
+        let drift = compare_tables(&baseline, &drifted, 0.0);
+        assert_eq!(drift.len(), 1);
+        assert!(drift[0].contains("scans"), "{drift:?}");
+        // 20% tolerance forgives 5 → 6.
+        assert!(compare_tables(&baseline, &drifted, 20.0).is_empty());
+    }
+
+    #[test]
+    fn ratio_cells_compare_numerically() {
+        assert!(cells_match("16.0x", "16.0x", 0.0));
+        assert!(cells_match("16.0x", "16.1x", 5.0));
+        assert!(!cells_match("16.0x", "8.0x", 5.0));
+        assert!(!cells_match("iter", "greedy", 50.0));
+    }
+
+    #[test]
+    fn structural_drift_is_reported() {
+        let baseline = table(vec![vec!["iter", "5", "1.0"]]);
+        let extra = table(vec![vec!["iter", "5", "1.0"], vec!["greedy", "1", "2.0"]]);
+        assert!(!compare_tables(&baseline, &extra, 0.0).is_empty());
+    }
+}

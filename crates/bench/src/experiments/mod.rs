@@ -14,6 +14,7 @@ mod reduction_5_4;
 mod sampling_2_6;
 mod semi_streaming;
 mod service;
+mod service_load;
 mod sparse_6_6;
 mod table_1_1;
 mod tradeoff_2_8;
@@ -32,6 +33,7 @@ pub use reduction_5_4::reduction_5_4;
 pub use sampling_2_6::sampling_2_6;
 pub use semi_streaming::semi_streaming;
 pub use service::service;
+pub use service_load::service_load;
 pub use sparse_6_6::sparse_6_6;
 pub use table_1_1::table_1_1;
 pub use tradeoff_2_8::tradeoff_2_8;
@@ -84,6 +86,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "service",
             "E17 cover-query service scan sharing & throughput",
             service,
+        ),
+        (
+            "load",
+            "E18 service load test: cache, mid-stream joins, latency percentiles",
+            service_load,
         ),
     ]
 }

@@ -48,7 +48,16 @@ pub fn service(scale: Scale) -> Table {
     });
     let solo = run_reported(&mut solo_alg, &inst.system);
     assert!(solo.verified.is_ok());
-    let service = Service::new(inst.system.clone(), ServiceConfig::default());
+    // Outcome cache off: this experiment measures *scan sharing*, so
+    // every batch must actually run (the cache would answer the later
+    // concurrency rows in zero scans — that effect is E18's subject).
+    let service = Service::new(
+        inst.system.clone(),
+        ServiceConfig {
+            cache_capacity: 0,
+            ..Default::default()
+        },
+    );
 
     for clients in [1usize, 4, 16] {
         let specs = vec![spec; clients];

@@ -31,6 +31,7 @@ pub mod partial;
 pub mod partial_machine;
 mod projstore;
 pub mod sampling;
+pub mod scan_driver;
 
 pub use iter_set_cover::{GuessExecutor, IterSetCover, IterSetCoverConfig, IterationTrace};
 pub use multiplex::IterCoverDriver;
@@ -40,3 +41,4 @@ pub use partial::{
 };
 pub use partial_machine::PartialCoverDriver;
 pub use projstore::ProjStore;
+pub use scan_driver::{GuessMachine, MachineOutcome, ScanDriver};

@@ -49,6 +49,7 @@
 use crate::iter_set_cover::{guess_rng_seed, iterations_for, offline_solve, sample_size_for};
 use crate::projstore::ProjStore;
 use crate::sampling::sample_from_bitset_into;
+use crate::scan_driver::{GuessMachine, MachineOutcome, ScanDriver};
 use crate::{IterSetCover, IterSetCoverConfig, IterationTrace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -473,19 +474,174 @@ impl<'a> GuessRun<'a> {
 /// concatenates the participant lists of all of its drivers before one
 /// shared scan.
 pub struct IterCoverDriver<'a> {
-    guesses: Vec<GuessRun<'a>>,
+    inner: ScanDriver<'a, GuessRun<'a>>,
+}
+
+/// Driver-lifetime traversal-sharing scratch of the multiplexed
+/// executor, rebuilt by [`GuessRun::begin_scan_group`] each scan.
+///
+/// The mask holds exactly the same bits as the guesses' own
+/// (already-charged) `L` bitmaps in transposed order, so it adds
+/// nothing to the model's space accounting: it is the simulation's
+/// layout of the parallel branches' state, not a new algorithmic
+/// store.
+struct IterShared {
     /// Transposed leftover bitmaps: `sample_mask[e]` has bit `s` set iff
-    /// element `e` is in lane `s`'s residual. See [`Self::begin_scan`].
+    /// element `e` is in lane `s`'s residual.
     sample_mask: Vec<u64>,
     lane_hits: Vec<Vec<ElemId>>,
-    /// Guesses joining the current scan (indices into `guesses`),
-    /// rebuilt by [`Self::begin_scan`].
-    scanning: Vec<usize>,
     /// Guesses sharing the element traversal this scan.
     lanes: Vec<(usize, Phase)>,
     /// Guesses walking items through their per-guess kernels instead.
     solo: Vec<usize>,
     share_traversal: bool,
+}
+
+impl<'a> GuessMachine<'a> for GuessRun<'a> {
+    type Shared = IterShared;
+
+    fn make_shared(machines: &[Self]) -> IterShared {
+        let n = machines.first().map_or(0, |m| m.universe);
+        IterShared {
+            sample_mask: vec![0; n],
+            lane_hits: Vec::new(),
+            lanes: Vec::new(),
+            solo: Vec::new(),
+            share_traversal: false,
+        }
+    }
+
+    fn wants_scan(&self) -> bool {
+        GuessRun::wants_scan(self)
+    }
+
+    fn stream(&self) -> &SetStream<'a> {
+        &self.stream
+    }
+
+    fn absorb(&mut self, id: SetId, elems: &[ElemId]) {
+        GuessRun::absorb(self, id, elems);
+    }
+
+    fn end_scan(&mut self) {
+        GuessRun::end_scan(self);
+    }
+
+    fn into_outcome(self) -> MachineOutcome {
+        debug_assert_eq!(self.phase, Phase::Finished);
+        MachineOutcome {
+            result: self.result,
+            traces: self.traces,
+            passes: self.stream.passes(),
+            peak: self.meter.peak(),
+        }
+    }
+
+    /// Builds the transposed residual masks for traversal sharing.
+    ///
+    /// Lanes: guesses sharing the element traversal this round — a
+    /// pass-1 lane's residual is its leftover sample `L` (equal to
+    /// the fresh sample at scan start), a cleanup lane's residual is
+    /// its straggler set `live`. One shared walk of the repository
+    /// feeds every lane (the repository is memory-bound, so walking
+    /// it once beats walking it per guess even for dense residuals);
+    /// a lone lane goes solo through the gather kernel instead,
+    /// skipping the mask rebuild. `u64` lanes always suffice: there
+    /// are at most log2(usize::MAX) + 1 = 64 guesses.
+    fn begin_scan_group(machines: &mut [Self], scanning: &[usize], shared: &mut IterShared) {
+        shared.lanes.clear();
+        shared.solo.clear();
+        for &g in scanning {
+            match machines[g].phase {
+                Phase::Pass1 | Phase::Cleanup => shared.lanes.push((g, machines[g].phase)),
+                _ => shared.solo.push(g),
+            }
+        }
+        if shared.lanes.len() < 2 {
+            let lone = shared.lanes.drain(..).map(|(g, _)| g);
+            shared.solo.extend(lone);
+        }
+        shared.share_traversal = !shared.lanes.is_empty();
+        if shared.share_traversal {
+            assert!(
+                shared.lanes.len() <= 64,
+                "more than 64 parallel guesses cannot occur"
+            );
+            shared.sample_mask.fill(0);
+            shared.lane_hits.resize_with(shared.lanes.len(), Vec::new);
+            for (s, &(g, phase)) in shared.lanes.iter().enumerate() {
+                match phase {
+                    Phase::Pass1 => {
+                        // At scan start L equals the freshly drawn sample.
+                        let sample = machines[g].sample.as_ref().expect("pass-1 state");
+                        for &e in sample.get().iter() {
+                            shared.sample_mask[e as usize] |= 1 << s;
+                        }
+                    }
+                    Phase::Cleanup => {
+                        let live = machines[g].live.as_ref().expect("live until finish");
+                        for e in live.get().ones() {
+                            shared.sample_mask[e as usize] |= 1 << s;
+                        }
+                    }
+                    _ => unreachable!("only pass-1 and cleanup guesses become lanes"),
+                }
+            }
+        }
+    }
+
+    fn absorb_group(
+        machines: &mut [Self],
+        _scanning: &[usize],
+        shared: &mut IterShared,
+        id: SetId,
+        elems: &[ElemId],
+    ) {
+        if shared.share_traversal {
+            // One walk over the set's elements feeds every lane:
+            // each mask load yields all lanes containing that
+            // element, and per-lane work is proportional to the
+            // lane's actual hits, not to the set size.
+            for &e in elems {
+                let mut m = shared.sample_mask[e as usize];
+                while m != 0 {
+                    shared.lane_hits[m.trailing_zeros() as usize].push(e);
+                    m &= m - 1;
+                }
+            }
+            for (s, &(g, phase)) in shared.lanes.iter().enumerate() {
+                if shared.lane_hits[s].is_empty() {
+                    continue;
+                }
+                let shrank = match phase {
+                    Phase::Pass1 => {
+                        if machines[g].is_heavy(shared.lane_hits[s].len()) {
+                            // Removing the hits (= elems ∩ L) is
+                            // what the heavy pick does to L.
+                            machines[g].pass1_emit_heavy(id, &shared.lane_hits[s]);
+                            true
+                        } else {
+                            machines[g].pass1_store(id, &shared.lane_hits[s]);
+                            false
+                        }
+                    }
+                    Phase::Cleanup => machines[g].cleanup_hit(id, elems),
+                    _ => unreachable!("only pass-1 and cleanup guesses become lanes"),
+                };
+                if shrank {
+                    // The hit elements left this lane's residual,
+                    // so they leave its mask lane too.
+                    for &e in &shared.lane_hits[s] {
+                        shared.sample_mask[e as usize] &= !(1 << s);
+                    }
+                }
+                shared.lane_hits[s].clear();
+            }
+        }
+        for &g in &shared.solo {
+            GuessRun::absorb(&mut machines[g], id, elems);
+        }
+    }
 }
 
 impl<'a> IterCoverDriver<'a> {
@@ -506,13 +662,7 @@ impl<'a> IterCoverDriver<'a> {
             i += 1;
         }
         Self {
-            guesses,
-            sample_mask: vec![0; n],
-            lane_hits: Vec::new(),
-            scanning: Vec::new(),
-            lanes: Vec::new(),
-            solo: Vec::new(),
-            share_traversal: false,
+            inner: ScanDriver::new(guesses),
         }
     }
 
@@ -520,172 +670,46 @@ impl<'a> IterCoverDriver<'a> {
     /// Every scan the driver joins must include every guess that wants
     /// one, so physical scans = max logical passes.
     pub fn wants_scan(&self) -> bool {
-        self.guesses.iter().any(GuessRun::wants_scan)
+        self.inner.wants_scan()
     }
 
     /// Prepares the next scan: collects the participating guesses and
-    /// builds the transposed residual masks for traversal sharing.
-    ///
-    /// Lanes: guesses sharing the element traversal this round — a
-    /// pass-1 lane's residual is its leftover sample `L` (equal to
-    /// the fresh sample at scan start), a cleanup lane's residual is
-    /// its straggler set `live`. One shared walk of the repository
-    /// feeds every lane (the repository is memory-bound, so walking
-    /// it once beats walking it per guess even for dense residuals);
-    /// a lone lane goes solo through the gather kernel instead,
-    /// skipping the mask rebuild. `u64` lanes always suffice: there
-    /// are at most log2(usize::MAX) + 1 = 64 guesses.
-    ///
-    /// The mask holds exactly the same bits as the guesses' own
-    /// (already-charged) `L` bitmaps in transposed order, so it adds
-    /// nothing to the model's space accounting: it is the simulation's
-    /// layout of the parallel branches' state, not a new algorithmic
-    /// store.
+    /// builds the transposed residual masks for traversal sharing (see
+    /// [`GuessMachine::begin_scan_group`] on the guess machine).
     pub fn begin_scan(&mut self) {
-        self.scanning.clear();
-        self.scanning
-            .extend((0..self.guesses.len()).filter(|&g| self.guesses[g].wants_scan()));
-        debug_assert!(!self.scanning.is_empty(), "begin_scan on a finished driver");
-        self.lanes.clear();
-        self.solo.clear();
-        for &g in &self.scanning {
-            match self.guesses[g].phase {
-                Phase::Pass1 | Phase::Cleanup => self.lanes.push((g, self.guesses[g].phase)),
-                _ => self.solo.push(g),
-            }
-        }
-        if self.lanes.len() < 2 {
-            let lone = self.lanes.drain(..).map(|(g, _)| g);
-            self.solo.extend(lone);
-        }
-        self.share_traversal = !self.lanes.is_empty();
-        if self.share_traversal {
-            assert!(
-                self.lanes.len() <= 64,
-                "more than 64 parallel guesses cannot occur"
-            );
-            self.sample_mask.fill(0);
-            self.lane_hits.resize_with(self.lanes.len(), Vec::new);
-            for (s, &(g, phase)) in self.lanes.iter().enumerate() {
-                match phase {
-                    Phase::Pass1 => {
-                        // At scan start L equals the freshly drawn sample.
-                        let sample = self.guesses[g].sample.as_ref().expect("pass-1 state");
-                        for &e in sample.get().iter() {
-                            self.sample_mask[e as usize] |= 1 << s;
-                        }
-                    }
-                    Phase::Cleanup => {
-                        let live = self.guesses[g].live.as_ref().expect("live until finish");
-                        for e in live.get().ones() {
-                            self.sample_mask[e as usize] |= 1 << s;
-                        }
-                    }
-                    _ => unreachable!("only pass-1 and cleanup guesses become lanes"),
-                }
-            }
-        }
+        self.inner.begin_scan();
     }
 
     /// The forked streams of the guesses joining the current scan, in
     /// guess order — hand these to [`SetStream::shared_pass`] so each
     /// logs its logical pass. Valid after [`begin_scan`](Self::begin_scan).
     pub fn participants(&self) -> Vec<&SetStream<'a>> {
-        self.scanning
-            .iter()
-            .map(|&g| &self.guesses[g].stream)
-            .collect()
+        self.inner.participants()
     }
 
     /// Feeds one stream item to every participating guess.
     pub fn absorb(&mut self, id: SetId, elems: &[ElemId]) {
-        if self.share_traversal {
-            // One walk over the set's elements feeds every lane:
-            // each mask load yields all lanes containing that
-            // element, and per-lane work is proportional to the
-            // lane's actual hits, not to the set size.
-            for &e in elems {
-                let mut m = self.sample_mask[e as usize];
-                while m != 0 {
-                    self.lane_hits[m.trailing_zeros() as usize].push(e);
-                    m &= m - 1;
-                }
-            }
-            for (s, &(g, phase)) in self.lanes.iter().enumerate() {
-                if self.lane_hits[s].is_empty() {
-                    continue;
-                }
-                let shrank = match phase {
-                    Phase::Pass1 => {
-                        if self.guesses[g].is_heavy(self.lane_hits[s].len()) {
-                            // Removing the hits (= elems ∩ L) is
-                            // what the heavy pick does to L.
-                            self.guesses[g].pass1_emit_heavy(id, &self.lane_hits[s]);
-                            true
-                        } else {
-                            self.guesses[g].pass1_store(id, &self.lane_hits[s]);
-                            false
-                        }
-                    }
-                    Phase::Cleanup => self.guesses[g].cleanup_hit(id, elems),
-                    _ => unreachable!("only pass-1 and cleanup guesses become lanes"),
-                };
-                if shrank {
-                    // The hit elements left this lane's residual,
-                    // so they leave its mask lane too.
-                    for &e in &self.lane_hits[s] {
-                        self.sample_mask[e as usize] &= !(1 << s);
-                    }
-                }
-                self.lane_hits[s].clear();
-            }
-        }
-        for &g in &self.solo {
-            self.guesses[g].absorb(id, elems);
-        }
+        self.inner.absorb(id, elems);
     }
 
     /// Runs every participating guess's between-scan transition
     /// (offline solves, iteration bookkeeping, phase changes) after the
     /// caller exhausted the scan's items.
     pub fn end_scan(&mut self) {
-        for &g in &self.scanning {
-            self.guesses[g].end_scan();
-        }
+        self.inner.end_scan();
     }
 
     /// Merges the finished guesses exactly as the sequential executor
     /// does and absorbs their pass counts (max) and space peaks (sum)
     /// into the parent stream and meter the driver was created from.
     /// Returns the best cover and the concatenated iteration traces.
-    ///
-    /// Merge order is guess order (k ascending), matching the
-    /// sequential path: traces concatenate to the identical sequence,
-    /// ties in the best-cover comparison resolve identically, and the
-    /// parent absorbs the same per-child pass counts and space peaks.
+    /// See [`ScanDriver::finish_into`] for the merge rule.
     pub fn finish_into(
         self,
         stream: &SetStream<'a>,
         meter: &SpaceMeter,
     ) -> (Vec<SetId>, Vec<IterationTrace>) {
-        let mut best: Option<Vec<SetId>> = None;
-        let mut traces = Vec::new();
-        let mut child_passes = Vec::with_capacity(self.guesses.len());
-        let mut child_peaks = Vec::with_capacity(self.guesses.len());
-        for guess in self.guesses {
-            debug_assert_eq!(guess.phase, Phase::Finished);
-            traces.extend(guess.traces);
-            if let Some(sol) = guess.result {
-                if best.as_ref().is_none_or(|b| sol.len() < b.len()) {
-                    best = Some(sol);
-                }
-            }
-            child_passes.push(guess.stream.passes());
-            child_peaks.push(guess.meter.peak());
-        }
-        stream.absorb_parallel(child_passes);
-        meter.absorb_parallel(child_peaks);
-        (best.unwrap_or_default(), traces)
+        self.inner.finish_into(stream, meter)
     }
 }
 

@@ -26,6 +26,7 @@
 use crate::iter_set_cover::sample_size_for;
 use crate::partial::partial_guess_seed;
 use crate::sampling::sample_from_bitset;
+use crate::scan_driver::{GuessMachine, MachineOutcome, ScanDriver};
 use crate::IterSetCoverConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -373,8 +374,42 @@ impl<'a> PartialGuessRun<'a> {
 /// turns false, [`finish_into`](Self::finish_into) merges the guesses
 /// and absorbs pass/space accounting into the query's parent handles.
 pub struct PartialCoverDriver<'a> {
-    guesses: Vec<PartialGuessRun<'a>>,
-    scanning: Vec<usize>,
+    inner: ScanDriver<'a, PartialGuessRun<'a>>,
+}
+
+impl<'a> GuessMachine<'a> for PartialGuessRun<'a> {
+    /// The ε-partial family shares no per-item state across guesses:
+    /// every scanning guess absorbs every item itself (the default
+    /// group hooks).
+    type Shared = ();
+
+    fn make_shared(_machines: &[Self]) -> Self::Shared {}
+
+    fn wants_scan(&self) -> bool {
+        PartialGuessRun::wants_scan(self)
+    }
+
+    fn stream(&self) -> &SetStream<'a> {
+        &self.stream
+    }
+
+    fn absorb(&mut self, id: SetId, elems: &[ElemId]) {
+        PartialGuessRun::absorb(self, id, elems);
+    }
+
+    fn end_scan(&mut self) {
+        PartialGuessRun::end_scan(self);
+    }
+
+    fn into_outcome(self) -> MachineOutcome {
+        debug_assert_eq!(self.phase, Phase::Finished);
+        MachineOutcome {
+            result: self.result,
+            traces: Vec::new(),
+            passes: self.stream.passes(),
+            peak: self.meter.peak(),
+        }
+    }
 }
 
 impl<'a> PartialCoverDriver<'a> {
@@ -402,67 +437,42 @@ impl<'a> PartialCoverDriver<'a> {
             }
         }
         Self {
-            guesses,
-            scanning: Vec::new(),
+            inner: ScanDriver::new(guesses),
         }
     }
 
     /// `true` while at least one guess still needs a physical scan.
     pub fn wants_scan(&self) -> bool {
-        self.guesses.iter().any(PartialGuessRun::wants_scan)
+        self.inner.wants_scan()
     }
 
     /// Collects the guesses participating in the next scan.
     pub fn begin_scan(&mut self) {
-        self.scanning.clear();
-        self.scanning
-            .extend((0..self.guesses.len()).filter(|&g| self.guesses[g].wants_scan()));
-        debug_assert!(!self.scanning.is_empty(), "begin_scan on a finished driver");
+        self.inner.begin_scan();
     }
 
     /// The forked streams of the participating guesses — hand these to
     /// [`SetStream::shared_pass`] so each logs its logical pass. Valid
     /// after [`begin_scan`](Self::begin_scan).
     pub fn participants(&self) -> Vec<&SetStream<'a>> {
-        self.scanning
-            .iter()
-            .map(|&g| &self.guesses[g].stream)
-            .collect()
+        self.inner.participants()
     }
 
     /// Feeds one stream item to every participating guess.
     pub fn absorb(&mut self, id: SetId, elems: &[ElemId]) {
-        for &g in &self.scanning {
-            self.guesses[g].absorb(id, elems);
-        }
+        self.inner.absorb(id, elems);
     }
 
     /// Runs every participating guess's between-scan transition.
     pub fn end_scan(&mut self) {
-        for &g in &self.scanning {
-            self.guesses[g].end_scan();
-        }
+        self.inner.end_scan();
     }
 
     /// Merges the finished guesses (k ascending, first minimal cover
     /// wins — the sequential tie-break) and absorbs pass counts (max)
-    /// and space peaks (sum) into the parent stream and meter.
+    /// and space peaks (sum) into the parent stream and meter. See
+    /// [`ScanDriver::finish_into`] for the single-source merge rule.
     pub fn finish_into(self, stream: &SetStream<'a>, meter: &SpaceMeter) -> Vec<SetId> {
-        let mut best: Option<Vec<SetId>> = None;
-        let mut child_passes = Vec::with_capacity(self.guesses.len());
-        let mut child_peaks = Vec::with_capacity(self.guesses.len());
-        for guess in self.guesses {
-            debug_assert_eq!(guess.phase, Phase::Finished);
-            if let Some(sol) = guess.result {
-                if best.as_ref().is_none_or(|b| sol.len() < b.len()) {
-                    best = Some(sol);
-                }
-            }
-            child_passes.push(guess.stream.passes());
-            child_peaks.push(guess.meter.peak());
-        }
-        stream.absorb_parallel(child_passes);
-        meter.absorb_parallel(child_peaks);
-        best.unwrap_or_default()
+        self.inner.finish_into(stream, meter).0
     }
 }

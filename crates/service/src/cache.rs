@@ -1,0 +1,291 @@
+//! The cross-query outcome cache.
+//!
+//! Serving workloads repeat themselves: identical `(spec, repository)`
+//! pairs recur, and every query kind the service accepts is
+//! deterministic given its spec (the RNG seed is part of
+//! [`QuerySpec`]), so the answer to a repeat is the answer already
+//! computed — in **zero** physical scans. The cache is keyed on the
+//! query spec *and* a 64-bit content fingerprint of the repository,
+//! and every hit additionally cross-checks the requester's repository
+//! dimensions against the entry's, so a cache shared between services
+//! (or outliving a repository swap) misses on different data unless
+//! two repositories of identical dimensions also collide in the
+//! 64-bit hash — astronomically unlikely for accidental data, but not
+//! a cryptographic guarantee.
+//!
+//! Cached answers carry the full solo-observable tuple (cover, covered
+//! count, goal, logical passes, space peak), so a hit's
+//! [`QueryOutcome`](crate::QueryOutcome) is bit-identical to the solo
+//! run that populated it — the `outcome_cache` integration test pins
+//! this together with the zero-physical-scan guarantee.
+
+use crate::query::QuerySpec;
+use sc_setsystem::{SetId, SetSystem};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// The solo observables of a completed query, as stored by the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedAnswer {
+    /// The emitted cover (set ids).
+    pub cover: Vec<SetId>,
+    /// Elements the cover actually covers.
+    pub covered: usize,
+    /// The coverage goal the query had to meet.
+    pub required: usize,
+    /// Logical passes the query charged when it ran.
+    pub logical_passes: usize,
+    /// Peak working memory in words when it ran.
+    pub space_words: usize,
+}
+
+type CacheKey = (u64, String);
+
+/// A stored answer plus the dimensions of the repository it was
+/// computed against — re-checked on every hit as a collision guard
+/// independent of the fingerprint hash.
+#[derive(Debug)]
+struct Stored {
+    universe: usize,
+    num_sets: usize,
+    answer: CachedAnswer,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Stored>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A bounded, thread-safe cache of query outcomes keyed on
+/// `(repository fingerprint, canonical spec)`.
+///
+/// Capacity `0` disables the cache (every lookup misses, inserts are
+/// dropped). Eviction is FIFO: outcome records are tiny (a cover is a
+/// few dozen ids), so a simple bound beats LRU bookkeeping on the
+/// scheduler's hot path. The cache is `Sync` and designed to be shared
+/// — wrap it in an [`Arc`](std::sync::Arc) and hand it to several
+/// [`Service::with_cache`](crate::Service::with_cache) instances to
+/// share answers across repositories (the content fingerprint plus the
+/// per-hit dimension cross-check keep them apart, up to a 64-bit hash
+/// collision between equal-dimension repositories).
+#[derive(Debug, Default)]
+pub struct OutcomeCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl OutcomeCache {
+    /// Creates a cache bounded to `capacity` entries (`0` disables it).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").map.len()
+    }
+
+    /// `true` when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime `(hits, misses)` across every service using this cache.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("cache poisoned");
+        (inner.hits, inner.misses)
+    }
+
+    /// A 64-bit FNV-1a fingerprint of a repository's full contents
+    /// (universe size, family size, and every set's elements, in
+    /// repository order). Any structural difference changes it with
+    /// overwhelming probability, but it is not collision-free — which
+    /// is why [`lookup`](Self::lookup) also cross-checks the stored
+    /// repository dimensions directly.
+    pub fn fingerprint(system: &SetSystem) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(system.universe() as u64);
+        mix(system.num_sets() as u64);
+        for (_id, elems) in system.iter() {
+            mix(elems.len() as u64);
+            for &e in elems {
+                mix(u64::from(e));
+            }
+        }
+        h
+    }
+
+    /// The canonical cache key of a spec: its `Display` form, which
+    /// round-trips through [`QuerySpec::parse`], so `delta=0.50` and
+    /// `delta=0.5` land on the same entry.
+    fn key(fingerprint: u64, spec: &QuerySpec) -> CacheKey {
+        (fingerprint, spec.to_string())
+    }
+
+    /// Looks up the answer for `spec` against the repository with the
+    /// given fingerprint and dimensions, updating the hit/miss
+    /// counters. A fingerprint match whose stored dimensions differ
+    /// from `universe`/`num_sets` is a hash collision between
+    /// different repositories and counts as a miss.
+    pub fn lookup(
+        &self,
+        fingerprint: u64,
+        universe: usize,
+        num_sets: usize,
+        spec: &QuerySpec,
+    ) -> Option<CachedAnswer> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        match inner
+            .map
+            .get(&Self::key(fingerprint, spec))
+            .filter(|stored| stored.universe == universe && stored.num_sets == num_sets)
+            .map(|stored| stored.answer.clone())
+        {
+            Some(answer) => {
+                inner.hits += 1;
+                Some(answer)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the answer a completed query produced against the
+    /// repository with the given fingerprint and dimensions. A
+    /// duplicate key (two identical queries retiring from the same
+    /// epoch group) overwrites in place — the answers are identical by
+    /// determinism — without consuming a second slot.
+    pub fn insert(
+        &self,
+        fingerprint: u64,
+        universe: usize,
+        num_sets: usize,
+        spec: &QuerySpec,
+        answer: CachedAnswer,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = Self::key(fingerprint, spec);
+        let stored = Stored {
+            universe,
+            num_sets,
+            answer,
+        };
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        match inner.map.entry(key.clone()) {
+            Entry::Occupied(mut slot) => {
+                slot.insert(stored);
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(stored);
+                inner.order.push_back(key);
+                while inner.order.len() > self.capacity {
+                    let evict = inner.order.pop_front().expect("order tracks map");
+                    inner.map.remove(&evict);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(tag: usize) -> CachedAnswer {
+        CachedAnswer {
+            cover: vec![tag as SetId],
+            covered: tag,
+            required: tag,
+            logical_passes: 1,
+            space_words: 8,
+        }
+    }
+
+    fn spec(seed: u64) -> QuerySpec {
+        QuerySpec::IterCover { delta: 0.5, seed }
+    }
+
+    #[test]
+    fn fingerprint_separates_repositories() {
+        let a = SetSystem::from_sets(3, vec![vec![0, 1], vec![2]]);
+        let same = SetSystem::from_sets(3, vec![vec![0, 1], vec![2]]);
+        let different = SetSystem::from_sets(3, vec![vec![0, 1], vec![1]]);
+        assert_eq!(
+            OutcomeCache::fingerprint(&a),
+            OutcomeCache::fingerprint(&same)
+        );
+        assert_ne!(
+            OutcomeCache::fingerprint(&a),
+            OutcomeCache::fingerprint(&different)
+        );
+    }
+
+    #[test]
+    fn lookup_respects_fingerprint_and_spec() {
+        let cache = OutcomeCache::new(8);
+        cache.insert(1, 3, 2, &spec(7), answer(1));
+        assert_eq!(cache.lookup(1, 3, 2, &spec(7)), Some(answer(1)));
+        assert_eq!(cache.lookup(2, 3, 2, &spec(7)), None, "other repository");
+        assert_eq!(cache.lookup(1, 3, 2, &spec(8)), None, "other spec");
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn fingerprint_collisions_with_other_dimensions_miss() {
+        let cache = OutcomeCache::new(8);
+        cache.insert(1, 3, 2, &spec(7), answer(1));
+        // Same (colliding) fingerprint, different repository shape:
+        // the dimension cross-check turns it into a miss.
+        assert_eq!(cache.lookup(1, 4, 2, &spec(7)), None, "universe differs");
+        assert_eq!(cache.lookup(1, 3, 5, &spec(7)), None, "family differs");
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn fifo_eviction_keeps_the_bound() {
+        let cache = OutcomeCache::new(2);
+        for s in 0..5u64 {
+            cache.insert(0, 3, 2, &spec(s), answer(s as usize));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(0, 3, 2, &spec(0)), None, "oldest evicted");
+        assert_eq!(cache.lookup(0, 3, 2, &spec(4)), Some(answer(4)));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = OutcomeCache::new(0);
+        cache.insert(0, 3, 2, &spec(1), answer(1));
+        assert_eq!(cache.lookup(0, 3, 2, &spec(1)), None);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0), "disabled caches do not count");
+    }
+}

@@ -17,33 +17,62 @@
 //! (`std::thread::scope`) fanning the per-query state updates out
 //! across the jobs, which own disjoint state.
 //!
+//! Three scale levers ride on the epoch scheduler:
+//!
+//! * **Mid-stream, pass-aligned admission** — a query arriving while a
+//!   scan is in flight joins that scan instead of queueing for the
+//!   next epoch: the epoch buffers the scanned items, so a pass-1
+//!   joiner still observes every item in repository order, and
+//!   [`sc_stream::ScanLedger::join`] logs its logical pass without a
+//!   second physical walk. [`ServiceConfig::admission_window`]
+//!   optionally holds a fresh group's first scan open for the rest of
+//!   a burst.
+//! * **The outcome cache** — repeat queries (same spec, same
+//!   repository fingerprint) are answered from [`OutcomeCache`] in
+//!   zero physical scans, with hit/miss counters in
+//!   [`ServiceMetrics`]; a cache shared across services keeps
+//!   repositories apart through the content fingerprint in the key
+//!   plus a per-hit dimension cross-check (see [`OutcomeCache`] for
+//!   the collision caveat).
+//! * **Latency histograms** — [`ServiceMetrics::queue_wait`] and
+//!   [`ServiceMetrics::latency`] are log-bucketed
+//!   [`LatencyHistogram`]s with p50/p90/p99 extraction, the numbers
+//!   experiment E18 (`BENCH_service_load.json`) reports under load.
+//!
 //! Two guarantees, both pinned by integration tests:
 //!
 //! * **Equivalence** — a query solved through the service returns the
 //!   bit-identical cover, logical pass count, and space peak as the
-//!   same query run solo (`service_equivalence`): each job keeps its
-//!   own forked stream counter and space meter and performs exactly
-//!   the sequential operations in the same order.
+//!   same query run solo (`service_equivalence`) — under mid-stream
+//!   admission and cache hits alike: each job keeps its own forked
+//!   stream counter and space meter and performs exactly the
+//!   sequential operations in the same order, and a cache hit replays
+//!   the stored solo observables verbatim.
 //! * **Scan sharing is real** — for `N` concurrent identical queries
 //!   the service performs `max` (not `N ×`) physical scans, recorded
 //!   by [`sc_stream::ScanLedger`] and reported in
-//!   [`ServiceMetrics::physical_scans`] (`service_scan_sharing`).
+//!   [`ServiceMetrics::physical_scans`] (`service_scan_sharing`), and
+//!   cache hits cost zero scans (`outcome_cache`).
 //!
 //! Entry points: [`Service::run_batch`] for a fixed workload (all
 //! queries admitted before the first scan — what experiment E17
 //! measures) and [`Service::serve`] for concurrent clients submitting
 //! through a [`ServiceHandle`] with bounded-queue backpressure. The
 //! line protocol spoken by `sctool serve` lives in [`QuerySpec::parse`]
-//! / [`QueryOutcome::protocol_line`].
+//! / [`QueryOutcome::protocol_line`]; the TCP front-end and the
+//! [`net::wait_ready`] readiness probe live in [`net`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod job;
+mod metrics;
+pub mod net;
 mod query;
 mod service;
 
+pub use cache::{CachedAnswer, OutcomeCache};
+pub use metrics::{LatencyHistogram, ServiceMetrics};
 pub use query::{QueryOutcome, QuerySpec};
-pub use service::{
-    QueryTicket, Service, ServiceClosed, ServiceConfig, ServiceHandle, ServiceMetrics,
-};
+pub use service::{QueryTicket, Service, ServiceClosed, ServiceConfig, ServiceHandle};

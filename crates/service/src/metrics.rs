@@ -1,0 +1,209 @@
+//! Aggregate service counters and log-bucketed latency histograms.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Number of log₂ buckets; bucket 39 holds everything ≥ 2³⁸ µs (~76 h),
+/// far beyond any realistic query latency.
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram with percentile extraction.
+///
+/// Bucket `0` holds sub-microsecond durations; bucket `i ≥ 1` holds
+/// durations in `[2^(i-1), 2^i)` microseconds; the last bucket absorbs
+/// overflow. Recording is O(1) and the memory footprint is fixed
+/// (40 counters), so the scheduler can record every query without a
+/// reservoir or allocation. Percentiles come back as the upper edge of
+/// the bucket containing the requested rank — exact to within the 2×
+/// bucket resolution, which is the right precision for a load test's
+/// p50/p90/p99 summary.
+///
+/// # Examples
+///
+/// ```
+/// use sc_service::LatencyHistogram;
+/// use std::time::Duration;
+///
+/// let mut h = LatencyHistogram::default();
+/// for ms in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 100] {
+///     h.record(Duration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 10);
+/// assert!(h.percentile(50.0) < Duration::from_millis(3));
+/// assert!(h.percentile(99.0) >= Duration::from_millis(100));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us += u128::from(us);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded durations (exact, not bucketed).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(
+            u64::try_from(self.sum_us / u128::from(self.count)).unwrap_or(u64::MAX),
+        )
+    }
+
+    /// The `p`-th percentile (`0 < p ≤ 100`), reported as the upper
+    /// edge of the bucket holding that rank. Returns zero on an empty
+    /// histogram.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper edge of bucket i: 2^i µs (bucket 0 → 1 µs).
+                return Duration::from_micros(1u64 << i.min(63));
+            }
+        }
+        Duration::from_micros(1u64 << (BUCKETS - 1).min(63))
+    }
+
+    /// Adds every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+    }
+
+    /// One-line `p50/p90/p99 (mean, n)` summary in milliseconds.
+    pub fn summary(&self) -> String {
+        format!(
+            "p50≤{:.1}ms p90≤{:.1}ms p99≤{:.1}ms (mean {:.1}ms, n={})",
+            self.percentile(50.0).as_secs_f64() * 1e3,
+            self.percentile(90.0).as_secs_f64() * 1e3,
+            self.percentile(99.0).as_secs_f64() * 1e3,
+            self.mean().as_secs_f64() * 1e3,
+            self.count,
+        )
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Aggregate counters of one service run.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Physical scans of the repository the service actually performed
+    /// — the number scan sharing is measured against (compare with the
+    /// sum of per-query `logical_passes`).
+    pub physical_scans: usize,
+    /// Queries completed (cache hits included).
+    pub queries_completed: usize,
+    /// Largest number of queries concurrently inside scan epochs.
+    pub max_inflight_seen: usize,
+    /// Queries admitted into a scan already in flight (pass-aligned
+    /// mid-stream admission) instead of waiting for the next epoch.
+    pub mid_stream_admissions: usize,
+    /// Queries answered from the outcome cache in zero physical scans.
+    pub cache_hits: usize,
+    /// Queries that missed the cache and ran through scan epochs.
+    pub cache_misses: usize,
+    /// Submission → admission wait, one observation per query.
+    pub queue_wait: LatencyHistogram,
+    /// Submission → completion latency, one observation per query.
+    pub latency: LatencyHistogram,
+    /// Wall-clock from first admission to last retirement.
+    pub elapsed: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_in_microseconds() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 3);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.percentile(99.0), Duration::ZERO);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // bucket [8, 16)
+        }
+        h.record(Duration::from_millis(50)); // bucket [32768, 65536) µs
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile(50.0), Duration::from_micros(16));
+        assert_eq!(h.percentile(99.0), Duration::from_micros(16));
+        assert_eq!(h.percentile(100.0), Duration::from_micros(65536));
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sums() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(3));
+        b.record(Duration::from_micros(5));
+        b.record(Duration::from_micros(7));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn summary_mentions_all_percentiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_millis(2));
+        let s = h.summary();
+        assert!(s.contains("p50") && s.contains("p90") && s.contains("p99"));
+    }
+}

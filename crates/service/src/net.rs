@@ -1,0 +1,238 @@
+//! Network front-end: the line protocol over TCP (or any
+//! `BufRead`/`Write` pair) and a connect-retry readiness probe.
+//!
+//! `sctool serve` and `sctool client` are thin wrappers over this
+//! module, so examples and tests can run the exact same server the CLI
+//! ships: bind a [`TcpListener`], hand it to [`serve_tcp`], and probe
+//! readiness with [`wait_ready`] instead of polling `/dev/tcp` from a
+//! shell loop.
+
+use crate::metrics::ServiceMetrics;
+use crate::query::QuerySpec;
+use crate::service::{QueryTicket, Service, ServiceHandle};
+use std::io::{BufRead, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Blocks until a TCP connect to `addr` succeeds, retrying for up to
+/// `timeout` — the programmatic replacement for shell readiness loops
+/// over `/dev/tcp`. The probe connection is closed immediately; the
+/// server sees one accepted connection with zero protocol lines, which
+/// the pump treats as a no-op session.
+///
+/// # Errors
+///
+/// The last connect error (with the address) once `timeout` elapses
+/// without a successful connect.
+pub fn wait_ready(addr: &str, timeout: Duration) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let err = match TcpStream::connect(addr) {
+            Ok(_probe) => return Ok(()),
+            Err(e) => e,
+        };
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "{addr}: not ready after {:.1}s ({err})",
+                timeout.as_secs_f64()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Request/response pump shared by the stdin and TCP front-ends: a
+/// reader thread submits queries as lines arrive while the calling
+/// thread answers tickets in submission order — so responses stream
+/// back as queries complete, and every pending line is already riding
+/// shared scan epochs. All responses — `pong` and `err` included — are
+/// emitted in request order, so a `ping` pipelined behind a slow query
+/// answers after that query completes; it probes the connection's
+/// round-trip, not the scheduler's idle latency. Returns `Ok(true)` if
+/// the peer asked for server shutdown.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `input` and `output` (a client that went
+/// away mid-reply).
+pub fn pump_queries<R, W>(input: R, output: &mut W, handle: &ServiceHandle) -> std::io::Result<bool>
+where
+    R: BufRead + Send,
+    W: Write,
+{
+    enum Pumped {
+        Ticket(QueryTicket),
+        Error(String),
+        Pong,
+    }
+    let (tx, rx) = std::sync::mpsc::channel::<Pumped>();
+    std::thread::scope(|s| {
+        let reader = s.spawn(move || -> std::io::Result<bool> {
+            for line in input.lines() {
+                let line = line?;
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                match line {
+                    "quit" => break,
+                    "shutdown" => return Ok(true),
+                    "ping" => {
+                        let _ = tx.send(Pumped::Pong);
+                        continue;
+                    }
+                    _ => {}
+                }
+                let msg = match QuerySpec::parse(line) {
+                    Ok(spec) => match handle.submit(spec) {
+                        Ok(ticket) => Pumped::Ticket(ticket),
+                        Err(e) => Pumped::Error(e.to_string()),
+                    },
+                    Err(msg) => Pumped::Error(msg),
+                };
+                let _ = tx.send(msg);
+            }
+            Ok(false)
+        });
+        // The sender side lives in the reader thread (`tx` moved in),
+        // so this loop ends exactly when the reader is done.
+        for msg in rx {
+            match msg {
+                Pumped::Ticket(ticket) => match ticket.wait() {
+                    Ok(outcome) => writeln!(output, "{}", outcome.protocol_line())?,
+                    Err(e) => writeln!(output, "err msg={e}")?,
+                },
+                Pumped::Error(msg) => writeln!(output, "err msg={msg}")?,
+                Pumped::Pong => writeln!(output, "pong")?,
+            }
+            output.flush()?;
+        }
+        reader.join().expect("reader thread panicked")
+    })
+}
+
+/// Serves the line protocol on an already-bound listener: every
+/// accepted connection speaks the protocol concurrently through
+/// [`pump_queries`], all sharing one scan scheduler; the `shutdown`
+/// command stops the listener once inflight work drains.
+///
+/// # Errors
+///
+/// An accept-loop failure message; the metrics of the work served up to
+/// that point are lost with the scheduler in that case.
+pub fn serve_tcp(service: &Service, listener: TcpListener) -> Result<ServiceMetrics, String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("listener: {e}"))?;
+    let stop = AtomicBool::new(false);
+    // Read halves of the *live* connections, keyed by connection id:
+    // shutdown (or an accept failure) closes them to unblock pump
+    // readers idling on open sockets — their write halves stay intact
+    // for replies still in flight — and each pump thread removes its
+    // own entry when its connection ends, so the registry (and its
+    // file descriptors) never outgrow the live connection count.
+    let open_reads: std::sync::Mutex<Vec<(u64, TcpStream)>> = std::sync::Mutex::new(Vec::new());
+    let (res, metrics) = service.serve(|handle| -> Result<(), String> {
+        std::thread::scope(|s| {
+            let mut next_conn = 0u64;
+            let result = loop {
+                let (conn, _peer) = match listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(e) => break Err(format!("accept: {e}")),
+                };
+                if stop.load(Ordering::SeqCst) {
+                    break Ok(());
+                }
+                let reader = match conn.try_clone() {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                let conn_id = next_conn;
+                next_conn += 1;
+                // Registration is mandatory: a reader shutdown cannot
+                // unblock would make this connection wedge the server
+                // on shutdown, so refuse it instead of serving it.
+                let Ok(half) = reader.try_clone() else {
+                    continue;
+                };
+                open_reads.lock().expect("poisoned").push((conn_id, half));
+                let handle = handle.clone();
+                let (stop, open_reads) = (&stop, &open_reads);
+                s.spawn(move || {
+                    let reader = std::io::BufReader::new(reader);
+                    let mut writer = &conn;
+                    match pump_queries(reader, &mut writer, &handle) {
+                        Ok(true) => {
+                            // Shutdown requested: stop accepting, and
+                            // poke the listener awake with a dummy
+                            // connection so the accept loop observes it.
+                            stop.store(true, Ordering::SeqCst);
+                            let _ = TcpStream::connect(local);
+                        }
+                        Ok(false) => {}
+                        Err(_) => {} // client went away mid-reply
+                    }
+                    open_reads
+                        .lock()
+                        .expect("poisoned")
+                        .retain(|(id, _)| *id != conn_id);
+                });
+            };
+            // On every exit path — clean shutdown or accept failure —
+            // close the read halves of the connections still open, so
+            // pump readers see EOF, drain their pending replies, and
+            // the scope can finish instead of wedging on blocked reads.
+            for (_, half) in open_reads.lock().expect("poisoned").iter() {
+                let _ = half.shutdown(std::net::Shutdown::Read);
+            }
+            result
+        })
+    });
+    res?;
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use sc_setsystem::gen;
+    use std::io::{BufRead, BufReader, Write};
+
+    #[test]
+    fn tcp_round_trip_with_wait_ready_and_shutdown() {
+        let inst = gen::planted(64, 128, 4, 1);
+        let service = Service::new(inst.system, ServiceConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_tcp(&service, listener).expect("serve"));
+            wait_ready(&addr, Duration::from_secs(10)).expect("ready");
+            let conn = TcpStream::connect(&addr).expect("connect");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut writer = &conn;
+            writeln!(writer, "ping").unwrap();
+            writeln!(writer, "greedy").unwrap();
+            writeln!(writer, "shutdown").unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim(), "pong");
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("ok "), "greedy should solve: {line:?}");
+            let metrics = server.join().expect("server thread");
+            assert_eq!(metrics.queries_completed, 1);
+        });
+    }
+
+    #[test]
+    fn wait_ready_times_out_with_the_address_in_the_error() {
+        // Port 1 is essentially never listening on a test host.
+        let err = wait_ready("127.0.0.1:1", Duration::from_millis(120)).unwrap_err();
+        assert!(err.contains("127.0.0.1:1"), "{err}");
+        assert!(err.contains("not ready"), "{err}");
+    }
+}

@@ -155,6 +155,10 @@ pub struct QueryOutcome {
     pub queue_wait: Duration,
     /// Time from submission to completion.
     pub latency: Duration,
+    /// `true` when the outcome was answered from the cross-query
+    /// outcome cache (zero physical scans; all observables are the
+    /// stored solo values of the run that populated the entry).
+    pub cached: bool,
 }
 
 impl QueryOutcome {
@@ -174,7 +178,7 @@ impl QueryOutcome {
     /// (best-effort) measurements so a load generator can tabulate it.
     pub fn protocol_line(&self) -> String {
         format!(
-            "{} id={} kind={} sol={} covered={}/{} passes={} space={} epochs={} wait_us={} us={}",
+            "{} id={} kind={} sol={} covered={}/{} passes={} space={} epochs={} wait_us={} us={} cached={}",
             if self.goal_met() { "ok" } else { "fail" },
             self.id,
             self.spec.kind(),
@@ -186,6 +190,7 @@ impl QueryOutcome {
             self.epochs_joined,
             self.queue_wait.as_micros(),
             self.latency.as_micros(),
+            u8::from(self.cached),
         )
     }
 }

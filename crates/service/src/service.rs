@@ -1,12 +1,15 @@
-//! The scan-epoch scheduler: admission, shared scans, worker fan-out.
+//! The scan-epoch scheduler: admission, shared scans, worker fan-out,
+//! mid-stream joins, and the outcome cache.
 
+use crate::cache::{CachedAnswer, OutcomeCache};
 use crate::job::{make_job, CoverJob};
+use crate::metrics::ServiceMetrics;
 use crate::query::{QueryOutcome, QuerySpec};
 use sc_bitset::BitSet;
 use sc_setsystem::{ElemId, SetId, SetSystem};
 use sc_stream::{ScanLedger, SetStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -25,6 +28,22 @@ pub struct ServiceConfig {
     /// once this many queries wait unadmitted (the client's half of
     /// backpressure).
     pub queue_depth: usize,
+    /// Entries the outcome cache may hold (`0` disables caching).
+    /// Ignored when the service is built with
+    /// [`Service::with_cache`], which brings its own cache.
+    pub cache_capacity: usize,
+    /// How long the scheduler holds the *first* scan of a fresh epoch
+    /// group open for mid-stream joiners (serve mode only; zero — the
+    /// default — admits mid-stream without ever blocking). A burst
+    /// arriving just behind the group's head then rides the same
+    /// physical scan instead of paying an extra epoch of queue wait.
+    ///
+    /// This is a batching knob for bursty load, and it has a cost on
+    /// sparse traffic: every query that starts a fresh group waits up
+    /// to the full window for company before its first scan's fan-out
+    /// runs, so a strict request-response client pays the window per
+    /// query. Leave it at zero unless clients submit in bursts.
+    pub admission_window: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -36,23 +55,10 @@ impl Default for ServiceConfig {
                 .unwrap_or(1)
                 .min(8),
             queue_depth: 256,
+            cache_capacity: 256,
+            admission_window: Duration::ZERO,
         }
     }
-}
-
-/// Aggregate counters of one service run.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ServiceMetrics {
-    /// Physical scans of the repository the service actually performed
-    /// — the number scan sharing is measured against (compare with the
-    /// sum of per-query `logical_passes`).
-    pub physical_scans: usize,
-    /// Queries completed.
-    pub queries_completed: usize,
-    /// Largest number of queries concurrently inside scan epochs.
-    pub max_inflight_seen: usize,
-    /// Wall-clock from first admission to last retirement.
-    pub elapsed: Duration,
 }
 
 /// Error returned when the service has shut down.
@@ -135,6 +141,17 @@ struct Inflight<'a> {
     reply: Option<SyncSender<QueryOutcome>>,
 }
 
+/// Serve-mode plumbing threaded into [`Service::epoch`] so queries
+/// arriving while a scan is in flight can join it mid-stream.
+struct MidStream<'rx> {
+    rx: &'rx Receiver<Submission>,
+    open: &'rx mut bool,
+    /// `true` when this epoch group just started from an idle
+    /// scheduler — the admission window (if configured) holds this
+    /// scan open for the rest of the burst.
+    fresh_group: bool,
+}
+
 /// A multi-tenant, in-process cover-query engine over one repository.
 ///
 /// The service holds the [`SetSystem`] and serves streams of cover
@@ -144,7 +161,13 @@ struct Inflight<'a> {
 /// [`SetStream::shared_pass`] per epoch advances all of them — so the
 /// physical scan count of a group of concurrent queries is the *max*
 /// of their logical pass counts, not the sum, exactly the accounting
-/// the streaming model charges for parallel branches.
+/// the streaming model charges for parallel branches. Two further scale
+/// levers ride on top: queries arriving while a scan is in flight join
+/// it **mid-stream** (the scan's items are buffered, so a pass-1 joiner
+/// still observes every item; [`ScanLedger::join`] keeps the physical
+/// count honest), and repeat queries are answered from the
+/// **outcome cache** in zero physical scans
+/// ([`OutcomeCache`](crate::OutcomeCache)).
 ///
 /// # Examples
 ///
@@ -164,19 +187,43 @@ struct Inflight<'a> {
 pub struct Service {
     system: SetSystem,
     cfg: ServiceConfig,
+    fingerprint: u64,
+    cache: Arc<OutcomeCache>,
 }
 
 impl Service {
-    /// Wraps a repository with the given configuration.
+    /// Wraps a repository with the given configuration and a private
+    /// outcome cache of `cfg.cache_capacity` entries.
     ///
     /// # Panics
     ///
     /// Panics if `max_inflight`, `workers`, or `queue_depth` is zero.
     pub fn new(system: SetSystem, cfg: ServiceConfig) -> Self {
+        let cache = Arc::new(OutcomeCache::new(cfg.cache_capacity));
+        Self::with_cache(system, cfg, cache)
+    }
+
+    /// Wraps a repository with a shared outcome cache — several
+    /// services (even over different repositories) can point at the
+    /// same [`OutcomeCache`]; the repository content fingerprint in
+    /// the cache key, backed by a per-hit dimension cross-check,
+    /// keeps their answers apart (see [`OutcomeCache`] for the 64-bit
+    /// collision caveat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_inflight`, `workers`, or `queue_depth` is zero.
+    pub fn with_cache(system: SetSystem, cfg: ServiceConfig, cache: Arc<OutcomeCache>) -> Self {
         assert!(cfg.max_inflight > 0, "max_inflight must be positive");
         assert!(cfg.workers > 0, "workers must be positive");
         assert!(cfg.queue_depth > 0, "queue_depth must be positive");
-        Self { system, cfg }
+        let fingerprint = OutcomeCache::fingerprint(&system);
+        Self {
+            system,
+            cfg,
+            fingerprint,
+            cache,
+        }
     }
 
     /// The repository being served.
@@ -189,9 +236,22 @@ impl Service {
         &self.cfg
     }
 
+    /// The outcome cache answering repeat queries.
+    pub fn cache(&self) -> &Arc<OutcomeCache> {
+        &self.cache
+    }
+
+    /// The fingerprint of the served repository — the cache-key half
+    /// that keeps answers from different repositories apart.
+    pub fn repository_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// Solves a batch of queries through shared scan epochs, all
-    /// admitted before the first scan (up to `max_inflight` at a time).
-    /// Outcomes come back in submission order.
+    /// admitted before the first scan (up to `max_inflight` at a time;
+    /// repeats of an already-retired spec are answered from the cache
+    /// without occupying a slot). Outcomes come back in submission
+    /// order.
     pub fn run_batch(&self, specs: &[QuerySpec]) -> (Vec<QueryOutcome>, ServiceMetrics) {
         let start = Instant::now();
         let root = SetStream::new(&self.system);
@@ -202,23 +262,33 @@ impl Service {
         let mut inflight: Vec<(usize, Inflight<'_>)> = Vec::new();
         loop {
             while next < specs.len() && inflight.len() < self.cfg.max_inflight {
-                // The whole batch is "submitted" when run_batch starts,
-                // so queries that wait epochs for a `max_inflight` slot
-                // report that wait in `queue_wait` / `latency`.
+                let slot = next;
+                next += 1;
+                if let Some(answer) = self.cache_lookup(&specs[slot]) {
+                    // The whole batch is "submitted" when run_batch
+                    // starts, so a hit's latency covers the epochs it
+                    // waited for a slot, same as a job's would.
+                    let outcome = self.cached_outcome(slot as u64, specs[slot], start, answer);
+                    self.deliver_cached(&outcome, &mut metrics);
+                    outcomes[slot] = Some(outcome);
+                    continue;
+                }
+                if self.cache_enabled() {
+                    metrics.cache_misses += 1;
+                }
                 let fl = Inflight {
-                    id: next as u64,
-                    spec: specs[next],
-                    job: make_job(&specs[next], &root),
+                    id: slot as u64,
+                    spec: specs[slot],
+                    job: make_job(&specs[slot], &root),
                     submitted: start,
                     admitted: Instant::now(),
                     epochs_joined: 0,
                     reply: None,
                 };
-                inflight.push((next, fl));
-                next += 1;
+                inflight.push((slot, fl));
             }
             metrics.max_inflight_seen = metrics.max_inflight_seen.max(inflight.len());
-            self.retire(&mut inflight, |slot, outcome| {
+            self.retire(&mut inflight, &mut metrics, |slot, outcome| {
                 outcomes[slot] = Some(outcome);
             });
             if inflight.is_empty() {
@@ -227,10 +297,9 @@ impl Service {
                 }
                 continue;
             }
-            self.epoch(&root, &ledger, &mut inflight);
+            self.epoch(&root, &ledger, &mut inflight, None, &mut metrics);
         }
         metrics.physical_scans = ledger.physical_scans();
-        metrics.queries_completed = specs.len();
         metrics.elapsed = start.elapsed();
         (
             outcomes
@@ -247,9 +316,11 @@ impl Service {
     /// handle clone it made is dropped), the scheduler drains the
     /// remaining queries and the call returns.
     ///
-    /// Admission happens at epoch boundaries: new queries wait until
-    /// the current scan completes, then join the next epoch (subject to
-    /// `max_inflight`).
+    /// Admission happens at epoch boundaries *and* mid-stream: a query
+    /// arriving while a scan is in flight joins that scan (its first
+    /// pass observes the buffered items, [`ScanLedger::join`] logs the
+    /// logical pass) instead of queueing for the next epoch. Repeat
+    /// queries are answered from the outcome cache immediately.
     pub fn serve<R, F>(&self, clients: F) -> (R, ServiceMetrics)
     where
         F: FnOnce(ServiceHandle) -> R,
@@ -267,8 +338,9 @@ impl Service {
         })
     }
 
-    /// The serve-mode scheduler: admission from the queue, one shared
-    /// scan per epoch, replies on completion.
+    /// The serve-mode scheduler: admission from the queue (at epoch
+    /// boundaries and mid-stream), one shared scan per epoch, replies
+    /// on completion.
     fn scheduler(&self, rx: Receiver<Submission>) -> ServiceMetrics {
         let start = Instant::now();
         let root = SetStream::new(&self.system);
@@ -278,6 +350,7 @@ impl Service {
         let mut open = true;
         loop {
             // Admission at the epoch boundary. Block only when idle.
+            let fresh_group = inflight.is_empty();
             while open && inflight.len() < self.cfg.max_inflight {
                 let sub = if inflight.is_empty() {
                     rx.recv().map_err(|_| TryRecvError::Disconnected)
@@ -286,22 +359,12 @@ impl Service {
                 };
                 match sub {
                     Ok(sub) => {
-                        let admitted = Instant::now();
-                        // The slot mirrors the submission id: serve
-                        // mode routes outcomes by reply channel, but
-                        // the slot stays meaningful either way.
-                        inflight.push((
-                            sub.id as usize,
-                            Inflight {
-                                id: sub.id,
-                                spec: sub.spec,
-                                job: make_job(&sub.spec, &root),
-                                submitted: sub.submitted,
-                                admitted,
-                                epochs_joined: 0,
-                                reply: Some(sub.reply),
-                            },
-                        ));
+                        if let Some(fl) = self.admit_or_answer(sub, &root, &mut metrics) {
+                            // The slot mirrors the submission id: serve
+                            // mode routes outcomes by reply channel, but
+                            // the slot stays meaningful either way.
+                            inflight.push((fl.id as usize, fl));
+                        }
                     }
                     Err(TryRecvError::Empty) => break,
                     Err(TryRecvError::Disconnected) => {
@@ -311,30 +374,118 @@ impl Service {
                 }
             }
             metrics.max_inflight_seen = metrics.max_inflight_seen.max(inflight.len());
-            let mut completed = 0usize;
-            self.retire(&mut inflight, |_slot, _outcome| completed += 1);
-            metrics.queries_completed += completed;
+            self.retire(&mut inflight, &mut metrics, |_slot, _outcome| {});
             if inflight.is_empty() {
                 if !open {
                     break;
                 }
                 continue;
             }
-            self.epoch(&root, &ledger, &mut inflight);
+            let mid = MidStream {
+                rx: &rx,
+                open: &mut open,
+                fresh_group,
+            };
+            self.epoch(&root, &ledger, &mut inflight, Some(mid), &mut metrics);
         }
         metrics.physical_scans = ledger.physical_scans();
         metrics.elapsed = start.elapsed();
         metrics
     }
 
+    /// `true` when this service actually caches outcomes — a disabled
+    /// cache neither stores answers nor counts traffic
+    /// ([`ServiceMetrics::cache_misses`] stays zero, matching
+    /// [`OutcomeCache::stats`]'s disabled-cache semantics).
+    fn cache_enabled(&self) -> bool {
+        self.cache.capacity() > 0
+    }
+
+    /// Cache lookup under this service's repository identity
+    /// (fingerprint plus the dimension cross-check).
+    fn cache_lookup(&self, spec: &QuerySpec) -> Option<crate::cache::CachedAnswer> {
+        self.cache.lookup(
+            self.fingerprint,
+            self.system.universe(),
+            self.system.num_sets(),
+            spec,
+        )
+    }
+
+    /// Answers one submission from the cache (delivering the outcome
+    /// immediately) or builds its job; returns the inflight entry on a
+    /// cache miss.
+    fn admit_or_answer<'a>(
+        &'a self,
+        sub: Submission,
+        root: &SetStream<'a>,
+        metrics: &mut ServiceMetrics,
+    ) -> Option<Inflight<'a>> {
+        if let Some(answer) = self.cache_lookup(&sub.spec) {
+            let outcome = self.cached_outcome(sub.id, sub.spec, sub.submitted, answer);
+            self.deliver_cached(&outcome, metrics);
+            // The client may have dropped its ticket; that is fine.
+            let _ = sub.reply.send(outcome);
+            return None;
+        }
+        if self.cache_enabled() {
+            metrics.cache_misses += 1;
+        }
+        Some(Inflight {
+            id: sub.id,
+            spec: sub.spec,
+            job: make_job(&sub.spec, root),
+            submitted: sub.submitted,
+            admitted: Instant::now(),
+            epochs_joined: 0,
+            reply: Some(sub.reply),
+        })
+    }
+
+    /// Builds the outcome of a cache hit: the stored solo observables
+    /// (bit-identical to the run that populated the entry) under the
+    /// caller's submission timing, in zero physical scans.
+    fn cached_outcome(
+        &self,
+        id: u64,
+        spec: QuerySpec,
+        submitted: Instant,
+        answer: CachedAnswer,
+    ) -> QueryOutcome {
+        QueryOutcome {
+            id,
+            spec,
+            cover: answer.cover,
+            covered: answer.covered,
+            required: answer.required,
+            logical_passes: answer.logical_passes,
+            space_words: answer.space_words,
+            epochs_joined: 0,
+            queue_wait: submitted.elapsed(),
+            latency: submitted.elapsed(),
+            cached: true,
+        }
+    }
+
+    /// Records a cache hit's metrics (counters + histograms).
+    fn deliver_cached(&self, outcome: &QueryOutcome, metrics: &mut ServiceMetrics) {
+        metrics.cache_hits += 1;
+        metrics.queries_completed += 1;
+        metrics.queue_wait.record(outcome.queue_wait);
+        metrics.latency.record(outcome.latency);
+    }
+
     /// Runs one scan epoch: every inflight job joins one shared
-    /// physical pass, with worker threads fanning the per-query state
-    /// updates out across the jobs.
+    /// physical pass, queries arriving while the scan is in flight join
+    /// it mid-stream (serve mode), and worker threads fan the per-query
+    /// state updates out across the jobs.
     fn epoch<'a>(
         &'a self,
         root: &SetStream<'a>,
         ledger: &ScanLedger,
-        inflight: &mut [(usize, Inflight<'a>)],
+        inflight: &mut Vec<(usize, Inflight<'a>)>,
+        mut mid: Option<MidStream<'_>>,
+        metrics: &mut ServiceMetrics,
     ) {
         for (_, fl) in inflight.iter_mut() {
             fl.job.begin_scan();
@@ -347,6 +498,16 @@ impl Service {
                 .collect();
             ledger.scan(root, &participants).collect()
         };
+        // The physical walk is buffered above, so a query admitted
+        // *now* still observes every item of this scan: mid-stream,
+        // pass-aligned admission. Joiners land at the tail of
+        // `inflight` and ride the fan-out below; jobs with nothing to
+        // scan are parked until after `end_scan`.
+        let parked = match mid.as_mut() {
+            Some(mid) => self.admit_mid_stream(root, ledger, inflight, mid, metrics),
+            None => Vec::new(),
+        };
+        metrics.max_inflight_seen = metrics.max_inflight_seen.max(inflight.len() + parked.len());
         let workers = self.cfg.workers.min(inflight.len());
         if workers > 1 {
             let chunk = inflight.len().div_ceil(workers);
@@ -372,15 +533,89 @@ impl Service {
         for (_, fl) in inflight.iter_mut() {
             fl.job.end_scan();
         }
+        inflight.extend(parked);
+    }
+
+    /// Serve-mode mid-stream admission: drains queries that arrived
+    /// while the current scan was being buffered, admitting each into
+    /// the in-flight scan ([`ScanLedger::join`] logs its logical pass;
+    /// no extra physical walk). When this is the first scan of a fresh
+    /// epoch group and an admission window is configured, the scan is
+    /// held open up to that long for the head of a burst to arrive;
+    /// once anything joins (or the window expires) draining continues
+    /// without blocking. Returns the jobs that had nothing to scan
+    /// (empty-universe queries), to be parked until after `end_scan`.
+    fn admit_mid_stream<'a>(
+        &'a self,
+        root: &SetStream<'a>,
+        ledger: &ScanLedger,
+        inflight: &mut Vec<(usize, Inflight<'a>)>,
+        mid: &mut MidStream<'_>,
+        metrics: &mut ServiceMetrics,
+    ) -> Vec<(usize, Inflight<'a>)> {
+        let mut parked = Vec::new();
+        // The window only arms for a *lone* head of a fresh group: a
+        // burst that already arrived together at the epoch boundary is
+        // the company the window exists to wait for, so holding its
+        // first scan open would stall every query in it for nothing.
+        let lone_fresh_head = mid.fresh_group && inflight.len() < 2;
+        let mut deadline = (lone_fresh_head && self.cfg.admission_window > Duration::ZERO)
+            .then(|| Instant::now() + self.cfg.admission_window);
+        while *mid.open && inflight.len() + parked.len() < self.cfg.max_inflight {
+            let sub = match deadline {
+                Some(d) => match mid
+                    .rx
+                    .recv_timeout(d.saturating_duration_since(Instant::now()))
+                {
+                    Ok(sub) => Ok(sub),
+                    Err(RecvTimeoutError::Timeout) => {
+                        deadline = None;
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => Err(TryRecvError::Disconnected),
+                },
+                None => mid.rx.try_recv(),
+            };
+            match sub {
+                Ok(sub) => {
+                    let Some(mut fl) = self.admit_or_answer(sub, root, metrics) else {
+                        // A cache hit was answered without joining the
+                        // scan; the window (if still open) keeps
+                        // waiting for a real joiner.
+                        continue;
+                    };
+                    if fl.job.wants_scan() {
+                        fl.job.begin_scan();
+                        fl.epochs_joined = 1;
+                        ledger.join(root, &fl.job.participants());
+                        metrics.mid_stream_admissions += 1;
+                        inflight.push((fl.id as usize, fl));
+                        // The burst's head joined; take the rest
+                        // without blocking.
+                        deadline = None;
+                    } else {
+                        parked.push((fl.id as usize, fl));
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    *mid.open = false;
+                    break;
+                }
+            }
+        }
+        parked
     }
 
     /// Retires every job that no longer wants a scan, building its
-    /// outcome and delivering it (reply channel in serve mode, `sink`
-    /// callback in batch mode). Retirement order is admission order so
-    /// batch outcomes are deterministic.
+    /// outcome, populating the outcome cache, and delivering it (reply
+    /// channel in serve mode, `sink` callback in batch mode).
+    /// Retirement order is admission order so batch outcomes are
+    /// deterministic.
     fn retire<'a>(
         &self,
         inflight: &mut Vec<(usize, Inflight<'a>)>,
+        metrics: &mut ServiceMetrics,
         mut sink: impl FnMut(usize, QueryOutcome),
     ) {
         let mut i = 0;
@@ -408,7 +643,26 @@ impl Service {
                 epochs_joined: fl.epochs_joined,
                 queue_wait: fl.admitted.duration_since(fl.submitted),
                 latency: fl.submitted.elapsed(),
+                cached: false,
             };
+            if self.cache_enabled() {
+                self.cache.insert(
+                    self.fingerprint,
+                    self.system.universe(),
+                    self.system.num_sets(),
+                    &fl.spec,
+                    CachedAnswer {
+                        cover: outcome.cover.clone(),
+                        covered: outcome.covered,
+                        required: outcome.required,
+                        logical_passes: outcome.logical_passes,
+                        space_words: outcome.space_words,
+                    },
+                );
+            }
+            metrics.queries_completed += 1;
+            metrics.queue_wait.record(outcome.queue_wait);
+            metrics.latency.record(outcome.latency);
             if let Some(reply) = fl.reply {
                 // The client may have dropped its ticket; that is fine.
                 let _ = reply.send(outcome.clone());

@@ -7,6 +7,7 @@ use sc_core::{IterSetCover, IterSetCoverConfig};
 use sc_service::{QuerySpec, Service, ServiceConfig};
 use sc_setsystem::gen;
 use sc_stream::run_reported;
+use std::time::Duration;
 
 #[test]
 fn eight_identical_queries_ride_one_query_worth_of_scans() {
@@ -46,10 +47,14 @@ fn admission_beyond_max_inflight_waves_through() {
         delta: 0.5,
         seed: 1,
     };
+    // Cache disabled: this test pins *wave* admission — with the cache
+    // on, waves 2 and 3 would be answered from the cache instead of
+    // re-running (see the `outcome_cache` test for that path).
     let service = Service::new(
         inst.system.clone(),
         ServiceConfig {
             max_inflight: 4,
+            cache_capacity: 0,
             ..Default::default()
         },
     );
@@ -72,6 +77,7 @@ fn concurrent_clients_drain_cleanly() {
             max_inflight: 16,
             workers: 4,
             queue_depth: 4, // force submit-side backpressure
+            ..Default::default()
         },
     );
     let clients: u64 = 4;
@@ -113,6 +119,82 @@ fn concurrent_clients_drain_cleanly() {
     );
     assert!(metrics.physical_scans > 0);
     assert!(metrics.max_inflight_seen >= 2, "epochs actually batched");
+}
+
+#[test]
+fn mid_stream_joiner_rides_the_in_flight_scan() {
+    let inst = gen::planted(512, 1024, 16, 11);
+    let solo = |seed: u64| {
+        let mut alg = IterSetCover::new(IterSetCoverConfig {
+            delta: 0.5,
+            seed,
+            ..Default::default()
+        });
+        run_reported(&mut alg, &inst.system)
+    };
+    let (solo_a, solo_b) = (solo(7), solo(8));
+    // The stagger races the scheduler thread: if it is descheduled for
+    // longer than the client's sleep, B lands at the epoch boundary
+    // instead of joining mid-stream. The window makes that vanishingly
+    // rare, but a starved CI runner can still lose the race — retry a
+    // couple of times rather than flake (every attempt uses a fresh
+    // service, so the scans/covers below stay deterministic).
+    let (a, b, metrics) = (0..3)
+        .find_map(|attempt| {
+            let service = Service::new(
+                inst.system.clone(),
+                ServiceConfig {
+                    // Hold the fresh group's first scan open long
+                    // enough that the staggered second submission
+                    // below arrives while that scan is in flight.
+                    admission_window: Duration::from_secs(30),
+                    ..Default::default()
+                },
+            );
+            let ((a, b), metrics) = service.serve(|handle| {
+                let ta = handle
+                    .submit(QuerySpec::IterCover {
+                        delta: 0.5,
+                        seed: 7,
+                    })
+                    .expect("open");
+                // Arrive while A's first scan is in flight.
+                std::thread::sleep(Duration::from_millis(100));
+                let tb = handle
+                    .submit(QuerySpec::IterCover {
+                        delta: 0.5,
+                        seed: 8,
+                    })
+                    .expect("open");
+                (ta.wait().expect("served"), tb.wait().expect("served"))
+            });
+            if metrics.mid_stream_admissions == 1 {
+                Some((a, b, metrics))
+            } else {
+                eprintln!("attempt {attempt}: scheduler outpaced, B joined at the boundary");
+                None
+            }
+        })
+        .expect("B joined mid-stream in at least one of three attempts");
+    // Solo observables are untouched by the join.
+    assert_eq!(a.cover, solo_a.cover);
+    assert_eq!(b.cover, solo_b.cover);
+    assert_eq!(a.logical_passes, solo_a.passes);
+    assert_eq!(b.logical_passes, solo_b.passes);
+    assert_eq!(a.space_words, solo_a.space_words);
+    assert_eq!(b.space_words, solo_b.space_words);
+    // Pass-aligned join: B's first logical pass rode A's first physical
+    // scan, so the pair costs max(passes) — not A's passes plus the
+    // extra epoch B would need had it waited for the next boundary.
+    assert_eq!(
+        metrics.physical_scans,
+        solo_a.passes.max(solo_b.passes),
+        "the joiner shares every scan from the first"
+    );
+    assert_eq!(
+        b.epochs_joined, b.logical_passes,
+        "no epoch of B's was spent waiting"
+    );
 }
 
 #[test]

@@ -43,6 +43,7 @@ use std::cell::Cell;
 #[derive(Debug, Default)]
 pub struct ScanLedger {
     physical: Cell<usize>,
+    joined: Cell<usize>,
 }
 
 impl ScanLedger {
@@ -54,6 +55,13 @@ impl ScanLedger {
     /// Number of physical scans performed through this ledger.
     pub fn physical_scans(&self) -> usize {
         self.physical.get()
+    }
+
+    /// Number of pass owners that joined a scan mid-stream via
+    /// [`join`](ScanLedger::join) instead of being in the original
+    /// participant list.
+    pub fn mid_stream_joins(&self) -> usize {
+        self.joined.get()
     }
 
     /// Performs one physical scan of `stream`'s repository on behalf of
@@ -70,6 +78,28 @@ impl ScanLedger {
     ) -> impl Iterator<Item = (sc_setsystem::SetId, &'a [sc_setsystem::ElemId])> {
         self.physical.set(self.physical.get() + 1);
         stream.shared_pass(participants)
+    }
+
+    /// Registers `participants` as mid-stream joiners of the physical
+    /// scan most recently started through this ledger: each logs one
+    /// logical pass ([`SetStream::join_shared_pass`]) while the
+    /// physical count stays untouched — the walk already happened (or
+    /// is in flight, its items buffered), and the driver replays the
+    /// buffered items to the joiners, so the hardware pays nothing
+    /// extra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scan was ever performed through this ledger (there
+    /// is nothing to join), or if any participant is not a fork of
+    /// `stream`'s repository.
+    pub fn join<'a>(&self, stream: &SetStream<'a>, participants: &[&SetStream<'a>]) {
+        assert!(
+            self.physical.get() > 0,
+            "mid-stream join needs a scan in flight"
+        );
+        stream.join_shared_pass(participants);
+        self.joined.set(self.joined.get() + participants.len());
     }
 }
 
@@ -111,6 +141,32 @@ mod tests {
         for (_id, _e) in ledger.scan(&root, &[&early, &late]) {}
         assert_eq!(ledger.physical_scans(), 2);
         assert_eq!((early.passes(), late.passes()), (2, 1));
+    }
+
+    #[test]
+    fn mid_stream_joins_cost_no_physical_scan() {
+        let sys = system();
+        let root = SetStream::new(&sys);
+        let early = root.fork();
+        let late = root.fork();
+        let ledger = ScanLedger::new();
+        let items: Vec<_> = ledger.scan(&root, &[&early]).collect();
+        // A query arrives while that scan's items are still being fanned
+        // out: it joins the in-flight scan and replays `items`.
+        ledger.join(&root, &[&late]);
+        assert_eq!(items.len(), 3);
+        assert_eq!(ledger.physical_scans(), 1, "no second walk");
+        assert_eq!(ledger.mid_stream_joins(), 1);
+        assert_eq!((early.passes(), late.passes()), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "scan in flight")]
+    fn joining_before_any_scan_is_rejected() {
+        let sys = system();
+        let root = SetStream::new(&sys);
+        let late = root.fork();
+        ScanLedger::new().join(&root, &[&late]);
     }
 
     #[test]

@@ -112,6 +112,25 @@ impl<'a> SetStream<'a> {
             !participants.is_empty(),
             "a shared pass needs at least one participating branch"
         );
+        self.join_shared_pass(participants);
+        self.system.iter()
+    }
+
+    /// Logs one logical pass for each participant of a physical scan
+    /// that is *already in flight* — the mid-stream-admission half of
+    /// [`shared_pass`](SetStream::shared_pass).
+    ///
+    /// A branch that joins a scan after it began (the driver buffered
+    /// the scanned prefix and replays it, so the joiner still observes
+    /// every item in repository order) is charged exactly as if it had
+    /// been in the original participant list: one logical pass, no
+    /// second physical walk. The caller is responsible for the replay;
+    /// this method only keeps the accounting honest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any participant is not a fork of the same repository.
+    pub fn join_shared_pass(&self, participants: &[&SetStream<'a>]) {
         for p in participants {
             assert!(
                 std::ptr::eq(self.system, p.system),
@@ -119,7 +138,6 @@ impl<'a> SetStream<'a> {
             );
             p.passes.set(p.passes.get() + 1);
         }
-        self.system.iter()
     }
 }
 
@@ -187,6 +205,30 @@ mod tests {
         let _ = s.shared_pass(&[&b]);
         s.absorb_parallel([a.passes(), b.passes()]);
         assert_eq!(s.passes(), 2, "group cost is the max logical count");
+    }
+
+    #[test]
+    fn join_shared_pass_charges_without_a_walk() {
+        let sys = system();
+        let s = SetStream::new(&sys);
+        let early = s.fork();
+        let late = s.fork();
+        let _ = s.shared_pass(&[&early]);
+        // The late joiner is charged its logical pass, the parent's
+        // counter stays untouched, and no new iterator is created.
+        s.join_shared_pass(&[&late]);
+        assert_eq!((early.passes(), late.passes()), (1, 1));
+        assert_eq!(s.passes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same repository")]
+    fn join_shared_pass_rejects_foreign_branches() {
+        let sys = system();
+        let other = system();
+        let s = SetStream::new(&sys);
+        let foreign = SetStream::new(&other);
+        s.join_shared_pass(&[&foreign]);
     }
 
     #[test]

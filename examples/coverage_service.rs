@@ -5,16 +5,27 @@
 //! cargo run --release --example coverage_service
 //! ```
 //!
-//! Spawns a few client threads that submit a mix of full, partial, and
-//! baseline cover queries against one planted repository, then prints
-//! each outcome next to the service-wide scan accounting. The point to
-//! look for: *physical scans* stays near the pass count of a single
-//! query while the *sum* of per-query logical passes grows with the
-//! number of tenants — the streaming model's parallel-branch accounting
-//! (`max`, not `sum`), realised across independent queries.
+//! Act 1 spawns a few client threads that submit a mix of full,
+//! partial, and baseline cover queries against one planted repository,
+//! then prints each outcome next to the service-wide scan accounting.
+//! The point to look for: *physical scans* stays near the pass count
+//! of a single query while the *sum* of per-query logical passes grows
+//! with the number of tenants — the streaming model's parallel-branch
+//! accounting (`max`, not `sum`), realised across independent queries.
+//!
+//! Act 2 serves the same repository over TCP — the exact server
+//! `sctool serve --listen` runs (`sc_service::net::serve_tcp`) — and
+//! probes readiness with `net::wait_ready` (what `sctool client
+//! --wait-ready` uses) instead of a `/dev/tcp` retry loop, then speaks
+//! the line protocol over a socket: the repeated query is answered
+//! from the outcome cache (`cached=1` in its protocol line, zero
+//! physical scans) before the listener shuts down.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 use streaming_set_cover::prelude::*;
-use streaming_set_cover::service::ServiceConfig;
+use streaming_set_cover::service::{net, ServiceConfig};
 
 fn main() {
     let inst = gen::planted(4096, 2048, 16, 42);
@@ -74,12 +85,48 @@ fn main() {
     }
     let logical: usize = outcomes.iter().map(|o| o.logical_passes).sum();
     println!(
-        "\n{} queries: {} logical passes served by {} physical scans ({:.1}x sharing), peak {} inflight, {:.1} ms",
+        "\n{} queries ({} cache hits, {} mid-stream joins): {} logical passes served by {} physical scans ({:.1}x sharing), peak {} inflight, {:.1} ms",
         metrics.queries_completed,
+        metrics.cache_hits,
+        metrics.mid_stream_admissions,
         logical,
         metrics.physical_scans,
         logical as f64 / metrics.physical_scans.max(1) as f64,
         metrics.max_inflight_seen,
         metrics.elapsed.as_secs_f64() * 1e3,
     );
+    println!("queue wait {}", metrics.queue_wait);
+    println!("latency    {}", metrics.latency);
+
+    // Act 2: the same service over TCP — the server `sctool serve
+    // --listen` runs, with `wait_ready` replacing shell readiness
+    // polling. Port 0 lets the OS pick a free port.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    println!("\nTCP act: serving on {addr}");
+    std::thread::scope(|s| {
+        let server = s.spawn(|| net::serve_tcp(&service, listener).expect("serve_tcp"));
+        net::wait_ready(&addr, Duration::from_secs(10)).expect("server ready");
+        let conn = TcpStream::connect(&addr).expect("connect");
+        let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+        let mut writer = &conn;
+        // The same iter spec twice, the repeat sent only after the
+        // first reply: the second response comes back cached=1,
+        // straight from the outcome cache, in zero physical scans.
+        let mut line = String::new();
+        for _ in 0..2 {
+            writeln!(writer, "iter delta=0.5 seed=1").expect("send");
+            writer.flush().expect("flush");
+            line.clear();
+            reader.read_line(&mut line).expect("reply");
+            println!("tcp reply: {}", line.trim_end());
+        }
+        writeln!(writer, "shutdown").expect("send");
+        writer.flush().expect("flush");
+        let tcp_metrics = server.join().expect("server thread");
+        println!(
+            "tcp act: {} queries, {} cache hits, {} physical scans",
+            tcp_metrics.queries_completed, tcp_metrics.cache_hits, tcp_metrics.physical_scans,
+        );
+    });
 }

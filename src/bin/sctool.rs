@@ -52,8 +52,8 @@ const USAGE: &str = "usage:
   sctool exact <file> [--budget NODES]
   sctool certify <file>
   sctool convert <in> <out>              (format chosen by .scb extension)
-  sctool serve <file> [--listen HOST:PORT] [--inflight N] [--workers N]
-  sctool client --connect HOST:PORT [--queries N] [--concurrency C] [--spec QUERY] [--shutdown]
+  sctool serve <file> [--listen HOST:PORT] [--inflight N] [--workers N] [--cache N] [--window MS]
+  sctool client --connect HOST:PORT [--wait-ready SECS] [--queries N] [--concurrency C] [--spec QUERY] [--shutdown]
   sctool geomgen <discs|rects|triangles|clustered|grid|twoline> [--n N] [--m M] [--k K] [--half H] [--seed SEED]
   sctool geomsolve <file> [--delta D] [--no-canonical] [--bg]
 
@@ -413,6 +413,7 @@ fn convert_cmd(args: &[String]) -> Result<(), String> {
 /// TCP connection speaks the same protocol concurrently, and the
 /// `shutdown` command stops the listener once inflight work drains.
 fn serve_cmd(args: &[String]) -> Result<(), String> {
+    use streaming_set_cover::service::net;
     use streaming_set_cover::service::{Service, ServiceConfig};
     if args.first().is_some_and(|p| p == "-") && flag(args, "--listen").is_none() {
         return Err(
@@ -426,196 +427,81 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         max_inflight: flag_or(args, "--inflight", defaults.max_inflight)?.max(1),
         workers: flag_or(args, "--workers", defaults.workers)?.max(1),
         queue_depth: defaults.queue_depth,
+        cache_capacity: flag_or(args, "--cache", defaults.cache_capacity)?,
+        admission_window: std::time::Duration::from_millis(flag_or(args, "--window", 0u64)?),
     };
     let service = Service::new(inst.system, cfg);
     let metrics = match flag(args, "--listen") {
-        Some(addr) => serve_tcp(&service, &addr)?,
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(&addr).map_err(|e| format!("{addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| format!("{addr}: {e}"))?;
+            eprintln!("sctool serve: listening on {local}");
+            net::serve_tcp(&service, listener)?
+        }
         None => {
             let (res, metrics) = service.serve(|handle| {
                 // `StdinLock` is not `Send`, and the reader half moves
                 // into the pump's reader thread — wrap `Stdin` itself.
                 let stdin = BufReader::new(std::io::stdin());
                 let stdout = std::io::stdout();
-                pump_queries(stdin, &mut stdout.lock(), &handle)
+                net::pump_queries(stdin, &mut stdout.lock(), &handle)
             });
             res.map_err(|e| format!("serve: {e}"))?;
             metrics
         }
     };
     eprintln!(
-        "sctool serve: {} queries, {} physical scans, peak {} inflight, {:.1} ms",
+        "sctool serve: {} queries ({} cache hits, {} mid-stream joins), {} physical scans, peak {} inflight, {:.1} ms",
         metrics.queries_completed,
+        metrics.cache_hits,
+        metrics.mid_stream_admissions,
         metrics.physical_scans,
         metrics.max_inflight_seen,
         metrics.elapsed.as_secs_f64() * 1e3,
     );
+    eprintln!("sctool serve: queue wait {}", metrics.queue_wait);
+    eprintln!("sctool serve: latency    {}", metrics.latency);
     Ok(())
 }
 
-/// TCP front-end of `sctool serve`.
-fn serve_tcp(
-    service: &streaming_set_cover::service::Service,
-    addr: &str,
-) -> Result<streaming_set_cover::service::ServiceMetrics, String> {
-    use std::net::{TcpListener, TcpStream};
-    use std::sync::atomic::{AtomicBool, Ordering};
-
-    let listener = TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
-    let local = listener.local_addr().map_err(|e| format!("{addr}: {e}"))?;
-    eprintln!("sctool serve: listening on {local}");
-    let stop = AtomicBool::new(false);
-    // Read halves of the *live* connections, keyed by connection id:
-    // shutdown (or an accept failure) closes them to unblock pump
-    // readers idling on open sockets — their write halves stay intact
-    // for replies still in flight — and each pump thread removes its
-    // own entry when its connection ends, so the registry (and its
-    // file descriptors) never outgrow the live connection count.
-    let open_reads: std::sync::Mutex<Vec<(u64, TcpStream)>> = std::sync::Mutex::new(Vec::new());
-    let (res, metrics) = service.serve(|handle| -> Result<(), String> {
-        std::thread::scope(|s| {
-            let mut next_conn = 0u64;
-            let result = loop {
-                let (conn, _peer) = match listener.accept() {
-                    Ok(accepted) => accepted,
-                    Err(e) => break Err(format!("accept: {e}")),
-                };
-                if stop.load(Ordering::SeqCst) {
-                    break Ok(());
-                }
-                let reader = match conn.try_clone() {
-                    Ok(c) => c,
-                    Err(_) => continue,
-                };
-                let conn_id = next_conn;
-                next_conn += 1;
-                // Registration is mandatory: a reader shutdown cannot
-                // unblock would make this connection wedge the server
-                // on shutdown, so refuse it instead of serving it.
-                let Ok(half) = reader.try_clone() else {
-                    continue;
-                };
-                open_reads.lock().expect("poisoned").push((conn_id, half));
-                let handle = handle.clone();
-                let (stop, open_reads) = (&stop, &open_reads);
-                s.spawn(move || {
-                    let reader = std::io::BufReader::new(reader);
-                    let mut writer = &conn;
-                    match pump_queries(reader, &mut writer, &handle) {
-                        Ok(true) => {
-                            // Shutdown requested: stop accepting, and
-                            // poke the listener awake with a dummy
-                            // connection so the accept loop observes it.
-                            stop.store(true, Ordering::SeqCst);
-                            let _ = TcpStream::connect(local);
-                        }
-                        Ok(false) => {}
-                        Err(_) => {} // client went away mid-reply
-                    }
-                    open_reads
-                        .lock()
-                        .expect("poisoned")
-                        .retain(|(id, _)| *id != conn_id);
-                });
-            };
-            // On every exit path — clean shutdown or accept failure —
-            // close the read halves of the connections still open, so
-            // pump readers see EOF, drain their pending replies, and
-            // the scope can finish instead of wedging on blocked reads.
-            for (_, half) in open_reads.lock().expect("poisoned").iter() {
-                let _ = half.shutdown(std::net::Shutdown::Read);
-            }
-            result
-        })
-    });
-    res?;
-    Ok(metrics)
-}
-
-/// Request/response pump shared by the stdin and TCP front-ends: a
-/// reader thread submits queries as lines arrive while the calling
-/// thread answers tickets in submission order — so responses stream
-/// back as queries complete, and every pending line is already riding
-/// shared scan epochs. All responses — `pong` and `err` included — are
-/// emitted in request order, so a `ping` pipelined behind a slow query
-/// answers after that query completes; it probes the connection's
-/// round-trip, not the scheduler's idle latency. Returns `Ok(true)` if
-/// the peer asked for server shutdown.
-fn pump_queries<R, W>(
-    input: R,
-    output: &mut W,
-    handle: &streaming_set_cover::service::ServiceHandle,
-) -> std::io::Result<bool>
-where
-    R: BufRead + Send,
-    W: Write,
-{
-    use streaming_set_cover::service::{QuerySpec, QueryTicket};
-    enum Pumped {
-        Ticket(QueryTicket),
-        Error(String),
-        Pong,
-    }
-    let (tx, rx) = std::sync::mpsc::channel::<Pumped>();
-    std::thread::scope(|s| {
-        let reader = s.spawn(move || -> std::io::Result<bool> {
-            for line in input.lines() {
-                let line = line?;
-                let line = line.trim();
-                if line.is_empty() || line.starts_with('#') {
-                    continue;
-                }
-                match line {
-                    "quit" => break,
-                    "shutdown" => return Ok(true),
-                    "ping" => {
-                        let _ = tx.send(Pumped::Pong);
-                        continue;
-                    }
-                    _ => {}
-                }
-                let msg = match QuerySpec::parse(line) {
-                    Ok(spec) => match handle.submit(spec) {
-                        Ok(ticket) => Pumped::Ticket(ticket),
-                        Err(e) => Pumped::Error(e.to_string()),
-                    },
-                    Err(msg) => Pumped::Error(msg),
-                };
-                let _ = tx.send(msg);
-            }
-            Ok(false)
-        });
-        // The sender side lives in the reader thread (`tx` moved in),
-        // so this loop ends exactly when the reader is done.
-        for msg in rx {
-            match msg {
-                Pumped::Ticket(ticket) => match ticket.wait() {
-                    Ok(outcome) => writeln!(output, "{}", outcome.protocol_line())?,
-                    Err(e) => writeln!(output, "err msg={e}")?,
-                },
-                Pumped::Error(msg) => writeln!(output, "err msg={msg}")?,
-                Pumped::Pong => writeln!(output, "pong")?,
-            }
-            output.flush()?;
-        }
-        reader.join().expect("reader thread panicked")
-    })
+/// Pulls a `key=value` integer field out of a protocol response line.
+fn response_field(line: &str, key: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
 }
 
 /// `sctool client`: load generator for a `sctool serve --listen`
 /// endpoint. Each connection pipelines its share of the queries (send
 /// all lines, then read all responses) so the server can batch them
-/// into shared scan epochs.
+/// into shared scan epochs; the per-query `wait_us`/`us` fields of the
+/// responses are tabulated into queue-wait and latency percentiles.
 fn client_cmd(args: &[String]) -> Result<(), String> {
     use std::net::TcpStream;
+    use streaming_set_cover::service::LatencyHistogram;
     let addr = flag(args, "--connect").ok_or("client: missing --connect")?;
     let queries: usize = flag_or(args, "--queries", 8)?;
     let concurrency: usize = flag_or(args, "--concurrency", 1)?;
     let concurrency = concurrency.clamp(1, queries.max(1));
     let spec = flag(args, "--spec").unwrap_or_else(|| "iter delta=0.5".to_string());
     streaming_set_cover::service::QuerySpec::parse(&spec).map_err(|e| format!("--spec: {e}"))?;
+    if let Some(secs) = flag(args, "--wait-ready") {
+        let secs: u64 = secs
+            .parse()
+            .map_err(|_| format!("bad value for --wait-ready: {secs:?}"))?;
+        streaming_set_cover::service::net::wait_ready(&addr, std::time::Duration::from_secs(secs))
+            .map_err(|e| format!("client: {e}"))?;
+    }
 
+    #[derive(Default)]
+    struct Tally {
+        ok: usize,
+        cached: usize,
+        queue_wait: LatencyHistogram,
+        latency: LatencyHistogram,
+    }
     let start = std::time::Instant::now();
-    let ok_total = std::sync::atomic::AtomicUsize::new(0);
+    let total = std::sync::Mutex::new(Tally::default());
     std::thread::scope(|s| -> Result<(), String> {
         let mut workers = Vec::new();
         for c in 0..concurrency {
@@ -624,7 +510,7 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
             if share == 0 {
                 continue;
             }
-            let (addr, spec, ok_total) = (&addr, &spec, &ok_total);
+            let (addr, spec, total) = (&addr, &spec, &total);
             workers.push(s.spawn(move || -> Result<(), String> {
                 let conn = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
                 let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
@@ -633,6 +519,7 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
                     writeln!(writer, "{spec}").map_err(|e| e.to_string())?;
                 }
                 writer.flush().map_err(|e| e.to_string())?;
+                let mut tally = Tally::default();
                 let mut line = String::new();
                 for _ in 0..share {
                     line.clear();
@@ -641,11 +528,25 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
                         return Err("server closed the connection early".into());
                     }
                     if line.starts_with("ok") {
-                        ok_total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        tally.ok += 1;
+                        tally.cached += usize::from(response_field(&line, "cached") == Some(1));
+                        if let Some(us) = response_field(&line, "wait_us") {
+                            tally
+                                .queue_wait
+                                .record(std::time::Duration::from_micros(us));
+                        }
+                        if let Some(us) = response_field(&line, "us") {
+                            tally.latency.record(std::time::Duration::from_micros(us));
+                        }
                     } else {
                         eprintln!("sctool client: {}", line.trim_end());
                     }
                 }
+                let mut total = total.lock().expect("tally poisoned");
+                total.ok += tally.ok;
+                total.cached += tally.cached;
+                total.queue_wait.merge(&tally.queue_wait);
+                total.latency.merge(&tally.latency);
                 Ok(())
             }));
         }
@@ -655,12 +556,16 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
         Ok(())
     })?;
     let elapsed = start.elapsed();
-    let ok = ok_total.load(std::sync::atomic::Ordering::Relaxed);
+    let tally = total.into_inner().expect("tally poisoned");
+    let ok = tally.ok;
     println!(
-        "{queries} queries ({ok} ok) over {concurrency} connection(s) in {:.1} ms → {:.1} queries/s",
+        "{queries} queries ({ok} ok, {} cached) over {concurrency} connection(s) in {:.1} ms → {:.1} queries/s",
+        tally.cached,
         elapsed.as_secs_f64() * 1e3,
         queries as f64 / elapsed.as_secs_f64().max(1e-9),
     );
+    println!("queue wait {}", tally.queue_wait);
+    println!("latency    {}", tally.latency);
     if args.iter().any(|a| a == "--shutdown") {
         let conn = TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
         let mut writer = &conn;

@@ -255,6 +255,8 @@ fn serve_tcp_round_trip_with_client_and_clean_shutdown() {
         "client",
         "--connect",
         &addr,
+        "--wait-ready",
+        "30",
         "--queries",
         "3",
         "--concurrency",
@@ -262,7 +264,8 @@ fn serve_tcp_round_trip_with_client_and_clean_shutdown() {
         "--shutdown",
     ]);
     let client_out = stdout(&client);
-    assert!(client_out.contains("3 queries (3 ok)"), "{client_out}");
+    assert!(client_out.contains("3 queries (3 ok"), "{client_out}");
+    assert!(client_out.contains("latency"), "{client_out}");
     let status = server.wait().expect("server exit");
     assert!(status.success(), "server must shut down cleanly: {status}");
     drop(idle);
