@@ -18,9 +18,16 @@
 //! at the baseline's scale and its deterministic fields (passes, space
 //! peaks, cover sizes, scan counts, cache hits, sharing ratios — not
 //! wall-clock) are compared cell by cell; any drift fails the run.
-//! `--tolerance PCT` allows numeric cells that much relative slack.
+//! `--tolerance PCT` allows numeric cells that much relative slack
+//! globally; `--tolerance ID=PCT` (repeatable) overrides one
+//! experiment — e.g. `--tolerance load=10` grants the noisy load test
+//! slack while the deterministic baselines stay gated at 0%. Combined
+//! with `--json PATH`, the gate also records its own fresh runs in
+//! the `sc-bench/repro/v1` schema, so one full-scale pass serves both
+//! the comparison and the artifact (the nightly CI job does exactly
+//! this).
 
-use sc_bench::check::{compare_tables, load_baseline};
+use sc_bench::check::{compare_tables, load_baseline, Tolerances};
 use sc_bench::experiments::{by_id, registry, Runner};
 use sc_bench::{Scale, Table};
 use std::time::Instant;
@@ -63,21 +70,28 @@ fn table_json(table: &Table) -> String {
 /// Flags whose following argument is a value, not an experiment id.
 const VALUE_FLAGS: &[&str] = &["--json", "--check", "--tolerance"];
 
-/// Runs the perf-regression gate for one committed baseline file.
-/// Returns `true` when every deterministic field matched.
-fn check_baseline(path: &str, tolerance_pct: f64) -> bool {
+/// Runs the perf-regression gate for one committed baseline file,
+/// appending the fresh runs (the tables just computed for comparison)
+/// to `json_entries` so a gate run can double as the artifact run.
+/// Returns whether every deterministic field matched, plus the
+/// baseline's recorded scale (`None` when the file failed to load).
+fn check_baseline(
+    path: &str,
+    tolerances: &Tolerances,
+    json_entries: &mut Vec<String>,
+) -> (bool, Option<Scale>) {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
             eprintln!("check {path}: {e}");
-            return false;
+            return (false, None);
         }
     };
     let baseline = match load_baseline(&text) {
         Ok(baseline) => baseline,
         Err(e) => {
             eprintln!("check {path}: {e}");
-            return false;
+            return (false, None);
         }
     };
     let mut ok = true;
@@ -90,14 +104,26 @@ fn check_baseline(path: &str, tolerance_pct: f64) -> bool {
             ok = false;
             continue;
         };
+        let what = registry()
+            .into_iter()
+            .find(|(rid, _, _)| *rid == exp.id)
+            .map(|(_, what, _)| what)
+            .expect("id resolved above");
+        let tolerance_pct = tolerances.for_experiment(&exp.id);
         let start = Instant::now();
         let fresh = runner(baseline.scale);
+        let seconds = start.elapsed().as_secs_f64();
+        json_entries.push(format!(
+            "{{\"id\":{},\"what\":{},\"seconds\":{seconds:.3},\"table\":{}}}",
+            json_str(&exp.id),
+            json_str(what),
+            table_json(&fresh),
+        ));
         let drift = compare_tables(&exp.table, &fresh, tolerance_pct);
         if drift.is_empty() {
             println!(
-                "check {path} [{}]: ok ({:.1}s, tolerance {tolerance_pct}%)",
-                exp.id,
-                start.elapsed().as_secs_f64()
+                "check {path} [{}]: ok ({seconds:.1}s, tolerance {tolerance_pct}%)",
+                exp.id
             );
         } else {
             ok = false;
@@ -107,7 +133,7 @@ fn check_baseline(path: &str, tolerance_pct: f64) -> bool {
             }
         }
     }
-    ok
+    (ok, Some(baseline.scale))
 }
 
 fn main() {
@@ -138,15 +164,17 @@ fn main() {
         .collect();
     if !checks.is_empty() {
         // The gate replays the baseline's own experiment list at the
-        // baseline's recorded scale: a --json path, a --quick flag, or
-        // a positional experiment id would be silently ignored, so
-        // reject the combination.
+        // baseline's recorded scale: a --quick flag or a positional
+        // experiment id would be silently ignored, so reject the
+        // combination. (`--json` is allowed: it records the gate's own
+        // fresh runs, so one full-scale pass serves both the artifact
+        // and the comparison.)
         let stray = args
             .iter()
             .enumerate()
             .find(|(i, a)| {
                 let flag_value = *i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str());
-                (*a == "--json") || (*a == "--quick") || (!a.starts_with("--") && !flag_value)
+                (*a == "--quick") || (!a.starts_with("--") && !flag_value)
             })
             .map(|(_, a)| a.clone());
         if let Some(stray) = stray {
@@ -156,19 +184,60 @@ fn main() {
             );
             std::process::exit(2);
         }
-        let tolerance: f64 = value_of("--tolerance")
-            .map(|v| {
-                v.parse().unwrap_or_else(|_| {
-                    eprintln!("bad --tolerance value {v:?}");
+        let tolerance_values: Vec<String> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == "--tolerance")
+            .map(|(i, _)| {
+                args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a value (PCT or ID=PCT)");
                     std::process::exit(2);
                 })
             })
-            .unwrap_or(0.0);
+            .collect();
+        let tolerances = Tolerances::parse(&tolerance_values).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        for id in tolerances.overridden_ids() {
+            if by_id(id).is_none() {
+                eprintln!("--tolerance {id}=…: unknown experiment id {id:?}; try --list");
+                std::process::exit(2);
+            }
+        }
         // Run every requested check (no short-circuit) before judging.
+        let mut json_entries = Vec::new();
+        let mut scales = Vec::new();
         let results: Vec<bool> = checks
             .iter()
-            .map(|path| check_baseline(path, tolerance))
+            .map(|path| {
+                let (ok, scale) = check_baseline(path, &tolerances, &mut json_entries);
+                scales.extend(scale);
+                ok
+            })
             .collect();
+        if let Some(path) = json_path {
+            // The fresh runs double as the artifact of this gate pass.
+            // The schema records one scale per document; baselines
+            // checked together are expected to share one.
+            let scale = scales.first().copied().unwrap_or(Scale::Full);
+            if scales.iter().any(|s| *s != scale) {
+                eprintln!("warning: baselines mix scales; {path} records the first one");
+            }
+            let doc = format!(
+                "{{\"schema\":\"sc-bench/repro/v1\",\"scale\":{},\"experiments\":[{}]}}\n",
+                json_str(match scale {
+                    Scale::Quick => "quick",
+                    Scale::Full => "full",
+                }),
+                json_entries.join(","),
+            );
+            if let Err(e) = std::fs::write(&path, doc) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("# wrote {path}");
+        }
         std::process::exit(i32::from(!results.iter().all(|&ok| ok)));
     }
     if args.iter().any(|a| a == "--tolerance") {

@@ -364,6 +364,83 @@ pub fn load_baseline(text: &str) -> Result<Baseline, String> {
     Ok(Baseline { scale, experiments })
 }
 
+/// Tolerance settings of the perf-regression gate: a global default
+/// plus per-experiment overrides, parsed from repeated `--tolerance`
+/// flags (`--tolerance 2` sets the default, `--tolerance load=10`
+/// overrides one experiment id). Per-experiment overrides let a noisy
+/// load test be gated with slack without loosening the deterministic
+/// baselines checked in the same run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tolerances {
+    default_pct: f64,
+    per_experiment: BTreeMap<String, f64>,
+}
+
+impl Tolerances {
+    /// Parses the values of every `--tolerance` flag, in order. A bare
+    /// `PCT` sets the global default (at most once); an `ID=PCT` pair
+    /// overrides experiment `ID`.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed value: non-numeric or negative
+    /// percentages, a repeated bare default, or a repeated override
+    /// for the same experiment.
+    pub fn parse(values: &[String]) -> Result<Tolerances, String> {
+        let mut t = Tolerances::default();
+        let mut default_seen = false;
+        for v in values {
+            match v.split_once('=') {
+                Some((id, pct)) => {
+                    if id.is_empty() {
+                        return Err(format!("--tolerance {v:?}: missing experiment id"));
+                    }
+                    let pct = parse_pct(pct, v)?;
+                    if t.per_experiment.insert(id.to_string(), pct).is_some() {
+                        return Err(format!("--tolerance {id}=… given twice"));
+                    }
+                }
+                None => {
+                    if default_seen {
+                        return Err(format!(
+                            "--tolerance {v:?}: the global default was already set"
+                        ));
+                    }
+                    default_seen = true;
+                    t.default_pct = parse_pct(v, v)?;
+                }
+            }
+        }
+        Ok(t)
+    }
+
+    /// The relative slack (percent) granted to experiment `id`.
+    pub fn for_experiment(&self, id: &str) -> f64 {
+        self.per_experiment
+            .get(id)
+            .copied()
+            .unwrap_or(self.default_pct)
+    }
+
+    /// The experiment ids with explicit overrides (for validation
+    /// against the registry).
+    pub fn overridden_ids(&self) -> impl Iterator<Item = &str> {
+        self.per_experiment.keys().map(String::as_str)
+    }
+}
+
+fn parse_pct(text: &str, flag_value: &str) -> Result<f64, String> {
+    let pct: f64 = text
+        .parse()
+        .map_err(|_| format!("bad --tolerance value {flag_value:?}"))?;
+    if !pct.is_finite() || pct < 0.0 {
+        return Err(format!(
+            "--tolerance {flag_value:?}: percentage must be finite and non-negative"
+        ));
+    }
+    Ok(pct)
+}
+
 /// Markers of load- or wall-clock-dependent columns, matched against
 /// lowercased headers: such columns vary run to run and are exempt from
 /// the regression gate.
@@ -529,6 +606,32 @@ mod tests {
         assert!(drift[0].contains("scans"), "{drift:?}");
         // 20% tolerance forgives 5 → 6.
         assert!(compare_tables(&baseline, &drifted, 20.0).is_empty());
+    }
+
+    #[test]
+    fn tolerances_parse_defaults_and_per_experiment_overrides() {
+        let strs = |vals: &[&str]| -> Vec<String> { vals.iter().map(|s| s.to_string()).collect() };
+        let t = Tolerances::parse(&strs(&["2", "load=10", "coalesce=5"])).expect("parses");
+        assert_eq!(t.for_experiment("multiplex"), 2.0, "global default");
+        assert_eq!(t.for_experiment("load"), 10.0, "override wins");
+        assert_eq!(t.for_experiment("coalesce"), 5.0);
+        assert_eq!(
+            t.overridden_ids().collect::<Vec<_>>(),
+            vec!["coalesce", "load"]
+        );
+        let none = Tolerances::parse(&[]).expect("empty parses");
+        assert_eq!(none.for_experiment("load"), 0.0, "gate defaults to exact");
+        for bad in [
+            &["nan"][..],
+            &["-3"],
+            &["load=x"],
+            &["=5"],
+            &["load=-1"],
+            &["2", "3"],
+            &["load=1", "load=2"],
+        ] {
+            assert!(Tolerances::parse(&strs(bad)).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

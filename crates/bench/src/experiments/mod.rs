@@ -3,6 +3,7 @@
 mod ablations;
 mod akl16_curve;
 mod canonical_1_2;
+mod coalesce;
 mod geometric_4_6;
 mod geometric_nets;
 mod multiplex;
@@ -22,6 +23,7 @@ mod tradeoff_2_8;
 pub use ablations::ablations;
 pub use akl16_curve::akl16_curve;
 pub use canonical_1_2::canonical_1_2;
+pub use coalesce::coalesce;
 pub use geometric_4_6::geometric_4_6;
 pub use geometric_nets::geometric_nets;
 pub use multiplex::multiplex;
@@ -91,6 +93,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "load",
             "E18 service load test: cache, mid-stream joins, latency percentiles",
             service_load,
+        ),
+        (
+            "coalesce",
+            "E19 in-flight query coalescing: K identical queries, one job",
+            coalesce,
         ),
     ]
 }

@@ -692,6 +692,13 @@ impl<'a> IterCoverDriver<'a> {
         self.inner.absorb(id, elems);
     }
 
+    /// Feeds a run of stream items (see [`ScanDriver::absorb_items`]);
+    /// items must arrive in repository order across the calls of one
+    /// scan.
+    pub fn absorb_items(&mut self, items: impl IntoIterator<Item = (SetId, &'a [ElemId])>) {
+        self.inner.absorb_items(items);
+    }
+
     /// Runs every participating guess's between-scan transition
     /// (offline solves, iteration bookkeeping, phase changes) after the
     /// caller exhausted the scan's items.
@@ -725,10 +732,7 @@ pub(crate) fn run_multiplexed(
     // a pass participates, so physical scans = max logical passes.
     while driver.wants_scan() {
         driver.begin_scan();
-        let items = stream.shared_pass(&driver.participants());
-        for (id, elems) in items {
-            driver.absorb(id, elems);
-        }
+        driver.absorb_items(stream.shared_pass(&driver.participants()));
         driver.end_scan();
     }
     let (cover, traces) = driver.finish_into(stream, meter);

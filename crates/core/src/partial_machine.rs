@@ -463,6 +463,13 @@ impl<'a> PartialCoverDriver<'a> {
         self.inner.absorb(id, elems);
     }
 
+    /// Feeds a run of stream items (see [`ScanDriver::absorb_items`]);
+    /// items must arrive in repository order across the calls of one
+    /// scan.
+    pub fn absorb_items(&mut self, items: impl IntoIterator<Item = (SetId, &'a [ElemId])>) {
+        self.inner.absorb_items(items);
+    }
+
     /// Runs every participating guess's between-scan transition.
     pub fn end_scan(&mut self) {
         self.inner.end_scan();

@@ -186,6 +186,18 @@ impl<'a, M: GuessMachine<'a>> ScanDriver<'a, M> {
         );
     }
 
+    /// Feeds a run of stream items — the batch form of
+    /// [`absorb`](Self::absorb), used by callers that hold the scan as
+    /// an iterator or a sharded zero-copy feed
+    /// ([`sc_stream::ShardedPass`]) rather than item by item. Items
+    /// must arrive in repository order across the calls of one scan;
+    /// feeding a scan as consecutive shard iterators satisfies that.
+    pub fn absorb_items(&mut self, items: impl IntoIterator<Item = (SetId, &'a [ElemId])>) {
+        for (id, elems) in items {
+            self.absorb(id, elems);
+        }
+    }
+
     /// Runs every participating machine's between-scan transition
     /// (offline solves, iteration bookkeeping, phase changes) after the
     /// caller exhausted the scan's items.

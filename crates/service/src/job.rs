@@ -47,6 +47,18 @@ pub(crate) trait CoverJob<'a>: Send {
     fn participants(&self) -> Vec<&SetStream<'a>>;
     /// Feeds one stream item.
     fn absorb(&mut self, id: SetId, elems: &[ElemId]);
+    /// Feeds a run of stream items — one shard of the zero-copy feed
+    /// the epoch scheduler drives jobs with
+    /// ([`sc_stream::ShardedPass`]). Shards of one scan must arrive in
+    /// repository order (the scheduler's feed cursor guarantees it),
+    /// so the job observes exactly the item sequence of a solo pass.
+    /// The default feeds [`absorb`](CoverJob::absorb) item by item;
+    /// driver-backed jobs forward to their driver's batch entry point.
+    fn absorb_shard(&mut self, items: &mut dyn Iterator<Item = (SetId, &'a [ElemId])>) {
+        for (id, elems) in items {
+            self.absorb(id, elems);
+        }
+    }
     /// Runs the between-scan transition after the scan's items end.
     fn end_scan(&mut self);
     /// Releases the job and reports its measurements.
@@ -124,6 +136,13 @@ impl<'a> CoverJob<'a> for IterJob<'a> {
         self.driver.as_mut().expect("active job").absorb(id, elems);
     }
 
+    fn absorb_shard(&mut self, items: &mut dyn Iterator<Item = (SetId, &'a [ElemId])>) {
+        self.driver
+            .as_mut()
+            .expect("active job")
+            .absorb_items(items);
+    }
+
     fn end_scan(&mut self) {
         self.driver.as_mut().expect("active job").end_scan();
     }
@@ -180,6 +199,10 @@ impl<'a> CoverJob<'a> for PartialJob<'a> {
 
     fn absorb(&mut self, id: SetId, elems: &[ElemId]) {
         self.driver.absorb(id, elems);
+    }
+
+    fn absorb_shard(&mut self, items: &mut dyn Iterator<Item = (SetId, &'a [ElemId])>) {
+        self.driver.absorb_items(items);
     }
 
     fn end_scan(&mut self) {

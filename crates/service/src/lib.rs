@@ -12,21 +12,37 @@
 //! [`QuerySpec::GreedyBaseline`]) from many clients concurrently; a
 //! scan scheduler admits pending queries into **scan epochs**, each
 //! query's state machine registers the logical pass it needs next, and
-//! one [`SetStream::shared_pass`](sc_stream::SetStream::shared_pass)
-//! per epoch advances all of them — with worker threads
-//! (`std::thread::scope`) fanning the per-query state updates out
-//! across the jobs, which own disjoint state.
+//! one shared physical scan per epoch advances all of them. The scan
+//! itself is a **sharded zero-copy feed**
+//! ([`sc_stream::ShardedPass`], via
+//! [`sc_stream::ScanLedger::scan_sharded`]): the repository is
+//! partitioned into contiguous shards read directly from the
+//! repository slices — nothing is materialised per epoch — and a
+//! work-stealing cursor ([`sc_stream::FeedCursor`]) hands `(job,
+//! shard)` units to a `std::thread::scope` worker pool, every job
+//! observing every shard in repository order
+//! ([`ServiceConfig::shard_size`] sets the stealing granularity).
 //!
-//! Three scale levers ride on the epoch scheduler:
+//! Four scale levers ride on the epoch scheduler:
 //!
 //! * **Mid-stream, pass-aligned admission** — a query arriving while a
 //!   scan is in flight joins that scan instead of queueing for the
-//!   next epoch: the epoch buffers the scanned items, so a pass-1
-//!   joiner still observes every item in repository order, and
-//!   [`sc_stream::ScanLedger::join`] logs its logical pass without a
-//!   second physical walk. [`ServiceConfig::admission_window`]
+//!   next epoch: the feed reads the immutable repository directly, so
+//!   a pass-1 joiner still observes every item in repository order,
+//!   and [`sc_stream::ScanLedger::join`] logs its logical pass without
+//!   a second physical walk. [`ServiceConfig::admission_window`]
 //!   optionally holds a fresh group's first scan open for the rest of
 //!   a burst.
+//! * **In-flight query coalescing** — with
+//!   [`ServiceConfig::coalesce`], a query identical to a job already
+//!   in flight attaches to it as a follower instead of running: the
+//!   job's retirement fans one reply out per follower and populates
+//!   the cache once, so N identical concurrent clients cost one
+//!   query's CPU as well as one query's scans
+//!   ([`ServiceMetrics::coalesced`]; pinned by the `coalesce` test
+//!   suite and measured by experiment E19, `BENCH_coalesce.json`).
+//!   The cache takes precedence: a retired identical answer is served
+//!   in zero scans rather than waiting on the in-flight job.
 //! * **The outcome cache** — repeat queries (same spec, same
 //!   repository fingerprint) are answered from [`OutcomeCache`] in
 //!   zero physical scans, with hit/miss counters in

@@ -144,13 +144,24 @@ pub struct ServiceMetrics {
     pub queries_completed: usize,
     /// Largest number of queries concurrently inside scan epochs.
     pub max_inflight_seen: usize,
+    /// Queries admitted as fresh jobs — the units that actually pay
+    /// per-scan CPU. `queries_completed = jobs + cache_hits +
+    /// coalesced` once a run drains.
+    pub jobs: usize,
     /// Queries admitted into a scan already in flight (pass-aligned
     /// mid-stream admission) instead of waiting for the next epoch.
     pub mid_stream_admissions: usize,
     /// Queries answered from the outcome cache in zero physical scans.
     pub cache_hits: usize,
-    /// Queries that missed the cache and ran through scan epochs.
+    /// Queries that missed the cache and became their own jobs
+    /// (coalesced followers are counted in
+    /// [`coalesced`](ServiceMetrics::coalesced), not here).
     pub cache_misses: usize,
+    /// Queries that coalesced onto an identical in-flight job
+    /// ([`ServiceConfig::coalesce`](crate::ServiceConfig)): they ride
+    /// that job's scans and CPU, and its retirement fans one reply out
+    /// per follower.
+    pub coalesced: usize,
     /// Submission → admission wait, one observation per query.
     pub queue_wait: LatencyHistogram,
     /// Submission → completion latency, one observation per query.

@@ -159,6 +159,13 @@ pub struct QueryOutcome {
     /// outcome cache (zero physical scans; all observables are the
     /// stored solo values of the run that populated the entry).
     pub cached: bool,
+    /// `true` when this query coalesced onto an identical in-flight
+    /// job instead of running as its own
+    /// ([`ServiceConfig::coalesce`](crate::ServiceConfig)): the cover,
+    /// pass, and space observables mirror that job's — bit-identical
+    /// to a solo run by determinism — and `epochs_joined` reports the
+    /// job's epoch count.
+    pub coalesced: bool,
 }
 
 impl QueryOutcome {
@@ -178,7 +185,7 @@ impl QueryOutcome {
     /// (best-effort) measurements so a load generator can tabulate it.
     pub fn protocol_line(&self) -> String {
         format!(
-            "{} id={} kind={} sol={} covered={}/{} passes={} space={} epochs={} wait_us={} us={} cached={}",
+            "{} id={} kind={} sol={} covered={}/{} passes={} space={} epochs={} wait_us={} us={} cached={} coal={}",
             if self.goal_met() { "ok" } else { "fail" },
             self.id,
             self.spec.kind(),
@@ -191,6 +198,7 @@ impl QueryOutcome {
             self.queue_wait.as_micros(),
             self.latency.as_micros(),
             u8::from(self.cached),
+            u8::from(self.coalesced),
         )
     }
 }

@@ -6,11 +6,11 @@ use crate::job::{make_job, CoverJob};
 use crate::metrics::ServiceMetrics;
 use crate::query::{QueryOutcome, QuerySpec};
 use sc_bitset::BitSet;
-use sc_setsystem::{ElemId, SetId, SetSystem};
-use sc_stream::{ScanLedger, SetStream};
+use sc_setsystem::SetSystem;
+use sc_stream::{Claim, ScanLedger, SetStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of the service.
@@ -44,6 +44,25 @@ pub struct ServiceConfig {
     /// runs, so a strict request-response client pays the window per
     /// query. Leave it at zero unless clients submit in bursts.
     pub admission_window: Duration,
+    /// Sets per shard of the zero-copy repository feed the epoch
+    /// fan-out drives jobs with ([`sc_stream::ShardedPass`]): the
+    /// work-stealing granularity of the worker pool. Smaller shards
+    /// balance heterogeneous jobs better; larger shards amortise the
+    /// per-claim bookkeeping. The observables are unaffected either
+    /// way — every job sees every shard in repository order.
+    pub shard_size: usize,
+    /// Collapse identical in-flight queries into one job: a query
+    /// whose spec matches a job already inside the scan epochs (and
+    /// misses the outcome cache) attaches to that job as a *follower*
+    /// instead of running — the job's retirement fans a reply out per
+    /// follower and populates the cache once, so N identical
+    /// concurrent clients cost one query's CPU as well as one query's
+    /// scans. Off by default: coalescing changes the timing metrics
+    /// (`epochs_joined`, queue waits) of duplicate queries, and the
+    /// uncoalesced path is the baseline experiments E17/E18 pin.
+    /// Covers, logical passes, and space peaks are bit-identical
+    /// either way (the queries are deterministic given their spec).
+    pub coalesce: bool,
 }
 
 impl Default for ServiceConfig {
@@ -57,6 +76,8 @@ impl Default for ServiceConfig {
             queue_depth: 256,
             cache_capacity: 256,
             admission_window: Duration::ZERO,
+            shard_size: 256,
+            coalesce: false,
         }
     }
 }
@@ -139,6 +160,34 @@ struct Inflight<'a> {
     epochs_joined: usize,
     /// `None` in batch mode (outcomes are returned positionally).
     reply: Option<SyncSender<QueryOutcome>>,
+    /// Identical queries coalesced onto this job
+    /// ([`ServiceConfig::coalesce`]); retirement fans a reply out per
+    /// follower.
+    followers: Vec<Follower>,
+}
+
+/// A query riding an identical in-flight job instead of running.
+struct Follower {
+    /// Batch-mode outcome slot (mirrors the id in serve mode).
+    slot: usize,
+    id: u64,
+    submitted: Instant,
+    /// When the query attached to the job (its queue wait ends here).
+    attached: Instant,
+    /// `None` in batch mode.
+    reply: Option<SyncSender<QueryOutcome>>,
+}
+
+/// How one submission was disposed of by
+/// [`Service::admit_or_answer`].
+enum Admitted<'a> {
+    /// A fresh job the caller must admit into the scan epochs.
+    Job(Inflight<'a>),
+    /// Attached to an identical in-flight job as a follower; that
+    /// job's retirement answers it.
+    Coalesced,
+    /// Answered immediately from the outcome cache.
+    Answered,
 }
 
 /// Serve-mode plumbing threaded into [`Service::epoch`] so queries
@@ -249,9 +298,10 @@ impl Service {
 
     /// Solves a batch of queries through shared scan epochs, all
     /// admitted before the first scan (up to `max_inflight` at a time;
-    /// repeats of an already-retired spec are answered from the cache
-    /// without occupying a slot). Outcomes come back in submission
-    /// order.
+    /// repeats of an already-retired spec are answered from the cache,
+    /// and — with [`ServiceConfig::coalesce`] — repeats of an
+    /// *in-flight* spec attach to its job, neither occupying a slot).
+    /// Outcomes come back in submission order.
     pub fn run_batch(&self, specs: &[QuerySpec]) -> (Vec<QueryOutcome>, ServiceMetrics) {
         let start = Instant::now();
         let root = SetStream::new(&self.system);
@@ -261,8 +311,44 @@ impl Service {
         let mut next = 0usize;
         let mut inflight: Vec<(usize, Inflight<'_>)> = Vec::new();
         loop {
-            while next < specs.len() && inflight.len() < self.cfg.max_inflight {
+            while next < specs.len() {
                 let slot = next;
+                if inflight.len() >= self.cfg.max_inflight {
+                    // Only a fresh job needs an inflight slot: an
+                    // identical spec is still disposed of past a full
+                    // window — from the cache first (a *shared* cache
+                    // can hold a retired answer even while a twin job
+                    // is in flight, and zero scans beats waiting on
+                    // it), else as a follower of the in-flight job.
+                    // Anything else waits for a retirement. The
+                    // side-effecting cache lookup only runs when a
+                    // leader guarantees the query is disposed of
+                    // either way, so a slot blocked on the window is
+                    // never counted as a miss twice.
+                    let has_leader =
+                        self.cfg.coalesce && inflight.iter().any(|(_, fl)| fl.spec == specs[slot]);
+                    if !has_leader {
+                        break;
+                    }
+                    if let Some(answer) = self.cache_lookup(&specs[slot]) {
+                        let outcome = self.cached_outcome(slot as u64, specs[slot], start, answer);
+                        self.deliver_cached(&outcome, &mut metrics);
+                        outcomes[slot] = Some(outcome);
+                    } else {
+                        let attached = self.try_coalesce(
+                            &specs[slot],
+                            slot,
+                            slot as u64,
+                            start,
+                            None,
+                            &mut inflight,
+                        );
+                        debug_assert!(attached, "the leader cannot vanish mid-admission");
+                        metrics.coalesced += 1;
+                    }
+                    next += 1;
+                    continue;
+                }
                 next += 1;
                 if let Some(answer) = self.cache_lookup(&specs[slot]) {
                     // The whole batch is "submitted" when run_batch
@@ -273,9 +359,14 @@ impl Service {
                     outcomes[slot] = Some(outcome);
                     continue;
                 }
+                if self.try_coalesce(&specs[slot], slot, slot as u64, start, None, &mut inflight) {
+                    metrics.coalesced += 1;
+                    continue;
+                }
                 if self.cache_enabled() {
                     metrics.cache_misses += 1;
                 }
+                metrics.jobs += 1;
                 let fl = Inflight {
                     id: slot as u64,
                     spec: specs[slot],
@@ -284,6 +375,7 @@ impl Service {
                     admitted: Instant::now(),
                     epochs_joined: 0,
                     reply: None,
+                    followers: Vec::new(),
                 };
                 inflight.push((slot, fl));
             }
@@ -359,7 +451,9 @@ impl Service {
                 };
                 match sub {
                     Ok(sub) => {
-                        if let Some(fl) = self.admit_or_answer(sub, &root, &mut metrics) {
+                        if let Admitted::Job(fl) =
+                            self.admit_or_answer(sub, &root, &mut inflight, &mut metrics)
+                        {
                             // The slot mirrors the submission id: serve
                             // mode routes outcomes by reply channel, but
                             // the slot stays meaningful either way.
@@ -412,26 +506,77 @@ impl Service {
         )
     }
 
+    /// Attaches a query to an identical in-flight job as a follower
+    /// (when [`ServiceConfig::coalesce`] is on and such a job exists).
+    /// Returns `true` when the query was coalesced — it will be
+    /// answered by that job's retirement and must not become a job of
+    /// its own. The cache is consulted *before* this (a retired
+    /// answer in zero scans beats waiting for an in-flight job), so
+    /// coalescing only ever sees cache misses.
+    fn try_coalesce<'a>(
+        &self,
+        spec: &QuerySpec,
+        slot: usize,
+        id: u64,
+        submitted: Instant,
+        reply: Option<SyncSender<QueryOutcome>>,
+        inflight: &mut [(usize, Inflight<'a>)],
+    ) -> bool {
+        if !self.cfg.coalesce {
+            return false;
+        }
+        let Some((_, leader)) = inflight.iter_mut().find(|(_, fl)| fl.spec == *spec) else {
+            return false;
+        };
+        debug_assert_eq!(
+            leader.spec.to_string(),
+            spec.to_string(),
+            "coalesce keys must agree on the canonical spec"
+        );
+        leader.followers.push(Follower {
+            slot,
+            id,
+            submitted,
+            attached: Instant::now(),
+            reply,
+        });
+        true
+    }
+
     /// Answers one submission from the cache (delivering the outcome
-    /// immediately) or builds its job; returns the inflight entry on a
-    /// cache miss.
+    /// immediately), coalesces it onto an identical in-flight job, or
+    /// builds its job; only the last case hands work back to the
+    /// caller.
     fn admit_or_answer<'a>(
         &'a self,
         sub: Submission,
         root: &SetStream<'a>,
+        inflight: &mut [(usize, Inflight<'a>)],
         metrics: &mut ServiceMetrics,
-    ) -> Option<Inflight<'a>> {
+    ) -> Admitted<'a> {
         if let Some(answer) = self.cache_lookup(&sub.spec) {
             let outcome = self.cached_outcome(sub.id, sub.spec, sub.submitted, answer);
             self.deliver_cached(&outcome, metrics);
             // The client may have dropped its ticket; that is fine.
             let _ = sub.reply.send(outcome);
-            return None;
+            return Admitted::Answered;
+        }
+        if self.try_coalesce(
+            &sub.spec,
+            sub.id as usize,
+            sub.id,
+            sub.submitted,
+            Some(sub.reply.clone()),
+            inflight,
+        ) {
+            metrics.coalesced += 1;
+            return Admitted::Coalesced;
         }
         if self.cache_enabled() {
             metrics.cache_misses += 1;
         }
-        Some(Inflight {
+        metrics.jobs += 1;
+        Admitted::Job(Inflight {
             id: sub.id,
             spec: sub.spec,
             job: make_job(&sub.spec, root),
@@ -439,6 +584,7 @@ impl Service {
             admitted: Instant::now(),
             epochs_joined: 0,
             reply: Some(sub.reply),
+            followers: Vec::new(),
         })
     }
 
@@ -464,6 +610,7 @@ impl Service {
             queue_wait: submitted.elapsed(),
             latency: submitted.elapsed(),
             cached: true,
+            coalesced: false,
         }
     }
 
@@ -476,9 +623,10 @@ impl Service {
     }
 
     /// Runs one scan epoch: every inflight job joins one shared
-    /// physical pass, queries arriving while the scan is in flight join
-    /// it mid-stream (serve mode), and worker threads fan the per-query
-    /// state updates out across the jobs.
+    /// physical pass — exposed as a zero-copy sharded feed rather than
+    /// a materialised item vector — queries arriving while the scan is
+    /// in flight join it mid-stream (serve mode), and a work-stealing
+    /// worker pool fans the per-query state updates out shard by shard.
     fn epoch<'a>(
         &'a self,
         root: &SetStream<'a>,
@@ -491,18 +639,18 @@ impl Service {
             fl.job.begin_scan();
             fl.epochs_joined += 1;
         }
-        let items: Vec<(SetId, &[ElemId])> = {
+        let feed = {
             let participants: Vec<&SetStream<'a>> = inflight
                 .iter()
                 .flat_map(|(_, fl)| fl.job.participants())
                 .collect();
-            ledger.scan(root, &participants).collect()
+            ledger.scan_sharded(root, &participants, self.cfg.shard_size)
         };
-        // The physical walk is buffered above, so a query admitted
-        // *now* still observes every item of this scan: mid-stream,
-        // pass-aligned admission. Joiners land at the tail of
-        // `inflight` and ride the fan-out below; jobs with nothing to
-        // scan are parked until after `end_scan`.
+        // The feed reads the (immutable) repository directly, so a
+        // query admitted *now* still observes every item of this scan:
+        // mid-stream, pass-aligned admission. Joiners land at the tail
+        // of `inflight` and ride the fan-out below; jobs with nothing
+        // to scan are parked until after `end_scan`.
         let parked = match mid.as_mut() {
             Some(mid) => self.admit_mid_stream(root, ledger, inflight, mid, metrics),
             None => Vec::new(),
@@ -510,23 +658,56 @@ impl Service {
         metrics.max_inflight_seen = metrics.max_inflight_seen.max(inflight.len() + parked.len());
         let workers = self.cfg.workers.min(inflight.len());
         if workers > 1 {
-            let chunk = inflight.len().div_ceil(workers);
-            let items = &items;
+            // Work-stealing fan-out: the feed cursor hands `(job,
+            // shard)` units to whichever worker is free — each job
+            // still observes every shard in repository order with at
+            // most one worker inside it at a time (the cursor's claim
+            // is the exclusivity protocol; the mutex satisfies the
+            // borrow checker and is uncontended by construction), so
+            // per-query state evolves exactly as in a solo run while a
+            // heavy query no longer stalls a statically assigned
+            // worker's whole chunk.
+            let slots: Vec<Mutex<&mut Inflight<'a>>> =
+                inflight.iter_mut().map(|(_, fl)| Mutex::new(fl)).collect();
+            let cursor = feed.cursor(slots.len());
+            /// Aborts the feed if the owning worker unwinds mid-unit:
+            /// its consumer would stay claimed forever, and siblings
+            /// would spin on `Retry` instead of letting the scope
+            /// join and propagate the panic.
+            struct AbortOnUnwind<'c>(&'c sc_stream::FeedCursor);
+            impl Drop for AbortOnUnwind<'_> {
+                fn drop(&mut self) {
+                    if std::thread::panicking() {
+                        self.0.abort();
+                    }
+                }
+            }
             std::thread::scope(|s| {
-                for slice in inflight.chunks_mut(chunk) {
-                    s.spawn(move || {
-                        for (_, fl) in slice {
-                            for &(id, elems) in items {
-                                fl.job.absorb(id, elems);
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        let _guard = AbortOnUnwind(&cursor);
+                        loop {
+                            match cursor.claim() {
+                                Claim::Shard { consumer, shard } => {
+                                    let mut fl = slots[consumer].lock().expect("job slot poisoned");
+                                    fl.job.absorb_shard(&mut feed.shard(shard));
+                                    drop(fl);
+                                    cursor.complete(consumer, shard);
+                                }
+                                Claim::Retry => std::thread::yield_now(),
+                                Claim::Done => break,
                             }
                         }
                     });
                 }
             });
         } else {
-            for (_, fl) in inflight.iter_mut() {
-                for &(id, elems) in &items {
-                    fl.job.absorb(id, elems);
+            // Single worker: shard-major order keeps each shard's
+            // repository slices cache-hot across the jobs, and every
+            // job still sees shards in ascending (= repository) order.
+            for s in 0..feed.num_shards() {
+                for (_, fl) in inflight.iter_mut() {
+                    fl.job.absorb_shard(&mut feed.shard(s));
                 }
             }
         }
@@ -578,11 +759,22 @@ impl Service {
             };
             match sub {
                 Ok(sub) => {
-                    let Some(mut fl) = self.admit_or_answer(sub, root, metrics) else {
-                        // A cache hit was answered without joining the
-                        // scan; the window (if still open) keeps
-                        // waiting for a real joiner.
-                        continue;
+                    let mut fl = match self.admit_or_answer(sub, root, inflight, metrics) {
+                        Admitted::Job(fl) => fl,
+                        Admitted::Coalesced => {
+                            // The query attached to a job of this very
+                            // group: the company the window waited for
+                            // has arrived (at zero cost), so stop
+                            // holding the scan open on its account.
+                            deadline = None;
+                            continue;
+                        }
+                        Admitted::Answered => {
+                            // A cache hit was answered without joining
+                            // the scan; the window (if still open)
+                            // keeps waiting for a real joiner.
+                            continue;
+                        }
                     };
                     if fl.job.wants_scan() {
                         fl.job.begin_scan();
@@ -608,10 +800,12 @@ impl Service {
     }
 
     /// Retires every job that no longer wants a scan, building its
-    /// outcome, populating the outcome cache, and delivering it (reply
-    /// channel in serve mode, `sink` callback in batch mode).
-    /// Retirement order is admission order so batch outcomes are
-    /// deterministic.
+    /// outcome, populating the outcome cache (once per job, however
+    /// many followers coalesced onto it), and delivering it (reply
+    /// channel in serve mode, `sink` callback in batch mode) — then
+    /// fanning the same solo observables out to every follower under
+    /// the follower's own id and timing. Retirement order is admission
+    /// order so batch outcomes are deterministic.
     fn retire<'a>(
         &self,
         inflight: &mut Vec<(usize, Inflight<'a>)>,
@@ -625,6 +819,10 @@ impl Service {
                 continue;
             }
             let (slot, fl) = inflight.remove(i);
+            debug_assert!(
+                self.cfg.coalesce || fl.followers.is_empty(),
+                "followers can only attach when coalescing is enabled"
+            );
             let result = fl.job.finish();
             let mut covered = BitSet::new(self.system.universe());
             for &id in &result.cover {
@@ -644,6 +842,7 @@ impl Service {
                 queue_wait: fl.admitted.duration_since(fl.submitted),
                 latency: fl.submitted.elapsed(),
                 cached: false,
+                coalesced: false,
             };
             if self.cache_enabled() {
                 self.cache.insert(
@@ -663,9 +862,28 @@ impl Service {
             metrics.queries_completed += 1;
             metrics.queue_wait.record(outcome.queue_wait);
             metrics.latency.record(outcome.latency);
-            if let Some(reply) = fl.reply {
+            if let Some(reply) = &fl.reply {
                 // The client may have dropped its ticket; that is fine.
                 let _ = reply.send(outcome.clone());
+            }
+            for f in fl.followers {
+                // Determinism makes the job's observables the
+                // follower's own solo observables; only identity and
+                // timing are per-follower.
+                let fanned = QueryOutcome {
+                    id: f.id,
+                    queue_wait: f.attached.duration_since(f.submitted),
+                    latency: f.submitted.elapsed(),
+                    coalesced: true,
+                    ..outcome.clone()
+                };
+                metrics.queries_completed += 1;
+                metrics.queue_wait.record(fanned.queue_wait);
+                metrics.latency.record(fanned.latency);
+                if let Some(reply) = &f.reply {
+                    let _ = reply.send(fanned.clone());
+                }
+                sink(f.slot, fanned);
             }
             sink(slot, outcome);
         }

@@ -154,6 +154,42 @@ fn single_threaded_and_threaded_epochs_agree() {
 }
 
 #[test]
+fn single_set_shards_under_heavy_stealing_agree_with_solo() {
+    // The smallest possible shard (one set) maximises work-stealing
+    // interleavings across the worker pool; every observable must
+    // still match the solo run bit for bit.
+    let inst = gen::planted_noisy(300, 600, 10, 9);
+    let service = Service::new(
+        inst.system.clone(),
+        ServiceConfig {
+            workers: 8,
+            shard_size: 1,
+            ..Default::default()
+        },
+    );
+    let specs = vec![
+        QuerySpec::IterCover {
+            delta: 0.5,
+            seed: 1,
+        },
+        QuerySpec::PartialCover {
+            epsilon: 0.1,
+            delta: 0.5,
+            seed: 2,
+        },
+        QuerySpec::GreedyBaseline,
+        QuerySpec::IterCover {
+            delta: 0.25,
+            seed: 4,
+        },
+    ];
+    let (outcomes, _) = service.run_batch(&specs);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert_matches_solo(outcome, &inst.system, &format!("query {i} ({})", specs[i]));
+    }
+}
+
+#[test]
 fn mid_stream_admission_and_cache_hits_preserve_solo_observables() {
     let inst = gen::planted_noisy(300, 600, 10, 9);
     let specs = [

@@ -80,6 +80,30 @@ impl ScanLedger {
         stream.shared_pass(participants)
     }
 
+    /// Performs one physical scan of `stream`'s repository on behalf of
+    /// `participants`, exposed as a zero-copy sharded feed
+    /// ([`ShardedPass`](crate::ShardedPass)) instead of a
+    /// single-consumer iterator — the fan-out driver's entry point.
+    ///
+    /// Accounting matches [`scan`](ScanLedger::scan) exactly: one
+    /// physical scan is counted for the feed as a whole and each
+    /// participant logs one logical pass, no matter how many shards or
+    /// worker threads consume the feed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is empty, if any participant is not a
+    /// fork of `stream`'s repository, or if `shard_size` is zero.
+    pub fn scan_sharded<'a>(
+        &self,
+        stream: &SetStream<'a>,
+        participants: &[&SetStream<'a>],
+        shard_size: usize,
+    ) -> crate::ShardedPass<'a> {
+        self.physical.set(self.physical.get() + 1);
+        stream.sharded_pass(participants, shard_size)
+    }
+
     /// Registers `participants` as mid-stream joiners of the physical
     /// scan most recently started through this ledger: each logs one
     /// logical pass ([`SetStream::join_shared_pass`]) while the
@@ -158,6 +182,21 @@ mod tests {
         assert_eq!(ledger.physical_scans(), 1, "no second walk");
         assert_eq!(ledger.mid_stream_joins(), 1);
         assert_eq!((early.passes(), late.passes()), (1, 1));
+    }
+
+    #[test]
+    fn sharded_scans_count_one_physical_walk() {
+        let sys = system();
+        let root = SetStream::new(&sys);
+        let (a, b) = (root.fork(), root.fork());
+        let ledger = ScanLedger::new();
+        let feed = ledger.scan_sharded(&root, &[&a, &b], 2);
+        let ids: Vec<_> = (0..feed.num_shards())
+            .flat_map(|s| feed.shard(s).map(|(id, _)| id))
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2], "shards tile the repository");
+        assert_eq!(ledger.physical_scans(), 1, "one scan per feed");
+        assert_eq!((a.passes(), b.passes()), (1, 1));
     }
 
     #[test]

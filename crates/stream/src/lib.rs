@@ -43,6 +43,7 @@ mod item_stream;
 mod ledger;
 mod report;
 mod set_stream;
+mod sharded;
 mod space;
 mod tracked;
 
@@ -51,5 +52,6 @@ pub use item_stream::ItemStream;
 pub use ledger::ScanLedger;
 pub use report::RunReport;
 pub use set_stream::SetStream;
+pub use sharded::{Claim, FeedCursor, ShardedPass};
 pub use space::SpaceMeter;
 pub use tracked::Tracked;

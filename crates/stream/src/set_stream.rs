@@ -42,6 +42,12 @@ impl<'a> SetStream<'a> {
         }
     }
 
+    /// The underlying repository, for in-crate views that expose it
+    /// through their own accounting (the sharded feed).
+    pub(crate) fn repository(&self) -> &'a SetSystem {
+        self.system
+    }
+
     /// Ground set size `n` (known without a pass).
     pub fn universe(&self) -> usize {
         self.system.universe()

@@ -52,8 +52,8 @@ const USAGE: &str = "usage:
   sctool exact <file> [--budget NODES]
   sctool certify <file>
   sctool convert <in> <out>              (format chosen by .scb extension)
-  sctool serve <file> [--listen HOST:PORT] [--inflight N] [--workers N] [--cache N] [--window MS]
-  sctool client --connect HOST:PORT [--wait-ready SECS] [--queries N] [--concurrency C] [--spec QUERY] [--shutdown]
+  sctool serve <file> [--listen HOST:PORT] [--inflight N] [--workers N] [--cache N] [--window MS] [--shard SETS] [--coalesce]
+  sctool client --connect HOST:PORT [--wait-ready SECS] [--queries N] [--concurrency C] [--spec QUERY] [--duplicates K] [--shutdown]
   sctool geomgen <discs|rects|triangles|clustered|grid|twoline> [--n N] [--m M] [--k K] [--half H] [--seed SEED]
   sctool geomsolve <file> [--delta D] [--no-canonical] [--bg]
 
@@ -429,6 +429,8 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         queue_depth: defaults.queue_depth,
         cache_capacity: flag_or(args, "--cache", defaults.cache_capacity)?,
         admission_window: std::time::Duration::from_millis(flag_or(args, "--window", 0u64)?),
+        shard_size: flag_or(args, "--shard", defaults.shard_size)?.max(1),
+        coalesce: args.iter().any(|a| a == "--coalesce"),
     };
     let service = Service::new(inst.system, cfg);
     let metrics = match flag(args, "--listen") {
@@ -452,9 +454,11 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         }
     };
     eprintln!(
-        "sctool serve: {} queries ({} cache hits, {} mid-stream joins), {} physical scans, peak {} inflight, {:.1} ms",
+        "sctool serve: {} queries ({} jobs, {} cache hits, {} coalesced, {} mid-stream joins), {} physical scans, peak {} inflight, {:.1} ms",
         metrics.queries_completed,
+        metrics.jobs,
         metrics.cache_hits,
+        metrics.coalesced,
         metrics.mid_stream_admissions,
         metrics.physical_scans,
         metrics.max_inflight_seen,
@@ -476,15 +480,43 @@ fn response_field(line: &str, key: &str) -> Option<u64> {
 /// all lines, then read all responses) so the server can batch them
 /// into shared scan epochs; the per-query `wait_us`/`us` fields of the
 /// responses are tabulated into queue-wait and latency percentiles.
+/// `--duplicates K` sends each spec K times (consecutive queries share
+/// a spec; distinct groups advance the seed), exercising the server's
+/// in-flight coalescing — the `coal=` responses are tallied alongside
+/// cache hits.
 fn client_cmd(args: &[String]) -> Result<(), String> {
     use std::net::TcpStream;
-    use streaming_set_cover::service::LatencyHistogram;
+    use streaming_set_cover::service::{LatencyHistogram, QuerySpec};
     let addr = flag(args, "--connect").ok_or("client: missing --connect")?;
     let queries: usize = flag_or(args, "--queries", 8)?;
     let concurrency: usize = flag_or(args, "--concurrency", 1)?;
     let concurrency = concurrency.clamp(1, queries.max(1));
+    let duplicates: usize = flag_or(args, "--duplicates", 1)?;
+    let duplicates = duplicates.max(1);
     let spec = flag(args, "--spec").unwrap_or_else(|| "iter delta=0.5".to_string());
-    streaming_set_cover::service::QuerySpec::parse(&spec).map_err(|e| format!("--spec: {e}"))?;
+    let base_spec = QuerySpec::parse(&spec).map_err(|e| format!("--spec: {e}"))?;
+    // Query `q` (global index) belongs to duplicate group `q / K`; the
+    // group advances the base spec's seed so groups are distinct while
+    // the K queries inside one group are identical.
+    let spec_of = move |q: usize| -> QuerySpec {
+        let group = (q / duplicates) as u64;
+        match base_spec {
+            QuerySpec::IterCover { delta, seed } => QuerySpec::IterCover {
+                delta,
+                seed: seed + group,
+            },
+            QuerySpec::PartialCover {
+                epsilon,
+                delta,
+                seed,
+            } => QuerySpec::PartialCover {
+                epsilon,
+                delta,
+                seed: seed + group,
+            },
+            QuerySpec::GreedyBaseline => QuerySpec::GreedyBaseline,
+        }
+    };
     if let Some(secs) = flag(args, "--wait-ready") {
         let secs: u64 = secs
             .parse()
@@ -497,6 +529,7 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
     struct Tally {
         ok: usize,
         cached: usize,
+        coalesced: usize,
         queue_wait: LatencyHistogram,
         latency: LatencyHistogram,
     }
@@ -504,19 +537,24 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
     let total = std::sync::Mutex::new(Tally::default());
     std::thread::scope(|s| -> Result<(), String> {
         let mut workers = Vec::new();
+        let mut start_index = 0usize;
         for c in 0..concurrency {
-            // Spread the remainder over the first connections.
+            // Spread the remainder over the first connections; each
+            // connection owns a contiguous global index range so
+            // duplicate groups are stable across concurrency levels.
             let share = queries / concurrency + usize::from(c < queries % concurrency);
+            let first = start_index;
+            start_index += share;
             if share == 0 {
                 continue;
             }
-            let (addr, spec, total) = (&addr, &spec, &total);
+            let (addr, total, spec_of) = (&addr, &total, &spec_of);
             workers.push(s.spawn(move || -> Result<(), String> {
                 let conn = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
                 let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
                 let mut writer = &conn;
-                for _ in 0..share {
-                    writeln!(writer, "{spec}").map_err(|e| e.to_string())?;
+                for q in first..first + share {
+                    writeln!(writer, "{}", spec_of(q)).map_err(|e| e.to_string())?;
                 }
                 writer.flush().map_err(|e| e.to_string())?;
                 let mut tally = Tally::default();
@@ -530,6 +568,7 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
                     if line.starts_with("ok") {
                         tally.ok += 1;
                         tally.cached += usize::from(response_field(&line, "cached") == Some(1));
+                        tally.coalesced += usize::from(response_field(&line, "coal") == Some(1));
                         if let Some(us) = response_field(&line, "wait_us") {
                             tally
                                 .queue_wait
@@ -545,6 +584,7 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
                 let mut total = total.lock().expect("tally poisoned");
                 total.ok += tally.ok;
                 total.cached += tally.cached;
+                total.coalesced += tally.coalesced;
                 total.queue_wait.merge(&tally.queue_wait);
                 total.latency.merge(&tally.latency);
                 Ok(())
@@ -559,8 +599,9 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
     let tally = total.into_inner().expect("tally poisoned");
     let ok = tally.ok;
     println!(
-        "{queries} queries ({ok} ok, {} cached) over {concurrency} connection(s) in {:.1} ms → {:.1} queries/s",
+        "{queries} queries ({ok} ok, {} cached, {} coalesced) over {concurrency} connection(s) in {:.1} ms → {:.1} queries/s",
         tally.cached,
+        tally.coalesced,
         elapsed.as_secs_f64() * 1e3,
         queries as f64 / elapsed.as_secs_f64().max(1e-9),
     );
