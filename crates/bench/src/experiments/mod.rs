@@ -1,6 +1,7 @@
 //! One module per experiment id (DESIGN.md §3).
 
 mod ablations;
+mod admission;
 mod akl16_curve;
 mod canonical_1_2;
 mod coalesce;
@@ -21,6 +22,7 @@ mod table_1_1;
 mod tradeoff_2_8;
 
 pub use ablations::ablations;
+pub use admission::admission;
 pub use akl16_curve::akl16_curve;
 pub use canonical_1_2::canonical_1_2;
 pub use coalesce::coalesce;
@@ -98,6 +100,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "coalesce",
             "E19 in-flight query coalescing: K identical queries, one job",
             coalesce,
+        ),
+        (
+            "admission",
+            "E20 pass-aligned non-blocking admission: queue wait vs the boundary baseline",
+            admission,
         ),
     ]
 }

@@ -673,6 +673,13 @@ impl<'a> IterCoverDriver<'a> {
         self.inner.wants_scan()
     }
 
+    /// The 1-based index of the logical pass the query needs next (see
+    /// [`ScanDriver::pass_index`]) — what a pass-aligned scheduler
+    /// matches against the scan it splices this query into.
+    pub fn pass_index(&self) -> usize {
+        self.inner.pass_index()
+    }
+
     /// Prepares the next scan: collects the participating guesses and
     /// builds the transposed residual masks for traversal sharing (see
     /// [`GuessMachine::begin_scan_group`] on the guess machine).

@@ -446,6 +446,13 @@ impl<'a> PartialCoverDriver<'a> {
         self.inner.wants_scan()
     }
 
+    /// The 1-based index of the logical pass the query needs next (see
+    /// [`ScanDriver::pass_index`]) — what a pass-aligned scheduler
+    /// matches against the scan it splices this query into.
+    pub fn pass_index(&self) -> usize {
+        self.inner.pass_index()
+    }
+
     /// Collects the guesses participating in the next scan.
     pub fn begin_scan(&mut self) {
         self.inner.begin_scan();

@@ -128,6 +128,10 @@ pub struct ScanDriver<'a, M: GuessMachine<'a>> {
     /// Machines joining the current scan (indices into `machines`),
     /// rebuilt by [`begin_scan`](Self::begin_scan).
     scanning: Vec<usize>,
+    /// Scans this driver has fully completed (`end_scan` calls) — the
+    /// driver-side half of pass-index tagging: the next scan it joins
+    /// is logical pass `finished_scans + 1` of the query.
+    finished_scans: usize,
     shared: M::Shared,
     _repo: PhantomData<&'a ()>,
 }
@@ -139,9 +143,19 @@ impl<'a, M: GuessMachine<'a>> ScanDriver<'a, M> {
         Self {
             machines,
             scanning: Vec::new(),
+            finished_scans: 0,
             shared,
             _repo: PhantomData,
         }
+    }
+
+    /// The 1-based index of the logical pass the driver needs next —
+    /// the tag a pass-aligned scheduler matches against the scan it
+    /// plans to splice this driver into (a fresh driver reports `1`).
+    /// Meaningful while [`wants_scan`](Self::wants_scan) is `true`; it
+    /// stops advancing once every machine finished.
+    pub fn pass_index(&self) -> usize {
+        self.finished_scans + 1
     }
 
     /// `true` while at least one machine still needs a physical scan.
@@ -205,6 +219,7 @@ impl<'a, M: GuessMachine<'a>> ScanDriver<'a, M> {
         for &g in &self.scanning {
             self.machines[g].end_scan();
         }
+        self.finished_scans += 1;
     }
 
     /// Merges the finished machines exactly as the sequential executors

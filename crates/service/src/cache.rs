@@ -18,11 +18,20 @@
 //! [`QueryOutcome`](crate::QueryOutcome) is bit-identical to the solo
 //! run that populated it — the `outcome_cache` integration test pins
 //! this together with the zero-physical-scan guarantee.
+//!
+//! Eviction is pluggable ([`EvictionPolicy`]): FIFO (insertion order —
+//! the batch default, no bookkeeping on the hit path) or LRU (hits
+//! refresh the entry — what `sctool serve` defaults to, since serving
+//! workloads skew toward a hot working set). Entries of a repository
+//! generation that died in a hot swap are reaped eagerly through
+//! [`evict_fingerprint`](OutcomeCache::evict_fingerprint); they were
+//! already unreachable (no live service presents the dead fingerprint)
+//! — the reap just returns their slots.
 
 use crate::query::QuerySpec;
 use sc_setsystem::{SetId, SetSystem};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
 /// The solo observables of a completed query, as stored by the cache.
@@ -40,35 +49,90 @@ pub struct CachedAnswer {
     pub space_words: usize,
 }
 
+/// Which entry a full [`OutcomeCache`] evicts to admit a new one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the oldest *insertion*: no bookkeeping on the hit path,
+    /// the right default for deterministic batch runs (and the
+    /// behaviour every pre-existing caller had).
+    #[default]
+    Fifo,
+    /// Evict the least recently *used*: hits refresh the entry, so a
+    /// skewed repeat distribution keeps its hot set resident — the
+    /// `sctool serve` default.
+    Lru,
+}
+
+impl EvictionPolicy {
+    /// Parses `"fifo"` / `"lru"` (the `sctool serve --eviction`
+    /// grammar).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown policy.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "fifo" => Ok(Self::Fifo),
+            "lru" => Ok(Self::Lru),
+            other => Err(format!("unknown eviction policy {other:?} (fifo|lru)")),
+        }
+    }
+}
+
+impl std::fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Fifo => "fifo",
+            Self::Lru => "lru",
+        })
+    }
+}
+
 type CacheKey = (u64, String);
 
 /// A stored answer plus the dimensions of the repository it was
 /// computed against — re-checked on every hit as a collision guard
-/// independent of the fingerprint hash.
+/// independent of the fingerprint hash — and the eviction stamp (the
+/// insertion tick under FIFO, refreshed per hit under LRU).
 #[derive(Debug)]
 struct Stored {
     universe: usize,
     num_sets: usize,
+    stamp: u64,
     answer: CachedAnswer,
 }
 
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<CacheKey, Stored>,
-    /// Insertion order for FIFO eviction.
-    order: VecDeque<CacheKey>,
+    /// Stamp → key index mirroring `map` (stamps are unique), so the
+    /// eviction victim — the minimum stamp — is an O(log n) pop
+    /// instead of a full-map sweep on the scheduler's retirement path.
+    by_stamp: BTreeMap<u64, CacheKey>,
+    /// Monotonic stamp source for the eviction order.
+    tick: u64,
     hits: u64,
     misses: u64,
+    capacity_evictions: u64,
+    fingerprint_evictions: u64,
+}
+
+impl Inner {
+    fn next_stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
 }
 
 /// A bounded, thread-safe cache of query outcomes keyed on
 /// `(repository fingerprint, canonical spec)`.
 ///
 /// Capacity `0` disables the cache (every lookup misses, inserts are
-/// dropped). Eviction is FIFO: outcome records are tiny (a cover is a
-/// few dozen ids), so a simple bound beats LRU bookkeeping on the
-/// scheduler's hot path. The cache is `Sync` and designed to be shared
-/// — wrap it in an [`Arc`](std::sync::Arc) and hand it to several
+/// dropped). Eviction follows the configured [`EvictionPolicy`] —
+/// outcome records are tiny (a cover is a few dozen ids), so even the
+/// LRU bookkeeping is one counter write per hit. The cache is `Sync`
+/// and designed to be shared — wrap it in an
+/// [`Arc`](std::sync::Arc) and hand it to several
 /// [`Service::with_cache`](crate::Service::with_cache) instances to
 /// share answers across repositories (the content fingerprint plus the
 /// per-hit dimension cross-check keep them apart, up to a 64-bit hash
@@ -76,14 +140,23 @@ struct Inner {
 #[derive(Debug, Default)]
 pub struct OutcomeCache {
     capacity: usize,
+    policy: EvictionPolicy,
     inner: Mutex<Inner>,
 }
 
 impl OutcomeCache {
-    /// Creates a cache bounded to `capacity` entries (`0` disables it).
+    /// Creates a FIFO cache bounded to `capacity` entries (`0` disables
+    /// it).
     pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, EvictionPolicy::Fifo)
+    }
+
+    /// Creates a cache bounded to `capacity` entries under the given
+    /// eviction policy (`0` disables it).
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> Self {
         Self {
             capacity,
+            policy,
             inner: Mutex::new(Inner::default()),
         }
     }
@@ -91,6 +164,11 @@ impl OutcomeCache {
     /// The configured entry bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The configured eviction policy.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     /// Entries currently cached.
@@ -107,6 +185,14 @@ impl OutcomeCache {
     pub fn stats(&self) -> (u64, u64) {
         let inner = self.inner.lock().expect("cache poisoned");
         (inner.hits, inner.misses)
+    }
+
+    /// Lifetime evictions as `(capacity, fingerprint)`: entries pushed
+    /// out by the bound (under whichever policy) and entries reaped
+    /// because their repository generation died in a hot swap.
+    pub fn eviction_stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("cache poisoned");
+        (inner.capacity_evictions, inner.fingerprint_evictions)
     }
 
     /// A 64-bit FNV-1a fingerprint of a repository's full contents
@@ -147,7 +233,8 @@ impl OutcomeCache {
     /// given fingerprint and dimensions, updating the hit/miss
     /// counters. A fingerprint match whose stored dimensions differ
     /// from `universe`/`num_sets` is a hash collision between
-    /// different repositories and counts as a miss.
+    /// different repositories and counts as a miss. Under LRU, a hit
+    /// refreshes the entry's eviction stamp.
     pub fn lookup(
         &self,
         fingerprint: u64,
@@ -158,14 +245,24 @@ impl OutcomeCache {
         if self.capacity == 0 {
             return None;
         }
+        let key = Self::key(fingerprint, spec);
         let mut inner = self.inner.lock().expect("cache poisoned");
+        let inner = &mut *inner;
+        let stamp = (self.policy == EvictionPolicy::Lru).then(|| inner.next_stamp());
         match inner
             .map
-            .get(&Self::key(fingerprint, spec))
+            .get_mut(&key)
             .filter(|stored| stored.universe == universe && stored.num_sets == num_sets)
-            .map(|stored| stored.answer.clone())
         {
-            Some(answer) => {
+            Some(stored) => {
+                if let Some(stamp) = stamp {
+                    // LRU refresh: the entry moves to the young end of
+                    // the stamp index.
+                    inner.by_stamp.remove(&stored.stamp);
+                    inner.by_stamp.insert(stamp, key);
+                    stored.stamp = stamp;
+                }
+                let answer = stored.answer.clone();
                 inner.hits += 1;
                 Some(answer)
             }
@@ -177,10 +274,13 @@ impl OutcomeCache {
     }
 
     /// Stores the answer a completed query produced against the
-    /// repository with the given fingerprint and dimensions. A
-    /// duplicate key (two identical queries retiring from the same
-    /// epoch group) overwrites in place — the answers are identical by
-    /// determinism — without consuming a second slot.
+    /// repository with the given fingerprint and dimensions, returning
+    /// how many entries the capacity bound evicted to admit it (`0` or
+    /// `1`). A duplicate key (two identical queries retiring from the
+    /// same epoch group) overwrites in place — the answers are
+    /// identical by determinism — without consuming a second slot;
+    /// under FIFO the overwrite keeps the entry's original insertion
+    /// age, under LRU it counts as a use.
     pub fn insert(
         &self,
         fingerprint: u64,
@@ -188,30 +288,72 @@ impl OutcomeCache {
         num_sets: usize,
         spec: &QuerySpec,
         answer: CachedAnswer,
-    ) {
+    ) -> usize {
         if self.capacity == 0 {
-            return;
+            return 0;
         }
         let key = Self::key(fingerprint, spec);
-        let stored = Stored {
-            universe,
-            num_sets,
-            answer,
-        };
         let mut inner = self.inner.lock().expect("cache poisoned");
+        let inner = &mut *inner;
+        let stamp = inner.next_stamp();
         match inner.map.entry(key.clone()) {
             Entry::Occupied(mut slot) => {
-                slot.insert(stored);
+                let stored = slot.get_mut();
+                stored.universe = universe;
+                stored.num_sets = num_sets;
+                stored.answer = answer;
+                if self.policy == EvictionPolicy::Lru {
+                    // A re-insert is a use; under FIFO the entry keeps
+                    // its original insertion age.
+                    inner.by_stamp.remove(&stored.stamp);
+                    inner.by_stamp.insert(stamp, key);
+                    stored.stamp = stamp;
+                }
+                0
             }
             Entry::Vacant(slot) => {
-                slot.insert(stored);
-                inner.order.push_back(key);
-                while inner.order.len() > self.capacity {
-                    let evict = inner.order.pop_front().expect("order tracks map");
-                    inner.map.remove(&evict);
+                slot.insert(Stored {
+                    universe,
+                    num_sets,
+                    stamp,
+                    answer,
+                });
+                inner.by_stamp.insert(stamp, key);
+                let mut evicted = 0;
+                while inner.map.len() > self.capacity {
+                    // Evict the minimum stamp: insertion order under
+                    // FIFO, least-recently-used under LRU (hits refresh
+                    // the stamp) — an O(log n) pop off the stamp index.
+                    let (_, victim) = inner
+                        .by_stamp
+                        .pop_first()
+                        .expect("stamp index mirrors the map");
+                    inner.map.remove(&victim);
+                    evicted += 1;
                 }
+                inner.capacity_evictions += evicted as u64;
+                evicted
             }
         }
+    }
+
+    /// Reaps every entry computed against the repository with the given
+    /// fingerprint — the eager half of a generation's death in a hot
+    /// swap (the keyed fingerprint already made them unreachable).
+    /// Returns how many entries were removed. Callers sharing one cache
+    /// across services should only reap fingerprints no live service
+    /// still presents.
+    pub fn evict_fingerprint(&self, fingerprint: u64) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let before = inner.map.len();
+        inner.map.retain(|(fp, _), _| *fp != fingerprint);
+        inner.by_stamp.retain(|_, (fp, _)| *fp != fingerprint);
+        let reaped = before - inner.map.len();
+        inner.fingerprint_evictions += reaped as u64;
+        reaped
     }
 }
 
@@ -278,6 +420,68 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.lookup(0, 3, 2, &spec(0)), None, "oldest evicted");
         assert_eq!(cache.lookup(0, 3, 2, &spec(4)), Some(answer(4)));
+        assert_eq!(cache.eviction_stats(), (3, 0));
+    }
+
+    #[test]
+    fn fifo_ignores_hits_when_evicting() {
+        let cache = OutcomeCache::new(2);
+        cache.insert(0, 3, 2, &spec(0), answer(0));
+        cache.insert(0, 3, 2, &spec(1), answer(1));
+        // A hit on the oldest entry does not save it under FIFO.
+        assert!(cache.lookup(0, 3, 2, &spec(0)).is_some());
+        cache.insert(0, 3, 2, &spec(2), answer(2));
+        assert_eq!(cache.lookup(0, 3, 2, &spec(0)), None, "still the oldest");
+        assert!(cache.lookup(0, 3, 2, &spec(1)).is_some());
+    }
+
+    #[test]
+    fn fifo_overwrite_keeps_the_original_insertion_age() {
+        let cache = OutcomeCache::new(2);
+        cache.insert(0, 3, 2, &spec(0), answer(0));
+        cache.insert(0, 3, 2, &spec(1), answer(1));
+        // Re-inserting the oldest entry does not rejuvenate it under
+        // FIFO: it is still the first out.
+        cache.insert(0, 3, 2, &spec(0), answer(9));
+        cache.insert(0, 3, 2, &spec(2), answer(2));
+        assert_eq!(cache.lookup(0, 3, 2, &spec(0)), None, "still the oldest");
+        assert!(cache.lookup(0, 3, 2, &spec(1)).is_some());
+        assert!(cache.lookup(0, 3, 2, &spec(2)).is_some());
+    }
+
+    #[test]
+    fn lru_hits_refresh_the_entry() {
+        let cache = OutcomeCache::with_policy(2, EvictionPolicy::Lru);
+        assert_eq!(cache.policy(), EvictionPolicy::Lru);
+        cache.insert(0, 3, 2, &spec(0), answer(0));
+        cache.insert(0, 3, 2, &spec(1), answer(1));
+        // Touch the older entry: the *other* one becomes the victim.
+        assert!(cache.lookup(0, 3, 2, &spec(0)).is_some());
+        cache.insert(0, 3, 2, &spec(2), answer(2));
+        assert!(cache.lookup(0, 3, 2, &spec(0)).is_some(), "refreshed");
+        assert_eq!(cache.lookup(0, 3, 2, &spec(1)), None, "LRU victim");
+        assert_eq!(cache.eviction_stats(), (1, 0));
+    }
+
+    #[test]
+    fn evict_fingerprint_reaps_only_the_dead_generation() {
+        let cache = OutcomeCache::new(8);
+        cache.insert(1, 3, 2, &spec(0), answer(0));
+        cache.insert(1, 3, 2, &spec(1), answer(1));
+        cache.insert(2, 3, 2, &spec(0), answer(2));
+        assert_eq!(cache.evict_fingerprint(1), 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(2, 3, 2, &spec(0)), Some(answer(2)));
+        assert_eq!(cache.eviction_stats(), (0, 2));
+        assert_eq!(cache.evict_fingerprint(1), 0, "already reaped");
+    }
+
+    #[test]
+    fn eviction_policy_parses_and_prints() {
+        assert_eq!(EvictionPolicy::parse("fifo"), Ok(EvictionPolicy::Fifo));
+        assert_eq!(EvictionPolicy::parse("lru"), Ok(EvictionPolicy::Lru));
+        assert!(EvictionPolicy::parse("arc").is_err());
+        assert_eq!(EvictionPolicy::Lru.to_string(), "lru");
     }
 
     #[test]
@@ -287,5 +491,6 @@ mod tests {
         assert_eq!(cache.lookup(0, 3, 2, &spec(1)), None);
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), (0, 0), "disabled caches do not count");
+        assert_eq!(cache.evict_fingerprint(0), 0);
     }
 }

@@ -1,0 +1,161 @@
+//! Pipeline stage 3 — **execution**: the sharded work-stealing fan-out
+//! of one shared physical scan across the worker pool.
+//!
+//! The feed ([`sc_stream::ShardedPass`]) exposes the repository as
+//! zero-copy contiguous shards; [`sc_stream::FeedCursor`] hands
+//! `(job, shard)` units to whichever worker is free, with every job
+//! observing every shard in repository order — so per-query state
+//! evolves exactly as in a solo run while a heavy query no longer pins
+//! a static chunk of the pool. With a single worker the fan-out runs
+//! shard-major on the epoch thread itself (cache-hot across jobs).
+//!
+//! In serve mode under
+//! [`AdmissionMode::Aligned`](crate::AdmissionMode), the epoch thread
+//! is not idle while the workers run: it drains the submission channel
+//! into the pending-arrival buffer (the **non-blocking accept** half of
+//! the pipeline — see [`alignment`](crate::alignment) for the splice
+//! that happens at the scan boundary). The single-worker path drains
+//! between shards instead, so responsiveness does not depend on the
+//! worker count.
+
+use crate::admission::{Inflight, Intake, PendingArrival};
+use crate::metrics::ServiceMetrics;
+use crate::service::Service;
+use crate::store::RepositoryGeneration;
+use sc_stream::{Claim, ShardedPass};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How long the epoch thread blocks on the channel per drain round
+/// while the threaded fan-out runs — the upper bound on how late it
+/// notices the feed finished, and the floor of a pending arrival's
+/// drain latency under an idle channel.
+const DRAIN_TICK: Duration = Duration::from_micros(200);
+
+/// Everything the epoch thread needs to accept arrivals while the
+/// fan-out runs: the intake to drain, the pending buffer the splice
+/// will consume, and the service context for answering cache hits on
+/// the spot (a hit needs neither a slot nor the scan, so it never
+/// waits for the boundary).
+pub(crate) struct ArrivalDrain<'x, 'rx> {
+    pub service: &'x Service,
+    pub gen: &'x RepositoryGeneration,
+    pub intake: &'x mut Intake<'rx>,
+    pub pending: &'x mut Vec<PendingArrival>,
+    pub limit: usize,
+    pub metrics: &'x mut ServiceMetrics,
+}
+
+impl ArrivalDrain<'_, '_> {
+    /// One drain round: pull arrivals (blocking at most `wait` on the
+    /// channel), answer the cache hits among the *newly* drained ones
+    /// immediately, keep the misses pending for the splice. Arrivals
+    /// that already missed are not re-probed every round — only
+    /// retirement on this same thread can insert, so a pending miss
+    /// stays a miss until the scan boundary (where the splice probes
+    /// once more, covering the shared-cache twin case).
+    fn tick(&mut self, wait: Duration) {
+        let fresh_from = self.pending.len();
+        self.intake.poll_into(self.pending, self.limit, wait);
+        self.service
+            .answer_drained_hits(self.gen, self.pending, fresh_from, self.metrics);
+    }
+
+    /// `true` while another arrival could still be accepted.
+    fn more_expected(&self) -> bool {
+        self.intake.draining_rx() && self.pending.len() < self.limit
+    }
+}
+
+/// Runs one scan's fan-out to completion. With `drain` set (serve
+/// mode, aligned admission), the epoch thread concurrently drains
+/// arrivals into the pending buffer.
+pub(crate) fn fan_out<'g>(
+    feed: &ShardedPass<'g>,
+    inflight: &mut [(usize, Inflight<'g>)],
+    workers: usize,
+    drain: Option<&mut ArrivalDrain<'_, '_>>,
+) {
+    let workers = workers.min(inflight.len());
+    if workers > 1 {
+        threaded(feed, inflight, workers, drain);
+    } else {
+        // Single worker: shard-major order keeps each shard's
+        // repository slices cache-hot across the jobs, and every job
+        // still sees shards in ascending (= repository) order. The
+        // channel is drained between shards (pure try_recv).
+        let mut drain = drain;
+        for s in 0..feed.num_shards() {
+            for (_, fl) in inflight.iter_mut() {
+                fl.job.absorb_shard(&mut feed.shard(s));
+            }
+            if let Some(drain) = drain.as_mut() {
+                drain.tick(Duration::ZERO);
+            }
+        }
+    }
+}
+
+/// Work-stealing fan-out: the feed cursor hands `(job, shard)` units
+/// to whichever worker is free — each job still observes every shard
+/// in repository order with at most one worker inside it at a time
+/// (the cursor's claim is the exclusivity protocol; the mutex
+/// satisfies the borrow checker and is uncontended by construction),
+/// so per-query state evolves exactly as in a solo run while a heavy
+/// query no longer stalls a statically assigned worker's whole chunk.
+fn threaded<'g>(
+    feed: &ShardedPass<'g>,
+    inflight: &mut [(usize, Inflight<'g>)],
+    workers: usize,
+    mut drain: Option<&mut ArrivalDrain<'_, '_>>,
+) {
+    let slots: Vec<Mutex<&mut Inflight<'g>>> =
+        inflight.iter_mut().map(|(_, fl)| Mutex::new(fl)).collect();
+    let cursor = feed.cursor(slots.len());
+    /// Aborts the feed if the owning worker unwinds mid-unit: its
+    /// consumer would stay claimed forever, and siblings would spin on
+    /// `Retry` instead of letting the scope join and propagate the
+    /// panic.
+    struct AbortOnUnwind<'c>(&'c sc_stream::FeedCursor);
+    impl Drop for AbortOnUnwind<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.abort();
+            }
+        }
+    }
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let _guard = AbortOnUnwind(&cursor);
+                loop {
+                    match cursor.claim() {
+                        Claim::Shard { consumer, shard } => {
+                            let mut fl = slots[consumer].lock().expect("job slot poisoned");
+                            fl.job.absorb_shard(&mut feed.shard(shard));
+                            drop(fl);
+                            cursor.complete(consumer, shard);
+                        }
+                        Claim::Retry => std::thread::yield_now(),
+                        Claim::Done => break,
+                    }
+                }
+            });
+        }
+        // Non-blocking accept: while the workers chew through the
+        // feed, the epoch thread drains arrivals (answering cache hits
+        // immediately, queueing the rest for the splice at the scan
+        // boundary), blocking at most DRAIN_TICK per round so the
+        // feed's completion is noticed promptly. Once nothing more can
+        // arrive (channel idle at limit, closed, or a reload pending),
+        // fall through to the scope join.
+        if let Some(drain) = drain.as_mut() {
+            while cursor.remaining() > 0 && !cursor.is_aborted() {
+                if !drain.more_expected() {
+                    break;
+                }
+                drain.tick(DRAIN_TICK);
+            }
+        }
+    });
+}

@@ -28,6 +28,12 @@ pub(crate) struct JobResult {
     pub space_words: usize,
     /// The coverage goal this query had to meet.
     pub required: usize,
+    /// Scan epochs the job rode, derived from its pass tag
+    /// ([`next_pass`](CoverJob::next_pass)` - 1` at retirement): every
+    /// epoch a job is inside — boundary-admitted or spliced mid-stream
+    /// — completes exactly one of its passes, so the driver's pass
+    /// index is the single source of truth for the count.
+    pub epochs_joined: usize,
 }
 
 /// A cover query advanced one shared physical scan at a time.
@@ -41,6 +47,11 @@ pub(crate) struct JobResult {
 pub(crate) trait CoverJob<'a>: Send {
     /// `true` while the job needs to join the next physical scan.
     fn wants_scan(&self) -> bool;
+    /// The 1-based index of the logical pass this job needs next — the
+    /// tag the pass-aligned admission planner matches against the scan
+    /// it splices the job into (a fresh job reports `1`). Meaningful
+    /// while [`wants_scan`](CoverJob::wants_scan) is `true`.
+    fn next_pass(&self) -> usize;
     /// Prepares the job for the scan it is about to join.
     fn begin_scan(&mut self);
     /// The forked streams that must log a logical pass for this scan.
@@ -124,6 +135,10 @@ impl<'a> CoverJob<'a> for IterJob<'a> {
             .is_some_and(IterCoverDriver::wants_scan)
     }
 
+    fn next_pass(&self) -> usize {
+        self.driver.as_ref().map_or(1, IterCoverDriver::pass_index)
+    }
+
     fn begin_scan(&mut self) {
         self.driver.as_mut().expect("active job").begin_scan();
     }
@@ -148,6 +163,7 @@ impl<'a> CoverJob<'a> for IterJob<'a> {
     }
 
     fn finish(self: Box<Self>) -> JobResult {
+        let epochs_joined = self.next_pass() - 1;
         let cover = match self.driver {
             Some(driver) => driver.finish_into(&self.parent, &self.meter).0,
             None => Vec::new(),
@@ -157,6 +173,7 @@ impl<'a> CoverJob<'a> for IterJob<'a> {
             logical_passes: self.parent.passes(),
             space_words: self.meter.peak(),
             required: self.parent.universe(),
+            epochs_joined,
         }
     }
 }
@@ -189,6 +206,10 @@ impl<'a> CoverJob<'a> for PartialJob<'a> {
         self.driver.wants_scan()
     }
 
+    fn next_pass(&self) -> usize {
+        self.driver.pass_index()
+    }
+
     fn begin_scan(&mut self) {
         self.driver.begin_scan();
     }
@@ -210,12 +231,14 @@ impl<'a> CoverJob<'a> for PartialJob<'a> {
     }
 
     fn finish(self: Box<Self>) -> JobResult {
+        let epochs_joined = self.next_pass() - 1;
         let cover = self.driver.finish_into(&self.parent, &self.meter);
         JobResult {
             cover,
             logical_passes: self.parent.passes(),
             space_words: self.meter.peak(),
             required: self.required,
+            epochs_joined,
         }
     }
 }
@@ -248,6 +271,15 @@ impl<'a> CoverJob<'a> for GreedyJob<'a> {
         self.result.is_none()
     }
 
+    fn next_pass(&self) -> usize {
+        // One-scan machine: pass 1 until the store-all scan ran.
+        if self.result.is_none() {
+            1
+        } else {
+            2
+        }
+    }
+
     fn begin_scan(&mut self) {
         self.store = Some(Tracked::new((vec![0u32], Vec::new()), &self.meter));
     }
@@ -276,11 +308,13 @@ impl<'a> CoverJob<'a> for GreedyJob<'a> {
     }
 
     fn finish(self: Box<Self>) -> JobResult {
+        let epochs_joined = self.next_pass() - 1;
         JobResult {
             cover: self.result.unwrap_or_default(),
             logical_passes: self.parent.passes(),
             space_words: self.meter.peak(),
             required: self.parent.universe(),
+            epochs_joined,
         }
     }
 }

@@ -6,33 +6,58 @@
 //! sequential scans. PR 1 exploited that inside a single `iterSetCover`
 //! run (all `log₂ n` guesses ride one physical scan per logical pass —
 //! [`sc_core::multiplex`]); this crate applies the same idea one level
-//! up. A [`Service`] owns one hot [`SetSystem`](sc_setsystem::SetSystem)
-//! repository and accepts a stream of cover queries
-//! ([`QuerySpec::IterCover`], [`QuerySpec::PartialCover`],
-//! [`QuerySpec::GreedyBaseline`]) from many clients concurrently; a
-//! scan scheduler admits pending queries into **scan epochs**, each
-//! query's state machine registers the logical pass it needs next, and
-//! one shared physical scan per epoch advances all of them. The scan
-//! itself is a **sharded zero-copy feed**
-//! ([`sc_stream::ShardedPass`], via
-//! [`sc_stream::ScanLedger::scan_sharded`]): the repository is
-//! partitioned into contiguous shards read directly from the
-//! repository slices — nothing is materialised per epoch — and a
-//! work-stealing cursor ([`sc_stream::FeedCursor`]) hands `(job,
-//! shard)` units to a `std::thread::scope` worker pool, every job
-//! observing every shard in repository order
-//! ([`ServiceConfig::shard_size`] sets the stealing granularity).
+//! up. A [`Service`] owns a hot, hot-swappable
+//! [`SetSystem`](sc_setsystem::SetSystem) repository and accepts a
+//! stream of cover queries ([`QuerySpec::IterCover`],
+//! [`QuerySpec::PartialCover`], [`QuerySpec::GreedyBaseline`]) from
+//! many clients concurrently; a scan scheduler admits pending queries
+//! into **scan epochs**, each query's state machine registers the
+//! logical pass it needs next, and one shared physical scan per epoch
+//! advances all of them.
 //!
-//! Four scale levers ride on the epoch scheduler:
+//! # Pipeline module map
 //!
-//! * **Mid-stream, pass-aligned admission** — a query arriving while a
-//!   scan is in flight joins that scan instead of queueing for the
-//!   next epoch: the feed reads the immutable repository directly, so
-//!   a pass-1 joiner still observes every item in repository order,
-//!   and [`sc_stream::ScanLedger::join`] logs its logical pass without
-//!   a second physical walk. [`ServiceConfig::admission_window`]
-//!   optionally holds a fresh group's first scan open for the rest of
-//!   a burst.
+//! The scheduler is an explicit staged pipeline; each stage is a
+//! module, and the narrow handoff between them is
+//! `alignment::EpochState` (the inflight jobs plus the epoch group's
+//! pass tag):
+//!
+//! | stage | module | job |
+//! |---|---|---|
+//! | 1 admission | `admission` | intake from the submission channel (queries, `!reload`), outcome-cache probe, coalesce-or-build disposition, the deferred-work backlog |
+//! | 2 alignment | `alignment` | pass-indexed join planning: which queued query splices into which in-flight scan (pass-2 joins pass-2), the splice itself (ledger join + zero-copy replay), the admission window, and the PR 4 `Boundary` baseline |
+//! | 3 execution | `execution` | the sharded work-stealing fan-out ([`sc_stream::ShardedPass`] + [`sc_stream::FeedCursor`]) with the epoch thread concurrently draining arrivals (non-blocking accept) |
+//! | 4 retirement | `retirement` | outcome construction (generation-tagged), cache fill + eviction accounting, reply fan-out to the query and its coalesced followers |
+//! |  lifecycle | `store` | [`RepositoryGeneration`] / `RepositoryStore`: fingerprint-versioned repository generations behind the hot swap |
+//!
+//! `service` orchestrates the stages (epoch loop, batch/serve entry
+//! points, the generation outer loop); `cache`, `metrics`, `query`,
+//! and `net` are the supporting surfaces (outcome cache with pluggable
+//! eviction, counters/histograms, the line protocol, the TCP
+//! front-end).
+//!
+//! # Scale levers
+//!
+//! * **Pass-aligned, non-blocking mid-stream admission**
+//!   ([`AdmissionMode::Aligned`], the default) — a query arriving
+//!   while a scan is in flight is committed to that scan immediately
+//!   (the epoch thread drains arrivals *while the fan-out runs*) and
+//!   spliced at the scan boundary: its first logical pass aligns with
+//!   whatever pass the group's scan carries — pass-2 joins pass-2 —
+//!   [`sc_stream::ScanLedger::join`] logs the pass against the scan's
+//!   tag with no second physical walk, and the joiner observes the
+//!   items through the zero-copy replay. The admission window
+//!   ([`ServiceConfig::admission_window`]) overlaps the fan-out
+//!   instead of blocking the epoch thread up front; the blocking PR 4
+//!   path survives as [`AdmissionMode::Boundary`], the baseline
+//!   experiment E20 (`BENCH_admission.json`) measures against.
+//! * **Repository lifecycle** — the served repository is a
+//!   fingerprint-versioned generation ([`RepositoryGeneration`]):
+//!   [`ServiceHandle::reload`] (the `!reload <path>` protocol line)
+//!   hot-swaps it mid-load, in-flight queries drain on their original
+//!   generation, every outcome reports the generation it was answered
+//!   from (`gen=`), and the dead generation's outcome-cache entries
+//!   are reaped ([`OutcomeCache::evict_fingerprint`]).
 //! * **In-flight query coalescing** — with
 //!   [`ServiceConfig::coalesce`], a query identical to a job already
 //!   in flight attaches to it as a follower instead of running: the
@@ -45,25 +70,27 @@
 //!   in zero scans rather than waiting on the in-flight job.
 //! * **The outcome cache** — repeat queries (same spec, same
 //!   repository fingerprint) are answered from [`OutcomeCache`] in
-//!   zero physical scans, with hit/miss counters in
-//!   [`ServiceMetrics`]; a cache shared across services keeps
-//!   repositories apart through the content fingerprint in the key
-//!   plus a per-hit dimension cross-check (see [`OutcomeCache`] for
-//!   the collision caveat).
+//!   zero physical scans, with hit/miss/eviction counters in
+//!   [`ServiceMetrics`] and a pluggable [`EvictionPolicy`] (FIFO for
+//!   deterministic batches, LRU for serving workloads with a hot
+//!   repeat set — the `sctool serve` default); a cache shared across
+//!   services keeps repositories apart through the content
+//!   fingerprint in the key plus a per-hit dimension cross-check (see
+//!   [`OutcomeCache`] for the collision caveat).
 //! * **Latency histograms** — [`ServiceMetrics::queue_wait`] and
 //!   [`ServiceMetrics::latency`] are log-bucketed
 //!   [`LatencyHistogram`]s with p50/p90/p99 extraction, the numbers
-//!   experiment E18 (`BENCH_service_load.json`) reports under load.
+//!   experiments E18/E20 report under load.
 //!
 //! Two guarantees, both pinned by integration tests:
 //!
 //! * **Equivalence** — a query solved through the service returns the
 //!   bit-identical cover, logical pass count, and space peak as the
-//!   same query run solo (`service_equivalence`) — under mid-stream
-//!   admission and cache hits alike: each job keeps its own forked
-//!   stream counter and space meter and performs exactly the
-//!   sequential operations in the same order, and a cache hit replays
-//!   the stored solo observables verbatim.
+//!   same query run solo (`service_equivalence`, `alignment`) — under
+//!   mid-stream splices, cache hits, and hot swaps alike: each job
+//!   keeps its own forked stream counter and space meter and performs
+//!   exactly the sequential operations in the same order, and a cache
+//!   hit replays the stored solo observables verbatim.
 //! * **Scan sharing is real** — for `N` concurrent identical queries
 //!   the service performs `max` (not `N ×`) physical scans, recorded
 //!   by [`sc_stream::ScanLedger`] and reported in
@@ -81,14 +108,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
+mod alignment;
 mod cache;
+mod execution;
 mod job;
 mod metrics;
 pub mod net;
 mod query;
+mod retirement;
 mod service;
+mod store;
 
-pub use cache::{CachedAnswer, OutcomeCache};
+pub use cache::{CachedAnswer, EvictionPolicy, OutcomeCache};
 pub use metrics::{LatencyHistogram, ServiceMetrics};
 pub use query::{QueryOutcome, QuerySpec};
-pub use service::{QueryTicket, Service, ServiceClosed, ServiceConfig, ServiceHandle};
+pub use service::{
+    AdmissionMode, QueryTicket, ReloadTicket, Service, ServiceClosed, ServiceConfig, ServiceHandle,
+};
+pub use store::RepositoryGeneration;

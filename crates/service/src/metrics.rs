@@ -151,6 +151,28 @@ pub struct ServiceMetrics {
     /// Queries admitted into a scan already in flight (pass-aligned
     /// mid-stream admission) instead of waiting for the next epoch.
     pub mid_stream_admissions: usize,
+    /// The subset of [`mid_stream_admissions`] spliced into a *later*
+    /// pass of an in-flight epoch group (the group's scan index was ≥ 2
+    /// when the joiner's first pass rode it) — the joins only per-pass
+    /// alignment makes possible; a pass-1-only scheduler would have
+    /// made these queries wait for the next epoch boundary.
+    ///
+    /// [`mid_stream_admissions`]: ServiceMetrics::mid_stream_admissions
+    pub aligned_joins: usize,
+    /// Repository hot swaps the scheduler performed
+    /// ([`ServiceHandle::reload`](crate::ServiceHandle::reload) /
+    /// the `!reload` protocol line).
+    pub reloads: usize,
+    /// Outcome-cache entries evicted during this run, all causes
+    /// (capacity bound under either policy, plus generation reaping).
+    pub evictions: usize,
+    /// Capacity evictions under the FIFO policy.
+    pub fifo_evictions: usize,
+    /// Capacity evictions under the LRU policy.
+    pub lru_evictions: usize,
+    /// Entries reaped because their repository generation died in a
+    /// hot swap ([`OutcomeCache::evict_fingerprint`](crate::OutcomeCache::evict_fingerprint)).
+    pub reload_evictions: usize,
     /// Queries answered from the outcome cache in zero physical scans.
     pub cache_hits: usize,
     /// Queries that missed the cache and became their own jobs

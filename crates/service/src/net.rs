@@ -9,7 +9,7 @@
 
 use crate::metrics::ServiceMetrics;
 use crate::query::QuerySpec;
-use crate::service::{QueryTicket, Service, ServiceHandle};
+use crate::service::{QueryTicket, ReloadTicket, Service, ServiceHandle};
 use std::io::{BufRead, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
@@ -62,6 +62,7 @@ where
 {
     enum Pumped {
         Ticket(QueryTicket),
+        Reload(ReloadTicket),
         Error(String),
         Pong,
     }
@@ -83,6 +84,28 @@ where
                     }
                     _ => {}
                 }
+                // Admin line: `!reload <path>` hot-swaps the served
+                // repository. Queries already pipelined ahead of it
+                // drain on their original generation; the reply (the
+                // new generation id) comes back in request order like
+                // every other response. The keyword must stand alone
+                // (`!reloadx …` is an unknown query, not a swap).
+                if line == "!reload" || line.starts_with("!reload ") {
+                    let path = line["!reload".len()..].trim();
+                    let msg = if path.is_empty() {
+                        Pumped::Error("!reload needs an instance path".into())
+                    } else {
+                        match sc_setsystem::io::load_path(path) {
+                            Ok(inst) => match handle.reload(inst.system) {
+                                Ok(ticket) => Pumped::Reload(ticket),
+                                Err(e) => Pumped::Error(e.to_string()),
+                            },
+                            Err(msg) => Pumped::Error(msg),
+                        }
+                    };
+                    let _ = tx.send(msg);
+                    continue;
+                }
                 let msg = match QuerySpec::parse(line) {
                     Ok(spec) => match handle.submit(spec) {
                         Ok(ticket) => Pumped::Ticket(ticket),
@@ -100,6 +123,10 @@ where
             match msg {
                 Pumped::Ticket(ticket) => match ticket.wait() {
                     Ok(outcome) => writeln!(output, "{}", outcome.protocol_line())?,
+                    Err(e) => writeln!(output, "err msg={e}")?,
+                },
+                Pumped::Reload(ticket) => match ticket.wait() {
+                    Ok(generation) => writeln!(output, "ok reload gen={generation}")?,
                     Err(e) => writeln!(output, "err msg={e}")?,
                 },
                 Pumped::Error(msg) => writeln!(output, "err msg={msg}")?,
@@ -226,6 +253,43 @@ mod tests {
             let metrics = server.join().expect("server thread");
             assert_eq!(metrics.queries_completed, 1);
         });
+    }
+
+    #[test]
+    fn reload_line_hot_swaps_and_tags_responses_with_the_generation() {
+        let inst = gen::planted(64, 128, 4, 1);
+        let next = gen::planted(64, 128, 4, 2);
+        let path = std::env::temp_dir().join(format!("sc-reload-{}.sc", std::process::id()));
+        std::fs::write(&path, sc_setsystem::io::system_to_string(&next.system)).expect("write");
+
+        let service = Service::new(inst.system, ServiceConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_tcp(&service, listener).expect("serve"));
+            wait_ready(&addr, Duration::from_secs(10)).expect("ready");
+            let conn = TcpStream::connect(&addr).expect("connect");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut writer = &conn;
+            writeln!(writer, "greedy").unwrap();
+            writeln!(writer, "!reload {}", path.display()).unwrap();
+            writeln!(writer, "greedy").unwrap();
+            writeln!(writer, "shutdown").unwrap();
+            writer.flush().unwrap();
+            let mut lines = Vec::new();
+            for _ in 0..3 {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                lines.push(line.trim().to_string());
+            }
+            assert!(lines[0].contains("gen=1"), "pre-swap: {:?}", lines[0]);
+            assert_eq!(lines[1], "ok reload gen=2");
+            assert!(lines[2].contains("gen=2"), "post-swap: {:?}", lines[2]);
+            let metrics = server.join().expect("server thread");
+            assert_eq!(metrics.reloads, 1);
+            assert_eq!(metrics.queries_completed, 2);
+        });
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! partial [eps=0.1] [delta=0.5] [seed=0]   ε-partial cover
 //! greedy                             store-all greedy baseline
 //! ```
+//!
+//! Besides query lines the server accepts the admin lines `ping`,
+//! `quit`, `shutdown`, and `!reload <path>` (hot-swap the served
+//! repository; answered `ok reload gen=N …` once in-flight queries
+//! drained on their original generation) — those are intercepted by
+//! the pump ([`net::pump_queries`](crate::net::pump_queries)) before
+//! [`QuerySpec::parse`] sees them.
 
 use sc_setsystem::SetId;
 use std::fmt;
@@ -166,6 +173,12 @@ pub struct QueryOutcome {
     /// to a solo run by determinism — and `epochs_joined` reports the
     /// job's epoch count.
     pub coalesced: bool,
+    /// The repository generation this query was answered from
+    /// ([`RepositoryGeneration::id`](crate::RepositoryGeneration::id)
+    /// — `1` until the first hot swap). A query admitted before a
+    /// `!reload` drains on its original generation and reports it here;
+    /// `gen=` in the protocol line.
+    pub generation: u64,
 }
 
 impl QueryOutcome {
@@ -185,7 +198,7 @@ impl QueryOutcome {
     /// (best-effort) measurements so a load generator can tabulate it.
     pub fn protocol_line(&self) -> String {
         format!(
-            "{} id={} kind={} sol={} covered={}/{} passes={} space={} epochs={} wait_us={} us={} cached={} coal={}",
+            "{} id={} kind={} sol={} covered={}/{} passes={} space={} epochs={} wait_us={} us={} cached={} coal={} gen={}",
             if self.goal_met() { "ok" } else { "fail" },
             self.id,
             self.spec.kind(),
@@ -199,6 +212,7 @@ impl QueryOutcome {
             self.latency.as_micros(),
             u8::from(self.cached),
             u8::from(self.coalesced),
+            self.generation,
         )
     }
 }

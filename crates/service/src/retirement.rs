@@ -1,0 +1,112 @@
+//! Pipeline stage 4 — **retirement**: outcome construction, cache
+//! fill, and the reply fan-out.
+//!
+//! A job leaves the scan epochs when it no longer wants a scan. Its
+//! retirement builds the [`QueryOutcome`] (tagged with the repository
+//! generation it ran on), populates the outcome cache exactly once —
+//! however many followers coalesced onto it — counts any eviction the
+//! insert caused against the run's metrics, and delivers: the reply
+//! channel in serve mode, the `sink` callback in batch mode, then one
+//! fanned reply per follower under the follower's own id and timing.
+
+use crate::admission::Inflight;
+use crate::cache::{CachedAnswer, EvictionPolicy};
+use crate::metrics::ServiceMetrics;
+use crate::query::QueryOutcome;
+use crate::service::Service;
+use crate::store::RepositoryGeneration;
+use sc_bitset::BitSet;
+
+impl Service {
+    /// Retires every job that no longer wants a scan, in admission
+    /// order (so batch outcomes are deterministic).
+    pub(crate) fn retire<'g>(
+        &self,
+        gen: &RepositoryGeneration,
+        inflight: &mut Vec<(usize, Inflight<'g>)>,
+        metrics: &mut ServiceMetrics,
+        mut sink: impl FnMut(usize, QueryOutcome),
+    ) {
+        let mut i = 0;
+        while i < inflight.len() {
+            if inflight[i].1.job.wants_scan() {
+                i += 1;
+                continue;
+            }
+            let (slot, fl) = inflight.remove(i);
+            debug_assert!(
+                self.config().coalesce || fl.followers.is_empty(),
+                "followers can only attach when coalescing is enabled"
+            );
+            let result = fl.job.finish();
+            let mut covered = BitSet::new(gen.system.universe());
+            for &id in &result.cover {
+                for &e in gen.system.set(id) {
+                    covered.insert(e);
+                }
+            }
+            let outcome = QueryOutcome {
+                id: fl.id,
+                spec: fl.spec,
+                cover: result.cover,
+                covered: covered.count(),
+                required: result.required,
+                logical_passes: result.logical_passes,
+                space_words: result.space_words,
+                epochs_joined: result.epochs_joined,
+                queue_wait: fl.admitted.duration_since(fl.submitted),
+                latency: fl.submitted.elapsed(),
+                cached: false,
+                coalesced: false,
+                generation: gen.id,
+            };
+            if self.cache_enabled() {
+                let evicted = self.cache().insert(
+                    gen.fingerprint,
+                    gen.system.universe(),
+                    gen.system.num_sets(),
+                    &fl.spec,
+                    CachedAnswer {
+                        cover: outcome.cover.clone(),
+                        covered: outcome.covered,
+                        required: outcome.required,
+                        logical_passes: outcome.logical_passes,
+                        space_words: outcome.space_words,
+                    },
+                );
+                metrics.evictions += evicted;
+                match self.cache().policy() {
+                    EvictionPolicy::Fifo => metrics.fifo_evictions += evicted,
+                    EvictionPolicy::Lru => metrics.lru_evictions += evicted,
+                }
+            }
+            metrics.queries_completed += 1;
+            metrics.queue_wait.record(outcome.queue_wait);
+            metrics.latency.record(outcome.latency);
+            if let Some(reply) = &fl.reply {
+                // The client may have dropped its ticket; that is fine.
+                let _ = reply.send(outcome.clone());
+            }
+            for f in fl.followers {
+                // Determinism makes the job's observables the
+                // follower's own solo observables; only identity and
+                // timing are per-follower.
+                let fanned = QueryOutcome {
+                    id: f.id,
+                    queue_wait: f.attached.duration_since(f.submitted),
+                    latency: f.submitted.elapsed(),
+                    coalesced: true,
+                    ..outcome.clone()
+                };
+                metrics.queries_completed += 1;
+                metrics.queue_wait.record(fanned.queue_wait);
+                metrics.latency.record(fanned.latency);
+                if let Some(reply) = &f.reply {
+                    let _ = reply.send(fanned.clone());
+                }
+                sink(f.slot, fanned);
+            }
+            sink(slot, outcome);
+        }
+    }
+}

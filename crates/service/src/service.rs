@@ -1,17 +1,62 @@
-//! The scan-epoch scheduler: admission, shared scans, worker fan-out,
-//! mid-stream joins, and the outcome cache.
+//! The scan-epoch scheduler, restructured as a staged pipeline:
+//! [`admission`](crate::admission) → [`alignment`](crate::alignment) →
+//! [`execution`](crate::execution) → [`retirement`](crate::retirement),
+//! orchestrated here around a narrow
+//! [`EpochState`](crate::alignment::EpochState) handoff, over
+//! hot-swappable repository generations
+//! ([`RepositoryStore`](crate::store::RepositoryStore)).
 
-use crate::cache::{CachedAnswer, OutcomeCache};
-use crate::job::{make_job, CoverJob};
+use crate::admission::{Admitted, Inflight, Intake, QuerySubmission, ReloadRequest, Submission};
+use crate::alignment::{self, EpochState};
+use crate::cache::{EvictionPolicy, OutcomeCache};
+use crate::execution;
 use crate::metrics::ServiceMetrics;
 use crate::query::{QueryOutcome, QuerySpec};
-use sc_bitset::BitSet;
+use crate::store::{RepositoryGeneration, RepositoryStore};
 use sc_setsystem::SetSystem;
-use sc_stream::{Claim, ScanLedger, SetStream};
+use sc_stream::{ScanLedger, SetStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// How a query arriving while a scan is in flight is admitted into it
+/// (serve mode; batch admission always happens before the first scan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Non-blocking, pass-aligned accept (the default): arrivals queue
+    /// while the fan-out runs — the epoch thread drains them
+    /// concurrently — and splice in at the scan boundary, each
+    /// joiner's next logical pass aligned to the group's current pass
+    /// tag and fed the scan's items through the zero-copy replay. The
+    /// admission window's timer overlaps the fan-out instead of
+    /// holding the epoch thread idle up front.
+    #[default]
+    Aligned,
+    /// The PR 4 baseline, kept for measurement (experiment E20): a
+    /// blocking drain before the fan-out. The admission window holds
+    /// the epoch thread idle for up to its full duration, and a query
+    /// arriving while the fan-out runs waits for the next epoch.
+    Boundary,
+}
+
+impl AdmissionMode {
+    /// Parses `"aligned"` / `"boundary"` (the `sctool serve
+    /// --admission` grammar).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown mode.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "aligned" => Ok(Self::Aligned),
+            "boundary" => Ok(Self::Boundary),
+            other => Err(format!(
+                "unknown admission mode {other:?} (aligned|boundary)"
+            )),
+        }
+    }
+}
 
 /// Tuning knobs of the service.
 #[derive(Debug, Clone, Copy)]
@@ -32,17 +77,29 @@ pub struct ServiceConfig {
     /// Ignored when the service is built with
     /// [`Service::with_cache`], which brings its own cache.
     pub cache_capacity: usize,
+    /// Eviction policy of the private cache [`Service::new`] builds
+    /// (FIFO by default — zero bookkeeping on the hit path; `sctool
+    /// serve` defaults to LRU). Ignored with [`Service::with_cache`].
+    pub eviction: EvictionPolicy,
+    /// How mid-stream arrivals are admitted into an in-flight scan
+    /// (see [`AdmissionMode`]; serve mode only).
+    pub admission: AdmissionMode,
     /// How long the scheduler holds the *first* scan of a fresh epoch
     /// group open for mid-stream joiners (serve mode only; zero — the
-    /// default — admits mid-stream without ever blocking). A burst
-    /// arriving just behind the group's head then rides the same
-    /// physical scan instead of paying an extra epoch of queue wait.
+    /// default — admits mid-stream without ever holding a scan open).
+    /// A burst arriving just behind the group's head then rides the
+    /// same physical scan instead of paying an extra epoch of queue
+    /// wait.
     ///
     /// This is a batching knob for bursty load, and it has a cost on
-    /// sparse traffic: every query that starts a fresh group waits up
-    /// to the full window for company before its first scan's fan-out
-    /// runs, so a strict request-response client pays the window per
-    /// query. Leave it at zero unless clients submit in bursts.
+    /// sparse traffic: every query that starts a fresh group holds its
+    /// first scan's boundary open up to the full window waiting for
+    /// company, so a strict request-response client pays the window per
+    /// query. Under [`AdmissionMode::Aligned`] the timer runs from the
+    /// scan's *start* — the fan-out overlaps it — while
+    /// [`AdmissionMode::Boundary`] blocks the epoch thread for the
+    /// whole window before any fan-out work. Leave it at zero unless
+    /// clients submit in bursts.
     pub admission_window: Duration,
     /// Sets per shard of the zero-copy repository feed the epoch
     /// fan-out drives jobs with ([`sc_stream::ShardedPass`]): the
@@ -75,6 +132,8 @@ impl Default for ServiceConfig {
                 .min(8),
             queue_depth: 256,
             cache_capacity: 256,
+            eviction: EvictionPolicy::Fifo,
+            admission: AdmissionMode::Aligned,
             admission_window: Duration::ZERO,
             shard_size: 256,
             coalesce: false,
@@ -113,6 +172,25 @@ impl QueryTicket {
     }
 }
 
+/// A pending acknowledgement for a requested repository hot swap.
+#[derive(Debug)]
+pub struct ReloadTicket {
+    rx: Receiver<u64>,
+}
+
+impl ReloadTicket {
+    /// Blocks until the swap took effect — queries admitted before the
+    /// reload have drained on their original generation — and returns
+    /// the new generation id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceClosed`] if the scheduler exited before swapping.
+    pub fn wait(self) -> Result<u64, ServiceClosed> {
+        self.rx.recv().map_err(|_| ServiceClosed)
+    }
+}
+
 /// Clonable submission endpoint handed to client code by
 /// [`Service::serve`]. Dropping every clone closes the queue; the
 /// scheduler then drains what is inflight and exits.
@@ -132,91 +210,50 @@ impl ServiceHandle {
         let (reply, rx) = mpsc::sync_channel(1);
         let id = self.counter.fetch_add(1, Ordering::Relaxed);
         self.tx
-            .send(Submission {
+            .send(Submission::Query(QuerySubmission {
                 id,
                 spec,
                 submitted: Instant::now(),
                 reply,
-            })
+            }))
             .map_err(|_| ServiceClosed)?;
         Ok(QueryTicket { id, rx })
     }
+
+    /// Requests a repository hot swap: queries submitted before this
+    /// call drain on the current generation, queries submitted after
+    /// it run against `system` (once the drain completes). The
+    /// returned ticket resolves to the new generation id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceClosed`] if the scheduler already exited.
+    pub fn reload(&self, system: SetSystem) -> Result<ReloadTicket, ServiceClosed> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        self.tx
+            .send(Submission::Reload(ReloadRequest { system, reply }))
+            .map_err(|_| ServiceClosed)?;
+        Ok(ReloadTicket { rx })
+    }
 }
 
-struct Submission {
-    id: u64,
-    spec: QuerySpec,
-    submitted: Instant,
-    reply: SyncSender<QueryOutcome>,
-}
-
-/// One admitted query inside the epoch loop.
-struct Inflight<'a> {
-    id: u64,
-    spec: QuerySpec,
-    job: Box<dyn CoverJob<'a> + 'a>,
-    submitted: Instant,
-    admitted: Instant,
-    epochs_joined: usize,
-    /// `None` in batch mode (outcomes are returned positionally).
-    reply: Option<SyncSender<QueryOutcome>>,
-    /// Identical queries coalesced onto this job
-    /// ([`ServiceConfig::coalesce`]); retirement fans a reply out per
-    /// follower.
-    followers: Vec<Follower>,
-}
-
-/// A query riding an identical in-flight job instead of running.
-struct Follower {
-    /// Batch-mode outcome slot (mirrors the id in serve mode).
-    slot: usize,
-    id: u64,
-    submitted: Instant,
-    /// When the query attached to the job (its queue wait ends here).
-    attached: Instant,
-    /// `None` in batch mode.
-    reply: Option<SyncSender<QueryOutcome>>,
-}
-
-/// How one submission was disposed of by
-/// [`Service::admit_or_answer`].
-enum Admitted<'a> {
-    /// A fresh job the caller must admit into the scan epochs.
-    Job(Inflight<'a>),
-    /// Attached to an identical in-flight job as a follower; that
-    /// job's retirement answers it.
-    Coalesced,
-    /// Answered immediately from the outcome cache.
-    Answered,
-}
-
-/// Serve-mode plumbing threaded into [`Service::epoch`] so queries
-/// arriving while a scan is in flight can join it mid-stream.
-struct MidStream<'rx> {
-    rx: &'rx Receiver<Submission>,
-    open: &'rx mut bool,
-    /// `true` when this epoch group just started from an idle
-    /// scheduler — the admission window (if configured) holds this
-    /// scan open for the rest of the burst.
-    fresh_group: bool,
-}
-
-/// A multi-tenant, in-process cover-query engine over one repository.
+/// A multi-tenant, in-process cover-query engine over a hot-swappable
+/// repository.
 ///
-/// The service holds the [`SetSystem`] and serves streams of cover
+/// The service holds its [`SetSystem`] as a fingerprint-versioned
+/// *generation* ([`RepositoryGeneration`]) and serves streams of cover
 /// queries by batching them through shared physical scans: pending
 /// queries are admitted into *scan epochs*, every admitted query
-/// registers the logical pass it needs next, and one
-/// [`SetStream::shared_pass`] per epoch advances all of them — so the
-/// physical scan count of a group of concurrent queries is the *max*
-/// of their logical pass counts, not the sum, exactly the accounting
-/// the streaming model charges for parallel branches. Two further scale
-/// levers ride on top: queries arriving while a scan is in flight join
-/// it **mid-stream** (the scan's items are buffered, so a pass-1 joiner
-/// still observes every item; [`ScanLedger::join`] keeps the physical
-/// count honest), and repeat queries are answered from the
-/// **outcome cache** in zero physical scans
-/// ([`OutcomeCache`](crate::OutcomeCache)).
+/// registers the logical pass it needs next, and one shared physical
+/// scan per epoch advances all of them — so the physical scan count of
+/// a group of concurrent queries is the *max* of their logical pass
+/// counts, not the sum, exactly the accounting the streaming model
+/// charges for parallel branches. Queries arriving while a scan is in
+/// flight splice into it **pass-aligned and non-blocking** (see
+/// [`AdmissionMode`]), repeats are answered from the **outcome cache**
+/// in zero physical scans, and `!reload` swaps the repository
+/// mid-load with in-flight queries draining on their original
+/// generation.
 ///
 /// # Examples
 ///
@@ -234,21 +271,21 @@ struct MidStream<'rx> {
 /// ```
 #[derive(Debug)]
 pub struct Service {
-    system: SetSystem,
+    store: RepositoryStore,
     cfg: ServiceConfig,
-    fingerprint: u64,
     cache: Arc<OutcomeCache>,
 }
 
 impl Service {
-    /// Wraps a repository with the given configuration and a private
-    /// outcome cache of `cfg.cache_capacity` entries.
+    /// Wraps a repository (as generation 1) with the given
+    /// configuration and a private outcome cache of
+    /// `cfg.cache_capacity` entries under `cfg.eviction`.
     ///
     /// # Panics
     ///
     /// Panics if `max_inflight`, `workers`, or `queue_depth` is zero.
     pub fn new(system: SetSystem, cfg: ServiceConfig) -> Self {
-        let cache = Arc::new(OutcomeCache::new(cfg.cache_capacity));
+        let cache = Arc::new(OutcomeCache::with_policy(cfg.cache_capacity, cfg.eviction));
         Self::with_cache(system, cfg, cache)
     }
 
@@ -266,18 +303,16 @@ impl Service {
         assert!(cfg.max_inflight > 0, "max_inflight must be positive");
         assert!(cfg.workers > 0, "workers must be positive");
         assert!(cfg.queue_depth > 0, "queue_depth must be positive");
-        let fingerprint = OutcomeCache::fingerprint(&system);
         Self {
-            system,
+            store: RepositoryStore::new(system),
             cfg,
-            fingerprint,
             cache,
         }
     }
 
-    /// The repository being served.
-    pub fn system(&self) -> &SetSystem {
-        &self.system
+    /// The repository generation new queries are admitted under.
+    pub fn generation(&self) -> Arc<RepositoryGeneration> {
+        self.store.current()
     }
 
     /// The active configuration.
@@ -290,10 +325,44 @@ impl Service {
         &self.cache
     }
 
-    /// The fingerprint of the served repository — the cache-key half
-    /// that keeps answers from different repositories apart.
+    /// The fingerprint of the currently served repository generation —
+    /// the cache-key half that keeps answers from different
+    /// repositories apart.
     pub fn repository_fingerprint(&self) -> u64 {
-        self.fingerprint
+        self.store.current().fingerprint
+    }
+
+    /// Installs `system` as the next repository generation and reaps
+    /// the replaced generation's outcome-cache entries — but only when
+    /// the fingerprint actually changed *and* this service is the
+    /// cache's sole owner: another service sharing the cache
+    /// ([`Service::with_cache`]) may still be serving the "dead"
+    /// fingerprint's repository, and its entries must survive (they
+    /// stay reachable through its own generation; a shared cache
+    /// relies on the capacity bound instead of the eager reap).
+    /// Queries already running keep their generation and drain on it.
+    /// Prefer [`ServiceHandle::reload`] while serving — it sequences
+    /// the swap against the in-flight drain; this method is the direct
+    /// form for between-batch swaps.
+    pub fn install_repository(&self, system: SetSystem) -> Arc<RepositoryGeneration> {
+        self.install_counted(system).0
+    }
+
+    /// The swap plus how many dead-generation cache entries it reaped.
+    fn install_counted(&self, system: SetSystem) -> (Arc<RepositoryGeneration>, usize) {
+        let old = self.store.swap(system);
+        let fresh = self.store.current();
+        // Strong count 1 = the cache is privately owned by this
+        // service (a conservative test: any outstanding clone of the
+        // Arc blocks the reap, whether or not it belongs to a service
+        // presenting the old fingerprint).
+        let sole_owner = Arc::strong_count(&self.cache) == 1;
+        let reaped = if sole_owner && old.fingerprint != fresh.fingerprint && self.cache_enabled() {
+            self.cache.evict_fingerprint(old.fingerprint)
+        } else {
+            0
+        };
+        (fresh, reaped)
     }
 
     /// Solves a batch of queries through shared scan epochs, all
@@ -304,16 +373,20 @@ impl Service {
     /// Outcomes come back in submission order.
     pub fn run_batch(&self, specs: &[QuerySpec]) -> (Vec<QueryOutcome>, ServiceMetrics) {
         let start = Instant::now();
-        let root = SetStream::new(&self.system);
+        let gen = self.store.current();
+        let root = SetStream::new(&gen.system);
         let ledger = ScanLedger::new();
         let mut outcomes: Vec<Option<QueryOutcome>> = (0..specs.len()).map(|_| None).collect();
         let mut metrics = ServiceMetrics::default();
         let mut next = 0usize;
-        let mut inflight: Vec<(usize, Inflight<'_>)> = Vec::new();
+        let mut state = EpochState::new();
         loop {
+            if state.inflight.is_empty() {
+                state.group_pass = 0;
+            }
             while next < specs.len() {
                 let slot = next;
-                if inflight.len() >= self.cfg.max_inflight {
+                if state.inflight.len() >= self.cfg.max_inflight {
                     // Only a fresh job needs an inflight slot: an
                     // identical spec is still disposed of past a full
                     // window — from the cache first (a *shared* cache
@@ -325,13 +398,14 @@ impl Service {
                     // leader guarantees the query is disposed of
                     // either way, so a slot blocked on the window is
                     // never counted as a miss twice.
-                    let has_leader =
-                        self.cfg.coalesce && inflight.iter().any(|(_, fl)| fl.spec == specs[slot]);
+                    let has_leader = self.cfg.coalesce
+                        && state.inflight.iter().any(|(_, fl)| fl.spec == specs[slot]);
                     if !has_leader {
                         break;
                     }
-                    if let Some(answer) = self.cache_lookup(&specs[slot]) {
-                        let outcome = self.cached_outcome(slot as u64, specs[slot], start, answer);
+                    if let Some(answer) = self.cache_lookup(&gen, &specs[slot]) {
+                        let outcome =
+                            self.cached_outcome(&gen, slot as u64, specs[slot], start, answer);
                         self.deliver_cached(&outcome, &mut metrics);
                         outcomes[slot] = Some(outcome);
                     } else {
@@ -340,8 +414,9 @@ impl Service {
                             slot,
                             slot as u64,
                             start,
+                            Instant::now(),
                             None,
-                            &mut inflight,
+                            &mut state.inflight,
                         );
                         debug_assert!(attached, "the leader cannot vanish mid-admission");
                         metrics.coalesced += 1;
@@ -350,16 +425,25 @@ impl Service {
                     continue;
                 }
                 next += 1;
-                if let Some(answer) = self.cache_lookup(&specs[slot]) {
+                if let Some(answer) = self.cache_lookup(&gen, &specs[slot]) {
                     // The whole batch is "submitted" when run_batch
                     // starts, so a hit's latency covers the epochs it
                     // waited for a slot, same as a job's would.
-                    let outcome = self.cached_outcome(slot as u64, specs[slot], start, answer);
+                    let outcome =
+                        self.cached_outcome(&gen, slot as u64, specs[slot], start, answer);
                     self.deliver_cached(&outcome, &mut metrics);
                     outcomes[slot] = Some(outcome);
                     continue;
                 }
-                if self.try_coalesce(&specs[slot], slot, slot as u64, start, None, &mut inflight) {
+                if self.try_coalesce(
+                    &specs[slot],
+                    slot,
+                    slot as u64,
+                    start,
+                    Instant::now(),
+                    None,
+                    &mut state.inflight,
+                ) {
                     metrics.coalesced += 1;
                     continue;
                 }
@@ -370,26 +454,25 @@ impl Service {
                 let fl = Inflight {
                     id: slot as u64,
                     spec: specs[slot],
-                    job: make_job(&specs[slot], &root),
+                    job: crate::job::make_job(&specs[slot], &root),
                     submitted: start,
                     admitted: Instant::now(),
-                    epochs_joined: 0,
                     reply: None,
                     followers: Vec::new(),
                 };
-                inflight.push((slot, fl));
+                state.inflight.push((slot, fl));
             }
-            metrics.max_inflight_seen = metrics.max_inflight_seen.max(inflight.len());
-            self.retire(&mut inflight, &mut metrics, |slot, outcome| {
+            metrics.max_inflight_seen = metrics.max_inflight_seen.max(state.inflight.len());
+            self.retire(&gen, &mut state.inflight, &mut metrics, |slot, outcome| {
                 outcomes[slot] = Some(outcome);
             });
-            if inflight.is_empty() {
+            if state.inflight.is_empty() {
                 if next >= specs.len() {
                     break;
                 }
                 continue;
             }
-            self.epoch(&root, &ledger, &mut inflight, None, &mut metrics);
+            self.epoch(&gen, &root, &ledger, &mut state, None, &mut metrics, false);
         }
         metrics.physical_scans = ledger.physical_scans();
         metrics.elapsed = start.elapsed();
@@ -408,11 +491,15 @@ impl Service {
     /// handle clone it made is dropped), the scheduler drains the
     /// remaining queries and the call returns.
     ///
-    /// Admission happens at epoch boundaries *and* mid-stream: a query
-    /// arriving while a scan is in flight joins that scan (its first
-    /// pass observes the buffered items, [`ScanLedger::join`] logs the
-    /// logical pass) instead of queueing for the next epoch. Repeat
-    /// queries are answered from the outcome cache immediately.
+    /// Admission happens at epoch boundaries *and* mid-stream (see
+    /// [`AdmissionMode`]): a query arriving while a scan is in flight
+    /// splices into that scan — its first pass aligned to the group's
+    /// current pass tag, the items observed through the zero-copy
+    /// replay — instead of queueing for the next epoch. Repeat queries
+    /// are answered from the outcome cache immediately, and
+    /// [`ServiceHandle::reload`] hot-swaps the repository between
+    /// epoch groups with in-flight queries draining on their original
+    /// generation.
     pub fn serve<R, F>(&self, clients: F) -> (R, ServiceMetrics)
     where
         F: FnOnce(ServiceHandle) -> R,
@@ -430,462 +517,218 @@ impl Service {
         })
     }
 
-    /// The serve-mode scheduler: admission from the queue (at epoch
-    /// boundaries and mid-stream), one shared scan per epoch, replies
-    /// on completion.
+    /// The serve-mode scheduler: an outer loop over repository
+    /// generations, each running the epoch pipeline until the channel
+    /// closes or a reload ends the generation (in-flight queries drain
+    /// on it first; the swap is acknowledged once it took effect).
     fn scheduler(&self, rx: Receiver<Submission>) -> ServiceMetrics {
         let start = Instant::now();
-        let root = SetStream::new(&self.system);
-        let ledger = ScanLedger::new();
-        let mut inflight: Vec<(usize, Inflight<'_>)> = Vec::new();
         let mut metrics = ServiceMetrics::default();
-        let mut open = true;
+        let mut physical = 0usize;
+        let mut intake = Intake::new(&rx);
         loop {
-            // Admission at the epoch boundary. Block only when idle.
-            let fresh_group = inflight.is_empty();
-            while open && inflight.len() < self.cfg.max_inflight {
-                let sub = if inflight.is_empty() {
-                    rx.recv().map_err(|_| TryRecvError::Disconnected)
-                } else {
-                    rx.try_recv()
-                };
-                match sub {
-                    Ok(sub) => {
-                        if let Admitted::Job(fl) =
-                            self.admit_or_answer(sub, &root, &mut inflight, &mut metrics)
-                        {
-                            // The slot mirrors the submission id: serve
-                            // mode routes outcomes by reply channel, but
-                            // the slot stays meaningful either way.
-                            inflight.push((fl.id as usize, fl));
-                        }
-                    }
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => {
-                        open = false;
-                        break;
-                    }
+            let gen = self.store.current();
+            self.run_generation(&gen, &mut intake, &mut metrics, &mut physical);
+            match intake.reload.take() {
+                Some(req) => {
+                    let (fresh, reaped) = self.install_counted(req.system);
+                    metrics.reloads += 1;
+                    metrics.evictions += reaped;
+                    metrics.reload_evictions += reaped;
+                    // The requester may have dropped its ticket.
+                    let _ = req.reply.send(fresh.id);
                 }
+                None => break,
             }
-            metrics.max_inflight_seen = metrics.max_inflight_seen.max(inflight.len());
-            self.retire(&mut inflight, &mut metrics, |_slot, _outcome| {});
-            if inflight.is_empty() {
-                if !open {
-                    break;
-                }
-                continue;
-            }
-            let mid = MidStream {
-                rx: &rx,
-                open: &mut open,
-                fresh_group,
-            };
-            self.epoch(&root, &ledger, &mut inflight, Some(mid), &mut metrics);
         }
-        metrics.physical_scans = ledger.physical_scans();
+        metrics.physical_scans = physical;
         metrics.elapsed = start.elapsed();
         metrics
     }
 
-    /// `true` when this service actually caches outcomes — a disabled
-    /// cache neither stores answers nor counts traffic
-    /// ([`ServiceMetrics::cache_misses`] stays zero, matching
-    /// [`OutcomeCache::stats`]'s disabled-cache semantics).
-    fn cache_enabled(&self) -> bool {
-        self.cache.capacity() > 0
-    }
-
-    /// Cache lookup under this service's repository identity
-    /// (fingerprint plus the dimension cross-check).
-    fn cache_lookup(&self, spec: &QuerySpec) -> Option<crate::cache::CachedAnswer> {
-        self.cache.lookup(
-            self.fingerprint,
-            self.system.universe(),
-            self.system.num_sets(),
-            spec,
-        )
-    }
-
-    /// Attaches a query to an identical in-flight job as a follower
-    /// (when [`ServiceConfig::coalesce`] is on and such a job exists).
-    /// Returns `true` when the query was coalesced — it will be
-    /// answered by that job's retirement and must not become a job of
-    /// its own. The cache is consulted *before* this (a retired
-    /// answer in zero scans beats waiting for an in-flight job), so
-    /// coalescing only ever sees cache misses.
-    fn try_coalesce<'a>(
+    /// Runs the epoch pipeline over one pinned repository generation:
+    /// boundary admission, retirement, and scan epochs, until nothing
+    /// further can arrive for this generation (channel closed, or a
+    /// reload captured) and everything admitted has drained.
+    fn run_generation(
         &self,
-        spec: &QuerySpec,
-        slot: usize,
-        id: u64,
-        submitted: Instant,
-        reply: Option<SyncSender<QueryOutcome>>,
-        inflight: &mut [(usize, Inflight<'a>)],
-    ) -> bool {
-        if !self.cfg.coalesce {
-            return false;
-        }
-        let Some((_, leader)) = inflight.iter_mut().find(|(_, fl)| fl.spec == *spec) else {
-            return false;
-        };
-        debug_assert_eq!(
-            leader.spec.to_string(),
-            spec.to_string(),
-            "coalesce keys must agree on the canonical spec"
-        );
-        leader.followers.push(Follower {
-            slot,
-            id,
-            submitted,
-            attached: Instant::now(),
-            reply,
-        });
-        true
-    }
-
-    /// Answers one submission from the cache (delivering the outcome
-    /// immediately), coalesces it onto an identical in-flight job, or
-    /// builds its job; only the last case hands work back to the
-    /// caller.
-    fn admit_or_answer<'a>(
-        &'a self,
-        sub: Submission,
-        root: &SetStream<'a>,
-        inflight: &mut [(usize, Inflight<'a>)],
+        gen: &RepositoryGeneration,
+        intake: &mut Intake<'_>,
         metrics: &mut ServiceMetrics,
-    ) -> Admitted<'a> {
-        if let Some(answer) = self.cache_lookup(&sub.spec) {
-            let outcome = self.cached_outcome(sub.id, sub.spec, sub.submitted, answer);
-            self.deliver_cached(&outcome, metrics);
-            // The client may have dropped its ticket; that is fine.
-            let _ = sub.reply.send(outcome);
-            return Admitted::Answered;
+        physical: &mut usize,
+    ) {
+        let root = SetStream::new(&gen.system);
+        let ledger = ScanLedger::new();
+        let mut state = EpochState::new();
+        loop {
+            // Stage 1 — admission at the epoch boundary. Block only
+            // when idle; past a full window, still dispose of cache
+            // hits and coalescible duplicates (they need no slot).
+            let fresh_group = state.inflight.is_empty();
+            if fresh_group {
+                state.group_pass = 0;
+            }
+            loop {
+                let sub = if state.inflight.is_empty() {
+                    intake.pull_blocking()
+                } else {
+                    intake.pull_nonblocking()
+                };
+                let Some(sub) = sub else { break };
+                if state.inflight.len() >= self.cfg.max_inflight {
+                    match self.dispose_past_full_window(
+                        gen,
+                        sub,
+                        &mut state.inflight,
+                        metrics,
+                        Instant::now(),
+                    ) {
+                        Ok(_) => continue,
+                        Err(sub) => {
+                            // A fresh job with no slot: defer it (order
+                            // preserved — the backlog is consumed
+                            // first).
+                            intake.backlog.push_front(sub);
+                            break;
+                        }
+                    }
+                }
+                if let Admitted::Job(fl) = self.admit_or_answer(
+                    gen,
+                    sub,
+                    &root,
+                    &mut state.inflight,
+                    metrics,
+                    Instant::now(),
+                ) {
+                    // The slot mirrors the submission id: serve mode
+                    // routes outcomes by reply channel, but the slot
+                    // stays meaningful either way.
+                    state.inflight.push((fl.id as usize, fl));
+                }
+            }
+            metrics.max_inflight_seen = metrics.max_inflight_seen.max(state.inflight.len());
+            // Stage 4 — retirement (replies go out by channel).
+            self.retire(gen, &mut state.inflight, metrics, |_slot, _outcome| {});
+            if state.inflight.is_empty() {
+                let drained_for_swap = intake.reload.is_some() && intake.backlog.is_empty();
+                let closed_and_done = !intake.open && intake.backlog.is_empty();
+                if drained_for_swap || closed_and_done {
+                    break;
+                }
+                continue;
+            }
+            // Stages 2 + 3 — one scan epoch.
+            self.epoch(
+                gen,
+                &root,
+                &ledger,
+                &mut state,
+                Some(intake),
+                metrics,
+                fresh_group,
+            );
         }
-        if self.try_coalesce(
-            &sub.spec,
-            sub.id as usize,
-            sub.id,
-            sub.submitted,
-            Some(sub.reply.clone()),
-            inflight,
-        ) {
-            metrics.coalesced += 1;
-            return Admitted::Coalesced;
-        }
-        if self.cache_enabled() {
-            metrics.cache_misses += 1;
-        }
-        metrics.jobs += 1;
-        Admitted::Job(Inflight {
-            id: sub.id,
-            spec: sub.spec,
-            job: make_job(&sub.spec, root),
-            submitted: sub.submitted,
-            admitted: Instant::now(),
-            epochs_joined: 0,
-            reply: Some(sub.reply),
-            followers: Vec::new(),
-        })
-    }
-
-    /// Builds the outcome of a cache hit: the stored solo observables
-    /// (bit-identical to the run that populated the entry) under the
-    /// caller's submission timing, in zero physical scans.
-    fn cached_outcome(
-        &self,
-        id: u64,
-        spec: QuerySpec,
-        submitted: Instant,
-        answer: CachedAnswer,
-    ) -> QueryOutcome {
-        QueryOutcome {
-            id,
-            spec,
-            cover: answer.cover,
-            covered: answer.covered,
-            required: answer.required,
-            logical_passes: answer.logical_passes,
-            space_words: answer.space_words,
-            epochs_joined: 0,
-            queue_wait: submitted.elapsed(),
-            latency: submitted.elapsed(),
-            cached: true,
-            coalesced: false,
-        }
-    }
-
-    /// Records a cache hit's metrics (counters + histograms).
-    fn deliver_cached(&self, outcome: &QueryOutcome, metrics: &mut ServiceMetrics) {
-        metrics.cache_hits += 1;
-        metrics.queries_completed += 1;
-        metrics.queue_wait.record(outcome.queue_wait);
-        metrics.latency.record(outcome.latency);
+        *physical += ledger.physical_scans();
     }
 
     /// Runs one scan epoch: every inflight job joins one shared
-    /// physical pass — exposed as a zero-copy sharded feed rather than
-    /// a materialised item vector — queries arriving while the scan is
-    /// in flight join it mid-stream (serve mode), and a work-stealing
-    /// worker pool fans the per-query state updates out shard by shard.
-    fn epoch<'a>(
-        &'a self,
-        root: &SetStream<'a>,
+    /// physical pass — exposed as a zero-copy sharded feed — the
+    /// configured admission path handles queries arriving while the
+    /// scan is in flight, and the work-stealing worker pool fans the
+    /// per-query state updates out shard by shard.
+    #[allow(clippy::too_many_arguments)]
+    fn epoch<'g>(
+        &self,
+        gen: &RepositoryGeneration,
+        root: &SetStream<'g>,
         ledger: &ScanLedger,
-        inflight: &mut Vec<(usize, Inflight<'a>)>,
-        mut mid: Option<MidStream<'_>>,
+        state: &mut EpochState<'g>,
+        intake: Option<&mut Intake<'_>>,
         metrics: &mut ServiceMetrics,
+        fresh_group: bool,
     ) {
-        for (_, fl) in inflight.iter_mut() {
+        state.group_pass += 1;
+        for (_, fl) in state.inflight.iter_mut() {
             fl.job.begin_scan();
-            fl.epochs_joined += 1;
         }
         let feed = {
-            let participants: Vec<&SetStream<'a>> = inflight
+            let participants: Vec<&SetStream<'g>> = state
+                .inflight
                 .iter()
                 .flat_map(|(_, fl)| fl.job.participants())
                 .collect();
             ledger.scan_sharded(root, &participants, self.cfg.shard_size)
         };
-        // The feed reads the (immutable) repository directly, so a
-        // query admitted *now* still observes every item of this scan:
-        // mid-stream, pass-aligned admission. Joiners land at the tail
-        // of `inflight` and ride the fan-out below; jobs with nothing
-        // to scan are parked until after `end_scan`.
-        let parked = match mid.as_mut() {
-            Some(mid) => self.admit_mid_stream(root, ledger, inflight, mid, metrics),
-            None => Vec::new(),
-        };
-        metrics.max_inflight_seen = metrics.max_inflight_seen.max(inflight.len() + parked.len());
-        let workers = self.cfg.workers.min(inflight.len());
-        if workers > 1 {
-            // Work-stealing fan-out: the feed cursor hands `(job,
-            // shard)` units to whichever worker is free — each job
-            // still observes every shard in repository order with at
-            // most one worker inside it at a time (the cursor's claim
-            // is the exclusivity protocol; the mutex satisfies the
-            // borrow checker and is uncontended by construction), so
-            // per-query state evolves exactly as in a solo run while a
-            // heavy query no longer stalls a statically assigned
-            // worker's whole chunk.
-            let slots: Vec<Mutex<&mut Inflight<'a>>> =
-                inflight.iter_mut().map(|(_, fl)| Mutex::new(fl)).collect();
-            let cursor = feed.cursor(slots.len());
-            /// Aborts the feed if the owning worker unwinds mid-unit:
-            /// its consumer would stay claimed forever, and siblings
-            /// would spin on `Retry` instead of letting the scope
-            /// join and propagate the panic.
-            struct AbortOnUnwind<'c>(&'c sc_stream::FeedCursor);
-            impl Drop for AbortOnUnwind<'_> {
-                fn drop(&mut self) {
-                    if std::thread::panicking() {
-                        self.0.abort();
-                    }
-                }
-            }
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| {
-                        let _guard = AbortOnUnwind(&cursor);
-                        loop {
-                            match cursor.claim() {
-                                Claim::Shard { consumer, shard } => {
-                                    let mut fl = slots[consumer].lock().expect("job slot poisoned");
-                                    fl.job.absorb_shard(&mut feed.shard(shard));
-                                    drop(fl);
-                                    cursor.complete(consumer, shard);
-                                }
-                                Claim::Retry => std::thread::yield_now(),
-                                Claim::Done => break,
-                            }
-                        }
-                    });
-                }
-            });
-        } else {
-            // Single worker: shard-major order keeps each shard's
-            // repository slices cache-hot across the jobs, and every
-            // job still sees shards in ascending (= repository) order.
-            for s in 0..feed.num_shards() {
-                for (_, fl) in inflight.iter_mut() {
-                    fl.job.absorb_shard(&mut feed.shard(s));
-                }
-            }
-        }
-        for (_, fl) in inflight.iter_mut() {
-            fl.job.end_scan();
-        }
-        inflight.extend(parked);
-    }
-
-    /// Serve-mode mid-stream admission: drains queries that arrived
-    /// while the current scan was being buffered, admitting each into
-    /// the in-flight scan ([`ScanLedger::join`] logs its logical pass;
-    /// no extra physical walk). When this is the first scan of a fresh
-    /// epoch group and an admission window is configured, the scan is
-    /// held open up to that long for the head of a burst to arrive;
-    /// once anything joins (or the window expires) draining continues
-    /// without blocking. Returns the jobs that had nothing to scan
-    /// (empty-universe queries), to be parked until after `end_scan`.
-    fn admit_mid_stream<'a>(
-        &'a self,
-        root: &SetStream<'a>,
-        ledger: &ScanLedger,
-        inflight: &mut Vec<(usize, Inflight<'a>)>,
-        mid: &mut MidStream<'_>,
-        metrics: &mut ServiceMetrics,
-    ) -> Vec<(usize, Inflight<'a>)> {
-        let mut parked = Vec::new();
         // The window only arms for a *lone* head of a fresh group: a
         // burst that already arrived together at the epoch boundary is
         // the company the window exists to wait for, so holding its
         // first scan open would stall every query in it for nothing.
-        let lone_fresh_head = mid.fresh_group && inflight.len() < 2;
-        let mut deadline = (lone_fresh_head && self.cfg.admission_window > Duration::ZERO)
+        let lone_fresh_head = fresh_group && state.inflight.len() < 2;
+        let window = (lone_fresh_head && self.cfg.admission_window > Duration::ZERO)
             .then(|| Instant::now() + self.cfg.admission_window);
-        while *mid.open && inflight.len() + parked.len() < self.cfg.max_inflight {
-            let sub = match deadline {
-                Some(d) => match mid
-                    .rx
-                    .recv_timeout(d.saturating_duration_since(Instant::now()))
-                {
-                    Ok(sub) => Ok(sub),
-                    Err(RecvTimeoutError::Timeout) => {
-                        deadline = None;
-                        continue;
-                    }
-                    Err(RecvTimeoutError::Disconnected) => Err(TryRecvError::Disconnected),
-                },
-                None => mid.rx.try_recv(),
-            };
-            match sub {
-                Ok(sub) => {
-                    let mut fl = match self.admit_or_answer(sub, root, inflight, metrics) {
-                        Admitted::Job(fl) => fl,
-                        Admitted::Coalesced => {
-                            // The query attached to a job of this very
-                            // group: the company the window waited for
-                            // has arrived (at zero cost), so stop
-                            // holding the scan open on its account.
-                            deadline = None;
-                            continue;
-                        }
-                        Admitted::Answered => {
-                            // A cache hit was answered without joining
-                            // the scan; the window (if still open)
-                            // keeps waiting for a real joiner.
-                            continue;
-                        }
-                    };
-                    if fl.job.wants_scan() {
-                        fl.job.begin_scan();
-                        fl.epochs_joined = 1;
-                        ledger.join(root, &fl.job.participants());
-                        metrics.mid_stream_admissions += 1;
-                        inflight.push((fl.id as usize, fl));
-                        // The burst's head joined; take the rest
-                        // without blocking.
-                        deadline = None;
-                    } else {
-                        parked.push((fl.id as usize, fl));
-                    }
-                }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
-                    *mid.open = false;
-                    break;
-                }
+        let parked = match (self.cfg.admission, intake) {
+            (_, None) => {
+                // Batch mode: a pure fan-out, no mid-stream arrivals.
+                execution::fan_out(&feed, &mut state.inflight, self.cfg.workers, None);
+                Vec::new()
             }
-        }
-        parked
-    }
-
-    /// Retires every job that no longer wants a scan, building its
-    /// outcome, populating the outcome cache (once per job, however
-    /// many followers coalesced onto it), and delivering it (reply
-    /// channel in serve mode, `sink` callback in batch mode) — then
-    /// fanning the same solo observables out to every follower under
-    /// the follower's own id and timing. Retirement order is admission
-    /// order so batch outcomes are deterministic.
-    fn retire<'a>(
-        &self,
-        inflight: &mut Vec<(usize, Inflight<'a>)>,
-        metrics: &mut ServiceMetrics,
-        mut sink: impl FnMut(usize, QueryOutcome),
-    ) {
-        let mut i = 0;
-        while i < inflight.len() {
-            if inflight[i].1.job.wants_scan() {
-                i += 1;
-                continue;
-            }
-            let (slot, fl) = inflight.remove(i);
-            debug_assert!(
-                self.cfg.coalesce || fl.followers.is_empty(),
-                "followers can only attach when coalescing is enabled"
-            );
-            let result = fl.job.finish();
-            let mut covered = BitSet::new(self.system.universe());
-            for &id in &result.cover {
-                for &e in self.system.set(id) {
-                    covered.insert(e);
-                }
-            }
-            let outcome = QueryOutcome {
-                id: fl.id,
-                spec: fl.spec,
-                cover: result.cover,
-                covered: covered.count(),
-                required: result.required,
-                logical_passes: result.logical_passes,
-                space_words: result.space_words,
-                epochs_joined: fl.epochs_joined,
-                queue_wait: fl.admitted.duration_since(fl.submitted),
-                latency: fl.submitted.elapsed(),
-                cached: false,
-                coalesced: false,
-            };
-            if self.cache_enabled() {
-                self.cache.insert(
-                    self.fingerprint,
-                    self.system.universe(),
-                    self.system.num_sets(),
-                    &fl.spec,
-                    CachedAnswer {
-                        cover: outcome.cover.clone(),
-                        covered: outcome.covered,
-                        required: outcome.required,
-                        logical_passes: outcome.logical_passes,
-                        space_words: outcome.space_words,
-                    },
+            (AdmissionMode::Boundary, Some(intake)) => {
+                // The PR 4 baseline: blocking drain before the
+                // fan-out (joiners ride the workers with the group).
+                let parked = alignment::blocking_drain(
+                    self, gen, root, ledger, state, intake, window, metrics,
                 );
+                metrics.max_inflight_seen = metrics
+                    .max_inflight_seen
+                    .max(state.inflight.len() + parked.len());
+                execution::fan_out(&feed, &mut state.inflight, self.cfg.workers, None);
+                parked
             }
-            metrics.queries_completed += 1;
-            metrics.queue_wait.record(outcome.queue_wait);
-            metrics.latency.record(outcome.latency);
-            if let Some(reply) = &fl.reply {
-                // The client may have dropped its ticket; that is fine.
-                let _ = reply.send(outcome.clone());
-            }
-            for f in fl.followers {
-                // Determinism makes the job's observables the
-                // follower's own solo observables; only identity and
-                // timing are per-follower.
-                let fanned = QueryOutcome {
-                    id: f.id,
-                    queue_wait: f.attached.duration_since(f.submitted),
-                    latency: f.submitted.elapsed(),
-                    coalesced: true,
-                    ..outcome.clone()
-                };
-                metrics.queries_completed += 1;
-                metrics.queue_wait.record(fanned.queue_wait);
-                metrics.latency.record(fanned.latency);
-                if let Some(reply) = &f.reply {
-                    let _ = reply.send(fanned.clone());
+            (AdmissionMode::Aligned, Some(intake)) => {
+                // Non-blocking accept: the fan-out drains arrivals
+                // concurrently (answering cache hits on the spot); the
+                // splice lands the rest at the boundary.
+                let scan_tag = ledger.scan_index();
+                let mut pending = Vec::new();
+                {
+                    let mut drain = execution::ArrivalDrain {
+                        service: self,
+                        gen,
+                        intake,
+                        pending: &mut pending,
+                        limit: self.cfg.queue_depth,
+                        metrics,
+                    };
+                    execution::fan_out(
+                        &feed,
+                        &mut state.inflight,
+                        self.cfg.workers,
+                        Some(&mut drain),
+                    );
                 }
-                sink(f.slot, fanned);
+                let parked = alignment::splice_pending(
+                    self,
+                    gen,
+                    root,
+                    ledger,
+                    &feed,
+                    scan_tag,
+                    state,
+                    intake,
+                    &mut pending,
+                    window,
+                    metrics,
+                );
+                metrics.max_inflight_seen = metrics
+                    .max_inflight_seen
+                    .max(state.inflight.len() + parked.len());
+                parked
             }
-            sink(slot, outcome);
+        };
+        for (_, fl) in state.inflight.iter_mut() {
+            fl.job.end_scan();
         }
+        state.inflight.extend(parked);
     }
 }

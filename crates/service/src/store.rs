@@ -1,0 +1,119 @@
+//! Repository lifecycle: fingerprint-versioned generations behind a
+//! hot-swappable store.
+//!
+//! A [`Service`](crate::Service) used to own its [`SetSystem`] as a
+//! fixed field, so changing the served repository meant tearing the
+//! whole service down — dropping its outcome cache, its listeners, and
+//! every in-flight query with it. [`RepositoryStore`] makes the
+//! repository a *generation* instead: an immutable
+//! [`RepositoryGeneration`] (the set system plus its content
+//! fingerprint and a monotonically increasing id) held behind an
+//! atomically swappable handle. The scheduler pins the generation a
+//! query was admitted under for as long as that query runs — in-flight
+//! work drains on its original repository — while
+//! [`swap`](RepositoryStore::swap) installs the next generation for
+//! everything admitted afterwards. The fingerprint in the outcome-cache
+//! key already makes a dead generation's entries unreachable;
+//! [`OutcomeCache::evict_fingerprint`](crate::OutcomeCache::evict_fingerprint)
+//! reaps them eagerly on swap.
+
+use crate::cache::OutcomeCache;
+use sc_setsystem::SetSystem;
+use std::sync::{Arc, Mutex};
+
+/// One immutable generation of the served repository.
+///
+/// Queries hold the generation they were admitted under (via `Arc`), so
+/// a hot swap never pulls a repository out from under an in-flight
+/// scan; the generation is freed when the last query over it retires.
+#[derive(Debug)]
+pub struct RepositoryGeneration {
+    /// Monotonically increasing generation id (the first repository a
+    /// service is built with is generation `1`). Reported per outcome
+    /// as [`QueryOutcome::generation`](crate::QueryOutcome::generation)
+    /// and as `gen=` in the protocol.
+    pub id: u64,
+    /// The repository itself.
+    pub system: SetSystem,
+    /// The content fingerprint ([`OutcomeCache::fingerprint`]) — the
+    /// cache-key half that keeps this generation's answers apart from
+    /// every other repository's.
+    pub fingerprint: u64,
+}
+
+/// The hot-swappable owner of the served repository's generations.
+#[derive(Debug)]
+pub struct RepositoryStore {
+    current: Mutex<Arc<RepositoryGeneration>>,
+}
+
+impl RepositoryStore {
+    /// Wraps the first repository as generation `1`.
+    pub fn new(system: SetSystem) -> Self {
+        let fingerprint = OutcomeCache::fingerprint(&system);
+        Self {
+            current: Mutex::new(Arc::new(RepositoryGeneration {
+                id: 1,
+                system,
+                fingerprint,
+            })),
+        }
+    }
+
+    /// The generation new queries are admitted under right now.
+    pub fn current(&self) -> Arc<RepositoryGeneration> {
+        self.current.lock().expect("store poisoned").clone()
+    }
+
+    /// Installs `system` as the next generation and returns the one it
+    /// replaced. Queries already admitted keep their `Arc` to the old
+    /// generation and drain on it; only admission from here on sees the
+    /// new one. The id is allocated and the generation installed under
+    /// one lock, so concurrent swaps always install in id order.
+    pub fn swap(&self, system: SetSystem) -> Arc<RepositoryGeneration> {
+        let fingerprint = OutcomeCache::fingerprint(&system);
+        let mut current = self.current.lock().expect("store poisoned");
+        let fresh = Arc::new(RepositoryGeneration {
+            id: current.id + 1,
+            system,
+            fingerprint,
+        });
+        std::mem::replace(&mut *current, fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(seed: u8) -> SetSystem {
+        SetSystem::from_sets(3, vec![vec![0, 1], vec![u32::from(seed) % 3]])
+    }
+
+    #[test]
+    fn generations_are_versioned_and_fingerprinted() {
+        let store = RepositoryStore::new(system(2));
+        let g1 = store.current();
+        assert_eq!(g1.id, 1);
+        assert_eq!(g1.fingerprint, OutcomeCache::fingerprint(&g1.system));
+
+        let old = store.swap(system(0));
+        assert_eq!(old.id, 1, "swap returns the replaced generation");
+        let g2 = store.current();
+        assert_eq!(g2.id, 2);
+        assert_ne!(g1.fingerprint, g2.fingerprint, "content changed");
+
+        // The old generation stays usable for draining queries.
+        assert_eq!(old.system.num_sets(), 2);
+    }
+
+    #[test]
+    fn swapping_identical_content_still_advances_the_id() {
+        let store = RepositoryStore::new(system(2));
+        let before = store.current();
+        store.swap(system(2));
+        let after = store.current();
+        assert_eq!(after.id, before.id + 1);
+        assert_eq!(after.fingerprint, before.fingerprint, "same content");
+    }
+}

@@ -189,15 +189,16 @@ fn shared_cache_answer_beats_an_inflight_identical_job() {
         std::thread::sleep(Duration::from_millis(100));
         // Another service (here: the test) publishes the answer into
         // the shared cache while our job is mid-flight.
+        let generation = service.generation();
         cache.insert(
-            service.repository_fingerprint(),
-            service.system().universe(),
-            service.system().num_sets(),
+            generation.fingerprint,
+            generation.system.universe(),
+            generation.system.num_sets(),
             &iter(7),
             CachedAnswer {
                 cover: solo.cover.clone(),
-                covered: service.system().universe(),
-                required: service.system().universe(),
+                covered: generation.system.universe(),
+                required: generation.system.universe(),
                 logical_passes: solo.passes,
                 space_words: solo.space_words,
             },

@@ -1,0 +1,161 @@
+//! Repository lifecycle: hot swaps serve the new generation to new
+//! queries, drain in-flight queries on their original generation, and
+//! never leak an answer across generations — the dead generation's
+//! cache entries are reaped and every outcome is tagged with the
+//! generation it was answered from.
+
+use sc_core::{IterSetCover, IterSetCoverConfig};
+use sc_service::{QuerySpec, Service, ServiceConfig};
+use sc_setsystem::{gen, SetSystem};
+use sc_stream::run_reported;
+
+fn iter(seed: u64) -> QuerySpec {
+    QuerySpec::IterCover { delta: 0.5, seed }
+}
+
+fn solo_cover(system: &SetSystem, seed: u64) -> Vec<u32> {
+    let mut alg = IterSetCover::new(IterSetCoverConfig {
+        delta: 0.5,
+        seed,
+        ..Default::default()
+    });
+    run_reported(&mut alg, system).cover
+}
+
+#[test]
+fn hot_swap_answers_from_the_new_generation_with_zero_stale_answers() {
+    // Same dimensions, different content: a stale answer would be
+    // wrong (and, being a different planted instance, visibly so).
+    let repo1 = gen::planted(512, 1024, 16, 5);
+    let repo2 = gen::planted(512, 1024, 16, 6);
+    let (solo1, solo2) = (solo_cover(&repo1.system, 9), solo_cover(&repo2.system, 9));
+    assert_ne!(solo1, solo2, "the two generations answer differently");
+
+    let service = Service::new(repo1.system.clone(), ServiceConfig::default());
+    let ((before, generation, after), metrics) = service.serve(|handle| {
+        let before = handle
+            .submit(iter(9))
+            .expect("open")
+            .wait()
+            .expect("served");
+        let generation = handle
+            .reload(repo2.system.clone())
+            .expect("open")
+            .wait()
+            .expect("swapped");
+        let after = handle
+            .submit(iter(9))
+            .expect("open")
+            .wait()
+            .expect("served");
+        (before, generation, after)
+    });
+
+    assert_eq!(before.generation, 1);
+    assert_eq!(before.cover, solo1);
+    assert_eq!(generation, 2, "the reload ticket names the new generation");
+    assert_eq!(after.generation, 2);
+    assert_eq!(after.cover, solo2, "answered from the new repository");
+    assert!(
+        !after.cached,
+        "the identical spec must not hit the dead generation's entry"
+    );
+    assert_eq!(metrics.reloads, 1);
+    // The dead generation's cache entry was reaped eagerly.
+    assert_eq!(metrics.reload_evictions, 1);
+    assert_eq!(service.cache().eviction_stats(), (0, 1));
+    assert_eq!(service.cache().len(), 1, "only the new generation's entry");
+    assert_eq!(service.generation().id, 2);
+}
+
+#[test]
+fn in_flight_queries_drain_on_their_original_generation() {
+    let repo1 = gen::planted(1024, 2048, 16, 5);
+    let repo2 = gen::planted(1024, 2048, 16, 6);
+    let (solo1, solo2) = (solo_cover(&repo1.system, 3), solo_cover(&repo2.system, 3));
+
+    let service = Service::new(repo1.system.clone(), ServiceConfig::default());
+    let ((a, b), metrics) = service.serve(|handle| {
+        // A enters the pipeline, then the reload lands right behind it
+        // (with overwhelming probability while A is still scanning),
+        // then B with the identical spec. Whatever the interleaving, A
+        // was submitted before the reload and B after it — the
+        // pipeline guarantees A answers from generation 1 and B from
+        // generation 2.
+        let ta = handle.submit(iter(3)).expect("open");
+        let reload = handle.reload(repo2.system.clone()).expect("open");
+        let tb = handle.submit(iter(3)).expect("open");
+        assert_eq!(reload.wait().expect("swapped"), 2);
+        (ta.wait().expect("served"), tb.wait().expect("served"))
+    });
+
+    assert_eq!((a.generation, b.generation), (1, 2));
+    assert_eq!(a.cover, solo1, "drained on its original generation");
+    assert_eq!(b.cover, solo2, "served by the new generation");
+    assert!(!b.cached, "no answer crossed the swap");
+    assert_eq!(metrics.reloads, 1);
+    assert_eq!(metrics.queries_completed, 2);
+}
+
+#[test]
+fn install_repository_swaps_between_batches_and_reaps_the_cache() {
+    let repo1 = gen::planted(256, 512, 8, 5);
+    let repo2 = gen::planted(256, 512, 8, 6);
+    let service = Service::new(repo1.system.clone(), ServiceConfig::default());
+
+    let (first, m1) = service.run_batch(&[iter(1)]);
+    assert_eq!(first[0].generation, 1);
+    assert_eq!((m1.cache_hits, m1.cache_misses), (0, 1));
+    assert_eq!(service.cache().len(), 1);
+
+    let fresh = service.install_repository(repo2.system.clone());
+    assert_eq!(fresh.id, 2);
+    assert!(service.cache().is_empty(), "generation 1's entry reaped");
+
+    let (second, m2) = service.run_batch(&[iter(1)]);
+    assert_eq!(second[0].generation, 2);
+    assert!(m2.physical_scans > 0, "no stale zero-scan answer");
+    assert_eq!(second[0].cover, solo_cover(&repo2.system, 1));
+}
+
+#[test]
+fn swapping_does_not_reap_a_shared_cache() {
+    use sc_service::OutcomeCache;
+    use std::sync::Arc;
+    // Two services share one cache and serve the same repository; one
+    // of them swapping away must not delete the entries the other is
+    // still hitting — its generation keeps the fingerprint alive.
+    let repo = gen::planted(256, 512, 8, 5);
+    let other = gen::planted(256, 512, 8, 6);
+    let cache = Arc::new(OutcomeCache::new(16));
+    let a = Service::with_cache(repo.system.clone(), ServiceConfig::default(), cache.clone());
+    let b = Service::with_cache(repo.system.clone(), ServiceConfig::default(), cache.clone());
+
+    let (_, mb) = b.run_batch(&[iter(4)]);
+    assert_eq!(mb.cache_misses, 1);
+    a.install_repository(other.system.clone());
+    assert_eq!(cache.len(), 1, "B's entry survives A's swap");
+    let (again, mb2) = b.run_batch(&[iter(4)]);
+    assert!(again[0].cached, "B still hits after A swapped away");
+    assert_eq!(mb2.physical_scans, 0);
+    assert_eq!(cache.eviction_stats(), (0, 0), "nothing was reaped");
+}
+
+#[test]
+fn reloading_identical_content_keeps_the_cache_warm() {
+    let repo = gen::planted(256, 512, 8, 5);
+    let service = Service::new(repo.system.clone(), ServiceConfig::default());
+    let (_, m1) = service.run_batch(&[iter(2)]);
+    assert_eq!(m1.cache_misses, 1);
+
+    // Same content ⇒ same fingerprint: the generation id advances but
+    // the cached answers stay valid (and reachable).
+    let fresh = service.install_repository(repo.system.clone());
+    assert_eq!(fresh.id, 2);
+    assert_eq!(service.cache().len(), 1, "nothing reaped");
+
+    let (again, m2) = service.run_batch(&[iter(2)]);
+    assert!(again[0].cached, "the entry survived the same-content swap");
+    assert_eq!(m2.physical_scans, 0);
+    assert_eq!(again[0].generation, 2, "reported under the live generation");
+}

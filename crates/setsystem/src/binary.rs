@@ -32,7 +32,7 @@ use crate::{ElemId, Instance, SetId, SetSystem};
 use std::fmt;
 use std::io::{BufRead, Read, Write};
 
-const MAGIC: &[u8; 5] = b"SCB1\n";
+pub(crate) const MAGIC: &[u8; 5] = b"SCB1\n";
 
 /// A failure while reading the binary format.
 #[derive(Debug)]

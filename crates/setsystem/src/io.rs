@@ -202,6 +202,37 @@ pub fn from_str(s: &str) -> Result<Instance, ParseError> {
     read_instance(s.as_bytes())
 }
 
+/// Reads an instance from a reader holding *either* on-disk format:
+/// the `SCB1` binary magic is sniffed without consuming the stream and
+/// dispatches to the matching reader. Any parse error is prefixed with
+/// `name` (`name:line: message` for text, `name: message` for binary,
+/// whose errors locate the damaged record instead of a line) — the
+/// single sniffing loader `sctool` and the serving layer's `!reload`
+/// admin command share.
+///
+/// # Errors
+///
+/// The prefixed parse or I/O error message.
+pub fn read_instance_sniffed<R: BufRead>(name: &str, mut reader: R) -> Result<Instance, String> {
+    let head = reader.fill_buf().map_err(|e| format!("{name}: {e}"))?;
+    if head.starts_with(crate::binary::MAGIC) {
+        crate::binary::read_instance_binary(reader).map_err(|e| format!("{name}: {e}"))
+    } else {
+        read_instance(reader).map_err(|e| format!("{name}:{}: {}", e.line, e.message))
+    }
+}
+
+/// Loads an instance from a file path in either format (see
+/// [`read_instance_sniffed`]).
+///
+/// # Errors
+///
+/// The open, read, or parse error, prefixed with the path.
+pub fn load_path(path: &str) -> Result<Instance, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    read_instance_sniffed(path, std::io::BufReader::new(file))
+}
+
 /// Convenience: serialise a bare [`SetSystem`] (no planted cover).
 pub fn system_to_string(system: &SetSystem) -> String {
     to_string(&Instance {

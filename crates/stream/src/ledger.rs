@@ -64,6 +64,17 @@ impl ScanLedger {
         self.joined.get()
     }
 
+    /// The 1-based pass index of the scan most recently started through
+    /// this ledger — the tag a scheduler aligns joiners against (`0`
+    /// before any scan). Every scan of an immutable repository yields
+    /// the same item sequence, so *which* index a joiner splices into
+    /// never changes what it observes; the tag exists so the scheduler
+    /// can record (and tests can pin) that a splice landed on the scan
+    /// it planned for.
+    pub fn scan_index(&self) -> usize {
+        self.physical.get()
+    }
+
     /// Performs one physical scan of `stream`'s repository on behalf of
     /// `participants`, each of which logs one logical pass.
     ///
@@ -110,20 +121,23 @@ impl ScanLedger {
     /// physical count stays untouched — the walk already happened (or
     /// is in flight, its items buffered), and the driver replays the
     /// buffered items to the joiners, so the hardware pays nothing
-    /// extra.
+    /// extra. Returns the [`scan_index`](ScanLedger::scan_index) of the
+    /// scan joined, so the caller can tag the splice with the pass it
+    /// aligned to.
     ///
     /// # Panics
     ///
     /// Panics if no scan was ever performed through this ledger (there
     /// is nothing to join), or if any participant is not a fork of
     /// `stream`'s repository.
-    pub fn join<'a>(&self, stream: &SetStream<'a>, participants: &[&SetStream<'a>]) {
+    pub fn join<'a>(&self, stream: &SetStream<'a>, participants: &[&SetStream<'a>]) -> usize {
         assert!(
             self.physical.get() > 0,
             "mid-stream join needs a scan in flight"
         );
         stream.join_shared_pass(participants);
         self.joined.set(self.joined.get() + participants.len());
+        self.physical.get()
     }
 }
 
@@ -143,9 +157,11 @@ mod tests {
         let queries: Vec<SetStream> = (0..8).map(|_| root.fork()).collect();
         let ledger = ScanLedger::new();
         let participants: Vec<&SetStream> = queries.iter().collect();
-        for _ in 0..3 {
+        assert_eq!(ledger.scan_index(), 0, "no scan tagged yet");
+        for s in 0..3 {
             let items: Vec<_> = ledger.scan(&root, &participants).collect();
             assert_eq!(items.len(), 3);
+            assert_eq!(ledger.scan_index(), s + 1, "scans are pass-tagged");
         }
         assert_eq!(ledger.physical_scans(), 3);
         for q in &queries {
@@ -177,7 +193,7 @@ mod tests {
         let items: Vec<_> = ledger.scan(&root, &[&early]).collect();
         // A query arrives while that scan's items are still being fanned
         // out: it joins the in-flight scan and replays `items`.
-        ledger.join(&root, &[&late]);
+        assert_eq!(ledger.join(&root, &[&late]), 1, "joined scan #1");
         assert_eq!(items.len(), 3);
         assert_eq!(ledger.physical_scans(), 1, "no second walk");
         assert_eq!(ledger.mid_stream_joins(), 1);

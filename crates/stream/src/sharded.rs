@@ -225,6 +225,14 @@ impl FeedCursor {
         self.aborted.store(true, Ordering::Release);
     }
 
+    /// `true` once [`abort`](FeedCursor::abort) was called — lets a
+    /// driver thread polling [`remaining`](FeedCursor::remaining) for
+    /// the feed's end distinguish a clean drain from a pool that died
+    /// with units outstanding (and stop waiting for them).
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+
     /// Claims the next available unit of work (see [`Claim`]).
     pub fn claim(&self) -> Claim {
         if self.aborted.load(Ordering::Acquire) || self.remaining() == 0 {

@@ -52,13 +52,13 @@ const USAGE: &str = "usage:
   sctool exact <file> [--budget NODES]
   sctool certify <file>
   sctool convert <in> <out>              (format chosen by .scb extension)
-  sctool serve <file> [--listen HOST:PORT] [--inflight N] [--workers N] [--cache N] [--window MS] [--shard SETS] [--coalesce]
+  sctool serve <file> [--listen HOST:PORT] [--inflight N] [--workers N] [--cache N] [--eviction fifo|lru] [--admission aligned|boundary] [--window MS] [--shard SETS] [--coalesce]
   sctool client --connect HOST:PORT [--wait-ready SECS] [--queries N] [--concurrency C] [--spec QUERY] [--duplicates K] [--shutdown]
   sctool geomgen <discs|rects|triangles|clustered|grid|twoline> [--n N] [--m M] [--k K] [--half H] [--seed SEED]
   sctool geomsolve <file> [--delta D] [--no-canonical] [--bg]
 
 files: text format everywhere; SCB1 binary is sniffed by magic; use - for stdin (either format)
-serve protocol: one query per line — 'iter [delta=D] [seed=S]', 'partial [eps=E] [delta=D] [seed=S]', 'greedy'; also ping/quit/shutdown (responses come back in request order)";
+serve protocol: one query per line — 'iter [delta=D] [seed=S]', 'partial [eps=E] [delta=D] [seed=S]', 'greedy'; also ping/quit/shutdown and '!reload PATH' (hot-swap the repository; in-flight queries drain on their generation); responses come back in request order";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -133,30 +133,20 @@ fn gen_cmd(args: &[String]) -> Result<(), String> {
 }
 
 /// Loads an instance from a text or SCB1 file, `-` meaning stdin
-/// (either format; the SCB1 magic is sniffed). Parse errors carry the
-/// file name: `name:line: message` for text, `name: …` for binary
-/// (whose errors locate the damaged record instead of a line).
+/// (either format; the SCB1 magic is sniffed — `scio::load_path` /
+/// `scio::read_instance_sniffed`, the same loader the server's
+/// `!reload` admin line uses). Parse errors carry the file name:
+/// `name:line: message` for text, `name: …` for binary (whose errors
+/// locate the damaged record instead of a line).
 fn load(path: &str) -> Result<Instance, String> {
     if path == "-" {
         let mut bytes = Vec::new();
         std::io::stdin()
             .read_to_end(&mut bytes)
             .map_err(|e| format!("<stdin>: {e}"))?;
-        return read_sniffed("<stdin>", &bytes[..]);
+        return scio::read_instance_sniffed("<stdin>", &bytes[..]);
     }
-    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    read_sniffed(path, BufReader::new(file))
-}
-
-/// Sniffs the SCB1 magic without consuming the stream, then dispatches
-/// to the matching reader, prefixing any parse error with `name`.
-fn read_sniffed<R: BufRead>(name: &str, mut reader: R) -> Result<Instance, String> {
-    let head = reader.fill_buf().map_err(|e| format!("{name}: {e}"))?;
-    if head.starts_with(b"SCB1\n") {
-        scbin::read_instance_binary(reader).map_err(|e| format!("{name}: {e}"))
-    } else {
-        scio::read_instance(reader).map_err(|e| format!("{name}:{}: {}", e.line, e.message))
-    }
+    scio::load_path(path)
 }
 
 fn load_from_arg(args: &[String], at: usize) -> Result<Instance, String> {
@@ -414,7 +404,7 @@ fn convert_cmd(args: &[String]) -> Result<(), String> {
 /// `shutdown` command stops the listener once inflight work drains.
 fn serve_cmd(args: &[String]) -> Result<(), String> {
     use streaming_set_cover::service::net;
-    use streaming_set_cover::service::{Service, ServiceConfig};
+    use streaming_set_cover::service::{AdmissionMode, EvictionPolicy, Service, ServiceConfig};
     if args.first().is_some_and(|p| p == "-") && flag(args, "--listen").is_none() {
         return Err(
             "serve: reading the instance from stdin needs --listen (without it, stdin carries the query protocol)"
@@ -428,6 +418,15 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         workers: flag_or(args, "--workers", defaults.workers)?.max(1),
         queue_depth: defaults.queue_depth,
         cache_capacity: flag_or(args, "--cache", defaults.cache_capacity)?,
+        // Serving workloads skew toward a hot repeat set, so the CLI
+        // default is LRU (the library default stays FIFO for
+        // deterministic batch runs).
+        eviction: EvictionPolicy::parse(&flag(args, "--eviction").unwrap_or_else(|| "lru".into()))
+            .map_err(|e| format!("--eviction: {e}"))?,
+        admission: AdmissionMode::parse(
+            &flag(args, "--admission").unwrap_or_else(|| "aligned".into()),
+        )
+        .map_err(|e| format!("--admission: {e}"))?,
         admission_window: std::time::Duration::from_millis(flag_or(args, "--window", 0u64)?),
         shard_size: flag_or(args, "--shard", defaults.shard_size)?.max(1),
         coalesce: args.iter().any(|a| a == "--coalesce"),
@@ -454,16 +453,26 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         }
     };
     eprintln!(
-        "sctool serve: {} queries ({} jobs, {} cache hits, {} coalesced, {} mid-stream joins), {} physical scans, peak {} inflight, {:.1} ms",
+        "sctool serve: {} queries ({} jobs, {} cache hits, {} coalesced, {} mid-stream joins, {} pass-aligned), {} physical scans, peak {} inflight, {:.1} ms",
         metrics.queries_completed,
         metrics.jobs,
         metrics.cache_hits,
         metrics.coalesced,
         metrics.mid_stream_admissions,
+        metrics.aligned_joins,
         metrics.physical_scans,
         metrics.max_inflight_seen,
         metrics.elapsed.as_secs_f64() * 1e3,
     );
+    if metrics.reloads > 0 || metrics.evictions > 0 {
+        eprintln!(
+            "sctool serve: {} reloads, {} cache evictions ({} capacity, {} dead-generation)",
+            metrics.reloads,
+            metrics.evictions,
+            metrics.fifo_evictions + metrics.lru_evictions,
+            metrics.reload_evictions,
+        );
+    }
     eprintln!("sctool serve: queue wait {}", metrics.queue_wait);
     eprintln!("sctool serve: latency    {}", metrics.latency);
     Ok(())
@@ -530,6 +539,10 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
         ok: usize,
         cached: usize,
         coalesced: usize,
+        /// Responses per server repository generation (`gen=` field) —
+        /// shows which generation(s) answered when the repository was
+        /// hot-swapped mid-load.
+        generations: std::collections::BTreeMap<u64, usize>,
         queue_wait: LatencyHistogram,
         latency: LatencyHistogram,
     }
@@ -569,6 +582,9 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
                         tally.ok += 1;
                         tally.cached += usize::from(response_field(&line, "cached") == Some(1));
                         tally.coalesced += usize::from(response_field(&line, "coal") == Some(1));
+                        if let Some(generation) = response_field(&line, "gen") {
+                            *tally.generations.entry(generation).or_default() += 1;
+                        }
                         if let Some(us) = response_field(&line, "wait_us") {
                             tally
                                 .queue_wait
@@ -585,6 +601,9 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
                 total.ok += tally.ok;
                 total.cached += tally.cached;
                 total.coalesced += tally.coalesced;
+                for (generation, count) in tally.generations {
+                    *total.generations.entry(generation).or_default() += count;
+                }
                 total.queue_wait.merge(&tally.queue_wait);
                 total.latency.merge(&tally.latency);
                 Ok(())
@@ -607,6 +626,16 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
     );
     println!("queue wait {}", tally.queue_wait);
     println!("latency    {}", tally.latency);
+    // Which server generation(s) answered — a hot swap mid-load shows
+    // up as two generations here, with zero answers crossing them.
+    let generations: Vec<String> = tally
+        .generations
+        .iter()
+        .map(|(generation, count)| format!("gen {generation} × {count}"))
+        .collect();
+    if !generations.is_empty() {
+        println!("answered from {}", generations.join(", "));
+    }
     if args.iter().any(|a| a == "--shutdown") {
         let conn = TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
         let mut writer = &conn;
