@@ -1,0 +1,93 @@
+//! Criterion bench for E21: the dispatched bitset kernels against the
+//! forced-scalar path, plus the bucket-queue greedy oracle against the
+//! retained `BinaryHeap` reference.
+//!
+//! The scalar/dispatched A/B runs in one process via
+//! `kernels::force_scalar` — same entry points, same inputs — so the
+//! comparison isolates the vector paths from everything else.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sc_bitset::{kernels, BitSet};
+use sc_offline::{greedy_slices, greedy_slices_heap};
+use sc_setsystem::gen;
+use std::hint::black_box;
+
+const WORDS: usize = 1 << 14; // 1 Mbit bitmaps
+
+fn noise(len: usize, mut seed: u64) -> Vec<u64> {
+    (0..len)
+        .map(|_| {
+            seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn strided(words: usize, stride: usize) -> Vec<u32> {
+    (0..(words * 64) as u32).step_by(stride).collect()
+}
+
+/// Benchmarks `f` once per backend: `dispatched` picks whatever the
+/// CPU supports, `scalar` pins the portable path.
+fn per_backend<F: FnMut() -> R, R>(g: &mut criterion::BenchmarkGroup<'_>, name: &str, mut f: F) {
+    for (label, forced) in [("dispatched", false), ("scalar", true)] {
+        kernels::force_scalar(forced);
+        g.bench_function(BenchmarkId::new(name, label), |b| b.iter(|| black_box(f())));
+    }
+    kernels::force_scalar(false);
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let a = noise(WORDS, 1);
+    let b = noise(WORDS, 2);
+    let dense = strided(WORDS, 1);
+    let half = strided(WORDS, 2);
+    let sparse = strided(WORDS, 64);
+
+    let mut g = c.benchmark_group("bitset_kernels");
+    per_backend(&mut g, "and_popcount", || kernels::and_popcount(&a, &b));
+    per_backend(&mut g, "count_sorted/dense", || {
+        kernels::intersection_count_sorted(&a, &dense)
+    });
+    per_backend(&mut g, "count_sorted/half", || {
+        kernels::intersection_count_sorted(&a, &half)
+    });
+    per_backend(&mut g, "count_sorted/sparse", || {
+        kernels::intersection_count_sorted(&a, &sparse)
+    });
+    let mut out = Vec::with_capacity(half.len());
+    per_backend(&mut g, "intersect_sorted_into/half", || {
+        kernels::intersect_sorted_into(&a, &half, &mut out);
+        out.len()
+    });
+    let mut scratch = vec![0u64; WORDS];
+    per_backend(&mut g, "remove_sorted/half", || {
+        scratch.copy_from_slice(&a);
+        kernels::remove_sorted(&mut scratch, &half);
+        scratch[0]
+    });
+    g.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let inst = gen::planted(1 << 14, 1 << 12, 32, 42);
+    let sys = &inst.system;
+    let m = sys.num_sets();
+    let target = BitSet::full(sys.universe());
+
+    let mut g = c.benchmark_group("greedy_oracle");
+    g.sample_size(10);
+    g.bench_function("heap", |b| {
+        b.iter(|| black_box(greedy_slices_heap(m, |i| sys.set(i as u32), &target)))
+    });
+    g.bench_function("bucket", |b| {
+        b.iter(|| black_box(greedy_slices(m, |i| sys.set(i as u32), &target)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_oracle);
+criterion_main!(benches);

@@ -11,7 +11,9 @@
 //!
 //! `--json PATH` additionally writes every table plus per-experiment
 //! wall-clock seconds as a JSON document, the format the repository's
-//! `BENCH_*.json` perf-trajectory files use.
+//! `BENCH_*.json` perf-trajectory files use. The document records the
+//! active bitset kernel backend (`"kernel_backend":"avx2"` / `"scalar"`)
+//! so an artifact always says which dispatch path produced its timings.
 //!
 //! `--check PATH` (repeatable) switches to the CI perf-regression
 //! gate: every experiment recorded in the committed baseline re-runs
@@ -225,11 +227,12 @@ fn main() {
                 eprintln!("warning: baselines mix scales; {path} records the first one");
             }
             let doc = format!(
-                "{{\"schema\":\"sc-bench/repro/v1\",\"scale\":{},\"experiments\":[{}]}}\n",
+                "{{\"schema\":\"sc-bench/repro/v1\",\"scale\":{},\"kernel_backend\":{},\"experiments\":[{}]}}\n",
                 json_str(match scale {
                     Scale::Quick => "quick",
                     Scale::Full => "full",
                 }),
+                json_str(sc_bitset::kernels::backend_name()),
                 json_entries.join(","),
             );
             if let Err(e) = std::fs::write(&path, doc) {
@@ -304,8 +307,9 @@ fn main() {
     }
     if let Some(path) = json_path {
         let doc = format!(
-            "{{\"schema\":\"sc-bench/repro/v1\",\"scale\":{},\"experiments\":[{}]}}\n",
+            "{{\"schema\":\"sc-bench/repro/v1\",\"scale\":{},\"kernel_backend\":{},\"experiments\":[{}]}}\n",
             json_str(if quick { "quick" } else { "full" }),
+            json_str(sc_bitset::kernels::backend_name()),
             json_entries.join(","),
         );
         if let Err(e) = std::fs::write(&path, doc) {

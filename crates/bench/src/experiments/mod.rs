@@ -7,6 +7,7 @@ mod canonical_1_2;
 mod coalesce;
 mod geometric_4_6;
 mod geometric_nets;
+mod kernels;
 mod multiplex;
 mod nisan_endpoint;
 mod partial_eps;
@@ -28,6 +29,7 @@ pub use canonical_1_2::canonical_1_2;
 pub use coalesce::coalesce;
 pub use geometric_4_6::geometric_4_6;
 pub use geometric_nets::geometric_nets;
+pub use kernels::kernels;
 pub use multiplex::multiplex;
 pub use nisan_endpoint::nisan_endpoint;
 pub use partial_eps::partial_eps;
@@ -105,6 +107,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "admission",
             "E20 pass-aligned non-blocking admission: queue wait vs the boundary baseline",
             admission,
+        ),
+        (
+            "kernels",
+            "E21 vectorized bitset kernels + bucket-queue greedy oracle",
+            kernels,
         ),
     ]
 }

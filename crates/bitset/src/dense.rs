@@ -1,7 +1,7 @@
 //! Dense fixed-universe bitset.
 
 use crate::heap_words::HeapWords;
-use crate::words_for;
+use crate::{kernels, words_for};
 use std::fmt;
 
 /// A dense bitset over a fixed universe `{0, …, universe-1}`.
@@ -66,7 +66,7 @@ impl BitSet {
 
     /// Number of elements currently in the set.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::popcount(&self.words)
     }
 
     /// `true` if no element is present.
@@ -162,25 +162,19 @@ impl BitSet {
     /// `self ∪= other`.
     pub fn union_with(&mut self, other: &Self) {
         self.assert_same_universe(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        kernels::or_into(&mut self.words, &other.words);
     }
 
     /// `self ∩= other`.
     pub fn intersect_with(&mut self, other: &Self) {
         self.assert_same_universe(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        kernels::and_into(&mut self.words, &other.words);
     }
 
     /// `self \= other`.
     pub fn difference_with(&mut self, other: &Self) {
         self.assert_same_universe(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        kernels::andnot_into(&mut self.words, &other.words);
     }
 
     /// Overwrites `self` with the contents of `other`.
@@ -192,21 +186,13 @@ impl BitSet {
     /// `|self ∩ other|` without materialising the intersection.
     pub fn intersection_count(&self, other: &Self) -> usize {
         self.assert_same_universe(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        kernels::and_popcount(&self.words, &other.words)
     }
 
     /// `|self \ other|` without materialising the difference.
     pub fn difference_count(&self, other: &Self) -> usize {
         self.assert_same_universe(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
+        kernels::andnot_popcount(&self.words, &other.words)
     }
 
     /// `true` if the two sets share no element.
@@ -276,22 +262,25 @@ impl BitSet {
     /// `|self ∩ elems|` for an ascending slice of ids.
     ///
     /// Equivalent to `elems.iter().filter(|&&e| self.contains(e)).count()`
-    /// but branch-free — one load/shift/mask per id, summed — so the
-    /// compiler vectorises it; the pass-1 size test of `iterSetCover`
-    /// runs on this. Measured ~5× faster than the per-element `contains`
-    /// loop at 25% hit density.
+    /// but word-batched via [`kernels::intersection_count_sorted`]: the
+    /// ids are grouped into per-word membership masks (one `count_ones`
+    /// per touched word instead of one shift/add per id), and contiguous
+    /// word runs stream through the vector popcount on AVX2 machines;
+    /// the pass-1 size test of `iterSetCover` runs on this.
     ///
     /// # Panics
     ///
-    /// Panics if any id is `>= universe`. Ids must be ascending
-    /// (checked in debug builds only).
+    /// Panics if any id is `>= universe`. Ids must be strictly
+    /// ascending — the per-word masks dedup by construction, so a
+    /// duplicated id would count once, not twice (checked in debug
+    /// builds only; every caller passes deduplicated projections).
     pub fn intersection_count_slice(&self, elems: &[u32]) -> usize {
         self.check_sorted(elems);
-        let words = self.words.as_slice();
-        elems
-            .iter()
-            .map(|&e| ((words[(e >> 6) as usize] >> (e & 63)) & 1) as usize)
-            .sum()
+        debug_assert!(
+            elems.windows(2).all(|w| w[0] < w[1]),
+            "intersection_count_slice requires strictly ascending ids"
+        );
+        kernels::intersection_count_sorted(&self.words, elems)
     }
 
     /// Removes every element of an ascending slice, word-at-a-time: one
@@ -306,7 +295,7 @@ impl BitSet {
     /// (checked in debug builds only).
     pub fn remove_sorted_slice(&mut self, elems: &[u32]) {
         self.check_sorted(elems);
-        for_each_word_mask(elems, |w, mask| self.words[w] &= !mask);
+        kernels::remove_sorted(&mut self.words, elems);
     }
 
     /// Clears the set, then inserts every element of an ascending
@@ -320,7 +309,7 @@ impl BitSet {
     pub fn clear_and_set_from_sorted(&mut self, elems: &[u32]) {
         self.check_sorted(elems);
         self.words.fill(0);
-        for_each_word_mask(elems, |w, mask| self.words[w] |= mask);
+        kernels::insert_sorted(&mut self.words, elems);
     }
 
     /// Overwrites `out` with `self ∩ elems` (ascending ids). Equivalent
@@ -328,8 +317,9 @@ impl BitSet {
     /// for strictly ascending input, with `out`'s allocation reused and
     /// the filter loop made branch-free: every id is written to the
     /// next slot, and the slot index advances only on membership —
-    /// no per-id branch to mispredict. Measured ~4× faster than
-    /// `extend`-with-`filter` at 25% hit density.
+    /// no per-id branch to mispredict. On AVX2 machines the membership
+    /// probes run four ids at a time through a gathered vector kernel
+    /// ([`kernels::intersect_sorted_into`]).
     ///
     /// # Panics
     ///
@@ -337,32 +327,7 @@ impl BitSet {
     /// ascending (checked in debug builds only).
     pub fn intersect_sorted_into(&self, elems: &[u32], out: &mut Vec<u32>) {
         self.check_sorted(elems);
-        let words = self.words.as_slice();
-        out.clear();
-        out.resize(elems.len(), 0);
-        let mut hits = 0usize;
-        for &e in elems {
-            out[hits] = e;
-            hits += ((words[(e >> 6) as usize] >> (e & 63)) & 1) as usize;
-        }
-        out.truncate(hits);
-    }
-}
-
-/// Groups an ascending slice of element ids into `(word index, mask)`
-/// pairs — the shared inner loop of the mutating slice kernels.
-#[inline]
-fn for_each_word_mask(elems: &[u32], mut apply: impl FnMut(usize, u64)) {
-    let mut i = 0;
-    while i < elems.len() {
-        let w = (elems[i] >> 6) as usize;
-        let mut mask = 1u64 << (elems[i] & 63);
-        i += 1;
-        while i < elems.len() && (elems[i] >> 6) as usize == w {
-            mask |= 1u64 << (elems[i] & 63);
-            i += 1;
-        }
-        apply(w, mask);
+        kernels::intersect_sorted_into(&self.words, elems, out);
     }
 }
 

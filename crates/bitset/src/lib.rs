@@ -14,12 +14,21 @@
 //!
 //! Both types report their heap footprint in 64-bit words via
 //! [`HeapWords`], which is what the streaming-model space meter charges.
+//!
+//! Every bulk [`BitSet`] operation bottoms out in [`kernels`], a
+//! runtime-dispatched layer with portable scalar baselines and AVX2
+//! vector paths (resolved once per process; `SC_BITSET_FORCE_SCALAR=1`
+//! pins the portable path everywhere).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the AVX2 paths in `kernels` need
+// `std::arch` intrinsics behind an explicit, feature-detected
+// `#[allow(unsafe_code)]`; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod dense;
 mod heap_words;
+pub mod kernels;
 mod sparse;
 
 pub use dense::{BitSet, Ones};

@@ -98,6 +98,9 @@ proptest! {
         let s = BitSet::from_iter(UNIVERSE, a.iter().copied());
         let mut sorted = b.clone();
         sorted.sort_unstable();
+        // The counting kernel contract requires strictly ascending
+        // (deduplicated) ids: per-word masks count each bit once.
+        sorted.dedup();
         let want = sorted.iter().filter(|&&e| s.contains(e)).count();
         prop_assert_eq!(s.intersection_count_slice(&sorted), want);
     }

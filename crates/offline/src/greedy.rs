@@ -1,5 +1,16 @@
 //! Lazy greedy set cover (ρ = ln n + 1).
+//!
+//! Two queue disciplines implement the same lazy-evaluation strategy:
+//! the production path runs on a gain-indexed [`BucketQueue`] (gains
+//! only shrink, so a cursor walking the buckets top-down does the work
+//! of a max-heap in amortised `O(1)` per operation — `O(Σ|proj|)`
+//! total for the sparse oracle), while the original `BinaryHeap`
+//! implementations are retained as [`greedy_heap`] /
+//! [`greedy_slices_heap`]: the reference the property suite pins the
+//! bucket path against bit for bit, and the baseline the `kernels`
+//! experiment (E21) measures the speedup over.
 
+use crate::bucket_queue::BucketQueue;
 use sc_bitset::BitSet;
 use std::collections::BinaryHeap;
 
@@ -10,10 +21,10 @@ use std::collections::BinaryHeap;
 /// Classic `(ln n + 1)`-approximation (Johnson/Lovász/Chvátal).
 ///
 /// Uses *lazy evaluation*: gains are monotone non-increasing as elements
-/// get covered, so a heap entry holding a stale gain is still an upper
-/// bound; on pop we re-count, and only re-push when the fresh gain lost
+/// get covered, so a queue entry holding a stale gain is still an upper
+/// bound; on pop we re-count, and only re-file when the fresh gain lost
 /// the top spot. Ties break toward the smaller index, which keeps the
-/// output deterministic.
+/// output deterministic — and identical to [`greedy_heap`].
 ///
 /// Returns `None` if some element of `target` is in no set.
 ///
@@ -33,26 +44,137 @@ use std::collections::BinaryHeap;
 /// assert_eq!(cover, vec![0, 2]);
 /// ```
 pub fn greedy(sets: &[BitSet], target: &BitSet) -> Option<Vec<usize>> {
+    greedy_bucket_core(
+        sets.len(),
+        |i, uncovered| sets[i].intersection_count(uncovered),
+        |i, uncovered| uncovered.difference_with(&sets[i]),
+        target,
+    )
+}
+
+/// Greedy set cover over *sparse* sets given as sorted id slices —
+/// `algOfflineSC` exactly as the streaming algorithms hold it in memory
+/// (stored projections), without densifying anything.
+///
+/// Identical semantics to [`greedy`] (same lazy strategy, same
+/// tie-breaking), but working memory beyond the caller's own structures
+/// is one `target`-sized bitmap plus the bucket queue — the "linear
+/// space" promise the paper makes for its offline oracle — and total
+/// queue work is `O(Σ|proj|)`.
+///
+/// `get(i)` returns the sorted element ids of set `i`.
+pub fn greedy_slices<'a, F>(num_sets: usize, get: F, target: &BitSet) -> Option<Vec<usize>>
+where
+    F: Fn(usize) -> &'a [u32],
+{
+    greedy_bucket_core(
+        num_sets,
+        |i, uncovered| uncovered.intersection_count_slice(get(i)),
+        |i, uncovered| uncovered.remove_sorted_slice(get(i)),
+        target,
+    )
+}
+
+/// The shared lazy-greedy loop on the gain-indexed bucket queue.
+///
+/// Replicates the lazy heap's selection rule exactly: pop in `(gain
+/// desc, index asc)` order; a popped entry whose fresh gain dropped is
+/// re-filed only when it is *strictly* below the next queued gain —
+/// when it merely ties, the popped entry wins, exactly as the heap
+/// version kept it. `multiplex_equivalence` and `service_equivalence`
+/// depend on covers staying bit-identical through this swap.
+fn greedy_bucket_core(
+    num_sets: usize,
+    count: impl Fn(usize, &BitSet) -> usize,
+    remove: impl Fn(usize, &mut BitSet),
+    target: &BitSet,
+) -> Option<Vec<usize>> {
     let mut uncovered = target.clone();
     let mut solution = Vec::new();
     if uncovered.is_empty() {
         return Some(solution);
     }
+    assert!(
+        u32::try_from(num_sets).is_ok(),
+        "bucket queue indexes sets as u32"
+    );
+    let gains: Vec<usize> = (0..num_sets).map(|i| count(i, &uncovered)).collect();
+    let max_gain = gains.iter().copied().max().unwrap_or(0);
+    let mut queue = BucketQueue::new(max_gain);
+    for (i, &g) in gains.iter().enumerate() {
+        if g > 0 {
+            queue.push(g, i as u32);
+        }
+    }
+    while !uncovered.is_empty() {
+        let (stale_gain, idx) = queue.pop()?;
+        let idx = idx as usize;
+        let fresh_gain = count(idx, &uncovered);
+        debug_assert!(fresh_gain <= stale_gain, "gains must be monotone");
+        if fresh_gain == 0 {
+            continue;
+        }
+        if fresh_gain < stale_gain {
+            if let Some(top_gain) = queue.peek_gain() {
+                if fresh_gain < top_gain {
+                    queue.push(fresh_gain, idx as u32);
+                    continue;
+                }
+            }
+        }
+        solution.push(idx);
+        remove(idx, &mut uncovered);
+    }
+    Some(solution)
+}
 
-    // Max-heap of (gain, Reverse-ish index). BinaryHeap is a max-heap on
-    // the tuple; we want larger gain first and *smaller* index first on
-    // ties, so store (gain, !index).
-    let mut heap: BinaryHeap<(usize, usize)> = sets
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (s.intersection_count(&uncovered), !i))
+/// The original `BinaryHeap` lazy greedy, retained as the reference
+/// implementation: equivalence tests pin [`greedy`] against it, and
+/// E21 measures the bucket queue's speedup over it.
+pub fn greedy_heap(sets: &[BitSet], target: &BitSet) -> Option<Vec<usize>> {
+    greedy_heap_core(
+        sets.len(),
+        |i, uncovered| sets[i].intersection_count(uncovered),
+        |i, uncovered| uncovered.difference_with(&sets[i]),
+        target,
+    )
+}
+
+/// The original `BinaryHeap` sparse lazy greedy, retained as the
+/// reference for [`greedy_slices`] (see [`greedy_heap`]).
+pub fn greedy_slices_heap<'a, F>(num_sets: usize, get: F, target: &BitSet) -> Option<Vec<usize>>
+where
+    F: Fn(usize) -> &'a [u32],
+{
+    greedy_heap_core(
+        num_sets,
+        |i, uncovered| uncovered.intersection_count_slice(get(i)),
+        |i, uncovered| uncovered.remove_sorted_slice(get(i)),
+        target,
+    )
+}
+
+/// The shared lazy-greedy loop on a max-heap of `(gain, !index)` —
+/// larger gain first, *smaller* index first on ties.
+fn greedy_heap_core(
+    num_sets: usize,
+    count: impl Fn(usize, &BitSet) -> usize,
+    remove: impl Fn(usize, &mut BitSet),
+    target: &BitSet,
+) -> Option<Vec<usize>> {
+    let mut uncovered = target.clone();
+    let mut solution = Vec::new();
+    if uncovered.is_empty() {
+        return Some(solution);
+    }
+    let mut heap: BinaryHeap<(usize, usize)> = (0..num_sets)
+        .map(|i| (count(i, &uncovered), !i))
         .filter(|&(g, _)| g > 0)
         .collect();
-
     while !uncovered.is_empty() {
         let (stale_gain, key) = heap.pop()?;
         let idx = !key;
-        let fresh_gain = sets[idx].intersection_count(&uncovered);
+        let fresh_gain = count(idx, &uncovered);
         if fresh_gain == 0 {
             continue;
         }
@@ -66,54 +188,7 @@ pub fn greedy(sets: &[BitSet], target: &BitSet) -> Option<Vec<usize>> {
             }
         }
         solution.push(idx);
-        uncovered.difference_with(&sets[idx]);
-    }
-    Some(solution)
-}
-
-/// Greedy set cover over *sparse* sets given as sorted id slices —
-/// `algOfflineSC` exactly as the streaming algorithms hold it in memory
-/// (stored projections), without densifying anything.
-///
-/// Identical semantics to [`greedy`] (same lazy-heap strategy, same
-/// tie-breaking), but working memory beyond the caller's own structures
-/// is one `target`-sized bitmap plus the heap — the "linear space"
-/// promise the paper makes for its offline oracle.
-///
-/// `get(i)` returns the sorted element ids of set `i`.
-pub fn greedy_slices<'a, F>(num_sets: usize, get: F, target: &BitSet) -> Option<Vec<usize>>
-where
-    F: Fn(usize) -> &'a [u32],
-{
-    let mut uncovered = target.clone();
-    let mut solution = Vec::new();
-    if uncovered.is_empty() {
-        return Some(solution);
-    }
-    // Word-batched kernel: the stored projections are sorted id slices.
-    let count =
-        |i: usize, uncovered: &BitSet| -> usize { uncovered.intersection_count_slice(get(i)) };
-    let mut heap: BinaryHeap<(usize, usize)> = (0..num_sets)
-        .map(|i| (count(i, &uncovered), !i))
-        .filter(|&(g, _)| g > 0)
-        .collect();
-    while !uncovered.is_empty() {
-        let (stale_gain, key) = heap.pop()?;
-        let idx = !key;
-        let fresh_gain = count(idx, &uncovered);
-        if fresh_gain == 0 {
-            continue;
-        }
-        if fresh_gain < stale_gain {
-            if let Some(&(top_gain, _)) = heap.peek() {
-                if fresh_gain < top_gain {
-                    heap.push((fresh_gain, key));
-                    continue;
-                }
-            }
-        }
-        solution.push(idx);
-        uncovered.remove_sorted_slice(get(idx));
+        remove(idx, &mut uncovered);
     }
     Some(solution)
 }
@@ -142,6 +217,7 @@ mod tests {
         let u = 3;
         let sets = vec![BitSet::from_iter(u, [0])];
         assert_eq!(full_cover(&sets, u), None);
+        assert_eq!(greedy_heap(&sets, &BitSet::full(u)), None);
     }
 
     #[test]
@@ -231,5 +307,6 @@ mod tests {
         let raw = [vec![0u32]];
         let target = BitSet::full(2);
         assert_eq!(greedy_slices(1, |i| raw[i].as_slice(), &target), None);
+        assert_eq!(greedy_slices_heap(1, |i| raw[i].as_slice(), &target), None);
     }
 }

@@ -453,7 +453,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         }
     };
     eprintln!(
-        "sctool serve: {} queries ({} jobs, {} cache hits, {} coalesced, {} mid-stream joins, {} pass-aligned), {} physical scans, peak {} inflight, {:.1} ms",
+        "sctool serve: {} queries ({} jobs, {} cache hits, {} coalesced, {} mid-stream joins, {} pass-aligned), {} physical scans, peak {} inflight, {:.1} ms, {} kernels",
         metrics.queries_completed,
         metrics.jobs,
         metrics.cache_hits,
@@ -463,6 +463,7 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         metrics.physical_scans,
         metrics.max_inflight_seen,
         metrics.elapsed.as_secs_f64() * 1e3,
+        sc_bitset::kernels::backend_name(),
     );
     if metrics.reloads > 0 || metrics.evictions > 0 {
         eprintln!(
