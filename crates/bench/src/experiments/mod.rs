@@ -10,6 +10,7 @@ mod geometric_nets;
 mod kernels;
 mod multiplex;
 mod nisan_endpoint;
+mod observability;
 mod partial_eps;
 mod protocol_bits;
 mod recover_3_1;
@@ -32,6 +33,7 @@ pub use geometric_nets::geometric_nets;
 pub use kernels::kernels;
 pub use multiplex::multiplex;
 pub use nisan_endpoint::nisan_endpoint;
+pub use observability::observability;
 pub use partial_eps::partial_eps;
 pub use protocol_bits::protocol_bits;
 pub use recover_3_1::recover_3_1;
@@ -112,6 +114,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "kernels",
             "E21 vectorized bitset kernels + bucket-queue greedy oracle",
             kernels,
+        ),
+        (
+            "observability",
+            "E22 telemetry overhead: gate off vs on over the service workloads",
+            observability,
         ),
     ]
 }

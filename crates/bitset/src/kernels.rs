@@ -503,6 +503,87 @@ mod avx2 {
     }
 }
 
+/// Telemetry backend-hit accounting. The kernels run per element under
+/// the scans, so per-call atomic traffic is out of the question even
+/// sharded: hits batch in a thread-local cell and flush to the
+/// process-wide counters (`sc_kernel_calls_avx2_total` /
+/// `sc_kernel_calls_scalar_total`) every [`hits::FLUSH_EVERY`] calls
+/// and on thread exit (scoped worker pools flush when the scope joins).
+/// Live values therefore trail the truth by up to `FLUSH_EVERY - 1`
+/// calls per running thread — fine for a rate scrape, and the cost per
+/// call when telemetry is off stays a single relaxed load.
+mod hits {
+    use super::Backend;
+    use std::cell::Cell;
+    use std::sync::OnceLock;
+
+    const FLUSH_EVERY: u64 = 1024;
+
+    fn counter(backend: Backend) -> &'static sc_telemetry::Counter {
+        static AVX2: OnceLock<&'static sc_telemetry::Counter> = OnceLock::new();
+        static SCALAR: OnceLock<&'static sc_telemetry::Counter> = OnceLock::new();
+        match backend {
+            Backend::Avx2 => {
+                AVX2.get_or_init(|| sc_telemetry::counter("sc_kernel_calls_avx2_total"))
+            }
+            Backend::Scalar => {
+                SCALAR.get_or_init(|| sc_telemetry::counter("sc_kernel_calls_scalar_total"))
+            }
+        }
+    }
+
+    /// One backend's pending batch; drops (thread exit) flush it.
+    struct Pending {
+        backend: Backend,
+        n: Cell<u64>,
+    }
+
+    impl Pending {
+        fn bump(&self) {
+            let n = self.n.get() + 1;
+            if n >= FLUSH_EVERY {
+                counter(self.backend).add(n);
+                self.n.set(0);
+            } else {
+                self.n.set(n);
+            }
+        }
+    }
+
+    impl Drop for Pending {
+        fn drop(&mut self) {
+            let n = self.n.get();
+            if n > 0 {
+                counter(self.backend).add(n);
+            }
+        }
+    }
+
+    thread_local! {
+        static AVX2: Pending = const {
+            Pending { backend: Backend::Avx2, n: Cell::new(0) }
+        };
+        static SCALAR: Pending = const {
+            Pending { backend: Backend::Scalar, n: Cell::new(0) }
+        };
+    }
+
+    /// Notes one dispatched kernel call on `backend`.
+    #[inline]
+    pub(super) fn note(backend: Backend) {
+        if !sc_telemetry::enabled() {
+            return;
+        }
+        let cell = match backend {
+            Backend::Avx2 => &AVX2,
+            Backend::Scalar => &SCALAR,
+        };
+        // A kernel call during thread teardown (after the thread-local
+        // was destroyed) is silently uncounted rather than a panic.
+        let _ = cell.try_with(|p| p.bump());
+    }
+}
+
 /// Routes one kernel call to the resolved backend. On non-x86-64 the
 /// vector arm compiles away and everything is scalar.
 macro_rules! dispatch {
@@ -512,8 +593,14 @@ macro_rules! dispatch {
             // SAFETY: `Backend::Avx2` is only ever produced by
             // `detect()` after `is_x86_feature_detected!("avx2")`.
             #[allow(unsafe_code)]
-            Backend::Avx2 => unsafe { avx2::$name($($arg),*) },
-            _ => scalar::$name($($arg),*),
+            Backend::Avx2 => {
+                hits::note(Backend::Avx2);
+                unsafe { avx2::$name($($arg),*) }
+            }
+            _ => {
+                hits::note(Backend::Scalar);
+                scalar::$name($($arg),*)
+            }
         }
     };
 }

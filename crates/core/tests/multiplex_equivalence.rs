@@ -135,6 +135,30 @@ fn uncoverable_instance_fails_identically() {
 }
 
 #[test]
+fn equivalence_holds_with_telemetry_recording() {
+    // Telemetry watches the scan kernels under these runs (backend-hit
+    // counters); recording must not perturb the sequential/multiplexed
+    // equivalence bit for bit. The gate is process-global, so hold the
+    // telemetry lock while it is on.
+    let _hold = sc_telemetry::test_hold();
+    let was = sc_telemetry::enabled();
+    sc_telemetry::set_enabled(true);
+    let inst = gen::planted(512, 1024, 16, 11);
+    for delta in [1.0, 0.5, 0.25] {
+        assert_equivalent(
+            &inst.system,
+            IterSetCoverConfig {
+                delta,
+                seed: 7,
+                ..Default::default()
+            },
+            &format!("telemetry-on planted δ={delta}"),
+        );
+    }
+    sc_telemetry::set_enabled(was);
+}
+
+#[test]
 fn single_set_and_tiny_universes() {
     for n in [1usize, 2, 3] {
         let system = SetSystem::from_sets(n, vec![(0..n as u32).collect()]);

@@ -19,8 +19,10 @@ use crate::metrics::ServiceMetrics;
 use crate::query::{QueryOutcome, QuerySpec};
 use crate::service::Service;
 use crate::store::RepositoryGeneration;
+use crate::telemetry::tel;
 use sc_setsystem::SetSystem;
 use sc_stream::SetStream;
+use sc_telemetry::EventKind;
 use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
 use std::time::{Duration, Instant};
@@ -282,6 +284,7 @@ impl Service {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn try_coalesce<'a>(
         &self,
+        gen: &RepositoryGeneration,
         spec: &QuerySpec,
         slot: usize,
         id: u64,
@@ -301,6 +304,8 @@ impl Service {
             spec.to_string(),
             "coalesce keys must agree on the canonical spec"
         );
+        tel().coalesced.incr();
+        sc_telemetry::event(EventKind::Coalesced, id, gen.id, 0, 0);
         leader.followers.push(Follower {
             slot,
             id,
@@ -334,6 +339,7 @@ impl Service {
             return Admitted::Answered;
         }
         if self.try_coalesce(
+            gen,
             &sub.spec,
             sub.id as usize,
             sub.id,
@@ -347,8 +353,10 @@ impl Service {
         }
         if self.cache_enabled() {
             metrics.cache_misses += 1;
+            tel().cache_misses.incr();
         }
         metrics.jobs += 1;
+        tel().jobs.incr();
         Admitted::Job(Inflight {
             id: sub.id,
             spec: sub.spec,
@@ -390,6 +398,7 @@ impl Service {
             return Ok(false);
         }
         let coalesced = self.try_coalesce(
+            gen,
             &sub.spec,
             sub.id as usize,
             sub.id,
@@ -474,6 +483,9 @@ impl Service {
         metrics.queries_completed += 1;
         metrics.queue_wait.record(outcome.queue_wait);
         metrics.latency.record(outcome.latency);
+        tel().cache_hits.incr();
+        tel().completed.incr();
+        sc_telemetry::event(EventKind::CacheHit, outcome.id, outcome.generation, 0, 0);
     }
 
     /// Cache lookup under a generation's repository identity

@@ -38,7 +38,9 @@ use crate::admission::{Admitted, Inflight, Intake, PendingArrival};
 use crate::metrics::ServiceMetrics;
 use crate::service::Service;
 use crate::store::RepositoryGeneration;
+use crate::telemetry::tel;
 use sc_stream::{ScanLedger, SetStream, ShardedPass};
+use sc_telemetry::EventKind;
 use std::time::Instant;
 
 /// The narrow handoff the pipeline stages pass between each other: the
@@ -148,12 +150,28 @@ pub(crate) fn splice_pending<'g>(
                         // item sequence through the zero-copy replay.
                         fl.job.absorb_shard(&mut feed.replay());
                         metrics.mid_stream_admissions += 1;
+                        tel().mid_stream_admissions.incr();
+                        sc_telemetry::event(
+                            EventKind::Admitted,
+                            fl.id,
+                            gen.id,
+                            scan_tag as u64,
+                            state.group_pass as u32,
+                        );
                         if state.group_pass > 1 {
                             // Only per-pass alignment makes this join
                             // possible: the group is past its first
                             // scan, and the joiner's pass 1 still
                             // rides the pass the group is on.
                             metrics.aligned_joins += 1;
+                            tel().aligned_joins.incr();
+                            sc_telemetry::event(
+                                EventKind::AlignedJoin,
+                                fl.id,
+                                gen.id,
+                                scan_tag as u64,
+                                state.group_pass as u32,
+                            );
                         }
                         state.inflight.push((fl.id as usize, fl));
                         deadline = None;
@@ -238,8 +256,16 @@ pub(crate) fn blocking_drain<'g>(
             };
         if fl.job.wants_scan() {
             fl.job.begin_scan();
-            ledger.join(root, &fl.job.participants());
+            let scan = ledger.join(root, &fl.job.participants());
             metrics.mid_stream_admissions += 1;
+            tel().mid_stream_admissions.incr();
+            sc_telemetry::event(
+                EventKind::Admitted,
+                fl.id,
+                gen.id,
+                scan as u64,
+                state.group_pass as u32,
+            );
             state.inflight.push((fl.id as usize, fl));
             // The burst's head joined; take the rest without blocking.
             deadline = None;

@@ -119,6 +119,7 @@ mod query;
 mod retirement;
 mod service;
 mod store;
+mod telemetry;
 
 pub use cache::{CachedAnswer, EvictionPolicy, OutcomeCache};
 pub use metrics::{LatencyHistogram, ServiceMetrics};

@@ -13,10 +13,13 @@ const BUCKETS: usize = 40;
 /// durations in `[2^(i-1), 2^i)` microseconds; the last bucket absorbs
 /// overflow. Recording is O(1) and the memory footprint is fixed
 /// (40 counters), so the scheduler can record every query without a
-/// reservoir or allocation. Percentiles come back as the upper edge of
-/// the bucket containing the requested rank — exact to within the 2×
+/// reservoir or allocation. Percentiles interpolate linearly inside
+/// the bucket containing the requested rank (a rank at the very end of
+/// a bucket lands exactly on its upper edge) — exact to within the 2×
 /// bucket resolution, which is the right precision for a load test's
-/// p50/p90/p99 summary.
+/// p50/p90/p99 summary. [`snapshot`](LatencyHistogram::snapshot) /
+/// [`delta`](LatencyHistogram::delta) turn two cumulative states into
+/// a per-window histogram for interval stats.
 ///
 /// # Examples
 ///
@@ -86,9 +89,13 @@ impl LatencyHistogram {
         )
     }
 
-    /// The `p`-th percentile (`0 < p ≤ 100`), reported as the upper
-    /// edge of the bucket holding that rank. Returns zero on an empty
-    /// histogram.
+    /// The `p`-th percentile (`0 < p ≤ 100`), linearly interpolated
+    /// inside the bucket holding that rank: the rank's position within
+    /// its bucket maps proportionally between the bucket's lower and
+    /// upper edge, so a rank at the very end of a bucket reports
+    /// exactly the upper edge (`2^i` µs) and earlier ranks report
+    /// proportionally less instead of all collapsing onto the edge.
+    /// Returns zero on an empty histogram.
     pub fn percentile(&self, p: f64) -> Duration {
         if self.count == 0 {
             return Duration::ZERO;
@@ -96,13 +103,55 @@ impl LatencyHistogram {
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Upper edge of bucket i: 2^i µs (bucket 0 → 1 µs).
-                return Duration::from_micros(1u64 << i.min(63));
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let upper = 1u64 << i.min(63);
+                let within = rank - seen; // 1..=c
+                return Duration::from_micros(lower + ((upper - lower) * within).div_ceil(c));
+            }
+            seen += c;
         }
         Duration::from_micros(1u64 << (BUCKETS - 1).min(63))
+    }
+
+    /// A copy of the current cumulative state, for later subtraction
+    /// via [`delta`](LatencyHistogram::delta).
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.clone()
+    }
+
+    /// The observations recorded since `earlier` was taken: `self`
+    /// minus `earlier`, bucket-wise (saturating, so a reset between the
+    /// two snapshots degrades to the later state instead of wrapping).
+    /// Percentiles of the returned histogram describe only the window —
+    /// this is what `sctool serve --stats-interval` prints per tick.
+    pub fn delta(&self, earlier: &LatencyHistogram) -> LatencyHistogram {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, (a, b)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *out = a.saturating_sub(*b);
+        }
+        LatencyHistogram {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+        }
+    }
+
+    /// Builds a histogram from raw parts sharing this type's bucket
+    /// layout — the bridge from `sc_telemetry::HistogramSnapshot`
+    /// (same 40 log₂-µs buckets) into the service's summary formatting.
+    pub fn from_parts(buckets: [u64; BUCKETS], count: u64, sum_us: u128) -> Self {
+        Self {
+            buckets,
+            count,
+            sum_us,
+        }
     }
 
     /// Adds every observation of `other` into `self`.
@@ -215,9 +264,57 @@ mod tests {
         }
         h.record(Duration::from_millis(50)); // bucket [32768, 65536) µs
         assert_eq!(h.count(), 100);
-        assert_eq!(h.percentile(50.0), Duration::from_micros(16));
+        // Rank 50 of the 99 observations in [8, 16) interpolates to
+        // 8 + ceil(8·50/99) = 13; rank 99 lands on the upper edge.
+        assert_eq!(h.percentile(50.0), Duration::from_micros(13));
         assert_eq!(h.percentile(99.0), Duration::from_micros(16));
         assert_eq!(h.percentile(100.0), Duration::from_micros(65536));
+    }
+
+    #[test]
+    fn percentiles_interpolate_inside_a_bucket() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..4 {
+            h.record(Duration::from_micros(10)); // bucket [8, 16)
+        }
+        // Ranks 1..=4 spread proportionally across the bucket: the
+        // terminal rank reports exactly the upper edge, earlier ranks
+        // proportionally less.
+        assert_eq!(h.percentile(25.0), Duration::from_micros(10));
+        assert_eq!(h.percentile(50.0), Duration::from_micros(12));
+        assert_eq!(h.percentile(75.0), Duration::from_micros(14));
+        assert_eq!(h.percentile(100.0), Duration::from_micros(16));
+    }
+
+    #[test]
+    fn snapshot_delta_reports_the_window_only() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..50 {
+            h.record(Duration::from_millis(30)); // slow warm-up phase
+        }
+        let earlier = h.snapshot();
+        for _ in 0..50 {
+            h.record(Duration::from_micros(10)); // fast steady state
+        }
+        // Cumulative p50 still remembers the warm-up…
+        assert!(h.percentile(90.0) >= Duration::from_millis(16));
+        // …the window does not.
+        let window = h.delta(&earlier);
+        assert_eq!(window.count(), 50);
+        assert_eq!(window.mean(), Duration::from_micros(10));
+        assert!(window.percentile(99.0) <= Duration::from_micros(16));
+        // Delta against an unchanged snapshot is empty.
+        assert_eq!(h.delta(&h.snapshot()).count(), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(300));
+        let copy = LatencyHistogram::from_parts(h.buckets, h.count, h.sum_us);
+        assert_eq!(copy, h);
+        assert_eq!(copy.mean(), Duration::from_micros(200));
     }
 
     #[test]

@@ -14,6 +14,20 @@ use std::io::{BufRead, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
+/// Flushes the one-line telemetry stats snapshot to stderr — the serve
+/// log channel, never the protocol socket, so a peer that vanished
+/// mid-reply can't turn the flush into a broken-pipe error. A no-op
+/// when telemetry is disabled, so library tests and batch runs stay
+/// quiet.
+fn log_stats(trigger: &str) {
+    if sc_telemetry::enabled() {
+        eprintln!(
+            "sc_service stats trigger={trigger} {}",
+            sc_telemetry::stats_line()
+        );
+    }
+}
+
 /// Blocks until a TCP connect to `addr` succeeds, retrying for up to
 /// `timeout` — the programmatic replacement for shell readiness loops
 /// over `/dev/tcp`. The probe connection is closed immediately; the
@@ -48,8 +62,10 @@ pub fn wait_ready(addr: &str, timeout: Duration) -> Result<(), String> {
 /// shared scan epochs. All responses — `pong` and `err` included — are
 /// emitted in request order, so a `ping` pipelined behind a slow query
 /// answers after that query completes; it probes the connection's
-/// round-trip, not the scheduler's idle latency. Returns `Ok(true)` if
-/// the peer asked for server shutdown.
+/// round-trip, not the scheduler's idle latency. The telemetry verbs
+/// (`!stats`, `!metrics`, `!trace ID`) snapshot the live registry as
+/// they arrive, so they can be interleaved with queries mid-load.
+/// Returns `Ok(true)` if the peer asked for server shutdown.
 ///
 /// # Errors
 ///
@@ -65,6 +81,9 @@ where
         Reload(ReloadTicket),
         Error(String),
         Pong,
+        /// Pre-rendered reply lines (telemetry verbs): the first line is
+        /// the `ok …` header framing how many body lines follow.
+        Lines(Vec<String>),
     }
     let (tx, rx) = std::sync::mpsc::channel::<Pumped>();
     std::thread::scope(|s| {
@@ -83,6 +102,46 @@ where
                         continue;
                     }
                     _ => {}
+                }
+                // Telemetry verbs answer from the live registry:
+                // `!stats` is one `key=value` line, `!metrics` a framed
+                // Prometheus-style listing (`ok metrics n=N` then N
+                // `name value` lines), `!trace ID` the retained journal
+                // timeline of one query (`ok trace id=.. events=N` then
+                // N event lines). Snapshots are taken as the verb
+                // arrives — a live view, even while queries pipelined
+                // behind it are still scanning — and the reply is still
+                // delivered in request order like every other response.
+                if line == "!stats" {
+                    let _ = tx.send(Pumped::Lines(vec![format!(
+                        "ok stats {}",
+                        sc_telemetry::stats_line()
+                    )]));
+                    continue;
+                }
+                if line == "!metrics" {
+                    let body = sc_telemetry::prometheus();
+                    let mut lines = Vec::with_capacity(body.len() + 1);
+                    lines.push(format!("ok metrics n={}", body.len()));
+                    lines.extend(body);
+                    let _ = tx.send(Pumped::Lines(lines));
+                    continue;
+                }
+                if line == "!trace" || line.starts_with("!trace ") {
+                    let arg = line["!trace".len()..].trim();
+                    let msg = match arg.parse::<u64>() {
+                        Ok(id) => {
+                            let events = sc_telemetry::trace(id);
+                            let mut lines = Vec::with_capacity(events.len() + 1);
+                            lines.push(format!("ok trace id={id} events={}", events.len()));
+                            lines.extend(events.iter().map(|ev| ev.protocol_line()));
+                            Pumped::Lines(lines)
+                        }
+                        Err(_) if arg.is_empty() => Pumped::Error("!trace needs a query id".into()),
+                        Err(_) => Pumped::Error(format!("!trace: bad query id {arg:?}")),
+                    };
+                    let _ = tx.send(msg);
+                    continue;
                 }
                 // Admin line: `!reload <path>` hot-swaps the served
                 // repository. Queries already pipelined ahead of it
@@ -125,12 +184,24 @@ where
                     Ok(outcome) => writeln!(output, "{}", outcome.protocol_line())?,
                     Err(e) => writeln!(output, "err msg={e}")?,
                 },
-                Pumped::Reload(ticket) => match ticket.wait() {
-                    Ok(generation) => writeln!(output, "ok reload gen={generation}")?,
-                    Err(e) => writeln!(output, "err msg={e}")?,
-                },
+                Pumped::Reload(ticket) => {
+                    match ticket.wait() {
+                        Ok(generation) => writeln!(output, "ok reload gen={generation}")?,
+                        Err(e) => writeln!(output, "err msg={e}")?,
+                    }
+                    // A hot swap is a natural stats window boundary:
+                    // flush the snapshot to the serve log so the
+                    // pre-swap numbers are on record before the new
+                    // generation's traffic blends in.
+                    log_stats("reload");
+                }
                 Pumped::Error(msg) => writeln!(output, "err msg={msg}")?,
                 Pumped::Pong => writeln!(output, "pong")?,
+                Pumped::Lines(lines) => {
+                    for l in lines {
+                        writeln!(output, "{l}")?;
+                    }
+                }
             }
             output.flush()?;
         }
@@ -201,6 +272,12 @@ pub fn serve_tcp(service: &Service, listener: TcpListener) -> Result<ServiceMetr
                         Ok(false) => {}
                         Err(_) => {} // client went away mid-reply
                     }
+                    // Every connection end — clean EOF, shutdown, or a
+                    // client that vanished mid-reply — flushes the
+                    // stats snapshot to stderr, so a load wave's
+                    // numbers land in the serve log even when the
+                    // server keeps running for the next client.
+                    log_stats("disconnect");
                     open_reads
                         .lock()
                         .expect("poisoned")
@@ -290,6 +367,88 @@ mod tests {
             assert_eq!(metrics.queries_completed, 2);
         });
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn telemetry_verbs_answer_over_tcp() {
+        let _g = sc_telemetry::test_hold();
+        sc_telemetry::set_enabled(true);
+        sc_telemetry::reset();
+        let inst = gen::planted(64, 128, 4, 1);
+        let service = Service::new(inst.system, ServiceConfig::default());
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_tcp(&service, listener).expect("serve"));
+            wait_ready(&addr, Duration::from_secs(10)).expect("ready");
+            let conn = TcpStream::connect(&addr).expect("connect");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut writer = &conn;
+            let mut next = {
+                let reader = &mut reader;
+                move || {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    line.trim().to_string()
+                }
+            };
+            // Run a query to completion first: its reply is sent only
+            // after its Retired event hit the journal, so the verbs
+            // below observe a full lifecycle. (Verbs snapshot at
+            // arrival, so pipelining them behind the query would race
+            // its retirement.)
+            writeln!(writer, "greedy").unwrap();
+            writer.flush().unwrap();
+            assert!(next().starts_with("ok "), "query answer first");
+            writeln!(writer, "!stats").unwrap();
+            writeln!(writer, "!metrics").unwrap();
+            writeln!(writer, "!trace 0").unwrap();
+            writeln!(writer, "!trace bogus").unwrap();
+            writeln!(writer, "shutdown").unwrap();
+            writer.flush().unwrap();
+
+            let stats = next();
+            assert!(stats.starts_with("ok stats enabled=1 "), "{stats:?}");
+            assert!(stats.contains("sc_queries_submitted_total="), "{stats:?}");
+
+            let header = next();
+            let n: usize = header
+                .strip_prefix("ok metrics n=")
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("bad metrics header {header:?}"));
+            assert!(n > 0);
+            let body: Vec<String> = (0..n).map(|_| next()).collect();
+            assert!(body.iter().any(|l| l.starts_with("sc_telemetry_enabled 1")));
+            for l in &body {
+                let mut it = l.split(' ');
+                assert!(it.next().is_some_and(|f| !f.is_empty()), "{l:?}");
+                assert!(it.next().is_some_and(|v| v.parse::<u64>().is_ok()), "{l:?}");
+                assert!(it.next().is_none(), "extra fields: {l:?}");
+            }
+
+            let trace = next();
+            let events: usize = trace
+                .strip_prefix("ok trace id=0 events=")
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("bad trace header {trace:?}"));
+            assert!(events >= 2, "query 0 was submitted and retired: {trace:?}");
+            let timeline: Vec<String> = (0..events).map(|_| next()).collect();
+            // Concurrent tests in this binary also serve a query id 0
+            // while the gate is on, so assert membership rather than
+            // position: this query's full lifecycle is in the journal.
+            assert!(
+                timeline.iter().any(|l| l.contains("event=submitted")),
+                "{timeline:?}"
+            );
+            assert!(
+                timeline.iter().any(|l| l.contains("event=retired")),
+                "{timeline:?}"
+            );
+
+            assert_eq!(next(), "err msg=!trace: bad query id \"bogus\"");
+            server.join().expect("server thread");
+        });
+        sc_telemetry::set_enabled(false);
     }
 
     #[test]

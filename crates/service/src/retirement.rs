@@ -15,7 +15,9 @@ use crate::metrics::ServiceMetrics;
 use crate::query::QueryOutcome;
 use crate::service::Service;
 use crate::store::RepositoryGeneration;
+use crate::telemetry::tel;
 use sc_bitset::BitSet;
+use sc_telemetry::EventKind;
 
 impl Service {
     /// Retires every job that no longer wants a scan, in admission
@@ -75,6 +77,7 @@ impl Service {
                     },
                 );
                 metrics.evictions += evicted;
+                tel().cache_evictions.add(evicted as u64);
                 match self.cache().policy() {
                     EvictionPolicy::Fifo => metrics.fifo_evictions += evicted,
                     EvictionPolicy::Lru => metrics.lru_evictions += evicted,
@@ -83,6 +86,14 @@ impl Service {
             metrics.queries_completed += 1;
             metrics.queue_wait.record(outcome.queue_wait);
             metrics.latency.record(outcome.latency);
+            tel().completed.incr();
+            sc_telemetry::event(
+                EventKind::Retired,
+                fl.id,
+                gen.id,
+                0,
+                outcome.logical_passes as u32,
+            );
             if let Some(reply) = &fl.reply {
                 // The client may have dropped its ticket; that is fine.
                 let _ = reply.send(outcome.clone());
@@ -101,6 +112,14 @@ impl Service {
                 metrics.queries_completed += 1;
                 metrics.queue_wait.record(fanned.queue_wait);
                 metrics.latency.record(fanned.latency);
+                tel().completed.incr();
+                sc_telemetry::event(
+                    EventKind::Retired,
+                    fanned.id,
+                    gen.id,
+                    0,
+                    fanned.logical_passes as u32,
+                );
                 if let Some(reply) = &f.reply {
                     let _ = reply.send(fanned.clone());
                 }

@@ -13,8 +13,10 @@ use crate::execution;
 use crate::metrics::ServiceMetrics;
 use crate::query::{QueryOutcome, QuerySpec};
 use crate::store::{RepositoryGeneration, RepositoryStore};
+use crate::telemetry::tel;
 use sc_setsystem::SetSystem;
 use sc_stream::{ScanLedger, SetStream};
+use sc_telemetry::EventKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc};
@@ -209,6 +211,10 @@ impl ServiceHandle {
     pub fn submit(&self, spec: QuerySpec) -> Result<QueryTicket, ServiceClosed> {
         let (reply, rx) = mpsc::sync_channel(1);
         let id = self.counter.fetch_add(1, Ordering::Relaxed);
+        tel().submitted.incr();
+        // The serving generation is the scheduler's business; the
+        // submit site tags generation 0 (= not yet assigned).
+        sc_telemetry::event(EventKind::Submitted, id, 0, 0, 0);
         self.tx
             .send(Submission::Query(QuerySubmission {
                 id,
@@ -380,10 +386,18 @@ impl Service {
         let mut metrics = ServiceMetrics::default();
         let mut next = 0usize;
         let mut state = EpochState::new();
+        tel().submitted.add(specs.len() as u64);
+        if sc_telemetry::enabled() {
+            for slot in 0..specs.len() {
+                sc_telemetry::event(EventKind::Submitted, slot as u64, gen.id, 0, 0);
+            }
+        }
         loop {
             if state.inflight.is_empty() {
                 state.group_pass = 0;
             }
+            let admitted_from = next;
+            let admission_t0 = sc_telemetry::enabled().then(Instant::now);
             while next < specs.len() {
                 let slot = next;
                 if state.inflight.len() >= self.cfg.max_inflight {
@@ -410,6 +424,7 @@ impl Service {
                         outcomes[slot] = Some(outcome);
                     } else {
                         let attached = self.try_coalesce(
+                            &gen,
                             &specs[slot],
                             slot,
                             slot as u64,
@@ -436,6 +451,7 @@ impl Service {
                     continue;
                 }
                 if self.try_coalesce(
+                    &gen,
                     &specs[slot],
                     slot,
                     slot as u64,
@@ -449,8 +465,17 @@ impl Service {
                 }
                 if self.cache_enabled() {
                     metrics.cache_misses += 1;
+                    tel().cache_misses.incr();
                 }
                 metrics.jobs += 1;
+                tel().jobs.incr();
+                sc_telemetry::event(
+                    EventKind::Admitted,
+                    slot as u64,
+                    gen.id,
+                    ledger.scan_index() as u64,
+                    state.group_pass as u32,
+                );
                 let fl = Inflight {
                     id: slot as u64,
                     spec: specs[slot],
@@ -462,10 +487,22 @@ impl Service {
                 };
                 state.inflight.push((slot, fl));
             }
+            if let Some(t0) = admission_t0 {
+                if next > admitted_from {
+                    tel().stage_admission.record(t0.elapsed());
+                }
+            }
             metrics.max_inflight_seen = metrics.max_inflight_seen.max(state.inflight.len());
+            let retire_from = state.inflight.len();
+            let retire_t0 = sc_telemetry::enabled().then(Instant::now);
             self.retire(&gen, &mut state.inflight, &mut metrics, |slot, outcome| {
                 outcomes[slot] = Some(outcome);
             });
+            if let Some(t0) = retire_t0 {
+                if state.inflight.len() < retire_from {
+                    tel().stage_retirement.record(t0.elapsed());
+                }
+            }
             if state.inflight.is_empty() {
                 if next >= specs.len() {
                     break;
@@ -535,6 +572,8 @@ impl Service {
                     metrics.reloads += 1;
                     metrics.evictions += reaped;
                     metrics.reload_evictions += reaped;
+                    tel().reloads.incr();
+                    tel().cache_evictions.add(reaped as u64);
                     // The requester may have dropped its ticket.
                     let _ = req.reply.send(fresh.id);
                 }
@@ -568,6 +607,10 @@ impl Service {
             if fresh_group {
                 state.group_pass = 0;
             }
+            // The admission-stage span starts at the first pulled
+            // submission (never inside the idle blocking wait) and
+            // records once the boundary loop drains.
+            let mut admission_t0: Option<Instant> = None;
             loop {
                 let sub = if state.inflight.is_empty() {
                     intake.pull_blocking()
@@ -575,6 +618,9 @@ impl Service {
                     intake.pull_nonblocking()
                 };
                 let Some(sub) = sub else { break };
+                if admission_t0.is_none() && sc_telemetry::enabled() {
+                    admission_t0 = Some(Instant::now());
+                }
                 if state.inflight.len() >= self.cfg.max_inflight {
                     match self.dispose_past_full_window(
                         gen,
@@ -601,15 +647,32 @@ impl Service {
                     metrics,
                     Instant::now(),
                 ) {
+                    sc_telemetry::event(
+                        EventKind::Admitted,
+                        fl.id,
+                        gen.id,
+                        ledger.scan_index() as u64,
+                        state.group_pass as u32,
+                    );
                     // The slot mirrors the submission id: serve mode
                     // routes outcomes by reply channel, but the slot
                     // stays meaningful either way.
                     state.inflight.push((fl.id as usize, fl));
                 }
             }
+            if let Some(t0) = admission_t0 {
+                tel().stage_admission.record(t0.elapsed());
+            }
             metrics.max_inflight_seen = metrics.max_inflight_seen.max(state.inflight.len());
             // Stage 4 — retirement (replies go out by channel).
+            let retire_from = state.inflight.len();
+            let retire_t0 = sc_telemetry::enabled().then(Instant::now);
             self.retire(gen, &mut state.inflight, metrics, |_slot, _outcome| {});
+            if let Some(t0) = retire_t0 {
+                if state.inflight.len() < retire_from {
+                    tel().stage_retirement.record(t0.elapsed());
+                }
+            }
             if state.inflight.is_empty() {
                 let drained_for_swap = intake.reload.is_some() && intake.backlog.is_empty();
                 let closed_and_done = !intake.open && intake.backlog.is_empty();
@@ -660,6 +723,21 @@ impl Service {
                 .collect();
             ledger.scan_sharded(root, &participants, self.cfg.shard_size)
         };
+        if sc_telemetry::enabled() {
+            // One lifecycle event per rider of this physical scan,
+            // tagged with the scan's ordinal and the group pass it
+            // carries (mid-stream joiners get their own
+            // `admitted`/`aligned_join` events at the splice instead).
+            for (_, fl) in state.inflight.iter() {
+                sc_telemetry::event(
+                    EventKind::EpochScan,
+                    fl.id,
+                    gen.id,
+                    ledger.scan_index() as u64,
+                    state.group_pass as u32,
+                );
+            }
+        }
         // The window only arms for a *lone* head of a fresh group: a
         // burst that already arrived together at the epoch boundary is
         // the company the window exists to wait for, so holding its
@@ -670,18 +748,23 @@ impl Service {
         let parked = match (self.cfg.admission, intake) {
             (_, None) => {
                 // Batch mode: a pure fan-out, no mid-stream arrivals.
+                let _span = tel().stage_execution.span();
                 execution::fan_out(&feed, &mut state.inflight, self.cfg.workers, None);
                 Vec::new()
             }
             (AdmissionMode::Boundary, Some(intake)) => {
                 // The PR 4 baseline: blocking drain before the
                 // fan-out (joiners ride the workers with the group).
-                let parked = alignment::blocking_drain(
-                    self, gen, root, ledger, state, intake, window, metrics,
-                );
+                let parked = {
+                    let _span = tel().stage_alignment.span();
+                    alignment::blocking_drain(
+                        self, gen, root, ledger, state, intake, window, metrics,
+                    )
+                };
                 metrics.max_inflight_seen = metrics
                     .max_inflight_seen
                     .max(state.inflight.len() + parked.len());
+                let _span = tel().stage_execution.span();
                 execution::fan_out(&feed, &mut state.inflight, self.cfg.workers, None);
                 parked
             }
@@ -692,6 +775,7 @@ impl Service {
                 let scan_tag = ledger.scan_index();
                 let mut pending = Vec::new();
                 {
+                    let _span = tel().stage_execution.span();
                     let mut drain = execution::ArrivalDrain {
                         service: self,
                         gen,
@@ -707,19 +791,22 @@ impl Service {
                         Some(&mut drain),
                     );
                 }
-                let parked = alignment::splice_pending(
-                    self,
-                    gen,
-                    root,
-                    ledger,
-                    &feed,
-                    scan_tag,
-                    state,
-                    intake,
-                    &mut pending,
-                    window,
-                    metrics,
-                );
+                let parked = {
+                    let _span = tel().stage_alignment.span();
+                    alignment::splice_pending(
+                        self,
+                        gen,
+                        root,
+                        ledger,
+                        &feed,
+                        scan_tag,
+                        state,
+                        intake,
+                        &mut pending,
+                        window,
+                        metrics,
+                    )
+                };
                 metrics.max_inflight_seen = metrics
                     .max_inflight_seen
                     .max(state.inflight.len() + parked.len());

@@ -239,6 +239,69 @@ fn spliced_joiners_under_single_set_shard_stealing_stay_bit_identical() {
 }
 
 #[test]
+fn telemetry_ledger_bounds_aligned_joins_by_mid_stream_admissions() {
+    // Process-global telemetry: hold the lock while the gate is on (see
+    // the identical note in the coalesce suite). Observables must stay
+    // solo-identical with telemetry recording — the layer is
+    // observational only.
+    let _hold = sc_telemetry::test_hold();
+    let was = sc_telemetry::enabled();
+    sc_telemetry::set_enabled(true);
+    let before: std::collections::BTreeMap<&str, u64> =
+        sc_telemetry::registered_counters().into_iter().collect();
+
+    let inst = gen::planted(512, 1024, 16, 3);
+    let (outcomes, metrics) = staggered_run(
+        &inst.system,
+        ServiceConfig {
+            admission_window: Duration::from_secs(30),
+            ..Default::default()
+        },
+        Duration::ZERO,
+    );
+
+    let after: std::collections::BTreeMap<&str, u64> =
+        sc_telemetry::registered_counters().into_iter().collect();
+    sc_telemetry::set_enabled(was);
+
+    for (i, outcome) in outcomes.iter().enumerate() {
+        assert_matches_solo(
+            outcome,
+            &inst.system,
+            &format!("telemetry-on query {i} ({})", outcome.spec),
+        );
+    }
+    // The run's own ledger: a pass-aligned join IS a mid-stream
+    // admission that landed past pass 1, so it can never outnumber
+    // them; and every completion is accounted for.
+    assert!(metrics.aligned_joins <= metrics.mid_stream_admissions);
+    assert_eq!(
+        metrics.queries_completed,
+        metrics.jobs + metrics.cache_hits + metrics.coalesced
+    );
+
+    let delta =
+        |name: &str| after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0);
+    // The same bound holds on the global ledger. It is asserted on the
+    // snapshot's absolute values, not the deltas: mid-stream admissions
+    // are counted before the aligned-join refinement at every site and
+    // the name-sorted scrape reads the aligned counter first, so no
+    // single snapshot can observe the inequality inverted — but two
+    // snapshots' deltas could, if a concurrent rider lands between one
+    // snapshot's two reads.
+    assert!(
+        after.get("sc_aligned_joins_total").copied().unwrap_or(0)
+            <= after
+                .get("sc_mid_stream_admissions_total")
+                .copied()
+                .unwrap_or(0)
+    );
+    assert!(delta("sc_mid_stream_admissions_total") >= metrics.mid_stream_admissions as u64);
+    assert!(delta("sc_aligned_joins_total") >= metrics.aligned_joins as u64);
+    assert!(delta("sc_queries_completed_total") >= metrics.queries_completed as u64);
+}
+
+#[test]
 fn boundary_mode_baseline_preserves_solo_observables() {
     // The PR 4 path kept for E20's baseline must still be bit-exact.
     // The late query goes in right behind the helper: the helper's

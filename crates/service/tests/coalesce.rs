@@ -238,6 +238,52 @@ fn coalescing_is_off_by_default() {
 }
 
 #[test]
+fn telemetry_ledger_reconciles_with_coalescing_metrics() {
+    // The gate, counters, and journal are process-global: hold the
+    // telemetry lock while the gate is on. Tests from this binary that
+    // overlap the window are recorded too, so the global deltas are
+    // asserted as lower bounds of this run's contribution, while the
+    // accounting identity is asserted exactly on the run's own
+    // ServiceMetrics.
+    let _hold = sc_telemetry::test_hold();
+    let was = sc_telemetry::enabled();
+    sc_telemetry::set_enabled(true);
+    let before: std::collections::BTreeMap<&str, u64> =
+        sc_telemetry::registered_counters().into_iter().collect();
+
+    let inst = gen::planted(256, 512, 8, 5);
+    let service = Service::new(inst.system.clone(), coalescing());
+    let specs: Vec<QuerySpec> = (0..12u64).map(|i| iter(i % 3)).collect();
+    // First wave: 3 leaders + 9 followers. Second wave: all 12 answered
+    // from the cache — every completion class is exercised.
+    let (_, wave1) = service.run_batch(&specs);
+    let (_, wave2) = service.run_batch(&specs);
+
+    let after: std::collections::BTreeMap<&str, u64> =
+        sc_telemetry::registered_counters().into_iter().collect();
+    sc_telemetry::set_enabled(was);
+
+    for (label, m) in [("wave 1", &wave1), ("wave 2", &wave2)] {
+        assert_eq!(
+            m.queries_completed,
+            m.jobs + m.cache_hits + m.coalesced,
+            "{label}: every completion is exactly one of job / cache hit / follower"
+        );
+    }
+    assert_eq!((wave1.jobs, wave1.coalesced, wave1.cache_hits), (3, 9, 0));
+    assert_eq!((wave2.jobs, wave2.coalesced, wave2.cache_hits), (0, 0, 12));
+
+    let delta =
+        |name: &str| after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0);
+    let runs = |f: fn(&sc_service::ServiceMetrics) -> usize| (f(&wave1) + f(&wave2)) as u64;
+    assert!(delta("sc_queries_submitted_total") >= runs(|m| m.queries_completed));
+    assert!(delta("sc_queries_completed_total") >= runs(|m| m.queries_completed));
+    assert!(delta("sc_query_jobs_total") >= runs(|m| m.jobs));
+    assert!(delta("sc_coalesced_total") >= runs(|m| m.coalesced));
+    assert!(delta("sc_cache_hits_total") >= runs(|m| m.cache_hits));
+}
+
+#[test]
 fn followers_beyond_max_inflight_do_not_occupy_slots() {
     let inst = gen::planted(256, 512, 8, 5);
     let service = Service::new(

@@ -98,6 +98,62 @@ fn in_flight_queries_drain_on_their_original_generation() {
 }
 
 #[test]
+fn telemetry_ledger_tracks_reloads_and_survives_a_swap() {
+    // Process-global telemetry: hold the lock while the gate is on (see
+    // the identical note in the coalesce suite).
+    let _hold = sc_telemetry::test_hold();
+    let was = sc_telemetry::enabled();
+    sc_telemetry::set_enabled(true);
+    let before: std::collections::BTreeMap<&str, u64> =
+        sc_telemetry::registered_counters().into_iter().collect();
+
+    let repo1 = gen::planted(512, 1024, 16, 5);
+    let repo2 = gen::planted(512, 1024, 16, 6);
+    let (solo1, solo2) = (solo_cover(&repo1.system, 9), solo_cover(&repo2.system, 9));
+    let service = Service::new(repo1.system.clone(), ServiceConfig::default());
+    let ((a, b), metrics) = service.serve(|handle| {
+        let a = handle
+            .submit(iter(9))
+            .expect("open")
+            .wait()
+            .expect("served");
+        assert_eq!(
+            handle.reload(repo2.system.clone()).expect("open").wait(),
+            Ok(2)
+        );
+        let b = handle
+            .submit(iter(9))
+            .expect("open")
+            .wait()
+            .expect("served");
+        (a, b)
+    });
+
+    let after: std::collections::BTreeMap<&str, u64> =
+        sc_telemetry::registered_counters().into_iter().collect();
+    sc_telemetry::set_enabled(was);
+
+    // Recording changed nothing about the answers.
+    assert_eq!(a.cover, solo1);
+    assert_eq!(b.cover, solo2, "answered from the new repository");
+    assert_eq!(
+        metrics.queries_completed,
+        metrics.jobs + metrics.cache_hits + metrics.coalesced
+    );
+    assert_eq!(metrics.reloads, 1);
+
+    let delta =
+        |name: &str| after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0);
+    assert!(delta("sc_reloads_total") >= 1);
+    // The swap reaped generation 1's cache entry, and the reap is on
+    // the ledger.
+    assert!(delta("sc_cache_evictions_total") >= metrics.reload_evictions as u64);
+    assert!(metrics.reload_evictions >= 1);
+    assert!(delta("sc_queries_completed_total") >= metrics.queries_completed as u64);
+    assert!(delta("sc_query_jobs_total") >= metrics.jobs as u64);
+}
+
+#[test]
 fn install_repository_swaps_between_batches_and_reaps_the_cache() {
     let repo1 = gen::planted(256, 512, 8, 5);
     let repo2 = gen::planted(256, 512, 8, 6);

@@ -267,6 +267,52 @@ fn mid_stream_admission_and_cache_hits_preserve_solo_observables() {
 }
 
 #[test]
+fn telemetry_recording_never_perturbs_observables() {
+    // Telemetry is observational only: the same batch with the gate off
+    // and on must produce bit-identical covers, pass counts, and space
+    // peaks, and each must match the solo run.
+    let inst = gen::planted_noisy(300, 600, 10, 9);
+    let specs = vec![
+        QuerySpec::IterCover {
+            delta: 0.5,
+            seed: 1,
+        },
+        QuerySpec::PartialCover {
+            epsilon: 0.1,
+            delta: 0.5,
+            seed: 2,
+        },
+        QuerySpec::GreedyBaseline,
+        QuerySpec::IterCover {
+            delta: 0.25,
+            seed: 4,
+        },
+    ];
+    let run = || {
+        let service = Service::new(inst.system.clone(), ServiceConfig::default());
+        service.run_batch(&specs).0
+    };
+    let quiet = run();
+    let watched = {
+        // The gate is process-global: serialize with other
+        // gate-flipping tests while it is on.
+        let _hold = sc_telemetry::test_hold();
+        let was = sc_telemetry::enabled();
+        sc_telemetry::set_enabled(true);
+        let outcomes = run();
+        sc_telemetry::set_enabled(was);
+        outcomes
+    };
+    for (i, (q, w)) in quiet.iter().zip(&watched).enumerate() {
+        assert_eq!(q.cover, w.cover, "query {i}: telemetry changed the cover");
+        assert_eq!(q.logical_passes, w.logical_passes, "query {i}");
+        assert_eq!(q.space_words, w.space_words, "query {i}");
+        assert_eq!(q.covered, w.covered, "query {i}");
+        assert_matches_solo(w, &inst.system, &format!("watched query {i}"));
+    }
+}
+
+#[test]
 fn uncoverable_instances_fail_cleanly() {
     let system = SetSystem::from_sets(4, vec![vec![0, 1], vec![1, 2]]);
     let service = Service::new(system.clone(), ServiceConfig::default());

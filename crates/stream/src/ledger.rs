@@ -3,6 +3,23 @@
 
 use crate::SetStream;
 use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Process-wide telemetry counter of physical scans started through
+/// *any* ledger — the live-surface mirror of per-ledger
+/// [`physical_scans`](ScanLedger::physical_scans) (resolved once; the
+/// per-scan cost is one relaxed gate load when telemetry is off).
+fn scans_counter() -> &'static sc_telemetry::Counter {
+    static C: OnceLock<&'static sc_telemetry::Counter> = OnceLock::new();
+    C.get_or_init(|| sc_telemetry::counter("sc_scans_physical_total"))
+}
+
+/// Process-wide telemetry counter of pass owners joined onto in-flight
+/// scans, the mirror of [`mid_stream_joins`](ScanLedger::mid_stream_joins).
+fn joins_counter() -> &'static sc_telemetry::Counter {
+    static C: OnceLock<&'static sc_telemetry::Counter> = OnceLock::new();
+    C.get_or_init(|| sc_telemetry::counter("sc_scan_joins_total"))
+}
 
 /// Counts the *physical* scans a multiplexing driver performs on behalf
 /// of many logically independent pass owners.
@@ -88,6 +105,7 @@ impl ScanLedger {
         participants: &[&SetStream<'a>],
     ) -> impl Iterator<Item = (sc_setsystem::SetId, &'a [sc_setsystem::ElemId])> {
         self.physical.set(self.physical.get() + 1);
+        scans_counter().incr();
         stream.shared_pass(participants)
     }
 
@@ -112,6 +130,7 @@ impl ScanLedger {
         shard_size: usize,
     ) -> crate::ShardedPass<'a> {
         self.physical.set(self.physical.get() + 1);
+        scans_counter().incr();
         stream.sharded_pass(participants, shard_size)
     }
 
@@ -137,6 +156,7 @@ impl ScanLedger {
         );
         stream.join_shared_pass(participants);
         self.joined.set(self.joined.get() + participants.len());
+        joins_counter().add(participants.len() as u64);
         self.physical.get()
     }
 }

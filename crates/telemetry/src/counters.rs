@@ -1,0 +1,144 @@
+//! Named process-wide counters, sharded across cache-line-padded cells.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of shards per counter. Eight 64-byte lines cover the worker
+/// pools this workspace runs (worker count tracks CPU cores; threads
+/// hash onto shards, so collisions only cost an occasionally shared
+/// line, never a wrong count).
+const SHARDS: usize = 8;
+
+/// One cache line per shard so two worker threads bumping the same
+/// counter never write the same line.
+#[repr(align(64))]
+#[derive(Default)]
+struct Cell(AtomicU64);
+
+/// A process-wide monotonic counter.
+///
+/// `add` is wait-free: one relaxed gate load plus one relaxed
+/// fetch-add on this thread's shard. `value` sums the shards; it is
+/// exact once writers are quiescent and monotonically fresh while they
+/// are not (a concurrent reader may miss in-flight increments — fine
+/// for a stats scrape).
+pub struct Counter {
+    cells: [Cell; SHARDS],
+}
+
+/// Index of the calling thread's shard: threads draw a ticket from a
+/// global sequence once, then reuse it, striping the pool round-robin.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+impl Counter {
+    fn new() -> Self {
+        Self {
+            cells: Default::default(),
+        }
+    }
+
+    /// Adds `n`, if telemetry is enabled; a no-op (one relaxed load)
+    /// otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cells[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one. See [`Counter::add`].
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value: the sum of every shard.
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for c in &self.cells {
+            c.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+type Registry = Mutex<BTreeMap<&'static str, &'static Counter>>;
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Returns the process-wide counter named `name`, registering it on
+/// first use. The returned reference is `'static`; call sites should
+/// look a counter up once (e.g. behind a `OnceLock`) and keep the
+/// reference — the lookup takes the registry lock, `add` never does.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut map = registry().lock().expect("telemetry counter registry");
+    map.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(Counter::new())))
+}
+
+/// Every registered counter as `(name, current value)`, name-sorted.
+pub fn registered_counters() -> Vec<(&'static str, u64)> {
+    let map = registry().lock().expect("telemetry counter registry");
+    map.iter().map(|(&name, c)| (name, c.value())).collect()
+}
+
+pub(crate) fn reset_all() {
+    let map = registry().lock().expect("telemetry counter registry");
+    for c in map.values() {
+        c.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counts_across_threads_and_respects_gate() {
+        let _g = crate::test_guard();
+        let was = crate::enabled();
+        crate::set_enabled(false);
+        let c = counter("test_gated_total");
+        let before = c.value();
+        c.add(5);
+        assert_eq!(c.value(), before, "disabled counter must not move");
+
+        crate::set_enabled(true);
+        let base = c.value();
+        thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value() - base, 4000);
+        crate::set_enabled(was);
+    }
+
+    #[test]
+    fn registry_is_name_stable() {
+        let a = counter("test_identity_total") as *const Counter;
+        let b = counter("test_identity_total") as *const Counter;
+        assert_eq!(a, b);
+        assert!(registered_counters()
+            .iter()
+            .any(|(n, _)| *n == "test_identity_total"));
+    }
+}

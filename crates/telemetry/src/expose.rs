@@ -1,0 +1,92 @@
+//! Text expositions: the one-line `!stats` surface and the
+//! Prometheus-style `!metrics` listing.
+
+use crate::{journal_stats, registered_counters, registered_stages};
+
+/// One `key=value` line: every registered counter (name-sorted), the
+/// journal totals, then per-stage observation counts and interpolated
+/// p50/p90/p99 in microseconds — e.g.
+/// `sc_cache_hits_total=3 … journal_events=41 journal_retained=41
+/// stage_execution_n=12 stage_execution_p50_us=847 …`.
+pub fn stats_line() -> String {
+    let mut parts: Vec<String> = Vec::new();
+    parts.push(format!("enabled={}", u8::from(crate::enabled())));
+    for (name, value) in registered_counters() {
+        parts.push(format!("{name}={value}"));
+    }
+    let (events, retained) = journal_stats();
+    parts.push(format!("journal_events={events}"));
+    parts.push(format!("journal_retained={retained}"));
+    for (name, snap) in registered_stages() {
+        parts.push(format!("stage_{name}_n={}", snap.count));
+        for p in [50u32, 90, 99] {
+            parts.push(format!(
+                "stage_{name}_p{p}_us={}",
+                snap.percentile_us(f64::from(p))
+            ));
+        }
+    }
+    parts.join(" ")
+}
+
+/// Prometheus-style text exposition: one `name value` line per sample.
+/// Counters keep their registered names; each stage histogram expands
+/// to `sc_stage_<name>_us_{count,sum,p50,p90,p99}`; the journal and
+/// the enable gate ride along as gauges.
+pub fn prometheus() -> Vec<String> {
+    let mut lines: Vec<String> = Vec::new();
+    lines.push(format!(
+        "sc_telemetry_enabled {}",
+        u8::from(crate::enabled())
+    ));
+    for (name, value) in registered_counters() {
+        lines.push(format!("{name} {value}"));
+    }
+    let (events, retained) = journal_stats();
+    lines.push(format!("sc_journal_events_total {events}"));
+    lines.push(format!("sc_journal_retained {retained}"));
+    for (name, snap) in registered_stages() {
+        lines.push(format!("sc_stage_{name}_us_count {}", snap.count));
+        lines.push(format!("sc_stage_{name}_us_sum {}", snap.sum_us));
+        for p in [50u32, 90, 99] {
+            lines.push(format!(
+                "sc_stage_{name}_us_p{p} {}",
+                snap.percentile_us(f64::from(p))
+            ));
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expositions_cover_counters_and_stages() {
+        let _g = crate::test_guard();
+        let was = crate::enabled();
+        crate::set_enabled(true);
+        crate::counter("test_expose_total").add(2);
+        crate::stage("test_expose_stage").record_us(100);
+
+        let line = stats_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("test_expose_total="));
+        assert!(line.contains("stage_test_expose_stage_p99_us="));
+
+        let metrics = prometheus();
+        assert!(metrics.iter().any(|l| l.starts_with("test_expose_total ")));
+        assert!(metrics
+            .iter()
+            .any(|l| l.starts_with("sc_stage_test_expose_stage_us_p50 ")));
+        // Every line is exactly `name value`.
+        for l in &metrics {
+            let mut it = l.split(' ');
+            assert!(it.next().is_some_and(|n| !n.is_empty()));
+            assert!(it.next().is_some_and(|v| v.parse::<u64>().is_ok()));
+            assert!(it.next().is_none(), "line has extra fields: {l}");
+        }
+        crate::set_enabled(was);
+    }
+}

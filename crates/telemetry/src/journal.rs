@@ -1,0 +1,199 @@
+//! Fixed-capacity ring-buffer journal of query-lifecycle events.
+
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Ring capacity in events. At the nightly load matrix's rates
+/// (~10⁴ queries × ≤7 events) this holds the most recent few load
+/// waves; the journal is a flight recorder, not an archive.
+pub const JOURNAL_CAPACITY: usize = 65_536;
+
+/// What happened to a query at one point of its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The query entered the service (`ServiceHandle::submit`).
+    Submitted,
+    /// Admitted as a fresh job into an epoch group.
+    Admitted,
+    /// Answered from the outcome cache in zero scans.
+    CacheHit,
+    /// Attached as a follower to an identical in-flight job.
+    Coalesced,
+    /// Spliced into a *later* pass of an in-flight epoch group
+    /// (`pass` carries the group pass it joined at).
+    AlignedJoin,
+    /// Rode one physical scan of an epoch (`pass` carries the group
+    /// pass index of that scan).
+    EpochScan,
+    /// Retired: outcome delivered (and fanned out to any followers).
+    Retired,
+}
+
+impl EventKind {
+    /// Stable lower-case wire name (used by `!trace` lines).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Submitted => "submitted",
+            EventKind::Admitted => "admitted",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::Coalesced => "coalesced",
+            EventKind::AlignedJoin => "aligned_join",
+            EventKind::EpochScan => "epoch_scan",
+            EventKind::Retired => "retired",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryEvent {
+    /// Global sequence number (monotonic across the whole journal).
+    pub seq: u64,
+    /// Microseconds on the process telemetry clock.
+    pub at_us: u64,
+    /// Query id (the service's ticket id).
+    pub query: u64,
+    /// Repository generation serving the query.
+    pub generation: u64,
+    /// Scan-epoch ordinal within the run (0 when not yet in an epoch).
+    pub epoch: u64,
+    /// Group pass index (1-based; 0 when not applicable).
+    pub pass: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl QueryEvent {
+    /// One `!trace` line: `seq=.. t_us=.. event=.. query=.. gen=..
+    /// epoch=.. pass=..`.
+    pub fn protocol_line(&self) -> String {
+        format!(
+            "seq={} t_us={} event={} query={} gen={} epoch={} pass={}",
+            self.seq, self.at_us, self.kind, self.query, self.generation, self.epoch, self.pass,
+        )
+    }
+}
+
+struct Ring {
+    buf: Vec<QueryEvent>,
+    /// Next write position (buf is a circular buffer once full).
+    head: usize,
+    /// Next sequence number == total events ever recorded.
+    seq: u64,
+}
+
+impl Ring {
+    fn push(&mut self, mut ev: QueryEvent) {
+        ev.seq = self.seq;
+        self.seq += 1;
+        if self.buf.len() < JOURNAL_CAPACITY {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+        }
+        self.head = (self.head + 1) % JOURNAL_CAPACITY;
+    }
+}
+
+fn journal() -> &'static Mutex<Ring> {
+    static JOURNAL: OnceLock<Mutex<Ring>> = OnceLock::new();
+    JOURNAL.get_or_init(|| {
+        Mutex::new(Ring {
+            buf: Vec::new(),
+            head: 0,
+            seq: 0,
+        })
+    })
+}
+
+/// Records one query-lifecycle event, if telemetry is enabled. The
+/// critical section is a few word writes; the lock is uncontended
+/// except under extreme event rates.
+pub fn event(kind: EventKind, query: u64, generation: u64, epoch: u64, pass: u32) {
+    if !crate::enabled() {
+        return;
+    }
+    let at_us = crate::now_us();
+    let mut ring = journal().lock().expect("telemetry journal");
+    ring.push(QueryEvent {
+        seq: 0,
+        at_us,
+        query,
+        generation,
+        epoch,
+        pass,
+        kind,
+    });
+}
+
+/// Replays the retained timeline of `query`, oldest first.
+pub fn trace(query: u64) -> Vec<QueryEvent> {
+    let ring = journal().lock().expect("telemetry journal");
+    let mut out: Vec<QueryEvent> = ring
+        .buf
+        .iter()
+        .filter(|ev| ev.query == query)
+        .copied()
+        .collect();
+    out.sort_by_key(|ev| ev.seq);
+    out
+}
+
+/// `(events ever recorded, events currently retained)`.
+pub fn journal_stats() -> (u64, usize) {
+    let ring = journal().lock().expect("telemetry journal");
+    (ring.seq, ring.buf.len())
+}
+
+pub(crate) fn reset() {
+    let mut ring = journal().lock().expect("telemetry journal");
+    ring.buf.clear();
+    ring.head = 0;
+    ring.seq = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_replays_one_query_in_order() {
+        let _g = crate::test_guard();
+        let was = crate::enabled();
+        crate::set_enabled(true);
+        reset();
+        event(EventKind::Submitted, 7, 1, 0, 0);
+        event(EventKind::Submitted, 8, 1, 0, 0);
+        event(EventKind::Admitted, 7, 1, 3, 1);
+        event(EventKind::EpochScan, 7, 1, 3, 1);
+        event(EventKind::Retired, 7, 1, 3, 2);
+        let t = trace(7);
+        assert_eq!(t.len(), 4);
+        assert!(t.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(t[0].kind, EventKind::Submitted);
+        assert_eq!(t[3].kind, EventKind::Retired);
+        assert!(t[2].protocol_line().contains("event=epoch_scan"));
+        let (total, retained) = journal_stats();
+        assert_eq!(total, 5);
+        assert_eq!(retained, 5);
+        reset();
+        crate::set_enabled(was);
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let _g = crate::test_guard();
+        let was = crate::enabled();
+        crate::set_enabled(false);
+        reset();
+        event(EventKind::Submitted, 99, 0, 0, 0);
+        assert!(trace(99).is_empty());
+        crate::set_enabled(was);
+    }
+}

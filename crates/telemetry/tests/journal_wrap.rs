@@ -1,0 +1,40 @@
+//! Ring-buffer wraparound: the journal retains the most recent
+//! `JOURNAL_CAPACITY` events and `trace` still replays in seq order
+//! across the wrap point.
+
+use sc_telemetry::{event, journal_stats, trace, EventKind, JOURNAL_CAPACITY};
+
+#[test]
+fn journal_wraps_and_keeps_the_newest_events() {
+    sc_telemetry::reset();
+    sc_telemetry::set_enabled(true);
+
+    // Overfill by half a ring; query id = event ordinal so the oldest
+    // retained event is identifiable.
+    let total = JOURNAL_CAPACITY + JOURNAL_CAPACITY / 2;
+    for i in 0..total {
+        event(EventKind::EpochScan, i as u64, 1, 1, 1);
+    }
+    let (seq, retained) = journal_stats();
+    assert_eq!(seq, total as u64);
+    assert_eq!(retained, JOURNAL_CAPACITY);
+
+    // The first half ring was overwritten…
+    assert!(trace(0).is_empty());
+    assert!(trace((JOURNAL_CAPACITY / 2 - 1) as u64).is_empty());
+    // …and the newest event survives with its original seq.
+    let newest = trace((total - 1) as u64);
+    assert_eq!(newest.len(), 1);
+    assert_eq!(newest[0].seq, (total - 1) as u64);
+
+    // A multi-event query written across the wrap stays ordered.
+    for _ in 0..3 {
+        event(EventKind::EpochScan, 424_242, 1, 2, 1);
+    }
+    let t = trace(424_242);
+    assert_eq!(t.len(), 3);
+    assert!(t.windows(2).all(|w| w[0].seq < w[1].seq));
+
+    sc_telemetry::set_enabled(false);
+    sc_telemetry::reset();
+}

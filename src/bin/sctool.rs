@@ -52,13 +52,13 @@ const USAGE: &str = "usage:
   sctool exact <file> [--budget NODES]
   sctool certify <file>
   sctool convert <in> <out>              (format chosen by .scb extension)
-  sctool serve <file> [--listen HOST:PORT] [--inflight N] [--workers N] [--cache N] [--eviction fifo|lru] [--admission aligned|boundary] [--window MS] [--shard SETS] [--coalesce]
-  sctool client --connect HOST:PORT [--wait-ready SECS] [--queries N] [--concurrency C] [--spec QUERY] [--duplicates K] [--shutdown]
+  sctool serve <file> [--listen HOST:PORT] [--inflight N] [--workers N] [--cache N] [--eviction fifo|lru] [--admission aligned|boundary] [--window MS] [--shard SETS] [--coalesce] [--stats-interval SECS] [--no-telemetry]
+  sctool client --connect HOST:PORT [--wait-ready SECS] [--queries N] [--concurrency C] [--spec QUERY] [--duplicates K] [--stats] [--shutdown]
   sctool geomgen <discs|rects|triangles|clustered|grid|twoline> [--n N] [--m M] [--k K] [--half H] [--seed SEED]
   sctool geomsolve <file> [--delta D] [--no-canonical] [--bg]
 
 files: text format everywhere; SCB1 binary is sniffed by magic; use - for stdin (either format)
-serve protocol: one query per line — 'iter [delta=D] [seed=S]', 'partial [eps=E] [delta=D] [seed=S]', 'greedy'; also ping/quit/shutdown and '!reload PATH' (hot-swap the repository; in-flight queries drain on their generation); responses come back in request order";
+serve protocol: one query per line — 'iter [delta=D] [seed=S]', 'partial [eps=E] [delta=D] [seed=S]', 'greedy'; also ping/quit/shutdown, '!reload PATH' (hot-swap the repository; in-flight queries drain on their generation), and the live telemetry verbs '!stats' (one-line counters + stage percentiles), '!metrics' (Prometheus-style listing), '!trace ID' (one query's journal timeline); responses come back in request order";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -432,6 +432,27 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         coalesce: args.iter().any(|a| a == "--coalesce"),
     };
     let service = Service::new(inst.system, cfg);
+    // Telemetry is on by default in the CLI server (the library default
+    // stays off): counters/spans/journal feed the `!stats`, `!metrics`,
+    // and `!trace` verbs. `--no-telemetry` is the A/B switch the E22
+    // overhead experiment's methodology mirrors.
+    let telemetry = !args.iter().any(|a| a == "--no-telemetry");
+    sc_telemetry::set_enabled(telemetry);
+    let stats_interval: u64 = flag_or(args, "--stats-interval", 0u64)?;
+    let (stop_ticker, ticker) = if telemetry && stats_interval > 0 {
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let period = std::time::Duration::from_secs(stats_interval);
+        let ticker = std::thread::spawn(move || {
+            // Disconnection = serve finished; the shutdown snapshot is
+            // printed by the main thread.
+            while let Err(std::sync::mpsc::RecvTimeoutError::Timeout) = rx.recv_timeout(period) {
+                eprintln!("sctool serve: stats {}", sc_telemetry::stats_line());
+            }
+        });
+        (Some(tx), Some(ticker))
+    } else {
+        (None, None)
+    };
     let metrics = match flag(args, "--listen") {
         Some(addr) => {
             let listener =
@@ -452,6 +473,10 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             metrics
         }
     };
+    drop(stop_ticker);
+    if let Some(t) = ticker {
+        let _ = t.join();
+    }
     eprintln!(
         "sctool serve: {} queries ({} jobs, {} cache hits, {} coalesced, {} mid-stream joins, {} pass-aligned), {} physical scans, peak {} inflight, {:.1} ms, {} kernels",
         metrics.queries_completed,
@@ -476,6 +501,12 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     }
     eprintln!("sctool serve: queue wait {}", metrics.queue_wait);
     eprintln!("sctool serve: latency    {}", metrics.latency);
+    if telemetry {
+        eprintln!(
+            "sctool serve: stats trigger=shutdown {}",
+            sc_telemetry::stats_line()
+        );
+    }
     Ok(())
 }
 
@@ -636,6 +667,24 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
         .collect();
     if !generations.is_empty() {
         println!("answered from {}", generations.join(", "));
+    }
+    // `--stats` asks the server for its own tally right after the
+    // burst: the `!stats` counters printed here sit next to the
+    // client-side numbers above, so mismatches (e.g. answers served to
+    // other clients, or a stats surface that stopped moving) are
+    // visible in one terminal.
+    if args.iter().any(|a| a == "--stats") {
+        let conn = TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+        let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
+        let mut writer = &conn;
+        writeln!(writer, "!stats").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        match line.trim_end().strip_prefix("ok stats ") {
+            Some(stats) => println!("server stats: {stats}"),
+            None => println!("server stats: unavailable ({})", line.trim_end()),
+        }
     }
     if args.iter().any(|a| a == "--shutdown") {
         let conn = TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;

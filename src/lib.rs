@@ -39,6 +39,8 @@ pub use sc_service as service;
 pub use sc_setsystem as setsystem;
 /// The instrumented streaming model ([`sc_stream`]).
 pub use sc_stream as stream;
+/// Live telemetry: counters, stage spans, query journal ([`sc_telemetry`]).
+pub use sc_telemetry as telemetry;
 
 /// The names most programs need.
 pub mod prelude {
