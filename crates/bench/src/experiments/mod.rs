@@ -21,6 +21,7 @@ mod service;
 mod service_load;
 mod sparse_6_6;
 mod table_1_1;
+mod tenants;
 mod tradeoff_2_8;
 
 pub use ablations::ablations;
@@ -44,6 +45,7 @@ pub use service::service;
 pub use service_load::service_load;
 pub use sparse_6_6::sparse_6_6;
 pub use table_1_1::table_1_1;
+pub use tenants::tenants;
 pub use tradeoff_2_8::tradeoff_2_8;
 
 use crate::{Scale, Table};
@@ -119,6 +121,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "observability",
             "E22 telemetry overhead: gate off vs on over the service workloads",
             observability,
+        ),
+        (
+            "tenants",
+            "E23 multi-tenant serving: cross-tenant admission fairness under hot/cold load",
+            tenants,
         ),
     ]
 }

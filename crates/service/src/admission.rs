@@ -18,8 +18,8 @@ use crate::job::{make_job, CoverJob};
 use crate::metrics::ServiceMetrics;
 use crate::query::{QueryOutcome, QuerySpec};
 use crate::service::Service;
-use crate::store::RepositoryGeneration;
 use crate::telemetry::tel;
+use crate::tenants::RepositoryGeneration;
 use sc_setsystem::SetSystem;
 use sc_stream::SetStream;
 use sc_telemetry::EventKind;
@@ -333,7 +333,7 @@ impl Service {
     ) -> Admitted<'g> {
         if let Some(answer) = self.cache_lookup(gen, &sub.spec) {
             let outcome = self.cached_outcome(gen, sub.id, sub.spec, sub.submitted, answer);
-            self.deliver_cached(&outcome, metrics);
+            self.deliver_cached(gen, &outcome, metrics);
             // The client may have dropped its ticket; that is fine.
             let _ = sub.reply.send(outcome);
             return Admitted::Answered;
@@ -393,7 +393,7 @@ impl Service {
         }
         if let Some(answer) = self.cache_lookup(gen, &sub.spec) {
             let outcome = self.cached_outcome(gen, sub.id, sub.spec, sub.submitted, answer);
-            self.deliver_cached(&outcome, metrics);
+            self.deliver_cached(gen, &outcome, metrics);
             let _ = sub.reply.send(outcome);
             return Ok(false);
         }
@@ -444,7 +444,7 @@ impl Service {
                 arrival.sub.submitted,
                 answer,
             );
-            self.deliver_cached(&outcome, metrics);
+            self.deliver_cached(gen, &outcome, metrics);
             let _ = arrival.sub.reply.send(outcome);
         }
     }
@@ -474,28 +474,39 @@ impl Service {
             cached: true,
             coalesced: false,
             generation: gen.id,
+            tenant: gen.tenant.name_handle(),
         }
     }
 
-    /// Records a cache hit's metrics (counters + histograms).
-    pub(crate) fn deliver_cached(&self, outcome: &QueryOutcome, metrics: &mut ServiceMetrics) {
+    /// Records a cache hit's metrics (service counters + histograms,
+    /// plus the owning tenant's live counters).
+    pub(crate) fn deliver_cached(
+        &self,
+        gen: &RepositoryGeneration,
+        outcome: &QueryOutcome,
+        metrics: &mut ServiceMetrics,
+    ) {
         metrics.cache_hits += 1;
         metrics.queries_completed += 1;
         metrics.queue_wait.record(outcome.queue_wait);
         metrics.latency.record(outcome.latency);
+        gen.tenant.counters().bump_cache_hit();
+        gen.tenant.counters().bump_completed();
         tel().cache_hits.incr();
         tel().completed.incr();
         sc_telemetry::event(EventKind::CacheHit, outcome.id, outcome.generation, 0, 0);
     }
 
-    /// Cache lookup under a generation's repository identity
-    /// (fingerprint plus the dimension cross-check).
+    /// Cache lookup under a generation's repository identity (the
+    /// owning tenant's cache partition, keyed by fingerprint, plus the
+    /// dimension cross-check).
     pub(crate) fn cache_lookup(
         &self,
         gen: &RepositoryGeneration,
         spec: &QuerySpec,
     ) -> Option<crate::cache::CachedAnswer> {
         self.cache().lookup(
+            gen.tenant.id(),
             gen.fingerprint,
             gen.system.universe(),
             gen.system.num_sets(),

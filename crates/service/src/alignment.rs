@@ -37,8 +37,8 @@
 use crate::admission::{Admitted, Inflight, Intake, PendingArrival};
 use crate::metrics::ServiceMetrics;
 use crate::service::Service;
-use crate::store::RepositoryGeneration;
 use crate::telemetry::tel;
+use crate::tenants::RepositoryGeneration;
 use sc_stream::{ScanLedger, SetStream, ShardedPass};
 use sc_telemetry::EventKind;
 use std::time::Instant;
@@ -103,7 +103,7 @@ pub(crate) fn splice_pending<'g>(
     loop {
         for arrival in pending.drain(..) {
             let PendingArrival { sub, drained } = arrival;
-            let room = state.inflight.len() + parked.len() < service.config().max_inflight;
+            let room = state.inflight.len() + parked.len() < gen.tenant.quota();
             if !room {
                 // Only a fresh job needs a slot: a duplicate of an
                 // in-flight leader is still disposed of past the full
@@ -225,7 +225,7 @@ pub(crate) fn blocking_drain<'g>(
 ) -> Vec<(usize, Inflight<'g>)> {
     let mut parked = Vec::new();
     let mut deadline = window;
-    while state.inflight.len() + parked.len() < service.config().max_inflight {
+    while state.inflight.len() + parked.len() < gen.tenant.quota() {
         let sub = match deadline {
             Some(d) => match intake.pull_deadline(d) {
                 Some(sub) => sub,

@@ -5,8 +5,13 @@
 //! deterministic given its spec (the RNG seed is part of
 //! [`QuerySpec`]), so the answer to a repeat is the answer already
 //! computed — in **zero** physical scans. The cache is keyed on the
-//! query spec *and* a 64-bit content fingerprint of the repository,
-//! and every hit additionally cross-checks the requester's repository
+//! owning tenant, the query spec, *and* a 64-bit content fingerprint
+//! of the repository. The tenant id partitions the cache outright: two
+//! tenants serving byte-identical repositories collide on the
+//! fingerprint *by construction*, and an answer must still never cross
+//! tenants (quota accounting, counters, and the operator's mental
+//! model are all per-tenant). Beyond that, every hit cross-checks the
+//! requester's repository
 //! dimensions against the entry's, so a cache shared between services
 //! (or outliving a repository swap) misses on different data unless
 //! two repositories of identical dimensions also collide in the
@@ -88,7 +93,10 @@ impl std::fmt::Display for EvictionPolicy {
     }
 }
 
-type CacheKey = (u64, String);
+/// `(tenant id, repository fingerprint, canonical spec)` — the tenant
+/// id first, so two tenants serving byte-identical repositories (equal
+/// fingerprints by construction) still hold disjoint entries.
+type CacheKey = (u64, u64, String);
 
 /// A stored answer plus the dimensions of the repository it was
 /// computed against — re-checked on every hit as a collision guard
@@ -125,7 +133,7 @@ impl Inner {
 }
 
 /// A bounded, thread-safe cache of query outcomes keyed on
-/// `(repository fingerprint, canonical spec)`.
+/// `(tenant id, repository fingerprint, canonical spec)`.
 ///
 /// Capacity `0` disables the cache (every lookup misses, inserts are
 /// dropped). Eviction follows the configured [`EvictionPolicy`] —
@@ -225,8 +233,8 @@ impl OutcomeCache {
     /// The canonical cache key of a spec: its `Display` form, which
     /// round-trips through [`QuerySpec::parse`], so `delta=0.50` and
     /// `delta=0.5` land on the same entry.
-    fn key(fingerprint: u64, spec: &QuerySpec) -> CacheKey {
-        (fingerprint, spec.to_string())
+    fn key(tenant: u64, fingerprint: u64, spec: &QuerySpec) -> CacheKey {
+        (tenant, fingerprint, spec.to_string())
     }
 
     /// Looks up the answer for `spec` against the repository with the
@@ -237,6 +245,7 @@ impl OutcomeCache {
     /// refreshes the entry's eviction stamp.
     pub fn lookup(
         &self,
+        tenant: u64,
         fingerprint: u64,
         universe: usize,
         num_sets: usize,
@@ -245,7 +254,7 @@ impl OutcomeCache {
         if self.capacity == 0 {
             return None;
         }
-        let key = Self::key(fingerprint, spec);
+        let key = Self::key(tenant, fingerprint, spec);
         let mut inner = self.inner.lock().expect("cache poisoned");
         let inner = &mut *inner;
         let stamp = (self.policy == EvictionPolicy::Lru).then(|| inner.next_stamp());
@@ -283,6 +292,7 @@ impl OutcomeCache {
     /// age, under LRU it counts as a use.
     pub fn insert(
         &self,
+        tenant: u64,
         fingerprint: u64,
         universe: usize,
         num_sets: usize,
@@ -292,7 +302,7 @@ impl OutcomeCache {
         if self.capacity == 0 {
             return 0;
         }
-        let key = Self::key(fingerprint, spec);
+        let key = Self::key(tenant, fingerprint, spec);
         let mut inner = self.inner.lock().expect("cache poisoned");
         let inner = &mut *inner;
         let stamp = inner.next_stamp();
@@ -337,20 +347,26 @@ impl OutcomeCache {
         }
     }
 
-    /// Reaps every entry computed against the repository with the given
-    /// fingerprint — the eager half of a generation's death in a hot
-    /// swap (the keyed fingerprint already made them unreachable).
-    /// Returns how many entries were removed. Callers sharing one cache
-    /// across services should only reap fingerprints no live service
-    /// still presents.
-    pub fn evict_fingerprint(&self, fingerprint: u64) -> usize {
+    /// Reaps every entry the given tenant computed against the
+    /// repository with the given fingerprint — the eager half of a
+    /// generation's death in a hot swap (the keyed `(tenant,
+    /// fingerprint)` pair already made them unreachable). Returns how
+    /// many entries were removed. Another tenant's entries under the
+    /// same fingerprint survive — its repository did not change.
+    /// Callers sharing one cache across services should only reap
+    /// pairs no live service still presents.
+    pub fn evict_fingerprint(&self, tenant: u64, fingerprint: u64) -> usize {
         if self.capacity == 0 {
             return 0;
         }
         let mut inner = self.inner.lock().expect("cache poisoned");
         let before = inner.map.len();
-        inner.map.retain(|(fp, _), _| *fp != fingerprint);
-        inner.by_stamp.retain(|_, (fp, _)| *fp != fingerprint);
+        inner
+            .map
+            .retain(|(t, fp, _), _| *t != tenant || *fp != fingerprint);
+        inner
+            .by_stamp
+            .retain(|_, (t, fp, _)| *t != tenant || *fp != fingerprint);
         let reaped = before - inner.map.len();
         inner.fingerprint_evictions += reaped as u64;
         reaped
@@ -393,21 +409,21 @@ mod tests {
     #[test]
     fn lookup_respects_fingerprint_and_spec() {
         let cache = OutcomeCache::new(8);
-        cache.insert(1, 3, 2, &spec(7), answer(1));
-        assert_eq!(cache.lookup(1, 3, 2, &spec(7)), Some(answer(1)));
-        assert_eq!(cache.lookup(2, 3, 2, &spec(7)), None, "other repository");
-        assert_eq!(cache.lookup(1, 3, 2, &spec(8)), None, "other spec");
+        cache.insert(0, 1, 3, 2, &spec(7), answer(1));
+        assert_eq!(cache.lookup(0, 1, 3, 2, &spec(7)), Some(answer(1)));
+        assert_eq!(cache.lookup(0, 2, 3, 2, &spec(7)), None, "other repository");
+        assert_eq!(cache.lookup(0, 1, 3, 2, &spec(8)), None, "other spec");
         assert_eq!(cache.stats(), (1, 2));
     }
 
     #[test]
     fn fingerprint_collisions_with_other_dimensions_miss() {
         let cache = OutcomeCache::new(8);
-        cache.insert(1, 3, 2, &spec(7), answer(1));
+        cache.insert(0, 1, 3, 2, &spec(7), answer(1));
         // Same (colliding) fingerprint, different repository shape:
         // the dimension cross-check turns it into a miss.
-        assert_eq!(cache.lookup(1, 4, 2, &spec(7)), None, "universe differs");
-        assert_eq!(cache.lookup(1, 3, 5, &spec(7)), None, "family differs");
+        assert_eq!(cache.lookup(0, 1, 4, 2, &spec(7)), None, "universe differs");
+        assert_eq!(cache.lookup(0, 1, 3, 5, &spec(7)), None, "family differs");
         assert_eq!(cache.stats(), (0, 2));
     }
 
@@ -415,65 +431,97 @@ mod tests {
     fn fifo_eviction_keeps_the_bound() {
         let cache = OutcomeCache::new(2);
         for s in 0..5u64 {
-            cache.insert(0, 3, 2, &spec(s), answer(s as usize));
+            cache.insert(0, 0, 3, 2, &spec(s), answer(s as usize));
         }
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.lookup(0, 3, 2, &spec(0)), None, "oldest evicted");
-        assert_eq!(cache.lookup(0, 3, 2, &spec(4)), Some(answer(4)));
+        assert_eq!(cache.lookup(0, 0, 3, 2, &spec(0)), None, "oldest evicted");
+        assert_eq!(cache.lookup(0, 0, 3, 2, &spec(4)), Some(answer(4)));
         assert_eq!(cache.eviction_stats(), (3, 0));
     }
 
     #[test]
     fn fifo_ignores_hits_when_evicting() {
         let cache = OutcomeCache::new(2);
-        cache.insert(0, 3, 2, &spec(0), answer(0));
-        cache.insert(0, 3, 2, &spec(1), answer(1));
+        cache.insert(0, 0, 3, 2, &spec(0), answer(0));
+        cache.insert(0, 0, 3, 2, &spec(1), answer(1));
         // A hit on the oldest entry does not save it under FIFO.
-        assert!(cache.lookup(0, 3, 2, &spec(0)).is_some());
-        cache.insert(0, 3, 2, &spec(2), answer(2));
-        assert_eq!(cache.lookup(0, 3, 2, &spec(0)), None, "still the oldest");
-        assert!(cache.lookup(0, 3, 2, &spec(1)).is_some());
+        assert!(cache.lookup(0, 0, 3, 2, &spec(0)).is_some());
+        cache.insert(0, 0, 3, 2, &spec(2), answer(2));
+        assert_eq!(cache.lookup(0, 0, 3, 2, &spec(0)), None, "still the oldest");
+        assert!(cache.lookup(0, 0, 3, 2, &spec(1)).is_some());
     }
 
     #[test]
     fn fifo_overwrite_keeps_the_original_insertion_age() {
         let cache = OutcomeCache::new(2);
-        cache.insert(0, 3, 2, &spec(0), answer(0));
-        cache.insert(0, 3, 2, &spec(1), answer(1));
+        cache.insert(0, 0, 3, 2, &spec(0), answer(0));
+        cache.insert(0, 0, 3, 2, &spec(1), answer(1));
         // Re-inserting the oldest entry does not rejuvenate it under
         // FIFO: it is still the first out.
-        cache.insert(0, 3, 2, &spec(0), answer(9));
-        cache.insert(0, 3, 2, &spec(2), answer(2));
-        assert_eq!(cache.lookup(0, 3, 2, &spec(0)), None, "still the oldest");
-        assert!(cache.lookup(0, 3, 2, &spec(1)).is_some());
-        assert!(cache.lookup(0, 3, 2, &spec(2)).is_some());
+        cache.insert(0, 0, 3, 2, &spec(0), answer(9));
+        cache.insert(0, 0, 3, 2, &spec(2), answer(2));
+        assert_eq!(cache.lookup(0, 0, 3, 2, &spec(0)), None, "still the oldest");
+        assert!(cache.lookup(0, 0, 3, 2, &spec(1)).is_some());
+        assert!(cache.lookup(0, 0, 3, 2, &spec(2)).is_some());
     }
 
     #[test]
     fn lru_hits_refresh_the_entry() {
         let cache = OutcomeCache::with_policy(2, EvictionPolicy::Lru);
         assert_eq!(cache.policy(), EvictionPolicy::Lru);
-        cache.insert(0, 3, 2, &spec(0), answer(0));
-        cache.insert(0, 3, 2, &spec(1), answer(1));
+        cache.insert(0, 0, 3, 2, &spec(0), answer(0));
+        cache.insert(0, 0, 3, 2, &spec(1), answer(1));
         // Touch the older entry: the *other* one becomes the victim.
-        assert!(cache.lookup(0, 3, 2, &spec(0)).is_some());
-        cache.insert(0, 3, 2, &spec(2), answer(2));
-        assert!(cache.lookup(0, 3, 2, &spec(0)).is_some(), "refreshed");
-        assert_eq!(cache.lookup(0, 3, 2, &spec(1)), None, "LRU victim");
+        assert!(cache.lookup(0, 0, 3, 2, &spec(0)).is_some());
+        cache.insert(0, 0, 3, 2, &spec(2), answer(2));
+        assert!(cache.lookup(0, 0, 3, 2, &spec(0)).is_some(), "refreshed");
+        assert_eq!(cache.lookup(0, 0, 3, 2, &spec(1)), None, "LRU victim");
         assert_eq!(cache.eviction_stats(), (1, 0));
     }
 
     #[test]
     fn evict_fingerprint_reaps_only_the_dead_generation() {
         let cache = OutcomeCache::new(8);
-        cache.insert(1, 3, 2, &spec(0), answer(0));
-        cache.insert(1, 3, 2, &spec(1), answer(1));
-        cache.insert(2, 3, 2, &spec(0), answer(2));
-        assert_eq!(cache.evict_fingerprint(1), 2);
+        cache.insert(0, 1, 3, 2, &spec(0), answer(0));
+        cache.insert(0, 1, 3, 2, &spec(1), answer(1));
+        cache.insert(0, 2, 3, 2, &spec(0), answer(2));
+        assert_eq!(cache.evict_fingerprint(0, 1), 2);
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.lookup(2, 3, 2, &spec(0)), Some(answer(2)));
+        assert_eq!(cache.lookup(0, 2, 3, 2, &spec(0)), Some(answer(2)));
         assert_eq!(cache.eviction_stats(), (0, 2));
-        assert_eq!(cache.evict_fingerprint(1), 0, "already reaped");
+        assert_eq!(cache.evict_fingerprint(0, 1), 0, "already reaped");
+    }
+
+    #[test]
+    fn identical_repositories_never_hit_across_tenants() {
+        // Two tenants loading byte-identical repositories collide on
+        // the fingerprint *by construction*; the tenant id in the key
+        // must still keep their answers apart.
+        let cache = OutcomeCache::new(8);
+        cache.insert(0, 1, 3, 2, &spec(7), answer(1));
+        assert_eq!(
+            cache.lookup(1, 1, 3, 2, &spec(7)),
+            None,
+            "tenant 1 must not see tenant 0's answer"
+        );
+        assert_eq!(cache.lookup(0, 1, 3, 2, &spec(7)), Some(answer(1)));
+        // Each tenant's entry occupies its own slot under its own key.
+        cache.insert(1, 1, 3, 2, &spec(7), answer(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(1, 1, 3, 2, &spec(7)), Some(answer(2)));
+        assert_eq!(cache.lookup(0, 1, 3, 2, &spec(7)), Some(answer(1)));
+    }
+
+    #[test]
+    fn evict_fingerprint_is_tenant_scoped() {
+        let cache = OutcomeCache::new(8);
+        cache.insert(0, 9, 3, 2, &spec(0), answer(0));
+        cache.insert(1, 9, 3, 2, &spec(0), answer(1));
+        // Tenant 0 swapped its repository; tenant 1's identical
+        // repository did not change and must keep its entry.
+        assert_eq!(cache.evict_fingerprint(0, 9), 1);
+        assert_eq!(cache.lookup(1, 9, 3, 2, &spec(0)), Some(answer(1)));
+        assert_eq!(cache.lookup(0, 9, 3, 2, &spec(0)), None);
     }
 
     #[test]
@@ -487,10 +535,10 @@ mod tests {
     #[test]
     fn zero_capacity_disables() {
         let cache = OutcomeCache::new(0);
-        cache.insert(0, 3, 2, &spec(1), answer(1));
-        assert_eq!(cache.lookup(0, 3, 2, &spec(1)), None);
+        cache.insert(0, 0, 3, 2, &spec(1), answer(1));
+        assert_eq!(cache.lookup(0, 0, 3, 2, &spec(1)), None);
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), (0, 0), "disabled caches do not count");
-        assert_eq!(cache.evict_fingerprint(0), 0);
+        assert_eq!(cache.evict_fingerprint(0, 0), 0);
     }
 }

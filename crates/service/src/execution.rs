@@ -21,7 +21,7 @@
 use crate::admission::{Inflight, Intake, PendingArrival};
 use crate::metrics::ServiceMetrics;
 use crate::service::Service;
-use crate::store::RepositoryGeneration;
+use crate::tenants::RepositoryGeneration;
 use sc_stream::{Claim, ShardedPass};
 use std::sync::Mutex;
 use std::time::Duration;

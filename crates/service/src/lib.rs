@@ -27,8 +27,9 @@
 //! | 1 admission | `admission` | intake from the submission channel (queries, `!reload`), outcome-cache probe, coalesce-or-build disposition, the deferred-work backlog |
 //! | 2 alignment | `alignment` | pass-indexed join planning: which queued query splices into which in-flight scan (pass-2 joins pass-2), the splice itself (ledger join + zero-copy replay), the admission window, and the PR 4 `Boundary` baseline |
 //! | 3 execution | `execution` | the sharded work-stealing fan-out ([`sc_stream::ShardedPass`] + [`sc_stream::FeedCursor`]) with the epoch thread concurrently draining arrivals (non-blocking accept) |
-//! | 4 retirement | `retirement` | outcome construction (generation-tagged), cache fill + eviction accounting, reply fan-out to the query and its coalesced followers |
-//! |  lifecycle | `store` | [`RepositoryGeneration`] / `RepositoryStore`: fingerprint-versioned repository generations behind the hot swap |
+//! | 4 retirement | `retirement` | outcome construction (tenant- and generation-tagged), cache fill + eviction accounting, reply fan-out to the query and its coalesced followers |
+//! |  lifecycle | `tenants` | [`TenantRegistry`] / [`Tenant`] / [`RepositoryGeneration`]: named repositories, each a fingerprint-versioned generation chain behind its own hot swap, with per-tenant quotas and counters |
+//! |  fairness | `fairness` | the deficit-round-robin gate tenant lanes must hold to run a scan epoch — a hot tenant cannot starve a cold one |
 //!
 //! `service` orchestrates the stages (epoch loop, batch/serve entry
 //! points, the generation outer loop); `cache`, `metrics`, `query`,
@@ -51,13 +52,24 @@
 //!   instead of blocking the epoch thread up front; the blocking PR 4
 //!   path survives as [`AdmissionMode::Boundary`], the baseline
 //!   experiment E20 (`BENCH_admission.json`) measures against.
-//! * **Repository lifecycle** — the served repository is a
+//! * **Multi-tenant serving** — one process hosts many *named*
+//!   repositories ([`TenantRegistry`], built through
+//!   [`ServiceBuilder`]): each tenant runs its own scheduler lane
+//!   (own generation chain, own submission queue, own quota) while
+//!   sharing the worker pool and the outcome cache (partitioned by
+//!   tenant in the key). The protocol addresses tenants with
+//!   `!use <name>` per connection or `repo=<name>` per query, and a
+//!   deficit-round-robin gate over scan epochs (`fairness`) keeps a
+//!   hot tenant from starving a cold one — cold-tenant admission never
+//!   waits on hot-tenant scans at all, only execution is arbitrated.
+//! * **Repository lifecycle** — every served repository is a
 //!   fingerprint-versioned generation ([`RepositoryGeneration`]):
 //!   [`ServiceHandle::reload`] (the `!reload <path>` protocol line)
 //!   hot-swaps it mid-load, in-flight queries drain on their original
 //!   generation, every outcome reports the generation it was answered
 //!   from (`gen=`), and the dead generation's outcome-cache entries
-//!   are reaped ([`OutcomeCache::evict_fingerprint`]).
+//!   are reaped ([`OutcomeCache::evict_fingerprint`]) — per tenant,
+//!   leaving every other tenant's in-flight work untouched.
 //! * **In-flight query coalescing** — with
 //!   [`ServiceConfig::coalesce`], a query identical to a job already
 //!   in flight attaches to it as a follower instead of running: the
@@ -112,19 +124,23 @@ mod admission;
 mod alignment;
 mod cache;
 mod execution;
+mod fairness;
 mod job;
 mod metrics;
 pub mod net;
 mod query;
 mod retirement;
 mod service;
-mod store;
 mod telemetry;
+mod tenants;
 
 pub use cache::{CachedAnswer, EvictionPolicy, OutcomeCache};
 pub use metrics::{LatencyHistogram, ServiceMetrics};
 pub use query::{QueryOutcome, QuerySpec};
 pub use service::{
-    AdmissionMode, QueryTicket, ReloadTicket, Service, ServiceClosed, ServiceConfig, ServiceHandle,
+    AdmissionMode, QueryTicket, ReloadTicket, Service, ServiceBuilder, ServiceClosed,
+    ServiceConfig, ServiceHandle,
 };
-pub use store::RepositoryGeneration;
+pub use tenants::{
+    RepositoryGeneration, RepositoryStore, Tenant, TenantCounters, TenantMeta, TenantRegistry,
+};

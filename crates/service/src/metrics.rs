@@ -241,6 +241,33 @@ pub struct ServiceMetrics {
     pub elapsed: Duration,
 }
 
+impl ServiceMetrics {
+    /// Folds another run's (or another tenant lane's) metrics into this
+    /// one: counts add, histograms merge, and the concurrency peak and
+    /// wall-clock take the maximum — the lanes of a multi-tenant serve
+    /// run side by side, so their elapsed times overlap rather than
+    /// accumulate.
+    pub fn merge(&mut self, other: &ServiceMetrics) {
+        self.physical_scans += other.physical_scans;
+        self.queries_completed += other.queries_completed;
+        self.max_inflight_seen = self.max_inflight_seen.max(other.max_inflight_seen);
+        self.jobs += other.jobs;
+        self.mid_stream_admissions += other.mid_stream_admissions;
+        self.aligned_joins += other.aligned_joins;
+        self.reloads += other.reloads;
+        self.evictions += other.evictions;
+        self.fifo_evictions += other.fifo_evictions;
+        self.lru_evictions += other.lru_evictions;
+        self.reload_evictions += other.reload_evictions;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.coalesced += other.coalesced;
+        self.queue_wait.merge(&other.queue_wait);
+        self.latency.merge(&other.latency);
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +354,36 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 3);
         assert_eq!(a.mean(), Duration::from_micros(5));
+    }
+
+    #[test]
+    fn service_metrics_merge_adds_counts_and_overlaps_time() {
+        let mut a = ServiceMetrics {
+            physical_scans: 3,
+            queries_completed: 2,
+            max_inflight_seen: 4,
+            jobs: 2,
+            elapsed: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let mut b = ServiceMetrics {
+            physical_scans: 5,
+            queries_completed: 1,
+            max_inflight_seen: 1,
+            jobs: 1,
+            cache_hits: 7,
+            elapsed: Duration::from_millis(30),
+            ..Default::default()
+        };
+        b.latency.record(Duration::from_micros(9));
+        a.merge(&b);
+        assert_eq!(a.physical_scans, 8);
+        assert_eq!(a.queries_completed, 3);
+        assert_eq!(a.jobs, 3);
+        assert_eq!(a.cache_hits, 7);
+        assert_eq!(a.max_inflight_seen, 4, "peaks take the max");
+        assert_eq!(a.elapsed, Duration::from_millis(30), "lanes overlap");
+        assert_eq!(a.latency.count(), 1);
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub fn wait_ready(addr: &str, timeout: Duration) -> Result<(), String> {
 /// round-trip, not the scheduler's idle latency. The telemetry verbs
 /// (`!stats`, `!metrics`, `!trace ID`) snapshot the live registry as
 /// they arrive, so they can be interleaved with queries mid-load.
+///
+/// Tenant addressing: the connection starts on the handle's tenant
+/// (the server default); `!use <name>` retargets the rest of the
+/// connection, a `repo=<name>` token on a query line retargets that
+/// query only, `!repos` lists every served tenant with its generation,
+/// fingerprint, quota, and live counters, and `!reload <name> <path>`
+/// hot-swaps a named tenant (the bare `!reload <path>` form swaps the
+/// connection's current tenant, unchanged from single-tenant servers).
 /// Returns `Ok(true)` if the peer asked for server shutdown.
 ///
 /// # Errors
@@ -88,6 +96,10 @@ where
     let (tx, rx) = std::sync::mpsc::channel::<Pumped>();
     std::thread::scope(|s| {
         let reader = s.spawn(move || -> std::io::Result<bool> {
+            // The connection's current tenant: starts on the server
+            // default, retargeted by `!use` (a `repo=` query token
+            // overrides per query without moving this).
+            let mut conn_handle = handle.clone();
             for line in input.lines() {
                 let line = line?;
                 let line = line.trim();
@@ -143,19 +155,75 @@ where
                     let _ = tx.send(msg);
                     continue;
                 }
-                // Admin line: `!reload <path>` hot-swaps the served
-                // repository. Queries already pipelined ahead of it
-                // drain on their original generation; the reply (the
-                // new generation id) comes back in request order like
-                // every other response. The keyword must stand alone
-                // (`!reloadx …` is an unknown query, not a swap).
+                // Admin line: `!use <name>` retargets the rest of this
+                // connection at a named tenant.
+                if line == "!use" || line.starts_with("!use ") {
+                    let name = line["!use".len()..].trim();
+                    let msg = if name.is_empty() {
+                        Pumped::Error("!use needs a repository name".into())
+                    } else {
+                        match conn_handle.with_tenant(name) {
+                            Some(h) => {
+                                conn_handle = h;
+                                Pumped::Lines(vec![format!("ok use repo={name}")])
+                            }
+                            None => Pumped::Error(format!("unknown repository {name:?}")),
+                        }
+                    };
+                    let _ = tx.send(msg);
+                    continue;
+                }
+                // Admin line: `!repos` lists the served tenants —
+                // name, current generation, fingerprint, quota, and
+                // the live traffic counters (always on, so this
+                // answers even with telemetry disabled).
+                if line == "!repos" {
+                    let registry = conn_handle.tenants();
+                    let mut lines = Vec::with_capacity(registry.len() + 1);
+                    lines.push(format!("ok repos n={}", registry.len()));
+                    for tenant in registry.iter() {
+                        let generation = tenant.generation();
+                        let (completed, jobs, cache_hits, coalesced) =
+                            tenant.meta().counters().snapshot();
+                        lines.push(format!(
+                            "repo name={} gen={} fingerprint={:016x} quota={} completed={} jobs={} cache_hits={} coalesced={}",
+                            tenant.name(),
+                            generation.id,
+                            generation.fingerprint,
+                            tenant.quota(),
+                            completed,
+                            jobs,
+                            cache_hits,
+                            coalesced,
+                        ));
+                    }
+                    let _ = tx.send(Pumped::Lines(lines));
+                    continue;
+                }
+                // Admin line: `!reload <path>` hot-swaps the
+                // connection's current tenant; `!reload <name> <path>`
+                // hot-swaps the named one. Queries already pipelined
+                // ahead of it drain on their original generation; the
+                // reply (the new generation id) comes back in request
+                // order like every other response. The keyword must
+                // stand alone (`!reloadx …` is an unknown query, not a
+                // swap). The two-token form only engages when the
+                // first token names a served tenant, so paths with
+                // spaces keep working unaddressed.
                 if line == "!reload" || line.starts_with("!reload ") {
-                    let path = line["!reload".len()..].trim();
-                    let msg = if path.is_empty() {
+                    let arg = line["!reload".len()..].trim();
+                    let msg = if arg.is_empty() {
                         Pumped::Error("!reload needs an instance path".into())
                     } else {
+                        let (target, path) = match arg.split_once(char::is_whitespace) {
+                            Some((name, rest)) => match conn_handle.with_tenant(name) {
+                                Some(h) if !rest.trim().is_empty() => (h, rest.trim()),
+                                _ => (conn_handle.clone(), arg),
+                            },
+                            None => (conn_handle.clone(), arg),
+                        };
                         match sc_setsystem::io::load_path(path) {
-                            Ok(inst) => match handle.reload(inst.system) {
+                            Ok(inst) => match target.reload(inst.system) {
                                 Ok(ticket) => Pumped::Reload(ticket),
                                 Err(e) => Pumped::Error(e.to_string()),
                             },
@@ -165,11 +233,22 @@ where
                     let _ = tx.send(msg);
                     continue;
                 }
-                let msg = match QuerySpec::parse(line) {
-                    Ok(spec) => match handle.submit(spec) {
-                        Ok(ticket) => Pumped::Ticket(ticket),
-                        Err(e) => Pumped::Error(e.to_string()),
-                    },
+                let msg = match QuerySpec::parse_addressed(line) {
+                    Ok((repo, spec)) => {
+                        let route = match repo.as_deref() {
+                            Some(name) => conn_handle
+                                .with_tenant(name)
+                                .ok_or_else(|| format!("unknown repository {name:?}")),
+                            None => Ok(conn_handle.clone()),
+                        };
+                        match route {
+                            Ok(h) => match h.submit(spec) {
+                                Ok(ticket) => Pumped::Ticket(ticket),
+                                Err(e) => Pumped::Error(e.to_string()),
+                            },
+                            Err(msg) => Pumped::Error(msg),
+                        }
+                    }
                     Err(msg) => Pumped::Error(msg),
                 };
                 let _ = tx.send(msg);
@@ -449,6 +528,83 @@ mod tests {
             server.join().expect("server thread");
         });
         sc_telemetry::set_enabled(false);
+    }
+
+    #[test]
+    fn tenant_addressing_verbs_route_queries_over_tcp() {
+        use crate::service::ServiceBuilder;
+        let alpha = gen::planted(64, 128, 4, 1);
+        let beta = gen::planted(64, 128, 4, 2);
+        let service = ServiceBuilder::new()
+            .tenant("alpha", alpha.system)
+            .tenant("beta", beta.system)
+            .build();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_tcp(&service, listener).expect("serve"));
+            wait_ready(&addr, Duration::from_secs(10)).expect("ready");
+            let conn = TcpStream::connect(&addr).expect("connect");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut writer = &conn;
+            let mut next = {
+                let reader = &mut reader;
+                move || {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    line.trim().to_string()
+                }
+            };
+            writeln!(writer, "greedy").unwrap(); // connection default = alpha
+            writeln!(writer, "greedy repo=beta").unwrap(); // per-query override
+            writeln!(writer, "!use beta").unwrap(); // connection retarget
+            writeln!(writer, "greedy").unwrap();
+            writeln!(writer, "greedy repo=alpha").unwrap();
+            writer.flush().unwrap();
+
+            for (expect, why) in [
+                ("repo=alpha", "first tenant is the connection default"),
+                ("repo=beta", "repo= overrides per query"),
+            ] {
+                let line = next();
+                assert!(line.starts_with("ok "), "{why}: {line:?}");
+                assert!(line.ends_with(expect), "{why}: {line:?}");
+            }
+            assert_eq!(next(), "ok use repo=beta");
+            for (expect, why) in [
+                ("repo=beta", "!use retargeted the connection"),
+                ("repo=alpha", "repo= overrides the !use default too"),
+            ] {
+                let line = next();
+                assert!(line.starts_with("ok "), "{why}: {line:?}");
+                assert!(line.ends_with(expect), "{why}: {line:?}");
+            }
+            // All four query replies are in hand — their retirements
+            // have landed — so the `!repos` counter snapshot below is
+            // deterministic.
+            writeln!(writer, "!repos").unwrap();
+            writeln!(writer, "!use nowhere").unwrap();
+            writeln!(writer, "shutdown").unwrap();
+            writer.flush().unwrap();
+            assert_eq!(next(), "ok repos n=2");
+            let listing: Vec<String> = (0..2).map(|_| next()).collect();
+            assert!(
+                listing[0].starts_with("repo name=alpha gen=1 "),
+                "{listing:?}"
+            );
+            assert!(
+                listing[1].starts_with("repo name=beta gen=1 "),
+                "{listing:?}"
+            );
+            // Two queries landed on each tenant; the counters saw them.
+            for l in &listing {
+                assert!(l.contains("completed=2"), "{l:?}");
+                assert!(l.contains("quota=64"), "{l:?}");
+            }
+            assert_eq!(next(), "err msg=unknown repository \"nowhere\"");
+            let metrics = server.join().expect("server thread");
+            assert_eq!(metrics.queries_completed, 4);
+        });
     }
 
     #[test]

@@ -11,15 +11,21 @@
 //! greedy                             store-all greedy baseline
 //! ```
 //!
-//! Besides query lines the server accepts the admin lines `ping`,
-//! `quit`, `shutdown`, and `!reload <path>` (hot-swap the served
-//! repository; answered `ok reload gen=N …` once in-flight queries
-//! drained on their original generation) — those are intercepted by
-//! the pump ([`net::pump_queries`](crate::net::pump_queries)) before
+//! Any query line may carry a `repo=<name>` token addressing one of
+//! the server's named tenants for that query only
+//! ([`QuerySpec::parse_addressed`] strips it); the connection-scoped
+//! form is the admin line `!use <name>`. Besides query lines the
+//! server accepts the admin lines `ping`, `quit`, `shutdown`,
+//! `!repos` (list the served tenants), and `!reload [name] <path>`
+//! (hot-swap a served repository; answered `ok reload gen=N …` once
+//! its in-flight queries drained on their original generation) —
+//! those are intercepted by the pump
+//! ([`net::pump_queries`](crate::net::pump_queries)) before
 //! [`QuerySpec::parse`] sees them.
 
 use sc_setsystem::SetId;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One cover query a client can submit to the service.
@@ -120,6 +126,35 @@ impl QuerySpec {
             _ => unreachable!("kind validated above"),
         }
     }
+
+    /// Parses one protocol request line that may carry a
+    /// `repo=<name>` token addressing a named tenant for this query
+    /// only. The token is position-independent and stripped before
+    /// the spec grammar applies (so `iter repo=wiki delta=0.25` and
+    /// `repo=wiki iter delta=0.25` both work); at most one is
+    /// allowed. Returns the tenant name (if any) beside the spec.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for an empty or repeated `repo=`, or
+    /// anything [`QuerySpec::parse`] rejects in the rest of the line.
+    pub fn parse_addressed(line: &str) -> Result<(Option<String>, QuerySpec), String> {
+        let mut repo: Option<String> = None;
+        let mut rest: Vec<&str> = Vec::new();
+        for tok in line.split_whitespace() {
+            match tok.strip_prefix("repo=") {
+                Some("") => return Err("empty repo= name".to_string()),
+                Some(name) => {
+                    if repo.is_some() {
+                        return Err("repo= given twice".to_string());
+                    }
+                    repo = Some(name.to_string());
+                }
+                None => rest.push(tok),
+            }
+        }
+        Ok((repo, QuerySpec::parse(&rest.join(" "))?))
+    }
 }
 
 impl fmt::Display for QuerySpec {
@@ -179,6 +214,10 @@ pub struct QueryOutcome {
     /// `!reload` drains on its original generation and reports it here;
     /// `gen=` in the protocol line.
     pub generation: u64,
+    /// The named tenant (repository) this query was answered by —
+    /// `"default"` on a single-tenant service; `repo=` in the
+    /// protocol line.
+    pub tenant: Arc<str>,
 }
 
 impl QueryOutcome {
@@ -198,7 +237,7 @@ impl QueryOutcome {
     /// (best-effort) measurements so a load generator can tabulate it.
     pub fn protocol_line(&self) -> String {
         format!(
-            "{} id={} kind={} sol={} covered={}/{} passes={} space={} epochs={} wait_us={} us={} cached={} coal={} gen={}",
+            "{} id={} kind={} sol={} covered={}/{} passes={} space={} epochs={} wait_us={} us={} cached={} coal={} gen={} repo={}",
             if self.goal_met() { "ok" } else { "fail" },
             self.id,
             self.spec.kind(),
@@ -213,6 +252,7 @@ impl QueryOutcome {
             u8::from(self.cached),
             u8::from(self.coalesced),
             self.generation,
+            self.tenant,
         )
     }
 }
@@ -279,5 +319,39 @@ mod tests {
         ] {
             assert!(QuerySpec::parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn repo_token_is_stripped_anywhere_in_the_line() {
+        for line in [
+            "repo=wiki iter delta=0.25 seed=3",
+            "iter repo=wiki delta=0.25 seed=3",
+            "iter delta=0.25 seed=3 repo=wiki",
+        ] {
+            let (repo, spec) = QuerySpec::parse_addressed(line).unwrap();
+            assert_eq!(repo.as_deref(), Some("wiki"));
+            assert_eq!(
+                spec,
+                QuerySpec::IterCover {
+                    delta: 0.25,
+                    seed: 3
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn unaddressed_lines_parse_with_no_tenant() {
+        let (repo, spec) = QuerySpec::parse_addressed("greedy").unwrap();
+        assert_eq!(repo, None);
+        assert_eq!(spec, QuerySpec::GreedyBaseline);
+    }
+
+    #[test]
+    fn bad_repo_tokens_are_rejected() {
+        assert!(QuerySpec::parse_addressed("iter repo=").is_err());
+        assert!(QuerySpec::parse_addressed("iter repo=a repo=b").is_err());
+        // The stripped rest still goes through the strict grammar.
+        assert!(QuerySpec::parse_addressed("repo=wiki frobnicate").is_err());
     }
 }

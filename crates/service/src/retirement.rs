@@ -14,8 +14,8 @@ use crate::cache::{CachedAnswer, EvictionPolicy};
 use crate::metrics::ServiceMetrics;
 use crate::query::QueryOutcome;
 use crate::service::Service;
-use crate::store::RepositoryGeneration;
 use crate::telemetry::tel;
+use crate::tenants::RepositoryGeneration;
 use sc_bitset::BitSet;
 use sc_telemetry::EventKind;
 
@@ -61,9 +61,11 @@ impl Service {
                 cached: false,
                 coalesced: false,
                 generation: gen.id,
+                tenant: gen.tenant.name_handle(),
             };
             if self.cache_enabled() {
                 let evicted = self.cache().insert(
+                    gen.tenant.id(),
                     gen.fingerprint,
                     gen.system.universe(),
                     gen.system.num_sets(),
@@ -86,6 +88,8 @@ impl Service {
             metrics.queries_completed += 1;
             metrics.queue_wait.record(outcome.queue_wait);
             metrics.latency.record(outcome.latency);
+            gen.tenant.counters().bump_job();
+            gen.tenant.counters().bump_completed();
             tel().completed.incr();
             sc_telemetry::event(
                 EventKind::Retired,
@@ -112,6 +116,8 @@ impl Service {
                 metrics.queries_completed += 1;
                 metrics.queue_wait.record(fanned.queue_wait);
                 metrics.latency.record(fanned.latency);
+                gen.tenant.counters().bump_coalesced();
+                gen.tenant.counters().bump_completed();
                 tel().completed.incr();
                 sc_telemetry::event(
                     EventKind::Retired,

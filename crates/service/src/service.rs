@@ -2,18 +2,22 @@
 //! [`admission`](crate::admission) → [`alignment`](crate::alignment) →
 //! [`execution`](crate::execution) → [`retirement`](crate::retirement),
 //! orchestrated here around a narrow
-//! [`EpochState`](crate::alignment::EpochState) handoff, over
-//! hot-swappable repository generations
-//! ([`RepositoryStore`](crate::store::RepositoryStore)).
+//! [`EpochState`](crate::alignment::EpochState) handoff — one scheduler
+//! *lane* per tenant, each over its own hot-swappable repository
+//! generations ([`TenantRegistry`](crate::tenants::TenantRegistry)),
+//! with the deficit-round-robin
+//! [`FairGate`](crate::fairness::FairGate) arbitrating scan epochs
+//! across lanes.
 
 use crate::admission::{Admitted, Inflight, Intake, QuerySubmission, ReloadRequest, Submission};
 use crate::alignment::{self, EpochState};
 use crate::cache::{EvictionPolicy, OutcomeCache};
 use crate::execution;
+use crate::fairness::FairGate;
 use crate::metrics::ServiceMetrics;
 use crate::query::{QueryOutcome, QuerySpec};
-use crate::store::{RepositoryGeneration, RepositoryStore};
 use crate::telemetry::tel;
+use crate::tenants::{RepositoryGeneration, Tenant, TenantMeta, TenantRegistry};
 use sc_setsystem::SetSystem;
 use sc_stream::{ScanLedger, SetStream};
 use sc_telemetry::EventKind;
@@ -194,16 +198,28 @@ impl ReloadTicket {
 }
 
 /// Clonable submission endpoint handed to client code by
-/// [`Service::serve`]. Dropping every clone closes the queue; the
-/// scheduler then drains what is inflight and exits.
+/// [`Service::serve`]. Dropping every clone closes every tenant's
+/// queue; the lanes then drain what is inflight and exit.
+///
+/// A handle targets one tenant — the *default* (registry slot 0) as
+/// handed out by [`Service::serve`] — and
+/// [`with_tenant`](ServiceHandle::with_tenant) derives a handle
+/// targeting another (the library form of the protocol's
+/// `!use <name>`; a per-query `repo=<name>` is just a one-shot
+/// `with_tenant`). Each tenant has its own bounded submission queue,
+/// so a hot tenant's full queue blocks only submitters *to that
+/// tenant* — backpressure never crosses tenants.
 #[derive(Debug, Clone)]
 pub struct ServiceHandle {
-    tx: SyncSender<Submission>,
+    routes: Arc<[SyncSender<Submission>]>,
+    route: usize,
     counter: Arc<AtomicU64>,
+    registry: Arc<TenantRegistry>,
 }
 
 impl ServiceHandle {
-    /// Enqueues a query; blocks when the submission queue is full.
+    /// Enqueues a query for this handle's tenant; blocks when that
+    /// tenant's submission queue is full.
     ///
     /// # Errors
     ///
@@ -215,7 +231,7 @@ impl ServiceHandle {
         // The serving generation is the scheduler's business; the
         // submit site tags generation 0 (= not yet assigned).
         sc_telemetry::event(EventKind::Submitted, id, 0, 0, 0);
-        self.tx
+        self.routes[self.route]
             .send(Submission::Query(QuerySubmission {
                 id,
                 spec,
@@ -226,20 +242,43 @@ impl ServiceHandle {
         Ok(QueryTicket { id, rx })
     }
 
-    /// Requests a repository hot swap: queries submitted before this
-    /// call drain on the current generation, queries submitted after
-    /// it run against `system` (once the drain completes). The
-    /// returned ticket resolves to the new generation id.
+    /// Requests a repository hot swap of this handle's tenant: queries
+    /// submitted to it before this call drain on its current
+    /// generation, queries submitted after run against `system` (once
+    /// the drain completes). Other tenants' lanes — and their in-flight
+    /// queries — are untouched. The returned ticket resolves to the
+    /// tenant's new generation id.
     ///
     /// # Errors
     ///
     /// [`ServiceClosed`] if the scheduler already exited.
     pub fn reload(&self, system: SetSystem) -> Result<ReloadTicket, ServiceClosed> {
         let (reply, rx) = mpsc::sync_channel(1);
-        self.tx
+        self.routes[self.route]
             .send(Submission::Reload(ReloadRequest { system, reply }))
             .map_err(|_| ServiceClosed)?;
         Ok(ReloadTicket { rx })
+    }
+
+    /// A handle targeting the named tenant (`None` if no tenant of
+    /// that name is served) — the library form of `!use <name>`.
+    pub fn with_tenant(&self, name: &str) -> Option<ServiceHandle> {
+        let route = self.registry.index_of(name)?;
+        Some(ServiceHandle {
+            route,
+            ..self.clone()
+        })
+    }
+
+    /// The name of the tenant this handle targets.
+    pub fn tenant_name(&self) -> &str {
+        self.registry.tenant(self.route).name()
+    }
+
+    /// The registry of tenants behind this service — what `!repos`
+    /// formats.
+    pub fn tenants(&self) -> &Arc<TenantRegistry> {
+        &self.registry
     }
 }
 
@@ -264,11 +303,11 @@ impl ServiceHandle {
 /// # Examples
 ///
 /// ```
-/// use sc_service::{QuerySpec, Service, ServiceConfig};
+/// use sc_service::{QuerySpec, ServiceBuilder};
 /// use sc_setsystem::gen;
 ///
 /// let inst = gen::planted(256, 512, 8, 7);
-/// let service = Service::new(inst.system, ServiceConfig::default());
+/// let service = ServiceBuilder::new().tenant("corpus", inst.system).build();
 /// let specs = vec![QuerySpec::IterCover { delta: 0.5, seed: 1 }; 8];
 /// let (outcomes, metrics) = service.run_batch(&specs);
 /// assert!(outcomes.iter().all(|o| o.goal_met()));
@@ -277,48 +316,260 @@ impl ServiceHandle {
 /// ```
 #[derive(Debug)]
 pub struct Service {
-    store: RepositoryStore,
+    registry: Arc<TenantRegistry>,
     cfg: ServiceConfig,
     cache: Arc<OutcomeCache>,
+    quantum: u64,
+}
+
+/// Builds a [`Service`]: the tenants it hosts (each a named
+/// repository with an optional inflight quota) plus the shared tuning
+/// knobs, replacing hand-assembled [`ServiceConfig`] field soup at the
+/// call sites that grow tenants.
+///
+/// The first tenant added is the *default* — the one
+/// [`Service::serve`]'s handle targets until
+/// [`ServiceHandle::with_tenant`] (or the protocol's `!use` /
+/// `repo=`) redirects it, and the one the batch/compat surfaces
+/// ([`Service::run_batch`], [`Service::generation`]) address.
+///
+/// # Examples
+///
+/// ```
+/// use sc_service::{EvictionPolicy, QuerySpec, ServiceBuilder};
+/// use sc_setsystem::gen;
+///
+/// let service = ServiceBuilder::new()
+///     .tenant("wiki", gen::planted(128, 256, 8, 3).system)
+///     .tenant_with_quota("logs", gen::planted(128, 256, 8, 4).system, 8)
+///     .eviction(EvictionPolicy::Lru)
+///     .coalesce(true)
+///     .build();
+/// let ((), _metrics) = service.serve(|handle| {
+///     let logs = handle.with_tenant("logs").expect("tenant exists");
+///     let t = logs.submit(QuerySpec::IterCover { delta: 0.5, seed: 1 }).unwrap();
+///     assert!(t.wait().unwrap().goal_met());
+/// });
+/// ```
+#[derive(Debug)]
+pub struct ServiceBuilder {
+    cfg: ServiceConfig,
+    quantum: Option<u64>,
+    cache: Option<Arc<OutcomeCache>>,
+    tenants: Vec<(String, SetSystem, Option<usize>)>,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceBuilder {
+    /// A builder with the [`ServiceConfig`] defaults and no tenants
+    /// yet; add at least one with [`tenant`](Self::tenant) before
+    /// [`build`](Self::build).
+    pub fn new() -> Self {
+        Self {
+            cfg: ServiceConfig::default(),
+            quantum: None,
+            cache: None,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Adds a named tenant serving `system` (as its generation 1) with
+    /// the default inflight quota (`max_inflight`). The first tenant
+    /// added is the service's default.
+    #[must_use]
+    pub fn tenant(self, name: impl Into<String>, system: SetSystem) -> Self {
+        self.push_tenant(name.into(), system, None)
+    }
+
+    /// Adds a named tenant with its own inflight quota: the cap on
+    /// queries it may hold inside scan epochs at once, independent of
+    /// the service-wide `max_inflight` default — the sizing half of
+    /// cross-tenant fairness (the [`FairGate`] is the scheduling
+    /// half).
+    #[must_use]
+    pub fn tenant_with_quota(
+        self,
+        name: impl Into<String>,
+        system: SetSystem,
+        quota: usize,
+    ) -> Self {
+        self.push_tenant(name.into(), system, Some(quota))
+    }
+
+    fn push_tenant(mut self, name: String, system: SetSystem, quota: Option<usize>) -> Self {
+        self.tenants.push((name, system, quota));
+        self
+    }
+
+    /// Sets [`ServiceConfig::max_inflight`] (also the default tenant
+    /// quota and the default fairness quantum).
+    #[must_use]
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.cfg.max_inflight = n;
+        self
+    }
+
+    /// Sets [`ServiceConfig::workers`].
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// Sets [`ServiceConfig::queue_depth`] (per tenant — each tenant
+    /// has its own bounded submission queue).
+    #[must_use]
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.cfg.queue_depth = n;
+        self
+    }
+
+    /// Sets [`ServiceConfig::cache_capacity`] (ignored when
+    /// [`shared_cache`](Self::shared_cache) supplies the cache).
+    #[must_use]
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cfg.cache_capacity = n;
+        self
+    }
+
+    /// Sets [`ServiceConfig::eviction`].
+    #[must_use]
+    pub fn eviction(mut self, policy: EvictionPolicy) -> Self {
+        self.cfg.eviction = policy;
+        self
+    }
+
+    /// Sets [`ServiceConfig::admission`].
+    #[must_use]
+    pub fn admission(mut self, mode: AdmissionMode) -> Self {
+        self.cfg.admission = mode;
+        self
+    }
+
+    /// Sets [`ServiceConfig::admission_window`].
+    #[must_use]
+    pub fn admission_window(mut self, window: Duration) -> Self {
+        self.cfg.admission_window = window;
+        self
+    }
+
+    /// Sets [`ServiceConfig::shard_size`].
+    #[must_use]
+    pub fn shard_size(mut self, n: usize) -> Self {
+        self.cfg.shard_size = n;
+        self
+    }
+
+    /// Sets [`ServiceConfig::coalesce`].
+    #[must_use]
+    pub fn coalesce(mut self, on: bool) -> Self {
+        self.cfg.coalesce = on;
+        self
+    }
+
+    /// Sets the fairness quantum: credit each waiting tenant lane
+    /// banks per arbitration round of the epoch gate (defaults to
+    /// `max_inflight`, i.e. one round funds one full epoch). See
+    /// [`crate::fairness`].
+    #[must_use]
+    pub fn quantum(mut self, q: u64) -> Self {
+        self.quantum = Some(q);
+        self
+    }
+
+    /// Supplies a shared outcome cache instead of the private one the
+    /// builder would create — several services can point at the same
+    /// [`OutcomeCache`]; the (tenant, fingerprint) pair in the cache
+    /// key, backed by a per-hit dimension cross-check, keeps answers
+    /// apart (see [`OutcomeCache`] for the caveats).
+    #[must_use]
+    pub fn shared_cache(mut self, cache: Arc<OutcomeCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Builds the service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tenant was added, on a duplicate tenant name, or
+    /// if `max_inflight`, `workers`, `queue_depth`, or any tenant
+    /// quota is zero.
+    pub fn build(self) -> Service {
+        let cfg = self.cfg;
+        assert!(cfg.max_inflight > 0, "max_inflight must be positive");
+        assert!(cfg.workers > 0, "workers must be positive");
+        assert!(cfg.queue_depth > 0, "queue_depth must be positive");
+        assert!(
+            !self.tenants.is_empty(),
+            "a service needs at least one tenant"
+        );
+        let cache = self.cache.unwrap_or_else(|| {
+            Arc::new(OutcomeCache::with_policy(cfg.cache_capacity, cfg.eviction))
+        });
+        let tenants = self
+            .tenants
+            .into_iter()
+            .enumerate()
+            .map(|(slot, (name, system, quota))| {
+                let meta = TenantMeta::new(slot as u64, &name, quota.unwrap_or(cfg.max_inflight));
+                Tenant::new(meta, system)
+            })
+            .collect();
+        Service {
+            registry: TenantRegistry::build(tenants),
+            cfg,
+            cache,
+            quantum: self.quantum.unwrap_or(cfg.max_inflight as u64),
+        }
+    }
 }
 
 impl Service {
-    /// Wraps a repository (as generation 1) with the given
-    /// configuration and a private outcome cache of
-    /// `cfg.cache_capacity` entries under `cfg.eviction`.
+    /// Single-tenant compat constructor: one tenant named `default`
+    /// serving `system`, with a private outcome cache of
+    /// `cfg.cache_capacity` entries under `cfg.eviction`. Prefer
+    /// [`ServiceBuilder`].
     ///
     /// # Panics
     ///
     /// Panics if `max_inflight`, `workers`, or `queue_depth` is zero.
+    #[doc(hidden)]
     pub fn new(system: SetSystem, cfg: ServiceConfig) -> Self {
         let cache = Arc::new(OutcomeCache::with_policy(cfg.cache_capacity, cfg.eviction));
         Self::with_cache(system, cfg, cache)
     }
 
-    /// Wraps a repository with a shared outcome cache — several
-    /// services (even over different repositories) can point at the
-    /// same [`OutcomeCache`]; the repository content fingerprint in
-    /// the cache key, backed by a per-hit dimension cross-check,
-    /// keeps their answers apart (see [`OutcomeCache`] for the 64-bit
-    /// collision caveat).
+    /// Single-tenant compat constructor with a shared outcome cache.
+    /// Prefer [`ServiceBuilder::shared_cache`].
     ///
     /// # Panics
     ///
     /// Panics if `max_inflight`, `workers`, or `queue_depth` is zero.
+    #[doc(hidden)]
     pub fn with_cache(system: SetSystem, cfg: ServiceConfig, cache: Arc<OutcomeCache>) -> Self {
-        assert!(cfg.max_inflight > 0, "max_inflight must be positive");
-        assert!(cfg.workers > 0, "workers must be positive");
-        assert!(cfg.queue_depth > 0, "queue_depth must be positive");
-        Self {
-            store: RepositoryStore::new(system),
-            cfg,
-            cache,
-        }
+        let mut builder = ServiceBuilder::new()
+            .tenant("default", system)
+            .shared_cache(cache);
+        builder.cfg = cfg;
+        builder.build()
     }
 
-    /// The repository generation new queries are admitted under.
+    /// The repository generation new queries of the *default* tenant
+    /// are admitted under (tenant-addressed access goes through
+    /// [`Service::tenants`]).
     pub fn generation(&self) -> Arc<RepositoryGeneration> {
-        self.store.current()
+        self.registry.default_tenant().store().current()
+    }
+
+    /// The registry of named tenants this service hosts.
+    pub fn tenants(&self) -> &Arc<TenantRegistry> {
+        &self.registry
     }
 
     /// The active configuration.
@@ -331,40 +582,48 @@ impl Service {
         &self.cache
     }
 
-    /// The fingerprint of the currently served repository generation —
-    /// the cache-key half that keeps answers from different
-    /// repositories apart.
+    /// The fingerprint of the default tenant's currently served
+    /// repository generation — the cache-key half (with the tenant id)
+    /// that keeps answers from different repositories apart.
     pub fn repository_fingerprint(&self) -> u64 {
-        self.store.current().fingerprint
+        self.generation().fingerprint
     }
 
-    /// Installs `system` as the next repository generation and reaps
-    /// the replaced generation's outcome-cache entries — but only when
-    /// the fingerprint actually changed *and* this service is the
-    /// cache's sole owner: another service sharing the cache
-    /// ([`Service::with_cache`]) may still be serving the "dead"
-    /// fingerprint's repository, and its entries must survive (they
-    /// stay reachable through its own generation; a shared cache
-    /// relies on the capacity bound instead of the eager reap).
-    /// Queries already running keep their generation and drain on it.
-    /// Prefer [`ServiceHandle::reload`] while serving — it sequences
-    /// the swap against the in-flight drain; this method is the direct
-    /// form for between-batch swaps.
+    /// Installs `system` as the *default* tenant's next repository
+    /// generation and reaps the replaced generation's outcome-cache
+    /// entries — but only when the fingerprint actually changed *and*
+    /// this service is the cache's sole owner: another service sharing
+    /// the cache ([`ServiceBuilder::shared_cache`]) may still be
+    /// serving the "dead" fingerprint's repository, and its entries
+    /// must survive (they stay reachable through its own generation; a
+    /// shared cache relies on the capacity bound instead of the eager
+    /// reap). Queries already running keep their generation and drain
+    /// on it. Prefer [`ServiceHandle::reload`] while serving — it
+    /// sequences the swap against the in-flight drain; this method is
+    /// the direct form for between-batch swaps.
     pub fn install_repository(&self, system: SetSystem) -> Arc<RepositoryGeneration> {
-        self.install_counted(system).0
+        self.install_counted(self.registry.default_tenant(), system)
+            .0
     }
 
-    /// The swap plus how many dead-generation cache entries it reaped.
-    fn install_counted(&self, system: SetSystem) -> (Arc<RepositoryGeneration>, usize) {
-        let old = self.store.swap(system);
-        let fresh = self.store.current();
+    /// The swap plus how many dead-generation cache entries it reaped
+    /// (from the swapped tenant's cache partition only — a reload of
+    /// one tenant never touches a neighbour's entries).
+    fn install_counted(
+        &self,
+        tenant: &Tenant,
+        system: SetSystem,
+    ) -> (Arc<RepositoryGeneration>, usize) {
+        let old = tenant.store().swap(system);
+        let fresh = tenant.store().current();
         // Strong count 1 = the cache is privately owned by this
         // service (a conservative test: any outstanding clone of the
         // Arc blocks the reap, whether or not it belongs to a service
         // presenting the old fingerprint).
         let sole_owner = Arc::strong_count(&self.cache) == 1;
         let reaped = if sole_owner && old.fingerprint != fresh.fingerprint && self.cache_enabled() {
-            self.cache.evict_fingerprint(old.fingerprint)
+            self.cache
+                .evict_fingerprint(tenant.meta().id(), old.fingerprint)
         } else {
             0
         };
@@ -379,7 +638,7 @@ impl Service {
     /// Outcomes come back in submission order.
     pub fn run_batch(&self, specs: &[QuerySpec]) -> (Vec<QueryOutcome>, ServiceMetrics) {
         let start = Instant::now();
-        let gen = self.store.current();
+        let gen = self.registry.default_tenant().store().current();
         let root = SetStream::new(&gen.system);
         let ledger = ScanLedger::new();
         let mut outcomes: Vec<Option<QueryOutcome>> = (0..specs.len()).map(|_| None).collect();
@@ -400,7 +659,7 @@ impl Service {
             let admission_t0 = sc_telemetry::enabled().then(Instant::now);
             while next < specs.len() {
                 let slot = next;
-                if state.inflight.len() >= self.cfg.max_inflight {
+                if state.inflight.len() >= gen.tenant.quota() {
                     // Only a fresh job needs an inflight slot: an
                     // identical spec is still disposed of past a full
                     // window — from the cache first (a *shared* cache
@@ -420,7 +679,7 @@ impl Service {
                     if let Some(answer) = self.cache_lookup(&gen, &specs[slot]) {
                         let outcome =
                             self.cached_outcome(&gen, slot as u64, specs[slot], start, answer);
-                        self.deliver_cached(&outcome, &mut metrics);
+                        self.deliver_cached(&gen, &outcome, &mut metrics);
                         outcomes[slot] = Some(outcome);
                     } else {
                         let attached = self.try_coalesce(
@@ -446,7 +705,7 @@ impl Service {
                     // waited for a slot, same as a job's would.
                     let outcome =
                         self.cached_outcome(&gen, slot as u64, specs[slot], start, answer);
-                    self.deliver_cached(&outcome, &mut metrics);
+                    self.deliver_cached(&gen, &outcome, &mut metrics);
                     outcomes[slot] = Some(outcome);
                     continue;
                 }
@@ -524,9 +783,18 @@ impl Service {
 
     /// Serves queries submitted concurrently through a
     /// [`ServiceHandle`]: `clients` runs on the calling thread while
-    /// the scheduler runs beside it; when `clients` returns (and every
-    /// handle clone it made is dropped), the scheduler drains the
-    /// remaining queries and the call returns.
+    /// one scheduler *lane* per tenant runs beside it; when `clients`
+    /// returns (and every handle clone it made is dropped), the lanes
+    /// drain the remaining queries and the call returns with the
+    /// lanes' metrics merged.
+    ///
+    /// Each lane is the full single-tenant epoch pipeline over its
+    /// tenant's generations — so every per-tenant stream of queries
+    /// behaves bit-identically to a solo service — while the lanes
+    /// share the outcome cache (tenant-partitioned) and arbitrate scan
+    /// epochs through the deficit-round-robin [`FairGate`]: a hot
+    /// tenant cannot starve a cold one, and a cold tenant's admission
+    /// (stage 1, including cache hits) never waits on the gate at all.
     ///
     /// Admission happens at epoch boundaries *and* mid-stream (see
     /// [`AdmissionMode`]): a query arriving while a scan is in flight
@@ -534,41 +802,73 @@ impl Service {
     /// current pass tag, the items observed through the zero-copy
     /// replay — instead of queueing for the next epoch. Repeat queries
     /// are answered from the outcome cache immediately, and
-    /// [`ServiceHandle::reload`] hot-swaps the repository between
+    /// [`ServiceHandle::reload`] hot-swaps the handle's tenant between
     /// epoch groups with in-flight queries draining on their original
-    /// generation.
+    /// generation, other tenants untouched.
     pub fn serve<R, F>(&self, clients: F) -> (R, ServiceMetrics)
     where
         F: FnOnce(ServiceHandle) -> R,
     {
-        let (tx, rx) = mpsc::sync_channel(self.cfg.queue_depth);
+        let lanes = self.registry.len();
+        let mut routes = Vec::with_capacity(lanes);
+        let mut inboxes = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            let (tx, rx) = mpsc::sync_channel(self.cfg.queue_depth);
+            routes.push(tx);
+            inboxes.push(rx);
+        }
         let handle = ServiceHandle {
-            tx,
+            routes: routes.into(),
+            route: 0,
             counter: Arc::new(AtomicU64::new(0)),
+            registry: Arc::clone(&self.registry),
         };
+        let gate = FairGate::new(lanes, self.quantum);
+        let gate = &gate;
         std::thread::scope(|s| {
-            let scheduler = s.spawn(|| self.scheduler(rx));
+            let lanes: Vec<_> = inboxes
+                .into_iter()
+                .enumerate()
+                .map(|(lane, rx)| s.spawn(move || self.lane_scheduler(lane, rx, gate)))
+                .collect();
             let r = clients(handle);
-            let metrics = scheduler.join().expect("scheduler panicked");
+            let mut metrics = ServiceMetrics::default();
+            for lane in lanes {
+                metrics.merge(&lane.join().expect("lane scheduler panicked"));
+            }
             (r, metrics)
         })
     }
 
-    /// The serve-mode scheduler: an outer loop over repository
-    /// generations, each running the epoch pipeline until the channel
-    /// closes or a reload ends the generation (in-flight queries drain
-    /// on it first; the swap is acknowledged once it took effect).
-    fn scheduler(&self, rx: Receiver<Submission>) -> ServiceMetrics {
+    /// One tenant's scheduler lane: an outer loop over that tenant's
+    /// repository generations, each running the epoch pipeline until
+    /// the tenant's channel closes or a reload ends the generation
+    /// (in-flight queries drain on it first; the swap is acknowledged
+    /// once it took effect). Scan epochs go through the shared
+    /// [`FairGate`].
+    fn lane_scheduler(
+        &self,
+        lane: usize,
+        rx: Receiver<Submission>,
+        gate: &FairGate,
+    ) -> ServiceMetrics {
+        let tenant = self.registry.tenant(lane);
         let start = Instant::now();
         let mut metrics = ServiceMetrics::default();
         let mut physical = 0usize;
         let mut intake = Intake::new(&rx);
         loop {
-            let gen = self.store.current();
-            self.run_generation(&gen, &mut intake, &mut metrics, &mut physical);
+            let gen = tenant.store().current();
+            self.run_generation(
+                &gen,
+                &mut intake,
+                &mut metrics,
+                &mut physical,
+                Some((gate, lane)),
+            );
             match intake.reload.take() {
                 Some(req) => {
-                    let (fresh, reaped) = self.install_counted(req.system);
+                    let (fresh, reaped) = self.install_counted(tenant, req.system);
                     metrics.reloads += 1;
                     metrics.evictions += reaped;
                     metrics.reload_evictions += reaped;
@@ -588,13 +888,17 @@ impl Service {
     /// Runs the epoch pipeline over one pinned repository generation:
     /// boundary admission, retirement, and scan epochs, until nothing
     /// further can arrive for this generation (channel closed, or a
-    /// reload captured) and everything admitted has drained.
+    /// reload captured) and everything admitted has drained. With
+    /// `gate`, each scan epoch first acquires the fairness gate as the
+    /// given lane (admission and retirement stay ungated — only the
+    /// repository-walking stages are arbitrated across tenants).
     fn run_generation(
         &self,
         gen: &RepositoryGeneration,
         intake: &mut Intake<'_>,
         metrics: &mut ServiceMetrics,
         physical: &mut usize,
+        gate: Option<(&FairGate, usize)>,
     ) {
         let root = SetStream::new(&gen.system);
         let ledger = ScanLedger::new();
@@ -621,7 +925,7 @@ impl Service {
                 if admission_t0.is_none() && sc_telemetry::enabled() {
                     admission_t0 = Some(Instant::now());
                 }
-                if state.inflight.len() >= self.cfg.max_inflight {
+                if state.inflight.len() >= gen.tenant.quota() {
                     match self.dispose_past_full_window(
                         gen,
                         sub,
@@ -681,7 +985,11 @@ impl Service {
                 }
                 continue;
             }
-            // Stages 2 + 3 — one scan epoch.
+            // Stages 2 + 3 — one scan epoch, gated across tenant
+            // lanes (the RAII hold releases even if the epoch
+            // panics). The cost is this epoch's rider count — heavy
+            // epochs spend proportionally more deficit credit.
+            let _hold = gate.map(|(g, l)| g.acquire(l, state.inflight.len() as u64));
             self.epoch(
                 gen,
                 &root,

@@ -191,6 +191,7 @@ fn shared_cache_answer_beats_an_inflight_identical_job() {
         // the shared cache while our job is mid-flight.
         let generation = service.generation();
         cache.insert(
+            generation.tenant.id(),
             generation.fingerprint,
             generation.system.universe(),
             generation.system.num_sets(),

@@ -1,5 +1,5 @@
-//! The concurrent cover-query service: many tenants, one repository,
-//! shared physical scans.
+//! The concurrent cover-query service: many clients, named
+//! repositories, shared physical scans.
 //!
 //! ```text
 //! cargo run --release --example coverage_service
@@ -10,32 +10,41 @@
 //! then prints each outcome next to the service-wide scan accounting.
 //! The point to look for: *physical scans* stays near the pass count
 //! of a single query while the *sum* of per-query logical passes grows
-//! with the number of tenants — the streaming model's parallel-branch
+//! with the number of clients — the streaming model's parallel-branch
 //! accounting (`max`, not `sum`), realised across independent queries.
 //!
-//! Act 2 serves the same repository over TCP — the exact server
+//! Act 2 serves the same process over TCP — the exact server
 //! `sctool serve --listen` runs (`sc_service::net::serve_tcp`) — and
 //! probes readiness with `net::wait_ready` (what `sctool client
 //! --wait-ready` uses) instead of a `/dev/tcp` retry loop, then speaks
 //! the line protocol over a socket: the repeated query is answered
 //! from the outcome cache (`cached=1` in its protocol line, zero
-//! physical scans) before the listener shuts down.
+//! physical scans), a `repo=` token routes one query at the *second*
+//! named repository the builder registered, and `!repos` lists both
+//! tenants before the listener shuts down.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::Duration;
 use streaming_set_cover::prelude::*;
-use streaming_set_cover::service::{net, ServiceConfig};
+use streaming_set_cover::service::net;
 
 fn main() {
     let inst = gen::planted(4096, 2048, 16, 42);
+    let aux = gen::planted(512, 256, 8, 7);
     println!(
         "repository: {} (n={}, m={})\n",
         inst.label,
         inst.system.universe(),
         inst.system.num_sets()
     );
-    let service = Service::new(inst.system, ServiceConfig::default());
+    // One process, two named repositories: "planted" (the default —
+    // everything unaddressed lands there) and a smaller "aux" tenant
+    // the TCP act addresses by name.
+    let service = ServiceBuilder::new()
+        .tenant("planted", inst.system)
+        .tenant("aux", aux.system)
+        .build();
 
     // Three tenants, each with its own workload mix, submitting
     // concurrently through clones of the service handle.
@@ -117,6 +126,17 @@ fn main() {
         for _ in 0..2 {
             writeln!(writer, "iter delta=0.5 seed=1").expect("send");
             writer.flush().expect("flush");
+            line.clear();
+            reader.read_line(&mut line).expect("reply");
+            println!("tcp reply: {}", line.trim_end());
+        }
+        // A `repo=` token addresses the second tenant for one query
+        // (its reply reports `repo=aux`); `!repos` lists both tenants
+        // with generation, fingerprint, quota, and live counters.
+        writeln!(writer, "greedy repo=aux").expect("send");
+        writeln!(writer, "!repos").expect("send");
+        writer.flush().expect("flush");
+        for _ in 0..4 {
             line.clear();
             reader.read_line(&mut line).expect("reply");
             println!("tcp reply: {}", line.trim_end());

@@ -52,13 +52,14 @@ const USAGE: &str = "usage:
   sctool exact <file> [--budget NODES]
   sctool certify <file>
   sctool convert <in> <out>              (format chosen by .scb extension)
-  sctool serve <file> [--listen HOST:PORT] [--inflight N] [--workers N] [--cache N] [--eviction fifo|lru] [--admission aligned|boundary] [--window MS] [--shard SETS] [--coalesce] [--stats-interval SECS] [--no-telemetry]
-  sctool client --connect HOST:PORT [--wait-ready SECS] [--queries N] [--concurrency C] [--spec QUERY] [--duplicates K] [--stats] [--shutdown]
+  sctool serve <file> [--repo NAME=PATH]... [--quota NAME=N]... [--quantum N] [--listen HOST:PORT] [--inflight N] [--workers N] [--cache N] [--eviction fifo|lru] [--admission aligned|boundary] [--window MS] [--shard SETS] [--coalesce] [--stats-interval SECS] [--no-telemetry]
+  sctool client --connect HOST:PORT [--repo NAME] [--wait-ready SECS] [--queries N] [--concurrency C] [--spec QUERY] [--duplicates K] [--stats] [--shutdown]
   sctool geomgen <discs|rects|triangles|clustered|grid|twoline> [--n N] [--m M] [--k K] [--half H] [--seed SEED]
   sctool geomsolve <file> [--delta D] [--no-canonical] [--bg]
 
 files: text format everywhere; SCB1 binary is sniffed by magic; use - for stdin (either format)
-serve protocol: one query per line — 'iter [delta=D] [seed=S]', 'partial [eps=E] [delta=D] [seed=S]', 'greedy'; also ping/quit/shutdown, '!reload PATH' (hot-swap the repository; in-flight queries drain on their generation), and the live telemetry verbs '!stats' (one-line counters + stage percentiles), '!metrics' (Prometheus-style listing), '!trace ID' (one query's journal timeline); responses come back in request order";
+serve protocol: one query per line — 'iter [delta=D] [seed=S]', 'partial [eps=E] [delta=D] [seed=S]', 'greedy', each optionally carrying 'repo=NAME' to address a named repository; also ping/quit/shutdown, '!use NAME' (retarget the connection at a named repository), '!repos' (list served repositories with generation/fingerprint/quota/counters), '!reload [NAME] PATH' (hot-swap a repository — the bare form swaps the connection's current one; in-flight queries drain on their generation), and the live telemetry verbs '!stats' (one-line counters + stage percentiles), '!metrics' (Prometheus-style listing), '!trace ID' (one query's journal timeline); responses come back in request order
+serve tenants: the positional <file> is the repository named 'default'; each --repo NAME=PATH adds another; --quota NAME=N caps one repository's inflight slots; --quantum N tunes the cross-tenant fairness gate";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -93,6 +94,14 @@ fn flag_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Res
             .map_err(|_| format!("bad value for {name}: {v:?}")),
         None => Ok(default),
     }
+}
+
+/// Fetches every occurrence of a repeatable `--flag value`.
+fn flag_all(args: &[String], name: &str) -> Vec<String> {
+    args.windows(2)
+        .filter(|w| w[0] == name)
+        .map(|w| w[1].clone())
+        .collect()
 }
 
 fn gen_cmd(args: &[String]) -> Result<(), String> {
@@ -404,7 +413,9 @@ fn convert_cmd(args: &[String]) -> Result<(), String> {
 /// `shutdown` command stops the listener once inflight work drains.
 fn serve_cmd(args: &[String]) -> Result<(), String> {
     use streaming_set_cover::service::net;
-    use streaming_set_cover::service::{AdmissionMode, EvictionPolicy, Service, ServiceConfig};
+    use streaming_set_cover::service::{
+        AdmissionMode, EvictionPolicy, ServiceBuilder, ServiceConfig,
+    };
     if args.first().is_some_and(|p| p == "-") && flag(args, "--listen").is_none() {
         return Err(
             "serve: reading the instance from stdin needs --listen (without it, stdin carries the query protocol)"
@@ -413,25 +424,74 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     }
     let inst = load_from_arg(args, 0)?;
     let defaults = ServiceConfig::default();
-    let cfg = ServiceConfig {
-        max_inflight: flag_or(args, "--inflight", defaults.max_inflight)?.max(1),
-        workers: flag_or(args, "--workers", defaults.workers)?.max(1),
-        queue_depth: defaults.queue_depth,
-        cache_capacity: flag_or(args, "--cache", defaults.cache_capacity)?,
+    // Per-tenant inflight quotas: `--quota NAME=N`, repeatable.
+    let mut quotas: Vec<(String, usize)> = Vec::new();
+    for q in flag_all(args, "--quota") {
+        let (name, n) = q
+            .split_once('=')
+            .ok_or_else(|| format!("--quota: expected NAME=N, got {q:?}"))?;
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("--quota {name}: bad count {n:?}"))?;
+        quotas.push((name.to_string(), n.max(1)));
+    }
+    let quota_of = |name: &str| quotas.iter().find(|(q, _)| q == name).map(|&(_, n)| n);
+    let mut builder = ServiceBuilder::new()
+        .max_inflight(flag_or(args, "--inflight", defaults.max_inflight)?.max(1))
+        .workers(flag_or(args, "--workers", defaults.workers)?.max(1))
+        .cache_capacity(flag_or(args, "--cache", defaults.cache_capacity)?)
         // Serving workloads skew toward a hot repeat set, so the CLI
         // default is LRU (the library default stays FIFO for
         // deterministic batch runs).
-        eviction: EvictionPolicy::parse(&flag(args, "--eviction").unwrap_or_else(|| "lru".into()))
-            .map_err(|e| format!("--eviction: {e}"))?,
-        admission: AdmissionMode::parse(
-            &flag(args, "--admission").unwrap_or_else(|| "aligned".into()),
+        .eviction(
+            EvictionPolicy::parse(&flag(args, "--eviction").unwrap_or_else(|| "lru".into()))
+                .map_err(|e| format!("--eviction: {e}"))?,
         )
-        .map_err(|e| format!("--admission: {e}"))?,
-        admission_window: std::time::Duration::from_millis(flag_or(args, "--window", 0u64)?),
-        shard_size: flag_or(args, "--shard", defaults.shard_size)?.max(1),
-        coalesce: args.iter().any(|a| a == "--coalesce"),
+        .admission(
+            AdmissionMode::parse(&flag(args, "--admission").unwrap_or_else(|| "aligned".into()))
+                .map_err(|e| format!("--admission: {e}"))?,
+        )
+        .admission_window(std::time::Duration::from_millis(flag_or(
+            args, "--window", 0u64,
+        )?))
+        .shard_size(flag_or(args, "--shard", defaults.shard_size)?.max(1))
+        .coalesce(args.iter().any(|a| a == "--coalesce"));
+    if let Some(q) = flag(args, "--quantum") {
+        let q: u64 = q
+            .parse()
+            .map_err(|_| format!("bad value for --quantum: {q:?}"))?;
+        builder = builder.quantum(q.max(1));
+    }
+    // The positional instance is the repository named "default" — the
+    // one unaddressed queries and single-tenant clients land on. Each
+    // `--repo NAME=PATH` mounts another named repository beside it.
+    let mut seen = vec!["default".to_string()];
+    builder = match quota_of("default") {
+        Some(q) => builder.tenant_with_quota("default", inst.system, q),
+        None => builder.tenant("default", inst.system),
     };
-    let service = Service::new(inst.system, cfg);
+    for mount in flag_all(args, "--repo") {
+        let (name, path) = mount
+            .split_once('=')
+            .ok_or_else(|| format!("--repo: expected NAME=PATH, got {mount:?}"))?;
+        if name.is_empty() || seen.iter().any(|s| s == name) {
+            return Err(format!(
+                "--repo: duplicate or empty repository name {name:?}"
+            ));
+        }
+        seen.push(name.to_string());
+        let extra = scio::load_path(path)?;
+        builder = match quota_of(name) {
+            Some(q) => builder.tenant_with_quota(name, extra.system, q),
+            None => builder.tenant(name, extra.system),
+        };
+    }
+    for (name, _) in &quotas {
+        if !seen.iter().any(|s| s == name) {
+            return Err(format!("--quota {name}: no repository with that name"));
+        }
+    }
+    let service = builder.build();
     // Telemetry is on by default in the CLI server (the library default
     // stays off): counters/spans/journal feed the `!stats`, `!metrics`,
     // and `!trace` verbs. `--no-telemetry` is the A/B switch the E22
@@ -534,6 +594,9 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
     let concurrency = concurrency.clamp(1, queries.max(1));
     let duplicates: usize = flag_or(args, "--duplicates", 1)?;
     let duplicates = duplicates.max(1);
+    // `--repo NAME`: every connection retargets itself at a named
+    // repository with `!use NAME` before pipelining its queries.
+    let repo = flag(args, "--repo");
     let spec = flag(args, "--spec").unwrap_or_else(|| "iter delta=0.5".to_string());
     let base_spec = QuerySpec::parse(&spec).map_err(|e| format!("--spec: {e}"))?;
     // Query `q` (global index) belongs to duplicate group `q / K`; the
@@ -593,11 +656,23 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
             if share == 0 {
                 continue;
             }
-            let (addr, total, spec_of) = (&addr, &total, &spec_of);
+            let (addr, total, spec_of, repo) = (&addr, &total, &spec_of, &repo);
             workers.push(s.spawn(move || -> Result<(), String> {
                 let conn = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
                 let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
                 let mut writer = &conn;
+                if let Some(name) = repo {
+                    // Retarget before pipelining, and confirm the ack so
+                    // a typo'd name fails fast instead of miscounting
+                    // query responses downstream.
+                    writeln!(writer, "!use {name}").map_err(|e| e.to_string())?;
+                    writer.flush().map_err(|e| e.to_string())?;
+                    let mut ack = String::new();
+                    reader.read_line(&mut ack).map_err(|e| e.to_string())?;
+                    if !ack.starts_with("ok use ") {
+                        return Err(format!("--repo {name}: {}", ack.trim_end()));
+                    }
+                }
                 for q in first..first + share {
                     writeln!(writer, "{}", spec_of(q)).map_err(|e| e.to_string())?;
                 }

@@ -58,7 +58,10 @@ pub mod prelude {
         bronnimann_goodrich, AlgGeomSc, AlgGeomScConfig, BgConfig, GeomInstance,
     };
     pub use sc_offline::OfflineSolver;
-    pub use sc_service::{QueryOutcome, QuerySpec, Service, ServiceConfig, ServiceHandle};
+    pub use sc_service::{
+        QueryOutcome, QuerySpec, Service, ServiceBuilder, ServiceConfig, ServiceHandle,
+        TenantRegistry,
+    };
     pub use sc_setsystem::{gen, Instance, SetSystem, SetSystemBuilder};
     pub use sc_stream::{
         run_reported, RunReport, ScanLedger, SetStream, SpaceMeter, StreamingSetCover,
