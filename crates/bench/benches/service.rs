@@ -4,14 +4,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sc_core::{IterSetCover, IterSetCoverConfig};
-use sc_service::{QuerySpec, Service, ServiceConfig};
+use sc_service::{QuerySpec, ServiceBuilder, ServiceConfig};
 use sc_setsystem::gen;
 use sc_stream::run_reported;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let inst = gen::planted(1 << 12, 1 << 11, 16, 42);
-    let service = Service::new(inst.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", inst.system.clone())
+        .build();
     let spec = QuerySpec::IterCover {
         delta: 0.5,
         seed: 7,

@@ -31,7 +31,7 @@
 //! bit-identity claim.
 
 use crate::{Scale, Table};
-use sc_service::{AdmissionMode, QuerySpec, Service, ServiceConfig, ServiceMetrics};
+use sc_service::{AdmissionMode, QuerySpec, ServiceBuilder, ServiceConfig, ServiceMetrics};
 use sc_setsystem::SetSystem;
 use sc_setsystem::{gen, Instance};
 
@@ -67,7 +67,10 @@ fn run_mode(
     per_client: usize,
 ) -> ServiceMetrics {
     let queries = clients * per_client;
-    let service = Service::new(system.clone(), mode_config(mode));
+    let service = ServiceBuilder::new()
+        .config(mode_config(mode))
+        .tenant("default", system.clone())
+        .build();
     let ((), metrics) = service.serve(|handle| {
         std::thread::scope(|s| {
             for c in 0..clients as u64 {

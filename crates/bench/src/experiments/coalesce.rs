@@ -32,7 +32,7 @@
 //! `qps`) are load-dependent and excluded from the check.
 
 use crate::{Scale, Table};
-use sc_service::{QueryOutcome, QuerySpec, Service, ServiceConfig, ServiceMetrics};
+use sc_service::{QueryOutcome, QuerySpec, Service, ServiceBuilder, ServiceConfig, ServiceMetrics};
 use sc_setsystem::{gen, SetSystem};
 use std::time::Duration;
 
@@ -65,13 +65,13 @@ fn row_cells(
 }
 
 fn coalescing(system: &SetSystem) -> Service {
-    Service::new(
-        system.clone(),
-        ServiceConfig {
+    ServiceBuilder::new()
+        .config(ServiceConfig {
             coalesce: true,
             ..Default::default()
-        },
-    )
+        })
+        .tenant("default", system.clone())
+        .build()
 }
 
 /// Runs the four coalescing workloads and tabulates jobs, followers,
@@ -111,7 +111,10 @@ pub fn coalesce(scale: Scale) -> Table {
 
     // Workload 2: the same duplicates without coalescing — K jobs pay
     // K× the per-scan CPU even though scan sharing bounds the walks.
-    let service = Service::new(inst.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", inst.system.clone())
+        .build();
     let (outcomes, metrics) = service.run_batch(&specs);
     assert_eq!(metrics.jobs, dups);
     assert_eq!(metrics.coalesced, 0);
@@ -147,14 +150,14 @@ pub fn coalesce(scale: Scale) -> Table {
     // The leader cannot retire before the first duplicate arrives (the
     // window blocks its first scan), so the structure is deterministic
     // even though the timings are not.
-    let service = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             coalesce: true,
             admission_window: Duration::from_secs(30),
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
     let (outcomes, metrics) = service.serve(|handle| {
         let head = handle.submit(iter(100)).expect("open");
         std::thread::sleep(Duration::from_millis(30));

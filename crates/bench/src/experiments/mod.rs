@@ -9,6 +9,7 @@ mod geometric_4_6;
 mod geometric_nets;
 mod kernels;
 mod multiplex;
+mod netload;
 mod nisan_endpoint;
 mod observability;
 mod partial_eps;
@@ -33,6 +34,7 @@ pub use geometric_4_6::geometric_4_6;
 pub use geometric_nets::geometric_nets;
 pub use kernels::kernels;
 pub use multiplex::multiplex;
+pub use netload::netload;
 pub use nisan_endpoint::nisan_endpoint;
 pub use observability::observability;
 pub use partial_eps::partial_eps;
@@ -126,6 +128,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "tenants",
             "E23 multi-tenant serving: cross-tenant admission fairness under hot/cold load",
             tenants,
+        ),
+        (
+            "netload",
+            "E24 event-driven front door: connection soak, overload shedding, flat memory",
+            netload,
         ),
     ]
 }

@@ -1,0 +1,334 @@
+//! E24 — the event-driven front door: connection soak, overload
+//! shedding, and flat memory under 4× the connection limit.
+//!
+//! Not a paper artifact: this experiment prices the PR 9 session
+//! layer. One poller thread multiplexes every TCP connection; the
+//! closed-loop overload run drives waves of connections at 4× the
+//! configured `max_conns` and checks the three promises the redesign
+//! makes:
+//!
+//! * **Excess load is shed explicitly** — every connection over the
+//!   limit is answered `err msg=busy` and closed, never silently
+//!   queued. The wave protocol makes the split deterministic: all of
+//!   a wave's connections are held open until every one of them has
+//!   its verdict, so exactly `max_conns` are accepted and exactly the
+//!   rest are shed, wave after wave.
+//! * **Accepted queries stay fast** — the p99 latency of queries on
+//!   accepted connections stays within 10× of the unloaded
+//!   single-connection baseline (both sides floored at scheduler
+//!   noise), asserted at runtime.
+//! * **Memory stays flat** — resident set (VmRSS) growth across the
+//!   whole soak stays bounded: per-session buffers are capped and
+//!   sessions are reclaimed, so thousands of connections cannot
+//!   accumulate into process growth.
+//!
+//! The deterministic columns (conns, max conns, accepted, shed, ok,
+//! busy) are what the CI gate re-verifies; every `lat …` column is
+//! timing-dependent and skipped by `repro --check` as usual.
+
+use crate::{Scale, Table};
+use sc_service::net::{serve_tcp_with, NetConfig, NetStats};
+use sc_service::{ServiceBuilder, ServiceMetrics};
+use sc_setsystem::gen;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Latency floor for the blowup ratio: below this, both sides of the
+/// division are scheduler noise and the ratio is meaningless.
+const FLOOR_MS: f64 = 5.0;
+
+/// Millisecond percentile over a batch of latencies (nearest-rank).
+fn pctl_ms(lats: &mut [Duration], q: f64) -> f64 {
+    lats.sort_unstable();
+    let rank = ((lats.len() as f64 * q / 100.0).ceil() as usize).max(1);
+    lats[rank.min(lats.len()) - 1].as_secs_f64() * 1e3
+}
+
+/// Resident set size in kiB from `/proc/self/status`, `None` off
+/// Linux (the memory-flatness assert degrades to a note).
+fn rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Serves a fresh instance over TCP; returns the address and a join
+/// handle yielding the run's accounting.
+fn spawn_server(cfg: NetConfig) -> (String, std::thread::JoinHandle<(ServiceMetrics, NetStats)>) {
+    let inst = gen::planted(256, 512, 8, 13);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || {
+        let service = ServiceBuilder::new().tenant("default", inst.system).build();
+        serve_tcp_with(&service, listener, cfg).expect("serve")
+    });
+    (addr, handle)
+}
+
+/// One request line in, one reply line out, timed.
+fn timed_query(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut &TcpStream,
+    line: &str,
+) -> (String, Duration) {
+    let start = Instant::now();
+    writeln!(writer, "{line}").expect("write");
+    writer.flush().expect("flush");
+    let mut reply = String::new();
+    let n = reader.read_line(&mut reply).expect("read");
+    assert!(n > 0, "connection died answering {line:?}");
+    (reply.trim_end().to_string(), start.elapsed())
+}
+
+fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let conn = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(conn.try_clone().expect("clone"));
+    (reader, conn)
+}
+
+fn shutdown_server(
+    addr: &str,
+    server: std::thread::JoinHandle<(ServiceMetrics, NetStats)>,
+) -> (ServiceMetrics, NetStats) {
+    let (_reader, conn) = connect(addr);
+    (&conn).write_all(b"shutdown\n").expect("shutdown");
+    server.join().expect("server thread")
+}
+
+/// One overload wave: `conns` simultaneous connections against a
+/// `max_conns` server. Every connection pings and holds until the
+/// whole wave has its verdict (so the accepted/shed split is exact),
+/// then the accepted ones each run `queries_per_conn` sequential
+/// queries and quit. Returns (accepted, shed, ok, latencies).
+fn overload_wave(
+    addr: &str,
+    conns: usize,
+    queries_per_conn: usize,
+    wave: usize,
+) -> (usize, usize, usize, Vec<Duration>) {
+    // (verdicts delivered, accepted so far) + the release signal.
+    let gate = (Mutex::new(0usize), Condvar::new());
+    let results = Mutex::new((0usize, 0usize, 0usize, Vec::new()));
+    std::thread::scope(|s| {
+        for c in 0..conns {
+            let (gate, results) = (&gate, &results);
+            s.spawn(move || {
+                let (mut reader, conn) = connect(addr);
+                let mut writer = &conn;
+                writeln!(writer, "ping").expect("write ping");
+                writer.flush().expect("flush ping");
+                let mut verdict = String::new();
+                reader.read_line(&mut verdict).expect("read verdict");
+                let accepted = match verdict.trim_end() {
+                    "pong" => true,
+                    "err msg=busy" => false,
+                    other => panic!("unexpected verdict {other:?}"),
+                };
+                {
+                    let mut delivered = gate.0.lock().expect("gate");
+                    *delivered += 1;
+                    gate.1.notify_all();
+                }
+                if !accepted {
+                    let mut res = results.lock().expect("results");
+                    res.1 += 1;
+                    return;
+                }
+                // Hold the slot until the whole wave has its verdict —
+                // this is what makes the shed count exact.
+                {
+                    let mut delivered = gate.0.lock().expect("gate");
+                    while *delivered < conns {
+                        delivered = gate.1.wait(delivered).expect("gate wait");
+                    }
+                }
+                let mut lats = Vec::with_capacity(queries_per_conn);
+                let mut ok = 0usize;
+                for q in 0..queries_per_conn {
+                    let seed = (wave * conns + c * queries_per_conn + q) as u64;
+                    let (reply, lat) = timed_query(
+                        &mut reader,
+                        &mut writer,
+                        &format!("iter delta=0.5 seed={seed}"),
+                    );
+                    assert!(reply.starts_with("ok id="), "query reply {reply:?}");
+                    ok += 1;
+                    lats.push(lat);
+                }
+                writeln!(writer, "quit").expect("write quit");
+                writer.flush().expect("flush quit");
+                // Wait for the server to finish the close; once EOF is
+                // seen the session slot is already reclaimed, so the
+                // next wave's accept counts stay exact.
+                let mut rest = String::new();
+                while reader.read_line(&mut rest).expect("drain") > 0 {
+                    rest.clear();
+                }
+                let mut res = results.lock().expect("results");
+                res.0 += 1;
+                res.2 += ok;
+                res.3.extend(lats);
+            });
+        }
+    });
+    results.into_inner().expect("results")
+}
+
+/// The event-driven front door under a 4× connection overload.
+pub fn netload(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E24 — event-driven front door: accepted/shed split and latency under 4x connection overload",
+        &[
+            "workload",
+            "conns",
+            "max conns",
+            "accepted",
+            "shed",
+            "ok",
+            "busy",
+            "lat p50 ms",
+            "lat p99 ms",
+        ],
+    );
+    let max_conns = scale.pick(8usize, 64);
+    let (waves, wave_conns, queries_per_conn) = scale.pick((2usize, 32usize, 2usize), (40, 256, 2));
+    let probes = scale.pick(16usize, 64);
+
+    // Row 1 — unloaded baseline: one connection, sequential queries.
+    let (addr, server) = spawn_server(NetConfig::default());
+    let (mut reader, conn) = connect(&addr);
+    let mut writer = &conn;
+    let mut unloaded = Vec::with_capacity(probes);
+    for seed in 0..probes {
+        let (reply, lat) = timed_query(
+            &mut reader,
+            &mut writer,
+            &format!("iter delta=0.5 seed={seed}"),
+        );
+        assert!(reply.starts_with("ok id="), "unloaded reply {reply:?}");
+        unloaded.push(lat);
+    }
+    drop((reader, conn));
+    let (metrics, stats) = shutdown_server(&addr, server);
+    assert_eq!(metrics.queries_completed, probes);
+    assert_eq!(stats.shed, 0);
+    let unloaded_p50 = pctl_ms(&mut unloaded, 50.0);
+    let unloaded_p99 = pctl_ms(&mut unloaded, 99.0);
+    table.row(vec![
+        "unloaded".into(),
+        "1".into(),
+        NetConfig::default().max_conns.to_string(),
+        "1".into(),
+        "0".into(),
+        probes.to_string(),
+        "0".into(),
+        format!("{unloaded_p50:.2}"),
+        format!("{unloaded_p99:.2}"),
+    ]);
+
+    // Row 2 — nominal load: a wave at half the limit sheds nothing.
+    let nominal_conns = max_conns / 2;
+    let cfg = NetConfig {
+        max_conns,
+        ..NetConfig::default()
+    };
+    let (addr, server) = spawn_server(cfg);
+    let (accepted, shed, ok, mut nominal_lats) =
+        overload_wave(&addr, nominal_conns, queries_per_conn, 0);
+    let (metrics, stats) = shutdown_server(&addr, server);
+    assert_eq!((accepted, shed), (nominal_conns, 0));
+    assert_eq!(stats.shed, 0, "nominal load must not shed");
+    assert_eq!(metrics.queries_completed, ok);
+    let nominal_p50 = pctl_ms(&mut nominal_lats, 50.0);
+    let nominal_p99 = pctl_ms(&mut nominal_lats, 99.0);
+    table.row(vec![
+        "nominal, under the limit".into(),
+        nominal_conns.to_string(),
+        max_conns.to_string(),
+        accepted.to_string(),
+        "0".into(),
+        ok.to_string(),
+        "0".into(),
+        format!("{nominal_p50:.2}"),
+        format!("{nominal_p99:.2}"),
+    ]);
+
+    // Row 3 — closed-loop overload: waves of connections at 4× the
+    // limit, repeated until thousands of connections have passed
+    // through one poller thread.
+    let rss_before = rss_kib();
+    let (addr, server) = spawn_server(cfg);
+    let (mut accepted, mut shed, mut ok) = (0usize, 0usize, 0usize);
+    let mut lats = Vec::new();
+    for wave in 0..waves {
+        let (a, s, o, l) = overload_wave(&addr, wave_conns, queries_per_conn, wave);
+        assert_eq!(
+            (a, s),
+            (max_conns, wave_conns - max_conns),
+            "wave {wave}: the accepted/shed split drifted"
+        );
+        accepted += a;
+        shed += s;
+        ok += o;
+        lats.extend(l);
+    }
+    let (metrics, stats) = shutdown_server(&addr, server);
+    let rss_after = rss_kib();
+    assert_eq!(
+        stats.accepted,
+        accepted as u64 + 1,
+        "waves + the shutdown probe"
+    );
+    assert_eq!(stats.shed, shed as u64);
+    assert!(stats.shed > 0, "the overload never shed — not an overload");
+    assert_eq!(metrics.queries_completed, ok);
+    let p50 = pctl_ms(&mut lats, 50.0);
+    let p99 = pctl_ms(&mut lats, 99.0);
+    let blowup = p99.max(FLOOR_MS) / unloaded_p99.max(FLOOR_MS);
+    assert!(
+        blowup <= 10.0,
+        "accepted-query p99 blew up {blowup:.1}x under overload \
+         ({p99:.2} ms vs unloaded {unloaded_p99:.2} ms; bound 10x)"
+    );
+    table.row(vec![
+        format!("overload, {waves} waves at 4x"),
+        (waves * wave_conns).to_string(),
+        max_conns.to_string(),
+        accepted.to_string(),
+        shed.to_string(),
+        ok.to_string(),
+        "0".into(),
+        format!("{p50:.2}"),
+        format!("{p99:.2}"),
+    ]);
+
+    table.note(format!(
+        "planted n=256, m=512, k=8; {waves} waves x {wave_conns} conns against max_conns={max_conns}, \
+         {queries_per_conn} sequential queries per accepted connection \
+         ({} connections total through one poller thread)",
+        waves * wave_conns
+    ));
+    table.note(format!(
+        "runtime-asserted: exact accepted/shed split every wave, shed > 0, \
+         accepted-query p99 within 10x of unloaded (floored at {FLOOR_MS} ms) — \
+         blowup {blowup:.1}x"
+    ));
+    match (rss_before, rss_after) {
+        (Some(before), Some(after)) => {
+            let growth_kib = after.saturating_sub(before);
+            assert!(
+                growth_kib < 64 * 1024,
+                "resident set grew {growth_kib} kiB across the soak (bound 64 MiB)"
+            );
+            table.note(format!(
+                "runtime-asserted: flat memory — VmRSS {before} kiB before, {after} kiB after \
+                 the soak ({growth_kib} kiB growth; bound 64 MiB)"
+            ));
+        }
+        _ => table.note("VmRSS unavailable on this platform; memory-flatness assert skipped"),
+    }
+    table.note("every `lat …` column is timing-dependent; repro --check skips them");
+    table
+}

@@ -23,7 +23,7 @@
 //! `repro --check` as usual.
 
 use crate::{Scale, Table};
-use sc_service::{QuerySpec, Service, ServiceConfig, ServiceMetrics};
+use sc_service::{QuerySpec, ServiceBuilder, ServiceConfig, ServiceMetrics};
 use sc_setsystem::{gen, SetSystem};
 use std::time::Instant;
 
@@ -50,7 +50,10 @@ fn run_phase(
     let start = Instant::now();
     let mut last = None;
     for _ in 0..reps {
-        let service = Service::new(system.clone(), *cfg);
+        let service = ServiceBuilder::new()
+            .config(*cfg)
+            .tenant("default", system.clone())
+            .build();
         let (_, metrics) = service.run_batch(specs);
         last = Some(metrics);
     }

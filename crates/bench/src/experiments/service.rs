@@ -16,7 +16,7 @@
 
 use crate::{Scale, Table};
 use sc_core::{IterSetCover, IterSetCoverConfig};
-use sc_service::{QuerySpec, Service, ServiceConfig};
+use sc_service::{QuerySpec, ServiceBuilder, ServiceConfig};
 use sc_setsystem::gen;
 use sc_stream::run_reported;
 
@@ -51,13 +51,13 @@ pub fn service(scale: Scale) -> Table {
     // Outcome cache off: this experiment measures *scan sharing*, so
     // every batch must actually run (the cache would answer the later
     // concurrency rows in zero scans — that effect is E18's subject).
-    let service = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             cache_capacity: 0,
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
 
     for clients in [1usize, 4, 16] {
         let specs = vec![spec; clients];

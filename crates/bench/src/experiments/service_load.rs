@@ -27,7 +27,7 @@
 //! (`… ms`, `qps`) are load-dependent and excluded from the check.
 
 use crate::{Scale, Table};
-use sc_service::{QueryOutcome, QuerySpec, Service, ServiceConfig, ServiceMetrics};
+use sc_service::{QueryOutcome, QuerySpec, Service, ServiceBuilder, ServiceConfig, ServiceMetrics};
 use sc_setsystem::{gen, SetSystem};
 use std::time::Duration;
 
@@ -73,7 +73,10 @@ fn row_cells(
 fn fresh_service(system: &SetSystem, cfg: ServiceConfig) -> Service {
     // One service (and thus one outcome cache) per workload row keeps
     // every row's hit counts independent of row order.
-    Service::new(system.clone(), cfg)
+    ServiceBuilder::new()
+        .config(cfg)
+        .tenant("default", system.clone())
+        .build()
 }
 
 /// Runs the four load workloads and tabulates scans, cache traffic,

@@ -140,9 +140,9 @@ impl Inner {
 /// outcome records are tiny (a cover is a few dozen ids), so even the
 /// LRU bookkeeping is one counter write per hit. The cache is `Sync`
 /// and designed to be shared — wrap it in an
-/// [`Arc`](std::sync::Arc) and hand it to several
-/// [`Service::with_cache`](crate::Service::with_cache) instances to
-/// share answers across repositories (the content fingerprint plus the
+/// [`Arc`](std::sync::Arc) and hand it to several services through
+/// [`ServiceBuilder::shared_cache`](crate::ServiceBuilder::shared_cache)
+/// to share answers across repositories (the content fingerprint plus the
 /// per-hit dimension cross-check keep them apart, up to a 64-bit hash
 /// collision between equal-dimension repositories).
 #[derive(Debug, Default)]

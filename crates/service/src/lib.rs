@@ -33,9 +33,10 @@
 //!
 //! `service` orchestrates the stages (epoch loop, batch/serve entry
 //! points, the generation outer loop); `cache`, `metrics`, `query`,
-//! and `net` are the supporting surfaces (outcome cache with pluggable
-//! eviction, counters/histograms, the line protocol, the TCP
-//! front-end).
+//! `protocol`, and `net` are the supporting surfaces (outcome cache
+//! with pluggable eviction, counters/histograms, the query grammar,
+//! the typed request/reply wire codec, and the event-driven TCP
+//! front-end with its readiness poller).
 //!
 //! # Scale levers
 //!
@@ -128,6 +129,7 @@ mod fairness;
 mod job;
 mod metrics;
 pub mod net;
+pub mod protocol;
 mod query;
 mod retirement;
 mod service;
@@ -136,10 +138,11 @@ mod tenants;
 
 pub use cache::{CachedAnswer, EvictionPolicy, OutcomeCache};
 pub use metrics::{LatencyHistogram, ServiceMetrics};
+pub use net::{NetConfig, NetStats};
 pub use query::{QueryOutcome, QuerySpec};
 pub use service::{
     AdmissionMode, QueryTicket, ReloadTicket, Service, ServiceBuilder, ServiceClosed,
-    ServiceConfig, ServiceHandle,
+    ServiceConfig, ServiceHandle, TrySubmitError,
 };
 pub use tenants::{
     RepositoryGeneration, RepositoryStore, Tenant, TenantCounters, TenantMeta, TenantRegistry,

@@ -1,0 +1,487 @@
+//! The event-driven session layer behind [`serve_tcp`]: one thread
+//! multiplexing every connection through a readiness loop.
+//!
+//! [`serve_tcp`]: super::serve_tcp
+//!
+//! The crate forbids `unsafe`, so this is a dependency-free readiness
+//! shim rather than a raw `epoll` binding: the listener and every
+//! session socket run in non-blocking mode, each loop iteration
+//! level-triggers over the session registry (accept burst, then per
+//! session: flush → read → parse/dispatch → resolve tickets → flush),
+//! and an iteration that makes no progress sleeps with a small
+//! doubling backoff instead of spinning. The semantics match an
+//! `epoll` loop — bounded buffers, fair service, no thread per
+//! connection — with the syscall pattern of a poll loop, which the
+//! E24 soak prices at the scales this repository serves.
+//!
+//! What the layer guarantees per session:
+//!
+//! * **Ordered replies.** Every request appends one entry to the
+//!   session's pending-reply queue; the writer drains it strictly
+//!   front-first, blocking on an unresolved query ticket — so a
+//!   `ping` pipelined behind a slow query answers after it, exactly
+//!   like the stdin pump.
+//! * **Hard buffer caps.** A request line longer than
+//!   [`NetConfig::read_buf_cap`] is answered with the framed
+//!   `err msg=line_too_long` and the rest of the line is *discarded
+//!   as it streams in* — the server's memory never holds more than
+//!   the cap per session, no matter what the peer sends. The write
+//!   buffer is bounded by the pending-reply cap plus a soft flush
+//!   threshold; a peer that stops reading stops being served.
+//! * **Fair queueing.** Each session parses at most a fixed budget of
+//!   lines per loop iteration, so one firehose connection cannot
+//!   starve its neighbours' admission into the shared scheduler.
+//! * **Explicit shedding.** Connections over [`NetConfig::max_conns`]
+//!   are answered `err msg=busy` and closed; a query that finds its
+//!   tenant's bounded submission queue full is answered
+//!   `err msg=busy` in-line ([`ServiceHandle::try_submit`]) instead
+//!   of blocking the event loop on one tenant's backpressure. Both
+//!   count into [`NetStats::shed`] and the `sc_net_shed_total`
+//!   counter.
+
+use super::{dispatch, log_stats, Action};
+use crate::protocol::{Reply, Request, BUSY_MSG, LINE_TOO_LONG_MSG};
+use crate::service::{QueryTicket, ReloadTicket, ServiceHandle};
+use crate::telemetry::tel;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Front-door limits of the event-driven session layer
+/// ([`serve_tcp_with`](super::serve_tcp_with)).
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Connections served concurrently; an accept beyond this is
+    /// answered `err msg=busy` and closed (counted in
+    /// [`NetStats::shed`]).
+    pub max_conns: usize,
+    /// Hard cap on one session's buffered request bytes: a single
+    /// line longer than this is answered `err msg=line_too_long` and
+    /// discarded as it streams in (counted in
+    /// [`NetStats::buffer_overflows`]).
+    pub read_buf_cap: usize,
+    /// Replies one session may have queued (unresolved tickets
+    /// included) before the layer stops reading from its socket — the
+    /// `sctool serve --shed` knob. This is per-session backpressure,
+    /// not disconnection: the peer's pipelining stalls in its TCP
+    /// send window until replies drain. Query-level shedding
+    /// (`err msg=busy`) comes from the tenant's bounded submission
+    /// queue, not from this cap.
+    pub pending_cap: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_conns: 1024,
+            read_buf_cap: 64 * 1024,
+            pending_cap: 256,
+        }
+    }
+}
+
+/// The session layer's own accounting, returned beside
+/// [`ServiceMetrics`](crate::ServiceMetrics) by
+/// [`serve_tcp_with`](super::serve_tcp_with) and mirrored onto the
+/// live telemetry surface (`sc_net_accepted_total`,
+/// `sc_net_shed_total`, `sc_net_buffer_overflows_total`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted into sessions (readiness probes with zero
+    /// protocol lines included).
+    pub accepted: u64,
+    /// Load shed with `err msg=busy`: connections refused over
+    /// [`NetConfig::max_conns`] plus queries refused by a full
+    /// submission queue.
+    pub shed: u64,
+    /// Request lines discarded for exceeding
+    /// [`NetConfig::read_buf_cap`] (each answered
+    /// `err msg=line_too_long`).
+    pub buffer_overflows: u64,
+}
+
+/// Lines one session may parse per loop iteration — the fair-queueing
+/// budget keeping a firehose peer from starving its neighbours.
+const LINE_BUDGET: usize = 32;
+
+/// Bytes read from one socket per loop iteration.
+const READ_CHUNK: usize = 4096;
+
+/// Once a session's write buffer holds this much unflushed data, stop
+/// rendering further replies into it until the peer drains some.
+const WRITE_SOFT_CAP: usize = 64 * 1024;
+
+/// Idle backoff bounds: a no-progress iteration sleeps `IDLE_MIN`
+/// doubling to `IDLE_MAX`; any progress resets to the minimum.
+const IDLE_MIN: Duration = Duration::from_micros(50);
+const IDLE_MAX: Duration = Duration::from_millis(2);
+
+/// How long a shutdown waits for peers to drain their pending replies
+/// before hanging up on them.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// One reply owed to a session, in request order.
+enum Pending {
+    /// Rendered and ready to write.
+    Ready(String),
+    /// A query still in flight.
+    Ticket(QueryTicket),
+    /// A hot swap still draining.
+    Swap(ReloadTicket),
+}
+
+/// One live connection: its socket, buffers, and tenant cursor.
+struct Session {
+    conn: TcpStream,
+    /// The connection's current tenant (retargeted in place by
+    /// `!use`).
+    handle: ServiceHandle,
+    /// Bytes received but not yet parsed into lines.
+    read_buf: Vec<u8>,
+    /// Inside an oversized line: drop bytes until its newline.
+    discarding: bool,
+    /// Rendered replies not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Replies owed, strictly in request order.
+    pending: VecDeque<Pending>,
+    /// Finish pending replies, flush, then close (EOF, `quit`, or
+    /// server shutdown).
+    closing: bool,
+    /// The peer is unreachable (I/O error); drop everything now.
+    gone: bool,
+}
+
+impl Session {
+    fn new(conn: TcpStream, handle: ServiceHandle) -> Self {
+        Session {
+            conn,
+            handle,
+            read_buf: Vec::new(),
+            discarding: false,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            pending: VecDeque::new(),
+            closing: false,
+            gone: false,
+        }
+    }
+
+    /// Stop reading and parsing; pending replies still drain.
+    fn begin_close(&mut self) {
+        self.closing = true;
+        self.read_buf.clear();
+        self.discarding = false;
+    }
+
+    /// The session can be dropped: the peer vanished, or everything
+    /// owed has been written.
+    fn done(&self) -> bool {
+        self.gone
+            || (self.closing && self.pending.is_empty() && self.write_pos == self.write_buf.len())
+    }
+
+    /// One level-triggered service round; returns whether anything
+    /// moved.
+    fn tick(&mut self, cfg: &NetConfig, stats: &mut NetStats, shutdown: &mut bool) -> bool {
+        let mut progress = self.flush();
+        if !self.gone {
+            progress |= self.fill();
+            if !self.gone {
+                progress |= self.parse_lines(cfg, stats, shutdown);
+                progress |= self.resolve();
+                progress |= self.flush();
+            }
+        }
+        progress
+    }
+
+    /// Drains the write buffer into the socket as far as readiness
+    /// allows.
+    fn flush(&mut self) -> bool {
+        let mut progress = false;
+        while self.write_pos < self.write_buf.len() {
+            match self.conn.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    self.gone = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.write_pos += n;
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.gone = true;
+                    break;
+                }
+            }
+        }
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        } else if self.write_pos > READ_CHUNK {
+            self.write_buf.drain(..self.write_pos);
+            self.write_pos = 0;
+        }
+        progress
+    }
+
+    /// Reads one chunk from the socket — but only while the session
+    /// has room: a full pending queue or a full read buffer stops the
+    /// reads, and TCP backpressure stalls the peer instead of this
+    /// process growing.
+    fn fill(&mut self) -> bool {
+        if self.closing {
+            return false;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        match self.conn.read(&mut chunk) {
+            // EOF: the peer is done sending; drain what is owed, then
+            // close.
+            Ok(0) => {
+                self.begin_close();
+                true
+            }
+            Ok(n) => {
+                let mut bytes = &chunk[..n];
+                if self.discarding {
+                    // Still inside an oversized line: drop until its
+                    // terminating newline streams past.
+                    match bytes.iter().position(|&b| b == b'\n') {
+                        Some(p) => {
+                            self.discarding = false;
+                            bytes = &bytes[p + 1..];
+                        }
+                        None => bytes = &[],
+                    }
+                }
+                self.read_buf.extend_from_slice(bytes);
+                true
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => false,
+            Err(e) if e.kind() == ErrorKind::Interrupted => false,
+            Err(_) => {
+                self.gone = true;
+                true
+            }
+        }
+    }
+
+    /// Parses and dispatches buffered lines, up to the fairness
+    /// budget.
+    fn parse_lines(&mut self, cfg: &NetConfig, stats: &mut NetStats, shutdown: &mut bool) -> bool {
+        if self.closing {
+            return false;
+        }
+        // A buffered fragment with no newline that already exceeds the
+        // cap can never become a legal line: answer the framed
+        // overflow error now and discard the rest as it streams in.
+        if !self.read_buf.contains(&b'\n') {
+            if self.read_buf.len() >= cfg.read_buf_cap {
+                self.read_buf.clear();
+                self.discarding = true;
+                stats.buffer_overflows += 1;
+                tel().net_buffer_overflows.incr();
+                self.pending
+                    .push_back(Pending::Ready(Reply::error(LINE_TOO_LONG_MSG).render()));
+                return true;
+            }
+            return false;
+        }
+        let mut progress = false;
+        let mut consumed = 0;
+        let mut lines = 0;
+        while lines < LINE_BUDGET && self.pending.len() < cfg.pending_cap {
+            let Some(nl) = self.read_buf[consumed..].iter().position(|&b| b == b'\n') else {
+                break;
+            };
+            let text =
+                String::from_utf8_lossy(&self.read_buf[consumed..consumed + nl]).into_owned();
+            consumed += nl + 1;
+            let line = text.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            lines += 1;
+            progress = true;
+            let action = match Request::parse(line) {
+                Ok(req) => dispatch(req, &mut self.handle, false),
+                Err(msg) => Action::Reply(Reply::error(msg)),
+            };
+            match action {
+                Action::Reply(reply) => {
+                    self.pending.push_back(Pending::Ready(reply.render()));
+                }
+                Action::Ticket(ticket) => self.pending.push_back(Pending::Ticket(ticket)),
+                Action::Swap(ticket) => self.pending.push_back(Pending::Swap(ticket)),
+                Action::Shed => {
+                    stats.shed += 1;
+                    tel().net_shed.incr();
+                    self.pending.push_back(Pending::Ready(Reply::Busy.render()));
+                }
+                // `quit` ends the connection: lines pipelined behind
+                // it are discarded, replies owed ahead of it drain.
+                Action::Quit => {
+                    self.begin_close();
+                    return true;
+                }
+                Action::Shutdown => {
+                    *shutdown = true;
+                    self.begin_close();
+                    return true;
+                }
+            }
+        }
+        self.read_buf.drain(..consumed);
+        progress
+    }
+
+    /// Moves resolved replies from the pending queue into the write
+    /// buffer, strictly front-first so replies keep request order.
+    fn resolve(&mut self) -> bool {
+        let mut progress = false;
+        while self.write_buf.len() - self.write_pos < WRITE_SOFT_CAP {
+            let rendered = match self.pending.front() {
+                None => break,
+                Some(Pending::Ready(_)) => {
+                    let Some(Pending::Ready(text)) = self.pending.pop_front() else {
+                        unreachable!("front checked above");
+                    };
+                    text
+                }
+                Some(Pending::Ticket(ticket)) => match ticket.try_wait() {
+                    None => break,
+                    Some(result) => {
+                        self.pending.pop_front();
+                        match result {
+                            Ok(outcome) => Reply::Outcome(outcome).render(),
+                            Err(e) => Reply::error(e.to_string()).render(),
+                        }
+                    }
+                },
+                Some(Pending::Swap(ticket)) => match ticket.try_wait() {
+                    None => break,
+                    Some(result) => {
+                        self.pending.pop_front();
+                        let rendered = match result {
+                            Ok(generation) => Reply::Reload { generation }.render(),
+                            Err(e) => Reply::error(e.to_string()).render(),
+                        };
+                        // A hot swap is a stats window boundary: put
+                        // the pre-swap numbers on the serve log before
+                        // the new generation's traffic blends in.
+                        log_stats("reload");
+                        rendered
+                    }
+                },
+            };
+            self.write_buf.extend_from_slice(rendered.as_bytes());
+            self.write_buf.push(b'\n');
+            progress = true;
+        }
+        progress
+    }
+}
+
+/// Answers a connection over the limit with one best-effort busy line
+/// and hangs up.
+fn shed_connection(mut conn: TcpStream, stats: &mut NetStats) {
+    stats.shed += 1;
+    tel().net_shed.incr();
+    let _ = conn.set_nonblocking(true);
+    let _ = conn.write(format!("err msg={BUSY_MSG}\n").as_bytes());
+    let _ = conn.shutdown(Shutdown::Both);
+}
+
+/// The event loop [`serve_tcp_with`](super::serve_tcp_with) runs
+/// inside [`Service::serve`](crate::Service::serve): accept burst,
+/// then one service round per session, then sleep iff nothing moved.
+/// Returns the front-door accounting once a `shutdown` request has
+/// drained every session.
+pub(super) fn event_loop(
+    listener: &TcpListener,
+    handle: ServiceHandle,
+    cfg: &NetConfig,
+) -> Result<NetStats, String> {
+    let mut stats = NetStats::default();
+    let mut sessions: Vec<Session> = Vec::new();
+    let mut shutting_down: Option<Instant> = None;
+    let mut idle = IDLE_MIN;
+    loop {
+        let mut progress = false;
+        if shutting_down.is_none() {
+            loop {
+                match listener.accept() {
+                    Ok((conn, _peer)) => {
+                        progress = true;
+                        if sessions.len() >= cfg.max_conns {
+                            shed_connection(conn, &mut stats);
+                        } else if conn.set_nonblocking(true).is_ok() {
+                            stats.accepted += 1;
+                            tel().net_accepted.incr();
+                            sessions.push(Session::new(conn, handle.clone()));
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(format!("accept: {e}")),
+                }
+            }
+        }
+        let mut shutdown_now = false;
+        let mut i = 0;
+        while i < sessions.len() {
+            // Gate reads on the pending-reply cap here (the session
+            // can't see its own queue bound and the socket at once).
+            let can_read = sessions[i].pending.len() < cfg.pending_cap
+                && sessions[i].read_buf.len() < cfg.read_buf_cap;
+            let s = &mut sessions[i];
+            if !can_read && !s.closing {
+                // Serve the write side only; the peer stalls in TCP
+                // backpressure until replies drain.
+                progress |= s.resolve();
+                progress |= s.flush();
+            } else {
+                progress |= s.tick(cfg, &mut stats, &mut shutdown_now);
+            }
+            if s.done() {
+                let _ = s.conn.shutdown(Shutdown::Both);
+                sessions.swap_remove(i);
+                // Every connection end — clean EOF, quit, shutdown, or
+                // a peer that vanished mid-reply — flushes the stats
+                // snapshot to the serve log, so a load wave's numbers
+                // land even when the server keeps running.
+                log_stats("disconnect");
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        if shutdown_now && shutting_down.is_none() {
+            shutting_down = Some(Instant::now());
+            // Stop reading everywhere; replies owed still drain.
+            for s in &mut sessions {
+                s.begin_close();
+            }
+        }
+        if let Some(since) = shutting_down {
+            if sessions.is_empty() {
+                return Ok(stats);
+            }
+            if since.elapsed() > SHUTDOWN_GRACE {
+                // Peers that never drained their replies: hang up.
+                sessions.clear();
+                return Ok(stats);
+            }
+        }
+        if progress {
+            idle = IDLE_MIN;
+        } else {
+            std::thread::sleep(idle);
+            idle = (idle * 2).min(IDLE_MAX);
+        }
+    }
+}

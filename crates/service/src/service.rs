@@ -80,12 +80,13 @@ pub struct ServiceConfig {
     /// backpressure).
     pub queue_depth: usize,
     /// Entries the outcome cache may hold (`0` disables caching).
-    /// Ignored when the service is built with
-    /// [`Service::with_cache`], which brings its own cache.
+    /// Ignored when [`ServiceBuilder::shared_cache`] supplies the
+    /// cache, which brings its own capacity.
     pub cache_capacity: usize,
-    /// Eviction policy of the private cache [`Service::new`] builds
-    /// (FIFO by default — zero bookkeeping on the hit path; `sctool
-    /// serve` defaults to LRU). Ignored with [`Service::with_cache`].
+    /// Eviction policy of the private cache the builder creates (FIFO
+    /// by default — zero bookkeeping on the hit path; `sctool serve`
+    /// defaults to LRU). Ignored with
+    /// [`ServiceBuilder::shared_cache`].
     pub eviction: EvictionPolicy,
     /// How mid-stream arrivals are admitted into an in-flight scan
     /// (see [`AdmissionMode`]; serve mode only).
@@ -159,6 +160,30 @@ impl std::fmt::Display for ServiceClosed {
 
 impl std::error::Error for ServiceClosed {}
 
+/// Why a non-blocking submission ([`ServiceHandle::try_submit`]) did
+/// not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySubmitError {
+    /// The tenant's submission queue is full — the load-shedding
+    /// signal the event-driven front-end turns into `err msg=busy`
+    /// instead of blocking its whole event loop on one tenant's
+    /// backpressure.
+    Busy,
+    /// The scheduler already exited.
+    Closed,
+}
+
+impl std::fmt::Display for TrySubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySubmitError::Busy => write!(f, "busy"),
+            TrySubmitError::Closed => write!(f, "service closed"),
+        }
+    }
+}
+
+impl std::error::Error for TrySubmitError {}
+
 /// A pending reply for one submitted query.
 #[derive(Debug)]
 pub struct QueryTicket {
@@ -175,6 +200,22 @@ impl QueryTicket {
     /// [`ServiceClosed`] if the scheduler exited before serving it.
     pub fn wait(self) -> Result<QueryOutcome, ServiceClosed> {
         self.rx.recv().map_err(|_| ServiceClosed)
+    }
+
+    /// Non-blocking poll: `None` while the query is still in flight —
+    /// what the event-driven front-end drains tickets with (the ticket
+    /// stays valid across `None`s).
+    ///
+    /// # Errors
+    ///
+    /// `Some(Err(ServiceClosed))` if the scheduler exited before
+    /// serving it.
+    pub fn try_wait(&self) -> Option<Result<QueryOutcome, ServiceClosed>> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(Ok(outcome)),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceClosed)),
+        }
     }
 }
 
@@ -194,6 +235,21 @@ impl ReloadTicket {
     /// [`ServiceClosed`] if the scheduler exited before swapping.
     pub fn wait(self) -> Result<u64, ServiceClosed> {
         self.rx.recv().map_err(|_| ServiceClosed)
+    }
+
+    /// Non-blocking poll: `None` while in-flight queries are still
+    /// draining ahead of the swap.
+    ///
+    /// # Errors
+    ///
+    /// `Some(Err(ServiceClosed))` if the scheduler exited before
+    /// swapping.
+    pub fn try_wait(&self) -> Option<Result<u64, ServiceClosed>> {
+        match self.rx.try_recv() {
+            Ok(generation) => Some(Ok(generation)),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServiceClosed)),
+        }
     }
 }
 
@@ -240,6 +296,41 @@ impl ServiceHandle {
             }))
             .map_err(|_| ServiceClosed)?;
         Ok(QueryTicket { id, rx })
+    }
+
+    /// Non-blocking [`submit`](ServiceHandle::submit): enqueues the
+    /// query only if the tenant's submission queue has room *right
+    /// now*. This is the shedding half of the front door — an event
+    /// loop multiplexing many connections must not block on one
+    /// tenant's full queue, so a full queue comes back as
+    /// [`TrySubmitError::Busy`] for the caller to turn into
+    /// `err msg=busy`.
+    ///
+    /// A shed attempt leaves no telemetry footprint (no `submitted`
+    /// count, no journal event) — the query never entered the
+    /// scheduler; the front-end's own shed counter is the record.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError::Busy`] when the queue is full,
+    /// [`TrySubmitError::Closed`] when the scheduler already exited.
+    pub fn try_submit(&self, spec: QuerySpec) -> Result<QueryTicket, TrySubmitError> {
+        let (reply, rx) = mpsc::sync_channel(1);
+        let id = self.counter.fetch_add(1, Ordering::Relaxed);
+        match self.routes[self.route].try_send(Submission::Query(QuerySubmission {
+            id,
+            spec,
+            submitted: Instant::now(),
+            reply,
+        })) {
+            Ok(()) => {
+                tel().submitted.incr();
+                sc_telemetry::event(EventKind::Submitted, id, 0, 0, 0);
+                Ok(QueryTicket { id, rx })
+            }
+            Err(mpsc::TrySendError::Full(_)) => Err(TrySubmitError::Busy),
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(TrySubmitError::Closed),
+        }
     }
 
     /// Requests a repository hot swap of this handle's tenant: queries
@@ -376,6 +467,16 @@ impl ServiceBuilder {
             cache: None,
             tenants: Vec::new(),
         }
+    }
+
+    /// Replaces the whole [`ServiceConfig`] at once — for call sites
+    /// that already hold an assembled config (tests sweeping config
+    /// matrices, the CLI). Individual setters called afterwards still
+    /// apply on top.
+    #[must_use]
+    pub fn config(mut self, cfg: ServiceConfig) -> Self {
+        self.cfg = cfg;
+        self
     }
 
     /// Adds a named tenant serving `system` (as its generation 1) with
@@ -531,35 +632,6 @@ impl ServiceBuilder {
 }
 
 impl Service {
-    /// Single-tenant compat constructor: one tenant named `default`
-    /// serving `system`, with a private outcome cache of
-    /// `cfg.cache_capacity` entries under `cfg.eviction`. Prefer
-    /// [`ServiceBuilder`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `max_inflight`, `workers`, or `queue_depth` is zero.
-    #[doc(hidden)]
-    pub fn new(system: SetSystem, cfg: ServiceConfig) -> Self {
-        let cache = Arc::new(OutcomeCache::with_policy(cfg.cache_capacity, cfg.eviction));
-        Self::with_cache(system, cfg, cache)
-    }
-
-    /// Single-tenant compat constructor with a shared outcome cache.
-    /// Prefer [`ServiceBuilder::shared_cache`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `max_inflight`, `workers`, or `queue_depth` is zero.
-    #[doc(hidden)]
-    pub fn with_cache(system: SetSystem, cfg: ServiceConfig, cache: Arc<OutcomeCache>) -> Self {
-        let mut builder = ServiceBuilder::new()
-            .tenant("default", system)
-            .shared_cache(cache);
-        builder.cfg = cfg;
-        builder.build()
-    }
-
     /// The repository generation new queries of the *default* tenant
     /// are admitted under (tenant-addressed access goes through
     /// [`Service::tenants`]).

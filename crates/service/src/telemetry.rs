@@ -39,6 +39,17 @@ pub(crate) struct Tel {
     pub reloads: &'static Counter,
     /// Mirrors [`ServiceMetrics::evictions`](crate::ServiceMetrics::evictions) (all causes).
     pub cache_evictions: &'static Counter,
+    /// Connections the TCP front-end accepted into sessions
+    /// ([`NetStats::accepted`](crate::NetStats::accepted)).
+    pub net_accepted: &'static Counter,
+    /// Load shed at the front door — connections refused over
+    /// `max_conns` plus queries answered `err msg=busy`
+    /// ([`NetStats::shed`](crate::NetStats::shed)).
+    pub net_shed: &'static Counter,
+    /// Request lines discarded for overflowing the per-session read
+    /// buffer
+    /// ([`NetStats::buffer_overflows`](crate::NetStats::buffer_overflows)).
+    pub net_buffer_overflows: &'static Counter,
     /// Stage 1 — boundary admission work (excludes idle channel waits).
     pub stage_admission: &'static StageHistogram,
     /// Stage 2 — the mid-stream splice / blocking drain at a scan
@@ -64,6 +75,9 @@ pub(crate) fn tel() -> &'static Tel {
         aligned_joins: sc_telemetry::counter("sc_aligned_joins_total"),
         reloads: sc_telemetry::counter("sc_reloads_total"),
         cache_evictions: sc_telemetry::counter("sc_cache_evictions_total"),
+        net_accepted: sc_telemetry::counter("sc_net_accepted_total"),
+        net_shed: sc_telemetry::counter("sc_net_shed_total"),
+        net_buffer_overflows: sc_telemetry::counter("sc_net_buffer_overflows_total"),
         stage_admission: sc_telemetry::stage("admission"),
         stage_alignment: sc_telemetry::stage("alignment"),
         stage_execution: sc_telemetry::stage("execution"),

@@ -7,7 +7,9 @@
 
 use sc_core::partial::{run_partial, PartialIterSetCover};
 use sc_core::{IterSetCover, IterSetCoverConfig};
-use sc_service::{AdmissionMode, QueryOutcome, QuerySpec, Service, ServiceConfig, ServiceMetrics};
+use sc_service::{
+    AdmissionMode, QueryOutcome, QuerySpec, ServiceBuilder, ServiceConfig, ServiceMetrics,
+};
 use sc_setsystem::{gen, SetSystem};
 use sc_stream::run_reported;
 use std::time::Duration;
@@ -79,7 +81,10 @@ fn staggered_run(
             seed: 8,
         },
     ];
-    let service = Service::new(system.clone(), cfg);
+    let service = ServiceBuilder::new()
+        .config(cfg)
+        .tenant("default", system.clone())
+        .build();
     service.serve(|handle| {
         let head = handle.submit(specs[0]).expect("open");
         std::thread::sleep(Duration::from_millis(100));
@@ -108,14 +113,14 @@ fn pass_2_joiner_is_bit_identical_to_its_solo_run() {
     let (clients, per_client) = (3u64, 6u64);
     let (outcomes, metrics) = (0..10)
         .find_map(|attempt| {
-            let service = Service::new(
-                inst.system.clone(),
-                ServiceConfig {
+            let service = ServiceBuilder::new()
+                .config(ServiceConfig {
                     workers: 1,
                     shard_size: 64,
                     ..Default::default()
-                },
-            );
+                })
+                .tenant("default", inst.system.clone())
+                .build();
             let (outcomes, metrics) = service.serve(|handle| {
                 std::thread::scope(|s| {
                     let joins: Vec<_> = (0..clients)
@@ -203,15 +208,15 @@ fn spliced_joiners_under_single_set_shard_stealing_stay_bit_identical() {
     ];
     let (outcomes, metrics) = (0..10)
         .find_map(|attempt| {
-            let service = Service::new(
-                inst.system.clone(),
-                ServiceConfig {
+            let service = ServiceBuilder::new()
+                .config(ServiceConfig {
                     workers: 8,
                     shard_size: 1,
                     admission_window: Duration::from_secs(30),
                     ..Default::default()
-                },
-            );
+                })
+                .tenant("default", inst.system.clone())
+                .build();
             let (outcomes, metrics) = service.serve(|handle| {
                 let head = handle.submit(specs[0]).expect("open");
                 std::thread::sleep(Duration::from_millis(80));
@@ -335,14 +340,14 @@ fn full_window_with_armed_deadline_defers_without_livelock() {
     // channel only, so the window expires normally and both queries
     // complete.
     let inst = gen::planted(256, 512, 8, 3);
-    let service = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             max_inflight: 1,
             admission_window: Duration::from_millis(250),
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
     let (outcomes, metrics) = service.serve(|handle| {
         let a = handle
             .submit(QuerySpec::IterCover {

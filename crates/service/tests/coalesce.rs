@@ -4,7 +4,7 @@
 //! the cache always taking precedence over coalescing.
 
 use sc_core::{IterSetCover, IterSetCoverConfig};
-use sc_service::{CachedAnswer, OutcomeCache, QuerySpec, Service, ServiceConfig};
+use sc_service::{CachedAnswer, OutcomeCache, QuerySpec, ServiceBuilder, ServiceConfig};
 use sc_setsystem::gen;
 use sc_stream::run_reported;
 use std::sync::Arc;
@@ -32,7 +32,10 @@ fn k_identical_inflight_queries_run_as_one_job() {
     let solo = run_reported(&mut solo_alg, &inst.system);
 
     let k = 8;
-    let service = Service::new(inst.system.clone(), coalescing());
+    let service = ServiceBuilder::new()
+        .config(coalescing())
+        .tenant("default", inst.system.clone())
+        .build();
     let (outcomes, metrics) = service.run_batch(&vec![iter(7); k]);
 
     // One job's per-scan CPU: a single job ran, everyone else rode it.
@@ -67,7 +70,10 @@ fn k_identical_inflight_queries_run_as_one_job() {
 #[test]
 fn distinct_specs_coalesce_per_group() {
     let inst = gen::planted(256, 512, 8, 5);
-    let service = Service::new(inst.system.clone(), coalescing());
+    let service = ServiceBuilder::new()
+        .config(coalescing())
+        .tenant("default", inst.system.clone())
+        .build();
     // 3 groups × 4 duplicates, interleaved the way concurrent clients
     // would submit them.
     let specs: Vec<QuerySpec> = (0..12u64).map(|i| iter(i % 3)).collect();
@@ -97,16 +103,16 @@ fn mid_stream_identical_joiner_coalesces_never_double_runs() {
     });
     let solo = run_reported(&mut solo_alg, &inst.system);
 
-    let service = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             coalesce: true,
             // Hold the head's first scan open so the duplicate below
             // arrives while the head's job is in flight.
             admission_window: Duration::from_secs(30),
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
     let ((a, b), metrics) = service.serve(|handle| {
         let ta = handle.submit(iter(7)).expect("open");
         std::thread::sleep(Duration::from_millis(100));
@@ -134,7 +140,11 @@ fn mid_stream_identical_joiner_coalesces_never_double_runs() {
 fn cache_hit_takes_precedence_over_coalescing() {
     let inst = gen::planted(256, 512, 8, 3);
     let cache = Arc::new(OutcomeCache::new(16));
-    let service = Service::with_cache(inst.system.clone(), coalescing(), cache.clone());
+    let service = ServiceBuilder::new()
+        .config(coalescing())
+        .shared_cache(cache.clone())
+        .tenant("default", inst.system.clone())
+        .build();
 
     let ((), metrics) = service.serve(|handle| {
         // Leader admitted on a cache miss; the window below would hold
@@ -164,9 +174,8 @@ fn shared_cache_answer_beats_an_inflight_identical_job() {
     // grown.
     let inst = gen::planted(512, 1024, 16, 11);
     let cache = Arc::new(OutcomeCache::new(16));
-    let service = Service::with_cache(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             coalesce: true,
             // Keep the head's first scan open so the job is still in
             // flight when the duplicate arrives. A cache hit does not
@@ -174,9 +183,10 @@ fn shared_cache_answer_beats_an_inflight_identical_job() {
             // scheduler waits out the rest of it — keep it short.
             admission_window: Duration::from_millis(1500),
             ..Default::default()
-        },
-        cache.clone(),
-    );
+        })
+        .shared_cache(cache.clone())
+        .tenant("default", inst.system.clone())
+        .build();
     let mut solo_alg = IterSetCover::new(IterSetCoverConfig {
         delta: 0.5,
         seed: 7,
@@ -223,13 +233,13 @@ fn coalescing_is_off_by_default() {
     let inst = gen::planted(256, 512, 8, 5);
     // Cache off so repeats cannot be answered that way either: every
     // copy must run as its own job, exactly the pre-coalescing path.
-    let service = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             cache_capacity: 0,
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
     let (outcomes, metrics) = service.run_batch(&[iter(1); 4]);
     assert_eq!(metrics.jobs, 4);
     assert_eq!(metrics.coalesced, 0);
@@ -253,7 +263,10 @@ fn telemetry_ledger_reconciles_with_coalescing_metrics() {
         sc_telemetry::registered_counters().into_iter().collect();
 
     let inst = gen::planted(256, 512, 8, 5);
-    let service = Service::new(inst.system.clone(), coalescing());
+    let service = ServiceBuilder::new()
+        .config(coalescing())
+        .tenant("default", inst.system.clone())
+        .build();
     let specs: Vec<QuerySpec> = (0..12u64).map(|i| iter(i % 3)).collect();
     // First wave: 3 leaders + 9 followers. Second wave: all 12 answered
     // from the cache — every completion class is exercised.
@@ -287,15 +300,15 @@ fn telemetry_ledger_reconciles_with_coalescing_metrics() {
 #[test]
 fn followers_beyond_max_inflight_do_not_occupy_slots() {
     let inst = gen::planted(256, 512, 8, 5);
-    let service = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             max_inflight: 2,
             coalesce: true,
             cache_capacity: 0,
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
     // Two distinct leaders fill both slots; every duplicate coalesces
     // without needing a slot of its own, so the whole batch clears in
     // one admission wave.

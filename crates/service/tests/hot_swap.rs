@@ -5,7 +5,7 @@
 //! generation it was answered from.
 
 use sc_core::{IterSetCover, IterSetCoverConfig};
-use sc_service::{QuerySpec, Service, ServiceConfig};
+use sc_service::{QuerySpec, ServiceBuilder, ServiceConfig};
 use sc_setsystem::{gen, SetSystem};
 use sc_stream::run_reported;
 
@@ -31,7 +31,10 @@ fn hot_swap_answers_from_the_new_generation_with_zero_stale_answers() {
     let (solo1, solo2) = (solo_cover(&repo1.system, 9), solo_cover(&repo2.system, 9));
     assert_ne!(solo1, solo2, "the two generations answer differently");
 
-    let service = Service::new(repo1.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", repo1.system.clone())
+        .build();
     let ((before, generation, after), metrics) = service.serve(|handle| {
         let before = handle
             .submit(iter(9))
@@ -74,7 +77,10 @@ fn in_flight_queries_drain_on_their_original_generation() {
     let repo2 = gen::planted(1024, 2048, 16, 6);
     let (solo1, solo2) = (solo_cover(&repo1.system, 3), solo_cover(&repo2.system, 3));
 
-    let service = Service::new(repo1.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", repo1.system.clone())
+        .build();
     let ((a, b), metrics) = service.serve(|handle| {
         // A enters the pipeline, then the reload lands right behind it
         // (with overwhelming probability while A is still scanning),
@@ -110,7 +116,10 @@ fn telemetry_ledger_tracks_reloads_and_survives_a_swap() {
     let repo1 = gen::planted(512, 1024, 16, 5);
     let repo2 = gen::planted(512, 1024, 16, 6);
     let (solo1, solo2) = (solo_cover(&repo1.system, 9), solo_cover(&repo2.system, 9));
-    let service = Service::new(repo1.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", repo1.system.clone())
+        .build();
     let ((a, b), metrics) = service.serve(|handle| {
         let a = handle
             .submit(iter(9))
@@ -157,7 +166,10 @@ fn telemetry_ledger_tracks_reloads_and_survives_a_swap() {
 fn install_repository_swaps_between_batches_and_reaps_the_cache() {
     let repo1 = gen::planted(256, 512, 8, 5);
     let repo2 = gen::planted(256, 512, 8, 6);
-    let service = Service::new(repo1.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", repo1.system.clone())
+        .build();
 
     let (first, m1) = service.run_batch(&[iter(1)]);
     assert_eq!(first[0].generation, 1);
@@ -184,8 +196,16 @@ fn swapping_does_not_reap_a_shared_cache() {
     let repo = gen::planted(256, 512, 8, 5);
     let other = gen::planted(256, 512, 8, 6);
     let cache = Arc::new(OutcomeCache::new(16));
-    let a = Service::with_cache(repo.system.clone(), ServiceConfig::default(), cache.clone());
-    let b = Service::with_cache(repo.system.clone(), ServiceConfig::default(), cache.clone());
+    let a = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .shared_cache(cache.clone())
+        .tenant("default", repo.system.clone())
+        .build();
+    let b = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .shared_cache(cache.clone())
+        .tenant("default", repo.system.clone())
+        .build();
 
     let (_, mb) = b.run_batch(&[iter(4)]);
     assert_eq!(mb.cache_misses, 1);
@@ -200,7 +220,10 @@ fn swapping_does_not_reap_a_shared_cache() {
 #[test]
 fn reloading_identical_content_keeps_the_cache_warm() {
     let repo = gen::planted(256, 512, 8, 5);
-    let service = Service::new(repo.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", repo.system.clone())
+        .build();
     let (_, m1) = service.run_batch(&[iter(2)]);
     assert_eq!(m1.cache_misses, 1);
 

@@ -2,7 +2,7 @@
 //! scans with bit-identical observables, and the repository
 //! fingerprint in the cache key keeps different repositories apart.
 
-use sc_service::{OutcomeCache, QuerySpec, Service, ServiceConfig};
+use sc_service::{OutcomeCache, QuerySpec, ServiceBuilder, ServiceConfig};
 use sc_setsystem::gen;
 use std::sync::Arc;
 
@@ -13,7 +13,10 @@ fn spec(seed: u64) -> QuerySpec {
 #[test]
 fn repeat_queries_hit_in_zero_physical_scans_with_identical_results() {
     let inst = gen::planted(512, 1024, 16, 11);
-    let service = Service::new(inst.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", inst.system.clone())
+        .build();
 
     let (first, m1) = service.run_batch(&[spec(7)]);
     assert_eq!((m1.cache_hits, m1.cache_misses), (0, 1));
@@ -37,13 +40,13 @@ fn repeat_queries_hit_in_zero_physical_scans_with_identical_results() {
 #[test]
 fn later_waves_of_a_batch_hit_the_cache() {
     let inst = gen::planted(256, 512, 8, 5);
-    let service = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             max_inflight: 2,
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
     // Wave 1 (two slots) runs and retires, populating the cache; the
     // remaining four repeats are answered without occupying a slot.
     let (outcomes, metrics) = service.run_batch(&[spec(3); 6]);
@@ -71,8 +74,16 @@ fn differing_repository_fingerprint_misses() {
         OutcomeCache::fingerprint(&b.system)
     );
     let shared = Arc::new(OutcomeCache::new(64));
-    let service_a = Service::with_cache(a.system.clone(), ServiceConfig::default(), shared.clone());
-    let service_b = Service::with_cache(b.system.clone(), ServiceConfig::default(), shared.clone());
+    let service_a = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .shared_cache(shared.clone())
+        .tenant("default", a.system.clone())
+        .build();
+    let service_b = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .shared_cache(shared.clone())
+        .tenant("default", b.system.clone())
+        .build();
 
     let (from_a, _) = service_a.run_batch(&[spec(9)]);
     // The same spec against a different repository must not reuse A's
@@ -84,7 +95,11 @@ fn differing_repository_fingerprint_misses() {
     assert_ne!(from_a[0].cover, from_b[0].cover, "different repositories");
 
     // Same repository + shared cache across service instances: hit.
-    let service_a2 = Service::with_cache(a.system.clone(), ServiceConfig::default(), shared);
+    let service_a2 = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .shared_cache(shared)
+        .tenant("default", a.system.clone())
+        .build();
     let (again, ma2) = service_a2.run_batch(&[spec(9)]);
     assert_eq!((ma2.cache_hits, ma2.cache_misses), (1, 0));
     assert_eq!(ma2.physical_scans, 0);
@@ -94,7 +109,10 @@ fn differing_repository_fingerprint_misses() {
 #[test]
 fn serve_mode_answers_repeats_from_the_cache() {
     let inst = gen::planted(256, 512, 8, 3);
-    let service = Service::new(inst.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", inst.system.clone())
+        .build();
     let (outcomes, metrics) = service.serve(|handle| {
         let first = handle
             .submit(spec(4))
@@ -119,13 +137,13 @@ fn serve_mode_answers_repeats_from_the_cache() {
 #[test]
 fn zero_capacity_disables_caching() {
     let inst = gen::planted(128, 256, 4, 2);
-    let service = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             cache_capacity: 0,
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
     let (_, m1) = service.run_batch(&[spec(1)]);
     let (again, m2) = service.run_batch(&[spec(1)]);
     assert_eq!(m1.cache_hits + m2.cache_hits, 0);

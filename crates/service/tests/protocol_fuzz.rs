@@ -1,0 +1,162 @@
+//! Malformed-input fuzzing of the TCP front door.
+//!
+//! The event-driven session layer must treat a hostile or broken
+//! client as a protocol problem, not a process problem: every
+//! malformed line is answered with a framed `err msg=…` on the same
+//! connection (which stays open), an oversized line is rejected at
+//! the buffer cap without unbounded memory growth, and none of it
+//! disturbs a well-behaved connection being served concurrently.
+//!
+//! The garbage menu: truncated verbs, unknown verbs, NUL bytes,
+//! `!use` retargeting interleaved mid-query-stream (valid and
+//! invalid), and a line far beyond the configured read-buffer cap.
+
+use sc_service::net::{serve_tcp_with, wait_ready, NetConfig, NetStats};
+use sc_service::{ServiceBuilder, ServiceMetrics};
+use sc_setsystem::gen;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Cap small enough that a test can overflow it with one write.
+const READ_BUF_CAP: usize = 1024;
+
+/// Serves two tenants (`default`, `alt`) over TCP on an OS-assigned
+/// port; returns the address and the join handle yielding the final
+/// accounting.
+fn spawn_server() -> (String, std::thread::JoinHandle<(ServiceMetrics, NetStats)>) {
+    let main = gen::planted(120, 240, 6, 5);
+    let alt = gen::planted(90, 180, 5, 6);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || {
+        let service = ServiceBuilder::new()
+            .tenant("default", main.system)
+            .tenant("alt", alt.system)
+            .build();
+        let cfg = NetConfig {
+            read_buf_cap: READ_BUF_CAP,
+            ..NetConfig::default()
+        };
+        serve_tcp_with(&service, listener, cfg).expect("serve")
+    });
+    (addr, handle)
+}
+
+/// One request line in, one reply line out.
+fn round_trip(reader: &mut BufReader<TcpStream>, writer: &mut &TcpStream, line: &[u8]) -> String {
+    writer.write_all(line).expect("write");
+    writer.write_all(b"\n").expect("write newline");
+    writer.flush().expect("flush");
+    let mut reply = String::new();
+    let n = reader.read_line(&mut reply).expect("read reply");
+    assert!(n > 0, "connection died answering {line:?}");
+    reply.trim_end().to_string()
+}
+
+fn connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let conn = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(conn.try_clone().expect("clone"));
+    (reader, conn)
+}
+
+#[test]
+fn garbage_gets_framed_errors_without_killing_the_session_or_its_neighbours() {
+    let (addr, server) = spawn_server();
+    wait_ready(&addr, Duration::from_secs(5)).expect("server up");
+
+    // The bystander: a well-behaved connection served concurrently
+    // with the fuzzing. Its replies must stay correct throughout.
+    let (mut by_reader, by_conn) = connect(&addr);
+    let mut by_writer = &by_conn;
+
+    let (mut reader, conn) = connect(&addr);
+    let mut writer = &conn;
+
+    // Truncated and unknown verbs, NUL bytes: every line draws one
+    // `err msg=…` reply on the same still-open connection.
+    let garbage: [&[u8]; 12] = [
+        b"!use",
+        b"!reload",
+        b"!trace",
+        b"!trace bogus",
+        b"!us default",
+        b"!",
+        b"!frobnicate now",
+        b"iter delta=",
+        b"pingpong",
+        b"ping\x00",
+        b"\x00\x00\x00",
+        b"partial eps=nope",
+    ];
+    for (i, line) in garbage.iter().enumerate() {
+        let reply = round_trip(&mut reader, &mut writer, line);
+        assert!(
+            reply.starts_with("err msg="),
+            "garbage #{i} {line:?} drew {reply:?}"
+        );
+        // The bystander stays fully served between every piece of
+        // garbage.
+        let pong = round_trip(&mut by_reader, &mut by_writer, b"ping");
+        assert_eq!(pong, "pong", "bystander disturbed after garbage #{i}");
+    }
+
+    // `!use` interleaved mid-query-stream: valid retargets answer ok
+    // and apply to subsequent queries; an unknown tenant answers err
+    // and leaves the cursor unchanged.
+    for (line, want_prefix) in [
+        (&b"iter delta=0.5 seed=1"[..], "ok id="),
+        (b"!use alt", "ok use repo=alt"),
+        (b"greedy", "ok id="),
+        (b"!use nosuch", "err msg="),
+        (b"greedy", "ok id="),
+        (b"!use default", "ok use repo=default"),
+    ] {
+        let reply = round_trip(&mut reader, &mut writer, line);
+        assert!(
+            reply.starts_with(want_prefix),
+            "{:?} drew {reply:?}",
+            String::from_utf8_lossy(line)
+        );
+    }
+
+    // An oversized line: framed rejection at the cap, the overflow is
+    // discarded as it streams in, and the session keeps serving.
+    let huge = vec![b'a'; READ_BUF_CAP * 8];
+    let reply = round_trip(&mut reader, &mut writer, &huge);
+    assert_eq!(reply, "err msg=line_too_long");
+    let reply = round_trip(&mut reader, &mut writer, b"greedy");
+    assert!(reply.starts_with("ok id="), "after overflow: {reply:?}");
+
+    // The bystander finishes a real query untouched by all of it.
+    let reply = round_trip(&mut by_reader, &mut by_writer, b"iter delta=0.5 seed=9");
+    assert!(reply.starts_with("ok id="), "bystander query: {reply:?}");
+
+    drop((reader, conn, by_reader, by_conn));
+    let (_reader, shutdown_conn) = connect(&addr);
+    (&shutdown_conn).write_all(b"shutdown\n").expect("shutdown");
+    let (metrics, stats) = server.join().expect("server thread");
+    assert_eq!(stats.buffer_overflows, 1, "exactly one oversized line");
+    assert_eq!(stats.shed, 0, "nothing was shed in this test");
+    assert!(metrics.queries_completed >= 5, "the real queries completed");
+}
+
+#[test]
+fn a_flood_of_oversized_lines_is_bounded_and_each_draws_one_error() {
+    let (addr, server) = spawn_server();
+    wait_ready(&addr, Duration::from_secs(5)).expect("server up");
+    let (mut reader, conn) = connect(&addr);
+    let mut writer = &conn;
+    for _ in 0..8 {
+        let huge = vec![b'x'; READ_BUF_CAP * 4];
+        let reply = round_trip(&mut reader, &mut writer, &huge);
+        assert_eq!(reply, "err msg=line_too_long");
+    }
+    let reply = round_trip(&mut reader, &mut writer, b"ping");
+    assert_eq!(reply, "pong");
+    drop((reader, conn));
+    let (_reader, shutdown_conn) = connect(&addr);
+    (&shutdown_conn).write_all(b"shutdown\n").expect("shutdown");
+    let (_metrics, stats) = server.join().expect("server thread");
+    assert_eq!(stats.buffer_overflows, 8);
+}

@@ -1,0 +1,89 @@
+//! Property: [`Request::render`] is the canonical inverse of
+//! [`Request::parse`] — `parse(render(r)) == r` for every request the
+//! codec can express.
+//!
+//! This is the contract that lets the stdin pump, the TCP poller, and
+//! `sctool client` all speak through the same enum: any request a
+//! front-end constructs programmatically serialises to a line the
+//! server parses back to the identical value, so there is no second,
+//! slightly different grammar hiding in a client.
+//!
+//! Paths and repository names are generated over the token alphabet
+//! the wire grammar can carry (no whitespace — the line protocol is
+//! whitespace-delimited). The deterministic unit tests in
+//! `protocol.rs` pin the space-bearing `!reload` fallback separately.
+
+use proptest::prelude::*;
+use proptest::string;
+use sc_service::protocol::Request;
+use sc_service::QuerySpec;
+
+/// A repository name as the wire carries it: one whitespace-free
+/// token, `=`-free so a `repo=<name>` query token survives unscathed.
+fn repo_name() -> impl Strategy<Value = String> {
+    string::string_regex("[a-z0-9_.-]{1,12}").expect("static pattern")
+}
+
+/// A path token (whitespace-free; `/` and `.` are the interesting
+/// characters).
+fn path_token() -> impl Strategy<Value = String> {
+    string::string_regex("[a-zA-Z0-9_./-]{1,24}").expect("static pattern")
+}
+
+/// Every query spec the grammar admits: `delta` in `(0,1]`, `epsilon`
+/// in `[0,1)`, any seed. Rust's shortest-round-trip float formatting
+/// makes `Display` → `parse` exact for arbitrary `f64` values.
+fn query_spec() -> impl Strategy<Value = QuerySpec> {
+    prop_oneof![
+        (1e-6..1.0f64, any::<u64>()).prop_map(|(delta, seed)| QuerySpec::IterCover { delta, seed }),
+        (0.0..1.0f64, 1e-6..1.0f64, any::<u64>()).prop_map(|(epsilon, delta, seed)| {
+            QuerySpec::PartialCover {
+                epsilon,
+                delta,
+                seed,
+            }
+        }),
+        Just(QuerySpec::GreedyBaseline),
+    ]
+}
+
+/// Every expressible request.
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (
+            prop_oneof![Just(None), repo_name().prop_map(Some)],
+            query_spec()
+        )
+            .prop_map(|(repo, spec)| Request::Query { repo, spec }),
+        repo_name().prop_map(|repo| Request::Use { repo }),
+        Just(Request::Repos),
+        // The lexical `!reload` split: a bare path must be one token
+        // (two tokens parse as target + path), a targeted path may be
+        // any token.
+        path_token().prop_map(|path| Request::Reload { target: None, path }),
+        (repo_name(), path_token()).prop_map(|(name, path)| Request::Reload {
+            target: Some(name),
+            path,
+        }),
+        Just(Request::Stats),
+        Just(Request::Metrics),
+        any::<u64>().prop_map(|id| Request::Trace { id }),
+        Just(Request::Ping),
+        Just(Request::Quit),
+        Just(Request::Shutdown),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parse_render_is_the_identity(req in request()) {
+        let line = req.render();
+        let back = Request::parse(&line);
+        prop_assert_eq!(back.as_ref(), Ok(&req), "rendered line {:?}", line);
+        // And rendering is idempotent: the canonical form renders to
+        // itself.
+        prop_assert_eq!(back.unwrap().render(), line);
+    }
+}

@@ -6,7 +6,7 @@
 use sc_core::baselines::StoreAllGreedy;
 use sc_core::partial::{run_partial, PartialIterSetCover};
 use sc_core::{IterSetCover, IterSetCoverConfig};
-use sc_service::{QueryOutcome, QuerySpec, Service, ServiceConfig};
+use sc_service::{QueryOutcome, QuerySpec, ServiceBuilder, ServiceConfig};
 use sc_setsystem::{gen, SetSystem};
 use sc_stream::run_reported;
 
@@ -55,7 +55,10 @@ fn assert_matches_solo(outcome: &QueryOutcome, system: &SetSystem, label: &str) 
 #[test]
 fn single_queries_match_their_solo_runs() {
     let inst = gen::planted(512, 1024, 16, 11);
-    let service = Service::new(inst.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", inst.system.clone())
+        .build();
     for spec in [
         QuerySpec::IterCover {
             delta: 0.5,
@@ -81,7 +84,10 @@ fn single_queries_match_their_solo_runs() {
 #[test]
 fn mixed_concurrent_batch_matches_solo_per_query() {
     let inst = gen::planted_noisy(300, 600, 10, 9);
-    let service = Service::new(inst.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", inst.system.clone())
+        .build();
     let specs = vec![
         QuerySpec::IterCover {
             delta: 0.5,
@@ -130,20 +136,20 @@ fn single_threaded_and_threaded_epochs_agree() {
             seed: i,
         })
         .collect();
-    let threaded = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let threaded = ServiceBuilder::new()
+        .config(ServiceConfig {
             workers: 4,
             ..Default::default()
-        },
-    );
-    let sequential = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+        })
+        .tenant("default", inst.system.clone())
+        .build();
+    let sequential = ServiceBuilder::new()
+        .config(ServiceConfig {
             workers: 1,
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
     let (a, _) = threaded.run_batch(&specs);
     let (b, _) = sequential.run_batch(&specs);
     for (x, y) in a.iter().zip(&b) {
@@ -159,14 +165,14 @@ fn single_set_shards_under_heavy_stealing_agree_with_solo() {
     // interleavings across the worker pool; every observable must
     // still match the solo run bit for bit.
     let inst = gen::planted_noisy(300, 600, 10, 9);
-    let service = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             workers: 8,
             shard_size: 1,
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
     let specs = vec![
         QuerySpec::IterCover {
             delta: 0.5,
@@ -222,15 +228,15 @@ fn mid_stream_admission_and_cache_hits_preserve_solo_observables() {
     // whichever attempt is accepted.
     let (outcomes, metrics) = (0..3)
         .find_map(|attempt| {
-            let service = Service::new(
-                inst.system.clone(),
-                ServiceConfig {
+            let service = ServiceBuilder::new()
+                .config(ServiceConfig {
                     // Catch the staggered submissions below inside the
                     // first scan of the fresh epoch group.
                     admission_window: std::time::Duration::from_secs(30),
                     ..Default::default()
-                },
-            );
+                })
+                .tenant("default", inst.system.clone())
+                .build();
             let (outcomes, metrics) = service.serve(|handle| {
                 let head = handle.submit(specs[0]).expect("open");
                 std::thread::sleep(std::time::Duration::from_millis(150));
@@ -289,7 +295,10 @@ fn telemetry_recording_never_perturbs_observables() {
         },
     ];
     let run = || {
-        let service = Service::new(inst.system.clone(), ServiceConfig::default());
+        let service = ServiceBuilder::new()
+            .config(ServiceConfig::default())
+            .tenant("default", inst.system.clone())
+            .build();
         service.run_batch(&specs).0
     };
     let quiet = run();
@@ -315,7 +324,10 @@ fn telemetry_recording_never_perturbs_observables() {
 #[test]
 fn uncoverable_instances_fail_cleanly() {
     let system = SetSystem::from_sets(4, vec![vec![0, 1], vec![1, 2]]);
-    let service = Service::new(system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", system.clone())
+        .build();
     let (outcomes, _) = service.run_batch(&[
         QuerySpec::IterCover {
             delta: 0.5,

@@ -4,7 +4,7 @@
 //! backpressure.
 
 use sc_core::{IterSetCover, IterSetCoverConfig};
-use sc_service::{QuerySpec, Service, ServiceConfig};
+use sc_service::{QuerySpec, ServiceBuilder, ServiceConfig};
 use sc_setsystem::gen;
 use sc_stream::run_reported;
 use std::time::Duration;
@@ -23,7 +23,10 @@ fn eight_identical_queries_ride_one_query_worth_of_scans() {
     });
     let solo = run_reported(&mut solo_alg, &inst.system);
 
-    let service = Service::new(inst.system.clone(), ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", inst.system.clone())
+        .build();
     let n = 8;
     let (outcomes, metrics) = service.run_batch(&vec![spec; n]);
     for outcome in &outcomes {
@@ -50,14 +53,14 @@ fn admission_beyond_max_inflight_waves_through() {
     // Cache disabled: this test pins *wave* admission — with the cache
     // on, waves 2 and 3 would be answered from the cache instead of
     // re-running (see the `outcome_cache` test for that path).
-    let service = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             max_inflight: 4,
             cache_capacity: 0,
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
     let (outcomes, metrics) = service.run_batch(&vec![spec; 12]);
     assert!(outcomes.iter().all(|o| o.goal_met()));
     assert!(metrics.max_inflight_seen <= 4);
@@ -71,15 +74,15 @@ fn admission_beyond_max_inflight_waves_through() {
 #[test]
 fn concurrent_clients_drain_cleanly() {
     let inst = gen::planted(256, 512, 8, 3);
-    let service = Service::new(
-        inst.system.clone(),
-        ServiceConfig {
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig {
             max_inflight: 16,
             workers: 4,
             queue_depth: 4, // force submit-side backpressure
             ..Default::default()
-        },
-    );
+        })
+        .tenant("default", inst.system.clone())
+        .build();
     let clients: u64 = 4;
     let per_client: u64 = 6;
     let ((), metrics) = service.serve(|handle| {
@@ -141,16 +144,16 @@ fn mid_stream_joiner_rides_the_in_flight_scan() {
     // service, so the scans/covers below stay deterministic).
     let (a, b, metrics) = (0..3)
         .find_map(|attempt| {
-            let service = Service::new(
-                inst.system.clone(),
-                ServiceConfig {
+            let service = ServiceBuilder::new()
+                .config(ServiceConfig {
                     // Hold the fresh group's first scan open long
                     // enough that the staggered second submission
                     // below arrives while that scan is in flight.
                     admission_window: Duration::from_secs(30),
                     ..Default::default()
-                },
-            );
+                })
+                .tenant("default", inst.system.clone())
+                .build();
             let ((a, b), metrics) = service.serve(|handle| {
                 let ta = handle
                     .submit(QuerySpec::IterCover {
@@ -200,7 +203,10 @@ fn mid_stream_joiner_rides_the_in_flight_scan() {
 #[test]
 fn dropped_tickets_do_not_wedge_the_scheduler() {
     let inst = gen::planted(64, 128, 4, 1);
-    let service = Service::new(inst.system, ServiceConfig::default());
+    let service = ServiceBuilder::new()
+        .config(ServiceConfig::default())
+        .tenant("default", inst.system)
+        .build();
     let ((), metrics) = service.serve(|handle| {
         // Submit and walk away: the scheduler must still serve the
         // query (the reply just lands nowhere) and exit cleanly.

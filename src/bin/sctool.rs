@@ -52,14 +52,15 @@ const USAGE: &str = "usage:
   sctool exact <file> [--budget NODES]
   sctool certify <file>
   sctool convert <in> <out>              (format chosen by .scb extension)
-  sctool serve <file> [--repo NAME=PATH]... [--quota NAME=N]... [--quantum N] [--listen HOST:PORT] [--inflight N] [--workers N] [--cache N] [--eviction fifo|lru] [--admission aligned|boundary] [--window MS] [--shard SETS] [--coalesce] [--stats-interval SECS] [--no-telemetry]
-  sctool client --connect HOST:PORT [--repo NAME] [--wait-ready SECS] [--queries N] [--concurrency C] [--spec QUERY] [--duplicates K] [--stats] [--shutdown]
+  sctool serve <file> [--repo NAME=PATH]... [--quota NAME=N]... [--quantum N] [--listen HOST:PORT] [--max-conns N] [--shed DEPTH] [--inflight N] [--workers N] [--cache N] [--eviction fifo|lru] [--admission aligned|boundary] [--window MS] [--shard SETS] [--coalesce] [--stats-interval SECS] [--no-telemetry]
+  sctool client --connect HOST:PORT [--repo NAME] [--wait-ready SECS] [--queries N] [--concurrency C] [--spec QUERY] [--duplicates K] [--allow-busy] [--stats] [--shutdown]
   sctool geomgen <discs|rects|triangles|clustered|grid|twoline> [--n N] [--m M] [--k K] [--half H] [--seed SEED]
   sctool geomsolve <file> [--delta D] [--no-canonical] [--bg]
 
 files: text format everywhere; SCB1 binary is sniffed by magic; use - for stdin (either format)
 serve protocol: one query per line — 'iter [delta=D] [seed=S]', 'partial [eps=E] [delta=D] [seed=S]', 'greedy', each optionally carrying 'repo=NAME' to address a named repository; also ping/quit/shutdown, '!use NAME' (retarget the connection at a named repository), '!repos' (list served repositories with generation/fingerprint/quota/counters), '!reload [NAME] PATH' (hot-swap a repository — the bare form swaps the connection's current one; in-flight queries drain on their generation), and the live telemetry verbs '!stats' (one-line counters + stage percentiles), '!metrics' (Prometheus-style listing), '!trace ID' (one query's journal timeline); responses come back in request order
-serve tenants: the positional <file> is the repository named 'default'; each --repo NAME=PATH adds another; --quota NAME=N caps one repository's inflight slots; --quantum N tunes the cross-tenant fairness gate";
+serve tenants: the positional <file> is the repository named 'default'; each --repo NAME=PATH adds another; --quota NAME=N caps one repository's inflight slots; --quantum N tunes the cross-tenant fairness gate
+serve overload: one event-driven thread multiplexes every connection; past --max-conns new connections get 'err msg=busy' and close, a query landing on a full submission queue answers 'err msg=busy' in-line, a request line past the per-session buffer cap answers 'err msg=line_too_long', and --shed DEPTH bounds each session's pipelined replies (beyond it the socket stalls in TCP backpressure); 'sctool client --allow-busy' counts busy answers instead of failing";
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -515,11 +516,28 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     };
     let metrics = match flag(args, "--listen") {
         Some(addr) => {
+            // Front-door limits of the event-driven session layer:
+            // `--max-conns` is the concurrent-connection cap (excess
+            // connections are answered `err msg=busy` and closed),
+            // `--shed` the per-session pending-reply depth (beyond it
+            // the server stops reading that socket — TCP backpressure,
+            // not disconnection).
+            let net_defaults = net::NetConfig::default();
+            let net_cfg = net::NetConfig {
+                max_conns: flag_or(args, "--max-conns", net_defaults.max_conns)?.max(1),
+                pending_cap: flag_or(args, "--shed", net_defaults.pending_cap)?.max(1),
+                ..net_defaults
+            };
             let listener =
                 std::net::TcpListener::bind(&addr).map_err(|e| format!("{addr}: {e}"))?;
             let local = listener.local_addr().map_err(|e| format!("{addr}: {e}"))?;
             eprintln!("sctool serve: listening on {local}");
-            net::serve_tcp(&service, listener)?
+            let (metrics, net_stats) = net::serve_tcp_with(&service, listener, net_cfg)?;
+            eprintln!(
+                "sctool serve: net accepted={} shed={} buffer_overflows={}",
+                net_stats.accepted, net_stats.shed, net_stats.buffer_overflows,
+            );
+            metrics
         }
         None => {
             let (res, metrics) = service.serve(|handle| {
@@ -587,9 +605,14 @@ fn response_field(line: &str, key: &str) -> Option<u64> {
 /// cache hits.
 fn client_cmd(args: &[String]) -> Result<(), String> {
     use std::net::TcpStream;
+    use streaming_set_cover::service::protocol::{Reply, Request};
     use streaming_set_cover::service::{LatencyHistogram, QuerySpec};
     let addr = flag(args, "--connect").ok_or("client: missing --connect")?;
     let queries: usize = flag_or(args, "--queries", 8)?;
+    // `--allow-busy`: a server under deliberate overload answers some
+    // queries `err msg=busy`; count those as shed load instead of
+    // failing the run, and require ok + busy to cover every query.
+    let allow_busy = args.iter().any(|a| a == "--allow-busy");
     let concurrency: usize = flag_or(args, "--concurrency", 1)?;
     let concurrency = concurrency.clamp(1, queries.max(1));
     let duplicates: usize = flag_or(args, "--duplicates", 1)?;
@@ -632,6 +655,9 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
     #[derive(Default)]
     struct Tally {
         ok: usize,
+        /// Queries the server shed with `err msg=busy` (only counted
+        /// under `--allow-busy`).
+        busy: usize,
         cached: usize,
         coalesced: usize,
         /// Responses per server repository generation (`gen=` field) —
@@ -665,7 +691,8 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
                     // Retarget before pipelining, and confirm the ack so
                     // a typo'd name fails fast instead of miscounting
                     // query responses downstream.
-                    writeln!(writer, "!use {name}").map_err(|e| e.to_string())?;
+                    let retarget = Request::Use { repo: name.clone() };
+                    writeln!(writer, "{}", retarget.render()).map_err(|e| e.to_string())?;
                     writer.flush().map_err(|e| e.to_string())?;
                     let mut ack = String::new();
                     reader.read_line(&mut ack).map_err(|e| e.to_string())?;
@@ -673,16 +700,42 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
                         return Err(format!("--repo {name}: {}", ack.trim_end()));
                     }
                 }
-                for q in first..first + share {
-                    writeln!(writer, "{}", spec_of(q)).map_err(|e| e.to_string())?;
+                // A server over its connection limit answers one busy
+                // line and hangs up; under --allow-busy the writes may
+                // hit the closed socket (broken pipe) — swallow that and
+                // let the read loop below find the busy line.
+                let sent = (|| -> Result<(), String> {
+                    for q in first..first + share {
+                        let request = Request::Query {
+                            repo: None,
+                            spec: spec_of(q),
+                        };
+                        writeln!(writer, "{}", request.render()).map_err(|e| e.to_string())?;
+                    }
+                    writer.flush().map_err(|e| e.to_string())
+                })();
+                if let Err(e) = sent {
+                    if !allow_busy {
+                        return Err(e);
+                    }
                 }
-                writer.flush().map_err(|e| e.to_string())?;
                 let mut tally = Tally::default();
                 let mut line = String::new();
-                for _ in 0..share {
+                for answered in 0..share {
                     line.clear();
-                    let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+                    // After the hang-up a reset can surface as either
+                    // EOF or a read error; both mean the rest of this
+                    // connection's load was shed.
+                    let n = match reader.read_line(&mut line) {
+                        Ok(n) => n,
+                        Err(_) if allow_busy && tally.busy > 0 => 0,
+                        Err(e) => return Err(e.to_string()),
+                    };
                     if n == 0 {
+                        if allow_busy && tally.busy > 0 {
+                            tally.busy += share - answered;
+                            break;
+                        }
                         return Err("server closed the connection early".into());
                     }
                     if line.starts_with("ok") {
@@ -700,12 +753,15 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
                         if let Some(us) = response_field(&line, "us") {
                             tally.latency.record(std::time::Duration::from_micros(us));
                         }
+                    } else if allow_busy && line.trim_end() == Reply::Busy.render() {
+                        tally.busy += 1;
                     } else {
                         eprintln!("sctool client: {}", line.trim_end());
                     }
                 }
                 let mut total = total.lock().expect("tally poisoned");
                 total.ok += tally.ok;
+                total.busy += tally.busy;
                 total.cached += tally.cached;
                 total.coalesced += tally.coalesced;
                 for (generation, count) in tally.generations {
@@ -723,9 +779,9 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
     })?;
     let elapsed = start.elapsed();
     let tally = total.into_inner().expect("tally poisoned");
-    let ok = tally.ok;
+    let (ok, busy) = (tally.ok, tally.busy);
     println!(
-        "{queries} queries ({ok} ok, {} cached, {} coalesced) over {concurrency} connection(s) in {:.1} ms → {:.1} queries/s",
+        "{queries} queries ({ok} ok, {busy} busy, {} cached, {} coalesced) over {concurrency} connection(s) in {:.1} ms → {:.1} queries/s",
         tally.cached,
         tally.coalesced,
         elapsed.as_secs_f64() * 1e3,
@@ -752,7 +808,7 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
         let conn = TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
         let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
         let mut writer = &conn;
-        writeln!(writer, "!stats").map_err(|e| e.to_string())?;
+        writeln!(writer, "{}", Request::Stats.render()).map_err(|e| e.to_string())?;
         writer.flush().map_err(|e| e.to_string())?;
         let mut line = String::new();
         reader.read_line(&mut line).map_err(|e| e.to_string())?;
@@ -762,14 +818,39 @@ fn client_cmd(args: &[String]) -> Result<(), String> {
         }
     }
     if args.iter().any(|a| a == "--shutdown") {
-        let conn = TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
-        let mut writer = &conn;
-        writeln!(writer, "shutdown").map_err(|e| e.to_string())?;
+        // Under deliberate overload the front door can still be at its
+        // connection cap here — the burst sockets occupy sessions until
+        // the poller reaps their EOFs — and then this connection is
+        // shed with a busy line instead of carrying the shutdown.
+        // Retry until a connection is admitted: an accepted `shutdown`
+        // is acknowledged by the server closing the socket without
+        // answering, so EOF means delivered and `err msg=busy` means
+        // try again.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let conn = TcpStream::connect(&addr).map_err(|e| format!("{addr}: {e}"))?;
+            let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
+            let mut writer = &conn;
+            writeln!(writer, "{}", Request::Shutdown.render()).map_err(|e| e.to_string())?;
+            writer.flush().map_err(|e| e.to_string())?;
+            let mut line = String::new();
+            let n = reader.read_line(&mut line).unwrap_or(0);
+            if n == 0 || line.trim_end() != Reply::Busy.render() {
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err("shutdown connection kept being shed with busy".to_string());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
     }
-    if ok != queries {
+    // Every query must be accounted for: answered ok, or — under
+    // `--allow-busy` — explicitly shed by the server.
+    if ok + busy != queries {
         return Err(format!(
-            "{} of {queries} queries did not return ok",
-            queries - ok
+            "{} of {queries} queries did not return ok{}",
+            queries - ok - busy,
+            if allow_busy { " or busy" } else { "" },
         ));
     }
     Ok(())
