@@ -89,6 +89,10 @@ pub(crate) enum Action {
     /// A requested hot swap; the new generation id arrives through
     /// the ticket.
     Swap(ReloadTicket),
+    /// A requested hot swap whose instance file is still loading on a
+    /// worker thread (non-blocking mode only — the event loop must not
+    /// stall every connection on one tenant's disk I/O).
+    LoadSwap(SwapLoad),
     /// The query was refused because the tenant's submission queue is
     /// full — render [`Reply::Busy`] and count the shed (non-blocking
     /// mode only).
@@ -97,6 +101,44 @@ pub(crate) enum Action {
     Quit,
     /// `shutdown`: stop the server once inflight work drains.
     Shutdown,
+}
+
+/// A `!reload` in its load phase: a short-lived worker thread reads
+/// and parses the instance file off the event loop, and only the
+/// cheap [`ServiceHandle::reload`] hand-off runs inline once the load
+/// lands. The issuing session stalls until then (preserving that
+/// connection's dispatch order, exactly like the old blocking path);
+/// every other connection keeps being served.
+pub(crate) struct SwapLoad {
+    handle: ServiceHandle,
+    rx: std::sync::mpsc::Receiver<Result<sc_setsystem::SetSystem, String>>,
+}
+
+impl SwapLoad {
+    fn spawn(handle: ServiceHandle, path: String) -> SwapLoad {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::Builder::new()
+            .name("sc-reload-load".into())
+            .spawn(move || {
+                let _ = tx.send(sc_setsystem::io::load_path(&path).map(|inst| inst.system));
+            })
+            .expect("spawn reload loader thread");
+        SwapLoad { handle, rx }
+    }
+
+    /// `None` while the file is still loading; once the loader is
+    /// done, performs the reload hand-off and returns the swap ticket
+    /// (or the load/hand-off error).
+    pub(crate) fn try_finish(&self) -> Option<Result<ReloadTicket, String>> {
+        let loaded = match self.rx.try_recv() {
+            Ok(result) => result,
+            Err(std::sync::mpsc::TryRecvError::Empty) => return None,
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                Err("reload loader thread died".into())
+            }
+        };
+        Some(loaded.and_then(|system| self.handle.reload(system).map_err(|e| e.to_string())))
+    }
 }
 
 /// Executes one parsed request against the connection's state:
@@ -173,12 +215,21 @@ pub(crate) fn dispatch(req: Request, conn: &mut ServiceHandle, blocking: bool) -
                 },
                 None => (conn.clone(), path),
             };
-            match sc_setsystem::io::load_path(&path) {
-                Ok(inst) => match handle.reload(inst.system) {
-                    Ok(ticket) => Action::Swap(ticket),
-                    Err(e) => Action::Reply(Reply::error(e.to_string())),
-                },
-                Err(msg) => Action::Reply(Reply::error(msg)),
+            if blocking {
+                // The stdin pump blocks its one connection, same as
+                // its queries do.
+                match sc_setsystem::io::load_path(&path) {
+                    Ok(inst) => match handle.reload(inst.system) {
+                        Ok(ticket) => Action::Swap(ticket),
+                        Err(e) => Action::Reply(Reply::error(e.to_string())),
+                    },
+                    Err(msg) => Action::Reply(Reply::error(msg)),
+                }
+            } else {
+                // The event loop must not stall every connection on
+                // one file load: read the instance off-thread and
+                // hand off to the scheduler when it lands.
+                Action::LoadSwap(SwapLoad::spawn(handle, path))
             }
         }
         Request::Query { repo, spec } => {
@@ -262,6 +313,7 @@ where
                     Action::Reply(reply) => Pumped::Reply(reply),
                     Action::Ticket(ticket) => Pumped::Ticket(ticket),
                     Action::Swap(ticket) => Pumped::Swap(ticket),
+                    Action::LoadSwap(_) => unreachable!("blocking dispatch loads inline"),
                     Action::Shed => unreachable!("blocking dispatch never sheds"),
                     Action::Quit => break,
                     Action::Shutdown => return Ok(true),
@@ -676,6 +728,116 @@ mod tests {
             assert_eq!(metrics.queries_completed, 1);
             assert_eq!(stats.buffer_overflows, 1);
             assert_eq!(stats.shed, 0);
+        });
+    }
+
+    #[test]
+    fn pipelined_burst_larger_than_the_read_buffer_drains() {
+        // Regression (REVIEW): a one-shot pipeline of small lines
+        // bigger than `read_buf_cap` used to wedge the session — the
+        // old loop gated the whole service round (parsing included) on
+        // the buffer being under the cap, while parsing is the only
+        // thing that shrinks the buffer. The cap must gate only the
+        // socket read.
+        let service = single(1);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let cfg = NetConfig {
+            read_buf_cap: 256,
+            ..NetConfig::default()
+        };
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_tcp_with(&service, listener, cfg).expect("serve"));
+            wait_ready(&addr, Duration::from_secs(10)).expect("ready");
+            let conn = TcpStream::connect(&addr).expect("connect");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut writer = &conn;
+            // 100 pings ≈ 500 buffered bytes, well over the 256 cap,
+            // in a single write.
+            let mut burst = "ping\n".repeat(100);
+            burst.push_str("shutdown\n");
+            writer.write_all(burst.as_bytes()).unwrap();
+            writer.flush().unwrap();
+            for i in 0..100 {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                assert_eq!(line.trim(), "pong", "reply {i}");
+            }
+            let (_, stats) = server.join().expect("server thread");
+            assert_eq!(stats.shed, 0);
+            assert_eq!(stats.buffer_overflows, 0);
+        });
+    }
+
+    #[test]
+    fn oversized_fragment_behind_a_complete_line_still_drains() {
+        // Regression (REVIEW): a parseable line followed by an
+        // over-cap fragment used to wedge — the buffer sat at the cap,
+        // the whole-round gate stopped parsing, and the overflow check
+        // (which lives in the parse path) never ran.
+        let service = single(1);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let cfg = NetConfig {
+            read_buf_cap: 256,
+            ..NetConfig::default()
+        };
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_tcp_with(&service, listener, cfg).expect("serve"));
+            wait_ready(&addr, Duration::from_secs(10)).expect("ready");
+            let conn = TcpStream::connect(&addr).expect("connect");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut writer = &conn;
+            // One complete line, then 300 bytes of an unterminated
+            // line — past the 256-byte cap.
+            let mut part = String::from("ping\n");
+            part.push_str(&"x".repeat(300));
+            writer.write_all(part.as_bytes()).unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim(), "pong");
+            // The oversized line is rejected (as `line_too_long`, or
+            // as an unknown query if the kernel delivered its newline
+            // into the same parse round) without killing the session.
+            writeln!(writer, "\ngreedy\nshutdown").unwrap();
+            writer.flush().unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("err msg="), "{line:?}");
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("ok "), "session survived: {line:?}");
+            let (metrics, stats) = server.join().expect("server thread");
+            assert_eq!(metrics.queries_completed, 1);
+            assert_eq!(stats.shed, 0);
+        });
+    }
+
+    #[test]
+    fn reload_with_a_missing_file_replies_err_and_the_session_survives() {
+        // The off-event-loop reload path: the loader thread fails,
+        // the session reports it in request order, and parsing
+        // resumes for the lines pipelined behind the reload.
+        let service = single(1);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_tcp(&service, listener).expect("serve"));
+            wait_ready(&addr, Duration::from_secs(10)).expect("ready");
+            let conn = TcpStream::connect(&addr).expect("connect");
+            let mut reader = BufReader::new(conn.try_clone().expect("clone"));
+            let mut writer = &conn;
+            writeln!(writer, "!reload /no/such/instance.sc\nping\nshutdown").unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("err msg=/no/such/instance.sc"), "{line:?}");
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim(), "pong");
+            let metrics = server.join().expect("server thread");
+            assert_eq!(metrics.reloads, 0);
         });
     }
 

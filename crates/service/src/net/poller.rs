@@ -25,9 +25,12 @@
 //!   [`NetConfig::read_buf_cap`] is answered with the framed
 //!   `err msg=line_too_long` and the rest of the line is *discarded
 //!   as it streams in* — the server's memory never holds more than
-//!   the cap per session, no matter what the peer sends. The write
-//!   buffer is bounded by the pending-reply cap plus a soft flush
-//!   threshold; a peer that stops reading stops being served.
+//!   the cap (plus one read chunk) per session, no matter what the
+//!   peer sends. The caps gate only the socket read: buffered lines
+//!   keep parsing and draining past them, so a pipelined backlog
+//!   bigger than the cap empties instead of wedging the session. The
+//!   write buffer is bounded by the pending-reply cap plus a soft
+//!   flush threshold; a peer that stops reading stops being served.
 //! * **Fair queueing.** Each session parses at most a fixed budget of
 //!   lines per loop iteration, so one firehose connection cannot
 //!   starve its neighbours' admission into the shared scheduler.
@@ -38,8 +41,13 @@
 //!   of blocking the event loop on one tenant's backpressure. Both
 //!   count into [`NetStats::shed`] and the `sc_net_shed_total`
 //!   counter.
+//! * **No head-of-line blocking on admin I/O.** A `!reload` reads and
+//!   parses its instance file on a short-lived worker thread; only
+//!   the issuing session stalls until the hand-off (keeping its own
+//!   dispatch order across the swap), while every other connection
+//!   keeps being served.
 
-use super::{dispatch, log_stats, Action};
+use super::{dispatch, log_stats, Action, SwapLoad};
 use crate::protocol::{Reply, Request, BUSY_MSG, LINE_TOO_LONG_MSG};
 use crate::service::{QueryTicket, ReloadTicket, ServiceHandle};
 use crate::telemetry::tel;
@@ -127,6 +135,9 @@ enum Pending {
     Ready(String),
     /// A query still in flight.
     Ticket(QueryTicket),
+    /// A `!reload` whose instance file is still loading on its worker
+    /// thread (placeholder filled in by `advance_loading`).
+    Loading,
     /// A hot swap still draining.
     Swap(ReloadTicket),
 }
@@ -146,6 +157,10 @@ struct Session {
     write_pos: usize,
     /// Replies owed, strictly in request order.
     pending: VecDeque<Pending>,
+    /// A `!reload` still loading its instance file off-thread: while
+    /// set, this session parses no further lines (preserving its
+    /// dispatch order across the swap) — other sessions are unaffected.
+    loading: Option<SwapLoad>,
     /// Finish pending replies, flush, then close (EOF, `quit`, or
     /// server shutdown).
     closing: bool,
@@ -163,6 +178,7 @@ impl Session {
             write_buf: Vec::new(),
             write_pos: 0,
             pending: VecDeque::new(),
+            loading: None,
             closing: false,
             gone: false,
         }
@@ -183,13 +199,22 @@ impl Session {
     }
 
     /// One level-triggered service round; returns whether anything
-    /// moved.
+    /// moved. The buffer caps gate only the socket *read*: parsing,
+    /// resolution, and flushing always run, so a backlog already
+    /// buffered past the caps keeps draining (a gate on the whole
+    /// round would livelock — `parse_lines` consumes at most
+    /// `LINE_BUDGET` lines per round while one read can overshoot the
+    /// cap by a chunk, so a pipelining peer could wedge the session
+    /// with the buffer stuck at the cap).
     fn tick(&mut self, cfg: &NetConfig, stats: &mut NetStats, shutdown: &mut bool) -> bool {
         let mut progress = self.flush();
         if !self.gone {
-            progress |= self.fill();
+            if self.pending.len() < cfg.pending_cap && self.read_buf.len() < cfg.read_buf_cap {
+                progress |= self.fill();
+            }
             if !self.gone {
                 progress |= self.parse_lines(cfg, stats, shutdown);
+                progress |= self.advance_loading();
                 progress |= self.resolve();
                 progress |= self.flush();
             }
@@ -273,7 +298,7 @@ impl Session {
     /// Parses and dispatches buffered lines, up to the fairness
     /// budget.
     fn parse_lines(&mut self, cfg: &NetConfig, stats: &mut NetStats, shutdown: &mut bool) -> bool {
-        if self.closing {
+        if self.closing || self.loading.is_some() {
             return false;
         }
         // A buffered fragment with no newline that already exceeds the
@@ -317,6 +342,15 @@ impl Session {
                 }
                 Action::Ticket(ticket) => self.pending.push_back(Pending::Ticket(ticket)),
                 Action::Swap(ticket) => self.pending.push_back(Pending::Swap(ticket)),
+                // A `!reload` loading its file off-thread: stop
+                // dispatching this session's lines until the hand-off
+                // (`advance_loading`), so a query pipelined behind the
+                // reload still runs on the new generation.
+                Action::LoadSwap(load) => {
+                    self.loading = Some(load);
+                    self.pending.push_back(Pending::Loading);
+                    break;
+                }
                 Action::Shed => {
                     stats.shed += 1;
                     tel().net_shed.incr();
@@ -339,6 +373,35 @@ impl Session {
         progress
     }
 
+    /// Completes an off-thread `!reload` file load, if one is pending
+    /// and done: performs the cheap scheduler hand-off inline and
+    /// swaps the session's `Loading` placeholder for the swap ticket
+    /// (or the error reply), after which parsing resumes. Runs even
+    /// while the session is closing, so a reply owed for a pre-`quit`
+    /// reload still drains.
+    fn advance_loading(&mut self) -> bool {
+        let Some(load) = &self.loading else {
+            return false;
+        };
+        let Some(result) = load.try_finish() else {
+            return false;
+        };
+        self.loading = None;
+        let resolved = match result {
+            Ok(ticket) => Pending::Swap(ticket),
+            Err(msg) => Pending::Ready(Reply::error(msg).render()),
+        };
+        // Parsing stalls while a load is in flight, so there is
+        // exactly one placeholder to fill.
+        for entry in &mut self.pending {
+            if matches!(entry, Pending::Loading) {
+                *entry = resolved;
+                break;
+            }
+        }
+        true
+    }
+
     /// Moves resolved replies from the pending queue into the write
     /// buffer, strictly front-first so replies keep request order.
     fn resolve(&mut self) -> bool {
@@ -352,6 +415,9 @@ impl Session {
                     };
                     text
                 }
+                // The instance file is still loading; the reply owed
+                // here materialises in `advance_loading`.
+                Some(Pending::Loading) => break,
                 Some(Pending::Ticket(ticket)) => match ticket.try_wait() {
                     None => break,
                     Some(result) => {
@@ -417,9 +483,14 @@ pub(super) fn event_loop(
                 match listener.accept() {
                     Ok((conn, _peer)) => {
                         progress = true;
-                        if sessions.len() >= cfg.max_conns {
+                        // A socket that can't go non-blocking can't be
+                        // served by this loop either: shed it like an
+                        // over-limit connection (best-effort busy
+                        // reply, counted) rather than vanishing from
+                        // the accounting.
+                        if sessions.len() >= cfg.max_conns || conn.set_nonblocking(true).is_err() {
                             shed_connection(conn, &mut stats);
-                        } else if conn.set_nonblocking(true).is_ok() {
+                        } else {
                             stats.accepted += 1;
                             tel().net_accepted.incr();
                             sessions.push(Session::new(conn, handle.clone()));
@@ -434,19 +505,8 @@ pub(super) fn event_loop(
         let mut shutdown_now = false;
         let mut i = 0;
         while i < sessions.len() {
-            // Gate reads on the pending-reply cap here (the session
-            // can't see its own queue bound and the socket at once).
-            let can_read = sessions[i].pending.len() < cfg.pending_cap
-                && sessions[i].read_buf.len() < cfg.read_buf_cap;
             let s = &mut sessions[i];
-            if !can_read && !s.closing {
-                // Serve the write side only; the peer stalls in TCP
-                // backpressure until replies drain.
-                progress |= s.resolve();
-                progress |= s.flush();
-            } else {
-                progress |= s.tick(cfg, &mut stats, &mut shutdown_now);
-            }
+            progress |= s.tick(cfg, &mut stats, &mut shutdown_now);
             if s.done() {
                 let _ = s.conn.shutdown(Shutdown::Both);
                 sessions.swap_remove(i);

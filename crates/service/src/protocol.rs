@@ -48,13 +48,23 @@ pub enum Request {
     Repos,
     /// `!reload [name] <path>` — hot-swap a served repository.
     ///
-    /// The split is purely lexical: with two or more tokens the first
-    /// becomes `target` and the rest the path. Dispatch resolves it —
-    /// when `target` names no served tenant, the whole argument is
-    /// reinterpreted as a path (with spaces) for the connection's
-    /// current tenant, so `!reload /data/my file.sc` keeps working
-    /// unaddressed. (Runs of interior whitespace collapse to single
-    /// spaces in that fallback; name files accordingly.)
+    /// A path may be double-quoted to carry whitespace (`\"` and `\\`
+    /// escape inside): `!reload "/data/my file.sc"` is an unaddressed
+    /// spaced path, `!reload wiki "my file.sc"` a targeted one —
+    /// [`render`](Request::render) emits the quoted form whenever the
+    /// bare token would be ambiguous, so `parse(render(r)) == r`
+    /// holds for spaced paths too. Unquoted, the split is purely
+    /// lexical: with two or more tokens the first becomes `target`
+    /// and the rest the path. Dispatch resolves that — when `target`
+    /// names no served tenant, the whole argument is reinterpreted as
+    /// a path (with spaces) for the connection's current tenant, so a
+    /// hand-typed `!reload /data/my file.sc` keeps working unaddressed
+    /// (runs of interior whitespace collapse to single spaces in that
+    /// best-effort fallback; the quoted form is exact).
+    ///
+    /// A `target` is always a single whitespace-free token (tenant
+    /// names are); a `Reload` built with a spaced `target` has no wire
+    /// form and will not round-trip.
     Reload {
         /// The named tenant to swap (`None` = the connection's
         /// current tenant).
@@ -121,16 +131,8 @@ impl Request {
             return if arg.is_empty() {
                 Err("!reload needs an instance path".into())
             } else {
-                Ok(match arg.split_once(char::is_whitespace) {
-                    Some((name, rest)) if !rest.trim().is_empty() => Request::Reload {
-                        target: Some(name.to_string()),
-                        path: rest.trim().to_string(),
-                    },
-                    _ => Request::Reload {
-                        target: None,
-                        path: arg.to_string(),
-                    },
-                })
+                let (target, path) = parse_reload_arg(arg)?;
+                Ok(Request::Reload { target, path })
             };
         }
         if line.starts_with('!') {
@@ -145,7 +147,9 @@ impl Request {
 
     /// Renders the canonical request line — the exact inverse of
     /// [`parse`](Request::parse) (`repo=` lands at the end of a query
-    /// line, verbs join their arguments with single spaces).
+    /// line, verbs join their arguments with single spaces, and a
+    /// `!reload` path that the bare token grammar would misparse —
+    /// whitespace, a leading `"`, or empty — renders double-quoted).
     pub fn render(&self) -> String {
         match self {
             Request::Query { repo: None, spec } => spec.to_string(),
@@ -155,11 +159,13 @@ impl Request {
             } => format!("{spec} repo={name}"),
             Request::Use { repo } => format!("!use {repo}"),
             Request::Repos => "!repos".into(),
-            Request::Reload { target: None, path } => format!("!reload {path}"),
+            Request::Reload { target: None, path } => {
+                format!("!reload {}", render_reload_path(path))
+            }
             Request::Reload {
                 target: Some(name),
                 path,
-            } => format!("!reload {name} {path}"),
+            } => format!("!reload {name} {}", render_reload_path(path)),
             Request::Stats => "!stats".into(),
             Request::Metrics => "!metrics".into(),
             Request::Trace { id } => format!("!trace {id}"),
@@ -181,6 +187,75 @@ fn verb_arg<'l>(line: &'l str, verb: &str) -> Option<&'l str> {
             .filter(|rest| rest.starts_with(char::is_whitespace))
             .map(str::trim)
     }
+}
+
+/// Splits a non-empty `!reload` argument into `(target, path)`. A
+/// path may be double-quoted (`\"`/`\\` escaped inside) to carry
+/// whitespace exactly; unquoted, the split is the lexical
+/// two-token rule [`Request::Reload`] documents.
+fn parse_reload_arg(arg: &str) -> Result<(Option<String>, String), String> {
+    if arg.starts_with('"') {
+        return Ok((None, parse_quoted_path(arg)?));
+    }
+    match arg.split_once(char::is_whitespace) {
+        Some((name, rest)) if !rest.trim().is_empty() => {
+            let rest = rest.trim();
+            let path = if rest.starts_with('"') {
+                parse_quoted_path(rest)?
+            } else {
+                rest.to_string()
+            };
+            Ok((Some(name.to_string()), path))
+        }
+        _ => Ok((None, arg.to_string())),
+    }
+}
+
+/// Decodes a `"`-opened quoted path: the closing quote must end the
+/// argument, and only `\"` / `\\` escapes are defined inside.
+fn parse_quoted_path(s: &str) -> Result<String, String> {
+    let mut out = String::new();
+    let mut chars = s[1..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some(e @ ('"' | '\\')) => out.push(e),
+                _ => return Err("!reload: bad escape in quoted path (only \\\" and \\\\)".into()),
+            },
+            '"' => {
+                return if chars.as_str().trim().is_empty() {
+                    Ok(out)
+                } else {
+                    Err(format!(
+                        "!reload: trailing data after quoted path: {:?}",
+                        chars.as_str().trim()
+                    ))
+                };
+            }
+            c => out.push(c),
+        }
+    }
+    Err("!reload: unterminated quoted path".into())
+}
+
+/// Renders a `!reload` path in its canonical wire form: bare when the
+/// token grammar reads it back exactly, double-quoted (with `\"`/`\\`
+/// escapes) when whitespace, a leading quote, or emptiness would
+/// break the round trip.
+fn render_reload_path(path: &str) -> String {
+    if !path.is_empty() && !path.starts_with('"') && !path.contains(char::is_whitespace) {
+        return path.to_string();
+    }
+    let mut out = String::with_capacity(path.len() + 2);
+    out.push('"');
+    for c in path.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    out
 }
 
 /// One reply the service sends — [`render`](Reply::render) is the
@@ -328,6 +403,20 @@ mod tests {
             }
         );
         assert_eq!(
+            Request::parse("!reload \"/data/my file.sc\"").unwrap(),
+            Request::Reload {
+                target: None,
+                path: "/data/my file.sc".into()
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"!reload wiki "my \"quoted\" file.sc""#).unwrap(),
+            Request::Reload {
+                target: Some("wiki".into()),
+                path: "my \"quoted\" file.sc".into()
+            }
+        );
+        assert_eq!(
             Request::parse("greedy repo=wiki").unwrap(),
             Request::Query {
                 repo: Some("wiki".into()),
@@ -364,6 +453,9 @@ mod tests {
             ("!use", "repository name"),
             ("!use a b", "one repository name"),
             ("!reload", "instance path"),
+            ("!reload \"unterminated", "unterminated quoted path"),
+            ("!reload \"a b\" extra", "trailing data"),
+            (r#"!reload "bad \n escape""#, "bad escape"),
             ("!trace", "query id"),
             ("!trace bogus", "bad query id"),
             ("!frobnicate", "unknown verb"),
@@ -387,6 +479,8 @@ mod tests {
             "!use wiki",
             "!reload /tmp/a.sc",
             "!reload wiki /tmp/a.sc",
+            "!reload \"/data/my file.sc\"",
+            r#"!reload wiki "a \"b\" c.sc""#,
             "greedy",
             "iter delta=0.5 seed=9",
             "partial eps=0.2 delta=0.5 seed=1 repo=logs",
@@ -396,6 +490,32 @@ mod tests {
                 Request::parse(&req.render()).unwrap(),
                 req,
                 "round trip of {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reload_render_quotes_paths_the_token_grammar_would_misparse() {
+        // The REVIEW.md case: an unaddressed path with a space used to
+        // render to a line that re-parsed as target + mangled path.
+        for (target, path) in [
+            (None, "/data/my file.sc"),
+            (None, "  leading and  interior  .sc"),
+            (None, r#"we"ird \ path.sc"#),
+            (None, "\"starts-with-quote.sc"),
+            (None, ""),
+            (Some("wiki"), "/data/my file.sc"),
+            (Some("wiki"), "plain.sc"),
+        ] {
+            let req = Request::Reload {
+                target: target.map(String::from),
+                path: path.into(),
+            };
+            let line = req.render();
+            assert_eq!(
+                Request::parse(&line).as_ref(),
+                Ok(&req),
+                "round trip of {path:?} via {line:?}"
             );
         }
     }

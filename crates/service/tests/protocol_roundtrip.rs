@@ -8,10 +8,12 @@
 //! server parses back to the identical value, so there is no second,
 //! slightly different grammar hiding in a client.
 //!
-//! Paths and repository names are generated over the token alphabet
-//! the wire grammar can carry (no whitespace — the line protocol is
-//! whitespace-delimited). The deterministic unit tests in
-//! `protocol.rs` pin the space-bearing `!reload` fallback separately.
+//! Repository names are generated over the token alphabet the wire
+//! grammar can carry (no whitespace — the line protocol is
+//! whitespace-delimited). `!reload` paths additionally range over
+//! spaces, quotes, and backslashes: the codec double-quotes (and
+//! escapes) a path the bare token grammar would misparse, so the
+//! round trip is exact for those too.
 
 use proptest::prelude::*;
 use proptest::string;
@@ -24,10 +26,11 @@ fn repo_name() -> impl Strategy<Value = String> {
     string::string_regex("[a-z0-9_.-]{1,12}").expect("static pattern")
 }
 
-/// A path token (whitespace-free; `/` and `.` are the interesting
-/// characters).
-fn path_token() -> impl Strategy<Value = String> {
-    string::string_regex("[a-zA-Z0-9_./-]{1,24}").expect("static pattern")
+/// A `!reload` path: beyond plain tokens (`/` and `.` are the
+/// interesting characters) it may carry spaces, double quotes, and
+/// backslashes — the codec's quoted form must round-trip them all.
+fn reload_path() -> impl Strategy<Value = String> {
+    string::string_regex(r#"[a-zA-Z0-9_./\\" -]{0,24}"#).expect("static pattern")
 }
 
 /// Every query spec the grammar admits: `delta` in `(0,1]`, `epsilon`
@@ -57,11 +60,12 @@ fn request() -> impl Strategy<Value = Request> {
             .prop_map(|(repo, spec)| Request::Query { repo, spec }),
         repo_name().prop_map(|repo| Request::Use { repo }),
         Just(Request::Repos),
-        // The lexical `!reload` split: a bare path must be one token
-        // (two tokens parse as target + path), a targeted path may be
-        // any token.
-        path_token().prop_map(|path| Request::Reload { target: None, path }),
-        (repo_name(), path_token()).prop_map(|(name, path)| Request::Reload {
+        // `!reload` paths range over spaces/quotes/backslashes: render
+        // quotes whatever the bare token grammar would misparse, so
+        // parse ∘ render stays the identity (a target is always one
+        // whitespace-free token — tenant names are).
+        reload_path().prop_map(|path| Request::Reload { target: None, path }),
+        (repo_name(), reload_path()).prop_map(|(name, path)| Request::Reload {
             target: Some(name),
             path,
         }),
