@@ -7,6 +7,7 @@ mod canonical_1_2;
 mod coalesce;
 mod geometric_4_6;
 mod geometric_nets;
+mod interleave;
 mod kernels;
 mod multiplex;
 mod netload;
@@ -32,6 +33,7 @@ pub use canonical_1_2::canonical_1_2;
 pub use coalesce::coalesce;
 pub use geometric_4_6::geometric_4_6;
 pub use geometric_nets::geometric_nets;
+pub use interleave::interleave;
 pub use kernels::kernels;
 pub use multiplex::multiplex;
 pub use netload::netload;
@@ -133,6 +135,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "netload",
             "E24 event-driven front door: connection soak, overload shedding, flat memory",
             netload,
+        ),
+        (
+            "interleave",
+            "E25 shard-granular cross-tenant interleaving: K narrow tenants, one fan-out",
+            interleave,
         ),
     ]
 }

@@ -21,7 +21,7 @@
 //! the run itself, not just the table diff.
 
 use crate::{Scale, Table};
-use sc_service::{QuerySpec, ServiceBuilder};
+use sc_service::{InterleaveMode, QuerySpec, ServiceBuilder};
 use sc_setsystem::gen;
 use std::time::Duration;
 
@@ -64,8 +64,13 @@ pub fn tenants(scale: Scale) -> Table {
 
     // Unloaded baseline: the cold repository served alone, probed one
     // query at a time from a standing start.
+    // E23 pins epoch-granular granting: it is the baseline the PR 10
+    // shard-interleaving experiment (E25) measures against, so its
+    // numbers must keep epoch semantics even after the serve default
+    // moved to `InterleaveMode::Shard`.
     let solo = ServiceBuilder::new()
         .tenant("cold", cold_inst.system.clone())
+        .interleave(InterleaveMode::Epoch)
         .build();
     let (mut unloaded, _) = solo.serve(|handle| {
         (0..probes as u64)
@@ -97,6 +102,7 @@ pub fn tenants(scale: Scale) -> Table {
     let service = ServiceBuilder::new()
         .tenant_with_quota("hot", hot_inst.system, hot_quota)
         .tenant("cold", cold_inst.system)
+        .interleave(InterleaveMode::Epoch)
         .build();
     let ((mut hot_waits, mut cold_waits, hot_done_at_first_cold), metrics) =
         service.serve(|handle| {
@@ -115,7 +121,7 @@ pub fn tenants(scale: Scale) -> Table {
                 if seed == 0 {
                     // How much of the flood had completed when the first
                     // cold answer landed — the non-starvation witness.
-                    let (completed, _, _, _) = handle
+                    let (completed, _, _, _, _) = handle
                         .tenants()
                         .get("hot")
                         .expect("tenant exists")

@@ -26,10 +26,10 @@
 //! |---|---|---|
 //! | 1 admission | `admission` | intake from the submission channel (queries, `!reload`), outcome-cache probe, coalesce-or-build disposition, the deferred-work backlog |
 //! | 2 alignment | `alignment` | pass-indexed join planning: which queued query splices into which in-flight scan (pass-2 joins pass-2), the splice itself (ledger join + zero-copy replay), the admission window, and the PR 4 `Boundary` baseline |
-//! | 3 execution | `execution` | the sharded work-stealing fan-out ([`sc_stream::ShardedPass`] + [`sc_stream::FeedCursor`]) with the epoch thread concurrently draining arrivals (non-blocking accept) |
+//! | 3 execution | `execution` | the sharded work-stealing fan-out ([`sc_stream::ShardedPass`] + [`sc_stream::FeedCursor`], or the shared [`sc_stream::InterleavedCursor`] under shard-granular gating) with the epoch thread concurrently draining arrivals (non-blocking accept) |
 //! | 4 retirement | `retirement` | outcome construction (tenant- and generation-tagged), cache fill + eviction accounting, reply fan-out to the query and its coalesced followers |
 //! |  lifecycle | `tenants` | [`TenantRegistry`] / [`Tenant`] / [`RepositoryGeneration`]: named repositories, each a fingerprint-versioned generation chain behind its own hot swap, with per-tenant quotas and counters |
-//! |  fairness | `fairness` | the deficit-round-robin gate tenant lanes must hold to run a scan epoch — a hot tenant cannot starve a cold one |
+//! |  fairness | `fairness` | the deficit-round-robin gate arbitrating tenant lanes' scan work — per `(tenant, shard)` unit by default ([`InterleaveMode::Shard`]), per exclusive epoch as the measured baseline — a hot tenant cannot starve a cold one |
 //!
 //! `service` orchestrates the stages (epoch loop, batch/serve entry
 //! points, the generation outer loop); `cache`, `metrics`, `query`,
@@ -141,8 +141,8 @@ pub use metrics::{LatencyHistogram, ServiceMetrics};
 pub use net::{NetConfig, NetStats};
 pub use query::{QueryOutcome, QuerySpec};
 pub use service::{
-    AdmissionMode, QueryTicket, ReloadTicket, Service, ServiceBuilder, ServiceClosed,
-    ServiceConfig, ServiceHandle, TrySubmitError,
+    AdmissionMode, InterleaveMode, QueryTicket, ReloadTicket, Service, ServiceBuilder,
+    ServiceClosed, ServiceConfig, ServiceHandle, TrySubmitError,
 };
 pub use tenants::{
     RepositoryGeneration, RepositoryStore, Tenant, TenantCounters, TenantMeta, TenantRegistry,

@@ -233,6 +233,12 @@ pub struct ServiceMetrics {
     /// that job's scans and CPU, and its retirement fans one reply out
     /// per follower.
     pub coalesced: usize,
+    /// `(tenant, shard)` work units absorbed through the shard-granular
+    /// interleaved fan-out
+    /// ([`InterleaveMode::Shard`](crate::InterleaveMode)). Zero under
+    /// epoch-granular gating and in batch runs, where a whole epoch is
+    /// one exclusive grant.
+    pub shard_grants: usize,
     /// Submission → admission wait, one observation per query.
     pub queue_wait: LatencyHistogram,
     /// Submission → completion latency, one observation per query.
@@ -262,6 +268,7 @@ impl ServiceMetrics {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.coalesced += other.coalesced;
+        self.shard_grants += other.shard_grants;
         self.queue_wait.merge(&other.queue_wait);
         self.latency.merge(&other.latency);
         self.elapsed = self.elapsed.max(other.elapsed);

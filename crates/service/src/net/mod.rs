@@ -186,10 +186,10 @@ pub(crate) fn dispatch(req: Request, conn: &mut ServiceHandle, blocking: bool) -
                 .iter()
                 .map(|tenant| {
                     let generation = tenant.generation();
-                    let (completed, jobs, cache_hits, coalesced) =
+                    let (completed, jobs, cache_hits, coalesced, shard_grants) =
                         tenant.meta().counters().snapshot();
                     format!(
-                        "repo name={} gen={} fingerprint={:016x} quota={} completed={} jobs={} cache_hits={} coalesced={}",
+                        "repo name={} gen={} fingerprint={:016x} quota={} completed={} jobs={} cache_hits={} coalesced={} shard_grants={}",
                         tenant.name(),
                         generation.id,
                         generation.fingerprint,
@@ -198,6 +198,7 @@ pub(crate) fn dispatch(req: Request, conn: &mut ServiceHandle, blocking: bool) -
                         jobs,
                         cache_hits,
                         coalesced,
+                        shard_grants,
                     )
                 })
                 .collect();

@@ -13,13 +13,13 @@ use crate::admission::{Admitted, Inflight, Intake, QuerySubmission, ReloadReques
 use crate::alignment::{self, EpochState};
 use crate::cache::{EvictionPolicy, OutcomeCache};
 use crate::execution;
-use crate::fairness::FairGate;
+use crate::fairness::{FairGate, GrantUnit};
 use crate::metrics::ServiceMetrics;
 use crate::query::{QueryOutcome, QuerySpec};
 use crate::telemetry::tel;
 use crate::tenants::{RepositoryGeneration, Tenant, TenantMeta, TenantRegistry};
 use sc_setsystem::SetSystem;
-use sc_stream::{ScanLedger, SetStream};
+use sc_stream::{InterleavedCursor, ScanLedger, SetStream};
 use sc_telemetry::EventKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
@@ -60,6 +60,43 @@ impl AdmissionMode {
             other => Err(format!(
                 "unknown admission mode {other:?} (aligned|boundary)"
             )),
+        }
+    }
+}
+
+/// The granularity at which tenant lanes share the machine (serve
+/// mode; batch runs are a single ungated lane either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterleaveMode {
+    /// Shard-granular interleaving (the default): every lane with an
+    /// in-flight epoch advances through one shared work-stealing
+    /// fan-out ([`sc_stream::InterleavedCursor`]), with the
+    /// deficit-round-robin gate metering individual `(tenant, shard)`
+    /// units under a machine-wide concurrency cap (the worker budget).
+    /// A box serving many narrow tenants saturates its cores; the
+    /// per-tenant observables (covers, passes, space, cache keys) are
+    /// bit-identical to epoch mode — only the interleaving changes.
+    #[default]
+    Shard,
+    /// The PR 8 baseline, kept for measurement (experiments E23/E25):
+    /// one tenant's epoch holds the gate exclusively and runs to
+    /// completion. Simple and strictly bounded, but a narrow epoch
+    /// leaves the rest of the worker pool idle.
+    Epoch,
+}
+
+impl InterleaveMode {
+    /// Parses `"shard"` / `"epoch"` (the `sctool serve --interleave`
+    /// grammar).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown mode.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "shard" => Ok(Self::Shard),
+            "epoch" => Ok(Self::Epoch),
+            other => Err(format!("unknown interleave mode {other:?} (shard|epoch)")),
         }
     }
 }
@@ -127,6 +164,9 @@ pub struct ServiceConfig {
     /// Covers, logical passes, and space peaks are bit-identical
     /// either way (the queries are deterministic given their spec).
     pub coalesce: bool,
+    /// How tenant lanes share the machine: shard-granular interleaving
+    /// (default) or exclusive epoch grants (see [`InterleaveMode`]).
+    pub interleave: InterleaveMode,
 }
 
 impl Default for ServiceConfig {
@@ -144,6 +184,7 @@ impl Default for ServiceConfig {
             admission_window: Duration::ZERO,
             shard_size: 256,
             coalesce: false,
+            interleave: InterleaveMode::Shard,
         }
     }
 }
@@ -573,9 +614,20 @@ impl ServiceBuilder {
         self
     }
 
-    /// Sets the fairness quantum: credit each waiting tenant lane
-    /// banks per arbitration round of the epoch gate (defaults to
-    /// `max_inflight`, i.e. one round funds one full epoch). See
+    /// Sets [`ServiceConfig::interleave`].
+    #[must_use]
+    pub fn interleave(mut self, mode: InterleaveMode) -> Self {
+        self.cfg.interleave = mode;
+        self
+    }
+
+    /// Sets the fairness quantum: the credit a tenant lane is funded
+    /// with per arbitration turn of the gate. Under
+    /// [`InterleaveMode::Epoch`] it is banked per ring round against
+    /// the epoch's inflight cost (default `max_inflight`: one round
+    /// funds one full epoch); under [`InterleaveMode::Shard`] it is
+    /// the lane's burst of `(tenant, shard)` units per turn (default
+    /// `workers`: one turn refills the machine's worker budget). See
     /// [`crate::fairness`].
     #[must_use]
     pub fn quantum(mut self, q: u64) -> Self {
@@ -626,7 +678,10 @@ impl ServiceBuilder {
             registry: TenantRegistry::build(tenants),
             cfg,
             cache,
-            quantum: self.quantum.unwrap_or(cfg.max_inflight as u64),
+            quantum: self.quantum.unwrap_or(match cfg.interleave {
+                InterleaveMode::Epoch => cfg.max_inflight as u64,
+                InterleaveMode::Shard => cfg.workers as u64,
+            }),
         }
     }
 }
@@ -840,7 +895,16 @@ impl Service {
                 }
                 continue;
             }
-            self.epoch(&gen, &root, &ledger, &mut state, None, &mut metrics, false);
+            self.epoch(
+                &gen,
+                &root,
+                &ledger,
+                &mut state,
+                None,
+                &mut metrics,
+                false,
+                None,
+            );
         }
         metrics.physical_scans = ledger.physical_scans();
         metrics.elapsed = start.elapsed();
@@ -895,13 +959,20 @@ impl Service {
             counter: Arc::new(AtomicU64::new(0)),
             registry: Arc::clone(&self.registry),
         };
-        let gate = FairGate::new(lanes, self.quantum);
+        let gate = match self.cfg.interleave {
+            InterleaveMode::Epoch => FairGate::new(lanes, self.quantum),
+            InterleaveMode::Shard => {
+                FairGate::sharded(lanes, self.quantum, self.cfg.workers as u64)
+            }
+        };
         let gate = &gate;
+        let fanout = InterleavedCursor::new();
+        let fanout = &fanout;
         std::thread::scope(|s| {
             let lanes: Vec<_> = inboxes
                 .into_iter()
                 .enumerate()
-                .map(|(lane, rx)| s.spawn(move || self.lane_scheduler(lane, rx, gate)))
+                .map(|(lane, rx)| s.spawn(move || self.lane_scheduler(lane, rx, gate, fanout)))
                 .collect();
             let r = clients(handle);
             let mut metrics = ServiceMetrics::default();
@@ -916,13 +987,15 @@ impl Service {
     /// repository generations, each running the epoch pipeline until
     /// the tenant's channel closes or a reload ends the generation
     /// (in-flight queries drain on it first; the swap is acknowledged
-    /// once it took effect). Scan epochs go through the shared
-    /// [`FairGate`].
+    /// once it took effect). Scan work goes through the shared
+    /// [`FairGate`] — per epoch or per `(tenant, shard)` unit,
+    /// depending on [`InterleaveMode`].
     fn lane_scheduler(
         &self,
         lane: usize,
         rx: Receiver<Submission>,
         gate: &FairGate,
+        fanout: &InterleavedCursor,
     ) -> ServiceMetrics {
         let tenant = self.registry.tenant(lane);
         let start = Instant::now();
@@ -936,7 +1009,8 @@ impl Service {
                 &mut intake,
                 &mut metrics,
                 &mut physical,
-                Some((gate, lane)),
+                (gate, lane),
+                fanout,
             );
             match intake.reload.take() {
                 Some(req) => {
@@ -960,17 +1034,20 @@ impl Service {
     /// Runs the epoch pipeline over one pinned repository generation:
     /// boundary admission, retirement, and scan epochs, until nothing
     /// further can arrive for this generation (channel closed, or a
-    /// reload captured) and everything admitted has drained. With
-    /// `gate`, each scan epoch first acquires the fairness gate as the
-    /// given lane (admission and retirement stay ungated — only the
-    /// repository-walking stages are arbitrated across tenants).
+    /// reload captured) and everything admitted has drained. Scan
+    /// work is arbitrated across tenant lanes through `gate` —
+    /// exclusive epoch holds in [`InterleaveMode::Epoch`], per-unit
+    /// holds through the shared `fanout` registry in
+    /// [`InterleaveMode::Shard`] (admission and retirement stay
+    /// ungated — only the repository-walking stages contend).
     fn run_generation(
         &self,
         gen: &RepositoryGeneration,
         intake: &mut Intake<'_>,
         metrics: &mut ServiceMetrics,
         physical: &mut usize,
-        gate: Option<(&FairGate, usize)>,
+        gate: (&FairGate, usize),
+        fanout: &InterleavedCursor,
     ) {
         let root = SetStream::new(&gen.system);
         let ledger = ScanLedger::new();
@@ -1058,10 +1135,25 @@ impl Service {
                 continue;
             }
             // Stages 2 + 3 — one scan epoch, gated across tenant
-            // lanes (the RAII hold releases even if the epoch
-            // panics). The cost is this epoch's rider count — heavy
-            // epochs spend proportionally more deficit credit.
-            let _hold = gate.map(|(g, l)| g.acquire(l, state.inflight.len() as u64));
+            // lanes (the RAII holds release even if the epoch
+            // panics). Epoch mode holds the gate exclusively for the
+            // whole scan, its cost the rider count — heavy epochs
+            // spend proportionally more deficit credit. Shard mode
+            // instead marks the lane live and lets the fan-out meter
+            // individual (tenant, shard) units through the shared
+            // cursor, so every granted lane advances concurrently.
+            let (g, l) = gate;
+            let interleave =
+                matches!(g.unit(), GrantUnit::Shard).then(|| execution::ShardInterleave {
+                    gate: g,
+                    lane: l,
+                    fanout,
+                    counters: gen.tenant.counters(),
+                });
+            let _hold = interleave
+                .is_none()
+                .then(|| g.acquire(l, state.inflight.len() as u64));
+            let _session = interleave.is_some().then(|| g.enter(l));
             self.epoch(
                 gen,
                 &root,
@@ -1070,6 +1162,7 @@ impl Service {
                 Some(intake),
                 metrics,
                 fresh_group,
+                interleave.as_ref(),
             );
         }
         *physical += ledger.physical_scans();
@@ -1079,7 +1172,10 @@ impl Service {
     /// physical pass — exposed as a zero-copy sharded feed — the
     /// configured admission path handles queries arriving while the
     /// scan is in flight, and the work-stealing worker pool fans the
-    /// per-query state updates out shard by shard.
+    /// per-query state updates out shard by shard. With `interleave`
+    /// set, the fan-out goes through the service-wide shared cursor
+    /// with one gate unit held per shard (see
+    /// [`execution::ShardInterleave`]).
     #[allow(clippy::too_many_arguments)]
     fn epoch<'g>(
         &self,
@@ -1090,6 +1186,7 @@ impl Service {
         intake: Option<&mut Intake<'_>>,
         metrics: &mut ServiceMetrics,
         fresh_group: bool,
+        interleave: Option<&execution::ShardInterleave<'_>>,
     ) {
         state.group_pass += 1;
         for (_, fl) in state.inflight.iter_mut() {
@@ -1129,7 +1226,13 @@ impl Service {
             (_, None) => {
                 // Batch mode: a pure fan-out, no mid-stream arrivals.
                 let _span = tel().stage_execution.span();
-                execution::fan_out(&feed, &mut state.inflight, self.cfg.workers, None);
+                metrics.shard_grants += execution::fan_out(
+                    &feed,
+                    &mut state.inflight,
+                    self.cfg.workers,
+                    None,
+                    interleave,
+                );
                 Vec::new()
             }
             (AdmissionMode::Boundary, Some(intake)) => {
@@ -1145,7 +1248,13 @@ impl Service {
                     .max_inflight_seen
                     .max(state.inflight.len() + parked.len());
                 let _span = tel().stage_execution.span();
-                execution::fan_out(&feed, &mut state.inflight, self.cfg.workers, None);
+                metrics.shard_grants += execution::fan_out(
+                    &feed,
+                    &mut state.inflight,
+                    self.cfg.workers,
+                    None,
+                    interleave,
+                );
                 parked
             }
             (AdmissionMode::Aligned, Some(intake)) => {
@@ -1154,7 +1263,7 @@ impl Service {
                 // splice lands the rest at the boundary.
                 let scan_tag = ledger.scan_index();
                 let mut pending = Vec::new();
-                {
+                let units = {
                     let _span = tel().stage_execution.span();
                     let mut drain = execution::ArrivalDrain {
                         service: self,
@@ -1169,8 +1278,10 @@ impl Service {
                         &mut state.inflight,
                         self.cfg.workers,
                         Some(&mut drain),
-                    );
-                }
+                        interleave,
+                    )
+                };
+                metrics.shard_grants += units;
                 let parked = {
                     let _span = tel().stage_alignment.span();
                     alignment::splice_pending(

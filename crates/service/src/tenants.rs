@@ -40,20 +40,23 @@ pub struct TenantCounters {
     jobs: AtomicU64,
     cache_hits: AtomicU64,
     coalesced: AtomicU64,
+    shard_grants: AtomicU64,
     tel_completed: &'static Counter,
     tel_jobs: &'static Counter,
     tel_cache_hits: &'static Counter,
     tel_coalesced: &'static Counter,
+    tel_shard_grants: &'static Counter,
 }
 
 impl std::fmt::Debug for TenantCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (completed, jobs, cache_hits, coalesced) = self.snapshot();
+        let (completed, jobs, cache_hits, coalesced, shard_grants) = self.snapshot();
         f.debug_struct("TenantCounters")
             .field("completed", &completed)
             .field("jobs", &jobs)
             .field("cache_hits", &cache_hits)
             .field("coalesced", &coalesced)
+            .field("shard_grants", &shard_grants)
             .finish()
     }
 }
@@ -81,10 +84,12 @@ impl TenantCounters {
             jobs: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            shard_grants: AtomicU64::new(0),
             tel_completed: leaked("completed"),
             tel_jobs: leaked("jobs"),
             tel_cache_hits: leaked("cache_hits"),
             tel_coalesced: leaked("coalesced"),
+            tel_shard_grants: leaked("shard_grants"),
         }
     }
 
@@ -108,13 +113,24 @@ impl TenantCounters {
         self.tel_coalesced.incr();
     }
 
-    /// Live `(completed, jobs, cache_hits, coalesced)` totals.
-    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+    /// One `(tenant, shard)` work unit absorbed through the
+    /// shard-granular interleaved fan-out
+    /// ([`InterleaveMode::Shard`](crate::InterleaveMode)). Stays zero
+    /// under epoch-granular gating.
+    pub(crate) fn bump_shard_grant(&self) {
+        self.shard_grants.fetch_add(1, Ordering::Relaxed);
+        self.tel_shard_grants.incr();
+    }
+
+    /// Live `(completed, jobs, cache_hits, coalesced, shard_grants)`
+    /// totals.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
         (
             self.completed.load(Ordering::Relaxed),
             self.jobs.load(Ordering::Relaxed),
             self.cache_hits.load(Ordering::Relaxed),
             self.coalesced.load(Ordering::Relaxed),
+            self.shard_grants.load(Ordering::Relaxed),
         )
     }
 }
@@ -437,7 +453,8 @@ mod tests {
         meta.counters().bump_job();
         meta.counters().bump_completed();
         meta.counters().bump_completed();
-        assert_eq!(meta.counters().snapshot(), (2, 1, 0, 0));
+        meta.counters().bump_shard_grant();
+        assert_eq!(meta.counters().snapshot(), (2, 1, 0, 0, 1));
         // The telemetry mirror name survived sanitisation.
         assert_eq!(metric_segment("stats me!"), "stats_me_");
     }

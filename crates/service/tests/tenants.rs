@@ -10,7 +10,7 @@
 use sc_core::baselines::StoreAllGreedy;
 use sc_core::partial::{run_partial, PartialIterSetCover};
 use sc_core::{IterSetCover, IterSetCoverConfig};
-use sc_service::{QuerySpec, ServiceBuilder};
+use sc_service::{InterleaveMode, QuerySpec, ServiceBuilder};
 use sc_setsystem::{gen, SetSystem};
 use sc_stream::run_reported;
 
@@ -46,8 +46,11 @@ fn solo(spec: &QuerySpec, system: &SetSystem) -> (Vec<u32>, usize, usize) {
     }
 }
 
-#[test]
-fn each_tenant_answers_bit_identically_to_solo_under_interleaved_load() {
+/// The bit-identity suite body, run once per scheduling granularity:
+/// whichever way the fairness gate slices execution — exclusive epochs
+/// or interleaved `(tenant, shard)` units — every answer must match a
+/// solo run exactly.
+fn bit_identity_under_interleaved_load(mode: InterleaveMode) {
     let alpha = gen::planted(256, 512, 8, 11);
     let beta = gen::planted(192, 384, 6, 22);
     let specs: Vec<QuerySpec> = (0..4)
@@ -66,6 +69,7 @@ fn each_tenant_answers_bit_identically_to_solo_under_interleaved_load() {
     let service = ServiceBuilder::new()
         .tenant("alpha", alpha.system.clone())
         .tenant("beta", beta.system.clone())
+        .interleave(mode)
         .build();
     let (answered, _metrics) = service.serve(|handle| {
         let beta_handle = handle.with_tenant("beta").expect("tenant exists");
@@ -97,6 +101,16 @@ fn each_tenant_answers_bit_identically_to_solo_under_interleaved_load() {
         assert_eq!(outcome.logical_passes, passes, "{name}: {:?}", outcome.spec);
         assert_eq!(outcome.space_words, space, "{name}: {:?}", outcome.spec);
     }
+}
+
+#[test]
+fn each_tenant_answers_bit_identically_to_solo_under_shard_interleaving() {
+    bit_identity_under_interleaved_load(InterleaveMode::Shard);
+}
+
+#[test]
+fn each_tenant_answers_bit_identically_to_solo_under_epoch_granting() {
+    bit_identity_under_interleaved_load(InterleaveMode::Epoch);
 }
 
 #[test]
@@ -165,7 +179,7 @@ fn a_hot_tenant_cannot_starve_a_cold_one() {
         assert!(cold_outcome.goal_met());
         // The hot tenant's live counter at the instant the cold answer
         // arrived: how much of the flood had completed.
-        let (hot_completed, _, _, _) = handle
+        let (hot_completed, _, _, _, _) = handle
             .tenants()
             .get("hot")
             .expect("tenant exists")

@@ -52,14 +52,14 @@ const USAGE: &str = "usage:
   sctool exact <file> [--budget NODES]
   sctool certify <file>
   sctool convert <in> <out>              (format chosen by .scb extension)
-  sctool serve <file> [--repo NAME=PATH]... [--quota NAME=N]... [--quantum N] [--listen HOST:PORT] [--max-conns N] [--shed DEPTH] [--inflight N] [--workers N] [--cache N] [--eviction fifo|lru] [--admission aligned|boundary] [--window MS] [--shard SETS] [--coalesce] [--stats-interval SECS] [--no-telemetry]
+  sctool serve <file> [--repo NAME=PATH]... [--quota NAME=N]... [--quantum N] [--interleave shard|epoch] [--listen HOST:PORT] [--max-conns N] [--shed DEPTH] [--inflight N] [--workers N] [--cache N] [--eviction fifo|lru] [--admission aligned|boundary] [--window MS] [--shard SETS] [--coalesce] [--stats-interval SECS] [--no-telemetry]
   sctool client --connect HOST:PORT [--repo NAME] [--wait-ready SECS] [--queries N] [--concurrency C] [--spec QUERY] [--duplicates K] [--allow-busy] [--stats] [--shutdown]
   sctool geomgen <discs|rects|triangles|clustered|grid|twoline> [--n N] [--m M] [--k K] [--half H] [--seed SEED]
   sctool geomsolve <file> [--delta D] [--no-canonical] [--bg]
 
 files: text format everywhere; SCB1 binary is sniffed by magic; use - for stdin (either format)
 serve protocol: one query per line — 'iter [delta=D] [seed=S]', 'partial [eps=E] [delta=D] [seed=S]', 'greedy', each optionally carrying 'repo=NAME' to address a named repository; also ping/quit/shutdown, '!use NAME' (retarget the connection at a named repository), '!repos' (list served repositories with generation/fingerprint/quota/counters), '!reload [NAME] PATH' (hot-swap a repository — the bare form swaps the connection's current one; in-flight queries drain on their generation), and the live telemetry verbs '!stats' (one-line counters + stage percentiles), '!metrics' (Prometheus-style listing), '!trace ID' (one query's journal timeline); responses come back in request order
-serve tenants: the positional <file> is the repository named 'default'; each --repo NAME=PATH adds another; --quota NAME=N caps one repository's inflight slots; --quantum N tunes the cross-tenant fairness gate
+serve tenants: the positional <file> is the repository named 'default'; each --repo NAME=PATH adds another; --quota NAME=N caps one repository's inflight slots; --quantum N tunes the cross-tenant fairness gate; --interleave picks its grant unit — 'shard' (default) interleaves every granted tenant's scan work shard-by-shard through one work-stealing fan-out, 'epoch' grants one tenant's whole epoch at a time (the pre-interleaving baseline)
 serve overload: one event-driven thread multiplexes every connection; past --max-conns new connections get 'err msg=busy' and close, a query landing on a full submission queue answers 'err msg=busy' in-line, a request line past the per-session buffer cap answers 'err msg=line_too_long', and --shed DEPTH bounds each session's pipelined replies (beyond it the socket stalls in TCP backpressure); 'sctool client --allow-busy' counts busy answers instead of failing";
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -415,7 +415,7 @@ fn convert_cmd(args: &[String]) -> Result<(), String> {
 fn serve_cmd(args: &[String]) -> Result<(), String> {
     use streaming_set_cover::service::net;
     use streaming_set_cover::service::{
-        AdmissionMode, EvictionPolicy, ServiceBuilder, ServiceConfig,
+        AdmissionMode, EvictionPolicy, InterleaveMode, ServiceBuilder, ServiceConfig,
     };
     if args.first().is_some_and(|p| p == "-") && flag(args, "--listen").is_none() {
         return Err(
@@ -451,6 +451,10 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         .admission(
             AdmissionMode::parse(&flag(args, "--admission").unwrap_or_else(|| "aligned".into()))
                 .map_err(|e| format!("--admission: {e}"))?,
+        )
+        .interleave(
+            InterleaveMode::parse(&flag(args, "--interleave").unwrap_or_else(|| "shard".into()))
+                .map_err(|e| format!("--interleave: {e}"))?,
         )
         .admission_window(std::time::Duration::from_millis(flag_or(
             args, "--window", 0u64,
@@ -556,13 +560,14 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         let _ = t.join();
     }
     eprintln!(
-        "sctool serve: {} queries ({} jobs, {} cache hits, {} coalesced, {} mid-stream joins, {} pass-aligned), {} physical scans, peak {} inflight, {:.1} ms, {} kernels",
+        "sctool serve: {} queries ({} jobs, {} cache hits, {} coalesced, {} mid-stream joins, {} pass-aligned), {} shard grants, {} physical scans, peak {} inflight, {:.1} ms, {} kernels",
         metrics.queries_completed,
         metrics.jobs,
         metrics.cache_hits,
         metrics.coalesced,
         metrics.mid_stream_admissions,
         metrics.aligned_joins,
+        metrics.shard_grants,
         metrics.physical_scans,
         metrics.max_inflight_seen,
         metrics.elapsed.as_secs_f64() * 1e3,
